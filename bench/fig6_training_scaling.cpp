@@ -1,0 +1,134 @@
+// Figure 6: data-parallel SDNet training across rank counts.
+//  (a) validation MSE vs epoch per rank count,
+//  (b) validation MSE vs (virtual device) runtime,
+//  (c) time to reach a target MSE vs rank count.
+//
+// Strong scaling: the global dataset is fixed and sharded across ranks,
+// so per-rank iterations per epoch shrink with rank count. LR follows the
+// sqrt batch-scaling rule and warmup scales linearly (Sec. 5.2). Device
+// time is per-thread CPU time (ranks timeshare one core here), plus the
+// alpha-beta-modeled allreduce time.
+#include <cstdio>
+#include <vector>
+
+#include "comm/world.hpp"
+#include "mosaic/trainer.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mf;
+  util::CliArgs args(argc, argv);
+  const bool paper = args.get_bool("paper-scale");
+  const int64_t m = args.get_int("m", 8);
+  const int64_t epochs = args.get_int("epochs", paper ? 500 : 16);
+  const int64_t n_bvps = args.get_int("bvps", paper ? 18000 : 96);
+  std::vector<int> rank_counts = paper ? std::vector<int>{1, 2, 4, 8, 16, 32}
+                                       : std::vector<int>{1, 2, 4, 8};
+  if (args.has("max-ranks")) {
+    rank_counts.clear();
+    for (int r = 1; r <= args.get_int("max-ranks", 8); r *= 2) rank_counts.push_back(r);
+  }
+
+  std::printf("== Figure 6: multi-rank training performance & convergence ==\n");
+  std::printf("%ld BVPs total (sharded), %ld epochs, sqrt-LR scaling, LAMB\n\n",
+              n_bvps, epochs);
+
+  gp::LaplaceDatasetGenerator gen(m, {}, 2024);
+  auto all = gen.generate_many(n_bvps);
+  auto val = gen.generate_many(16);
+
+  mosaic::SdnetConfig net_cfg;
+  net_cfg.boundary_size = 4 * m;
+  net_cfg.hidden_width = 64;
+  net_cfg.mlp_depth = 4;
+
+  struct RunSummary {
+    int ranks;
+    std::vector<mosaic::EpochStats> history;
+    double device_seconds;  // max over ranks of (cpu + modeled comm)
+  };
+  std::vector<RunSummary> runs;
+
+  for (int ranks : rank_counts) {
+    comm::World world(ranks);
+    std::vector<std::vector<mosaic::EpochStats>> histories(
+        static_cast<std::size_t>(ranks));
+    world.run([&](comm::Communicator& c) {
+      util::Rng rng(42);
+      mosaic::Sdnet net(net_cfg, rng);
+      std::vector<gp::SolvedBvp> shard;
+      for (std::size_t i = static_cast<std::size_t>(c.rank()); i < all.size();
+           i += static_cast<std::size_t>(ranks)) {
+        shard.push_back(all[i]);
+      }
+      mosaic::TrainConfig cfg;
+      cfg.epochs = epochs;
+      cfg.batch_size = 8;
+      cfg.q_data = 32;
+      cfg.q_colloc = 16;
+      cfg.max_lr = 5e-3;
+      cfg.pde_loss_weight = 0.3;
+      cfg.optimizer = mosaic::OptimizerKind::kLamb;
+      gp::LaplaceDatasetGenerator local_gen(m, {}, 7 + static_cast<unsigned>(c.rank()));
+      histories[static_cast<std::size_t>(c.rank())] = mosaic::train_sdnet(
+          net, shard, val, cfg, local_gen, ranks > 1 ? &c : nullptr);
+    });
+    RunSummary run{ranks, histories[0], 0};
+    for (const auto& h : histories) {
+      run.device_seconds =
+          std::max(run.device_seconds, h.back().cpu_seconds + h.back().comm_seconds);
+    }
+    runs.push_back(std::move(run));
+    std::printf("ranks %2d done: final val MSE %.5f, device time %.1fs\n", ranks,
+                runs.back().history.back().val_mse, runs.back().device_seconds);
+  }
+
+  std::printf("\n-- Fig 6a: validation MSE vs epoch --\n\n");
+  util::Table ta({"epoch", "1 rank", "2", "4", "8", "16", "32"});
+  const std::size_t stride = std::max<std::size_t>(1, static_cast<std::size_t>(epochs) / 8);
+  for (std::size_t e = 0; e < static_cast<std::size_t>(epochs); e += stride) {
+    std::vector<std::string> row{std::to_string(e)};
+    for (const auto& run : runs) {
+      row.push_back(e < run.history.size()
+                        ? util::format_double(run.history[e].val_mse)
+                        : "-");
+    }
+    ta.add_row(row);
+  }
+  ta.print();
+
+  std::printf("\n-- Fig 6b/6c: device time per run and time-to-target --\n\n");
+  // Target: the best MSE achieved by the 1-rank run (relative criterion,
+  // analogous to the paper's 2.5e-6 target for its converged model).
+  double target = 1e300;
+  for (const auto& s : runs[0].history) target = std::min(target, s.val_mse);
+  target *= 1.25;
+  util::Table tb({"ranks", "final val MSE", "device s", "modeled comm s",
+                  "time to target s", "speedup"});
+  double t1 = -1;
+  for (const auto& run : runs) {
+    double tt = -1;
+    for (const auto& s : run.history) {
+      const double elapsed = s.cpu_seconds + s.comm_seconds;
+      if (s.val_mse <= target) {
+        tt = elapsed;
+        break;
+      }
+    }
+    // Scale per-epoch device time: each rank trains concurrently.
+    if (run.ranks == 1 && tt > 0) t1 = tt;
+    tb.add_row({std::to_string(run.ranks),
+                util::format_double(run.history.back().val_mse),
+                util::format_double(run.device_seconds, 3),
+                util::format_double(run.history.back().comm_seconds, 3),
+                tt > 0 ? util::format_double(tt, 3) : "not reached",
+                (tt > 0 && t1 > 0) ? util::format_double(t1 / tt, 3) : "-"});
+  }
+  tb.print();
+  std::printf("\nShape check vs paper: per-epoch device time drops ~1/ranks; "
+              "MSE-vs-epoch curves nearly overlap (within ~1.5e-6 in the "
+              "paper); time-to-target shrinks with ranks (12x at 32 GPUs in "
+              "the paper).\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Figure 8: time per MFP iteration, batched vs unbatched atomic
+// subdomains, as the domain grows (paper: 64x128 ... 1024x1024 pixels on
+// a single GPU; batching wins up to ~100x by keeping the device busy).
+//
+// On CPU the batching advantage comes from amortizing per-call overhead
+// and boundary-embedding reuse rather than occupancy, so the gap is
+// smaller but the *shape* is identical: unbatched time grows linearly
+// with subdomain count, batched time grows with a much smaller slope.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "gp/dataset.hpp"
+#include "mosaic/predictor.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "util/timing.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mf;
+  util::CliArgs args(argc, argv);
+  const bool paper = args.get_bool("paper-scale");
+  const int64_t m = args.get_int("m", 8);
+  const int64_t iters = args.get_int("iters", 8);
+  // Domain sizes in cells (x, y).
+  std::vector<std::pair<int64_t, int64_t>> sizes;
+  if (paper) {
+    sizes = {{32, 64}, {64, 64}, {64, 128}, {128, 128}, {128, 256}, {256, 256}};
+  } else {
+    sizes = {{16, 32}, {32, 32}, {32, 64}, {64, 64}, {64, 128}};
+  }
+
+  std::printf("== Figure 8: batched vs unbatched atomic subdomain inference ==\n");
+  std::printf("time per MFP iteration (averaged over %ld iterations), SDNet "
+              "solver\n\n", iters);
+
+  util::Rng rng(8);
+  mosaic::SdnetConfig cfg;
+  cfg.boundary_size = 4 * m;
+  cfg.hidden_width = 64;
+  cfg.mlp_depth = 4;
+  auto net = std::make_shared<mosaic::Sdnet>(cfg, rng);
+  mosaic::NeuralSubdomainSolver solver(net, m);
+  gp::LaplaceDatasetGenerator gen(m, {}, 17);
+
+  util::Table table({"domain (cells)", "subdomains", "unbatched s/iter",
+                     "batched s/iter", "speedup"});
+  for (const auto& [cx, cy] : sizes) {
+    auto problem_boundary = gen.generate_global(cx, cy).boundary;
+    auto run = [&](bool batched) {
+      mosaic::MfpOptions opts;
+      opts.max_iters = iters;
+      opts.tol = 0;
+      opts.batched = batched;
+      const double t0 = util::thread_cpu_seconds();
+      mosaic::mosaic_predict(solver, cx, cy, problem_boundary, opts);
+      return (util::thread_cpu_seconds() - t0) / static_cast<double>(iters);
+    };
+    const double tu = run(false);
+    const double tb = run(true);
+    const int64_t h = m / 2;
+    const int64_t n_sub = (cx / h - 1) * (cy / h - 1);
+    table.add_row({std::to_string(cx) + " x " + std::to_string(cy),
+                   std::to_string(n_sub), util::format_double(tu),
+                   util::format_double(tb), util::format_double(tu / tb, 3)});
+  }
+  table.print();
+  std::printf("\nShape check vs paper (Fig. 8): unbatched time grows linearly "
+              "with domain size; batching flattens the curve (up to ~100x on "
+              "GPUs where occupancy dominates; smaller but same-shaped gains "
+              "on CPU).\n");
+  return 0;
+}

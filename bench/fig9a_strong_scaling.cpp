@@ -1,0 +1,131 @@
+// Figure 9a + Table 4: strong scaling of the distributed MF predictor.
+//
+// A fixed global domain (paper: 32x32 spatial = 2048x2048 resolution,
+// 4096 atomic subdomains) is solved to a target MAE with 1..32 ranks.
+// We report, per rank count:
+//   * iterations to reach the MAE target      (Table 4: 3200 -> 3500)
+//   * per-rank device compute time (max)      (Fig. 9a: Model Inference)
+//   * modeled sendrecv / allgather time       (Fig. 9a: SendRecv, Allgather)
+//   * boundary IO time                        (Fig. 9a: Boundaries IO)
+//   * speedup vs 1 rank                       (paper: ~10x at 32)
+//
+// Device compute is per-thread CPU time: rank threads timeshare this
+// single core, so each thread's CPU time is the work it would do on its
+// own device (see DESIGN.md, substitution table).
+#include <cstdio>
+#include <algorithm>
+#include <vector>
+
+#include "comm/world.hpp"
+#include "gp/dataset.hpp"
+#include "mosaic/distributed_predictor.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "util/timing.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mf;
+  util::CliArgs args(argc, argv);
+  const bool paper = args.get_bool("paper-scale");
+  const int64_t m = args.get_int("m", paper ? 32 : 8);
+  const int64_t cells = args.get_int("cells", paper ? 2048 : 256);
+  const double target_mae = args.get_double("target-mae", 0.05);
+  std::vector<int> rank_counts = paper ? std::vector<int>{1, 2, 4, 8, 16, 32}
+                                       : std::vector<int>{1, 2, 4, 8, 16};
+  if (args.has("max-ranks")) {
+    rank_counts.clear();
+    for (int r = 1; r <= args.get_int("max-ranks", 16); r *= 2) rank_counts.push_back(r);
+  }
+
+  std::printf("== Figure 9a / Table 4: strong scaling of distributed MFP ==\n");
+  std::printf("domain %ld x %ld cells, %ld atomic subdomain positions, "
+              "target MAE %.3f\n\n", cells, cells,
+              (2 * cells / m - 1) * (2 * cells / m - 1), target_mae);
+
+  gp::LaplaceDatasetGenerator gen(m, {}, 99);
+  std::printf("generating reference solution (multigrid)...\n");
+  auto problem = gen.generate_global(cells, cells);
+  mosaic::HarmonicKernelSolver solver(m);
+
+  mosaic::MfpOptions opts;
+  opts.max_iters = args.get_int("max-iters", 20000);
+  opts.tol = 0;
+  opts.reference = &problem.solution;
+  opts.target_mae = target_mae;
+  opts.check_every = 10;
+
+  util::Table table({"ranks", "iterations", "infer s", "halo s (mdl)",
+                     "allgather s (mdl)", "IO s", "total s", "speedup"});
+  double t1 = -1;
+  for (int ranks : rank_counts) {
+    if (cells % (comm::CartesianGrid(ranks).px() * m) != 0) continue;
+    comm::CartesianGrid grid(ranks);
+    comm::World world(ranks);
+    std::vector<mosaic::DistMfpResult> results(static_cast<std::size_t>(ranks));
+    std::vector<double> device_seconds(static_cast<std::size_t>(ranks));
+    world.run([&](comm::Communicator& c) {
+      const double c0 = util::thread_cpu_seconds();
+      results[static_cast<std::size_t>(c.rank())] = mosaic::distributed_mosaic_predict(
+          c, grid, solver, cells, cells, problem.boundary, opts);
+      device_seconds[static_cast<std::size_t>(c.rank())] =
+          util::thread_cpu_seconds() - c0;
+    });
+    // Max over ranks (the critical path).
+    double infer = 0, halo = 0, gather = 0, io = 0, device = 0;
+    for (int r = 0; r < ranks; ++r) {
+      const auto& t = results[static_cast<std::size_t>(r)].timings;
+      infer = std::max(infer, t.inference_seconds);
+      halo = std::max(halo, t.sendrecv_modeled_seconds);
+      gather = std::max(gather, t.allgather_modeled_seconds);
+      io = std::max(io, t.boundary_io_seconds);
+      device = std::max(device, device_seconds[static_cast<std::size_t>(r)]);
+    }
+    const double total = device + halo + gather;
+    if (ranks == 1) t1 = total;
+    table.add_row({std::to_string(ranks),
+                   std::to_string(results[0].iterations),
+                   util::format_double(infer, 4), util::format_double(halo, 4),
+                   util::format_double(gather, 4), util::format_double(io, 4),
+                   util::format_double(total, 4),
+                   t1 > 0 ? util::format_double(t1 / total, 3) : "-"});
+    std::printf("ranks %2d: %ld iterations, MAE %.4f\n", ranks,
+                static_cast<long>(results[0].iterations), results[0].mae);
+  }
+  std::printf("\n");
+  table.print();
+
+  // Table 4's iteration creep comes from halo staleness. Our per-iteration
+  // dirty exchange is exact, so we demonstrate the same staleness tradeoff
+  // with the communication-avoiding variant (halo exchange every k
+  // iterations — the paper's Sec. 5.3 open problem).
+  std::printf("\n-- Table 4 analogue: iterations to MAE %.2f vs halo staleness "
+              "(4 ranks) --\n\n", target_mae);
+  util::Table t4({"halo exchange every", "iterations", "halo msgs (max rank)"});
+  for (int64_t k : {int64_t{1}, int64_t{2}, int64_t{4}, int64_t{8}}) {
+    mosaic::MfpOptions stale = opts;
+    stale.halo_every = k;
+    stale.target_mae = target_mae / 5;  // tighter target exposes staleness
+    stale.check_every = 4;
+    stale.init = mosaic::LatticeInit::kZero;
+    comm::CartesianGrid grid(4);
+    comm::World world(4);
+    std::vector<mosaic::DistMfpResult> results(4);
+    std::vector<std::uint64_t> msgs(4);
+    world.run([&](comm::Communicator& c) {
+      results[static_cast<std::size_t>(c.rank())] = mosaic::distributed_mosaic_predict(
+          c, grid, solver, cells, cells, problem.boundary, stale);
+      msgs[static_cast<std::size_t>(c.rank())] = c.stats().sendrecv.messages;
+    });
+    t4.add_row({std::to_string(k) + " iters",
+                std::to_string(results[0].iterations),
+                std::to_string(*std::max_element(msgs.begin(), msgs.end()))});
+  }
+  t4.print();
+
+  std::printf("\nShape check vs paper: iteration count creeps up slightly with "
+              "rank count (Table 4: 3200 at 1 GPU -> 3500 at 32) because halo "
+              "values go stale under relaxed synchronization; compute shrinks "
+              "~1/P while communication grows, yielding ~10x speedup at 32 "
+              "GPUs in the paper.\n");
+  return 0;
+}

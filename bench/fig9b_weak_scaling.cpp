@@ -1,0 +1,88 @@
+// Figure 9b: weak scaling of the distributed MF predictor. Each rank owns
+// a fixed-size processor subdomain (paper: 1024x512 resolution per GPU,
+// 2000 iterations); the global domain grows with the rank count.
+//
+// Paper finding: compute time stays flat (only overlap averaging grows);
+// communication grows ~4x from 2 to 8 ranks as the neighbor count rises
+// from 1-3 to 8, then plateaus — a latency effect.
+#include <cstdio>
+#include <vector>
+
+#include "comm/world.hpp"
+#include "gp/dataset.hpp"
+#include "mosaic/distributed_predictor.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "util/timing.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mf;
+  util::CliArgs args(argc, argv);
+  const bool paper = args.get_bool("paper-scale");
+  const int64_t m = args.get_int("m", paper ? 32 : 8);
+  // Per-rank block (cells): paper 1024 x 512 resolution at m=32.
+  const int64_t block_x = args.get_int("block-x", paper ? 1024 : 64);
+  const int64_t block_y = args.get_int("block-y", paper ? 512 : 32);
+  const int64_t iters = args.get_int("iters", paper ? 2000 : 200);
+  std::vector<int> rank_counts = paper ? std::vector<int>{1, 2, 4, 8, 16, 32}
+                                       : std::vector<int>{1, 2, 4, 8, 16};
+
+  std::printf("== Figure 9b: weak scaling, %ld x %ld cells per rank, %ld "
+              "iterations ==\n\n", block_x, block_y, iters);
+
+  mosaic::HarmonicKernelSolver solver(m);
+
+  util::Table table({"ranks", "domain", "infer s", "halo s (mdl)",
+                     "halo msgs", "IO s", "device s"});
+  for (int ranks : rank_counts) {
+    comm::CartesianGrid grid(ranks);
+    const int64_t cells_x = block_x * grid.px();
+    const int64_t cells_y = block_y * grid.py();
+    // Weak scaling keeps per-rank work fixed; skip the reference solve on
+    // big domains and just run the fixed iteration budget.
+    gp::LaplaceDatasetGenerator gen(m, {}, 55);
+    gp::GpSampler sampler(
+        gp::PeriodicRbfKernel{0.3, 0.8},
+        gp::unit_circle_points(linalg::perimeter_size(cells_x + 1, cells_y + 1)));
+    util::Rng brng(55);
+    auto boundary = sampler.sample(brng);
+
+    mosaic::MfpOptions opts;
+    opts.max_iters = iters;
+    opts.tol = 0;
+
+    comm::World world(ranks);
+    std::vector<mosaic::DistMfpResult> results(static_cast<std::size_t>(ranks));
+    std::vector<double> device_seconds(static_cast<std::size_t>(ranks));
+    std::vector<std::uint64_t> halo_msgs(static_cast<std::size_t>(ranks));
+    world.run([&](comm::Communicator& c) {
+      const double c0 = util::thread_cpu_seconds();
+      results[static_cast<std::size_t>(c.rank())] = mosaic::distributed_mosaic_predict(
+          c, grid, solver, cells_x, cells_y, boundary, opts);
+      device_seconds[static_cast<std::size_t>(c.rank())] =
+          util::thread_cpu_seconds() - c0;
+      halo_msgs[static_cast<std::size_t>(c.rank())] = c.stats().sendrecv.messages;
+    });
+    double infer = 0, halo = 0, io = 0, device = 0;
+    std::uint64_t msgs = 0;
+    for (int r = 0; r < ranks; ++r) {
+      const auto& t = results[static_cast<std::size_t>(r)].timings;
+      infer = std::max(infer, t.inference_seconds);
+      halo = std::max(halo, t.sendrecv_modeled_seconds);
+      io = std::max(io, t.boundary_io_seconds);
+      device = std::max(device, device_seconds[static_cast<std::size_t>(r)]);
+      msgs = std::max(msgs, halo_msgs[static_cast<std::size_t>(r)]);
+    }
+    table.add_row({std::to_string(ranks),
+                   std::to_string(cells_x) + " x " + std::to_string(cells_y),
+                   util::format_double(infer, 4), util::format_double(halo, 4),
+                   std::to_string(msgs), util::format_double(io, 4),
+                   util::format_double(device, 4)});
+  }
+  table.print();
+  std::printf("\nShape check vs paper: per-rank compute stays ~flat; halo "
+              "communication grows with the neighbor count (1-3 neighbors at "
+              "2 ranks -> 8 at >= 9 ranks) and then plateaus — the paper's "
+              "latency-dominated regime.\n");
+  return 0;
+}

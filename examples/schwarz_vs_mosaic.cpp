@@ -1,0 +1,73 @@
+// Classical Schwarz vs Mosaic Flow: why inferring only subdomain
+// *center lines* wins.
+//
+// Both methods decompose the domain into overlapping subdomains and
+// iterate. Classical alternating Schwarz solves every grid point of every
+// subdomain each sweep; the MF predictor only infers the subdomain center
+// lines (a 1-D set) until the single final full-interior pass — the
+// asymptotic advantage highlighted in Sec. 2.4 of the paper.
+//
+// Run:  ./schwarz_vs_mosaic [--cells 64] [--m 8]
+#include <cstdio>
+
+#include "gp/dataset.hpp"
+#include "mosaic/predictor.hpp"
+#include "mosaic/schwarz.hpp"
+#include "util/cli.hpp"
+#include "util/timing.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mf;
+  util::CliArgs args(argc, argv);
+  const int64_t m = args.get_int("m", 8);
+  const int64_t cells = args.get_int("cells", 64);
+
+  gp::LaplaceDatasetGenerator gen(m, {}, 11);
+  auto problem = gen.generate_global(cells, cells);
+  std::printf("=== classical Schwarz vs Mosaic Flow (%ld x %ld cells) ===\n\n",
+              cells, cells);
+
+  // Classical alternating Schwarz with multigrid block solves.
+  linalg::Grid2D start(cells + 1, cells + 1);
+  linalg::apply_perimeter(start, problem.boundary);
+  mosaic::SchwarzOptions sopts;
+  sopts.block_cells = m;
+  sopts.overlap = m / 2;
+  sopts.max_iters = 200;
+  sopts.tol = 1e-7;
+  const double t0 = util::wall_seconds();
+  auto schwarz = mosaic::schwarz_solve(start, 1.0 / static_cast<double>(m), sopts);
+  const double schwarz_time = util::wall_seconds() - t0;
+  const double schwarz_mae =
+      linalg::Grid2D::mean_abs_diff(schwarz.solution, problem.solution);
+
+  // Mosaic Flow with the exact subdomain solver (same subdomain size).
+  mosaic::HarmonicKernelSolver solver(m);
+  mosaic::MfpOptions mopts;
+  mopts.max_iters = 4000;
+  mopts.tol = 1e-7;
+  const double t1 = util::wall_seconds();
+  auto mosaic_r = mosaic::mosaic_predict(solver, cells, cells, problem.boundary, mopts);
+  const double mosaic_time = util::wall_seconds() - t1;
+  const double mosaic_mae =
+      linalg::Grid2D::mean_abs_diff(mosaic_r.solution, problem.solution);
+
+  // Work accounting: points computed per iteration.
+  const int64_t schwarz_pts_per_solve = (m + sopts.overlap * 2) * (m + sopts.overlap * 2);
+  const int64_t mosaic_pts_per_subdomain = 2 * m - 3;  // center cross only
+
+  std::printf("%-26s %14s %14s\n", "", "Schwarz (ASM)", "Mosaic Flow");
+  std::printf("%-26s %14ld %14ld\n", "iterations",
+              static_cast<long>(schwarz.iterations),
+              static_cast<long>(mosaic_r.iterations));
+  std::printf("%-26s %14.4f %14.4f\n", "MAE vs multigrid", schwarz_mae, mosaic_mae);
+  std::printf("%-26s %14.2f %14.2f\n", "wall time (s)", schwarz_time, mosaic_time);
+  std::printf("%-26s %14ld %14ld\n", "points per subdomain visit",
+              static_cast<long>(schwarz_pts_per_solve),
+              static_cast<long>(mosaic_pts_per_subdomain));
+  std::printf("\nMosaic Flow touches ~%.0fx fewer points per subdomain visit;\n"
+              "with a neural solver each visit is a single batched inference.\n",
+              static_cast<double>(schwarz_pts_per_solve) /
+                  static_cast<double>(mosaic_pts_per_subdomain));
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Reverse-mode autodiff engine: graph nodes, topological traversal,
+// grad-of-grad via `create_graph`.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ad/tensor.hpp"
+
+namespace mf::ad {
+
+/// A recorded operation in the autograd graph. Nodes own their input
+/// tensors (keeping upstream graph alive). `backward` returns one gradient
+/// per input; entries for inputs with `needs[i] == false` may be undefined.
+///
+/// Backward implementations are written in terms of Tensor ops, so running
+/// them with grad mode enabled (create_graph) yields a differentiable graph
+/// of the gradients themselves — this is what enables the second-order
+/// derivatives of the PDE loss.
+struct Node {
+  explicit Node(std::string op_name) : name(std::move(op_name)) {}
+  virtual ~Node() = default;
+
+  virtual std::vector<Tensor> backward(const Tensor& grad_out,
+                                       const std::vector<bool>& needs) = 0;
+
+  std::string name;
+  std::vector<Tensor> inputs;
+};
+
+/// Node whose backward is a captured lambda; used by all ops.
+struct LambdaNode final : Node {
+  using BackwardFn = std::function<std::vector<Tensor>(
+      const Tensor& grad_out, const std::vector<bool>& needs)>;
+
+  LambdaNode(std::string op_name, BackwardFn fn)
+      : Node(std::move(op_name)), backward_fn(std::move(fn)) {}
+
+  std::vector<Tensor> backward(const Tensor& grad_out,
+                               const std::vector<bool>& needs) override {
+    return backward_fn(grad_out, needs);
+  }
+
+  BackwardFn backward_fn;
+};
+
+/// Attach a grad_fn to `out` if grad mode is on and any input requires
+/// grad. Returns `out` for chaining.
+Tensor record(Tensor out, const std::string& name,
+              std::vector<Tensor> inputs, LambdaNode::BackwardFn backward);
+
+/// d(output)/d(inputs). `output` need not be scalar if `grad_output` is
+/// supplied (vector-Jacobian product). Only gradients for `inputs` are
+/// computed; graph branches that cannot reach any requested input are
+/// pruned (needed so that e.g. the x-derivative of the network does not
+/// drag the boundary-embedding branch into the second-order graph).
+///
+/// With `create_graph == true` the returned gradients are themselves
+/// differentiable.
+std::vector<Tensor> grad(const Tensor& output, const std::vector<Tensor>& inputs,
+                         const Tensor& grad_output = Tensor(),
+                         bool create_graph = false);
+
+/// Standard training backward: accumulate d(output)/d(leaf) into
+/// `leaf.grad()` for every reachable leaf with requires_grad.
+void backward(const Tensor& output, const Tensor& grad_output = Tensor());
+
+/// Count of nodes reachable from `t`'s grad_fn (diagnostics / tests).
+std::size_t graph_size(const Tensor& t);
+
+}  // namespace mf::ad

@@ -1,0 +1,32 @@
+// Finite-difference verification of autodiff gradients; used by the
+// property-based test suites.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "ad/engine.hpp"
+#include "ad/ops.hpp"
+#include "ad/tensor.hpp"
+
+namespace mf::ad {
+
+struct GradcheckResult {
+  bool ok = true;
+  real max_abs_err = 0;
+  real max_rel_err = 0;
+};
+
+/// Compares analytic d f / d inputs against central finite differences.
+/// `f` must map the inputs to a scalar tensor.
+GradcheckResult gradcheck(
+    const std::function<Tensor(const std::vector<Tensor>&)>& f,
+    std::vector<Tensor> inputs, real eps = 1e-5, real tol = 1e-6);
+
+/// Second-order check: verifies d/dx of (d f/d x · v) for a random constant
+/// vector v, exercising create_graph.
+GradcheckResult gradcheck_second_order(
+    const std::function<Tensor(const std::vector<Tensor>&)>& f,
+    std::vector<Tensor> inputs, real eps = 1e-5, real tol = 5e-5);
+
+}  // namespace mf::ad

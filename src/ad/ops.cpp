@@ -1,0 +1,623 @@
+#include "ad/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace mf::ad::ops {
+
+namespace {
+
+constexpr real kGeluCoeff = 0.7978845608028654;  // sqrt(2/pi)
+
+/// Iterates an output shape while mapping each output element to the flat
+/// offsets of two broadcast operands.
+struct BroadcastIter {
+  explicit BroadcastIter(const Shape& out, const Shape& a, const Shape& b)
+      : out_shape(out) {
+    const std::size_t nd = out.size();
+    a_strides.assign(nd, 0);
+    b_strides.assign(nd, 0);
+    const auto sa = strides_of(a);
+    const auto sb = strides_of(b);
+    const std::size_t oa = nd - a.size();
+    const std::size_t ob = nd - b.size();
+    for (std::size_t d = 0; d < nd; ++d) {
+      if (d >= oa && a[d - oa] != 1) a_strides[d] = sa[d - oa];
+      if (d >= ob && b[d - ob] != 1) b_strides[d] = sb[d - ob];
+    }
+  }
+
+  template <typename F>
+  void run(int64_t n, F&& f) const {
+    const std::size_t nd = out_shape.size();
+    std::vector<int64_t> idx(nd, 0);
+    int64_t ai = 0, bi = 0;
+    for (int64_t i = 0; i < n; ++i) {
+      f(i, ai, bi);
+      // increment multi-index (row-major)
+      for (int64_t d = static_cast<int64_t>(nd) - 1; d >= 0; --d) {
+        idx[d]++;
+        ai += a_strides[d];
+        bi += b_strides[d];
+        if (idx[d] < out_shape[d]) break;
+        ai -= a_strides[d] * out_shape[d];
+        bi -= b_strides[d] * out_shape[d];
+        idx[d] = 0;
+      }
+    }
+  }
+
+  Shape out_shape;
+  std::vector<int64_t> a_strides, b_strides;
+};
+
+template <typename F>
+Tensor elementwise_binary_fwd(const Tensor& a, const Tensor& b, F&& f) {
+  const Shape out_shape = broadcast_shape(a.shape(), b.shape());
+  Tensor out = Tensor::zeros(out_shape);
+  const int64_t n = out.numel();
+  if (a.shape() == b.shape()) {
+    const real* pa = a.data();
+    const real* pb = b.data();
+    real* po = out.data();
+    for (int64_t i = 0; i < n; ++i) po[i] = f(pa[i], pb[i]);
+  } else {
+    BroadcastIter it(out_shape, a.shape(), b.shape());
+    const real* pa = a.data();
+    const real* pb = b.data();
+    real* po = out.data();
+    it.run(n, [&](int64_t i, int64_t ai, int64_t bi) { po[i] = f(pa[ai], pb[bi]); });
+  }
+  return out;
+}
+
+template <typename F>
+Tensor elementwise_unary(const Tensor& a, const std::string& name, F&& f,
+                         LambdaNode::BackwardFn backward) {
+  Tensor out = Tensor::zeros(a.shape());
+  const real* pa = a.data();
+  real* po = out.data();
+  const int64_t n = a.numel();
+  for (int64_t i = 0; i < n; ++i) po[i] = f(pa[i]);
+  return record(std::move(out), name, {a}, std::move(backward));
+}
+
+}  // namespace
+
+Shape broadcast_shape(const Shape& a, const Shape& b) {
+  const std::size_t nd = std::max(a.size(), b.size());
+  Shape out(nd, 1);
+  for (std::size_t d = 0; d < nd; ++d) {
+    const int64_t da = d < nd - a.size() ? 1 : a[d - (nd - a.size())];
+    const int64_t db = d < nd - b.size() ? 1 : b[d - (nd - b.size())];
+    if (da != db && da != 1 && db != 1) {
+      throw std::invalid_argument("cannot broadcast " + shape_str(a) + " with " +
+                                  shape_str(b));
+    }
+    out[d] = std::max(da, db);
+  }
+  return out;
+}
+
+Tensor broadcast_to(const Tensor& t, const Shape& shape) {
+  if (t.shape() == shape) return t;
+  // Validate by broadcasting.
+  if (broadcast_shape(t.shape(), shape) != shape) {
+    throw std::invalid_argument("broadcast_to: " + shape_str(t.shape()) +
+                                " -> " + shape_str(shape));
+  }
+  Tensor out = Tensor::zeros(shape);
+  BroadcastIter it(shape, t.shape(), t.shape());
+  const real* p = t.data();
+  real* po = out.data();
+  it.run(out.numel(), [&](int64_t i, int64_t ai, int64_t) { po[i] = p[ai]; });
+  const Shape orig = t.shape();
+  return record(std::move(out), "broadcast_to", {t},
+                [orig](const Tensor& g, const std::vector<bool>&) {
+                  return std::vector<Tensor>{reduce_to(g, orig)};
+                });
+}
+
+Tensor reduce_to(const Tensor& t, const Shape& shape) {
+  if (t.shape() == shape) return t;
+  if (broadcast_shape(shape, t.shape()) != t.shape()) {
+    throw std::invalid_argument("reduce_to: " + shape_str(t.shape()) + " -> " +
+                                shape_str(shape));
+  }
+  Tensor out = Tensor::zeros(shape);
+  BroadcastIter it(t.shape(), shape, shape);
+  const real* p = t.data();
+  real* po = out.data();
+  it.run(t.numel(), [&](int64_t i, int64_t oi, int64_t) { po[oi] += p[i]; });
+  const Shape orig = t.shape();
+  return record(std::move(out), "reduce_to", {t},
+                [orig](const Tensor& g, const std::vector<bool>&) {
+                  return std::vector<Tensor>{broadcast_to(g, orig)};
+                });
+}
+
+Tensor reshape(const Tensor& t, const Shape& shape) {
+  Shape resolved = shape;
+  int64_t known = 1;
+  int64_t infer = -1;
+  for (std::size_t d = 0; d < resolved.size(); ++d) {
+    if (resolved[d] == -1) {
+      infer = static_cast<int64_t>(d);
+    } else {
+      known *= resolved[d];
+    }
+  }
+  if (infer >= 0) resolved[static_cast<std::size_t>(infer)] = t.numel() / known;
+  if (numel_of(resolved) != t.numel()) {
+    throw std::invalid_argument("reshape: cannot view " + shape_str(t.shape()) +
+                                " as " + shape_str(resolved));
+  }
+  Tensor out = Tensor::from_vector(t.vec(), resolved);
+  const Shape orig = t.shape();
+  return record(std::move(out), "reshape", {t},
+                [orig](const Tensor& g, const std::vector<bool>&) {
+                  return std::vector<Tensor>{reshape(g, orig)};
+                });
+}
+
+Tensor transpose(const Tensor& t) {
+  if (t.dim() != 2) throw std::invalid_argument("transpose expects 2-D tensor");
+  const int64_t m = t.size(0), n = t.size(1);
+  Tensor out = Tensor::zeros({n, m});
+  const real* p = t.data();
+  real* po = out.data();
+  for (int64_t i = 0; i < m; ++i)
+    for (int64_t j = 0; j < n; ++j) po[j * m + i] = p[i * n + j];
+  return record(std::move(out), "transpose", {t},
+                [](const Tensor& g, const std::vector<bool>&) {
+                  return std::vector<Tensor>{transpose(g)};
+                });
+}
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  Tensor out = elementwise_binary_fwd(a, b, [](real x, real y) { return x + y; });
+  const Shape sa = a.shape(), sb = b.shape();
+  return record(std::move(out), "add", {a, b},
+                [sa, sb](const Tensor& g, const std::vector<bool>& needs) {
+                  std::vector<Tensor> gs(2);
+                  if (needs[0]) gs[0] = reduce_to(g, sa);
+                  if (needs[1]) gs[1] = reduce_to(g, sb);
+                  return gs;
+                });
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  Tensor out = elementwise_binary_fwd(a, b, [](real x, real y) { return x - y; });
+  const Shape sa = a.shape(), sb = b.shape();
+  return record(std::move(out), "sub", {a, b},
+                [sa, sb](const Tensor& g, const std::vector<bool>& needs) {
+                  std::vector<Tensor> gs(2);
+                  if (needs[0]) gs[0] = reduce_to(g, sa);
+                  if (needs[1]) gs[1] = reduce_to(neg(g), sb);
+                  return gs;
+                });
+}
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+  Tensor out = elementwise_binary_fwd(a, b, [](real x, real y) { return x * y; });
+  const Shape sa = a.shape(), sb = b.shape();
+  return record(std::move(out), "mul", {a, b},
+                [a, b, sa, sb](const Tensor& g, const std::vector<bool>& needs) {
+                  std::vector<Tensor> gs(2);
+                  if (needs[0]) gs[0] = reduce_to(mul(g, b), sa);
+                  if (needs[1]) gs[1] = reduce_to(mul(g, a), sb);
+                  return gs;
+                });
+}
+
+Tensor div(const Tensor& a, const Tensor& b) {
+  Tensor out = elementwise_binary_fwd(a, b, [](real x, real y) { return x / y; });
+  const Shape sa = a.shape(), sb = b.shape();
+  return record(std::move(out), "div", {a, b},
+                [a, b, sa, sb](const Tensor& g, const std::vector<bool>& needs) {
+                  std::vector<Tensor> gs(2);
+                  if (needs[0]) gs[0] = reduce_to(div(g, b), sa);
+                  if (needs[1]) {
+                    gs[1] = reduce_to(neg(div(mul(g, a), mul(b, b))), sb);
+                  }
+                  return gs;
+                });
+}
+
+Tensor add_scalar(const Tensor& a, real s) {
+  return elementwise_unary(
+      a, "add_scalar", [s](real x) { return x + s; },
+      [](const Tensor& g, const std::vector<bool>&) {
+        return std::vector<Tensor>{g};
+      });
+}
+
+Tensor mul_scalar(const Tensor& a, real s) {
+  return elementwise_unary(
+      a, "mul_scalar", [s](real x) { return x * s; },
+      [s](const Tensor& g, const std::vector<bool>&) {
+        return std::vector<Tensor>{mul_scalar(g, s)};
+      });
+}
+
+Tensor pow_scalar(const Tensor& a, real exponent) {
+  return elementwise_unary(
+      a, "pow_scalar", [exponent](real x) { return std::pow(x, exponent); },
+      [a, exponent](const Tensor& g, const std::vector<bool>&) {
+        Tensor d = mul_scalar(pow_scalar(a, exponent - 1), exponent);
+        return std::vector<Tensor>{mul(g, d)};
+      });
+}
+
+Tensor neg(const Tensor& a) {
+  return elementwise_unary(
+      a, "neg", [](real x) { return -x; },
+      [](const Tensor& g, const std::vector<bool>&) {
+        return std::vector<Tensor>{neg(g)};
+      });
+}
+
+Tensor exp(const Tensor& a) {
+  return elementwise_unary(
+      a, "exp", [](real x) { return std::exp(x); },
+      [a](const Tensor& g, const std::vector<bool>&) {
+        return std::vector<Tensor>{mul(g, exp(a))};
+      });
+}
+
+Tensor log(const Tensor& a) {
+  return elementwise_unary(
+      a, "log", [](real x) { return std::log(x); },
+      [a](const Tensor& g, const std::vector<bool>&) {
+        return std::vector<Tensor>{div(g, a)};
+      });
+}
+
+Tensor sqrt(const Tensor& a) {
+  return elementwise_unary(
+      a, "sqrt", [](real x) { return std::sqrt(x); },
+      [a](const Tensor& g, const std::vector<bool>&) {
+        return std::vector<Tensor>{mul(g, mul_scalar(pow_scalar(a, -0.5), 0.5))};
+      });
+}
+
+Tensor tanh(const Tensor& a) {
+  return elementwise_unary(
+      a, "tanh", [](real x) { return std::tanh(x); },
+      [a](const Tensor& g, const std::vector<bool>&) {
+        Tensor y = tanh(a);
+        Tensor one_minus = add_scalar(neg(mul(y, y)), 1.0);
+        return std::vector<Tensor>{mul(g, one_minus)};
+      });
+}
+
+Tensor abs(const Tensor& a) {
+  return elementwise_unary(
+      a, "abs", [](real x) { return std::abs(x); },
+      [a](const Tensor& g, const std::vector<bool>&) {
+        // sign(a) treated as a constant (derivative zero a.e.)
+        Tensor s = Tensor::zeros(a.shape());
+        for (int64_t i = 0; i < a.numel(); ++i) {
+          s.flat(i) = a.flat(i) > 0 ? 1.0 : (a.flat(i) < 0 ? -1.0 : 0.0);
+        }
+        return std::vector<Tensor>{mul(g, s)};
+      });
+}
+
+Tensor square(const Tensor& a) { return mul(a, a); }
+
+Tensor gelu(const Tensor& a) {
+  // 0.5 * x * (1 + tanh(sqrt(2/pi) * (x + 0.044715 x^3)))
+  Tensor x3 = mul(mul(a, a), a);
+  Tensor inner = mul_scalar(add(a, mul_scalar(x3, 0.044715)), kGeluCoeff);
+  Tensor t = tanh(inner);
+  return mul_scalar(mul(a, add_scalar(t, 1.0)), 0.5);
+}
+
+Tensor sigmoid(const Tensor& a) {
+  // 0.5 * (1 + tanh(x/2)) — compositional, all orders differentiable.
+  return mul_scalar(add_scalar(tanh(mul_scalar(a, 0.5)), 1.0), 0.5);
+}
+
+Tensor sum(const Tensor& a) {
+  real acc = 0;
+  for (int64_t i = 0; i < a.numel(); ++i) acc += a.flat(i);
+  Tensor out = Tensor::scalar(acc);
+  const Shape orig = a.shape();
+  return record(std::move(out), "sum", {a},
+                [orig](const Tensor& g, const std::vector<bool>&) {
+                  return std::vector<Tensor>{broadcast_to(reshape(g, Shape(orig.size(), 1)), orig)};
+                });
+}
+
+Tensor mean(const Tensor& a) {
+  return mul_scalar(sum(a), 1.0 / static_cast<real>(a.numel()));
+}
+
+Tensor sum_axis(const Tensor& a, int64_t axis, bool keepdim) {
+  if (axis < 0) axis += a.dim();
+  const Shape& s = a.shape();
+  Shape kept = s;
+  kept[static_cast<std::size_t>(axis)] = 1;
+  // outer x axis x inner decomposition
+  int64_t outer = 1, inner = 1;
+  for (int64_t d = 0; d < axis; ++d) outer *= s[static_cast<std::size_t>(d)];
+  for (int64_t d = axis + 1; d < a.dim(); ++d) inner *= s[static_cast<std::size_t>(d)];
+  const int64_t n_axis = s[static_cast<std::size_t>(axis)];
+  Tensor out = Tensor::zeros(kept);
+  const real* p = a.data();
+  real* po = out.data();
+  for (int64_t o = 0; o < outer; ++o)
+    for (int64_t k = 0; k < n_axis; ++k)
+      for (int64_t i = 0; i < inner; ++i)
+        po[o * inner + i] += p[(o * n_axis + k) * inner + i];
+  const Shape orig = s;
+  Tensor res = record(std::move(out), "sum_axis", {a},
+                      [orig](const Tensor& g, const std::vector<bool>&) {
+                        return std::vector<Tensor>{broadcast_to(g, orig)};
+                      });
+  if (!keepdim) {
+    Shape squeezed;
+    for (int64_t d = 0; d < a.dim(); ++d) {
+      if (d != axis) squeezed.push_back(s[static_cast<std::size_t>(d)]);
+    }
+    res = reshape(res, squeezed);
+  }
+  return res;
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  if (b.dim() != 2) throw std::invalid_argument("matmul: rhs must be 2-D");
+  if (a.dim() < 2) throw std::invalid_argument("matmul: lhs must be >= 2-D");
+  const int64_t k = a.size(-1);
+  if (k != b.size(0)) {
+    throw std::invalid_argument("matmul: inner dims " + shape_str(a.shape()) +
+                                " x " + shape_str(b.shape()));
+  }
+  const int64_t n = b.size(1);
+  const int64_t m = a.numel() / k;
+  Shape out_shape = a.shape();
+  out_shape.back() = n;
+  Tensor out = Tensor::zeros(out_shape);
+  const real* pa = a.data();
+  const real* pb = b.data();
+  real* po = out.data();
+  // i-k-j loop order: unit-stride inner loops.
+  for (int64_t i = 0; i < m; ++i) {
+    const real* arow = pa + i * k;
+    real* orow = po + i * n;
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const real av = arow[kk];
+      if (av == 0) continue;
+      const real* brow = pb + kk * n;
+      for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+  const Shape sa = a.shape();
+  return record(std::move(out), "matmul", {a, b},
+                [a, b, sa, k](const Tensor& g, const std::vector<bool>& needs) {
+                  std::vector<Tensor> gs(2);
+                  if (needs[0]) gs[0] = matmul(g, transpose(b));
+                  if (needs[1]) {
+                    Tensor a2 = reshape(a, {-1, k});
+                    Tensor g2 = reshape(g, {a2.size(0), -1});
+                    gs[1] = matmul(transpose(a2), g2);
+                  }
+                  return gs;
+                });
+}
+
+Tensor slice(const Tensor& t, int64_t axis, int64_t start, int64_t len) {
+  if (axis < 0) axis += t.dim();
+  const Shape& s = t.shape();
+  const int64_t n_axis = s[static_cast<std::size_t>(axis)];
+  if (start < 0 || start + len > n_axis) {
+    throw std::out_of_range("slice out of range");
+  }
+  Shape out_shape = s;
+  out_shape[static_cast<std::size_t>(axis)] = len;
+  int64_t outer = 1, inner = 1;
+  for (int64_t d = 0; d < axis; ++d) outer *= s[static_cast<std::size_t>(d)];
+  for (int64_t d = axis + 1; d < t.dim(); ++d) inner *= s[static_cast<std::size_t>(d)];
+  Tensor out = Tensor::zeros(out_shape);
+  const real* p = t.data();
+  real* po = out.data();
+  for (int64_t o = 0; o < outer; ++o) {
+    std::memcpy(po + o * len * inner, p + (o * n_axis + start) * inner,
+                static_cast<std::size_t>(len * inner) * sizeof(real));
+  }
+  const Shape orig = s;
+  return record(std::move(out), "slice", {t},
+                [orig, axis, start, len, outer, inner, n_axis](
+                    const Tensor& g, const std::vector<bool>&) {
+                  // Embed g into zeros of the original shape ("pad").
+                  Tensor padded = Tensor::zeros(orig);
+                  const real* pg = g.data();
+                  real* pp = padded.data();
+                  for (int64_t o = 0; o < outer; ++o) {
+                    std::memcpy(pp + (o * n_axis + start) * inner,
+                                pg + o * len * inner,
+                                static_cast<std::size_t>(len * inner) * sizeof(real));
+                  }
+                  Tensor res = record(
+                      std::move(padded), "slice_backward", {g},
+                      [axis, start, len](const Tensor& gg, const std::vector<bool>&) {
+                        return std::vector<Tensor>{slice(gg, axis, start, len)};
+                      });
+                  return std::vector<Tensor>{res};
+                });
+}
+
+Tensor concat(const std::vector<Tensor>& parts, int64_t axis) {
+  if (parts.empty()) throw std::invalid_argument("concat: empty input");
+  if (axis < 0) axis += parts[0].dim();
+  Shape out_shape = parts[0].shape();
+  int64_t total = 0;
+  for (const auto& p : parts) total += p.size(axis);
+  out_shape[static_cast<std::size_t>(axis)] = total;
+  int64_t outer = 1, inner = 1;
+  for (int64_t d = 0; d < axis; ++d) outer *= out_shape[static_cast<std::size_t>(d)];
+  for (int64_t d = axis + 1; d < static_cast<int64_t>(out_shape.size()); ++d)
+    inner *= out_shape[static_cast<std::size_t>(d)];
+  Tensor out = Tensor::zeros(out_shape);
+  real* po = out.data();
+  int64_t offset = 0;
+  for (const auto& p : parts) {
+    const int64_t len = p.size(axis);
+    const real* pp = p.data();
+    for (int64_t o = 0; o < outer; ++o) {
+      std::memcpy(po + (o * total + offset) * inner, pp + o * len * inner,
+                  static_cast<std::size_t>(len * inner) * sizeof(real));
+    }
+    offset += len;
+  }
+  std::vector<int64_t> lens;
+  for (const auto& p : parts) lens.push_back(p.size(axis));
+  return record(std::move(out), "concat", parts,
+                [axis, lens](const Tensor& g, const std::vector<bool>& needs) {
+                  std::vector<Tensor> gs(lens.size());
+                  int64_t off = 0;
+                  for (std::size_t i = 0; i < lens.size(); ++i) {
+                    if (needs[i]) gs[i] = slice(g, axis, off, lens[i]);
+                    off += lens[i];
+                  }
+                  return gs;
+                });
+}
+
+namespace {
+
+/// Raw (non-recording) conv1d gradient kernels.
+Tensor conv1d_grad_input(const Tensor& grad_out, const Tensor& weight,
+                         int64_t padding, int64_t L) {
+  const int64_t B = grad_out.size(0), Cout = grad_out.size(1),
+                Lout = grad_out.size(2);
+  const int64_t Cin = weight.size(1), K = weight.size(2);
+  Tensor gi = Tensor::zeros({B, Cin, L});
+  const real* pg = grad_out.data();
+  const real* pw = weight.data();
+  real* po = gi.data();
+  for (int64_t b = 0; b < B; ++b)
+    for (int64_t co = 0; co < Cout; ++co)
+      for (int64_t t = 0; t < Lout; ++t) {
+        const real g = pg[(b * Cout + co) * Lout + t];
+        if (g == 0) continue;
+        for (int64_t ci = 0; ci < Cin; ++ci)
+          for (int64_t k = 0; k < K; ++k) {
+            const int64_t src = t + k - padding;
+            if (src < 0 || src >= L) continue;
+            po[(b * Cin + ci) * L + src] += g * pw[(co * Cin + ci) * K + k];
+          }
+      }
+  return gi;
+}
+
+Tensor conv1d_grad_weight(const Tensor& grad_out, const Tensor& input,
+                          int64_t padding, int64_t Cout, int64_t K) {
+  const int64_t B = input.size(0), Cin = input.size(1), L = input.size(2);
+  const int64_t Lout = grad_out.size(2);
+  Tensor gw = Tensor::zeros({Cout, Cin, K});
+  const real* pg = grad_out.data();
+  const real* pi = input.data();
+  real* po = gw.data();
+  for (int64_t b = 0; b < B; ++b)
+    for (int64_t co = 0; co < Cout; ++co)
+      for (int64_t t = 0; t < Lout; ++t) {
+        const real g = pg[(b * Cout + co) * Lout + t];
+        if (g == 0) continue;
+        for (int64_t ci = 0; ci < Cin; ++ci)
+          for (int64_t k = 0; k < K; ++k) {
+            const int64_t src = t + k - padding;
+            if (src < 0 || src >= L) continue;
+            po[(co * Cin + ci) * K + k] += g * pi[(b * Cin + ci) * L + src];
+          }
+      }
+  return gw;
+}
+
+}  // namespace
+
+Tensor conv1d(const Tensor& input, const Tensor& weight, const Tensor& bias,
+              int64_t padding) {
+  if (input.dim() != 3 || weight.dim() != 3) {
+    throw std::invalid_argument("conv1d expects input [B,C,L], weight [O,C,K]");
+  }
+  const int64_t B = input.size(0), Cin = input.size(1), L = input.size(2);
+  const int64_t Cout = weight.size(0), K = weight.size(2);
+  if (weight.size(1) != Cin) throw std::invalid_argument("conv1d channel mismatch");
+  const int64_t Lout = L + 2 * padding - K + 1;
+  if (Lout <= 0) throw std::invalid_argument("conv1d: kernel larger than input");
+  Tensor out = Tensor::zeros({B, Cout, Lout});
+  const real* pi = input.data();
+  const real* pw = weight.data();
+  const real* pb = bias.defined() ? bias.data() : nullptr;
+  real* po = out.data();
+  for (int64_t b = 0; b < B; ++b)
+    for (int64_t co = 0; co < Cout; ++co) {
+      real* orow = po + (b * Cout + co) * Lout;
+      if (pb) {
+        for (int64_t t = 0; t < Lout; ++t) orow[t] = pb[co];
+      }
+      for (int64_t ci = 0; ci < Cin; ++ci) {
+        const real* irow = pi + (b * Cin + ci) * L;
+        const real* wrow = pw + (co * Cin + ci) * K;
+        for (int64_t t = 0; t < Lout; ++t) {
+          real acc = 0;
+          const int64_t k0 = std::max<int64_t>(0, padding - t);
+          const int64_t k1 = std::min<int64_t>(K, L + padding - t);
+          for (int64_t k = k0; k < k1; ++k) acc += wrow[k] * irow[t + k - padding];
+          orow[t] += acc;
+        }
+      }
+    }
+  std::vector<Tensor> ins = {input, weight};
+  if (bias.defined()) ins.push_back(bias);
+  const bool has_bias = bias.defined();
+  return record(
+      std::move(out), "conv1d", ins,
+      [input, weight, padding, L, Cout, K, has_bias](
+          const Tensor& g, const std::vector<bool>& needs) {
+        // First-order only: these gradients do not record further graph.
+        std::vector<Tensor> gs(has_bias ? 3 : 2);
+        if (needs[0]) gs[0] = conv1d_grad_input(g, weight, padding, L);
+        if (needs[1]) gs[1] = conv1d_grad_weight(g, input, padding, Cout, K);
+        if (has_bias && needs[2]) {
+          // Sum g over batch and length.
+          const int64_t B2 = g.size(0), Lout2 = g.size(2);
+          Tensor gb = Tensor::zeros({Cout});
+          const real* pg = g.data();
+          for (int64_t b = 0; b < B2; ++b)
+            for (int64_t co = 0; co < Cout; ++co)
+              for (int64_t t = 0; t < Lout2; ++t)
+                gb.flat(co) += pg[(b * Cout + co) * Lout2 + t];
+          gs[2] = gb;
+        }
+        return gs;
+      });
+}
+
+real reduce_max_abs(const Tensor& t) {
+  real m = 0;
+  for (int64_t i = 0; i < t.numel(); ++i) m = std::max(m, std::abs(t.flat(i)));
+  return m;
+}
+
+real mse(const Tensor& a, const Tensor& b) {
+  if (a.numel() != b.numel()) throw std::invalid_argument("mse: size mismatch");
+  real acc = 0;
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    const real d = a.flat(i) - b.flat(i);
+    acc += d * d;
+  }
+  return acc / static_cast<real>(a.numel());
+}
+
+real mae(const Tensor& a, const Tensor& b) {
+  if (a.numel() != b.numel()) throw std::invalid_argument("mae: size mismatch");
+  real acc = 0;
+  for (int64_t i = 0; i < a.numel(); ++i) acc += std::abs(a.flat(i) - b.flat(i));
+  return acc / static_cast<real>(a.numel());
+}
+
+}  // namespace mf::ad::ops

@@ -1,0 +1,77 @@
+#include "comm/cartesian.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mf::comm {
+
+std::pair<int, int> direction_offset(Direction d) {
+  switch (d) {
+    case Direction::kWest: return {-1, 0};
+    case Direction::kEast: return {1, 0};
+    case Direction::kSouth: return {0, -1};
+    case Direction::kNorth: return {0, 1};
+    case Direction::kSouthWest: return {-1, -1};
+    case Direction::kSouthEast: return {1, -1};
+    case Direction::kNorthWest: return {-1, 1};
+    case Direction::kNorthEast: return {1, 1};
+  }
+  throw std::logic_error("bad direction");
+}
+
+Direction opposite(Direction d) {
+  switch (d) {
+    case Direction::kWest: return Direction::kEast;
+    case Direction::kEast: return Direction::kWest;
+    case Direction::kSouth: return Direction::kNorth;
+    case Direction::kNorth: return Direction::kSouth;
+    case Direction::kSouthWest: return Direction::kNorthEast;
+    case Direction::kSouthEast: return Direction::kNorthWest;
+    case Direction::kNorthWest: return Direction::kSouthEast;
+    case Direction::kNorthEast: return Direction::kSouthWest;
+  }
+  throw std::logic_error("bad direction");
+}
+
+CartesianGrid::CartesianGrid(int world_size) : px_(0), py_(0) {
+  if (world_size < 1) throw std::invalid_argument("CartesianGrid: size >= 1");
+  // Most square factorization with px >= py.
+  int py = static_cast<int>(std::sqrt(static_cast<double>(world_size)));
+  while (py > 1 && world_size % py != 0) --py;
+  py_ = py;
+  px_ = world_size / py;
+}
+
+CartesianGrid::CartesianGrid(int px, int py) : px_(px), py_(py) {
+  if (px < 1 || py < 1) throw std::invalid_argument("CartesianGrid: bad dims");
+}
+
+int CartesianGrid::rank_of(int cx, int cy) const {
+  if (cx < 0 || cx >= px_ || cy < 0 || cy >= py_) {
+    throw std::out_of_range("CartesianGrid::rank_of");
+  }
+  return cy * px_ + cx;  // row-wise scan (paper Sec. 4.2)
+}
+
+std::pair<int, int> CartesianGrid::coords_of(int rank) const {
+  if (rank < 0 || rank >= size()) throw std::out_of_range("coords_of");
+  return {rank % px_, rank / px_};
+}
+
+int CartesianGrid::neighbor(int rank, Direction d) const {
+  const auto [cx, cy] = coords_of(rank);
+  const auto [dx, dy] = direction_offset(d);
+  const int nx = cx + dx, ny = cy + dy;
+  if (nx < 0 || nx >= px_ || ny < 0 || ny >= py_) return -1;
+  return rank_of(nx, ny);
+}
+
+std::array<int, kNumDirections> CartesianGrid::neighbors(int rank) const {
+  std::array<int, kNumDirections> out;
+  for (int d = 0; d < kNumDirections; ++d) {
+    out[static_cast<std::size_t>(d)] = neighbor(rank, static_cast<Direction>(d));
+  }
+  return out;
+}
+
+}  // namespace mf::comm

@@ -1,0 +1,54 @@
+// 2-D processor grid with row-wise scan rank placement and the 8-neighbor
+// stencil used by the distributed MF predictor (Sec. 4.2, Fig. 4).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace mf::comm {
+
+/// Stencil directions; orthogonal first, then diagonal (matching the
+/// paper's Fig. 4 distinction between orthogonal and diagonal neighbors).
+enum class Direction : int {
+  kWest = 0,
+  kEast = 1,
+  kSouth = 2,
+  kNorth = 3,
+  kSouthWest = 4,
+  kSouthEast = 5,
+  kNorthWest = 6,
+  kNorthEast = 7,
+};
+
+constexpr int kNumDirections = 8;
+
+/// The (dx, dy) offset of a direction.
+std::pair<int, int> direction_offset(Direction d);
+/// The direction pointing the opposite way (for matching send/recv tags).
+Direction opposite(Direction d);
+
+/// Factorizes P into the most square px x py grid (px >= py) and maps
+/// ranks row-wise: rank = cy * px + cx.
+class CartesianGrid {
+ public:
+  explicit CartesianGrid(int world_size);
+  CartesianGrid(int px, int py);
+
+  int px() const { return px_; }
+  int py() const { return py_; }
+  int size() const { return px_ * py_; }
+
+  int rank_of(int cx, int cy) const;
+  std::pair<int, int> coords_of(int rank) const;
+
+  /// Neighbor rank in direction `d`, or -1 at the domain edge.
+  int neighbor(int rank, Direction d) const;
+
+  /// All 8 neighbors (indexed by Direction), -1 where absent.
+  std::array<int, kNumDirections> neighbors(int rank) const;
+
+ private:
+  int px_, py_;
+};
+
+}  // namespace mf::comm

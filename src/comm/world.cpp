@@ -1,0 +1,152 @@
+#include "comm/world.hpp"
+
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+namespace mf::comm {
+
+void CommStats::Entry::merge(const Entry& o) {
+  messages += o.messages;
+  bytes += o.bytes;
+  modeled_seconds += o.modeled_seconds;
+  wall_seconds += o.wall_seconds;
+}
+
+CommStats::Entry CommStats::total() const {
+  Entry t;
+  t.merge(sendrecv);
+  t.merge(allreduce);
+  t.merge(allgather);
+  return t;
+}
+
+void CommStats::reset() { *this = CommStats{}; }
+
+int Communicator::size() const { return world_->size(); }
+
+const AlphaBetaModel& Communicator::model() const { return world_->model(); }
+
+void Communicator::send(int dst, const double* data, std::size_t n, int tag) {
+  World::Message msg{rank_, tag, std::vector<double>(data, data + n)};
+  world_->deliver(dst, std::move(msg));
+}
+
+void Communicator::send(int dst, const std::vector<double>& data, int tag) {
+  send(dst, data.data(), data.size(), tag);
+}
+
+void Communicator::recv(int src, double* data, std::size_t n, int tag) {
+  const auto t0 = std::chrono::steady_clock::now();
+  World::Message msg = world_->take(rank_, src, tag);
+  if (msg.payload.size() != n) {
+    throw std::logic_error("recv: size mismatch (expected " + std::to_string(n) +
+                           ", got " + std::to_string(msg.payload.size()) + ")");
+  }
+  std::copy(msg.payload.begin(), msg.payload.end(), data);
+  const auto t1 = std::chrono::steady_clock::now();
+  auto& e = (tag == internal_tag::kAllreduce || tag == internal_tag::kBarrier)
+                ? stats_.allreduce
+                : (tag == internal_tag::kAllgather ? stats_.allgather
+                                                   : stats_.sendrecv);
+  e.messages += 1;
+  e.bytes += n * sizeof(double);
+  e.modeled_seconds += world_->model().time(n * sizeof(double));
+  e.wall_seconds += std::chrono::duration<double>(t1 - t0).count();
+}
+
+std::vector<double> Communicator::recv_vec(int src, int tag) {
+  const auto t0 = std::chrono::steady_clock::now();
+  World::Message msg = world_->take(rank_, src, tag);
+  const auto t1 = std::chrono::steady_clock::now();
+  auto& e = (tag == internal_tag::kAllreduce || tag == internal_tag::kBarrier)
+                ? stats_.allreduce
+                : (tag == internal_tag::kAllgather ? stats_.allgather
+                                                   : stats_.sendrecv);
+  e.messages += 1;
+  e.bytes += msg.payload.size() * sizeof(double);
+  e.modeled_seconds += world_->model().time(msg.payload.size() * sizeof(double));
+  e.wall_seconds += std::chrono::duration<double>(t1 - t0).count();
+  return std::move(msg.payload);
+}
+
+void Communicator::sendrecv(int peer, const std::vector<double>& out,
+                            std::vector<double>& in, int tag) {
+  send(peer, out, tag);
+  in = recv_vec(peer, tag);
+}
+
+World::World(int size, AlphaBetaModel model) : size_(size), model_(model) {
+  if (size < 1) throw std::invalid_argument("World: size must be >= 1");
+  mailboxes_.reserve(static_cast<std::size_t>(size));
+  for (int i = 0; i < size; ++i) {
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+  }
+}
+
+void World::run(const std::function<void(Communicator&)>& rank_fn) {
+  // Clear stale messages from a previous (possibly failed) run.
+  for (auto& mb : mailboxes_) {
+    std::lock_guard<std::mutex> lock(mb->mutex);
+    mb->queue.clear();
+  }
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(size_));
+  std::vector<Communicator> comms;
+  comms.reserve(static_cast<std::size_t>(size_));
+  for (int r = 0; r < size_; ++r) comms.push_back(Communicator(this, r));
+
+  for (int r = 0; r < size_; ++r) {
+    threads.emplace_back([&, r]() {
+      try {
+        rank_fn(comms[static_cast<std::size_t>(r)]);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+        // Wake everyone so blocked ranks can eventually fail too. We keep
+        // it simple: notify all mailboxes.
+        for (auto& mb : mailboxes_) mb->cv.notify_all();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  last_stats_.clear();
+  for (const auto& c : comms) last_stats_.push_back(c.stats_);
+  for (const auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+double World::max_modeled_comm_seconds() const {
+  double m = 0;
+  for (const auto& s : last_stats_) {
+    m = std::max(m, s.total().modeled_seconds);
+  }
+  return m;
+}
+
+void World::deliver(int dst, Message msg) {
+  if (dst < 0 || dst >= size_) throw std::out_of_range("send: bad destination");
+  Mailbox& mb = *mailboxes_[static_cast<std::size_t>(dst)];
+  {
+    std::lock_guard<std::mutex> lock(mb.mutex);
+    mb.queue.push_back(std::move(msg));
+  }
+  mb.cv.notify_all();
+}
+
+World::Message World::take(int dst, int src, int tag) {
+  Mailbox& mb = *mailboxes_[static_cast<std::size_t>(dst)];
+  std::unique_lock<std::mutex> lock(mb.mutex);
+  for (;;) {
+    for (auto it = mb.queue.begin(); it != mb.queue.end(); ++it) {
+      if (it->src == src && it->tag == tag) {
+        Message msg = std::move(*it);
+        mb.queue.erase(it);
+        return msg;
+      }
+    }
+    mb.cv.wait(lock);
+  }
+}
+
+}  // namespace mf::comm

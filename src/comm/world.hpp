@@ -1,0 +1,140 @@
+// MPI-like message passing over in-process threads.
+//
+// The paper runs on GPU clusters with CUDA-aware MPI. This box has one
+// core and no MPI, so we reproduce the *interface semantics* (ranks,
+// matched send/recv, collectives, Cartesian topologies) over std::thread
+// "ranks" with in-memory channels, and reproduce the *performance model*
+// with an alpha-beta network clock (Sec. 4.3 of the paper): every receive
+// advances a per-rank modeled communication time by alpha + bytes/beta.
+// Benchmarks report both measured wall time and the modeled time, whose
+// scaling shape matches the paper's cluster interconnect.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace mf::comm {
+
+/// Alpha-beta cost model: time(bytes) = alpha + bytes / beta.
+struct AlphaBetaModel {
+  double alpha = 2e-6;     // per-message latency (s); ~ConnectX-5 IB
+  double beta = 12.5e9;    // bandwidth (bytes/s);     ~100 Gbit/s
+  double time(std::size_t bytes) const {
+    return alpha + static_cast<double>(bytes) / beta;
+  }
+
+  /// Presets mirroring Table 2 of the paper.
+  static AlphaBetaModel infiniband_100g() { return {2e-6, 12.5e9}; }
+  static AlphaBetaModel nvlink_200g() { return {1e-6, 200e9}; }
+  static AlphaBetaModel pcie_32g() { return {3e-6, 32e9}; }
+};
+
+/// Per-category communication accounting for one rank.
+struct CommStats {
+  struct Entry {
+    std::uint64_t messages = 0;
+    std::uint64_t bytes = 0;
+    double modeled_seconds = 0;
+    double wall_seconds = 0;
+    void merge(const Entry& o);
+  };
+  Entry sendrecv;   // point-to-point (halo exchange)
+  Entry allreduce;  // gradient/convergence reductions
+  Entry allgather;  // final solution assembly
+  Entry total() const;
+  void reset();
+};
+
+class World;
+
+/// Handle each rank uses to communicate. Thread-compatible: each rank owns
+/// exactly one Communicator and uses it from its own thread.
+class Communicator {
+ public:
+  int rank() const { return rank_; }
+  int size() const;
+
+  // ---- point-to-point ----
+  void send(int dst, const double* data, std::size_t n, int tag = 0);
+  void send(int dst, const std::vector<double>& data, int tag = 0);
+  /// Blocking receive of exactly `n` doubles matching (src, tag).
+  void recv(int src, double* data, std::size_t n, int tag = 0);
+  std::vector<double> recv_vec(int src, int tag = 0);
+  /// Paired exchange with one neighbor.
+  void sendrecv(int peer, const std::vector<double>& out,
+                std::vector<double>& in, int tag = 0);
+
+  // ---- collectives (all built on the point-to-point layer) ----
+  void allreduce_sum(double* data, std::size_t n);
+  double allreduce_sum(double value);
+  double allreduce_max(double value);
+  /// Gather variable-size contributions from every rank, in rank order.
+  std::vector<std::vector<double>> allgatherv(const std::vector<double>& local);
+  void barrier();
+
+  CommStats& stats() { return stats_; }
+  const AlphaBetaModel& model() const;
+
+ private:
+  friend class World;
+  Communicator(World* world, int rank) : world_(world), rank_(rank) {}
+
+  World* world_;
+  int rank_;
+  CommStats stats_;
+};
+
+/// Owns the mailboxes and spawns one thread per rank.
+class World {
+ public:
+  explicit World(int size, AlphaBetaModel model = {});
+
+  /// Run `rank_fn(comm)` on every rank; joins all threads; rethrows the
+  /// first rank exception, if any.
+  void run(const std::function<void(Communicator&)>& rank_fn);
+
+  int size() const { return size_; }
+  const AlphaBetaModel& model() const { return model_; }
+
+  /// Stats per rank from the last run().
+  const std::vector<CommStats>& last_stats() const { return last_stats_; }
+  /// Maximum modeled total communication seconds across ranks.
+  double max_modeled_comm_seconds() const;
+
+ private:
+  friend class Communicator;
+
+  struct Message {
+    int src;
+    int tag;
+    std::vector<double> payload;
+  };
+
+  struct Mailbox {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<Message> queue;
+  };
+
+  void deliver(int dst, Message msg);
+  Message take(int dst, int src, int tag);
+
+  int size_;
+  AlphaBetaModel model_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::vector<CommStats> last_stats_;
+};
+
+/// Internal tags used by collectives; user tags must be >= 0.
+namespace internal_tag {
+constexpr int kAllreduce = -101;
+constexpr int kAllgather = -102;
+constexpr int kBarrier = -103;
+}  // namespace internal_tag
+
+}  // namespace mf::comm

@@ -1,0 +1,81 @@
+// Dataset generation following Sec. 5.1 of the paper: boundary conditions
+// are sample paths of 1-D Gaussian processes whose kernel hyperparameters
+// come from a Sobol sequence; each boundary value problem is solved with
+// the multigrid solver (our pyAMG substitute) to produce ground truth.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ad/tensor.hpp"
+#include "gp/gaussian_process.hpp"
+#include "gp/sobol.hpp"
+#include "linalg/grid2d.hpp"
+#include "util/rng.hpp"
+
+namespace mf::gp {
+
+/// A boundary value problem for the Laplace equation together with its
+/// numerical reference solution.
+struct SolvedBvp {
+  std::vector<double> boundary;  // perimeter values, canonical order
+  linalg::Grid2D solution;       // (nx x ny) points including boundary
+};
+
+/// Ranges for the GP kernel hyperparameters swept by the Sobol sequence.
+struct GpBoundaryConfig {
+  double min_length_scale = 0.10;
+  double max_length_scale = 0.60;
+  double min_variance = 0.25;
+  double max_variance = 1.00;
+};
+
+/// Training tensors for one batch of boundary value problems.
+struct SdnetBatch {
+  ad::Tensor g;         // [B, 4m]  discretized boundary conditions
+  ad::Tensor x_data;    // [B, q, 2] coordinates with known solution
+  ad::Tensor y_data;    // [B, q, 1] reference solution values
+  ad::Tensor x_colloc;  // [B, qc, 2] collocation coordinates
+};
+
+/// Generates solved BVPs on the (m cells per side) training subdomain and
+/// assembles training batches for SDNet.
+class LaplaceDatasetGenerator {
+ public:
+  /// `m`: grid cells per subdomain side (boundary has 4m points).
+  LaplaceDatasetGenerator(int64_t m, GpBoundaryConfig cfg = {},
+                          std::uint64_t seed = 0);
+
+  /// A fresh BVP: new kernel hyperparameters from the Sobol sequence, a GP
+  /// sample path as boundary, multigrid solution as ground truth.
+  SolvedBvp generate();
+
+  /// `count` BVPs.
+  std::vector<SolvedBvp> generate_many(int64_t count);
+
+  /// Assemble training tensors. Data points are drawn from the solution
+  /// grid; collocation points are uniform in the open unit square.
+  SdnetBatch make_batch(const std::vector<SolvedBvp>& bvps, int64_t q_data,
+                        int64_t q_colloc);
+
+  /// GP boundary + multigrid reference on an arbitrary rectangle of
+  /// (nx_cells x ny_cells) grid cells — test problems for the MF predictor.
+  SolvedBvp generate_global(int64_t nx_cells, int64_t ny_cells);
+
+  int64_t m() const { return m_; }
+  int64_t boundary_size() const { return 4 * m_; }
+
+ private:
+  PeriodicRbfKernel next_kernel();
+
+  int64_t m_;
+  GpBoundaryConfig cfg_;
+  SobolSequence sobol_{2};
+  util::Rng rng_;
+};
+
+/// Deterministic analytic boundary g(x) = sin(2*pi*x) applied along the
+/// bottom edge with zero elsewhere — the Fig. 7 test condition.
+std::vector<double> sin_boundary(int64_t nx, int64_t ny, double frequency = 1.0);
+
+}  // namespace mf::gp

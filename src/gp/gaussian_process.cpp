@@ -1,0 +1,81 @@
+#include "gp/gaussian_process.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mf::gp {
+
+double RbfKernel::operator()(double s, double t) const {
+  const double d = s - t;
+  return variance * std::exp(-d * d / (2 * length_scale * length_scale));
+}
+
+double PeriodicRbfKernel::operator()(double s, double t) const {
+  const double sp = std::sin(M_PI * (s - t));
+  return variance * std::exp(-2 * sp * sp / (length_scale * length_scale));
+}
+
+std::vector<double> cholesky(std::vector<double> a, int64_t n,
+                             double initial_jitter) {
+  const std::vector<double> original = a;
+  double jitter = initial_jitter;
+  for (int attempt = 0; attempt < 12; ++attempt) {
+    a = original;
+    for (int64_t i = 0; i < n; ++i) a[static_cast<std::size_t>(i * n + i)] += jitter;
+    bool ok = true;
+    for (int64_t j = 0; j < n && ok; ++j) {
+      double d = a[static_cast<std::size_t>(j * n + j)];
+      for (int64_t k = 0; k < j; ++k) {
+        const double l = a[static_cast<std::size_t>(j * n + k)];
+        d -= l * l;
+      }
+      if (d <= 0) {
+        ok = false;
+        break;
+      }
+      const double dj = std::sqrt(d);
+      a[static_cast<std::size_t>(j * n + j)] = dj;
+      for (int64_t i = j + 1; i < n; ++i) {
+        double s = a[static_cast<std::size_t>(i * n + j)];
+        for (int64_t k = 0; k < j; ++k) {
+          s -= a[static_cast<std::size_t>(i * n + k)] *
+               a[static_cast<std::size_t>(j * n + k)];
+        }
+        a[static_cast<std::size_t>(i * n + j)] = s / dj;
+      }
+    }
+    if (ok) {
+      // Zero the strict upper triangle for cleanliness.
+      for (int64_t i = 0; i < n; ++i)
+        for (int64_t j = i + 1; j < n; ++j) a[static_cast<std::size_t>(i * n + j)] = 0;
+      return a;
+    }
+    jitter *= 10;
+  }
+  throw std::runtime_error("cholesky: matrix not positive definite");
+}
+
+std::vector<double> GpSampler::sample(util::Rng& rng) const {
+  const int64_t n = size();
+  std::vector<double> z(static_cast<std::size_t>(n));
+  for (auto& v : z) v = rng.normal();
+  std::vector<double> out(static_cast<std::size_t>(n), 0.0);
+  for (int64_t i = 0; i < n; ++i) {
+    double s = 0;
+    for (int64_t j = 0; j <= i; ++j) {
+      s += chol_[static_cast<std::size_t>(i * n + j)] * z[static_cast<std::size_t>(j)];
+    }
+    out[static_cast<std::size_t>(i)] = s;
+  }
+  return out;
+}
+
+std::vector<double> unit_circle_points(int64_t n) {
+  std::vector<double> pts(static_cast<std::size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    pts[static_cast<std::size_t>(i)] = static_cast<double>(i) / static_cast<double>(n);
+  }
+  return pts;
+}
+
+}  // namespace mf::gp

@@ -1,0 +1,71 @@
+// 1-D Gaussian-process sampling of boundary conditions (Sec. 5.1).
+// A periodic squared-exponential kernel on the subdomain perimeter gives
+// infinitely differentiable boundary curves that close continuously around
+// the four corners.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace mf::gp {
+
+/// Squared-exponential kernel k(s, s') = variance * exp(-(s-s')^2 / 2l^2).
+struct RbfKernel {
+  double length_scale = 0.2;
+  double variance = 1.0;
+  double operator()(double s, double t) const;
+};
+
+/// Periodic squared-exponential kernel with period 1:
+/// k(s, s') = variance * exp(-2 sin^2(pi (s - s')) / l^2).
+struct PeriodicRbfKernel {
+  double length_scale = 0.2;
+  double variance = 1.0;
+  double operator()(double s, double t) const;
+};
+
+/// Dense Cholesky factorization A = L L^T with jitter escalation.
+/// Returns the lower factor; throws if the matrix is not PD even with the
+/// maximum jitter.
+std::vector<double> cholesky(std::vector<double> a, int64_t n,
+                             double initial_jitter = 1e-10);
+
+/// Draws sample paths of a 1-D GP evaluated at `points` (values of the
+/// curve parameter, typically equispaced in [0,1)).
+class GpSampler {
+ public:
+  template <typename Kernel>
+  GpSampler(const Kernel& kernel, std::vector<double> points)
+      : points_(std::move(points)) {
+    build(kernel);
+  }
+
+  /// One sample path: values at each point.
+  std::vector<double> sample(util::Rng& rng) const;
+
+  int64_t size() const { return static_cast<int64_t>(points_.size()); }
+  const std::vector<double>& points() const { return points_; }
+
+ private:
+  template <typename Kernel>
+  void build(const Kernel& kernel) {
+    const int64_t n = size();
+    std::vector<double> cov(static_cast<std::size_t>(n * n));
+    for (int64_t i = 0; i < n; ++i)
+      for (int64_t j = 0; j < n; ++j)
+        cov[static_cast<std::size_t>(i * n + j)] =
+            kernel(points_[static_cast<std::size_t>(i)],
+                   points_[static_cast<std::size_t>(j)]);
+    chol_ = cholesky(std::move(cov), n);
+  }
+
+  std::vector<double> points_;
+  std::vector<double> chol_;  // lower triangular, row-major n x n
+};
+
+/// Equispaced parameter values {0, 1/n, ..., (n-1)/n}.
+std::vector<double> unit_circle_points(int64_t n);
+
+}  // namespace mf::gp

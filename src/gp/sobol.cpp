@@ -1,0 +1,82 @@
+#include "gp/sobol.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace mf::gp {
+
+namespace {
+
+constexpr int kBits = 31;
+
+/// Joe & Kuo (2008) primitive polynomials and initial direction numbers
+/// for dimensions 2..8 (dimension 1 uses the van der Corput sequence).
+struct DimInit {
+  std::uint32_t s;        // degree
+  std::uint32_t a;        // polynomial coefficient bits
+  std::uint32_t m[8];     // initial m values
+};
+
+constexpr DimInit kDims[] = {
+    {1, 0, {1, 0, 0, 0, 0, 0, 0, 0}},
+    {2, 1, {1, 3, 0, 0, 0, 0, 0, 0}},
+    {3, 1, {1, 3, 1, 0, 0, 0, 0, 0}},
+    {3, 2, {1, 1, 1, 0, 0, 0, 0, 0}},
+    {4, 1, {1, 1, 3, 3, 0, 0, 0, 0}},
+    {4, 4, {1, 3, 5, 13, 0, 0, 0, 0}},
+    {5, 2, {1, 1, 5, 5, 17, 0, 0, 0}},
+};
+
+}  // namespace
+
+SobolSequence::SobolSequence(int dimensions) : dim_(dimensions) {
+  if (dimensions < 1 || dimensions > kMaxDimensions) {
+    throw std::invalid_argument("SobolSequence: 1..8 dimensions supported");
+  }
+  v_.resize(static_cast<std::size_t>(dim_));
+  x_.assign(static_cast<std::size_t>(dim_), 0);
+  // Dimension 0: van der Corput — v[k] = 2^(kBits - k - 1).
+  v_[0].resize(kBits);
+  for (int k = 0; k < kBits; ++k) v_[0][static_cast<std::size_t>(k)] = 1u << (kBits - k - 1);
+  for (int d = 1; d < dim_; ++d) {
+    const DimInit& di = kDims[d - 1];
+    auto& v = v_[static_cast<std::size_t>(d)];
+    v.resize(kBits);
+    const auto s = di.s;
+    for (std::uint32_t k = 0; k < s && k < kBits; ++k) {
+      v[k] = di.m[k] << (kBits - k - 1);
+    }
+    for (std::uint32_t k = s; k < kBits; ++k) {
+      v[k] = v[k - s] ^ (v[k - s] >> s);
+      for (std::uint32_t l = 1; l < s; ++l) {
+        if ((di.a >> (s - 1 - l)) & 1u) v[k] ^= v[k - l];
+      }
+    }
+  }
+}
+
+std::vector<double> SobolSequence::next() {
+  // Gray-code update: flip the direction number of the lowest zero bit.
+  std::vector<double> out(static_cast<std::size_t>(dim_));
+  if (index_ == 0) {
+    // First point is the origin.
+    for (int d = 0; d < dim_; ++d) out[static_cast<std::size_t>(d)] = 0.0;
+    ++index_;
+    return out;
+  }
+  const int c = std::countr_one(index_ - 1);  // position of lowest zero bit
+  for (int d = 0; d < dim_; ++d) {
+    x_[static_cast<std::size_t>(d)] ^= v_[static_cast<std::size_t>(d)][static_cast<std::size_t>(c)];
+    out[static_cast<std::size_t>(d)] =
+        static_cast<double>(x_[static_cast<std::size_t>(d)]) /
+        static_cast<double>(1ull << kBits);
+  }
+  ++index_;
+  return out;
+}
+
+void SobolSequence::skip(std::uint64_t n) {
+  for (std::uint64_t i = 0; i < n; ++i) next();
+}
+
+}  // namespace mf::gp

@@ -1,0 +1,33 @@
+// Sobol low-discrepancy sequence (Sec. 5.1: kernel hyperparameters of the
+// boundary-condition Gaussian processes are drawn from a Sobol sequence).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mf::gp {
+
+/// Gray-code Sobol sequence generator, direction numbers from Joe & Kuo.
+/// Supports up to 8 dimensions (the data-generation recipe needs 2-3).
+class SobolSequence {
+ public:
+  explicit SobolSequence(int dimensions);
+
+  /// Next point in [0,1)^d.
+  std::vector<double> next();
+
+  /// Skip ahead (regenerates from scratch; O(n)).
+  void skip(std::uint64_t n);
+
+  int dimensions() const { return dim_; }
+
+  static constexpr int kMaxDimensions = 8;
+
+ private:
+  int dim_;
+  std::uint64_t index_ = 0;
+  std::vector<std::vector<std::uint32_t>> v_;  // direction numbers per dim
+  std::vector<std::uint32_t> x_;               // current integer state
+};
+
+}  // namespace mf::gp

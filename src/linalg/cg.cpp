@@ -1,0 +1,69 @@
+#include "linalg/cg.hpp"
+
+#include <cmath>
+#include <vector>
+
+namespace mf::linalg {
+
+namespace {
+
+/// y = A x on interior unknowns, A = -Δ_h, with zero Dirichlet halo.
+void apply_A(const Grid2D& x, double h, Grid2D& y) {
+  const double inv_h2 = 1.0 / (h * h);
+  for (int64_t j = 1; j < x.ny() - 1; ++j) {
+    for (int64_t i = 1; i < x.nx() - 1; ++i) {
+      y.at(i, j) = (4.0 * x.at(i, j) - x.at(i + 1, j) - x.at(i - 1, j) -
+                    x.at(i, j + 1) - x.at(i, j - 1)) * inv_h2;
+    }
+  }
+}
+
+double dot_interior(const Grid2D& a, const Grid2D& b) {
+  double s = 0;
+  for (int64_t j = 1; j < a.ny() - 1; ++j)
+    for (int64_t i = 1; i < a.nx() - 1; ++i) s += a.at(i, j) * b.at(i, j);
+  return s;
+}
+
+}  // namespace
+
+CgResult cg_solve(Grid2D& u, const Grid2D& f, double h, double tol,
+                  int max_iters) {
+  CgResult res;
+  const int64_t nx = u.nx(), ny = u.ny();
+  // r = f - A u, with the boundary contribution of u folded into r.
+  Grid2D r(nx, ny), p(nx, ny), Ap(nx, ny);
+  residual(u, f, h, r);
+  p = r;
+  double rr = dot_interior(r, r);
+  const double n_int = static_cast<double>((nx - 2) * (ny - 2));
+  for (int it = 1; it <= max_iters; ++it) {
+    apply_A(p, h, Ap);
+    // The boundary of p is zero except where it borders u's Dirichlet
+    // values; those were folded into the initial residual, and p keeps
+    // zero edges, so apply_A is exact for the interior system.
+    const double pAp = dot_interior(p, Ap);
+    if (pAp <= 0) break;  // numerical breakdown
+    const double alpha = rr / pAp;
+    for (int64_t j = 1; j < ny - 1; ++j)
+      for (int64_t i = 1; i < nx - 1; ++i) {
+        u.at(i, j) += alpha * p.at(i, j);
+        r.at(i, j) -= alpha * Ap.at(i, j);
+      }
+    const double rr_new = dot_interior(r, r);
+    res.iterations = it;
+    res.final_residual = std::sqrt(rr_new / n_int);
+    if (res.final_residual < tol) {
+      res.converged = true;
+      break;
+    }
+    const double beta = rr_new / rr;
+    rr = rr_new;
+    for (int64_t j = 1; j < ny - 1; ++j)
+      for (int64_t i = 1; i < nx - 1; ++i)
+        p.at(i, j) = r.at(i, j) + beta * p.at(i, j);
+  }
+  return res;
+}
+
+}  // namespace mf::linalg

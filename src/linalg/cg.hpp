@@ -1,0 +1,19 @@
+// Conjugate gradients on the interior unknowns of -Δ_h u = f (SPD with
+// Dirichlet boundaries). Provided as an independent cross-check of the
+// multigrid solver.
+#pragma once
+
+#include "linalg/grid2d.hpp"
+
+namespace mf::linalg {
+
+struct CgResult {
+  int iterations = 0;
+  double final_residual = 0.0;
+  bool converged = false;
+};
+
+CgResult cg_solve(Grid2D& u, const Grid2D& f, double h, double tol = 1e-10,
+                  int max_iters = 10000);
+
+}  // namespace mf::linalg

@@ -1,0 +1,101 @@
+#include "linalg/grid2d.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mf::linalg {
+
+Grid2D::Grid2D(int64_t nx, int64_t ny, double fill)
+    : nx_(nx), ny_(ny), v_(static_cast<std::size_t>(nx * ny), fill) {
+  if (nx < 2 || ny < 2) throw std::invalid_argument("Grid2D: need >= 2 points");
+}
+
+void Grid2D::fill(double value) {
+  std::fill(v_.begin(), v_.end(), value);
+}
+
+void Grid2D::zero_interior() {
+  for (int64_t j = 1; j < ny_ - 1; ++j)
+    for (int64_t i = 1; i < nx_ - 1; ++i) at(i, j) = 0.0;
+}
+
+double Grid2D::max_abs_diff(const Grid2D& a, const Grid2D& b) {
+  double m = 0;
+  for (std::size_t k = 0; k < a.v_.size(); ++k) {
+    m = std::max(m, std::abs(a.v_[k] - b.v_[k]));
+  }
+  return m;
+}
+
+double Grid2D::mean_abs_diff(const Grid2D& a, const Grid2D& b) {
+  double s = 0;
+  for (std::size_t k = 0; k < a.v_.size(); ++k) s += std::abs(a.v_[k] - b.v_[k]);
+  return s / static_cast<double>(a.v_.size());
+}
+
+int64_t perimeter_size(int64_t nx, int64_t ny) { return 2 * (nx - 1) + 2 * (ny - 1); }
+
+namespace {
+
+/// Visit perimeter points in the canonical order, calling fn(i, j, k)
+/// where k is the position in the boundary vector.
+template <typename F>
+void for_each_perimeter(int64_t nx, int64_t ny, F&& fn) {
+  int64_t k = 0;
+  for (int64_t i = 0; i < nx - 1; ++i) fn(i, int64_t{0}, k++);           // bottom
+  for (int64_t j = 0; j < ny - 1; ++j) fn(nx - 1, j, k++);               // right
+  for (int64_t i = nx - 1; i > 0; --i) fn(i, ny - 1, k++);               // top
+  for (int64_t j = ny - 1; j > 0; --j) fn(int64_t{0}, j, k++);           // left
+}
+
+}  // namespace
+
+std::vector<double> extract_perimeter(const Grid2D& g) {
+  std::vector<double> out(static_cast<std::size_t>(perimeter_size(g.nx(), g.ny())));
+  for_each_perimeter(g.nx(), g.ny(), [&](int64_t i, int64_t j, int64_t k) {
+    out[static_cast<std::size_t>(k)] = g.at(i, j);
+  });
+  return out;
+}
+
+void apply_perimeter(Grid2D& g, const std::vector<double>& boundary) {
+  if (static_cast<int64_t>(boundary.size()) != perimeter_size(g.nx(), g.ny())) {
+    throw std::invalid_argument("apply_perimeter: size mismatch");
+  }
+  for_each_perimeter(g.nx(), g.ny(), [&](int64_t i, int64_t j, int64_t k) {
+    g.at(i, j) = boundary[static_cast<std::size_t>(k)];
+  });
+}
+
+std::vector<std::pair<double, double>> perimeter_coords(int64_t nx, int64_t ny,
+                                                        double h) {
+  std::vector<std::pair<double, double>> out(
+      static_cast<std::size_t>(perimeter_size(nx, ny)));
+  for_each_perimeter(nx, ny, [&](int64_t i, int64_t j, int64_t k) {
+    out[static_cast<std::size_t>(k)] = {i * h, j * h};
+  });
+  return out;
+}
+
+void residual(const Grid2D& u, const Grid2D& f, double h, Grid2D& r) {
+  const double inv_h2 = 1.0 / (h * h);
+  r.fill(0.0);
+  for (int64_t j = 1; j < u.ny() - 1; ++j) {
+    for (int64_t i = 1; i < u.nx() - 1; ++i) {
+      const double lap = (u.at(i + 1, j) + u.at(i - 1, j) + u.at(i, j + 1) +
+                          u.at(i, j - 1) - 4.0 * u.at(i, j)) * inv_h2;
+      // A u = -Δu; r = f - A u = f + Δu
+      r.at(i, j) = f.at(i, j) + lap;
+    }
+  }
+}
+
+double residual_norm(const Grid2D& u, const Grid2D& f, double h) {
+  Grid2D r(u.nx(), u.ny());
+  residual(u, f, h, r);
+  double s = 0;
+  for (double v : r.vec()) s += v * v;
+  return std::sqrt(s / static_cast<double>(u.numel()));
+}
+
+}  // namespace mf::linalg

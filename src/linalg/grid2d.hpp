@@ -1,0 +1,70 @@
+// Uniform 2-D grid fields and the 5-point Laplacian, shared by the
+// numerical solvers (the pyAMG substitute used for ground truth) and the
+// Mosaic Flow lattice bookkeeping.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mf::linalg {
+
+/// A scalar field sampled on an nx x ny grid of *points* (not cells),
+/// stored row-major with y as the slow axis: value(i, j) with
+/// i in [0, nx), j in [0, ny). Physical spacing is uniform and identical
+/// in both directions.
+class Grid2D {
+ public:
+  Grid2D() = default;
+  Grid2D(int64_t nx, int64_t ny, double fill = 0.0);
+
+  int64_t nx() const { return nx_; }
+  int64_t ny() const { return ny_; }
+  int64_t numel() const { return nx_ * ny_; }
+
+  double& at(int64_t i, int64_t j) { return v_[static_cast<std::size_t>(j * nx_ + i)]; }
+  double at(int64_t i, int64_t j) const { return v_[static_cast<std::size_t>(j * nx_ + i)]; }
+
+  double* data() { return v_.data(); }
+  const double* data() const { return v_.data(); }
+  std::vector<double>& vec() { return v_; }
+  const std::vector<double>& vec() const { return v_; }
+
+  void fill(double value);
+  /// Zero interior points, keeping boundary values.
+  void zero_interior();
+
+  /// Max |a - b| over all points.
+  static double max_abs_diff(const Grid2D& a, const Grid2D& b);
+  /// Mean |a - b| over all points.
+  static double mean_abs_diff(const Grid2D& a, const Grid2D& b);
+
+ private:
+  int64_t nx_ = 0, ny_ = 0;
+  std::vector<double> v_;
+};
+
+/// Perimeter ordering convention used across the library (training data,
+/// SDNet inputs, MFP lattice): counter-clockwise starting at (0,0) —
+/// bottom edge left-to-right, right edge bottom-to-top, top edge
+/// right-to-left, left edge top-to-bottom. Each corner appears once, so a
+/// square (m+1)x(m+1)-point grid yields 4m values.
+std::vector<double> extract_perimeter(const Grid2D& g);
+
+/// Write perimeter values (same ordering) onto the edges of `g`.
+void apply_perimeter(Grid2D& g, const std::vector<double>& boundary);
+
+/// Number of perimeter points for an nx x ny point grid.
+int64_t perimeter_size(int64_t nx, int64_t ny);
+
+/// Physical (x, y) coordinates of each perimeter point, unit spacing h.
+std::vector<std::pair<double, double>> perimeter_coords(int64_t nx, int64_t ny,
+                                                        double h);
+
+/// r = f - A u with A = -Δ_h (5-point stencil), evaluated on interior
+/// points; boundary entries of r are zero.
+void residual(const Grid2D& u, const Grid2D& f, double h, Grid2D& r);
+
+/// ||r||_2 normalized by point count.
+double residual_norm(const Grid2D& u, const Grid2D& f, double h);
+
+}  // namespace mf::linalg

@@ -1,0 +1,99 @@
+#include "linalg/multigrid.hpp"
+
+#include <cmath>
+
+#include "linalg/smoothers.hpp"
+
+namespace mf::linalg {
+
+namespace {
+
+bool can_coarsen(int64_t n, int64_t coarsest) {
+  return (n - 1) % 2 == 0 && (n - 1) / 2 + 1 >= coarsest;
+}
+
+/// Full-weighting restriction of the residual to the coarse grid.
+Grid2D restrict_full_weighting(const Grid2D& fine) {
+  const int64_t ncx = (fine.nx() - 1) / 2 + 1;
+  const int64_t ncy = (fine.ny() - 1) / 2 + 1;
+  Grid2D coarse(ncx, ncy);
+  for (int64_t J = 1; J < ncy - 1; ++J) {
+    for (int64_t I = 1; I < ncx - 1; ++I) {
+      const int64_t i = 2 * I, j = 2 * J;
+      coarse.at(I, J) =
+          0.25 * fine.at(i, j) +
+          0.125 * (fine.at(i - 1, j) + fine.at(i + 1, j) + fine.at(i, j - 1) +
+                   fine.at(i, j + 1)) +
+          0.0625 * (fine.at(i - 1, j - 1) + fine.at(i + 1, j - 1) +
+                    fine.at(i - 1, j + 1) + fine.at(i + 1, j + 1));
+    }
+  }
+  return coarse;
+}
+
+/// Bilinear prolongation; adds the coarse correction into the fine grid
+/// interior.
+void prolong_and_correct(Grid2D& fine, const Grid2D& coarse) {
+  const int64_t nfx = fine.nx(), nfy = fine.ny();
+  for (int64_t j = 1; j < nfy - 1; ++j) {
+    for (int64_t i = 1; i < nfx - 1; ++i) {
+      const int64_t I = i / 2, J = j / 2;
+      double c;
+      if (i % 2 == 0 && j % 2 == 0) {
+        c = coarse.at(I, J);
+      } else if (i % 2 == 1 && j % 2 == 0) {
+        c = 0.5 * (coarse.at(I, J) + coarse.at(I + 1, J));
+      } else if (i % 2 == 0 && j % 2 == 1) {
+        c = 0.5 * (coarse.at(I, J) + coarse.at(I, J + 1));
+      } else {
+        c = 0.25 * (coarse.at(I, J) + coarse.at(I + 1, J) +
+                    coarse.at(I, J + 1) + coarse.at(I + 1, J + 1));
+      }
+      fine.at(i, j) += c;
+    }
+  }
+}
+
+}  // namespace
+
+void v_cycle(Grid2D& u, const Grid2D& f, double h, const MultigridOptions& opts) {
+  const bool coarsen =
+      can_coarsen(u.nx(), opts.coarsest) && can_coarsen(u.ny(), opts.coarsest);
+  if (!coarsen) {
+    // Coarsest level (or odd-sized grid): solve nearly exactly by SOR.
+    const double omega = sor_optimal_omega(std::max(u.nx(), u.ny()));
+    for (int s = 0; s < 100; ++s) sor_sweep(u, f, h, omega);
+    return;
+  }
+  for (int s = 0; s < opts.pre_smooth; ++s) red_black_gs_sweep(u, f, h);
+  Grid2D r(u.nx(), u.ny());
+  residual(u, f, h, r);
+  Grid2D rc = restrict_full_weighting(r);
+  Grid2D ec(rc.nx(), rc.ny());  // zero initial guess, zero boundary
+  v_cycle(ec, rc, 2 * h, opts);
+  prolong_and_correct(u, ec);
+  for (int s = 0; s < opts.post_smooth; ++s) red_black_gs_sweep(u, f, h);
+}
+
+MultigridResult multigrid_solve(Grid2D& u, const Grid2D& f, double h,
+                                const MultigridOptions& opts) {
+  MultigridResult res;
+  for (int c = 1; c <= opts.max_cycles; ++c) {
+    v_cycle(u, f, h, opts);
+    res.cycles = c;
+    res.final_residual = residual_norm(u, f, h);
+    if (res.final_residual < opts.tol) {
+      res.converged = true;
+      break;
+    }
+  }
+  return res;
+}
+
+MultigridResult solve_laplace_mg(Grid2D& u, double h,
+                                 const MultigridOptions& opts) {
+  Grid2D f(u.nx(), u.ny(), 0.0);
+  return multigrid_solve(u, f, h, opts);
+}
+
+}  // namespace mf::linalg

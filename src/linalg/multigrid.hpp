@@ -1,0 +1,39 @@
+// Geometric multigrid V-cycle for -Δ_h u = f with Dirichlet boundaries.
+// This is our substitute for pyAMG (Sec. 5.1 of the paper): both produce
+// the discrete harmonic solution used as training data and ground truth.
+#pragma once
+
+#include "linalg/grid2d.hpp"
+
+namespace mf::linalg {
+
+struct MultigridOptions {
+  int pre_smooth = 2;
+  int post_smooth = 2;
+  int max_cycles = 60;
+  double tol = 1e-11;          // residual norm target
+  int64_t coarsest = 3;        // direct-ish solve below this many points
+};
+
+struct MultigridResult {
+  int cycles = 0;
+  double final_residual = 0.0;
+  bool converged = false;
+};
+
+/// Solve in place. `u` carries the Dirichlet boundary values on its edges;
+/// the interior is used as the initial guess. Grid sides must satisfy
+/// (n - 1) divisible by 2 down to `coarsest` for full efficiency; sides
+/// that stop coarsening early fall back to extra smoothing on the
+/// coarsest level reached.
+MultigridResult multigrid_solve(Grid2D& u, const Grid2D& f, double h,
+                                const MultigridOptions& opts = {});
+
+/// Convenience: Laplace (f = 0) with boundary already set on u's edges.
+MultigridResult solve_laplace_mg(Grid2D& u, double h,
+                                 const MultigridOptions& opts = {});
+
+/// One V-cycle (exposed for convergence-factor tests).
+void v_cycle(Grid2D& u, const Grid2D& f, double h, const MultigridOptions& opts);
+
+}  // namespace mf::linalg

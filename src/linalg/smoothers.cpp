@@ -1,0 +1,61 @@
+#include "linalg/smoothers.hpp"
+
+#include <cmath>
+
+namespace mf::linalg {
+
+void jacobi_sweep(Grid2D& u, const Grid2D& f, double h, double omega) {
+  const double h2 = h * h;
+  Grid2D next = u;
+  for (int64_t j = 1; j < u.ny() - 1; ++j) {
+    for (int64_t i = 1; i < u.nx() - 1; ++i) {
+      const double gs = 0.25 * (u.at(i + 1, j) + u.at(i - 1, j) +
+                                u.at(i, j + 1) + u.at(i, j - 1) + h2 * f.at(i, j));
+      next.at(i, j) = (1 - omega) * u.at(i, j) + omega * gs;
+    }
+  }
+  u = next;
+}
+
+void gauss_seidel_sweep(Grid2D& u, const Grid2D& f, double h) {
+  sor_sweep(u, f, h, 1.0);
+}
+
+void sor_sweep(Grid2D& u, const Grid2D& f, double h, double omega) {
+  const double h2 = h * h;
+  for (int64_t j = 1; j < u.ny() - 1; ++j) {
+    for (int64_t i = 1; i < u.nx() - 1; ++i) {
+      const double gs = 0.25 * (u.at(i + 1, j) + u.at(i - 1, j) +
+                                u.at(i, j + 1) + u.at(i, j - 1) + h2 * f.at(i, j));
+      u.at(i, j) += omega * (gs - u.at(i, j));
+    }
+  }
+}
+
+void red_black_gs_sweep(Grid2D& u, const Grid2D& f, double h) {
+  const double h2 = h * h;
+  for (int color = 0; color < 2; ++color) {
+    for (int64_t j = 1; j < u.ny() - 1; ++j) {
+      for (int64_t i = 1 + ((j + color) & 1); i < u.nx() - 1; i += 2) {
+        u.at(i, j) = 0.25 * (u.at(i + 1, j) + u.at(i - 1, j) + u.at(i, j + 1) +
+                             u.at(i, j - 1) + h2 * f.at(i, j));
+      }
+    }
+  }
+}
+
+double sor_optimal_omega(int64_t n) {
+  const double rho = std::cos(M_PI / static_cast<double>(n - 1));
+  return 2.0 / (1.0 + std::sqrt(1.0 - rho * rho));
+}
+
+int smooth_to_tolerance(Grid2D& u, const Grid2D& f, double h, double tol,
+                        int max_sweeps, double omega) {
+  for (int s = 1; s <= max_sweeps; ++s) {
+    sor_sweep(u, f, h, omega);
+    if (residual_norm(u, f, h) < tol) return s;
+  }
+  return max_sweeps;
+}
+
+}  // namespace mf::linalg

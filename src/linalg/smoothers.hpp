@@ -1,0 +1,31 @@
+// Stationary iterative methods for -Δ_h u = f with Dirichlet boundaries
+// held in the edge entries of u: Jacobi, Gauss-Seidel, SOR, red-black GS.
+#pragma once
+
+#include "linalg/grid2d.hpp"
+
+namespace mf::linalg {
+
+/// One weighted-Jacobi sweep; omega = 1 is plain Jacobi, 4/5 is the
+/// standard multigrid smoother weight.
+void jacobi_sweep(Grid2D& u, const Grid2D& f, double h, double omega = 1.0);
+
+/// One lexicographic Gauss-Seidel sweep.
+void gauss_seidel_sweep(Grid2D& u, const Grid2D& f, double h);
+
+/// One SOR sweep with relaxation factor omega in (0, 2).
+void sor_sweep(Grid2D& u, const Grid2D& f, double h, double omega);
+
+/// One red-black Gauss-Seidel sweep (the order-independent smoother used
+/// inside the multigrid V-cycle).
+void red_black_gs_sweep(Grid2D& u, const Grid2D& f, double h);
+
+/// Optimal SOR omega for the 5-point Laplacian on an n-point grid side.
+double sor_optimal_omega(int64_t n);
+
+/// Iterate `sweep`-style smoothing until the residual norm drops below
+/// `tol` or `max_sweeps` is reached; returns sweeps used.
+int smooth_to_tolerance(Grid2D& u, const Grid2D& f, double h, double tol,
+                        int max_sweeps, double omega);
+
+}  // namespace mf::linalg

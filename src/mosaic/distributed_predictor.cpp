@@ -1,0 +1,265 @@
+#include "mosaic/distributed_predictor.hpp"
+
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/timing.hpp"
+
+namespace mf::mosaic {
+
+namespace {
+
+constexpr int kHaloTagBase = 500;
+
+struct RankLayout {
+  // Owned closed block [ox0, ox1] x [oy0, oy1] (global point indices).
+  int64_t ox0, oy0, ox1, oy1;
+  // Window = owned + halo where a neighbor exists.
+  int64_t wx0, wy0, wx1, wy1;
+  // Corner-index range of owned subdomain positions (units of h).
+  int64_t ci_x0, ci_x1, ci_y0, ci_y1;
+};
+
+RankLayout make_layout(const comm::CartesianGrid& grid, int rank,
+                       int64_t nx_cells, int64_t ny_cells, int64_t h) {
+  const auto [cx, cy] = grid.coords_of(rank);
+  const int64_t lx = nx_cells / grid.px();
+  const int64_t ly = ny_cells / grid.py();
+  RankLayout L{};
+  L.ox0 = cx * lx;
+  L.oy0 = cy * ly;
+  L.ox1 = L.ox0 + lx;
+  L.oy1 = L.oy0 + ly;
+  L.wx0 = cx > 0 ? L.ox0 - h : 0;
+  L.wy0 = cy > 0 ? L.oy0 - h : 0;
+  L.wx1 = cx < grid.px() - 1 ? L.ox1 + h : nx_cells;
+  L.wy1 = cy < grid.py() - 1 ? L.oy1 + h : ny_cells;
+  // Positions owned by this rank: corner in [ox0, ox1) (half-open so each
+  // position has a unique owner).
+  L.ci_x0 = L.ox0 / h;
+  L.ci_x1 = L.ox1 / h;
+  L.ci_y0 = L.oy0 / h;
+  L.ci_y1 = L.oy1 / h;
+  return L;
+}
+
+}  // namespace
+
+DistMfpResult distributed_mosaic_predict(
+    comm::Communicator& comm, const comm::CartesianGrid& grid,
+    const SubdomainSolver& solver, int64_t nx_cells, int64_t ny_cells,
+    const std::vector<double>& global_boundary, const MfpOptions& options) {
+  const int64_t m = solver.m();
+  SubdomainGeometry geom(m);
+  const int64_t h = geom.h;
+  if (nx_cells % (grid.px() * m) != 0 || ny_cells % (grid.py() * m) != 0) {
+    throw std::invalid_argument(
+        "distributed_mosaic_predict: cells must divide by (grid dim * m)");
+  }
+  const int rank = comm.rank();
+  const RankLayout L = make_layout(grid, rank, nx_cells, ny_cells, h);
+  const auto neighbors = grid.neighbors(rank);
+
+  // Neighbor window bounds (deterministic on every rank) for routing
+  // dirty writes.
+  std::array<RankLayout, comm::kNumDirections> neighbor_layout{};
+  for (int d = 0; d < comm::kNumDirections; ++d) {
+    const int nr = neighbors[static_cast<std::size_t>(d)];
+    if (nr >= 0) {
+      neighbor_layout[static_cast<std::size_t>(d)] =
+          make_layout(grid, nr, nx_cells, ny_cells, h);
+    }
+  }
+
+  // ---- initialization: global boundary + transfinite interior ----
+  // Every rank evaluates the same deterministic initialization and copies
+  // its window (the global boundary is problem input known to all ranks).
+  LatticeWindow window(L.wx0, L.wy0, L.wx1, L.wy1);
+  {
+    linalg::Grid2D init(nx_cells + 1, ny_cells + 1);
+    linalg::apply_perimeter(init, global_boundary);
+    if (options.init == LatticeInit::kCoons) coons_init(init);
+    for (int64_t gy = L.wy0; gy <= L.wy1; ++gy)
+      for (int64_t gx = L.wx0; gx <= L.wx1; ++gx)
+        window.at(gx, gy) = init.at(gx, gy);
+  }
+
+  DistMfpResult result;
+  comm.stats().reset();
+  // Outgoing dirty writes per direction, accumulated between halo
+  // exchanges (flushed every options.halo_every iterations).
+  std::array<std::vector<double>, comm::kNumDirections> pending;
+  double cycle_num = 0, cycle_den = 0;
+
+  // ---- iteration loop (Algorithm 2, lines 2-9) ----
+  for (int64_t iter = 0; iter < options.max_iters; ++iter) {
+    const int64_t phase = iter % 4;
+    auto corners = phase_corners(phase, h, m, nx_cells, ny_cells, L.ci_x0,
+                                 L.ci_x1, L.ci_y0, L.ci_y1);
+    PhaseResult pr =
+        update_subdomains(window, solver, geom, corners, options.batched,
+                          /*collect_writes=*/true, options.relaxation);
+    result.timings.inference_seconds += pr.inference_seconds;
+    result.timings.boundary_io_seconds += pr.boundary_io_seconds;
+
+    // communicate_new_boundaries: route this phase's fresh writes to every
+    // neighbor whose window contains them. One message per neighbor per
+    // exchange (possibly empty — latency-only, as in the paper's 8*I*alpha
+    // cost term). With halo_every > 1 (the communication-avoiding variant
+    // of Sec. 5.3's open problems) writes accumulate across iterations and
+    // are flushed together; receivers apply them in order, so the latest
+    // value wins.
+    for (int d = 0; d < comm::kNumDirections; ++d) {
+      const int nr = neighbors[static_cast<std::size_t>(d)];
+      if (nr < 0) continue;
+      const RankLayout& NL = neighbor_layout[static_cast<std::size_t>(d)];
+      auto& outbox = pending[static_cast<std::size_t>(d)];
+      for (const DirtyWrite& w : pr.writes) {
+        if (w.gx >= NL.wx0 && w.gx <= NL.wx1 && w.gy >= NL.wy0 && w.gy <= NL.wy1) {
+          outbox.push_back(static_cast<double>(w.gx));
+          outbox.push_back(static_cast<double>(w.gy));
+          outbox.push_back(w.value);
+        }
+      }
+    }
+    const bool exchange = (iter + 1) % options.halo_every == 0 ||
+                          iter + 1 == options.max_iters;
+    if (exchange) {
+      for (int d = 0; d < comm::kNumDirections; ++d) {
+        const int nr = neighbors[static_cast<std::size_t>(d)];
+        if (nr < 0) continue;
+        comm.send(nr, pending[static_cast<std::size_t>(d)], kHaloTagBase + d);
+        pending[static_cast<std::size_t>(d)].clear();
+      }
+      for (int d = 0; d < comm::kNumDirections; ++d) {
+        const int nr = neighbors[static_cast<std::size_t>(d)];
+        if (nr < 0) continue;
+        // The neighbor tagged its message with the direction from *its*
+        // perspective, which is the opposite of ours.
+        const int tag = kHaloTagBase + static_cast<int>(comm::opposite(
+                                           static_cast<comm::Direction>(d)));
+        std::vector<double> packed = comm.recv_vec(nr, tag);
+        for (std::size_t k = 0; k + 2 < packed.size(); k += 3) {
+          const int64_t gx = static_cast<int64_t>(packed[k]);
+          const int64_t gy = static_cast<int64_t>(packed[k + 1]);
+          if (window.contains(gx, gy)) window.at(gx, gy) = packed[k + 2];
+        }
+      }
+    }
+
+    // Convergence test (lines 5-8): global relative change over a full
+    // 4-phase cycle (single phases can touch too few subdomains for a
+    // meaningful delta).
+    cycle_num += pr.delta_num;
+    cycle_den += pr.delta_den;
+    result.iterations = iter + 1;
+    if (phase == 3) {
+      double nums[2] = {cycle_num, cycle_den};
+      comm.allreduce_sum(nums, 2);
+      result.final_delta = nums[1] > 0 ? std::sqrt(nums[0] / nums[1]) : 0.0;
+      cycle_num = cycle_den = 0;
+      if (result.final_delta < options.tol) break;
+    }
+
+    if (options.reference && options.target_mae > 0 &&
+        (iter + 1) % options.check_every == 0) {
+      // MAE over owned lattice points, reduced globally. Half-open
+      // ownership avoids double counting shared border lines.
+      const int64_t hx1 = L.ox1 == nx_cells ? L.ox1 : L.ox1 - 1;
+      const int64_t hy1 = L.oy1 == ny_cells ? L.oy1 : L.oy1 - 1;
+      double acc = 0, count = 0;
+      for (int64_t gy = L.oy0; gy <= hy1; ++gy)
+        for (int64_t gx = L.ox0; gx <= hx1; ++gx) {
+          if (gx % h != 0 && gy % h != 0) continue;
+          acc += std::abs(window.at(gx, gy) - options.reference->at(gx, gy));
+          count += 1;
+        }
+      double sums[2] = {acc, count};
+      comm.allreduce_sum(sums, 2);
+      result.mae = sums[0] / std::max(1.0, sums[1]);
+      if (result.mae < options.target_mae) break;
+    }
+  }
+
+  // ---- final interiors (line 10) ----
+  {
+    std::vector<std::pair<int64_t, int64_t>> tiles;
+    for (int64_t gy = L.oy0; gy + m <= L.oy1; gy += m)
+      for (int64_t gx = L.ox0; gx + m <= L.ox1; gx += m) tiles.emplace_back(gx, gy);
+    std::vector<std::vector<double>> boundaries;
+    util::StopwatchAccum inf_time, io_time;
+    {
+      util::ScopedCpuTimer t(io_time);
+      for (const auto& [gx, gy] : tiles)
+        boundaries.push_back(subdomain_boundary(window, geom, gx, gy));
+    }
+    std::vector<std::vector<double>> interiors;
+    {
+      util::ScopedCpuTimer t(inf_time);
+      solver.predict(boundaries, geom.interior_queries, interiors);
+    }
+    {
+      util::ScopedCpuTimer t(io_time);
+      for (std::size_t b = 0; b < tiles.size(); ++b) {
+        const auto [gx, gy] = tiles[b];
+        for (std::size_t k = 0; k < geom.interior_offsets.size(); ++k) {
+          const auto [di, dj] = geom.interior_offsets[k];
+          const int64_t px = gx + di, py = gy + dj;
+          if (px % h != 0 && py % h != 0) {  // keep iterated lattice values
+            window.at(px, py) = interiors[b][k];
+          }
+        }
+      }
+    }
+    result.timings.inference_seconds += inf_time.total();
+    result.timings.boundary_io_seconds += io_time.total();
+  }
+
+  // ---- all_gather and averaging (lines 11-12) ----
+  {
+    // Pack this rank's owned closed block.
+    std::vector<double> block;
+    block.reserve(static_cast<std::size_t>((L.ox1 - L.ox0 + 1) * (L.oy1 - L.oy0 + 1) + 4));
+    block.push_back(static_cast<double>(L.ox0));
+    block.push_back(static_cast<double>(L.oy0));
+    block.push_back(static_cast<double>(L.ox1));
+    block.push_back(static_cast<double>(L.oy1));
+    for (int64_t gy = L.oy0; gy <= L.oy1; ++gy)
+      for (int64_t gx = L.ox0; gx <= L.ox1; ++gx) block.push_back(window.at(gx, gy));
+    auto all = comm.allgatherv(block);
+
+    result.solution = linalg::Grid2D(nx_cells + 1, ny_cells + 1);
+    linalg::Grid2D counts(nx_cells + 1, ny_cells + 1);
+    for (const auto& blk : all) {
+      const int64_t bx0 = static_cast<int64_t>(blk[0]);
+      const int64_t by0 = static_cast<int64_t>(blk[1]);
+      const int64_t bx1 = static_cast<int64_t>(blk[2]);
+      const int64_t by1 = static_cast<int64_t>(blk[3]);
+      std::size_t k = 4;
+      for (int64_t gy = by0; gy <= by1; ++gy)
+        for (int64_t gx = bx0; gx <= bx1; ++gx) {
+          result.solution.at(gx, gy) += blk[k++];
+          counts.at(gx, gy) += 1;
+        }
+    }
+    // Average where processor blocks overlap (shared border lines).
+    for (int64_t gy = 0; gy <= ny_cells; ++gy)
+      for (int64_t gx = 0; gx <= nx_cells; ++gx)
+        result.solution.at(gx, gy) /= std::max(1.0, counts.at(gx, gy));
+  }
+
+  if (options.reference) {
+    result.mae = linalg::Grid2D::mean_abs_diff(result.solution, *options.reference);
+  }
+
+  const auto& stats = comm.stats();
+  result.timings.sendrecv_modeled_seconds = stats.sendrecv.modeled_seconds;
+  result.timings.allgather_modeled_seconds = stats.allgather.modeled_seconds;
+  result.timings.allreduce_modeled_seconds = stats.allreduce.modeled_seconds;
+  result.timings.sendrecv_wall_seconds = stats.sendrecv.wall_seconds;
+  result.timings.allgather_wall_seconds = stats.allgather.wall_seconds;
+  return result;
+}
+
+}  // namespace mf::mosaic

@@ -1,0 +1,138 @@
+#include "mosaic/lattice.hpp"
+
+#include <stdexcept>
+
+#include "util/timing.hpp"
+
+namespace mf::mosaic {
+
+SubdomainGeometry::SubdomainGeometry(int64_t m_in) : m(m_in), h(m_in / 2) {
+  if (m < 4 || m % 2 != 0) {
+    throw std::invalid_argument("SubdomainGeometry: m must be even and >= 4");
+  }
+  const double inv_m = 1.0 / static_cast<double>(m);
+  // Vertical center line x = 1/2, y interior.
+  for (int64_t k = 1; k < m; ++k) {
+    cross_queries.emplace_back(0.5, k * inv_m);
+    cross_offsets.emplace_back(h, k);
+  }
+  // Horizontal center line y = 1/2, x interior, center point excluded.
+  for (int64_t k = 1; k < m; ++k) {
+    if (k == h) continue;
+    cross_queries.emplace_back(k * inv_m, 0.5);
+    cross_offsets.emplace_back(k, h);
+  }
+  // Full interior.
+  for (int64_t j = 1; j < m; ++j) {
+    for (int64_t i = 1; i < m; ++i) {
+      interior_queries.emplace_back(i * inv_m, j * inv_m);
+      interior_offsets.emplace_back(i, j);
+    }
+  }
+}
+
+LatticeWindow::LatticeWindow(int64_t x0, int64_t y0, int64_t x1, int64_t y1)
+    : x0_(x0), y0_(y0), x1_(x1), y1_(y1), grid_(x1 - x0 + 1, y1 - y0 + 1) {
+  if (x1 <= x0 || y1 <= y0) throw std::invalid_argument("LatticeWindow: empty");
+}
+
+std::vector<double> subdomain_boundary(const LatticeWindow& window,
+                                       const SubdomainGeometry& geom,
+                                       int64_t gx, int64_t gy) {
+  const int64_t m = geom.m;
+  std::vector<double> b(static_cast<std::size_t>(4 * m));
+  int64_t k = 0;
+  for (int64_t i = 0; i < m; ++i) b[static_cast<std::size_t>(k++)] = window.at(gx + i, gy);
+  for (int64_t j = 0; j < m; ++j) b[static_cast<std::size_t>(k++)] = window.at(gx + m, gy + j);
+  for (int64_t i = m; i > 0; --i) b[static_cast<std::size_t>(k++)] = window.at(gx + i, gy + m);
+  for (int64_t j = m; j > 0; --j) b[static_cast<std::size_t>(k++)] = window.at(gx, gy + j);
+  return b;
+}
+
+PhaseResult update_subdomains(
+    LatticeWindow& window, const SubdomainSolver& solver,
+    const SubdomainGeometry& geom,
+    const std::vector<std::pair<int64_t, int64_t>>& corners, bool batched,
+    bool collect_writes, double relaxation) {
+  PhaseResult result;
+  if (corners.empty()) return result;
+
+  util::StopwatchAccum io_time, inf_time;
+  std::vector<std::vector<double>> boundaries;
+  {
+    util::ScopedCpuTimer t(io_time);
+    boundaries.reserve(corners.size());
+    for (const auto& [gx, gy] : corners) {
+      boundaries.push_back(subdomain_boundary(window, geom, gx, gy));
+    }
+  }
+
+  std::vector<std::vector<double>> predictions;
+  {
+    util::ScopedCpuTimer t(inf_time);
+    if (batched) {
+      solver.predict(boundaries, geom.cross_queries, predictions);
+    } else {
+      predictions.resize(corners.size());
+      for (std::size_t b = 0; b < corners.size(); ++b) {
+        predictions[b] = solver.predict_one(boundaries[b], geom.cross_queries);
+      }
+    }
+  }
+
+  {
+    util::ScopedCpuTimer t(io_time);
+    for (std::size_t b = 0; b < corners.size(); ++b) {
+      const auto [gx, gy] = corners[b];
+      for (std::size_t k = 0; k < geom.cross_offsets.size(); ++k) {
+        const auto [di, dj] = geom.cross_offsets[k];
+        const int64_t px = gx + di, py = gy + dj;
+        double& slot = window.at(px, py);
+        // Under-relaxation damps error amplification when the subdomain
+        // solver is an imperfectly trained network; relaxation = 1 is the
+        // paper's plain update.
+        const double nv = relaxation * predictions[b][k] + (1 - relaxation) * slot;
+        result.delta_num += (nv - slot) * (nv - slot);
+        result.delta_den += slot * slot;
+        slot = nv;
+        if (collect_writes) result.writes.push_back({px, py, nv});
+      }
+    }
+  }
+  result.inference_seconds = inf_time.total();
+  result.boundary_io_seconds = io_time.total();
+  return result;
+}
+
+void coons_init(linalg::Grid2D& grid) {
+  const int64_t nx = grid.nx(), ny = grid.ny();
+  const double c00 = grid.at(0, 0), c10 = grid.at(nx - 1, 0);
+  const double c01 = grid.at(0, ny - 1), c11 = grid.at(nx - 1, ny - 1);
+  for (int64_t j = 1; j < ny - 1; ++j) {
+    const double t = static_cast<double>(j) / static_cast<double>(ny - 1);
+    for (int64_t i = 1; i < nx - 1; ++i) {
+      const double s = static_cast<double>(i) / static_cast<double>(nx - 1);
+      const double bottom = grid.at(i, 0), top = grid.at(i, ny - 1);
+      const double left = grid.at(0, j), right = grid.at(nx - 1, j);
+      grid.at(i, j) = (1 - t) * bottom + t * top + (1 - s) * left + s * right -
+                      ((1 - s) * (1 - t) * c00 + s * (1 - t) * c10 +
+                       (1 - s) * t * c01 + s * t * c11);
+    }
+  }
+}
+
+double lattice_mae(const LatticeWindow& window, const linalg::Grid2D& reference,
+                   int64_t h, int64_t ox0, int64_t oy0, int64_t ox1, int64_t oy1) {
+  double acc = 0;
+  int64_t count = 0;
+  for (int64_t gy = oy0; gy <= oy1; ++gy) {
+    for (int64_t gx = ox0; gx <= ox1; ++gx) {
+      if (gx % h != 0 && gy % h != 0) continue;  // lattice lines only
+      acc += std::abs(window.at(gx, gy) - reference.at(gx, gy));
+      ++count;
+    }
+  }
+  return count > 0 ? acc / static_cast<double>(count) : 0.0;
+}
+
+}  // namespace mf::mosaic

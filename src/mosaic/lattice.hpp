@@ -1,0 +1,109 @@
+// Lattice bookkeeping for the Mosaic Flow predictor (paper Sec. 2.4, 4.2).
+//
+// Geometry. The global domain is a grid of (Nx+1) x (Ny+1) points. Atomic
+// subdomains are m x m cells; their corners sit on the lattice of lines
+// spaced h = m/2 apart (the paper's 1/(2m) spacing in physical units,
+// d = 2). Subdomain positions overlap by half a subdomain in each
+// direction; positions whose corner indices (i, j) = (gx/h, gy/h) share
+// the same parity form one *phase* — the non-overlapping tiling the paper
+// batches within a single iteration (Sec. 4.1). Iterations cycle through
+// the four parity phases.
+//
+// Each iteration, SDNet maps a subdomain's perimeter values (4m) to the
+// values on its center cross (the two half-spacing lattice lines through
+// its middle), which are the boundaries of the half-offset neighboring
+// subdomains.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/grid2d.hpp"
+#include "mosaic/subdomain_solver.hpp"
+
+namespace mf::mosaic {
+
+/// Precomputed query coordinates / grid offsets for one subdomain size.
+struct SubdomainGeometry {
+  explicit SubdomainGeometry(int64_t m);
+
+  int64_t m;  // cells per side (even)
+  int64_t h;  // lattice spacing m/2
+
+  /// Center-cross points, relative coords: vertical line x=1/2 (y interior)
+  /// then horizontal line y=1/2 (x interior, center excluded).
+  QueryList cross_queries;
+  /// Same points as grid offsets from the subdomain corner.
+  std::vector<std::pair<int64_t, int64_t>> cross_offsets;
+
+  /// Full interior, row-major (m-1)^2 points.
+  QueryList interior_queries;
+  std::vector<std::pair<int64_t, int64_t>> interior_offsets;
+};
+
+/// A rank's view of the global point grid: global point indices
+/// [x0, x1] x [y0, y1], inclusive. A single-rank predictor uses the whole
+/// domain as its window; distributed ranks use owned region + halo.
+class LatticeWindow {
+ public:
+  LatticeWindow(int64_t x0, int64_t y0, int64_t x1, int64_t y1);
+
+  bool contains(int64_t gx, int64_t gy) const {
+    return gx >= x0_ && gx <= x1_ && gy >= y0_ && gy <= y1_;
+  }
+  double& at(int64_t gx, int64_t gy) { return grid_.at(gx - x0_, gy - y0_); }
+  double at(int64_t gx, int64_t gy) const { return grid_.at(gx - x0_, gy - y0_); }
+
+  int64_t x0() const { return x0_; }
+  int64_t y0() const { return y0_; }
+  int64_t x1() const { return x1_; }
+  int64_t y1() const { return y1_; }
+
+  linalg::Grid2D& grid() { return grid_; }
+  const linalg::Grid2D& grid() const { return grid_; }
+
+ private:
+  int64_t x0_, y0_, x1_, y1_;
+  linalg::Grid2D grid_;
+};
+
+/// One write performed by a phase update (global coordinates).
+struct DirtyWrite {
+  int64_t gx, gy;
+  double value;
+};
+
+/// Outcome of updating one phase's subdomains.
+struct PhaseResult {
+  double delta_num = 0;  // sum (new - old)^2 over written points
+  double delta_den = 0;  // sum old^2 over written points
+  std::vector<DirtyWrite> writes;  // filled when collect_writes
+  double inference_seconds = 0;
+  double boundary_io_seconds = 0;
+};
+
+/// Perimeter values of the subdomain with corner (gx, gy), canonical order.
+std::vector<double> subdomain_boundary(const LatticeWindow& window,
+                                       const SubdomainGeometry& geom,
+                                       int64_t gx, int64_t gy);
+
+/// Solve every subdomain in `corners` with `solver` and write the
+/// center-cross predictions back into the window. `batched == false`
+/// reproduces the paper's unbatched baseline (one SDNet call per
+/// subdomain, Fig. 8).
+PhaseResult update_subdomains(
+    LatticeWindow& window, const SubdomainSolver& solver,
+    const SubdomainGeometry& geom,
+    const std::vector<std::pair<int64_t, int64_t>>& corners, bool batched,
+    bool collect_writes, double relaxation = 1.0);
+
+/// Transfinite (Coons-patch) interpolation of the global boundary into the
+/// domain interior — the predictor's initial lattice state.
+void coons_init(linalg::Grid2D& grid);
+
+/// Mean absolute difference restricted to lattice-line points (x or y a
+/// multiple of h), optionally clipped to a half-open ownership rectangle.
+double lattice_mae(const LatticeWindow& window, const linalg::Grid2D& reference,
+                   int64_t h, int64_t ox0, int64_t oy0, int64_t ox1, int64_t oy1);
+
+}  // namespace mf::mosaic

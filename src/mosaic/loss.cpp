@@ -1,0 +1,39 @@
+#include "mosaic/loss.hpp"
+
+#include "ad/engine.hpp"
+
+namespace mf::mosaic {
+
+namespace ops = ad::ops;
+
+Tensor data_loss(const Sdnet& net, const Tensor& g, const Tensor& x,
+                 const Tensor& y) {
+  return ops::mean(ops::square(ops::sub(net.forward(g, x), y)));
+}
+
+Tensor network_laplacian(const Sdnet& net, const Tensor& g, const Tensor& x,
+                         bool create_graph) {
+  if (!x.requires_grad()) {
+    throw std::logic_error(
+        "network_laplacian: x must be a leaf with requires_grad");
+  }
+  Tensor out = net.forward(g, x);  // [B, q, 1]
+  // Each output depends only on its own query point, so the gradient of
+  // sum(out) w.r.t. x is the per-point spatial gradient (standard PINN
+  // diagonal trick).
+  Tensor du = ad::grad(ops::sum(out), {x}, Tensor(), /*create_graph=*/true)[0];
+  Tensor ux = ops::slice(du, -1, 0, 1);  // [B, q, 1]
+  Tensor uy = ops::slice(du, -1, 1, 1);
+  Tensor dux = ad::grad(ops::sum(ux), {x}, Tensor(), create_graph)[0];
+  Tensor duy = ad::grad(ops::sum(uy), {x}, Tensor(), create_graph)[0];
+  Tensor uxx = ops::slice(dux, -1, 0, 1);
+  Tensor uyy = ops::slice(duy, -1, 1, 1);
+  return ops::add(uxx, uyy);
+}
+
+Tensor pde_loss(const Sdnet& net, const Tensor& g, const Tensor& x_colloc) {
+  Tensor lap = network_laplacian(net, g, x_colloc, /*create_graph=*/true);
+  return ops::mean(ops::square(lap));
+}
+
+}  // namespace mf::mosaic

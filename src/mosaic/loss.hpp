@@ -1,0 +1,25 @@
+// Physics-informed losses (paper Sec. 2.2, eq. (3)): the data MSE against
+// reference solutions and the Laplace residual at collocation points,
+// computed via second-order automatic differentiation.
+#pragma once
+
+#include "mosaic/sdnet.hpp"
+
+namespace mf::mosaic {
+
+/// Mean squared error between predictions N(g, x) and reference y.
+Tensor data_loss(const Sdnet& net, const Tensor& g, const Tensor& x,
+                 const Tensor& y);
+
+/// Discrete Laplacian of the network output with respect to its input
+/// coordinates: returns [B, q, 1] holding u_xx + u_yy at each query.
+/// `x` must be a leaf tensor with requires_grad set. When
+/// `create_graph` is true the result is differentiable w.r.t. parameters
+/// (needed inside the training loss).
+Tensor network_laplacian(const Sdnet& net, const Tensor& g, const Tensor& x,
+                         bool create_graph);
+
+/// L_pde = mean (Delta N)^2 over the collocation batch (eq. (3)).
+Tensor pde_loss(const Sdnet& net, const Tensor& g, const Tensor& x_colloc);
+
+}  // namespace mf::mosaic

@@ -1,0 +1,129 @@
+#include "mosaic/predictor.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/timing.hpp"
+
+namespace mf::mosaic {
+
+std::vector<std::pair<int64_t, int64_t>> phase_corners(
+    int64_t phase, int64_t h, int64_t m, int64_t nx_cells, int64_t ny_cells,
+    int64_t cx0, int64_t cx1, int64_t cy0, int64_t cy1) {
+  const int64_t px = phase & 1;
+  const int64_t py = (phase >> 1) & 1;
+  std::vector<std::pair<int64_t, int64_t>> corners;
+  for (int64_t j = cy0; j < cy1; ++j) {
+    if ((j & 1) != py) continue;
+    const int64_t gy = j * h;
+    if (gy + m > ny_cells) continue;
+    for (int64_t i = cx0; i < cx1; ++i) {
+      if ((i & 1) != px) continue;
+      const int64_t gx = i * h;
+      if (gx + m > nx_cells) continue;
+      corners.emplace_back(gx, gy);
+    }
+  }
+  return corners;
+}
+
+MfpResult mosaic_predict(const SubdomainSolver& solver, int64_t nx_cells,
+                         int64_t ny_cells,
+                         const std::vector<double>& global_boundary,
+                         const MfpOptions& options) {
+  const int64_t m = solver.m();
+  if (nx_cells % m != 0 || ny_cells % m != 0) {
+    throw std::invalid_argument(
+        "mosaic_predict: domain cells must be a multiple of the subdomain size");
+  }
+  SubdomainGeometry geom(m);
+  const int64_t h = geom.h;
+
+  // Window over the full domain; set global boundary and initialize.
+  LatticeWindow window(0, 0, nx_cells, ny_cells);
+  linalg::apply_perimeter(window.grid(), global_boundary);
+  if (options.init == LatticeInit::kCoons) coons_init(window.grid());
+
+  MfpResult result{linalg::Grid2D(nx_cells + 1, ny_cells + 1), 0, 0, 0, 0, 0};
+
+  const int64_t ci_max_x = nx_cells / h;  // corner indices are in [0, ci_max)
+  const int64_t ci_max_y = ny_cells / h;
+
+  // Convergence is judged on a full 4-phase cycle: a single phase can
+  // touch very few subdomains (near domain corners) and report a
+  // misleadingly small delta.
+  double cycle_num = 0, cycle_den = 0;
+  for (int64_t iter = 0; iter < options.max_iters; ++iter) {
+    const int64_t phase = iter % 4;
+    auto corners = phase_corners(phase, h, m, nx_cells, ny_cells, 0, ci_max_x,
+                                 0, ci_max_y);
+    PhaseResult pr =
+        update_subdomains(window, solver, geom, corners, options.batched,
+                          /*collect_writes=*/false, options.relaxation);
+    result.inference_seconds += pr.inference_seconds;
+    result.boundary_io_seconds += pr.boundary_io_seconds;
+    result.iterations = iter + 1;
+    cycle_num += pr.delta_num;
+    cycle_den += pr.delta_den;
+    if (phase == 3) {
+      result.final_delta =
+          cycle_den > 0 ? std::sqrt(cycle_num / cycle_den) : 0.0;
+      cycle_num = cycle_den = 0;
+      if (result.final_delta < options.tol) break;
+    }
+    if (options.reference && options.target_mae > 0 &&
+        (iter + 1) % options.check_every == 0) {
+      result.lattice_mae = lattice_mae(window, *options.reference, h, 0, 0,
+                                       nx_cells, ny_cells);
+      if (result.lattice_mae < options.target_mae) break;
+    }
+  }
+
+  // Final phase: predict the full interior of the non-overlapping tiling
+  // (even corner indices), then keep lattice-line values from the iterated
+  // state. Union covers every interior point.
+  {
+    std::vector<std::pair<int64_t, int64_t>> tiles;
+    for (int64_t gy = 0; gy + m <= ny_cells; gy += m)
+      for (int64_t gx = 0; gx + m <= nx_cells; gx += m) tiles.emplace_back(gx, gy);
+    std::vector<std::vector<double>> boundaries;
+    util::StopwatchAccum io_time, inf_time;
+    {
+      util::ScopedCpuTimer t(io_time);
+      for (const auto& [gx, gy] : tiles) {
+        boundaries.push_back(subdomain_boundary(window, geom, gx, gy));
+      }
+    }
+    std::vector<std::vector<double>> interiors;
+    {
+      util::ScopedCpuTimer t(inf_time);
+      solver.predict(boundaries, geom.interior_queries, interiors);
+    }
+    {
+      util::ScopedCpuTimer t(io_time);
+      for (std::size_t b = 0; b < tiles.size(); ++b) {
+        const auto [gx, gy] = tiles[b];
+        for (std::size_t k = 0; k < geom.interior_offsets.size(); ++k) {
+          const auto [di, dj] = geom.interior_offsets[k];
+          result.solution.at(gx + di, gy + dj) = interiors[b][k];
+        }
+      }
+      // Lattice lines (including the global boundary) come from the
+      // iterated window state.
+      for (int64_t gy = 0; gy <= ny_cells; ++gy)
+        for (int64_t gx = 0; gx <= nx_cells; ++gx)
+          if (gx % h == 0 || gy % h == 0)
+            result.solution.at(gx, gy) = window.at(gx, gy);
+    }
+    result.inference_seconds += inf_time.total();
+    result.boundary_io_seconds += io_time.total();
+  }
+
+  if (options.reference) {
+    result.lattice_mae = linalg::Grid2D::mean_abs_diff(result.solution,
+                                                       *options.reference);
+  }
+  return result;
+}
+
+}  // namespace mf::mosaic

@@ -1,0 +1,47 @@
+#include "mosaic/sdnet.hpp"
+
+#include <stdexcept>
+
+namespace mf::mosaic {
+
+Sdnet::Sdnet(const SdnetConfig& config, util::Rng& rng) : config_(config) {
+  if (config.conv_kernel % 2 == 0) {
+    throw std::invalid_argument("Sdnet: conv_kernel must be odd");
+  }
+  int64_t g_features = config.boundary_size;
+  if (config.use_conv_encoder) {
+    encoder_ = std::make_shared<nn::ConvBoundaryEncoder>(
+        config.boundary_size, config.conv_channels, config.conv_depth,
+        config.conv_kernel, config.activation, rng);
+    register_module("encoder", encoder_);
+    g_features = encoder_->out_features();
+  }
+  if (config.use_split_embedding) {
+    split_embedding_ = std::make_shared<nn::SplitInputEmbedding>(
+        g_features, 2, config.hidden_width, config.activation, rng);
+    register_module("embedding", split_embedding_);
+  } else {
+    concat_embedding_ = std::make_shared<nn::InputConcatEmbedding>(
+        g_features, 2, config.hidden_width, config.activation, rng);
+    register_module("embedding", concat_embedding_);
+  }
+  std::vector<int64_t> widths(static_cast<std::size_t>(config.mlp_depth),
+                              config.hidden_width);
+  widths.push_back(1);
+  mlp_ = std::make_shared<nn::MLP>(widths, config.activation, rng);
+  register_module("mlp", mlp_);
+}
+
+Tensor Sdnet::forward(const Tensor& g, const Tensor& x) const {
+  Tensor gf = config_.use_conv_encoder ? encoder_->forward(g) : g;
+  Tensor h = config_.use_split_embedding ? split_embedding_->forward(gf, x)
+                                         : concat_embedding_->forward(gf, x);
+  return mlp_->forward(h);
+}
+
+Tensor Sdnet::predict(const Tensor& g, const Tensor& x) const {
+  ad::NoGradGuard no_grad;
+  return forward(g, x);
+}
+
+}  // namespace mf::mosaic

@@ -1,0 +1,55 @@
+// SDNet: the physics-informed neural subdomain solver (paper Sec. 3).
+// Architecture (Fig. 3): 1-D convolutions embed the discretized boundary
+// condition, the split input layer (eq. (8)) combines the embedding with
+// query coordinates, and a GELU MLP predicts the solution value.
+#pragma once
+
+#include <memory>
+
+#include "nn/layers.hpp"
+
+namespace mf::mosaic {
+
+using ad::Tensor;
+
+struct SdnetConfig {
+  int64_t boundary_size = 64;   // 4m discretized boundary values
+  int64_t hidden_width = 64;    // width d of the embedding/MLP
+  int64_t mlp_depth = 4;        // linear layers after the input embedding
+  nn::Activation activation = nn::Activation::kGelu;
+
+  // Boundary encoder (Sec. 3.1). Disabled -> raw boundary to the embedding.
+  bool use_conv_encoder = true;
+  int64_t conv_channels = 2;
+  int64_t conv_depth = 2;
+  int64_t conv_kernel = 5;      // must be odd (length-preserving)
+
+  // false selects the inefficient input-concat baseline of eq. (6),
+  // kept for the Fig. 5 performance comparison.
+  bool use_split_embedding = true;
+};
+
+/// N(g, x; theta) ~ u(x; g) for the BVP with boundary condition g on the
+/// unit training subdomain.
+class Sdnet : public nn::Module {
+ public:
+  Sdnet(const SdnetConfig& config, util::Rng& rng);
+
+  /// g: [B, 4m] boundary conditions, x: [B, q, 2] query coordinates in
+  /// the unit square. Returns [B, q, 1] predicted solution values.
+  Tensor forward(const Tensor& g, const Tensor& x) const;
+
+  /// Inference without autograd recording.
+  Tensor predict(const Tensor& g, const Tensor& x) const;
+
+  const SdnetConfig& config() const { return config_; }
+
+ private:
+  SdnetConfig config_;
+  std::shared_ptr<nn::ConvBoundaryEncoder> encoder_;          // optional
+  std::shared_ptr<nn::SplitInputEmbedding> split_embedding_;  // either this
+  std::shared_ptr<nn::InputConcatEmbedding> concat_embedding_;  // or this
+  std::shared_ptr<nn::MLP> mlp_;
+};
+
+}  // namespace mf::mosaic

@@ -1,0 +1,128 @@
+#include "mosaic/subdomain_solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/multigrid.hpp"
+
+namespace mf::mosaic {
+
+std::vector<double> SubdomainSolver::predict_one(
+    const std::vector<double>& boundary, const QueryList& queries) const {
+  std::vector<std::vector<double>> out;
+  predict({boundary}, queries, out);
+  return out[0];
+}
+
+double sample_bilinear(const linalg::Grid2D& g, double qx, double qy) {
+  const double fx = qx * static_cast<double>(g.nx() - 1);
+  const double fy = qy * static_cast<double>(g.ny() - 1);
+  const int64_t i0 = std::clamp<int64_t>(static_cast<int64_t>(fx), 0, g.nx() - 2);
+  const int64_t j0 = std::clamp<int64_t>(static_cast<int64_t>(fy), 0, g.ny() - 2);
+  const double tx = fx - static_cast<double>(i0);
+  const double ty = fy - static_cast<double>(j0);
+  return (1 - tx) * (1 - ty) * g.at(i0, j0) + tx * (1 - ty) * g.at(i0 + 1, j0) +
+         (1 - tx) * ty * g.at(i0, j0 + 1) + tx * ty * g.at(i0 + 1, j0 + 1);
+}
+
+NeuralSubdomainSolver::NeuralSubdomainSolver(std::shared_ptr<const Sdnet> net,
+                                             int64_t m)
+    : net_(std::move(net)), m_(m) {
+  if (net_->config().boundary_size != 4 * m) {
+    throw std::invalid_argument(
+        "NeuralSubdomainSolver: network boundary size != 4m");
+  }
+}
+
+void NeuralSubdomainSolver::predict(
+    const std::vector<std::vector<double>>& boundaries, const QueryList& queries,
+    std::vector<std::vector<double>>& out) const {
+  const int64_t B = static_cast<int64_t>(boundaries.size());
+  const int64_t G = 4 * m_;
+  const int64_t q = static_cast<int64_t>(queries.size());
+  ad::Tensor g = ad::Tensor::zeros({B, G});
+  ad::Tensor x = ad::Tensor::zeros({B, q, 2});
+  for (int64_t b = 0; b < B; ++b) {
+    const auto& bd = boundaries[static_cast<std::size_t>(b)];
+    if (static_cast<int64_t>(bd.size()) != G) {
+      throw std::invalid_argument("predict: boundary size mismatch");
+    }
+    for (int64_t k = 0; k < G; ++k) g.flat(b * G + k) = bd[static_cast<std::size_t>(k)];
+    for (int64_t k = 0; k < q; ++k) {
+      x.flat((b * q + k) * 2 + 0) = queries[static_cast<std::size_t>(k)].first;
+      x.flat((b * q + k) * 2 + 1) = queries[static_cast<std::size_t>(k)].second;
+    }
+  }
+  ad::Tensor pred = net_->predict(g, x);  // [B, q, 1]
+  out.assign(static_cast<std::size_t>(B),
+             std::vector<double>(static_cast<std::size_t>(q)));
+  for (int64_t b = 0; b < B; ++b)
+    for (int64_t k = 0; k < q; ++k)
+      out[static_cast<std::size_t>(b)][static_cast<std::size_t>(k)] =
+          pred.flat(b * q + k);
+}
+
+HarmonicKernelSolver::HarmonicKernelSolver(int64_t m) : m_(m) {
+  const int64_t G = 4 * m;
+  basis_.reserve(static_cast<std::size_t>(G));
+  std::vector<double> e(static_cast<std::size_t>(G), 0.0);
+  for (int64_t k = 0; k < G; ++k) {
+    e[static_cast<std::size_t>(k)] = 1.0;
+    linalg::Grid2D u(m + 1, m + 1);
+    linalg::apply_perimeter(u, e);
+    linalg::solve_laplace_mg(u, 1.0 / static_cast<double>(m));
+    basis_.push_back(std::move(u));
+    e[static_cast<std::size_t>(k)] = 0.0;
+  }
+}
+
+double HarmonicKernelSolver::basis_value(int64_t k, double qx, double qy) const {
+  return sample_bilinear(basis_[static_cast<std::size_t>(k)], qx, qy);
+}
+
+void HarmonicKernelSolver::predict(
+    const std::vector<std::vector<double>>& boundaries, const QueryList& queries,
+    std::vector<std::vector<double>>& out) const {
+  const std::size_t B = boundaries.size();
+  const std::size_t q = queries.size();
+  const std::size_t G = static_cast<std::size_t>(4 * m_);
+  // Precompute basis values at the query points once per call.
+  std::vector<double> bq(G * q);
+  for (std::size_t k = 0; k < G; ++k)
+    for (std::size_t j = 0; j < q; ++j)
+      bq[k * q + j] = basis_value(static_cast<int64_t>(k), queries[j].first,
+                                  queries[j].second);
+  out.assign(B, std::vector<double>(q, 0.0));
+  for (std::size_t b = 0; b < B; ++b) {
+    const auto& bd = boundaries[b];
+    auto& row = out[b];
+    for (std::size_t k = 0; k < G; ++k) {
+      const double gk = bd[k];
+      if (gk == 0) continue;
+      const double* basis_row = &bq[k * q];
+      for (std::size_t j = 0; j < q; ++j) row[j] += gk * basis_row[j];
+    }
+  }
+}
+
+MultigridSubdomainSolver::MultigridSubdomainSolver(int64_t m, double tol)
+    : m_(m), tol_(tol) {}
+
+void MultigridSubdomainSolver::predict(
+    const std::vector<std::vector<double>>& boundaries, const QueryList& queries,
+    std::vector<std::vector<double>>& out) const {
+  out.assign(boundaries.size(), std::vector<double>(queries.size()));
+  for (std::size_t b = 0; b < boundaries.size(); ++b) {
+    linalg::Grid2D u(m_ + 1, m_ + 1);
+    linalg::apply_perimeter(u, boundaries[b]);
+    linalg::MultigridOptions opts;
+    opts.tol = tol_;
+    linalg::solve_laplace_mg(u, 1.0 / static_cast<double>(m_), opts);
+    for (std::size_t j = 0; j < queries.size(); ++j) {
+      out[b][j] = sample_bilinear(u, queries[j].first, queries[j].second);
+    }
+  }
+}
+
+}  // namespace mf::mosaic

@@ -1,0 +1,100 @@
+// Subdomain solver abstraction used by the Mosaic Flow predictor.
+//
+// The MFP only needs "given a subdomain's discretized boundary, predict
+// values at query points inside it". Three implementations:
+//  * NeuralSubdomainSolver  — a trained SDNet (the paper's solver)
+//  * HarmonicKernelSolver   — exact discrete Poisson-kernel superposition
+//    (the Laplace solution operator is linear in the boundary data), a
+//    "perfectly trained SDNet" used to isolate algorithmic convergence of
+//    the predictor from neural approximation error
+//  * MultigridSubdomainSolver — per-call numerical solve; the classical
+//    Schwarz subdomain solver for baseline comparisons
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "linalg/grid2d.hpp"
+#include "mosaic/sdnet.hpp"
+
+namespace mf::mosaic {
+
+/// Query positions are relative coordinates in the unit subdomain square.
+using QueryList = std::vector<std::pair<double, double>>;
+
+class SubdomainSolver {
+ public:
+  virtual ~SubdomainSolver() = default;
+
+  /// Grid cells per subdomain side; boundary vectors carry 4m values in
+  /// the canonical perimeter order.
+  virtual int64_t m() const = 0;
+
+  /// Predict values at `queries` for every boundary in the batch.
+  /// out[b][k] = u(queries[k]; boundaries[b]). Implementations may batch
+  /// internally; results must not depend on the batch split.
+  virtual void predict(const std::vector<std::vector<double>>& boundaries,
+                       const QueryList& queries,
+                       std::vector<std::vector<double>>& out) const = 0;
+
+  /// Convenience single-subdomain call.
+  std::vector<double> predict_one(const std::vector<double>& boundary,
+                                  const QueryList& queries) const;
+};
+
+/// SDNet-backed solver.
+class NeuralSubdomainSolver final : public SubdomainSolver {
+ public:
+  /// `net` must accept boundary vectors of 4m values.
+  NeuralSubdomainSolver(std::shared_ptr<const Sdnet> net, int64_t m);
+
+  int64_t m() const override { return m_; }
+  void predict(const std::vector<std::vector<double>>& boundaries,
+               const QueryList& queries,
+               std::vector<std::vector<double>>& out) const override;
+
+ private:
+  std::shared_ptr<const Sdnet> net_;
+  int64_t m_;
+};
+
+/// Exact solver by superposition of precomputed discrete harmonic basis
+/// functions: u(q) = sum_k g_k * B_k(q) where B_k solves the Laplace
+/// equation with the k-th unit boundary condition.
+class HarmonicKernelSolver final : public SubdomainSolver {
+ public:
+  explicit HarmonicKernelSolver(int64_t m);
+
+  int64_t m() const override { return m_; }
+  void predict(const std::vector<std::vector<double>>& boundaries,
+               const QueryList& queries,
+               std::vector<std::vector<double>>& out) const override;
+
+  /// Value of basis function k at relative coordinates (qx, qy)
+  /// (bilinear interpolation between grid points).
+  double basis_value(int64_t k, double qx, double qy) const;
+
+ private:
+  int64_t m_;
+  std::vector<linalg::Grid2D> basis_;  // 4m grids of (m+1)^2 points
+};
+
+/// Classical numerical subdomain solve (multigrid) per call.
+class MultigridSubdomainSolver final : public SubdomainSolver {
+ public:
+  explicit MultigridSubdomainSolver(int64_t m, double tol = 1e-10);
+
+  int64_t m() const override { return m_; }
+  void predict(const std::vector<std::vector<double>>& boundaries,
+               const QueryList& queries,
+               std::vector<std::vector<double>>& out) const override;
+
+ private:
+  int64_t m_;
+  double tol_;
+};
+
+/// Bilinear sample of a unit-square grid field at relative coordinates.
+double sample_bilinear(const linalg::Grid2D& g, double qx, double qy);
+
+}  // namespace mf::mosaic

@@ -1,0 +1,176 @@
+#include "mosaic/trainer.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <memory>
+
+#include "ad/engine.hpp"
+#include "util/timing.hpp"
+
+namespace mf::mosaic {
+
+namespace ops = ad::ops;
+using ad::Tensor;
+
+std::pair<double, double> training_step(Sdnet& net, const gp::SdnetBatch& batch,
+                                        const TrainConfig& config) {
+  // Step 1 (Algorithm 1, lines 5-6): data points — forward and backward
+  // on each process, gradients accumulate locally.
+  Tensor l_data = data_loss(net, batch.g, batch.x_data, batch.y_data);
+  ad::backward(l_data);
+
+  // Step 2 (lines 8-9): collocation points. Gradients accumulate onto the
+  // data-point gradients (ad::backward adds into .grad).
+  double l_pde_value = 0;
+  if (config.use_pde_loss) {
+    Tensor xc = batch.x_colloc.detach();
+    xc.set_requires_grad(true);
+    Tensor l_pde = ops::mul_scalar(pde_loss(net, batch.g, xc),
+                                   config.pde_loss_weight);
+    ad::backward(l_pde);
+    l_pde_value = l_pde.item();
+  }
+  return {l_data.item(), l_pde_value};
+}
+
+void average_gradients(Sdnet& net, comm::Communicator& comm) {
+  auto params = net.parameters();
+  // Pack into one contiguous buffer: one allreduce per iteration (the
+  // paper's communication optimization in Sec. 3.3).
+  std::size_t total = 0;
+  for (const auto& p : params) total += static_cast<std::size_t>(p.numel());
+  std::vector<double> flat(total, 0.0);
+  std::size_t off = 0;
+  for (const auto& p : params) {
+    Tensor g = p.grad();
+    if (g.defined()) {
+      std::copy(g.data(), g.data() + g.numel(), flat.begin() + static_cast<std::ptrdiff_t>(off));
+    }
+    off += static_cast<std::size_t>(p.numel());
+  }
+  comm.allreduce_sum(flat.data(), flat.size());
+  const double inv_p = 1.0 / static_cast<double>(comm.size());
+  off = 0;
+  for (auto& p : params) {
+    Tensor g = p.grad();
+    if (!g.defined()) {
+      g = ad::Tensor::zeros(p.shape());
+      p.set_grad(g);
+    }
+    for (int64_t i = 0; i < p.numel(); ++i) {
+      g.flat(i) = flat[off + static_cast<std::size_t>(i)] * inv_p;
+    }
+    off += static_cast<std::size_t>(p.numel());
+  }
+}
+
+double validation_mse(const Sdnet& net, const std::vector<gp::SolvedBvp>& bvps,
+                      int64_t m) {
+  if (bvps.empty()) return 0.0;
+  ad::NoGradGuard no_grad;
+  const int64_t B = static_cast<int64_t>(bvps.size());
+  const int64_t G = 4 * m;
+  const int64_t q = (m - 1) * (m - 1);
+  Tensor g = Tensor::zeros({B, G});
+  Tensor x = Tensor::zeros({B, q, 2});
+  const double inv_m = 1.0 / static_cast<double>(m);
+  for (int64_t b = 0; b < B; ++b) {
+    for (int64_t k = 0; k < G; ++k)
+      g.flat(b * G + k) = bvps[static_cast<std::size_t>(b)].boundary[static_cast<std::size_t>(k)];
+    int64_t qi = 0;
+    for (int64_t j = 1; j < m; ++j)
+      for (int64_t i = 1; i < m; ++i) {
+        x.flat((b * q + qi) * 2 + 0) = i * inv_m;
+        x.flat((b * q + qi) * 2 + 1) = j * inv_m;
+        ++qi;
+      }
+  }
+  Tensor pred = net.predict(g, x);
+  double acc = 0;
+  for (int64_t b = 0; b < B; ++b) {
+    int64_t qi = 0;
+    for (int64_t j = 1; j < m; ++j)
+      for (int64_t i = 1; i < m; ++i) {
+        const double d = pred.flat(b * q + qi) -
+                         bvps[static_cast<std::size_t>(b)].solution.at(i, j);
+        acc += d * d;
+        ++qi;
+      }
+  }
+  return acc / static_cast<double>(B * q);
+}
+
+std::vector<EpochStats> train_sdnet(
+    Sdnet& net, const std::vector<gp::SolvedBvp>& train,
+    const std::vector<gp::SolvedBvp>& val, const TrainConfig& config,
+    gp::LaplaceDatasetGenerator& gen, comm::Communicator* comm,
+    const std::function<void(const EpochStats&)>& on_epoch) {
+  const int ranks = comm ? comm->size() : 1;
+  const int64_t iters_per_epoch =
+      std::max<int64_t>(1, static_cast<int64_t>(train.size()) / config.batch_size);
+  const int64_t total_iters = config.epochs * iters_per_epoch;
+
+  double max_lr = config.max_lr;
+  double warmup_frac = config.warmup_fraction;
+  if (config.apply_batch_scaling_rules && ranks > 1) {
+    max_lr = optim::sqrt_lr_scaling(config.max_lr, ranks);
+    warmup_frac = optim::scaled_warmup_fraction(config.warmup_fraction, ranks);
+  }
+  optim::WarmupPolyDecay schedule(
+      max_lr, static_cast<int64_t>(warmup_frac * static_cast<double>(total_iters)),
+      total_iters, config.poly_power);
+
+  std::unique_ptr<optim::Optimizer> opt;
+  switch (config.optimizer) {
+    case OptimizerKind::kAdamW:
+      opt = std::make_unique<optim::Adam>(net.parameters(), max_lr, 0.9, 0.999,
+                                          1e-8, config.weight_decay, true);
+      break;
+    case OptimizerKind::kLamb:
+      opt = std::make_unique<optim::Lamb>(net.parameters(), max_lr, 0.9, 0.999,
+                                          1e-6, config.weight_decay);
+      break;
+    case OptimizerKind::kSgd:
+      opt = std::make_unique<optim::Sgd>(net.parameters(), max_lr, 0.9,
+                                         config.weight_decay);
+      break;
+  }
+
+  std::vector<EpochStats> history;
+  const auto t_start = std::chrono::steady_clock::now();
+  const double cpu_start = util::thread_cpu_seconds();
+  int64_t step = 0;
+  for (int64_t epoch = 0; epoch < config.epochs; ++epoch) {
+    double loss_acc = 0;
+    for (int64_t it = 0; it < iters_per_epoch; ++it) {
+      // Local shard batch (wraps around the shard).
+      std::vector<gp::SolvedBvp> local;
+      for (int64_t b = 0; b < config.batch_size; ++b) {
+        const std::size_t idx = static_cast<std::size_t>(
+            (it * config.batch_size + b) % static_cast<int64_t>(train.size()));
+        local.push_back(train[idx]);
+      }
+      auto batch = gen.make_batch(local, config.q_data, config.q_colloc);
+      net.zero_grad();
+      auto [ld, lp] = training_step(net, batch, config);
+      if (comm && comm->size() > 1) average_gradients(net, *comm);
+      opt->set_lr(schedule(step++));
+      opt->step();
+      loss_acc += ld + lp;
+    }
+    EpochStats stats;
+    stats.epoch = epoch;
+    stats.train_loss = loss_acc / static_cast<double>(iters_per_epoch);
+    stats.val_mse = validation_mse(net, val, gen.m());
+    stats.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t_start)
+            .count();
+    stats.cpu_seconds = util::thread_cpu_seconds() - cpu_start;
+    stats.comm_seconds = comm ? comm->stats().allreduce.modeled_seconds : 0.0;
+    history.push_back(stats);
+    if (on_epoch) on_epoch(stats);
+  }
+  return history;
+}
+
+}  // namespace mf::mosaic

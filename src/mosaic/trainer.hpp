@@ -1,0 +1,73 @@
+// SDNet training (paper Sec. 3.3, Algorithm 1).
+//
+// Each iteration runs two separate forward/backward passes — one for data
+// points, one for collocation points — accumulating gradients locally, and
+// performs exactly ONE allreduce of the summed gradients, preserving SGD
+// semantics (a true global average rather than a sum of averages).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "comm/world.hpp"
+#include "gp/dataset.hpp"
+#include "mosaic/loss.hpp"
+#include "mosaic/sdnet.hpp"
+#include "optim/lr_schedule.hpp"
+#include "optim/optimizers.hpp"
+
+namespace mf::mosaic {
+
+enum class OptimizerKind { kAdamW, kLamb, kSgd };
+
+struct TrainConfig {
+  int64_t epochs = 50;
+  int64_t batch_size = 8;       // boundary conditions per local batch
+  int64_t q_data = 32;          // data points per boundary condition
+  int64_t q_colloc = 32;        // collocation points per boundary condition
+  double max_lr = 1e-3;
+  double warmup_fraction = 0.001;  // of total iterations (Sec. 5.2)
+  double poly_power = 1.0;
+  double weight_decay = 0.0;
+  double pde_loss_weight = 1.0;
+  OptimizerKind optimizer = OptimizerKind::kLamb;
+  bool use_pde_loss = true;
+  /// Scale LR by sqrt(ranks) and warmup fraction linearly (Sec. 5.2).
+  bool apply_batch_scaling_rules = true;
+};
+
+struct EpochStats {
+  int64_t epoch = 0;
+  double train_loss = 0;       // mean combined loss over iterations
+  double val_mse = 0;          // validation MSE (rank-0 shard)
+  double wall_seconds = 0;     // cumulative wall time at end of epoch
+  double cpu_seconds = 0;      // cumulative thread CPU time ("device" time)
+  double comm_seconds = 0;     // cumulative modeled allreduce time
+};
+
+/// One Algorithm-1 step on a local batch; returns (data_loss, pde_loss).
+/// Gradients are left accumulated on the parameters (caller averages
+/// across ranks and applies the optimizer).
+std::pair<double, double> training_step(Sdnet& net, const gp::SdnetBatch& batch,
+                                        const TrainConfig& config);
+
+/// Flatten all parameter gradients, allreduce-sum, divide by world size,
+/// and scatter back — the single collective of Algorithm 1 (step 3).
+void average_gradients(Sdnet& net, comm::Communicator& comm);
+
+/// Data-parallel SDNet training on one rank. Every rank owns `train`
+/// (its shard) and optimizes a replica of `net`; replicas stay bitwise
+/// identical because they see identical averaged gradients.
+/// Returns per-epoch statistics (validation computed against `val`).
+std::vector<EpochStats> train_sdnet(
+    Sdnet& net, const std::vector<gp::SolvedBvp>& train,
+    const std::vector<gp::SolvedBvp>& val, const TrainConfig& config,
+    gp::LaplaceDatasetGenerator& gen, comm::Communicator* comm = nullptr,
+    const std::function<void(const EpochStats&)>& on_epoch = {});
+
+/// Validation MSE of the network against solved BVPs (grid data points).
+double validation_mse(const Sdnet& net, const std::vector<gp::SolvedBvp>& bvps,
+                      int64_t m);
+
+}  // namespace mf::mosaic

@@ -1,0 +1,134 @@
+#include "nn/layers.hpp"
+
+namespace mf::nn {
+
+namespace ops = ad::ops;
+
+Tensor activate(const Tensor& x, Activation act) {
+  switch (act) {
+    case Activation::kGelu:
+      return ops::gelu(x);
+    case Activation::kTanh:
+      return ops::tanh(x);
+    case Activation::kIdentity:
+      return x;
+  }
+  throw std::logic_error("unknown activation");
+}
+
+Linear::Linear(int64_t in_features, int64_t out_features, util::Rng& rng,
+               bool with_bias) {
+  Tensor w = Tensor::zeros({in_features, out_features});
+  xavier_uniform_(w, in_features, out_features, rng);
+  weight = register_parameter("weight", w);
+  if (with_bias) {
+    bias = register_parameter("bias", Tensor::zeros({out_features}));
+  }
+}
+
+Tensor Linear::forward(const Tensor& x) const {
+  Tensor y = ops::matmul(x, weight);
+  if (bias.defined()) y = ops::add(y, bias);
+  return y;
+}
+
+Conv1d::Conv1d(int64_t in_channels, int64_t out_channels, int64_t kernel_size,
+               int64_t padding, util::Rng& rng)
+    : padding_(padding) {
+  Tensor w = Tensor::zeros({out_channels, in_channels, kernel_size});
+  xavier_uniform_(w, in_channels * kernel_size, out_channels * kernel_size, rng);
+  weight = register_parameter("weight", w);
+  bias = register_parameter("bias", Tensor::zeros({out_channels}));
+}
+
+Tensor Conv1d::forward(const Tensor& x) const {
+  return ops::conv1d(x, weight, bias, padding_);
+}
+
+MLP::MLP(const std::vector<int64_t>& widths, Activation act, util::Rng& rng)
+    : act_(act) {
+  if (widths.size() < 2) {
+    throw std::invalid_argument("MLP needs at least input and output widths");
+  }
+  for (std::size_t i = 0; i + 1 < widths.size(); ++i) {
+    auto layer = std::make_shared<Linear>(widths[i], widths[i + 1], rng);
+    register_module(std::to_string(i), layer);
+    layers_.push_back(std::move(layer));
+  }
+}
+
+Tensor MLP::forward(const Tensor& x) const {
+  Tensor h = x;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    h = layers_[i]->forward(h);
+    if (i + 1 < layers_.size()) h = activate(h, act_);
+  }
+  return h;
+}
+
+SplitInputEmbedding::SplitInputEmbedding(int64_t g_features,
+                                         int64_t coord_features, int64_t width,
+                                         Activation act, util::Rng& rng)
+    : act_(act) {
+  g_proj = std::make_shared<Linear>(g_features, width, rng, /*bias=*/true);
+  x_proj = std::make_shared<Linear>(coord_features, width, rng, /*bias=*/false);
+  register_module("g_proj", g_proj);
+  register_module("x_proj", x_proj);
+}
+
+Tensor SplitInputEmbedding::forward(const Tensor& g, const Tensor& x) const {
+  // g W1 (+ b): computed once per boundary condition — [B, d].
+  Tensor ge = g_proj->forward(g);
+  // X W2: [B, q, d].
+  Tensor xe = x_proj->forward(x);
+  // Broadcasted sum over the q axis (the ⊕ of eq. (8)).
+  Tensor ge3 = ops::reshape(ge, {ge.size(0), 1, ge.size(1)});
+  return activate(ops::add(ge3, xe), act_);
+}
+
+InputConcatEmbedding::InputConcatEmbedding(int64_t g_features,
+                                           int64_t coord_features,
+                                           int64_t width, Activation act,
+                                           util::Rng& rng)
+    : g_features_(g_features), act_(act) {
+  proj = std::make_shared<Linear>(g_features + coord_features, width, rng);
+  register_module("proj", proj);
+}
+
+Tensor InputConcatEmbedding::forward(const Tensor& g, const Tensor& x) const {
+  const int64_t B = g.size(0);
+  const int64_t q = x.size(1);
+  // Replicate the boundary vector for every query point: the redundant
+  // q x (G + C) input matrix I of eq. (5)/(6).
+  Tensor g3 = ops::reshape(g, {B, 1, g_features_});
+  Tensor grep = ops::broadcast_to(g3, {B, q, g_features_});
+  Tensor input = ops::concat({grep, x}, 2);
+  return activate(proj->forward(input), act_);
+}
+
+ConvBoundaryEncoder::ConvBoundaryEncoder(int64_t boundary_len, int64_t channels,
+                                         int64_t depth, int64_t kernel_size,
+                                         Activation act, util::Rng& rng)
+    : act_(act), boundary_len_(boundary_len) {
+  if (depth < 1) throw std::invalid_argument("encoder depth must be >= 1");
+  const int64_t pad = kernel_size / 2;  // length-preserving
+  for (int64_t i = 0; i < depth; ++i) {
+    const int64_t in_ch = i == 0 ? 1 : channels;
+    auto conv = std::make_shared<Conv1d>(in_ch, channels, kernel_size, pad, rng);
+    register_module("conv" + std::to_string(i), conv);
+    convs_.push_back(std::move(conv));
+  }
+  out_features_ = boundary_len * channels;
+}
+
+Tensor ConvBoundaryEncoder::forward(const Tensor& g) const {
+  const int64_t B = g.size(0);
+  Tensor h = ops::reshape(g, {B, 1, boundary_len_});
+  for (std::size_t i = 0; i < convs_.size(); ++i) {
+    h = convs_[i]->forward(h);
+    h = activate(h, act_);
+  }
+  return ops::reshape(h, {B, out_features_});
+}
+
+}  // namespace mf::nn

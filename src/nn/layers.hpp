@@ -1,0 +1,125 @@
+// Neural network layers used by SDNet: Linear, Conv1d, activations, MLP
+// stacks, and the paper's two input embeddings — the inefficient
+// input-concat baseline (eq. (6)) and the optimized split layer (eq. (8)).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "ad/ops.hpp"
+#include "nn/module.hpp"
+
+namespace mf::nn {
+
+enum class Activation { kGelu, kTanh, kIdentity };
+
+/// Apply the chosen activation elementwise.
+Tensor activate(const Tensor& x, Activation act);
+
+/// Affine map on the last axis: x [..., in] -> [..., out].
+/// Weight is stored as [in, out] so the forward pass is a plain matmul.
+class Linear : public Module {
+ public:
+  Linear(int64_t in_features, int64_t out_features, util::Rng& rng,
+         bool bias = true);
+
+  Tensor forward(const Tensor& x) const;
+
+  int64_t in_features() const { return weight.size(0); }
+  int64_t out_features() const { return weight.size(1); }
+
+  Tensor weight;  // [in, out]
+  Tensor bias;    // [out] or undefined
+};
+
+/// 1-D convolution over [B, C, L]; stride 1, symmetric zero padding.
+class Conv1d : public Module {
+ public:
+  Conv1d(int64_t in_channels, int64_t out_channels, int64_t kernel_size,
+         int64_t padding, util::Rng& rng);
+
+  Tensor forward(const Tensor& x) const;
+
+  int64_t padding() const { return padding_; }
+
+  Tensor weight;  // [out, in, k]
+  Tensor bias;    // [out]
+
+ private:
+  int64_t padding_;
+};
+
+/// A stack of Linear layers with an activation between them (none after
+/// the final layer).
+class MLP : public Module {
+ public:
+  MLP(const std::vector<int64_t>& widths, Activation act, util::Rng& rng);
+
+  Tensor forward(const Tensor& x) const;
+
+  const std::vector<std::shared_ptr<Linear>>& layers() const { return layers_; }
+
+ private:
+  std::vector<std::shared_ptr<Linear>> layers_;
+  Activation act_;
+};
+
+/// The paper's optimized input embedding (eq. (8)):
+///   U = act(g_emb W1^T (+ b)  ⊕  X W2^T)
+/// where the boundary embedding is computed once per boundary condition and
+/// broadcast over the q query points, instead of being replicated into the
+/// input matrix. Cost drops from O(q N d) to O(N d + q d).
+class SplitInputEmbedding : public Module {
+ public:
+  SplitInputEmbedding(int64_t g_features, int64_t coord_features, int64_t width,
+                      Activation act, util::Rng& rng);
+
+  /// g: [B, G], x: [B, q, C] -> [B, q, width]
+  Tensor forward(const Tensor& g, const Tensor& x) const;
+
+  std::shared_ptr<Linear> g_proj;   // with bias
+  std::shared_ptr<Linear> x_proj;   // no bias (bias would be redundant)
+
+ private:
+  Activation act_;
+};
+
+/// The baseline input-concat embedding (eq. (6)): replicates the boundary
+/// vector for every query point, forming the q x (G + C) input matrix I.
+/// Kept as the reference implementation and for the Fig. 5 comparison.
+class InputConcatEmbedding : public Module {
+ public:
+  InputConcatEmbedding(int64_t g_features, int64_t coord_features,
+                       int64_t width, Activation act, util::Rng& rng);
+
+  /// g: [B, G], x: [B, q, C] -> [B, q, width]
+  Tensor forward(const Tensor& g, const Tensor& x) const;
+
+  std::shared_ptr<Linear> proj;  // [(G+C), width]
+
+ private:
+  int64_t g_features_;
+  Activation act_;
+};
+
+/// Boundary-condition encoder: a stack of 1-D convolutions over the
+/// discretized boundary curve (Sec. 3.1), flattened to a feature vector.
+class ConvBoundaryEncoder : public Module {
+ public:
+  ConvBoundaryEncoder(int64_t boundary_len, int64_t channels, int64_t depth,
+                      int64_t kernel_size, Activation act, util::Rng& rng);
+
+  /// g: [B, L] -> [B, L * channels]
+  Tensor forward(const Tensor& g) const;
+
+  int64_t out_features() const { return out_features_; }
+
+ private:
+  std::vector<std::shared_ptr<Conv1d>> convs_;
+  Activation act_;
+  int64_t boundary_len_;
+  int64_t out_features_;
+};
+
+}  // namespace mf::nn

@@ -1,0 +1,77 @@
+#include "nn/module.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mf::nn {
+
+std::vector<Tensor> Module::parameters() const {
+  std::vector<Tensor> out;
+  for (const auto& [name, t] : named_parameters()) out.push_back(t);
+  return out;
+}
+
+std::vector<std::pair<std::string, Tensor>> Module::named_parameters() const {
+  std::vector<std::pair<std::string, Tensor>> out;
+  collect("", out);
+  return out;
+}
+
+int64_t Module::parameter_count() const {
+  int64_t n = 0;
+  for (const auto& p : parameters()) n += p.numel();
+  return n;
+}
+
+void Module::zero_grad() {
+  for (auto& p : parameters()) p.zero_grad();
+}
+
+void Module::copy_parameters_from(const Module& other) {
+  auto dst = named_parameters();
+  auto src = other.named_parameters();
+  if (dst.size() != src.size()) {
+    throw std::invalid_argument("copy_parameters_from: structure mismatch");
+  }
+  for (std::size_t i = 0; i < dst.size(); ++i) {
+    if (dst[i].second.shape() != src[i].second.shape()) {
+      throw std::invalid_argument("copy_parameters_from: shape mismatch at " +
+                                  dst[i].first);
+    }
+    dst[i].second.vec() = src[i].second.vec();
+  }
+}
+
+Tensor Module::register_parameter(const std::string& name, Tensor t) {
+  t.set_requires_grad(true);
+  params_.emplace_back(name, t);
+  return t;
+}
+
+void Module::register_module(const std::string& name,
+                             std::shared_ptr<Module> child) {
+  children_.emplace_back(name, std::move(child));
+}
+
+void Module::collect(const std::string& prefix,
+                     std::vector<std::pair<std::string, Tensor>>& out) const {
+  for (const auto& [name, t] : params_) {
+    out.emplace_back(prefix.empty() ? name : prefix + "." + name, t);
+  }
+  for (const auto& [name, child] : children_) {
+    child->collect(prefix.empty() ? name : prefix + "." + name, out);
+  }
+}
+
+void xavier_uniform_(Tensor& t, int64_t fan_in, int64_t fan_out,
+                     util::Rng& rng, double gain) {
+  const double a = gain * std::sqrt(6.0 / static_cast<double>(fan_in + fan_out));
+  for (int64_t i = 0; i < t.numel(); ++i) t.flat(i) = rng.uniform(-a, a);
+}
+
+void kaiming_normal_(Tensor& t, int64_t fan_in, util::Rng& rng) {
+  const double s = std::sqrt(2.0 / static_cast<double>(fan_in));
+  for (int64_t i = 0; i < t.numel(); ++i) t.flat(i) = rng.normal(0.0, s);
+}
+
+}  // namespace mf::nn

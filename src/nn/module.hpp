@@ -1,0 +1,57 @@
+// Module base class: a registry of named parameters and submodules,
+// mirroring the torch.nn.Module contract the paper's models are built on.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ad/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace mf::nn {
+
+using ad::Tensor;
+
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  /// All trainable parameters of this module and its children.
+  std::vector<Tensor> parameters() const;
+
+  /// Parameters with hierarchical dotted names ("mlp.0.weight").
+  std::vector<std::pair<std::string, Tensor>> named_parameters() const;
+
+  /// Total scalar parameter count.
+  int64_t parameter_count() const;
+
+  /// Zero the gradient of every parameter.
+  void zero_grad();
+
+  /// Copy parameter values from another module with identical structure.
+  void copy_parameters_from(const Module& other);
+
+ protected:
+  Tensor register_parameter(const std::string& name, Tensor t);
+  void register_module(const std::string& name, std::shared_ptr<Module> child);
+
+ private:
+  void collect(const std::string& prefix,
+               std::vector<std::pair<std::string, Tensor>>& out) const;
+
+  std::vector<std::pair<std::string, Tensor>> params_;
+  std::vector<std::pair<std::string, std::shared_ptr<Module>>> children_;
+};
+
+// ---- initializers ----
+
+/// Uniform(-a, a) with a = gain * sqrt(6 / (fan_in + fan_out)).
+void xavier_uniform_(Tensor& t, int64_t fan_in, int64_t fan_out,
+                     util::Rng& rng, double gain = 1.0);
+
+/// Normal(0, sqrt(2 / fan_in)) — He initialization.
+void kaiming_normal_(Tensor& t, int64_t fan_in, util::Rng& rng);
+
+}  // namespace mf::nn

@@ -1,0 +1,67 @@
+#include "nn/serialize.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+
+namespace mf::nn {
+
+namespace {
+
+void write_u64(std::ofstream& os, std::uint64_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+std::uint64_t read_u64(std::ifstream& is) {
+  std::uint64_t v = 0;
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+void save_parameters(const Module& m, const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("save_parameters: cannot open " + path);
+  const auto params = m.named_parameters();
+  write_u64(os, params.size());
+  for (const auto& [name, t] : params) {
+    write_u64(os, name.size());
+    os.write(name.data(), static_cast<std::streamsize>(name.size()));
+    write_u64(os, t.shape().size());
+    for (int64_t d : t.shape()) write_u64(os, static_cast<std::uint64_t>(d));
+    os.write(reinterpret_cast<const char*>(t.data()),
+             static_cast<std::streamsize>(t.numel() * sizeof(double)));
+  }
+  if (!os) throw std::runtime_error("save_parameters: write failed: " + path);
+}
+
+void load_parameters(Module& m, const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("load_parameters: cannot open " + path);
+  auto params = m.named_parameters();
+  const std::uint64_t count = read_u64(is);
+  if (count != params.size()) {
+    throw std::runtime_error("load_parameters: parameter count mismatch");
+  }
+  for (auto& [name, t] : params) {
+    const std::uint64_t name_len = read_u64(is);
+    std::string stored(name_len, '\0');
+    is.read(stored.data(), static_cast<std::streamsize>(name_len));
+    if (stored != name) {
+      throw std::runtime_error("load_parameters: expected '" + name +
+                               "', found '" + stored + "'");
+    }
+    const std::uint64_t rank = read_u64(is);
+    ad::Shape shape(rank);
+    for (auto& d : shape) d = static_cast<int64_t>(read_u64(is));
+    if (shape != t.shape()) {
+      throw std::runtime_error("load_parameters: shape mismatch for " + name);
+    }
+    is.read(reinterpret_cast<char*>(t.data()),
+            static_cast<std::streamsize>(t.numel() * sizeof(double)));
+  }
+  if (!is) throw std::runtime_error("load_parameters: truncated file: " + path);
+}
+
+}  // namespace mf::nn

@@ -1,0 +1,18 @@
+// Binary save/load of module parameters (a minimal state_dict).
+#pragma once
+
+#include <string>
+
+#include "nn/module.hpp"
+
+namespace mf::nn {
+
+/// Write all named parameters of `m` to `path`. Format: little-endian
+/// [count][per-entry: name, rank, dims..., payload doubles].
+void save_parameters(const Module& m, const std::string& path);
+
+/// Load parameters saved by save_parameters into `m`. Names and shapes
+/// must match exactly.
+void load_parameters(Module& m, const std::string& path);
+
+}  // namespace mf::nn

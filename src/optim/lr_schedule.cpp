@@ -1,0 +1,41 @@
+#include "optim/lr_schedule.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mf::optim {
+
+WarmupPolyDecay::WarmupPolyDecay(double max_lr, int64_t warmup_steps,
+                                 int64_t total_steps, double power)
+    : max_lr_(max_lr),
+      warmup_steps_(warmup_steps),
+      total_steps_(total_steps),
+      power_(power) {
+  if (total_steps <= 0) throw std::invalid_argument("total_steps must be > 0");
+  if (warmup_steps < 0 || warmup_steps > total_steps) {
+    throw std::invalid_argument("warmup_steps out of range");
+  }
+}
+
+double WarmupPolyDecay::operator()(int64_t step) const {
+  step = std::clamp<int64_t>(step, 0, total_steps_);
+  if (warmup_steps_ > 0 && step < warmup_steps_) {
+    return max_lr_ * static_cast<double>(step + 1) /
+           static_cast<double>(warmup_steps_);
+  }
+  const double remaining = static_cast<double>(total_steps_ - step) /
+                           static_cast<double>(std::max<int64_t>(
+                               1, total_steps_ - warmup_steps_));
+  return max_lr_ * std::pow(remaining, power_);
+}
+
+double sqrt_lr_scaling(double base_lr, int64_t ranks) {
+  return base_lr * std::sqrt(static_cast<double>(ranks));
+}
+
+double scaled_warmup_fraction(double base_fraction, int64_t ranks) {
+  return std::min(1.0, base_fraction * static_cast<double>(ranks));
+}
+
+}  // namespace mf::optim

@@ -1,0 +1,37 @@
+// Learning-rate schedules matching Sec. 5.2: linear warmup followed by
+// polynomial decay, plus the square-root batch-size scaling rule used when
+// the per-step batch grows with the number of data-parallel ranks.
+#pragma once
+
+#include <cstdint>
+
+namespace mf::optim {
+
+/// lr(step): linear warmup to `max_lr` over `warmup_steps`, then polynomial
+/// decay (power `power`) to zero at `total_steps`. power = 1 reproduces the
+/// paper's "polynomial learning rate decay with the exponent set to one".
+class WarmupPolyDecay {
+ public:
+  WarmupPolyDecay(double max_lr, int64_t warmup_steps, int64_t total_steps,
+                  double power = 1.0);
+
+  double operator()(int64_t step) const;
+
+  int64_t warmup_steps() const { return warmup_steps_; }
+  int64_t total_steps() const { return total_steps_; }
+
+ private:
+  double max_lr_;
+  int64_t warmup_steps_;
+  int64_t total_steps_;
+  double power_;
+};
+
+/// Sec. 5.2 (a): scale the max learning rate by the square root of the
+/// batch-size increase when scaling to `ranks` data-parallel workers.
+double sqrt_lr_scaling(double base_lr, int64_t ranks);
+
+/// Sec. 5.2 (b): warmup fraction scales linearly with the batch increase.
+double scaled_warmup_fraction(double base_fraction, int64_t ranks);
+
+}  // namespace mf::optim

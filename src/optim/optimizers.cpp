@@ -1,0 +1,121 @@
+#include "optim/optimizers.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mf::optim {
+
+void Optimizer::zero_grad() {
+  for (auto& p : params_) p.zero_grad();
+}
+
+Sgd::Sgd(std::vector<Tensor> params, double lr, double momentum,
+         double weight_decay)
+    : Optimizer(std::move(params), lr),
+      momentum_(momentum),
+      weight_decay_(weight_decay) {
+  velocity_.resize(params_.size());
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    velocity_[i].assign(static_cast<std::size_t>(params_[i].numel()), 0.0);
+  }
+}
+
+void Sgd::step() {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Tensor& p = params_[i];
+    Tensor g = p.grad();
+    if (!g.defined()) continue;
+    for (int64_t j = 0; j < p.numel(); ++j) {
+      double gj = g.flat(j) + weight_decay_ * p.flat(j);
+      if (momentum_ != 0.0) {
+        velocity_[i][static_cast<std::size_t>(j)] =
+            momentum_ * velocity_[i][static_cast<std::size_t>(j)] + gj;
+        gj = velocity_[i][static_cast<std::size_t>(j)];
+      }
+      p.flat(j) -= lr_ * gj;
+    }
+  }
+}
+
+Adam::Adam(std::vector<Tensor> params, double lr, double beta1, double beta2,
+           double eps, double weight_decay, bool decoupled_weight_decay)
+    : Optimizer(std::move(params), lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay),
+      decoupled_(decoupled_weight_decay) {
+  m_.resize(params_.size());
+  v_.resize(params_.size());
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    m_[i].assign(static_cast<std::size_t>(params_[i].numel()), 0.0);
+    v_[i].assign(static_cast<std::size_t>(params_[i].numel()), 0.0);
+  }
+}
+
+void Adam::adam_direction(std::size_t i, std::vector<double>& out) {
+  Tensor& p = params_[i];
+  Tensor g = p.grad();
+  out.assign(static_cast<std::size_t>(p.numel()), 0.0);
+  if (!g.defined()) return;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (int64_t j = 0; j < p.numel(); ++j) {
+    double gj = g.flat(j);
+    if (!decoupled_) gj += weight_decay_ * p.flat(j);
+    auto& mj = m_[i][static_cast<std::size_t>(j)];
+    auto& vj = v_[i][static_cast<std::size_t>(j)];
+    mj = beta1_ * mj + (1 - beta1_) * gj;
+    vj = beta2_ * vj + (1 - beta2_) * gj * gj;
+    const double mhat = mj / bc1;
+    const double vhat = vj / bc2;
+    out[static_cast<std::size_t>(j)] = mhat / (std::sqrt(vhat) + eps_);
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  std::vector<double> dir;
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Tensor& p = params_[i];
+    if (!p.grad().defined()) continue;
+    adam_direction(i, dir);
+    for (int64_t j = 0; j < p.numel(); ++j) {
+      double update = dir[static_cast<std::size_t>(j)];
+      if (decoupled_) update += weight_decay_ * p.flat(j);
+      p.flat(j) -= lr_ * update;
+    }
+  }
+}
+
+Lamb::Lamb(std::vector<Tensor> params, double lr, double beta1, double beta2,
+           double eps, double weight_decay)
+    : Adam(std::move(params), lr, beta1, beta2, eps, weight_decay,
+           /*decoupled_weight_decay=*/true) {}
+
+void Lamb::step() {
+  ++t_;
+  std::vector<double> dir;
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Tensor& p = params_[i];
+    if (!p.grad().defined()) continue;
+    adam_direction(i, dir);
+    // r = adam direction + decoupled weight decay
+    double w_norm = 0.0, r_norm = 0.0;
+    for (int64_t j = 0; j < p.numel(); ++j) {
+      dir[static_cast<std::size_t>(j)] += weight_decay_ * p.flat(j);
+      w_norm += p.flat(j) * p.flat(j);
+      const double r = dir[static_cast<std::size_t>(j)];
+      r_norm += r * r;
+    }
+    w_norm = std::sqrt(w_norm);
+    r_norm = std::sqrt(r_norm);
+    // Layerwise trust ratio; 1 when either norm degenerates (LAMB paper).
+    const double trust = (w_norm > 0 && r_norm > 0) ? w_norm / r_norm : 1.0;
+    for (int64_t j = 0; j < p.numel(); ++j) {
+      p.flat(j) -= lr_ * trust * dir[static_cast<std::size_t>(j)];
+    }
+  }
+}
+
+}  // namespace mf::optim

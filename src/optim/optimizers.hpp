@@ -1,0 +1,73 @@
+// First-order optimizers. LAMB is the one the paper uses at scale
+// (Sec. 5.2): layerwise trust ratios keep large-batch data-parallel
+// training stable where AdamW degrades.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "ad/tensor.hpp"
+
+namespace mf::optim {
+
+using ad::Tensor;
+
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Tensor> params, double lr)
+      : params_(std::move(params)), lr_(lr) {}
+  virtual ~Optimizer() = default;
+
+  /// Apply one update from the gradients currently stored on the params.
+  virtual void step() = 0;
+
+  void zero_grad();
+  void set_lr(double lr) { lr_ = lr; }
+  double lr() const { return lr_; }
+  const std::vector<Tensor>& params() const { return params_; }
+
+ protected:
+  std::vector<Tensor> params_;
+  double lr_;
+};
+
+class Sgd final : public Optimizer {
+ public:
+  Sgd(std::vector<Tensor> params, double lr, double momentum = 0.0,
+      double weight_decay = 0.0);
+  void step() override;
+
+ private:
+  double momentum_, weight_decay_;
+  std::vector<std::vector<double>> velocity_;
+};
+
+/// Adam / AdamW. With `decoupled_weight_decay` the decay is applied to the
+/// weights directly (AdamW, Loshchilov & Hutter) instead of the gradient.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Tensor> params, double lr, double beta1 = 0.9,
+       double beta2 = 0.999, double eps = 1e-8, double weight_decay = 0.0,
+       bool decoupled_weight_decay = false);
+  void step() override;
+
+ protected:
+  /// Computes the Adam direction for parameter `i` into `out` (without lr).
+  void adam_direction(std::size_t i, std::vector<double>& out);
+
+  double beta1_, beta2_, eps_, weight_decay_;
+  bool decoupled_;
+  int64_t t_ = 0;
+  std::vector<std::vector<double>> m_, v_;
+};
+
+/// LAMB (You et al., 2020): Adam direction rescaled per parameter tensor by
+/// the trust ratio ||w|| / ||update||.
+class Lamb final : public Adam {
+ public:
+  Lamb(std::vector<Tensor> params, double lr, double beta1 = 0.9,
+       double beta2 = 0.999, double eps = 1e-6, double weight_decay = 0.0);
+  void step() override;
+};
+
+}  // namespace mf::optim

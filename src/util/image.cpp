@@ -1,0 +1,31 @@
+#include "util/image.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <stdexcept>
+
+namespace mf::util {
+
+void write_pgm(const linalg::Grid2D& g, const std::string& path, double lo,
+               double hi) {
+  if (lo == hi) {
+    lo = 1e300;
+    hi = -1e300;
+    for (double v : g.vec()) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    if (lo == hi) hi = lo + 1;
+  }
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("write_pgm: cannot open " + path);
+  os << "P5\n" << g.nx() << " " << g.ny() << "\n255\n";
+  for (int64_t j = g.ny() - 1; j >= 0; --j) {  // top row first
+    for (int64_t i = 0; i < g.nx(); ++i) {
+      const double t = std::clamp((g.at(i, j) - lo) / (hi - lo), 0.0, 1.0);
+      os.put(static_cast<char>(static_cast<unsigned char>(t * 255.0)));
+    }
+  }
+}
+
+}  // namespace mf::util

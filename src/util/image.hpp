@@ -1,0 +1,16 @@
+// Grayscale PGM output of grid fields — the Fig. 1 style solution and
+// absolute-difference maps, viewable with any image tool.
+#pragma once
+
+#include <string>
+
+#include "linalg/grid2d.hpp"
+
+namespace mf::util {
+
+/// Write `g` as an 8-bit PGM, mapping [lo, hi] to [0, 255]. When
+/// lo == hi, the range is taken from the data.
+void write_pgm(const linalg::Grid2D& g, const std::string& path, double lo = 0,
+               double hi = 0);
+
+}  // namespace mf::util

@@ -1,0 +1,51 @@
+// Timing utilities. Scaling benchmarks on this single-core box report
+// "virtual" per-rank compute time measured with the per-thread CPU clock:
+// rank threads timeshare one core, so each thread's CPU time equals the
+// compute it would perform on its own device, which is the quantity the
+// paper's strong/weak scaling plots show.
+#pragma once
+
+#include <chrono>
+#include <ctime>
+
+namespace mf::util {
+
+/// CPU time consumed by the calling thread, in seconds.
+inline double thread_cpu_seconds() {
+  timespec ts{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) + 1e-9 * static_cast<double>(ts.tv_nsec);
+}
+
+/// Wall-clock seconds since an arbitrary epoch.
+inline double wall_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Accumulates time spent in repeated scoped sections.
+class StopwatchAccum {
+ public:
+  void add(double seconds) { total_ += seconds; }
+  double total() const { return total_; }
+
+ private:
+  double total_ = 0;
+};
+
+/// RAII: adds the elapsed thread-CPU time of the scope to an accumulator.
+class ScopedCpuTimer {
+ public:
+  explicit ScopedCpuTimer(StopwatchAccum& acc)
+      : acc_(acc), start_(thread_cpu_seconds()) {}
+  ~ScopedCpuTimer() { acc_.add(thread_cpu_seconds() - start_); }
+  ScopedCpuTimer(const ScopedCpuTimer&) = delete;
+  ScopedCpuTimer& operator=(const ScopedCpuTimer&) = delete;
+
+ private:
+  StopwatchAccum& acc_;
+  double start_;
+};
+
+}  // namespace mf::util

@@ -1,0 +1,273 @@
+// Communication substrate tests: point-to-point semantics, collectives vs
+// sequential references across rank counts (parameterized), alpha-beta
+// accounting, Cartesian topology.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <numeric>
+
+#include "comm/cartesian.hpp"
+#include "comm/world.hpp"
+
+namespace comm = mf::comm;
+
+TEST(World, InvalidSizeThrows) {
+  EXPECT_THROW(comm::World(0), std::invalid_argument);
+}
+
+TEST(PointToPoint, SendRecvDelivers) {
+  comm::World world(2);
+  world.run([](comm::Communicator& c) {
+    if (c.rank() == 0) {
+      std::vector<double> data = {1.5, 2.5, 3.5};
+      c.send(1, data, 7);
+    } else {
+      auto got = c.recv_vec(0, 7);
+      ASSERT_EQ(got.size(), 3u);
+      EXPECT_EQ(got[1], 2.5);
+    }
+  });
+}
+
+TEST(PointToPoint, TagsMatchIndependently) {
+  // Messages with different tags must be matched by tag, not order.
+  comm::World world(2);
+  world.run([](comm::Communicator& c) {
+    if (c.rank() == 0) {
+      c.send(1, std::vector<double>{1.0}, /*tag=*/10);
+      c.send(1, std::vector<double>{2.0}, /*tag=*/20);
+    } else {
+      auto second = c.recv_vec(0, 20);  // request the later tag first
+      auto first = c.recv_vec(0, 10);
+      EXPECT_EQ(second[0], 2.0);
+      EXPECT_EQ(first[0], 1.0);
+    }
+  });
+}
+
+TEST(PointToPoint, FifoPerSourceAndTag) {
+  comm::World world(2);
+  world.run([](comm::Communicator& c) {
+    if (c.rank() == 0) {
+      for (int i = 0; i < 5; ++i) c.send(1, std::vector<double>{double(i)}, 3);
+    } else {
+      for (int i = 0; i < 5; ++i) {
+        auto v = c.recv_vec(0, 3);
+        EXPECT_EQ(v[0], double(i));
+      }
+    }
+  });
+}
+
+TEST(PointToPoint, SendRecvExchange) {
+  comm::World world(2);
+  world.run([](comm::Communicator& c) {
+    std::vector<double> mine = {double(c.rank() + 1)};
+    std::vector<double> theirs;
+    c.sendrecv(1 - c.rank(), mine, theirs, 0);
+    EXPECT_EQ(theirs[0], double(2 - c.rank()));
+  });
+}
+
+TEST(PointToPoint, RankExceptionPropagates) {
+  comm::World world(2);
+  EXPECT_THROW(world.run([](comm::Communicator& c) {
+    if (c.rank() == 1) throw std::runtime_error("rank 1 failed");
+    // rank 0 does nothing and exits cleanly
+  }),
+               std::runtime_error);
+}
+
+class CollectivesAtSize : public ::testing::TestWithParam<int> {};
+
+TEST_P(CollectivesAtSize, AllreduceSumScalar) {
+  const int P = GetParam();
+  comm::World world(P);
+  world.run([P](comm::Communicator& c) {
+    const double total = c.allreduce_sum(double(c.rank() + 1));
+    EXPECT_NEAR(total, P * (P + 1) / 2.0, 1e-12);
+  });
+}
+
+TEST_P(CollectivesAtSize, AllreduceSumVector) {
+  const int P = GetParam();
+  comm::World world(P);
+  world.run([P](comm::Communicator& c) {
+    std::vector<double> v = {double(c.rank()), 1.0, double(c.rank() * 2)};
+    c.allreduce_sum(v.data(), v.size());
+    EXPECT_NEAR(v[0], P * (P - 1) / 2.0, 1e-12);
+    EXPECT_NEAR(v[1], double(P), 1e-12);
+    EXPECT_NEAR(v[2], double(P * (P - 1)), 1e-12);
+  });
+}
+
+TEST_P(CollectivesAtSize, AllreduceMax) {
+  const int P = GetParam();
+  comm::World world(P);
+  world.run([P](comm::Communicator& c) {
+    const double m = c.allreduce_max(std::sin(1.0 + c.rank()));
+    double expect = -2;
+    for (int r = 0; r < P; ++r) expect = std::max(expect, std::sin(1.0 + r));
+    EXPECT_NEAR(m, expect, 1e-12);
+  });
+}
+
+TEST_P(CollectivesAtSize, AllgathervVariableSizes) {
+  const int P = GetParam();
+  comm::World world(P);
+  world.run([P](comm::Communicator& c) {
+    std::vector<double> local(static_cast<std::size_t>(c.rank() + 1),
+                              double(c.rank()));
+    auto all = c.allgatherv(local);
+    ASSERT_EQ(all.size(), static_cast<std::size_t>(P));
+    for (int r = 0; r < P; ++r) {
+      ASSERT_EQ(all[static_cast<std::size_t>(r)].size(),
+                static_cast<std::size_t>(r + 1));
+      for (double v : all[static_cast<std::size_t>(r)]) EXPECT_EQ(v, double(r));
+    }
+  });
+}
+
+TEST_P(CollectivesAtSize, BarrierSynchronizes) {
+  const int P = GetParam();
+  comm::World world(P);
+  std::atomic<int> before{0};
+  std::atomic<bool> violated{false};
+  world.run([&](comm::Communicator& c) {
+    before.fetch_add(1);
+    c.barrier();
+    // After the barrier every rank must observe all P pre-barrier arrivals.
+    if (before.load() != P) violated.store(true);
+  });
+  EXPECT_FALSE(violated.load());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CollectivesAtSize,
+                         ::testing::Values(1, 2, 3, 4, 7, 8, 16));
+
+TEST(Stats, ModeledTimeFollowsAlphaBeta) {
+  comm::AlphaBetaModel model{1e-5, 1e9};
+  comm::World world(2, model);
+  world.run([](comm::Communicator& c) {
+    std::vector<double> payload(1000, 1.0);  // 8000 bytes
+    if (c.rank() == 0) {
+      c.send(1, payload, 0);
+    } else {
+      (void)c.recv_vec(0, 0);
+    }
+  });
+  const auto& stats = world.last_stats()[1];
+  EXPECT_EQ(stats.sendrecv.messages, 1u);
+  EXPECT_EQ(stats.sendrecv.bytes, 8000u);
+  EXPECT_NEAR(stats.sendrecv.modeled_seconds, 1e-5 + 8000 / 1e9, 1e-15);
+}
+
+TEST(Stats, CategoriesSeparated) {
+  comm::World world(2);
+  world.run([](comm::Communicator& c) {
+    // one p2p + one allreduce + one allgather
+    std::vector<double> x = {1.0};
+    if (c.rank() == 0) c.send(1, x, 0);
+    else (void)c.recv_vec(0, 0);
+    c.allreduce_sum(1.0);
+    (void)c.allgatherv(x);
+  });
+  const auto& s = world.last_stats()[1];
+  EXPECT_EQ(s.sendrecv.messages, 1u);
+  EXPECT_GE(s.allreduce.messages, 1u);
+  EXPECT_GE(s.allgather.messages, 1u);
+}
+
+TEST(Stats, ModelPresetsOrdered) {
+  // NVLink has more bandwidth than PCIe which is on par with IB.
+  const auto ib = comm::AlphaBetaModel::infiniband_100g();
+  const auto nv = comm::AlphaBetaModel::nvlink_200g();
+  const std::size_t mb = 1 << 20;
+  EXPECT_LT(nv.time(mb), ib.time(mb));
+}
+
+// ---- Cartesian topology ----
+
+TEST(Cartesian, SquareFactorization) {
+  comm::CartesianGrid g(16);
+  EXPECT_EQ(g.px(), 4);
+  EXPECT_EQ(g.py(), 4);
+  comm::CartesianGrid g2(2);
+  EXPECT_EQ(g2.px() * g2.py(), 2);
+  comm::CartesianGrid g8(8);
+  EXPECT_EQ(g8.px(), 4);
+  EXPECT_EQ(g8.py(), 2);
+}
+
+TEST(Cartesian, RowWiseScanPlacement) {
+  comm::CartesianGrid g(3, 3);
+  EXPECT_EQ(g.rank_of(0, 0), 0);
+  EXPECT_EQ(g.rank_of(2, 0), 2);
+  EXPECT_EQ(g.rank_of(0, 1), 3);
+  EXPECT_EQ(g.rank_of(1, 1), 4);
+  EXPECT_EQ(g.coords_of(7), (std::pair<int, int>{1, 2}));
+}
+
+TEST(Cartesian, CenterHasEightNeighbors) {
+  // The P4 example from Fig. 4 of the paper: 3x3 grid, center rank 4.
+  comm::CartesianGrid g(3, 3);
+  auto n = g.neighbors(4);
+  EXPECT_EQ(n[int(comm::Direction::kWest)], 3);
+  EXPECT_EQ(n[int(comm::Direction::kEast)], 5);
+  EXPECT_EQ(n[int(comm::Direction::kSouth)], 1);
+  EXPECT_EQ(n[int(comm::Direction::kNorth)], 7);
+  EXPECT_EQ(n[int(comm::Direction::kSouthWest)], 0);
+  EXPECT_EQ(n[int(comm::Direction::kSouthEast)], 2);
+  EXPECT_EQ(n[int(comm::Direction::kNorthWest)], 6);
+  EXPECT_EQ(n[int(comm::Direction::kNorthEast)], 8);
+}
+
+TEST(Cartesian, CornerHasThreeNeighbors) {
+  comm::CartesianGrid g(3, 3);
+  auto n = g.neighbors(0);
+  int present = 0;
+  for (int r : n) present += (r >= 0);
+  EXPECT_EQ(present, 3);
+  EXPECT_EQ(n[int(comm::Direction::kEast)], 1);
+  EXPECT_EQ(n[int(comm::Direction::kNorth)], 3);
+  EXPECT_EQ(n[int(comm::Direction::kNorthEast)], 4);
+}
+
+TEST(Cartesian, OppositeDirections) {
+  for (int d = 0; d < comm::kNumDirections; ++d) {
+    const auto dir = static_cast<comm::Direction>(d);
+    EXPECT_EQ(comm::opposite(comm::opposite(dir)), dir);
+    const auto [dx, dy] = comm::direction_offset(dir);
+    const auto [ox, oy] = comm::direction_offset(comm::opposite(dir));
+    EXPECT_EQ(dx, -ox);
+    EXPECT_EQ(dy, -oy);
+  }
+}
+
+TEST(Cartesian, NeighborExchangeOverWorld) {
+  // Halo-exchange pattern smoke test: every rank exchanges its rank id
+  // with all neighbors and verifies the sum.
+  comm::CartesianGrid grid(2, 2);
+  comm::World world(4);
+  world.run([&grid](comm::Communicator& c) {
+    auto neighbors = grid.neighbors(c.rank());
+    double sum = 0;
+    int count = 0;
+    for (int d = 0; d < comm::kNumDirections; ++d) {
+      const int peer = neighbors[static_cast<std::size_t>(d)];
+      if (peer < 0) continue;
+      // Tag by direction so messages pair up deterministically.
+      c.send(peer, std::vector<double>{double(c.rank())}, 100 + d);
+      ++count;
+    }
+    for (int d = 0; d < comm::kNumDirections; ++d) {
+      const int peer = neighbors[static_cast<std::size_t>(d)];
+      if (peer < 0) continue;
+      auto v = c.recv_vec(peer, 100 + int(comm::opposite(static_cast<comm::Direction>(d))));
+      sum += v[0];
+    }
+    EXPECT_EQ(count, 3);    // 2x2 grid: everyone has 3 neighbors
+    EXPECT_EQ(sum, 6.0 - c.rank());
+  });
+}

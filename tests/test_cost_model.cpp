@@ -1,0 +1,111 @@
+// Validates the paper's Sec. 4.3 cost analysis against measured
+// communication statistics of the distributed predictor:
+//   C_comm = 8 I alpha + (1/beta) I (16 N d / sqrt(P))   per processor
+//   C_comp = c (d N)^2 / (m^2 P)
+// i.e. message count is 8 per iteration independent of N and P (interior
+// ranks), halo bytes scale with the processor-subdomain side length
+// N / sqrt(P), and compute scales as 1/P.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "comm/world.hpp"
+#include "gp/dataset.hpp"
+#include "mosaic/distributed_predictor.hpp"
+
+namespace mosaic = mf::mosaic;
+
+namespace {
+
+struct CommProfile {
+  std::uint64_t max_msgs = 0;
+  std::uint64_t max_bytes = 0;
+  double max_modeled = 0;
+  int64_t iterations = 0;
+  int64_t corner_subdomains = 0;  // per-rank subdomain count (rank 0)
+};
+
+CommProfile profile(int ranks, int64_t cells, int64_t m, int64_t iters) {
+  mf::gp::LaplaceDatasetGenerator gen(m, {}, 5);
+  mf::gp::GpSampler sampler(
+      mf::gp::PeriodicRbfKernel{0.3, 0.8},
+      mf::gp::unit_circle_points(mf::linalg::perimeter_size(cells + 1, cells + 1)));
+  mf::util::Rng rng(5);
+  auto boundary = sampler.sample(rng);
+  mosaic::HarmonicKernelSolver solver(m);
+  mosaic::MfpOptions opts;
+  opts.max_iters = iters;
+  opts.tol = 0;
+
+  mf::comm::CartesianGrid grid(ranks);
+  mf::comm::World world(ranks);
+  CommProfile p;
+  std::vector<mf::comm::CommStats> stats(static_cast<std::size_t>(ranks));
+  world.run([&](mf::comm::Communicator& c) {
+    auto r = mosaic::distributed_mosaic_predict(c, grid, solver, cells, cells,
+                                                boundary, opts);
+    stats[static_cast<std::size_t>(c.rank())] = c.stats();
+    if (c.rank() == 0) p.iterations = r.iterations;
+  });
+  for (const auto& s : stats) {
+    p.max_msgs = std::max(p.max_msgs, s.sendrecv.messages);
+    p.max_bytes = std::max(p.max_bytes, s.sendrecv.bytes);
+    p.max_modeled = std::max(p.max_modeled, s.sendrecv.modeled_seconds);
+  }
+  return p;
+}
+
+}  // namespace
+
+TEST(CostModel, MessageCountIsStencilTimesIterations) {
+  // A rank with all 8 neighbors receives 8 messages per iteration; the
+  // 3x3 grid's center rank has exactly that.
+  auto p = profile(/*ranks=*/9, /*cells=*/48, /*m=*/8, /*iters=*/40);
+  EXPECT_EQ(p.max_msgs, 8u * 40u);
+}
+
+TEST(CostModel, MessageCountIndependentOfDomainSize) {
+  // The latency term 8*I*alpha does not depend on N (Sec. 4.3).
+  auto small = profile(4, 32, 8, 24);
+  auto large = profile(4, 64, 8, 24);
+  EXPECT_EQ(small.max_msgs, large.max_msgs);
+}
+
+TEST(CostModel, HaloBytesScaleWithSubdomainSide) {
+  // Bandwidth term ~ 16 N d / sqrt(P): doubling N should roughly double
+  // the per-rank halo traffic (our dirty-triple packing sends 3 doubles
+  // per point, a constant factor).
+  auto small = profile(4, 32, 8, 24);
+  auto large = profile(4, 64, 8, 24);
+  const double ratio = static_cast<double>(large.max_bytes) /
+                       static_cast<double>(small.max_bytes);
+  EXPECT_GT(ratio, 1.6);
+  EXPECT_LT(ratio, 2.4);
+}
+
+TEST(CostModel, HaloBytesShrinkWithMoreRanks) {
+  // At fixed N, the per-rank border length shrinks ~ 1/sqrt(P).
+  auto p4 = profile(4, 64, 8, 24);
+  auto p16 = profile(16, 64, 8, 24);
+  EXPECT_LT(p16.max_bytes, p4.max_bytes);
+}
+
+TEST(CostModel, ModeledTimeMatchesAlphaBetaFormula) {
+  // modeled_seconds must equal sum over messages of alpha + bytes/beta.
+  const mf::comm::AlphaBetaModel model;  // default world model
+  auto p = profile(4, 32, 8, 16);
+  // Lower bound: latency-only; upper bound: latency + all bytes at once.
+  const double lat = model.alpha * static_cast<double>(p.max_msgs);
+  EXPECT_GE(p.max_modeled, lat);
+  EXPECT_LE(p.max_modeled,
+            lat + static_cast<double>(p.max_bytes) / model.beta + 1e-12);
+}
+
+TEST(CostModel, EdgeRanksSendFewerMessages) {
+  // Ranks on the processor-grid boundary have < 8 neighbors (paper: "for
+  // processors on the four boundaries, the communication group will not
+  // include all 9 processors").
+  const int ranks = 4;  // 2x2: every rank is a corner with 3 neighbors
+  auto p = profile(ranks, 32, 8, 20);
+  EXPECT_EQ(p.max_msgs, 3u * 20u);
+}

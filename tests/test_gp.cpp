@@ -1,0 +1,219 @@
+// Data-generation tests: Sobol sequence properties, GP kernel/covariance
+// properties, Cholesky, boundary datasets, perimeter round trips.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gp/dataset.hpp"
+#include "gp/gaussian_process.hpp"
+#include "gp/sobol.hpp"
+#include "linalg/grid2d.hpp"
+
+namespace gp = mf::gp;
+namespace la = mf::linalg;
+
+TEST(Sobol, FirstPointsMatchReference) {
+  gp::SobolSequence s(2);
+  auto p0 = s.next();
+  EXPECT_EQ(p0[0], 0.0);
+  EXPECT_EQ(p0[1], 0.0);
+  auto p1 = s.next();
+  EXPECT_NEAR(p1[0], 0.5, 1e-12);
+  EXPECT_NEAR(p1[1], 0.5, 1e-12);
+  auto p2 = s.next();
+  EXPECT_NEAR(p2[0], 0.75, 1e-12);
+  EXPECT_NEAR(p2[1], 0.25, 1e-12);
+  auto p3 = s.next();
+  EXPECT_NEAR(p3[0], 0.25, 1e-12);
+  EXPECT_NEAR(p3[1], 0.75, 1e-12);
+}
+
+TEST(Sobol, EquidistributionInUnitSquare) {
+  // 1024 Sobol points: each quadrant must hold exactly 256.
+  gp::SobolSequence s(2);
+  int counts[2][2] = {{0, 0}, {0, 0}};
+  for (int i = 0; i < 1024; ++i) {
+    auto p = s.next();
+    counts[p[0] < 0.5 ? 0 : 1][p[1] < 0.5 ? 0 : 1]++;
+  }
+  EXPECT_EQ(counts[0][0], 256);
+  EXPECT_EQ(counts[0][1], 256);
+  EXPECT_EQ(counts[1][0], 256);
+  EXPECT_EQ(counts[1][1], 256);
+}
+
+TEST(Sobol, StratificationPerDimension) {
+  gp::SobolSequence s(4);
+  const int n = 256;
+  std::vector<std::vector<double>> pts;
+  for (int i = 0; i < n; ++i) pts.push_back(s.next());
+  for (int d = 0; d < 4; ++d) {
+    // Every length-1/16 bin holds exactly n/16 points (a (t,m,s)-net
+    // property of the one-dimensional projections).
+    std::vector<int> bins(16, 0);
+    for (const auto& p : pts) {
+      bins[static_cast<std::size_t>(std::min(15.0, p[static_cast<std::size_t>(d)] * 16))]++;
+    }
+    for (int b = 0; b < 16; ++b) EXPECT_EQ(bins[static_cast<std::size_t>(b)], 16)
+        << "dim " << d << " bin " << b;
+  }
+}
+
+TEST(Sobol, InvalidDimensionsThrow) {
+  EXPECT_THROW(gp::SobolSequence(0), std::invalid_argument);
+  EXPECT_THROW(gp::SobolSequence(9), std::invalid_argument);
+}
+
+TEST(Cholesky, ReconstructsMatrix) {
+  // A = L L^T for a hand-built SPD matrix.
+  const int64_t n = 3;
+  std::vector<double> a = {4, 2, 1, 2, 5, 3, 1, 3, 6};
+  auto l = gp::cholesky(a, n, 0.0);
+  for (int64_t i = 0; i < n; ++i)
+    for (int64_t j = 0; j < n; ++j) {
+      double s = 0;
+      for (int64_t k = 0; k < n; ++k)
+        s += l[static_cast<std::size_t>(i * n + k)] * l[static_cast<std::size_t>(j * n + k)];
+      EXPECT_NEAR(s, a[static_cast<std::size_t>(i * n + j)], 1e-10);
+    }
+}
+
+TEST(Cholesky, JitterRescuesSemidefinite) {
+  // Rank-1 matrix is PSD but not PD; jitter must rescue it.
+  std::vector<double> a = {1, 1, 1, 1};
+  auto l = gp::cholesky(a, 2);
+  EXPECT_GT(l[0], 0.0);
+}
+
+TEST(Kernels, RbfBasicProperties) {
+  gp::RbfKernel k{0.3, 2.0};
+  EXPECT_NEAR(k(0.5, 0.5), 2.0, 1e-12);          // variance on diagonal
+  EXPECT_GT(k(0.1, 0.2), k(0.1, 0.5));           // decays with distance
+  EXPECT_NEAR(k(0.1, 0.4), k(0.4, 0.1), 1e-15);  // symmetric
+}
+
+TEST(Kernels, PeriodicWrapsAround) {
+  gp::PeriodicRbfKernel k{0.3, 1.0};
+  // s = 0.01 and t = 0.99 are close on the circle.
+  EXPECT_GT(k(0.01, 0.99), k(0.01, 0.5));
+  EXPECT_NEAR(k(0.0, 1.0), k(0.0, 0.0), 1e-12);  // exact period
+}
+
+TEST(GpSampler, SampleStatisticsMatchKernel) {
+  // Variance of samples at a point approximates the kernel variance.
+  gp::PeriodicRbfKernel k{0.25, 0.8};
+  gp::GpSampler sampler(k, gp::unit_circle_points(16));
+  mf::util::Rng rng(7);
+  const int trials = 4000;
+  double mean = 0, m2 = 0;
+  for (int t = 0; t < trials; ++t) {
+    const double v = sampler.sample(rng)[3];
+    mean += v;
+    m2 += v * v;
+  }
+  mean /= trials;
+  const double var = m2 / trials - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.05);
+  EXPECT_NEAR(var, 0.8, 0.12);
+}
+
+TEST(GpSampler, SmoothnessScalesWithLengthScale) {
+  // Longer length scales give smaller mean-square increments.
+  mf::util::Rng rng(8);
+  auto roughness = [&](double ell) {
+    gp::PeriodicRbfKernel k{ell, 1.0};
+    gp::GpSampler sampler(k, gp::unit_circle_points(64));
+    double acc = 0;
+    for (int t = 0; t < 50; ++t) {
+      auto s = sampler.sample(rng);
+      for (std::size_t i = 1; i < s.size(); ++i) acc += std::pow(s[i] - s[i - 1], 2);
+    }
+    return acc;
+  };
+  EXPECT_GT(roughness(0.05), roughness(0.5) * 2);
+}
+
+TEST(Perimeter, SizeAndRoundTrip) {
+  EXPECT_EQ(la::perimeter_size(5, 5), 16);
+  EXPECT_EQ(la::perimeter_size(9, 5), 24);
+  la::Grid2D g(5, 4);
+  std::vector<double> b(static_cast<std::size_t>(la::perimeter_size(5, 4)));
+  for (std::size_t i = 0; i < b.size(); ++i) b[i] = static_cast<double>(i) + 1;
+  la::apply_perimeter(g, b);
+  EXPECT_EQ(la::extract_perimeter(g), b);
+  // Canonical order: first entry is the (0,0) corner.
+  EXPECT_EQ(g.at(0, 0), 1.0);
+  // Interior untouched.
+  EXPECT_EQ(g.at(2, 1), 0.0);
+}
+
+TEST(Perimeter, CoordsFollowOrdering) {
+  auto pc = la::perimeter_coords(3, 3, 0.5);
+  ASSERT_EQ(pc.size(), 8u);
+  EXPECT_EQ(pc[0], (std::pair<double, double>{0.0, 0.0}));
+  EXPECT_EQ(pc[1], (std::pair<double, double>{0.5, 0.0}));
+  EXPECT_EQ(pc[2], (std::pair<double, double>{1.0, 0.0}));  // right edge start
+  EXPECT_EQ(pc[4], (std::pair<double, double>{1.0, 1.0}));  // top right
+}
+
+TEST(Perimeter, SizeMismatchThrows) {
+  la::Grid2D g(4, 4);
+  EXPECT_THROW(la::apply_perimeter(g, {1, 2, 3}), std::invalid_argument);
+}
+
+TEST(Dataset, GeneratedBvpIsSolved) {
+  gp::LaplaceDatasetGenerator gen(8);
+  auto bvp = gen.generate();
+  EXPECT_EQ(bvp.boundary.size(), 32u);
+  EXPECT_EQ(bvp.solution.nx(), 9);
+  // The solution must satisfy the discrete Laplace equation.
+  mf::linalg::Grid2D f(9, 9);
+  EXPECT_LT(la::residual_norm(bvp.solution, f, 1.0 / 8), 1e-8);
+  // And carry the boundary on its perimeter.
+  EXPECT_EQ(la::extract_perimeter(bvp.solution), bvp.boundary);
+}
+
+TEST(Dataset, DistinctBvpsFromSobolSweep) {
+  gp::LaplaceDatasetGenerator gen(4);
+  auto a = gen.generate();
+  auto b = gen.generate();
+  double diff = 0;
+  for (std::size_t i = 0; i < a.boundary.size(); ++i)
+    diff += std::abs(a.boundary[i] - b.boundary[i]);
+  EXPECT_GT(diff, 1e-6);
+}
+
+TEST(Dataset, BatchShapesAndValues) {
+  gp::LaplaceDatasetGenerator gen(4);
+  auto bvps = gen.generate_many(3);
+  auto batch = gen.make_batch(bvps, 10, 20);
+  EXPECT_EQ(batch.g.shape(), (mf::ad::Shape{3, 16}));
+  EXPECT_EQ(batch.x_data.shape(), (mf::ad::Shape{3, 10, 2}));
+  EXPECT_EQ(batch.y_data.shape(), (mf::ad::Shape{3, 10, 1}));
+  EXPECT_EQ(batch.x_colloc.shape(), (mf::ad::Shape{3, 20, 2}));
+  // Coordinates within the unit square.
+  for (int64_t i = 0; i < batch.x_data.numel(); ++i) {
+    EXPECT_GE(batch.x_data.flat(i), 0.0);
+    EXPECT_LE(batch.x_data.flat(i), 1.0);
+  }
+  // Boundary rows match the BVPs.
+  for (int64_t k = 0; k < 16; ++k)
+    EXPECT_EQ(batch.g.flat(16 + k), bvps[1].boundary[static_cast<std::size_t>(k)]);
+}
+
+TEST(Dataset, GlobalDomainGeneration) {
+  gp::LaplaceDatasetGenerator gen(8);
+  auto bvp = gen.generate_global(32, 16);
+  EXPECT_EQ(bvp.solution.nx(), 33);
+  EXPECT_EQ(bvp.solution.ny(), 17);
+  la::Grid2D f(33, 17);
+  EXPECT_LT(la::residual_norm(bvp.solution, f, 1.0 / 8), 1e-8);
+}
+
+TEST(Dataset, SinBoundaryMatchesFormula) {
+  auto b = gp::sin_boundary(9, 9);
+  EXPECT_NEAR(b[0], 0.0, 1e-12);
+  EXPECT_NEAR(b[2], 1.0, 1e-12);  // sin(pi/2) at x = 1/4
+  // Non-bottom edges are zero.
+  for (std::size_t i = 8; i < b.size(); ++i) EXPECT_EQ(b[i], 0.0);
+}

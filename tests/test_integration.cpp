@@ -1,0 +1,183 @@
+// End-to-end integration tests across modules: train -> serialize ->
+// reload -> distributed predict; replica consistency under data-parallel
+// training; full-pipeline determinism.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "comm/world.hpp"
+#include "mosaic/distributed_predictor.hpp"
+#include "mosaic/trainer.hpp"
+#include "nn/serialize.hpp"
+
+namespace mosaic = mf::mosaic;
+namespace la = mf::linalg;
+
+namespace {
+
+mosaic::SdnetConfig small_net(int64_t m) {
+  mosaic::SdnetConfig cfg;
+  cfg.boundary_size = 4 * m;
+  cfg.hidden_width = 32;
+  cfg.mlp_depth = 3;
+  return cfg;
+}
+
+}  // namespace
+
+TEST(Integration, TrainSaveLoadPredictPipeline) {
+  const int64_t m = 8;
+  mf::util::Rng rng(7);
+  mosaic::Sdnet net(small_net(m), rng);
+  mf::gp::LaplaceDatasetGenerator gen(m, {}, 3);
+  auto train = gen.generate_many(16);
+  auto val = gen.generate_many(4);
+  mosaic::TrainConfig cfg;
+  cfg.epochs = 4;
+  cfg.batch_size = 8;
+  cfg.q_data = 16;
+  cfg.q_colloc = 8;
+  cfg.optimizer = mosaic::OptimizerKind::kAdamW;
+  mosaic::train_sdnet(net, train, val, cfg, gen);
+
+  const std::string path = "/tmp/mf_integration_model.bin";
+  mf::nn::save_parameters(net, path);
+  mf::util::Rng rng2(99);
+  auto reloaded = std::make_shared<mosaic::Sdnet>(small_net(m), rng2);
+  mf::nn::load_parameters(*reloaded, path);
+  std::remove(path.c_str());
+
+  // Reloaded model is bitwise identical as a subdomain solver.
+  mosaic::NeuralSubdomainSolver s_orig(
+      std::make_shared<mosaic::Sdnet>(small_net(m), rng2), m);
+  mosaic::NeuralSubdomainSolver s_loaded(reloaded, m);
+  // (s_orig has random weights; just check the loaded one against net.)
+  mosaic::SubdomainGeometry geom(m);
+  auto bvp = gen.generate();
+  auto direct = mosaic::NeuralSubdomainSolver(
+                    std::shared_ptr<mosaic::Sdnet>(&net, [](mosaic::Sdnet*) {}), m)
+                    .predict_one(bvp.boundary, geom.cross_queries);
+  auto loaded = s_loaded.predict_one(bvp.boundary, geom.cross_queries);
+  for (std::size_t k = 0; k < direct.size(); ++k) {
+    EXPECT_EQ(direct[k], loaded[k]);
+  }
+
+  // And drives the distributed predictor without error.
+  const int64_t cells = 16;
+  auto problem = gen.generate_global(cells, cells);
+  mf::comm::CartesianGrid grid(2);
+  mf::comm::World world(2);
+  mosaic::MfpOptions opts;
+  opts.max_iters = 20;
+  opts.tol = 0;
+  opts.relaxation = 0.5;
+  world.run([&](mf::comm::Communicator& c) {
+    auto r = mosaic::distributed_mosaic_predict(c, grid, s_loaded, cells, cells,
+                                                problem.boundary, opts);
+    EXPECT_EQ(r.solution.nx(), cells + 1);
+    EXPECT_EQ(r.iterations, 20);
+  });
+}
+
+TEST(Integration, DataParallelReplicasStayIdentical) {
+  // After several Algorithm-1 steps with the single allreduce, all rank
+  // replicas must hold bitwise-identical parameters.
+  const int64_t m = 8;
+  mf::gp::LaplaceDatasetGenerator gen(m, {}, 11);
+  auto data = gen.generate_many(12);
+  auto val = gen.generate_many(2);
+
+  const int ranks = 3;  // non-power-of-two exercises the fallback allreduce
+  mf::comm::World world(ranks);
+  std::vector<std::vector<double>> params(static_cast<std::size_t>(ranks));
+  world.run([&](mf::comm::Communicator& c) {
+    mf::util::Rng rng(5);
+    mosaic::Sdnet net(small_net(m), rng);
+    std::vector<mf::gp::SolvedBvp> shard;
+    for (std::size_t i = static_cast<std::size_t>(c.rank()); i < data.size();
+         i += static_cast<std::size_t>(ranks)) {
+      shard.push_back(data[i]);
+    }
+    mosaic::TrainConfig cfg;
+    cfg.epochs = 3;
+    cfg.batch_size = 4;
+    cfg.q_data = 8;
+    cfg.q_colloc = 8;
+    cfg.optimizer = mosaic::OptimizerKind::kLamb;
+    mf::gp::LaplaceDatasetGenerator local_gen(m, {}, 77);  // same sampling
+    mosaic::train_sdnet(net, shard, val, cfg, local_gen, &c);
+    std::vector<double> flat;
+    for (const auto& p : net.parameters()) {
+      flat.insert(flat.end(), p.data(), p.data() + p.numel());
+    }
+    params[static_cast<std::size_t>(c.rank())] = flat;
+  });
+  for (int r = 1; r < ranks; ++r) {
+    ASSERT_EQ(params[0].size(), params[static_cast<std::size_t>(r)].size());
+    for (std::size_t i = 0; i < params[0].size(); ++i) {
+      ASSERT_EQ(params[0][i], params[static_cast<std::size_t>(r)][i])
+          << "rank " << r << " param " << i;
+    }
+  }
+}
+
+TEST(Integration, FullPipelineIsDeterministic) {
+  // Same seeds -> same dataset -> same training -> same prediction.
+  const int64_t m = 8;
+  auto run_once = [&]() {
+    mf::util::Rng rng(123);
+    mosaic::Sdnet net(small_net(m), rng);
+    mf::gp::LaplaceDatasetGenerator gen(m, {}, 55);
+    auto train = gen.generate_many(8);
+    auto val = gen.generate_many(2);
+    mosaic::TrainConfig cfg;
+    cfg.epochs = 2;
+    cfg.batch_size = 4;
+    cfg.q_data = 8;
+    cfg.q_colloc = 8;
+    auto history = mosaic::train_sdnet(net, train, val, cfg, gen);
+    return history.back().val_mse;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Integration, MemoryIsReleasedAfterTrainingStep) {
+  // The autograd graph must be fully freed between steps — a leak here
+  // would OOM long trainings.
+  const int64_t m = 8;
+  mf::util::Rng rng(9);
+  mosaic::Sdnet net(small_net(m), rng);
+  mf::gp::LaplaceDatasetGenerator gen(m, {}, 13);
+  auto bvps = gen.generate_many(4);
+  auto batch = gen.make_batch(bvps, 16, 16);
+  mosaic::TrainConfig cfg;
+
+  auto& mt = mf::ad::MemoryTracker::instance();
+  net.zero_grad();
+  mosaic::training_step(net, batch, cfg);
+  net.zero_grad();
+  const std::size_t live_after_first = mt.live_bytes();
+  for (int i = 0; i < 5; ++i) {
+    net.zero_grad();
+    mosaic::training_step(net, batch, cfg);
+  }
+  net.zero_grad();
+  EXPECT_EQ(mt.live_bytes(), live_after_first);
+}
+
+TEST(Integration, MultigridSolverAsMfpSubdomainSolver) {
+  // The MFP is solver-agnostic: the classical multigrid subdomain solver
+  // must drive it to the same fixed point as the harmonic kernel.
+  const int64_t m = 8;
+  mf::gp::LaplaceDatasetGenerator gen(m, {}, 17);
+  auto problem = gen.generate_global(16, 16);
+  mosaic::MfpOptions opts;
+  opts.max_iters = 400;
+  opts.tol = 1e-8;
+  mosaic::MultigridSubdomainSolver mg_solver(m);
+  auto a = mosaic::mosaic_predict(mg_solver, 16, 16, problem.boundary, opts);
+  mosaic::HarmonicKernelSolver hk_solver(m);
+  auto b = mosaic::mosaic_predict(hk_solver, 16, 16, problem.boundary, opts);
+  EXPECT_LT(la::Grid2D::max_abs_diff(a.solution, b.solution), 1e-5);
+}

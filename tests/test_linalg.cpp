@@ -1,0 +1,261 @@
+// Numerical solver tests: exact harmonic solutions, convergence factors,
+// solver cross-checks, parameterized grid-size sweeps.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "linalg/cg.hpp"
+#include "linalg/multigrid.hpp"
+#include "linalg/smoothers.hpp"
+
+namespace la = mf::linalg;
+using la::Grid2D;
+
+namespace {
+
+/// Fill edge values of u from a function of physical coordinates; grid
+/// covers [0,1] x [0,1] when h = 1/(n-1).
+void set_boundary(Grid2D& u, double h,
+                  const std::function<double(double, double)>& g) {
+  const int64_t nx = u.nx(), ny = u.ny();
+  for (int64_t i = 0; i < nx; ++i) {
+    u.at(i, 0) = g(i * h, 0.0);
+    u.at(i, ny - 1) = g(i * h, (ny - 1) * h);
+  }
+  for (int64_t j = 0; j < ny; ++j) {
+    u.at(0, j) = g(0.0, j * h);
+    u.at(nx - 1, j) = g((nx - 1) * h, j * h);
+  }
+}
+
+void fill_exact(Grid2D& u, double h,
+                const std::function<double(double, double)>& g) {
+  for (int64_t j = 0; j < u.ny(); ++j)
+    for (int64_t i = 0; i < u.nx(); ++i) u.at(i, j) = g(i * h, j * h);
+}
+
+// Harmonic test functions (Δu = 0 exactly).
+double harmonic_xy(double x, double y) { return x * y; }
+double harmonic_saddle(double x, double y) { return x * x - y * y; }
+double harmonic_exp(double x, double y) { return std::exp(x) * std::sin(y); }
+
+}  // namespace
+
+TEST(Grid2D, AccessorsAndDiffs) {
+  Grid2D a(4, 3, 1.0), b(4, 3, 0.0);
+  a.at(2, 1) = 5.0;
+  EXPECT_EQ(a.at(2, 1), 5.0);
+  EXPECT_EQ(a.numel(), 12);
+  EXPECT_NEAR(Grid2D::max_abs_diff(a, b), 5.0, 1e-15);
+  EXPECT_NEAR(Grid2D::mean_abs_diff(a, b), (11 + 5) / 12.0, 1e-15);
+  EXPECT_THROW(Grid2D(1, 5), std::invalid_argument);
+}
+
+TEST(Grid2D, ZeroInteriorKeepsBoundary) {
+  Grid2D a(4, 4, 2.0);
+  a.zero_interior();
+  EXPECT_EQ(a.at(0, 0), 2.0);
+  EXPECT_EQ(a.at(3, 2), 2.0);
+  EXPECT_EQ(a.at(1, 1), 0.0);
+  EXPECT_EQ(a.at(2, 2), 0.0);
+}
+
+TEST(Residual, ZeroForDiscreteHarmonic) {
+  // u = xy is bilinear: the 5-point Laplacian annihilates it exactly.
+  const int64_t n = 17;
+  const double h = 1.0 / (n - 1);
+  Grid2D u(n, n), f(n, n);
+  fill_exact(u, h, harmonic_xy);
+  EXPECT_LT(la::residual_norm(u, f, h), 1e-12);
+}
+
+// ---- smoothers ----
+
+struct SmootherCase {
+  const char* name;
+  std::function<void(Grid2D&, const Grid2D&, double)> sweep;
+};
+
+class SmootherConvergence : public ::testing::TestWithParam<int> {};
+
+TEST_P(SmootherConvergence, AllSmoothersReduceError) {
+  const int64_t n = GetParam();
+  const double h = 1.0 / (n - 1);
+  std::vector<SmootherCase> cases = {
+      {"jacobi", [](Grid2D& u, const Grid2D& f, double hh) { la::jacobi_sweep(u, f, hh); }},
+      {"gs", [](Grid2D& u, const Grid2D& f, double hh) { la::gauss_seidel_sweep(u, f, hh); }},
+      {"rbgs", [](Grid2D& u, const Grid2D& f, double hh) { la::red_black_gs_sweep(u, f, hh); }},
+      {"sor", [n](Grid2D& u, const Grid2D& f, double hh) {
+         la::sor_sweep(u, f, hh, la::sor_optimal_omega(n));
+       }}};
+  for (const auto& c : cases) {
+    Grid2D u(n, n), f(n, n);
+    set_boundary(u, h, harmonic_saddle);
+    const double r0 = la::residual_norm(u, f, h);
+    for (int s = 0; s < 30; ++s) c.sweep(u, f, h);
+    const double r1 = la::residual_norm(u, f, h);
+    EXPECT_LT(r1, r0 * 0.5) << c.name << " n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(GridSizes, SmootherConvergence,
+                         ::testing::Values(9, 17, 33));
+
+TEST(Sor, OptimalOmegaInRange) {
+  for (int64_t n : {9, 17, 65, 257}) {
+    const double w = la::sor_optimal_omega(n);
+    EXPECT_GT(w, 1.0);
+    EXPECT_LT(w, 2.0);
+  }
+  // Larger grids need omega closer to 2.
+  EXPECT_GT(la::sor_optimal_omega(257), la::sor_optimal_omega(17));
+}
+
+// ---- multigrid ----
+
+class MultigridSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(MultigridSizes, SolvesHarmonicBoundaryExactly) {
+  const int64_t n = GetParam();
+  const double h = 1.0 / (n - 1);
+  Grid2D u(n, n);
+  set_boundary(u, h, harmonic_xy);
+  auto res = la::solve_laplace_mg(u, h);
+  EXPECT_TRUE(res.converged);
+  // xy is reproduced exactly by the discrete operator.
+  Grid2D exact(n, n);
+  fill_exact(exact, h, harmonic_xy);
+  EXPECT_LT(Grid2D::max_abs_diff(u, exact), 1e-9) << "n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(GridSizes, MultigridSizes,
+                         ::testing::Values(9, 17, 33, 65, 129));
+
+TEST(Multigrid, VCycleConvergenceFactor) {
+  // A textbook V(2,2) cycle contracts the residual by ~0.1 per cycle.
+  const int64_t n = 65;
+  const double h = 1.0 / (n - 1);
+  Grid2D u(n, n), f(n, n);
+  set_boundary(u, h, harmonic_exp);
+  la::MultigridOptions opts;
+  double prev = la::residual_norm(u, f, h);
+  for (int c = 0; c < 5; ++c) {
+    la::v_cycle(u, f, h, opts);
+    const double cur = la::residual_norm(u, f, h);
+    if (cur < 1e-13) break;  // hit floating-point floor
+    EXPECT_LT(cur, prev * 0.2) << "cycle " << c;
+    prev = cur;
+  }
+}
+
+TEST(Multigrid, DiscretizationErrorSecondOrder) {
+  // For a smooth harmonic u, max|u_h - u| = O(h^2): refining by 2x should
+  // reduce the error by ~4x.
+  double errors[2];
+  int k = 0;
+  for (int64_t n : {33, 65}) {
+    const double h = 1.0 / (n - 1);
+    Grid2D u(n, n);
+    set_boundary(u, h, harmonic_exp);
+    la::solve_laplace_mg(u, h);
+    Grid2D exact(n, n);
+    fill_exact(exact, h, harmonic_exp);
+    errors[k++] = Grid2D::max_abs_diff(u, exact);
+  }
+  EXPECT_GT(errors[0] / errors[1], 3.0);
+  EXPECT_LT(errors[0] / errors[1], 5.0);
+}
+
+TEST(Multigrid, PoissonWithForcing) {
+  // -Δu = f with u = sin(pi x) sin(pi y): f = 2 pi^2 u.
+  const int64_t n = 65;
+  const double h = 1.0 / (n - 1);
+  Grid2D u(n, n), f(n, n);
+  for (int64_t j = 0; j < n; ++j)
+    for (int64_t i = 0; i < n; ++i)
+      f.at(i, j) = 2 * M_PI * M_PI * std::sin(M_PI * i * h) * std::sin(M_PI * j * h);
+  auto res = la::multigrid_solve(u, f, h);
+  EXPECT_TRUE(res.converged);
+  Grid2D exact(n, n);
+  fill_exact(exact, h, [](double x, double y) {
+    return std::sin(M_PI * x) * std::sin(M_PI * y);
+  });
+  EXPECT_LT(Grid2D::max_abs_diff(u, exact), 1e-3);
+}
+
+TEST(Multigrid, RectangularDomain) {
+  const int64_t nx = 65, ny = 33;
+  const double h = 1.0 / 32.0;
+  Grid2D u(nx, ny);
+  set_boundary(u, h, harmonic_saddle);
+  auto res = la::solve_laplace_mg(u, h);
+  EXPECT_TRUE(res.converged);
+  Grid2D exact(nx, ny);
+  fill_exact(exact, h, harmonic_saddle);
+  EXPECT_LT(Grid2D::max_abs_diff(u, exact), 1e-8);
+}
+
+TEST(Multigrid, MaximumPrincipleHolds) {
+  // The discrete harmonic solution attains its extrema on the boundary.
+  const int64_t n = 33;
+  const double h = 1.0 / (n - 1);
+  Grid2D u(n, n);
+  set_boundary(u, h, [](double x, double y) {
+    return std::sin(6 * x) + std::cos(4 * y);
+  });
+  la::solve_laplace_mg(u, h);
+  double bmin = 1e300, bmax = -1e300;
+  for (int64_t i = 0; i < n; ++i) {
+    for (double v : {u.at(i, 0), u.at(i, n - 1), u.at(0, i), u.at(n - 1, i)}) {
+      bmin = std::min(bmin, v);
+      bmax = std::max(bmax, v);
+    }
+  }
+  for (int64_t j = 1; j < n - 1; ++j)
+    for (int64_t i = 1; i < n - 1; ++i) {
+      EXPECT_GE(u.at(i, j), bmin - 1e-9);
+      EXPECT_LE(u.at(i, j), bmax + 1e-9);
+    }
+}
+
+// ---- CG cross-check ----
+
+TEST(Cg, MatchesMultigrid) {
+  const int64_t n = 33;
+  const double h = 1.0 / (n - 1);
+  Grid2D u_mg(n, n), u_cg(n, n);
+  set_boundary(u_mg, h, harmonic_exp);
+  set_boundary(u_cg, h, harmonic_exp);
+  la::solve_laplace_mg(u_mg, h);
+  Grid2D f(n, n);
+  auto res = la::cg_solve(u_cg, f, h, 1e-12);
+  EXPECT_TRUE(res.converged);
+  EXPECT_LT(Grid2D::max_abs_diff(u_mg, u_cg), 1e-8);
+}
+
+TEST(Cg, IterationCountScalesWithGrid) {
+  // CG on the Laplacian needs O(n) iterations — this is why multigrid (or
+  // AMG, as in the paper) is the right ground-truth solver.
+  int iters[2];
+  int k = 0;
+  for (int64_t n : {17, 33}) {
+    const double h = 1.0 / (n - 1);
+    Grid2D u(n, n), f(n, n);
+    set_boundary(u, h, harmonic_exp);
+    auto res = la::cg_solve(u, f, h, 1e-10);
+    iters[k++] = res.iterations;
+  }
+  EXPECT_GT(iters[1], iters[0]);
+}
+
+TEST(SmoothToTolerance, ReportsSweeps) {
+  const int64_t n = 17;
+  const double h = 1.0 / (n - 1);
+  Grid2D u(n, n), f(n, n);
+  set_boundary(u, h, harmonic_xy);
+  const int sweeps = la::smooth_to_tolerance(u, f, h, 1e-8, 2000,
+                                             la::sor_optimal_omega(n));
+  EXPECT_LT(sweeps, 2000);
+  EXPECT_LT(la::residual_norm(u, f, h), 1e-8);
+}

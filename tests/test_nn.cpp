@@ -1,0 +1,204 @@
+// Layer tests: forward shapes/values, gradient flow, and the key
+// equivalence property of the paper — the split input embedding (eq. (8))
+// computes exactly the same function as the input-concat baseline
+// (eq. (6)) when their weights are matched.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "ad/engine.hpp"
+#include "ad/gradcheck.hpp"
+#include "nn/layers.hpp"
+#include "nn/serialize.hpp"
+#include "util/rng.hpp"
+
+namespace ad = mf::ad;
+namespace nn = mf::nn;
+namespace ops = mf::ad::ops;
+using ad::Shape;
+using ad::Tensor;
+
+namespace {
+
+Tensor randt(const Shape& shape, unsigned seed, double scale = 1.0) {
+  mf::util::Rng rng(seed);
+  Tensor t = Tensor::zeros(shape);
+  for (int64_t i = 0; i < t.numel(); ++i) t.flat(i) = rng.uniform(-scale, scale);
+  return t;
+}
+
+}  // namespace
+
+TEST(Linear, ForwardMatchesManual) {
+  mf::util::Rng rng(1);
+  nn::Linear lin(3, 2, rng);
+  Tensor x = randt({4, 3}, 2);
+  Tensor y = lin.forward(x);
+  ASSERT_EQ(y.shape(), (Shape{4, 2}));
+  for (int64_t i = 0; i < 4; ++i)
+    for (int64_t j = 0; j < 2; ++j) {
+      double acc = lin.bias.flat(j);
+      for (int64_t k = 0; k < 3; ++k) acc += x.at({i, k}) * lin.weight.at({k, j});
+      EXPECT_NEAR(y.at({i, j}), acc, 1e-12);
+    }
+}
+
+TEST(Linear, BatchedLeadingDims) {
+  mf::util::Rng rng(3);
+  nn::Linear lin(3, 5, rng);
+  Tensor x = randt({2, 4, 3}, 4);
+  Tensor y = lin.forward(x);
+  EXPECT_EQ(y.shape(), (Shape{2, 4, 5}));
+}
+
+TEST(Linear, GradientFlowsToParams) {
+  mf::util::Rng rng(5);
+  nn::Linear lin(3, 2, rng);
+  Tensor x = randt({4, 3}, 6);
+  Tensor loss = ops::mean(ops::square(lin.forward(x)));
+  ad::backward(loss);
+  ASSERT_TRUE(lin.weight.grad().defined());
+  ASSERT_TRUE(lin.bias.grad().defined());
+  EXPECT_GT(ops::reduce_max_abs(lin.weight.grad()), 0.0);
+}
+
+TEST(Module, NamedParametersHierarchy) {
+  mf::util::Rng rng(7);
+  nn::MLP mlp({4, 8, 8, 1}, nn::Activation::kGelu, rng);
+  auto named = mlp.named_parameters();
+  ASSERT_EQ(named.size(), 6u);  // 3 layers x (weight, bias)
+  EXPECT_EQ(named[0].first, "0.weight");
+  EXPECT_EQ(named[5].first, "2.bias");
+  EXPECT_EQ(mlp.parameter_count(), 4 * 8 + 8 + 8 * 8 + 8 + 8 * 1 + 1);
+}
+
+TEST(Module, CopyParametersFrom) {
+  mf::util::Rng rng1(8), rng2(9);
+  nn::MLP a({2, 4, 1}, nn::Activation::kTanh, rng1);
+  nn::MLP b({2, 4, 1}, nn::Activation::kTanh, rng2);
+  b.copy_parameters_from(a);
+  Tensor x = randt({5, 2}, 10);
+  ad::NoGradGuard ng;
+  EXPECT_NEAR(ops::mse(a.forward(x), b.forward(x)), 0.0, 1e-30);
+}
+
+TEST(MLP, ApproximatesLinearFunctionByGradientDescent) {
+  // Tiny end-to-end sanity: fit y = 2x - 1 with a small MLP and SGD steps.
+  mf::util::Rng rng(11);
+  nn::MLP mlp({1, 16, 1}, nn::Activation::kTanh, rng);
+  Tensor x = randt({32, 1}, 12);
+  Tensor y = Tensor::zeros({32, 1});
+  for (int64_t i = 0; i < 32; ++i) y.flat(i) = 2 * x.flat(i) - 1;
+  double initial = 0, final_loss = 0;
+  for (int step = 0; step < 300; ++step) {
+    mlp.zero_grad();
+    Tensor loss = ops::mean(ops::square(ops::sub(mlp.forward(x), y)));
+    if (step == 0) initial = loss.item();
+    final_loss = loss.item();
+    ad::backward(loss);
+    for (auto& p : mlp.parameters()) {
+      Tensor g = p.grad();
+      for (int64_t j = 0; j < p.numel(); ++j) p.flat(j) -= 0.05 * g.flat(j);
+    }
+  }
+  EXPECT_LT(final_loss, initial * 0.05);
+}
+
+// ---- the split-layer optimization (paper Sec. 3.2) ----
+
+TEST(SplitEmbedding, EquivalentToInputConcat) {
+  // Construct both embeddings, tie their weights so that
+  // W_concat = [W1; W2] (eq. (7)), and verify identical outputs.
+  mf::util::Rng rng(13);
+  const int64_t G = 12, C = 2, d = 7, B = 3, q = 5;
+  nn::SplitInputEmbedding split(G, C, d, nn::Activation::kGelu, rng);
+  nn::InputConcatEmbedding concat(G, C, d, nn::Activation::kGelu, rng);
+  // Tie: concat.proj.weight rows [0,G) = W1 rows, rows [G,G+C) = W2 rows.
+  for (int64_t r = 0; r < G; ++r)
+    for (int64_t c = 0; c < d; ++c)
+      concat.proj->weight.flat(r * d + c) = split.g_proj->weight.at({r, c});
+  for (int64_t r = 0; r < C; ++r)
+    for (int64_t c = 0; c < d; ++c)
+      concat.proj->weight.flat((G + r) * d + c) = split.x_proj->weight.at({r, c});
+  for (int64_t c = 0; c < d; ++c)
+    concat.proj->bias.flat(c) = split.g_proj->bias.flat(c);
+
+  Tensor g = randt({B, G}, 14);
+  Tensor x = randt({B, q, C}, 15);
+  ad::NoGradGuard ng;
+  Tensor ys = split.forward(g, x);
+  Tensor yc = concat.forward(g, x);
+  ASSERT_EQ(ys.shape(), (Shape{B, q, d}));
+  ASSERT_EQ(yc.shape(), (Shape{B, q, d}));
+  EXPECT_NEAR(ops::mse(ys, yc), 0.0, 1e-24);
+}
+
+TEST(SplitEmbedding, GradcheckThroughCoordinates) {
+  mf::util::Rng rng(16);
+  const int64_t G = 6, d = 5;
+  nn::SplitInputEmbedding split(G, 2, d, nn::Activation::kTanh, rng);
+  Tensor g = randt({2, G}, 17);
+  Tensor x = randt({2, 3, 2}, 18);
+  auto f = [&](const std::vector<Tensor>& in) {
+    return ops::sum(ops::square(split.forward(in[0], in[1])));
+  };
+  auto r = ad::gradcheck(f, {g, x});
+  EXPECT_TRUE(r.ok) << "max_rel_err=" << r.max_rel_err;
+}
+
+TEST(SplitEmbedding, SecondOrderThroughCoordinates) {
+  // The PDE loss needs d2/dx2 through the split layer.
+  mf::util::Rng rng(19);
+  nn::SplitInputEmbedding split(4, 2, 3, nn::Activation::kTanh, rng);
+  Tensor g = randt({1, 4}, 20);
+  auto f = [&](const std::vector<Tensor>& in) {
+    return ops::sum(ops::square(split.forward(g, in[0])));
+  };
+  auto r = ad::gradcheck_second_order(f, {randt({1, 2, 2}, 21)}, 1e-5, 1e-4);
+  EXPECT_TRUE(r.ok) << "max_rel_err=" << r.max_rel_err;
+}
+
+TEST(ConvBoundaryEncoder, ShapeAndGradient) {
+  mf::util::Rng rng(22);
+  const int64_t L = 16, ch = 4;
+  nn::ConvBoundaryEncoder enc(L, ch, /*depth=*/2, /*kernel=*/3,
+                              nn::Activation::kGelu, rng);
+  Tensor g = randt({3, L}, 23);
+  Tensor out = enc.forward(g);
+  EXPECT_EQ(out.shape(), (Shape{3, L * ch}));
+  EXPECT_EQ(enc.out_features(), L * ch);
+  Tensor loss = ops::mean(ops::square(out));
+  ad::backward(loss);
+  for (auto& p : enc.parameters()) {
+    ASSERT_TRUE(p.grad().defined());
+  }
+}
+
+TEST(Serialize, RoundTripExact) {
+  mf::util::Rng rng1(24), rng2(25);
+  nn::MLP a({3, 8, 2}, nn::Activation::kGelu, rng1);
+  nn::MLP b({3, 8, 2}, nn::Activation::kGelu, rng2);
+  const std::string path = "/tmp/mf_test_params.bin";
+  nn::save_parameters(a, path);
+  nn::load_parameters(b, path);
+  Tensor x = randt({4, 3}, 26);
+  ad::NoGradGuard ng;
+  EXPECT_NEAR(ops::mse(a.forward(x), b.forward(x)), 0.0, 1e-30);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, ShapeMismatchThrows) {
+  mf::util::Rng rng(27);
+  nn::MLP a({3, 8, 2}, nn::Activation::kGelu, rng);
+  nn::MLP c({3, 9, 2}, nn::Activation::kGelu, rng);
+  const std::string path = "/tmp/mf_test_params2.bin";
+  nn::save_parameters(a, path);
+  EXPECT_THROW(nn::load_parameters(c, path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Activation, IdentityPassThrough) {
+  Tensor x = randt({3}, 28);
+  Tensor y = nn::activate(x, nn::Activation::kIdentity);
+  EXPECT_NEAR(ops::mse(x, y), 0.0, 1e-30);
+}

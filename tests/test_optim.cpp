@@ -1,0 +1,189 @@
+// Optimizer and LR-schedule tests: descent on convex problems, Rosenbrock
+// convergence, LAMB trust-ratio behaviour, schedule shape properties.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ad/engine.hpp"
+#include "ad/ops.hpp"
+#include "optim/lr_schedule.hpp"
+#include "optim/optimizers.hpp"
+
+namespace ad = mf::ad;
+namespace ops = mf::ad::ops;
+namespace optim = mf::optim;
+using ad::Tensor;
+
+namespace {
+
+/// f(w) = sum((w - target)^2), unique minimum at target.
+Tensor quadratic(const Tensor& w, const Tensor& target) {
+  return ops::sum(ops::square(ops::sub(w, target)));
+}
+
+double run_quadratic(optim::Optimizer& opt, Tensor w, const Tensor& target,
+                     int steps) {
+  double last = 0;
+  for (int i = 0; i < steps; ++i) {
+    opt.zero_grad();
+    Tensor loss = quadratic(w, target);
+    last = loss.item();
+    ad::backward(loss);
+    opt.step();
+  }
+  return last;
+}
+
+}  // namespace
+
+TEST(Sgd, ConvergesOnQuadratic) {
+  Tensor w = Tensor::full({4}, 5.0);
+  w.set_requires_grad(true);
+  Tensor target = Tensor::from_vector({1, -1, 2, 0}, {4});
+  optim::Sgd opt({w}, 0.1);
+  const double loss = run_quadratic(opt, w, target, 100);
+  EXPECT_LT(loss, 1e-8);
+}
+
+TEST(Sgd, MomentumAcceleratesConvergence) {
+  Tensor target = Tensor::from_vector({1, -1, 2, 0}, {4});
+  Tensor w1 = Tensor::full({4}, 5.0);
+  w1.set_requires_grad(true);
+  Tensor w2 = Tensor::full({4}, 5.0);
+  w2.set_requires_grad(true);
+  optim::Sgd plain({w1}, 0.02);
+  optim::Sgd momentum({w2}, 0.02, 0.9);
+  const double l_plain = run_quadratic(plain, w1, target, 50);
+  const double l_mom = run_quadratic(momentum, w2, target, 50);
+  EXPECT_LT(l_mom, l_plain);
+}
+
+TEST(Sgd, WeightDecayShrinksWeights) {
+  Tensor w = Tensor::full({2}, 1.0);
+  w.set_requires_grad(true);
+  optim::Sgd opt({w}, 0.1, 0.0, /*weight_decay=*/0.5);
+  // Zero gradient: only decay acts.
+  for (int i = 0; i < 10; ++i) {
+    opt.zero_grad();
+    Tensor loss = ops::sum(ops::mul_scalar(w, 0.0));
+    ad::backward(loss);
+    opt.step();
+  }
+  EXPECT_LT(std::abs(w.flat(0)), 1.0);
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  Tensor w = Tensor::full({4}, 5.0);
+  w.set_requires_grad(true);
+  Tensor target = Tensor::from_vector({1, -1, 2, 0}, {4});
+  optim::Adam opt({w}, 0.1);
+  const double loss = run_quadratic(opt, w, target, 500);
+  EXPECT_LT(loss, 1e-6);
+}
+
+TEST(Adam, ConvergesOnRosenbrock) {
+  // f(x, y) = (1-x)^2 + 100 (y - x^2)^2, minimum at (1, 1).
+  Tensor w = Tensor::from_vector({-1.2, 1.0}, {2});
+  w.set_requires_grad(true);
+  optim::Adam opt({w}, 0.02);
+  for (int i = 0; i < 4000; ++i) {
+    opt.zero_grad();
+    Tensor x = ops::slice(w, 0, 0, 1);
+    Tensor y = ops::slice(w, 0, 1, 1);
+    Tensor a = ops::square(ops::add_scalar(ops::neg(x), 1.0));
+    Tensor b = ops::mul_scalar(ops::square(ops::sub(y, ops::square(x))), 100.0);
+    Tensor loss = ops::sum(ops::add(a, b));
+    ad::backward(loss);
+    opt.step();
+  }
+  EXPECT_NEAR(w.flat(0), 1.0, 0.05);
+  EXPECT_NEAR(w.flat(1), 1.0, 0.1);
+}
+
+TEST(Lamb, ConvergesOnQuadraticWithDecay) {
+  // LAMB's trust ratio keeps steps proportional to ||w||, so (like in the
+  // paper) it is paired with a decaying learning-rate schedule.
+  Tensor w = Tensor::full({4}, 5.0);
+  w.set_requires_grad(true);
+  Tensor target = Tensor::from_vector({1, -1, 2, 0}, {4});
+  optim::Lamb opt({w}, 0.05);
+  optim::WarmupPolyDecay sched(0.05, 10, 800);
+  double loss = 0;
+  for (int i = 0; i < 800; ++i) {
+    opt.set_lr(sched(i));
+    opt.zero_grad();
+    Tensor l = quadratic(w, target);
+    loss = l.item();
+    ad::backward(l);
+    opt.step();
+  }
+  EXPECT_LT(loss, 1e-4);
+}
+
+TEST(Lamb, TrustRatioBoundsUpdateByWeightNorm) {
+  // One LAMB step moves w by at most lr * ||w|| regardless of grad scale.
+  Tensor w = Tensor::full({4}, 2.0);
+  w.set_requires_grad(true);
+  optim::Lamb opt({w}, 0.1);
+  opt.zero_grad();
+  Tensor loss = ops::sum(ops::mul_scalar(w, 1e6));  // huge gradient
+  ad::backward(loss);
+  Tensor before = w.detach();
+  opt.step();
+  double moved = 0, wn = 0;
+  for (int64_t i = 0; i < 4; ++i) {
+    moved += std::pow(w.flat(i) - before.flat(i), 2);
+    wn += before.flat(i) * before.flat(i);
+  }
+  EXPECT_LE(std::sqrt(moved), 0.1 * std::sqrt(wn) * (1 + 1e-9));
+}
+
+TEST(Adam, SkipsUndefinedGrads) {
+  Tensor w = Tensor::full({2}, 1.0);
+  w.set_requires_grad(true);
+  optim::Adam opt({w}, 0.1);
+  opt.step();  // no backward happened — must be a no-op
+  EXPECT_EQ(w.flat(0), 1.0);
+}
+
+// ---- LR schedules ----
+
+TEST(WarmupPolyDecay, WarmupIsLinear) {
+  optim::WarmupPolyDecay sched(1.0, 100, 1000);
+  EXPECT_NEAR(sched(49), 0.5, 1e-12);
+  EXPECT_NEAR(sched(99), 1.0, 1e-12);
+}
+
+TEST(WarmupPolyDecay, DecayReachesZero) {
+  optim::WarmupPolyDecay sched(1.0, 100, 1000);
+  EXPECT_NEAR(sched(1000), 0.0, 1e-12);
+  EXPECT_NEAR(sched(550), 0.5, 1e-12);  // halfway through decay
+}
+
+TEST(WarmupPolyDecay, MonotoneDecayAfterWarmup) {
+  optim::WarmupPolyDecay sched(0.001, 10, 500, 1.0);
+  double prev = sched(10);
+  for (int64_t s = 11; s <= 500; ++s) {
+    const double cur = sched(s);
+    EXPECT_LE(cur, prev + 1e-15);
+    prev = cur;
+  }
+}
+
+TEST(WarmupPolyDecay, QuadraticPowerDecaysFaster) {
+  optim::WarmupPolyDecay p1(1.0, 0, 100, 1.0);
+  optim::WarmupPolyDecay p2(1.0, 0, 100, 2.0);
+  EXPECT_LT(p2(50), p1(50));
+}
+
+TEST(WarmupPolyDecay, InvalidArgsThrow) {
+  EXPECT_THROW(optim::WarmupPolyDecay(1.0, 10, 0), std::invalid_argument);
+  EXPECT_THROW(optim::WarmupPolyDecay(1.0, 20, 10), std::invalid_argument);
+}
+
+TEST(LrScaling, SqrtRule) {
+  EXPECT_NEAR(optim::sqrt_lr_scaling(0.001, 1), 0.001, 1e-15);
+  EXPECT_NEAR(optim::sqrt_lr_scaling(0.001, 16), 0.004, 1e-15);
+  EXPECT_NEAR(optim::scaled_warmup_fraction(0.001, 32), 0.032, 1e-15);
+  EXPECT_NEAR(optim::scaled_warmup_fraction(0.5, 32), 1.0, 1e-15);
+}

@@ -1,0 +1,292 @@
+// SDNet model and physics-informed training tests: architecture variants,
+// the Laplacian via second-order autodiff vs finite differences, Algorithm
+// 1 semantics (data-parallel gradients == single-process gradients), and a
+// small end-to-end training run.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ad/engine.hpp"
+#include "comm/world.hpp"
+#include "mosaic/loss.hpp"
+#include "mosaic/sdnet.hpp"
+#include "mosaic/trainer.hpp"
+
+namespace ad = mf::ad;
+namespace ops = mf::ad::ops;
+namespace mosaic = mf::mosaic;
+using ad::Shape;
+using ad::Tensor;
+
+namespace {
+
+mosaic::SdnetConfig tiny_config(int64_t boundary = 32) {
+  mosaic::SdnetConfig cfg;
+  cfg.boundary_size = boundary;
+  cfg.hidden_width = 16;
+  cfg.mlp_depth = 3;
+  cfg.conv_channels = 2;
+  cfg.conv_depth = 1;
+  cfg.conv_kernel = 3;
+  return cfg;
+}
+
+Tensor randt(const Shape& shape, unsigned seed, double scale = 1.0) {
+  mf::util::Rng rng(seed);
+  Tensor t = Tensor::zeros(shape);
+  for (int64_t i = 0; i < t.numel(); ++i) t.flat(i) = rng.uniform(-scale, scale);
+  return t;
+}
+
+}  // namespace
+
+TEST(Sdnet, ForwardShape) {
+  mf::util::Rng rng(1);
+  mosaic::Sdnet net(tiny_config(), rng);
+  Tensor g = randt({3, 32}, 2);
+  Tensor x = randt({3, 7, 2}, 3, 0.5);
+  Tensor out = net.predict(g, x);
+  EXPECT_EQ(out.shape(), (Shape{3, 7, 1}));
+}
+
+TEST(Sdnet, SplitAndConcatVariantsBothRun) {
+  mf::util::Rng rng(4);
+  auto cfg = tiny_config();
+  cfg.use_split_embedding = false;
+  mosaic::Sdnet baseline(cfg, rng);
+  Tensor g = randt({2, 32}, 5);
+  Tensor x = randt({2, 5, 2}, 6, 0.5);
+  EXPECT_EQ(baseline.predict(g, x).shape(), (Shape{2, 5, 1}));
+  cfg.use_split_embedding = true;
+  mosaic::Sdnet optimized(cfg, rng);
+  EXPECT_EQ(optimized.predict(g, x).shape(), (Shape{2, 5, 1}));
+}
+
+TEST(Sdnet, NoConvEncoderVariant) {
+  mf::util::Rng rng(7);
+  auto cfg = tiny_config();
+  cfg.use_conv_encoder = false;
+  mosaic::Sdnet net(cfg, rng);
+  Tensor g = randt({2, 32}, 8);
+  Tensor x = randt({2, 3, 2}, 9, 0.5);
+  EXPECT_EQ(net.predict(g, x).shape(), (Shape{2, 3, 1}));
+}
+
+TEST(Sdnet, EvenConvKernelRejected) {
+  mf::util::Rng rng(10);
+  auto cfg = tiny_config();
+  cfg.conv_kernel = 4;
+  EXPECT_THROW(mosaic::Sdnet(cfg, rng), std::invalid_argument);
+}
+
+TEST(Sdnet, PredictRecordsNoGraph) {
+  mf::util::Rng rng(11);
+  mosaic::Sdnet net(tiny_config(), rng);
+  Tensor g = randt({1, 32}, 12);
+  Tensor x = randt({1, 2, 2}, 13, 0.5);
+  Tensor out = net.predict(g, x);
+  EXPECT_FALSE(out.has_grad_fn());
+}
+
+TEST(Loss, NetworkLaplacianMatchesFiniteDifferences) {
+  mf::util::Rng rng(14);
+  mosaic::Sdnet net(tiny_config(), rng);
+  Tensor g = randt({1, 32}, 15);
+  Tensor x = randt({1, 4, 2}, 16, 0.4);
+  for (int64_t i = 0; i < x.numel(); ++i) x.flat(i) += 0.5;  // keep in (0,1)
+  Tensor xleaf = x.detach();
+  xleaf.set_requires_grad(true);
+  Tensor lap = mosaic::network_laplacian(net, g, xleaf, false);
+  ASSERT_EQ(lap.shape(), (Shape{1, 4, 1}));
+
+  const double eps = 1e-4;
+  for (int64_t p = 0; p < 4; ++p) {
+    auto eval = [&](double dx, double dy) {
+      Tensor xx = x.detach();
+      xx.flat(p * 2 + 0) += dx;
+      xx.flat(p * 2 + 1) += dy;
+      return net.predict(g, xx).flat(p);
+    };
+    const double u0 = eval(0, 0);
+    const double uxx = (eval(eps, 0) - 2 * u0 + eval(-eps, 0)) / (eps * eps);
+    const double uyy = (eval(0, eps) - 2 * u0 + eval(0, -eps)) / (eps * eps);
+    EXPECT_NEAR(lap.flat(p), uxx + uyy, 1e-4 * std::max(1.0, std::abs(uxx + uyy)))
+        << "point " << p;
+  }
+}
+
+TEST(Loss, PdeLossBackwardReachesAllParameters) {
+  mf::util::Rng rng(17);
+  mosaic::Sdnet net(tiny_config(), rng);
+  Tensor g = randt({2, 32}, 18);
+  Tensor x = randt({2, 3, 2}, 19, 0.4);
+  x.set_requires_grad(true);
+  Tensor loss = mosaic::pde_loss(net, g, x);
+  EXPECT_GT(loss.item(), 0.0);
+  ad::backward(loss);
+  for (const auto& [name, p] : net.named_parameters()) {
+    // The final layer's bias is additive in the output, so the Laplacian
+    // (and hence the PDE loss) is genuinely independent of it.
+    if (name == "mlp.2.bias") {
+      EXPECT_FALSE(p.grad().defined()) << name;
+      continue;
+    }
+    EXPECT_TRUE(p.grad().defined()) << name;
+  }
+}
+
+TEST(Loss, DataLossZeroForPerfectTargets) {
+  mf::util::Rng rng(20);
+  mosaic::Sdnet net(tiny_config(), rng);
+  Tensor g = randt({1, 32}, 21);
+  Tensor x = randt({1, 5, 2}, 22, 0.4);
+  Tensor y = net.predict(g, x);
+  Tensor loss = mosaic::data_loss(net, g, x, y);
+  EXPECT_NEAR(loss.item(), 0.0, 1e-20);
+}
+
+TEST(TrainingStep, AccumulatesBothLossGradients) {
+  mf::util::Rng rng(23);
+  mosaic::Sdnet net(tiny_config(), rng);
+  mf::gp::LaplaceDatasetGenerator gen(8);
+  auto bvps = gen.generate_many(2);
+  auto batch = gen.make_batch(bvps, 8, 8);
+  mosaic::TrainConfig cfg;
+  net.zero_grad();
+  auto [ld, lp] = mosaic::training_step(net, batch, cfg);
+  EXPECT_GT(ld, 0.0);
+  EXPECT_GT(lp, 0.0);
+  for (const auto& p : net.parameters()) EXPECT_TRUE(p.grad().defined());
+}
+
+TEST(TrainingStep, DataParallelGradsEqualSingleProcess) {
+  // Algorithm 1's claim: averaging per-rank (data+pde) gradient sums over
+  // ranks with a single allreduce equals the gradient of the job run as
+  // one process with the combined batch.
+  mf::util::Rng rng(24);
+  mosaic::Sdnet reference(tiny_config(), rng);
+
+  mf::gp::LaplaceDatasetGenerator gen(8);
+  auto bvps = gen.generate_many(4);
+  auto full = gen.make_batch(bvps, 6, 6);
+  mosaic::TrainConfig cfg;
+
+  // Single-process gradients on the full batch.
+  reference.zero_grad();
+  mosaic::training_step(reference, full, cfg);
+  std::vector<Tensor> expected;
+  for (const auto& p : reference.parameters()) expected.push_back(p.grad().clone());
+
+  // Two ranks, each with half the batch (rows of the full tensors).
+  auto slice_batch = [&](int64_t b0, int64_t b1) {
+    mf::gp::SdnetBatch sb;
+    sb.g = ops::slice(full.g, 0, b0, b1 - b0).detach();
+    sb.x_data = ops::slice(full.x_data, 0, b0, b1 - b0).detach();
+    sb.y_data = ops::slice(full.y_data, 0, b0, b1 - b0).detach();
+    sb.x_colloc = ops::slice(full.x_colloc, 0, b0, b1 - b0).detach();
+    return sb;
+  };
+
+  mf::comm::World world(2);
+  std::vector<std::vector<double>> averaged(2);
+  world.run([&](mf::comm::Communicator& c) {
+    mf::util::Rng rng_local(24);  // same seed -> identical replica init
+    mosaic::Sdnet replica(tiny_config(), rng_local);
+    auto local = c.rank() == 0 ? slice_batch(0, 2) : slice_batch(2, 4);
+    replica.zero_grad();
+    mosaic::training_step(replica, local, cfg);
+    mosaic::average_gradients(replica, c);
+    std::vector<double> flat;
+    for (const auto& p : replica.parameters()) {
+      Tensor g = p.grad();
+      flat.insert(flat.end(), g.data(), g.data() + g.numel());
+    }
+    averaged[static_cast<std::size_t>(c.rank())] = flat;
+  });
+
+  // Both replicas see identical averaged gradients...
+  ASSERT_EQ(averaged[0].size(), averaged[1].size());
+  for (std::size_t i = 0; i < averaged[0].size(); ++i) {
+    EXPECT_NEAR(averaged[0][i], averaged[1][i], 1e-14);
+  }
+  // ...equal to the single-process gradient.
+  std::size_t off = 0;
+  for (const auto& e : expected) {
+    for (int64_t i = 0; i < e.numel(); ++i) {
+      EXPECT_NEAR(averaged[0][off + static_cast<std::size_t>(i)], e.flat(i), 1e-11);
+    }
+    off += static_cast<std::size_t>(e.numel());
+  }
+}
+
+TEST(Training, TinyRunImprovesValidationMse) {
+  mf::util::Rng rng(25);
+  mosaic::SdnetConfig cfg_net;
+  cfg_net.boundary_size = 32;
+  cfg_net.hidden_width = 64;
+  cfg_net.mlp_depth = 4;
+  mosaic::Sdnet net(cfg_net, rng);
+  mf::gp::LaplaceDatasetGenerator gen(8);
+  auto train = gen.generate_many(48);
+  auto val = gen.generate_many(8);
+
+  const double mse0 = mosaic::validation_mse(net, val, gen.m());
+  mosaic::TrainConfig cfg;
+  cfg.epochs = 12;
+  cfg.batch_size = 8;
+  cfg.q_data = 48;
+  cfg.q_colloc = 16;
+  cfg.max_lr = 1e-2;
+  cfg.pde_loss_weight = 0.3;
+  cfg.optimizer = mosaic::OptimizerKind::kAdamW;
+  auto history = mosaic::train_sdnet(net, train, val, cfg, gen);
+  ASSERT_EQ(history.size(), 12u);
+  const double mse1 = history.back().val_mse;
+  EXPECT_LT(mse1, mse0 * 0.7) << "initial " << mse0 << " final " << mse1;
+  EXPECT_LT(history.back().train_loss, history.front().train_loss);
+  // Wall time is monotone across epochs.
+  for (std::size_t e = 1; e < history.size(); ++e) {
+    EXPECT_GE(history[e].wall_seconds, history[e - 1].wall_seconds);
+  }
+}
+
+TEST(Training, ValidationMseOfExactOperatorIsSmall) {
+  // Sanity of the metric itself: validation_mse of predictions that equal
+  // the reference is zero — emulate by training-free direct check against
+  // a solver that is exact (harmonic kernel applied below in test_mfp).
+  mf::util::Rng rng(26);
+  mosaic::Sdnet net(tiny_config(), rng);
+  mf::gp::LaplaceDatasetGenerator gen(8);
+  auto val = gen.generate_many(2);
+  const double mse = mosaic::validation_mse(net, val, gen.m());
+  EXPECT_GT(mse, 0.0);  // untrained network is far from the solution
+}
+
+TEST(Table3, PdeLossInflatesAutogradMemory) {
+  // The Table 3 phenomenon: with the PDE loss, the retained autograd graph
+  // (for double backward) consumes a multiple of the data-only memory.
+  mf::util::Rng rng(27);
+  mosaic::Sdnet net(tiny_config(), rng);
+  mf::gp::LaplaceDatasetGenerator gen(8);
+  auto bvps = gen.generate_many(4);
+  auto batch = gen.make_batch(bvps, 32, 32);
+  auto& mt = ad::MemoryTracker::instance();
+
+  mosaic::TrainConfig cfg;
+  cfg.use_pde_loss = false;
+  net.zero_grad();
+  mt.reset_peak();
+  const std::size_t base = mt.peak_bytes();
+  mosaic::training_step(net, batch, cfg);
+  const std::size_t peak_data_only = mt.peak_bytes() - base;
+
+  cfg.use_pde_loss = true;
+  net.zero_grad();
+  mt.reset_peak();
+  const std::size_t base2 = mt.peak_bytes();
+  mosaic::training_step(net, batch, cfg);
+  const std::size_t peak_with_pde = mt.peak_bytes() - base2;
+
+  EXPECT_GT(peak_with_pde, 2 * peak_data_only)
+      << "data-only " << peak_data_only << "B, with PDE " << peak_with_pde << "B";
+}
