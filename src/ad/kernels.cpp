@@ -1,0 +1,317 @@
+#include "ad/kernels.hpp"
+
+#include <atomic>
+#include <cmath>
+
+namespace mf::ad::kernels {
+
+namespace {
+std::atomic<int64_t> g_grain{4096};
+thread_local int g_serial_depth = 0;
+}  // namespace
+
+SerialRegionGuard::SerialRegionGuard() { ++g_serial_depth; }
+SerialRegionGuard::~SerialRegionGuard() { --g_serial_depth; }
+
+bool in_serial_region() { return g_serial_depth > 0; }
+
+bool openmp_enabled() {
+#ifdef MF_HAVE_OPENMP
+  return true;
+#else
+  return false;
+#endif
+}
+
+int max_threads() {
+#ifdef MF_HAVE_OPENMP
+  return omp_get_max_threads();
+#else
+  return 1;
+#endif
+}
+
+void set_num_threads(int n) {
+#ifdef MF_HAVE_OPENMP
+  omp_set_num_threads(n > 0 ? n : 1);
+#else
+  (void)n;
+#endif
+}
+
+int64_t grain() { return g_grain.load(std::memory_order_relaxed); }
+
+void set_grain(int64_t g) {
+  g_grain.store(g > 0 ? g : 1, std::memory_order_relaxed);
+}
+
+namespace detail {
+bool should_thread(int64_t work) {
+#ifdef MF_HAVE_OPENMP
+  return work >= grain() && !in_serial_region() && omp_get_max_threads() > 1 &&
+         !omp_in_parallel();
+#else
+  (void)work;
+  return false;
+#endif
+}
+}  // namespace detail
+
+BroadcastPlan::BroadcastPlan(const Shape& out, const Shape& a, const Shape& b)
+    : out_shape(out) {
+  const std::size_t nd = out.size();
+  a_strides.assign(nd, 0);
+  b_strides.assign(nd, 0);
+  const auto sa = strides_of(a);
+  const auto sb = strides_of(b);
+  const std::size_t oa = nd - a.size();
+  const std::size_t ob = nd - b.size();
+  for (std::size_t d = 0; d < nd; ++d) {
+    if (d >= oa && a[d - oa] != 1) a_strides[d] = sa[d - oa];
+    if (d >= ob && b[d - ob] != 1) b_strides[d] = sb[d - ob];
+  }
+  n = numel_of(out);
+}
+
+void broadcast_copy(const BroadcastPlan& plan, const real* src, real* out) {
+  map_broadcast(plan, src, src, out, [](real x, real) { return x; });
+}
+
+ReducePlan::ReducePlan(const Shape& src, const Shape& dst) {
+  const std::size_t nd = src.size();
+  const std::size_t off = nd - dst.size();
+  const auto ss = strides_of(src);
+  for (std::size_t d = 0; d < nd; ++d) {
+    const int64_t dsize = d < off ? 1 : dst[d - off];
+    if (dsize == src[d]) {
+      out_sizes.push_back(dsize);
+      out_src_strides.push_back(ss[d]);
+      n_out *= dsize;
+    } else {  // dsize == 1, src[d] > 1: reduced axis
+      red_sizes.push_back(src[d]);
+      red_src_strides.push_back(ss[d]);
+      n_red *= src[d];
+    }
+  }
+}
+
+void reduce_broadcast(const ReducePlan& plan, const real* src, real* dst) {
+  const int64_t n_kept = static_cast<int64_t>(plan.out_sizes.size());
+  const int64_t n_reddims = static_cast<int64_t>(plan.red_sizes.size());
+  parallel_for(plan.n_out, plan.n_red, [&](int64_t begin, int64_t end) {
+    std::vector<int64_t> rid(static_cast<std::size_t>(n_reddims), 0);
+    for (int64_t o = begin; o < end; ++o) {
+      // Decompose o over the kept dims to find the source base offset.
+      int64_t base = 0, rem = o;
+      for (int64_t d = n_kept - 1; d >= 0; --d) {
+        const auto du = static_cast<std::size_t>(d);
+        base += (rem % plan.out_sizes[du]) * plan.out_src_strides[du];
+        rem /= plan.out_sizes[du];
+      }
+      // Walk the reduced subspace.
+      real acc = 0;
+      std::fill(rid.begin(), rid.end(), 0);
+      int64_t roff = 0;
+      for (int64_t r = 0; r < plan.n_red; ++r) {
+        acc += src[base + roff];
+        for (int64_t d = n_reddims - 1; d >= 0; --d) {
+          const auto du = static_cast<std::size_t>(d);
+          rid[du]++;
+          roff += plan.red_src_strides[du];
+          if (rid[du] < plan.red_sizes[du]) break;
+          roff -= plan.red_src_strides[du] * plan.red_sizes[du];
+          rid[du] = 0;
+        }
+      }
+      dst[o] = acc;
+    }
+  });
+}
+
+real reduce_sum(const real* a, int64_t n) {
+  real acc = 0;
+#ifdef MF_HAVE_OPENMP
+  if (detail::should_thread(n)) {
+#pragma omp parallel for reduction(+ : acc)
+    for (int64_t i = 0; i < n; ++i) acc += a[i];
+    return acc;
+  }
+#endif
+  for (int64_t i = 0; i < n; ++i) acc += a[i];
+  return acc;
+}
+
+real reduce_max_abs(const real* a, int64_t n) {
+  real m = 0;
+#ifdef MF_HAVE_OPENMP
+  if (detail::should_thread(n)) {
+#pragma omp parallel for reduction(max : m)
+    for (int64_t i = 0; i < n; ++i) m = std::max(m, std::abs(a[i]));
+    return m;
+  }
+#endif
+  for (int64_t i = 0; i < n; ++i) m = std::max(m, std::abs(a[i]));
+  return m;
+}
+
+real reduce_sq_diff(const real* a, const real* b, int64_t n) {
+  real acc = 0;
+#ifdef MF_HAVE_OPENMP
+  if (detail::should_thread(n)) {
+#pragma omp parallel for reduction(+ : acc)
+    for (int64_t i = 0; i < n; ++i) {
+      const real d = a[i] - b[i];
+      acc += d * d;
+    }
+    return acc;
+  }
+#endif
+  for (int64_t i = 0; i < n; ++i) {
+    const real d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+real reduce_abs_diff(const real* a, const real* b, int64_t n) {
+  real acc = 0;
+#ifdef MF_HAVE_OPENMP
+  if (detail::should_thread(n)) {
+#pragma omp parallel for reduction(+ : acc)
+    for (int64_t i = 0; i < n; ++i) acc += std::abs(a[i] - b[i]);
+    return acc;
+  }
+#endif
+  for (int64_t i = 0; i < n; ++i) acc += std::abs(a[i] - b[i]);
+  return acc;
+}
+
+void sum_axis(const real* src, real* dst, int64_t outer, int64_t n_axis,
+              int64_t inner) {
+  parallel_for(outer, n_axis * inner, [&](int64_t begin, int64_t end) {
+    for (int64_t o = begin; o < end; ++o) {
+      real* drow = dst + o * inner;
+      for (int64_t k = 0; k < n_axis; ++k) {
+        const real* srow = src + (o * n_axis + k) * inner;
+        for (int64_t i = 0; i < inner; ++i) drow[i] += srow[i];
+      }
+    }
+  });
+}
+
+void matmul(const real* a, const real* b, const real* bias, real* out,
+            int64_t m, int64_t k, int64_t n) {
+  parallel_for(m, k * n, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      const real* arow = a + i * k;
+      real* orow = out + i * n;
+      if (bias) {
+        for (int64_t j = 0; j < n; ++j) orow[j] = bias[j];
+      } else {
+        for (int64_t j = 0; j < n; ++j) orow[j] = 0;
+      }
+      // i-k-j loop order: unit-stride inner loops.
+      for (int64_t kk = 0; kk < k; ++kk) {
+        const real av = arow[kk];
+        if (av == 0) continue;
+        const real* brow = b + kk * n;
+        for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+      }
+    }
+  });
+}
+
+void transpose(const real* a, real* out, int64_t m, int64_t n) {
+  parallel_for(m, n, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i)
+      for (int64_t j = 0; j < n; ++j) out[j * m + i] = a[i * n + j];
+  });
+}
+
+void conv1d_forward(const real* input, const real* weight, const real* bias,
+                    real* out, int64_t B, int64_t Cin, int64_t L, int64_t Cout,
+                    int64_t K, int64_t padding) {
+  const int64_t Lout = L + 2 * padding - K + 1;
+  parallel_for(B * Cout, Cin * K * Lout, [&](int64_t begin, int64_t end) {
+    for (int64_t bc = begin; bc < end; ++bc) {
+      const int64_t b = bc / Cout;
+      const int64_t co = bc % Cout;
+      real* orow = out + bc * Lout;
+      const real fill = bias ? bias[co] : 0;
+      for (int64_t t = 0; t < Lout; ++t) orow[t] = fill;
+      for (int64_t ci = 0; ci < Cin; ++ci) {
+        const real* irow = input + (b * Cin + ci) * L;
+        const real* wrow = weight + (co * Cin + ci) * K;
+        for (int64_t t = 0; t < Lout; ++t) {
+          real acc = 0;
+          const int64_t k0 = std::max<int64_t>(0, padding - t);
+          const int64_t k1 = std::min<int64_t>(K, L + padding - t);
+          for (int64_t k = k0; k < k1; ++k) acc += wrow[k] * irow[t + k - padding];
+          orow[t] += acc;
+        }
+      }
+    }
+  });
+}
+
+void conv1d_grad_input(const real* grad_out, const real* weight,
+                       real* grad_input, int64_t B, int64_t Cin, int64_t L,
+                       int64_t Cout, int64_t K, int64_t padding) {
+  const int64_t Lout = L + 2 * padding - K + 1;
+  // Threads over batch: output channels of one batch element write into the
+  // same grad_input rows, so they stay within one thread.
+  parallel_for(B, Cout * Cin * K * Lout, [&](int64_t begin, int64_t end) {
+    for (int64_t b = begin; b < end; ++b)
+      for (int64_t co = 0; co < Cout; ++co)
+        for (int64_t t = 0; t < Lout; ++t) {
+          const real g = grad_out[(b * Cout + co) * Lout + t];
+          if (g == 0) continue;
+          for (int64_t ci = 0; ci < Cin; ++ci)
+            for (int64_t k = 0; k < K; ++k) {
+              const int64_t src = t + k - padding;
+              if (src < 0 || src >= L) continue;
+              grad_input[(b * Cin + ci) * L + src] +=
+                  g * weight[(co * Cin + ci) * K + k];
+            }
+        }
+  });
+}
+
+void conv1d_grad_weight(const real* grad_out, const real* input,
+                        real* grad_weight, int64_t B, int64_t Cin, int64_t L,
+                        int64_t Cout, int64_t K, int64_t padding) {
+  const int64_t Lout = L + 2 * padding - K + 1;
+  // Threads over output channels: all batches accumulate into one channel's
+  // weight slice, so the batch loop stays within one thread.
+  parallel_for(Cout, B * Cin * K * Lout, [&](int64_t begin, int64_t end) {
+    for (int64_t co = begin; co < end; ++co)
+      for (int64_t b = 0; b < B; ++b)
+        for (int64_t t = 0; t < Lout; ++t) {
+          const real g = grad_out[(b * Cout + co) * Lout + t];
+          if (g == 0) continue;
+          for (int64_t ci = 0; ci < Cin; ++ci)
+            for (int64_t k = 0; k < K; ++k) {
+              const int64_t src = t + k - padding;
+              if (src < 0 || src >= L) continue;
+              grad_weight[(co * Cin + ci) * K + k] +=
+                  g * input[(b * Cin + ci) * L + src];
+            }
+        }
+  });
+}
+
+void conv1d_grad_bias(const real* grad_out, real* grad_bias, int64_t B,
+                      int64_t Cout, int64_t Lout) {
+  parallel_for(Cout, B * Lout, [&](int64_t begin, int64_t end) {
+    for (int64_t co = begin; co < end; ++co) {
+      real acc = 0;
+      for (int64_t b = 0; b < B; ++b) {
+        const real* row = grad_out + (b * Cout + co) * Lout;
+        for (int64_t t = 0; t < Lout; ++t) acc += row[t];
+      }
+      grad_bias[co] += acc;
+    }
+  });
+}
+
+}  // namespace mf::ad::kernels

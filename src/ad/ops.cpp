@@ -4,70 +4,23 @@
 #include <cmath>
 #include <cstring>
 
+#include "ad/kernels.hpp"
+
 namespace mf::ad::ops {
 
 namespace {
 
 constexpr real kGeluCoeff = 0.7978845608028654;  // sqrt(2/pi)
 
-/// Iterates an output shape while mapping each output element to the flat
-/// offsets of two broadcast operands.
-struct BroadcastIter {
-  explicit BroadcastIter(const Shape& out, const Shape& a, const Shape& b)
-      : out_shape(out) {
-    const std::size_t nd = out.size();
-    a_strides.assign(nd, 0);
-    b_strides.assign(nd, 0);
-    const auto sa = strides_of(a);
-    const auto sb = strides_of(b);
-    const std::size_t oa = nd - a.size();
-    const std::size_t ob = nd - b.size();
-    for (std::size_t d = 0; d < nd; ++d) {
-      if (d >= oa && a[d - oa] != 1) a_strides[d] = sa[d - oa];
-      if (d >= ob && b[d - ob] != 1) b_strides[d] = sb[d - ob];
-    }
-  }
-
-  template <typename F>
-  void run(int64_t n, F&& f) const {
-    const std::size_t nd = out_shape.size();
-    std::vector<int64_t> idx(nd, 0);
-    int64_t ai = 0, bi = 0;
-    for (int64_t i = 0; i < n; ++i) {
-      f(i, ai, bi);
-      // increment multi-index (row-major)
-      for (int64_t d = static_cast<int64_t>(nd) - 1; d >= 0; --d) {
-        idx[d]++;
-        ai += a_strides[d];
-        bi += b_strides[d];
-        if (idx[d] < out_shape[d]) break;
-        ai -= a_strides[d] * out_shape[d];
-        bi -= b_strides[d] * out_shape[d];
-        idx[d] = 0;
-      }
-    }
-  }
-
-  Shape out_shape;
-  std::vector<int64_t> a_strides, b_strides;
-};
-
 template <typename F>
 Tensor elementwise_binary_fwd(const Tensor& a, const Tensor& b, F&& f) {
   const Shape out_shape = broadcast_shape(a.shape(), b.shape());
   Tensor out = Tensor::zeros(out_shape);
-  const int64_t n = out.numel();
   if (a.shape() == b.shape()) {
-    const real* pa = a.data();
-    const real* pb = b.data();
-    real* po = out.data();
-    for (int64_t i = 0; i < n; ++i) po[i] = f(pa[i], pb[i]);
+    kernels::map_binary(a.data(), b.data(), out.data(), out.numel(), f);
   } else {
-    BroadcastIter it(out_shape, a.shape(), b.shape());
-    const real* pa = a.data();
-    const real* pb = b.data();
-    real* po = out.data();
-    it.run(n, [&](int64_t i, int64_t ai, int64_t bi) { po[i] = f(pa[ai], pb[bi]); });
+    kernels::BroadcastPlan plan(out_shape, a.shape(), b.shape());
+    kernels::map_broadcast(plan, a.data(), b.data(), out.data(), f);
   }
   return out;
 }
@@ -76,10 +29,7 @@ template <typename F>
 Tensor elementwise_unary(const Tensor& a, const std::string& name, F&& f,
                          LambdaNode::BackwardFn backward) {
   Tensor out = Tensor::zeros(a.shape());
-  const real* pa = a.data();
-  real* po = out.data();
-  const int64_t n = a.numel();
-  for (int64_t i = 0; i < n; ++i) po[i] = f(pa[i]);
+  kernels::map_unary(a.data(), out.data(), a.numel(), f);
   return record(std::move(out), name, {a}, std::move(backward));
 }
 
@@ -108,10 +58,8 @@ Tensor broadcast_to(const Tensor& t, const Shape& shape) {
                                 " -> " + shape_str(shape));
   }
   Tensor out = Tensor::zeros(shape);
-  BroadcastIter it(shape, t.shape(), t.shape());
-  const real* p = t.data();
-  real* po = out.data();
-  it.run(out.numel(), [&](int64_t i, int64_t ai, int64_t) { po[i] = p[ai]; });
+  kernels::BroadcastPlan plan(shape, t.shape(), t.shape());
+  kernels::broadcast_copy(plan, t.data(), out.data());
   const Shape orig = t.shape();
   return record(std::move(out), "broadcast_to", {t},
                 [orig](const Tensor& g, const std::vector<bool>&) {
@@ -126,10 +74,8 @@ Tensor reduce_to(const Tensor& t, const Shape& shape) {
                                 shape_str(shape));
   }
   Tensor out = Tensor::zeros(shape);
-  BroadcastIter it(t.shape(), shape, shape);
-  const real* p = t.data();
-  real* po = out.data();
-  it.run(t.numel(), [&](int64_t i, int64_t oi, int64_t) { po[oi] += p[i]; });
+  kernels::ReducePlan plan(t.shape(), shape);
+  kernels::reduce_broadcast(plan, t.data(), out.data());
   const Shape orig = t.shape();
   return record(std::move(out), "reduce_to", {t},
                 [orig](const Tensor& g, const std::vector<bool>&) {
@@ -165,10 +111,7 @@ Tensor transpose(const Tensor& t) {
   if (t.dim() != 2) throw std::invalid_argument("transpose expects 2-D tensor");
   const int64_t m = t.size(0), n = t.size(1);
   Tensor out = Tensor::zeros({n, m});
-  const real* p = t.data();
-  real* po = out.data();
-  for (int64_t i = 0; i < m; ++i)
-    for (int64_t j = 0; j < n; ++j) po[j * m + i] = p[i * n + j];
+  kernels::transpose(t.data(), out.data(), m, n);
   return record(std::move(out), "transpose", {t},
                 [](const Tensor& g, const std::vector<bool>&) {
                   return std::vector<Tensor>{transpose(g)};
@@ -298,9 +241,9 @@ Tensor abs(const Tensor& a) {
       [a](const Tensor& g, const std::vector<bool>&) {
         // sign(a) treated as a constant (derivative zero a.e.)
         Tensor s = Tensor::zeros(a.shape());
-        for (int64_t i = 0; i < a.numel(); ++i) {
-          s.flat(i) = a.flat(i) > 0 ? 1.0 : (a.flat(i) < 0 ? -1.0 : 0.0);
-        }
+        kernels::map_unary(a.data(), s.data(), a.numel(), [](real x) {
+          return x > 0 ? real{1} : (x < 0 ? real{-1} : real{0});
+        });
         return std::vector<Tensor>{mul(g, s)};
       });
 }
@@ -308,11 +251,27 @@ Tensor abs(const Tensor& a) {
 Tensor square(const Tensor& a) { return mul(a, a); }
 
 Tensor gelu(const Tensor& a) {
-  // 0.5 * x * (1 + tanh(sqrt(2/pi) * (x + 0.044715 x^3)))
-  Tensor x3 = mul(mul(a, a), a);
-  Tensor inner = mul_scalar(add(a, mul_scalar(x3, 0.044715)), kGeluCoeff);
-  Tensor t = tanh(inner);
-  return mul_scalar(mul(a, add_scalar(t, 1.0)), 0.5);
+  // 0.5 * x * (1 + tanh(sqrt(2/pi) * (x + 0.044715 x^3))), fused into one
+  // pass. The backward is compositional (recorded ops), so all higher
+  // derivatives of the PDE loss still exist.
+  return elementwise_unary(
+      a, "gelu",
+      [](real x) {
+        const real u = kGeluCoeff * (x + 0.044715 * x * x * x);
+        return 0.5 * x * (1.0 + std::tanh(u));
+      },
+      [a](const Tensor& g, const std::vector<bool>&) {
+        Tensor x2 = mul(a, a);
+        Tensor u = mul_scalar(add(a, mul_scalar(mul(x2, a), 0.044715)), kGeluCoeff);
+        Tensor t = tanh(u);
+        // du/dx = sqrt(2/pi) * (1 + 3 * 0.044715 x^2)
+        Tensor dudx = mul_scalar(add_scalar(mul_scalar(x2, 3 * 0.044715), 1.0),
+                                 kGeluCoeff);
+        Tensor sech2 = add_scalar(neg(mul(t, t)), 1.0);
+        Tensor d = add(mul_scalar(add_scalar(t, 1.0), 0.5),
+                       mul_scalar(mul(mul(a, sech2), dudx), 0.5));
+        return std::vector<Tensor>{mul(g, d)};
+      });
 }
 
 Tensor sigmoid(const Tensor& a) {
@@ -321,9 +280,7 @@ Tensor sigmoid(const Tensor& a) {
 }
 
 Tensor sum(const Tensor& a) {
-  real acc = 0;
-  for (int64_t i = 0; i < a.numel(); ++i) acc += a.flat(i);
-  Tensor out = Tensor::scalar(acc);
+  Tensor out = Tensor::scalar(kernels::reduce_sum(a.data(), a.numel()));
   const Shape orig = a.shape();
   return record(std::move(out), "sum", {a},
                 [orig](const Tensor& g, const std::vector<bool>&) {
@@ -346,12 +303,7 @@ Tensor sum_axis(const Tensor& a, int64_t axis, bool keepdim) {
   for (int64_t d = axis + 1; d < a.dim(); ++d) inner *= s[static_cast<std::size_t>(d)];
   const int64_t n_axis = s[static_cast<std::size_t>(axis)];
   Tensor out = Tensor::zeros(kept);
-  const real* p = a.data();
-  real* po = out.data();
-  for (int64_t o = 0; o < outer; ++o)
-    for (int64_t k = 0; k < n_axis; ++k)
-      for (int64_t i = 0; i < inner; ++i)
-        po[o * inner + i] += p[(o * n_axis + k) * inner + i];
+  kernels::sum_axis(a.data(), out.data(), outer, n_axis, inner);
   const Shape orig = s;
   Tensor res = record(std::move(out), "sum_axis", {a},
                       [orig](const Tensor& g, const std::vector<bool>&) {
@@ -380,23 +332,9 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   Shape out_shape = a.shape();
   out_shape.back() = n;
   Tensor out = Tensor::zeros(out_shape);
-  const real* pa = a.data();
-  const real* pb = b.data();
-  real* po = out.data();
-  // i-k-j loop order: unit-stride inner loops.
-  for (int64_t i = 0; i < m; ++i) {
-    const real* arow = pa + i * k;
-    real* orow = po + i * n;
-    for (int64_t kk = 0; kk < k; ++kk) {
-      const real av = arow[kk];
-      if (av == 0) continue;
-      const real* brow = pb + kk * n;
-      for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
-    }
-  }
-  const Shape sa = a.shape();
+  kernels::matmul(a.data(), b.data(), /*bias=*/nullptr, out.data(), m, k, n);
   return record(std::move(out), "matmul", {a, b},
-                [a, b, sa, k](const Tensor& g, const std::vector<bool>& needs) {
+                [a, b, k](const Tensor& g, const std::vector<bool>& needs) {
                   std::vector<Tensor> gs(2);
                   if (needs[0]) gs[0] = matmul(g, transpose(b));
                   if (needs[1]) {
@@ -404,6 +342,44 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
                     Tensor g2 = reshape(g, {a2.size(0), -1});
                     gs[1] = matmul(transpose(a2), g2);
                   }
+                  return gs;
+                });
+}
+
+Tensor linear(const Tensor& x, const Tensor& w, const Tensor& b) {
+  if (w.dim() != 2) throw std::invalid_argument("linear: weight must be 2-D");
+  if (x.dim() < 2) throw std::invalid_argument("linear: input must be >= 2-D");
+  const int64_t k = x.size(-1);
+  if (k != w.size(0)) {
+    throw std::invalid_argument("linear: inner dims " + shape_str(x.shape()) +
+                                " x " + shape_str(w.shape()));
+  }
+  const int64_t n = w.size(1);
+  if (b.defined() && (b.dim() != 1 || b.size(0) != n)) {
+    throw std::invalid_argument("linear: bias must be [" + std::to_string(n) +
+                                "]");
+  }
+  const int64_t m = x.numel() / k;
+  Shape out_shape = x.shape();
+  out_shape.back() = n;
+  Tensor out = Tensor::zeros(out_shape);
+  kernels::matmul(x.data(), w.data(), b.defined() ? b.data() : nullptr,
+                  out.data(), m, k, n);
+  std::vector<Tensor> ins = {x, w};
+  if (b.defined()) ins.push_back(b);
+  const bool has_bias = b.defined();
+  const Shape bias_shape = has_bias ? b.shape() : Shape{};
+  return record(std::move(out), "linear", std::move(ins),
+                [x, w, k, has_bias, bias_shape](const Tensor& g,
+                                                const std::vector<bool>& needs) {
+                  std::vector<Tensor> gs(has_bias ? 3 : 2);
+                  if (needs[0]) gs[0] = matmul(g, transpose(w));
+                  if (needs[1]) {
+                    Tensor x2 = reshape(x, {-1, k});
+                    Tensor g2 = reshape(g, {x2.size(0), -1});
+                    gs[1] = matmul(transpose(x2), g2);
+                  }
+                  if (has_bias && needs[2]) gs[2] = reduce_to(g, bias_shape);
                   return gs;
                 });
 }
@@ -423,10 +399,12 @@ Tensor slice(const Tensor& t, int64_t axis, int64_t start, int64_t len) {
   Tensor out = Tensor::zeros(out_shape);
   const real* p = t.data();
   real* po = out.data();
-  for (int64_t o = 0; o < outer; ++o) {
-    std::memcpy(po + o * len * inner, p + (o * n_axis + start) * inner,
-                static_cast<std::size_t>(len * inner) * sizeof(real));
-  }
+  kernels::parallel_for(outer, len * inner, [&](int64_t begin, int64_t end) {
+    for (int64_t o = begin; o < end; ++o) {
+      std::memcpy(po + o * len * inner, p + (o * n_axis + start) * inner,
+                  static_cast<std::size_t>(len * inner) * sizeof(real));
+    }
+  });
   const Shape orig = s;
   return record(std::move(out), "slice", {t},
                 [orig, axis, start, len, outer, inner, n_axis](
@@ -486,58 +464,6 @@ Tensor concat(const std::vector<Tensor>& parts, int64_t axis) {
                 });
 }
 
-namespace {
-
-/// Raw (non-recording) conv1d gradient kernels.
-Tensor conv1d_grad_input(const Tensor& grad_out, const Tensor& weight,
-                         int64_t padding, int64_t L) {
-  const int64_t B = grad_out.size(0), Cout = grad_out.size(1),
-                Lout = grad_out.size(2);
-  const int64_t Cin = weight.size(1), K = weight.size(2);
-  Tensor gi = Tensor::zeros({B, Cin, L});
-  const real* pg = grad_out.data();
-  const real* pw = weight.data();
-  real* po = gi.data();
-  for (int64_t b = 0; b < B; ++b)
-    for (int64_t co = 0; co < Cout; ++co)
-      for (int64_t t = 0; t < Lout; ++t) {
-        const real g = pg[(b * Cout + co) * Lout + t];
-        if (g == 0) continue;
-        for (int64_t ci = 0; ci < Cin; ++ci)
-          for (int64_t k = 0; k < K; ++k) {
-            const int64_t src = t + k - padding;
-            if (src < 0 || src >= L) continue;
-            po[(b * Cin + ci) * L + src] += g * pw[(co * Cin + ci) * K + k];
-          }
-      }
-  return gi;
-}
-
-Tensor conv1d_grad_weight(const Tensor& grad_out, const Tensor& input,
-                          int64_t padding, int64_t Cout, int64_t K) {
-  const int64_t B = input.size(0), Cin = input.size(1), L = input.size(2);
-  const int64_t Lout = grad_out.size(2);
-  Tensor gw = Tensor::zeros({Cout, Cin, K});
-  const real* pg = grad_out.data();
-  const real* pi = input.data();
-  real* po = gw.data();
-  for (int64_t b = 0; b < B; ++b)
-    for (int64_t co = 0; co < Cout; ++co)
-      for (int64_t t = 0; t < Lout; ++t) {
-        const real g = pg[(b * Cout + co) * Lout + t];
-        if (g == 0) continue;
-        for (int64_t ci = 0; ci < Cin; ++ci)
-          for (int64_t k = 0; k < K; ++k) {
-            const int64_t src = t + k - padding;
-            if (src < 0 || src >= L) continue;
-            po[(co * Cin + ci) * K + k] += g * pi[(b * Cin + ci) * L + src];
-          }
-      }
-  return gw;
-}
-
-}  // namespace
-
 Tensor conv1d(const Tensor& input, const Tensor& weight, const Tensor& bias,
               int64_t padding) {
   if (input.dim() != 3 || weight.dim() != 3) {
@@ -549,48 +475,34 @@ Tensor conv1d(const Tensor& input, const Tensor& weight, const Tensor& bias,
   const int64_t Lout = L + 2 * padding - K + 1;
   if (Lout <= 0) throw std::invalid_argument("conv1d: kernel larger than input");
   Tensor out = Tensor::zeros({B, Cout, Lout});
-  const real* pi = input.data();
-  const real* pw = weight.data();
-  const real* pb = bias.defined() ? bias.data() : nullptr;
-  real* po = out.data();
-  for (int64_t b = 0; b < B; ++b)
-    for (int64_t co = 0; co < Cout; ++co) {
-      real* orow = po + (b * Cout + co) * Lout;
-      if (pb) {
-        for (int64_t t = 0; t < Lout; ++t) orow[t] = pb[co];
-      }
-      for (int64_t ci = 0; ci < Cin; ++ci) {
-        const real* irow = pi + (b * Cin + ci) * L;
-        const real* wrow = pw + (co * Cin + ci) * K;
-        for (int64_t t = 0; t < Lout; ++t) {
-          real acc = 0;
-          const int64_t k0 = std::max<int64_t>(0, padding - t);
-          const int64_t k1 = std::min<int64_t>(K, L + padding - t);
-          for (int64_t k = k0; k < k1; ++k) acc += wrow[k] * irow[t + k - padding];
-          orow[t] += acc;
-        }
-      }
-    }
+  kernels::conv1d_forward(input.data(), weight.data(),
+                          bias.defined() ? bias.data() : nullptr, out.data(), B,
+                          Cin, L, Cout, K, padding);
   std::vector<Tensor> ins = {input, weight};
   if (bias.defined()) ins.push_back(bias);
   const bool has_bias = bias.defined();
   return record(
       std::move(out), "conv1d", ins,
-      [input, weight, padding, L, Cout, K, has_bias](
+      [input, weight, padding, B, Cin, L, Cout, K, has_bias](
           const Tensor& g, const std::vector<bool>& needs) {
         // First-order only: these gradients do not record further graph.
         std::vector<Tensor> gs(has_bias ? 3 : 2);
-        if (needs[0]) gs[0] = conv1d_grad_input(g, weight, padding, L);
-        if (needs[1]) gs[1] = conv1d_grad_weight(g, input, padding, Cout, K);
+        if (needs[0]) {
+          Tensor gi = Tensor::zeros({B, Cin, L});
+          kernels::conv1d_grad_input(g.data(), weight.data(), gi.data(), B, Cin,
+                                     L, Cout, K, padding);
+          gs[0] = gi;
+        }
+        if (needs[1]) {
+          Tensor gw = Tensor::zeros({Cout, Cin, K});
+          kernels::conv1d_grad_weight(g.data(), input.data(), gw.data(), B, Cin,
+                                      L, Cout, K, padding);
+          gs[1] = gw;
+        }
         if (has_bias && needs[2]) {
-          // Sum g over batch and length.
-          const int64_t B2 = g.size(0), Lout2 = g.size(2);
           Tensor gb = Tensor::zeros({Cout});
-          const real* pg = g.data();
-          for (int64_t b = 0; b < B2; ++b)
-            for (int64_t co = 0; co < Cout; ++co)
-              for (int64_t t = 0; t < Lout2; ++t)
-                gb.flat(co) += pg[(b * Cout + co) * Lout2 + t];
+          kernels::conv1d_grad_bias(g.data(), gb.data(), g.size(0), Cout,
+                                    g.size(2));
           gs[2] = gb;
         }
         return gs;
@@ -598,26 +510,19 @@ Tensor conv1d(const Tensor& input, const Tensor& weight, const Tensor& bias,
 }
 
 real reduce_max_abs(const Tensor& t) {
-  real m = 0;
-  for (int64_t i = 0; i < t.numel(); ++i) m = std::max(m, std::abs(t.flat(i)));
-  return m;
+  return kernels::reduce_max_abs(t.data(), t.numel());
 }
 
 real mse(const Tensor& a, const Tensor& b) {
   if (a.numel() != b.numel()) throw std::invalid_argument("mse: size mismatch");
-  real acc = 0;
-  for (int64_t i = 0; i < a.numel(); ++i) {
-    const real d = a.flat(i) - b.flat(i);
-    acc += d * d;
-  }
-  return acc / static_cast<real>(a.numel());
+  return kernels::reduce_sq_diff(a.data(), b.data(), a.numel()) /
+         static_cast<real>(a.numel());
 }
 
 real mae(const Tensor& a, const Tensor& b) {
   if (a.numel() != b.numel()) throw std::invalid_argument("mae: size mismatch");
-  real acc = 0;
-  for (int64_t i = 0; i < a.numel(); ++i) acc += std::abs(a.flat(i) - b.flat(i));
-  return acc / static_cast<real>(a.numel());
+  return kernels::reduce_abs_diff(a.data(), b.data(), a.numel()) /
+         static_cast<real>(a.numel());
 }
 
 }  // namespace mf::ad::ops

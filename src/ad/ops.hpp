@@ -67,6 +67,11 @@ Tensor sum_axis(const Tensor& a, int64_t axis, bool keepdim);
 /// a: [..., K] (leading dims flattened), b: [K, N] -> [..., N].
 Tensor matmul(const Tensor& a, const Tensor& b);
 
+/// Fused affine map: x @ w (+ bias) in a single kernel pass. x: [..., K],
+/// w: [K, N], bias: [N] or undefined to skip. Backward is compositional
+/// (matmul/transpose/reduce_to), so create_graph works through it.
+Tensor linear(const Tensor& x, const Tensor& w, const Tensor& b);
+
 // ---- structural ----
 /// Slice `len` elements starting at `start` along `axis`.
 Tensor slice(const Tensor& t, int64_t axis, int64_t start, int64_t len);

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <thread>
 
+#include "ad/kernels.hpp"
+
 namespace mf::comm {
 
 void CommStats::Entry::merge(const Entry& o) {
@@ -99,6 +101,10 @@ void World::run(const std::function<void(Communicator&)>& rank_fn) {
   for (int r = 0; r < size_; ++r) {
     threads.emplace_back([&, r]() {
       try {
+        // Each rank models one device timesharing this machine: keep its
+        // compute on its own thread (no nested OpenMP teams) so the
+        // per-thread CPU-clock scaling measurements stay meaningful.
+        ad::kernels::SerialRegionGuard serial_kernels;
         rank_fn(comms[static_cast<std::size_t>(r)]);
       } catch (...) {
         errors[static_cast<std::size_t>(r)] = std::current_exception();

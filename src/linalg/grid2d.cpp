@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "ad/kernels.hpp"
+
 namespace mf::linalg {
 
 Grid2D::Grid2D(int64_t nx, int64_t ny, double fill)
@@ -80,14 +82,17 @@ std::vector<std::pair<double, double>> perimeter_coords(int64_t nx, int64_t ny,
 void residual(const Grid2D& u, const Grid2D& f, double h, Grid2D& r) {
   const double inv_h2 = 1.0 / (h * h);
   r.fill(0.0);
-  for (int64_t j = 1; j < u.ny() - 1; ++j) {
-    for (int64_t i = 1; i < u.nx() - 1; ++i) {
-      const double lap = (u.at(i + 1, j) + u.at(i - 1, j) + u.at(i, j + 1) +
-                          u.at(i, j - 1) - 4.0 * u.at(i, j)) * inv_h2;
-      // A u = -Δu; r = f - A u = f + Δu
-      r.at(i, j) = f.at(i, j) + lap;
+  // Rows write disjoint slices of r: threads freely.
+  ad::kernels::parallel_for(u.ny() - 2, u.nx(), [&](int64_t begin, int64_t end) {
+    for (int64_t j = begin + 1; j < end + 1; ++j) {
+      for (int64_t i = 1; i < u.nx() - 1; ++i) {
+        const double lap = (u.at(i + 1, j) + u.at(i - 1, j) + u.at(i, j + 1) +
+                            u.at(i, j - 1) - 4.0 * u.at(i, j)) * inv_h2;
+        // A u = -Δu; r = f - A u = f + Δu
+        r.at(i, j) = f.at(i, j) + lap;
+      }
     }
-  }
+  });
 }
 
 double residual_norm(const Grid2D& u, const Grid2D& f, double h) {

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "ad/kernels.hpp"
 #include "util/timing.hpp"
 
 namespace mf::mosaic {
@@ -187,12 +188,19 @@ DistMfpResult distributed_mosaic_predict(
     std::vector<std::pair<int64_t, int64_t>> tiles;
     for (int64_t gy = L.oy0; gy + m <= L.oy1; gy += m)
       for (int64_t gx = L.ox0; gx + m <= L.ox1; gx += m) tiles.emplace_back(gx, gy);
-    std::vector<std::vector<double>> boundaries;
+    std::vector<std::vector<double>> boundaries(tiles.size());
     util::StopwatchAccum inf_time, io_time;
     {
       util::ScopedCpuTimer t(io_time);
-      for (const auto& [gx, gy] : tiles)
-        boundaries.push_back(subdomain_boundary(window, geom, gx, gy));
+      ad::kernels::parallel_for(
+          static_cast<int64_t>(tiles.size()), 4 * m,
+          [&](int64_t begin, int64_t end) {
+            for (int64_t b = begin; b < end; ++b) {
+              const auto [gx, gy] = tiles[static_cast<std::size_t>(b)];
+              boundaries[static_cast<std::size_t>(b)] =
+                  subdomain_boundary(window, geom, gx, gy);
+            }
+          });
     }
     std::vector<std::vector<double>> interiors;
     {
@@ -201,16 +209,22 @@ DistMfpResult distributed_mosaic_predict(
     }
     {
       util::ScopedCpuTimer t(io_time);
-      for (std::size_t b = 0; b < tiles.size(); ++b) {
-        const auto [gx, gy] = tiles[b];
-        for (std::size_t k = 0; k < geom.interior_offsets.size(); ++k) {
-          const auto [di, dj] = geom.interior_offsets[k];
-          const int64_t px = gx + di, py = gy + dj;
-          if (px % h != 0 && py % h != 0) {  // keep iterated lattice values
-            window.at(px, py) = interiors[b][k];
-          }
-        }
-      }
+      // Tiles step by m, so each writes a disjoint interior block.
+      ad::kernels::parallel_for(
+          static_cast<int64_t>(tiles.size()),
+          static_cast<int64_t>(geom.interior_offsets.size()),
+          [&](int64_t begin, int64_t end) {
+            for (int64_t b = begin; b < end; ++b) {
+              const auto [gx, gy] = tiles[static_cast<std::size_t>(b)];
+              for (std::size_t k = 0; k < geom.interior_offsets.size(); ++k) {
+                const auto [di, dj] = geom.interior_offsets[k];
+                const int64_t px = gx + di, py = gy + dj;
+                if (px % h != 0 && py % h != 0) {  // keep iterated lattice values
+                  window.at(px, py) = interiors[static_cast<std::size_t>(b)][k];
+                }
+              }
+            }
+          });
     }
     result.timings.inference_seconds += inf_time.total();
     result.timings.boundary_io_seconds += io_time.total();

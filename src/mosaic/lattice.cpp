@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "ad/kernels.hpp"
 #include "util/timing.hpp"
 
 namespace mf::mosaic {
@@ -58,13 +59,19 @@ PhaseResult update_subdomains(
   if (corners.empty()) return result;
 
   util::StopwatchAccum io_time, inf_time;
-  std::vector<std::vector<double>> boundaries;
+  std::vector<std::vector<double>> boundaries(corners.size());
   {
     util::ScopedCpuTimer t(io_time);
-    boundaries.reserve(corners.size());
-    for (const auto& [gx, gy] : corners) {
-      boundaries.push_back(subdomain_boundary(window, geom, gx, gy));
-    }
+    // Read-only gather from the shared window; subdomains are independent.
+    ad::kernels::parallel_for(
+        static_cast<int64_t>(corners.size()), 4 * geom.m,
+        [&](int64_t begin, int64_t end) {
+          for (int64_t b = begin; b < end; ++b) {
+            const auto [gx, gy] = corners[static_cast<std::size_t>(b)];
+            boundaries[static_cast<std::size_t>(b)] =
+                subdomain_boundary(window, geom, gx, gy);
+          }
+        });
   }
 
   std::vector<std::vector<double>> predictions;

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "ad/kernels.hpp"
 #include "util/timing.hpp"
 
 namespace mf::mosaic {
@@ -86,13 +87,20 @@ MfpResult mosaic_predict(const SubdomainSolver& solver, int64_t nx_cells,
     std::vector<std::pair<int64_t, int64_t>> tiles;
     for (int64_t gy = 0; gy + m <= ny_cells; gy += m)
       for (int64_t gx = 0; gx + m <= nx_cells; gx += m) tiles.emplace_back(gx, gy);
-    std::vector<std::vector<double>> boundaries;
+    std::vector<std::vector<double>> boundaries(tiles.size());
     util::StopwatchAccum io_time, inf_time;
     {
       util::ScopedCpuTimer t(io_time);
-      for (const auto& [gx, gy] : tiles) {
-        boundaries.push_back(subdomain_boundary(window, geom, gx, gy));
-      }
+      // Boundary gather reads the shared window; tiles are independent.
+      ad::kernels::parallel_for(
+          static_cast<int64_t>(tiles.size()), 4 * m,
+          [&](int64_t begin, int64_t end) {
+            for (int64_t b = begin; b < end; ++b) {
+              const auto [gx, gy] = tiles[static_cast<std::size_t>(b)];
+              boundaries[static_cast<std::size_t>(b)] =
+                  subdomain_boundary(window, geom, gx, gy);
+            }
+          });
     }
     std::vector<std::vector<double>> interiors;
     {
@@ -101,13 +109,21 @@ MfpResult mosaic_predict(const SubdomainSolver& solver, int64_t nx_cells,
     }
     {
       util::ScopedCpuTimer t(io_time);
-      for (std::size_t b = 0; b < tiles.size(); ++b) {
-        const auto [gx, gy] = tiles[b];
-        for (std::size_t k = 0; k < geom.interior_offsets.size(); ++k) {
-          const auto [di, dj] = geom.interior_offsets[k];
-          result.solution.at(gx + di, gy + dj) = interiors[b][k];
-        }
-      }
+      // The tiling is non-overlapping, so interior scatter writes disjoint
+      // points per tile.
+      ad::kernels::parallel_for(
+          static_cast<int64_t>(tiles.size()),
+          static_cast<int64_t>(geom.interior_offsets.size()),
+          [&](int64_t begin, int64_t end) {
+            for (int64_t b = begin; b < end; ++b) {
+              const auto [gx, gy] = tiles[static_cast<std::size_t>(b)];
+              for (std::size_t k = 0; k < geom.interior_offsets.size(); ++k) {
+                const auto [di, dj] = geom.interior_offsets[k];
+                result.solution.at(gx + di, gy + dj) =
+                    interiors[static_cast<std::size_t>(b)][k];
+              }
+            }
+          });
       // Lattice lines (including the global boundary) come from the
       // iterated window state.
       for (int64_t gy = 0; gy <= ny_cells; ++gy)

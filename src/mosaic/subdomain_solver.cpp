@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "ad/kernels.hpp"
 #include "linalg/multigrid.hpp"
 
 namespace mf::mosaic {
@@ -41,26 +42,33 @@ void NeuralSubdomainSolver::predict(
   const int64_t B = static_cast<int64_t>(boundaries.size());
   const int64_t G = 4 * m_;
   const int64_t q = static_cast<int64_t>(queries.size());
-  ad::Tensor g = ad::Tensor::zeros({B, G});
-  ad::Tensor x = ad::Tensor::zeros({B, q, 2});
-  for (int64_t b = 0; b < B; ++b) {
-    const auto& bd = boundaries[static_cast<std::size_t>(b)];
+  for (const auto& bd : boundaries) {
     if (static_cast<int64_t>(bd.size()) != G) {
       throw std::invalid_argument("predict: boundary size mismatch");
     }
-    for (int64_t k = 0; k < G; ++k) g.flat(b * G + k) = bd[static_cast<std::size_t>(k)];
-    for (int64_t k = 0; k < q; ++k) {
-      x.flat((b * q + k) * 2 + 0) = queries[static_cast<std::size_t>(k)].first;
-      x.flat((b * q + k) * 2 + 1) = queries[static_cast<std::size_t>(k)].second;
-    }
   }
+  ad::Tensor g = ad::Tensor::zeros({B, G});
+  ad::Tensor x = ad::Tensor::zeros({B, q, 2});
+  // Batch packing threads over subdomains; each batch row is disjoint.
+  ad::kernels::parallel_for(B, G + 2 * q, [&](int64_t begin, int64_t end) {
+    for (int64_t b = begin; b < end; ++b) {
+      const auto& bd = boundaries[static_cast<std::size_t>(b)];
+      for (int64_t k = 0; k < G; ++k) g.flat(b * G + k) = bd[static_cast<std::size_t>(k)];
+      for (int64_t k = 0; k < q; ++k) {
+        x.flat((b * q + k) * 2 + 0) = queries[static_cast<std::size_t>(k)].first;
+        x.flat((b * q + k) * 2 + 1) = queries[static_cast<std::size_t>(k)].second;
+      }
+    }
+  });
   ad::Tensor pred = net_->predict(g, x);  // [B, q, 1]
   out.assign(static_cast<std::size_t>(B),
              std::vector<double>(static_cast<std::size_t>(q)));
-  for (int64_t b = 0; b < B; ++b)
-    for (int64_t k = 0; k < q; ++k)
-      out[static_cast<std::size_t>(b)][static_cast<std::size_t>(k)] =
-          pred.flat(b * q + k);
+  ad::kernels::parallel_for(B, q, [&](int64_t begin, int64_t end) {
+    for (int64_t b = begin; b < end; ++b)
+      for (int64_t k = 0; k < q; ++k)
+        out[static_cast<std::size_t>(b)][static_cast<std::size_t>(k)] =
+            pred.flat(b * q + k);
+  });
 }
 
 HarmonicKernelSolver::HarmonicKernelSolver(int64_t m) : m_(m) {
@@ -94,16 +102,21 @@ void HarmonicKernelSolver::predict(
       bq[k * q + j] = basis_value(static_cast<int64_t>(k), queries[j].first,
                                   queries[j].second);
   out.assign(B, std::vector<double>(q, 0.0));
-  for (std::size_t b = 0; b < B; ++b) {
-    const auto& bd = boundaries[b];
-    auto& row = out[b];
-    for (std::size_t k = 0; k < G; ++k) {
-      const double gk = bd[k];
-      if (gk == 0) continue;
-      const double* basis_row = &bq[k * q];
-      for (std::size_t j = 0; j < q; ++j) row[j] += gk * basis_row[j];
-    }
-  }
+  // Superposition is independent per subdomain: thread over the batch.
+  ad::kernels::parallel_for(
+      static_cast<int64_t>(B), static_cast<int64_t>(G * q),
+      [&](int64_t begin, int64_t end) {
+        for (int64_t b = begin; b < end; ++b) {
+          const auto& bd = boundaries[static_cast<std::size_t>(b)];
+          auto& row = out[static_cast<std::size_t>(b)];
+          for (std::size_t k = 0; k < G; ++k) {
+            const double gk = bd[k];
+            if (gk == 0) continue;
+            const double* basis_row = &bq[k * q];
+            for (std::size_t j = 0; j < q; ++j) row[j] += gk * basis_row[j];
+          }
+        }
+      });
 }
 
 MultigridSubdomainSolver::MultigridSubdomainSolver(int64_t m, double tol)
