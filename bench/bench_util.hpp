@@ -1,0 +1,34 @@
+// Shared helpers for the scaling benches.
+#pragma once
+
+#include "comm/runtime.hpp"
+#include "util/timing.hpp"
+
+namespace mf::bench {
+
+/// Per-rank clock for scaling benches. Thread ranks timeshare this
+/// machine, so per-thread CPU time is each rank's virtual device time;
+/// MPI ranks are real processes with full OpenMP teams whose workers the
+/// thread-CPU clock cannot see, so there the device metric is measured
+/// wall time. (Per-op infer/IO breakdowns inside the predictor stay
+/// thread-CPU and undercount under MPI + OpenMP; wall/device are the
+/// authoritative measured numbers there.)
+class RankClock {
+ public:
+  explicit RankClock(comm::Backend backend)
+      : mpi_(backend == comm::Backend::kMpi),
+        cpu0_(util::thread_cpu_seconds()),
+        wall0_(util::wall_seconds()) {}
+
+  double wall() const { return util::wall_seconds() - wall0_; }
+  double device() const {
+    return mpi_ ? wall() : util::thread_cpu_seconds() - cpu0_;
+  }
+
+ private:
+  bool mpi_;
+  double cpu0_;
+  double wall0_;
+};
+
+}  // namespace mf::bench

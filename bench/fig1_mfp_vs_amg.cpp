@@ -39,7 +39,7 @@ int main(int argc, char** argv) {
   comm::CartesianGrid grid(ranks);
   comm::World world(ranks);
   std::vector<mosaic::DistMfpResult> results(static_cast<std::size_t>(ranks));
-  world.run([&](comm::Communicator& c) {
+  world.run([&](comm::Comm& c) {
     results[static_cast<std::size_t>(c.rank())] = mosaic::distributed_mosaic_predict(
         c, grid, solver, cells, cells, problem.boundary, opts);
   });

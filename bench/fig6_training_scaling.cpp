@@ -54,7 +54,7 @@ int main(int argc, char** argv) {
     comm::World world(ranks);
     std::vector<std::vector<mosaic::EpochStats>> histories(
         static_cast<std::size_t>(ranks));
-    world.run([&](comm::Communicator& c) {
+    world.run([&](comm::Comm& c) {
       util::Rng rng(42);
       mosaic::Sdnet net(net_cfg, rng);
       std::vector<gp::SolvedBvp> shard;

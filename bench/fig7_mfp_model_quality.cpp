@@ -48,7 +48,7 @@ int main(int argc, char** argv) {
     auto model = std::make_shared<mosaic::Sdnet>(net_cfg, init_rng);
     comm::World world(ranks);
     std::vector<double> mses(static_cast<std::size_t>(ranks));
-    world.run([&](comm::Communicator& c) {
+    world.run([&](comm::Comm& c) {
       util::Rng rng(42);
       mosaic::Sdnet net(net_cfg, rng);
       std::vector<gp::SolvedBvp> shard;

@@ -5,10 +5,14 @@
 // Paper finding: compute time stays flat (only overlap averaging grows);
 // communication grows ~4x from 2 to 8 ranks as the neighbor count rises
 // from 1-3 to 8, then plateaus — a latency effect.
+//
+// Runs on the rank runtime: in-process threads by default, real MPI
+// processes under `mpirun -np N` (built with -DMF_WITH_MPI=ON).
 #include <cstdio>
 #include <vector>
 
-#include "comm/world.hpp"
+#include "bench_util.hpp"
+#include "comm/runtime.hpp"
 #include "gp/dataset.hpp"
 #include "mosaic/distributed_predictor.hpp"
 #include "util/cli.hpp"
@@ -18,6 +22,7 @@
 int main(int argc, char** argv) {
   using namespace mf;
   util::CliArgs args(argc, argv);
+  comm::RankLauncher launcher(argc, argv);
   const bool paper = args.get_bool("paper-scale");
   const int64_t m = args.get_int("m", paper ? 32 : 8);
   // Per-rank block (cells): paper 1024 x 512 resolution at m=32.
@@ -26,9 +31,13 @@ int main(int argc, char** argv) {
   const int64_t iters = args.get_int("iters", paper ? 2000 : 200);
   std::vector<int> rank_counts = paper ? std::vector<int>{1, 2, 4, 8, 16, 32}
                                        : std::vector<int>{1, 2, 4, 8, 16};
+  rank_counts = launcher.sweep_rank_counts(rank_counts);
 
-  std::printf("== Figure 9b: weak scaling, %ld x %ld cells per rank, %ld "
-              "iterations ==\n\n", block_x, block_y, iters);
+  if (launcher.is_root()) {
+    std::printf("== Figure 9b: weak scaling, %ld x %ld cells per rank, %ld "
+                "iterations (%s backend) ==\n\n", block_x, block_y, iters,
+                launcher.backend_name());
+  }
 
   mosaic::HarmonicKernelSolver solver(m);
 
@@ -51,38 +60,61 @@ int main(int argc, char** argv) {
     opts.max_iters = iters;
     opts.tol = 0;
 
-    comm::World world(ranks);
-    std::vector<mosaic::DistMfpResult> results(static_cast<std::size_t>(ranks));
-    std::vector<double> device_seconds(static_cast<std::size_t>(ranks));
-    std::vector<std::uint64_t> halo_msgs(static_cast<std::size_t>(ranks));
-    world.run([&](comm::Communicator& c) {
-      const double c0 = util::thread_cpu_seconds();
-      results[static_cast<std::size_t>(c.rank())] = mosaic::distributed_mosaic_predict(
-          c, grid, solver, cells_x, cells_y, boundary, opts);
-      device_seconds[static_cast<std::size_t>(c.rank())] =
-          util::thread_cpu_seconds() - c0;
-      halo_msgs[static_cast<std::size_t>(c.rank())] = c.stats().sendrecv.messages;
+    struct Agg {
+      double infer = 0, halo = 0, io = 0, device = 0, wall = 0;
+      std::uint64_t msgs = 0;
+    };
+    Agg agg;
+    launcher.run(ranks, [&](comm::Comm& c) {
+      bench::RankClock clock(launcher.backend());
+      auto r = mosaic::distributed_mosaic_predict(c, grid, solver, cells_x,
+                                                  cells_y, boundary, opts);
+      // One collective over all critical-path metrics; named slots so the
+      // pack and unpack cannot silently drift apart.
+      enum Slot { kInfer, kHalo, kIo, kDevice, kWall, kMsgs, kNumSlots };
+      double vals[kNumSlots];
+      vals[kInfer] = r.timings.inference_seconds;
+      vals[kHalo] = r.timings.sendrecv_modeled_seconds;
+      vals[kIo] = r.timings.boundary_io_seconds;
+      vals[kDevice] = clock.device();
+      vals[kWall] = clock.wall();
+      vals[kMsgs] = static_cast<double>(c.stats().sendrecv.messages);
+      c.allreduce_max(vals, kNumSlots);
+      if (c.rank() == 0) {
+        agg.infer = vals[kInfer];
+        agg.halo = vals[kHalo];
+        agg.io = vals[kIo];
+        agg.device = vals[kDevice];
+        agg.wall = vals[kWall];
+        agg.msgs = static_cast<std::uint64_t>(vals[kMsgs]);
+      }
     });
-    double infer = 0, halo = 0, io = 0, device = 0;
-    std::uint64_t msgs = 0;
-    for (int r = 0; r < ranks; ++r) {
-      const auto& t = results[static_cast<std::size_t>(r)].timings;
-      infer = std::max(infer, t.inference_seconds);
-      halo = std::max(halo, t.sendrecv_modeled_seconds);
-      io = std::max(io, t.boundary_io_seconds);
-      device = std::max(device, device_seconds[static_cast<std::size_t>(r)]);
-      msgs = std::max(msgs, halo_msgs[static_cast<std::size_t>(r)]);
-    }
+    if (!launcher.is_root()) continue;
     table.add_row({std::to_string(ranks),
                    std::to_string(cells_x) + " x " + std::to_string(cells_y),
-                   util::format_double(infer, 4), util::format_double(halo, 4),
-                   std::to_string(msgs), util::format_double(io, 4),
-                   util::format_double(device, 4)});
+                   util::format_double(agg.infer, 4),
+                   util::format_double(agg.halo, 4), std::to_string(agg.msgs),
+                   util::format_double(agg.io, 4),
+                   util::format_double(agg.device, 4)});
+    // Stable machine-readable line per rank count for BENCH_*.json trend
+    // tracking across PRs. Keep the key set append-only.
+    std::printf(
+        "BENCH_JSON {\"bench\":\"fig9b_weak_scaling\",\"backend\":\"%s\","
+        "\"ranks\":%d,\"m\":%lld,\"block_x\":%lld,\"block_y\":%lld,"
+        "\"iters\":%lld,\"halo_msgs\":%llu,\"wall_seconds\":%.6g,"
+        "\"device_seconds\":%.6g,\"modeled_halo_seconds\":%.6g}\n",
+        launcher.backend_name(), ranks, static_cast<long long>(m),
+        static_cast<long long>(block_x), static_cast<long long>(block_y),
+        static_cast<long long>(iters),
+        static_cast<unsigned long long>(agg.msgs), agg.wall, agg.device,
+        agg.halo);
   }
-  table.print();
-  std::printf("\nShape check vs paper: per-rank compute stays ~flat; halo "
-              "communication grows with the neighbor count (1-3 neighbors at "
-              "2 ranks -> 8 at >= 9 ranks) and then plateaus — the paper's "
-              "latency-dominated regime.\n");
+  if (launcher.is_root()) {
+    table.print();
+    std::printf("\nShape check vs paper: per-rank compute stays ~flat; halo "
+                "communication grows with the neighbor count (1-3 neighbors "
+                "at 2 ranks -> 8 at >= 9 ranks) and then plateaus — the "
+                "paper's latency-dominated regime.\n");
+  }
   return 0;
 }

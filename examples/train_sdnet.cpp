@@ -4,10 +4,12 @@
 // Run:  ./train_sdnet [--ranks 4] [--epochs 100] [--m 8] [--bvps 256]
 //       [--width 64] [--depth 4] [--lr 1e-2] [--out sdnet.bin]
 //       [--optimizer lamb|adamw|sgd]
+// or, built with -DMF_WITH_MPI=ON, data-parallel over real processes:
+//       mpirun -np 4 ./example_train_sdnet --epochs 100
 #include <cstdio>
 #include <memory>
 
-#include "comm/world.hpp"
+#include "comm/runtime.hpp"
 #include "mosaic/trainer.hpp"
 #include "nn/serialize.hpp"
 #include "util/cli.hpp"
@@ -15,16 +17,22 @@
 int main(int argc, char** argv) {
   using namespace mf;
   util::CliArgs args(argc, argv);
-  const int ranks = static_cast<int>(args.get_int("ranks", 1));
+  comm::RankLauncher launcher(argc, argv);
+  const int ranks = launcher.fixed_world_size() > 0
+                        ? launcher.fixed_world_size()
+                        : static_cast<int>(args.get_int("ranks", 1));
   const int64_t m = args.get_int("m", 8);
   const int64_t epochs = args.get_int("epochs", 60);
   const int64_t n_bvps = args.get_int("bvps", 128);
   const std::string out = args.get("out", "sdnet.bin");
   const std::string opt_name = args.get("optimizer", "adamw");
 
-  std::printf("=== SDNet data-parallel training ===\n");
-  std::printf("ranks %d, epochs %ld, %ld BVPs, subdomain %ld cells\n", ranks,
-              epochs, n_bvps, m);
+  if (launcher.is_root()) {
+    std::printf("=== SDNet data-parallel training (%s backend) ===\n",
+                launcher.backend_name());
+    std::printf("ranks %d, epochs %ld, %ld BVPs, subdomain %ld cells\n", ranks,
+                epochs, n_bvps, m);
+  }
 
   // Shared dataset generated once; ranks take strided shards.
   gp::LaplaceDatasetGenerator gen(m, {}, 1234);
@@ -46,9 +54,8 @@ int main(int argc, char** argv) {
                   : opt_name == "sgd"  ? mosaic::OptimizerKind::kSgd
                                        : mosaic::OptimizerKind::kAdamW;
 
-  comm::World world(ranks);
-  std::vector<mosaic::EpochStats> final_stats(static_cast<std::size_t>(ranks));
-  world.run([&](comm::Communicator& c) {
+  mosaic::EpochStats root_stats;
+  launcher.run(ranks, [&](comm::Comm& c) {
     util::Rng rng(42);  // identical replica initialization on every rank
     mosaic::Sdnet net(net_cfg, rng);
     // Strided shard: rank r takes BVPs r, r+P, r+2P, ...
@@ -67,13 +74,17 @@ int main(int argc, char** argv) {
                         s.wall_seconds);
           }
         });
-    final_stats[static_cast<std::size_t>(c.rank())] = history.back();
-    if (c.rank() == 0) nn::save_parameters(net, out);
+    if (c.rank() == 0) {
+      root_stats = history.back();
+      nn::save_parameters(net, out);
+    }
   });
 
-  std::printf("\nfinal val MSE %.6f; model saved to %s\n",
-              final_stats[0].val_mse, out.c_str());
-  std::printf("rank-0 device time %.1fs, modeled allreduce %.4fs\n",
-              final_stats[0].cpu_seconds, final_stats[0].comm_seconds);
+  if (launcher.is_root()) {
+    std::printf("\nfinal val MSE %.6f; model saved to %s\n",
+                root_stats.val_mse, out.c_str());
+    std::printf("rank-0 device time %.1fs, modeled allreduce %.4fs\n",
+                root_stats.cpu_seconds, root_stats.comm_seconds);
+  }
   return 0;
 }

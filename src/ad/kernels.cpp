@@ -199,23 +199,62 @@ void sum_axis(const real* src, real* dst, int64_t outer, int64_t n_axis,
   });
 }
 
+// Cache-block sizes (in elements): one b tile is kTileK x kTileN doubles
+// (256 KiB), sized so the tile stays resident while every row of the
+// thread's chunk streams over it.
+constexpr int64_t kTileK = 64;
+constexpr int64_t kTileN = 512;
+
 void matmul(const real* a, const real* b, const real* bias, real* out,
             int64_t m, int64_t k, int64_t n) {
   parallel_for(m, k * n, [&](int64_t begin, int64_t end) {
+    if (k <= kTileK && n <= kTileN) {
+      // b fits one tile: the fused i-k-j loop (unit-stride inner loops)
+      // already keeps b hot, and one pass over out beats two.
+      for (int64_t i = begin; i < end; ++i) {
+        const real* arow = a + i * k;
+        real* orow = out + i * n;
+        if (bias) {
+          for (int64_t j = 0; j < n; ++j) orow[j] = bias[j];
+        } else {
+          for (int64_t j = 0; j < n; ++j) orow[j] = 0;
+        }
+        for (int64_t kk = 0; kk < k; ++kk) {
+          const real av = arow[kk];
+          if (av == 0) continue;
+          const real* brow = b + kk * n;
+          for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+        }
+      }
+      return;
+    }
+    // Blocked i-k-j: for each (k, n) tile of b, stream all rows of the
+    // chunk over it before moving on, so the tile is loaded once per
+    // chunk instead of once per row. For fixed (i, j), kk still runs
+    // monotonically, so the summation order — and hence the result — is
+    // bitwise identical to the unblocked loop.
     for (int64_t i = begin; i < end; ++i) {
-      const real* arow = a + i * k;
       real* orow = out + i * n;
       if (bias) {
         for (int64_t j = 0; j < n; ++j) orow[j] = bias[j];
       } else {
         for (int64_t j = 0; j < n; ++j) orow[j] = 0;
       }
-      // i-k-j loop order: unit-stride inner loops.
-      for (int64_t kk = 0; kk < k; ++kk) {
-        const real av = arow[kk];
-        if (av == 0) continue;
-        const real* brow = b + kk * n;
-        for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+    for (int64_t kk0 = 0; kk0 < k; kk0 += kTileK) {
+      const int64_t kk1 = std::min(k, kk0 + kTileK);
+      for (int64_t j0 = 0; j0 < n; j0 += kTileN) {
+        const int64_t j1 = std::min(n, j0 + kTileN);
+        for (int64_t i = begin; i < end; ++i) {
+          const real* arow = a + i * k;
+          real* orow = out + i * n;
+          for (int64_t kk = kk0; kk < kk1; ++kk) {
+            const real av = arow[kk];
+            if (av == 0) continue;
+            const real* brow = b + kk * n;
+            for (int64_t j = j0; j < j1; ++j) orow[j] += av * brow[j];
+          }
+        }
       }
     }
   });

@@ -1,13 +1,14 @@
-// Collective operations built on the point-to-point layer. Allreduce uses
-// recursive doubling when the world size is a power of two (the
-// configurations benchmarked in the paper: 1..32) and a gather+broadcast
-// fallback otherwise, so modeled communication time reflects a realistic
-// collective algorithm rather than a naive star.
+// Default collective operations built on the point-to-point layer; every
+// transport inherits these, and a backend with native collectives (MPI)
+// overrides them. Allreduce uses recursive doubling when the world size is
+// a power of two (the configurations benchmarked in the paper: 1..32) and
+// a gather+broadcast fallback otherwise, so modeled communication time
+// reflects a realistic collective algorithm rather than a naive star.
 #include <algorithm>
 #include <bit>
 #include <cmath>
 
-#include "comm/world.hpp"
+#include "comm/comm.hpp"
 
 namespace mf::comm {
 
@@ -17,7 +18,7 @@ bool is_pow2(unsigned v) { return std::has_single_bit(v); }
 
 }  // namespace
 
-void Communicator::allreduce_sum(double* data, std::size_t n) {
+void Comm::allreduce_sum(double* data, std::size_t n) {
   const int P = size();
   if (P == 1) return;
   const int tag = internal_tag::kAllreduce;
@@ -25,90 +26,84 @@ void Communicator::allreduce_sum(double* data, std::size_t n) {
   if (is_pow2(static_cast<unsigned>(P))) {
     // Recursive doubling: log2(P) rounds of pairwise exchange.
     for (int dist = 1; dist < P; dist <<= 1) {
-      const int peer = rank_ ^ dist;
-      send(peer, data, n, tag);
-      recv(peer, incoming.data(), n, tag);
+      const int peer = rank() ^ dist;
+      send_internal(peer, data, n, tag);
+      recv_internal(peer, incoming.data(), n, tag);
       for (std::size_t i = 0; i < n; ++i) data[i] += incoming[i];
     }
   } else {
     // Gather to root, reduce, broadcast.
-    if (rank_ == 0) {
+    if (rank() == 0) {
       for (int r = 1; r < P; ++r) {
-        recv(r, incoming.data(), n, tag);
+        recv_internal(r, incoming.data(), n, tag);
         for (std::size_t i = 0; i < n; ++i) data[i] += incoming[i];
       }
-      for (int r = 1; r < P; ++r) send(r, data, n, tag);
+      for (int r = 1; r < P; ++r) send_internal(r, data, n, tag);
     } else {
-      send(0, data, n, tag);
-      recv(0, data, n, tag);
+      send_internal(0, data, n, tag);
+      recv_internal(0, data, n, tag);
     }
   }
 }
 
-double Communicator::allreduce_sum(double value) {
-  allreduce_sum(&value, 1);
-  return value;
-}
-
-double Communicator::allreduce_max(double value) {
+void Comm::allreduce_max(double* data, std::size_t n) {
   const int P = size();
-  if (P == 1) return value;
+  if (P == 1) return;
   const int tag = internal_tag::kAllreduce;
-  double incoming = 0;
+  std::vector<double> incoming(n);
   if (is_pow2(static_cast<unsigned>(P))) {
     for (int dist = 1; dist < P; dist <<= 1) {
-      const int peer = rank_ ^ dist;
-      send(peer, &value, 1, tag);
-      recv(peer, &incoming, 1, tag);
-      value = std::max(value, incoming);
+      const int peer = rank() ^ dist;
+      send_internal(peer, data, n, tag);
+      recv_internal(peer, incoming.data(), n, tag);
+      for (std::size_t i = 0; i < n; ++i) data[i] = std::max(data[i], incoming[i]);
     }
   } else {
-    if (rank_ == 0) {
+    if (rank() == 0) {
       for (int r = 1; r < P; ++r) {
-        recv(r, &incoming, 1, tag);
-        value = std::max(value, incoming);
+        recv_internal(r, incoming.data(), n, tag);
+        for (std::size_t i = 0; i < n; ++i) data[i] = std::max(data[i], incoming[i]);
       }
-      for (int r = 1; r < P; ++r) send(r, &value, 1, tag);
+      for (int r = 1; r < P; ++r) send_internal(r, data, n, tag);
     } else {
-      send(0, &value, 1, tag);
-      recv(0, &value, 1, tag);
+      send_internal(0, data, n, tag);
+      recv_internal(0, data, n, tag);
     }
   }
-  return value;
 }
 
-std::vector<std::vector<double>> Communicator::allgatherv(
+std::vector<std::vector<double>> Comm::allgatherv(
     const std::vector<double>& local) {
   const int P = size();
   std::vector<std::vector<double>> all(static_cast<std::size_t>(P));
-  all[static_cast<std::size_t>(rank_)] = local;
+  all[static_cast<std::size_t>(rank())] = local;
   if (P == 1) return all;
   const int tag = internal_tag::kAllgather;
   // Ring allgather: P-1 steps; at step s we forward the block that
   // originated at rank (rank - s) mod P.
-  const int next = (rank_ + 1) % P;
-  const int prev = (rank_ + P - 1) % P;
+  const int next = (rank() + 1) % P;
+  const int prev = (rank() + P - 1) % P;
   std::vector<double> block = local;
   for (int s = 0; s < P - 1; ++s) {
-    send(next, block, tag);
-    block = recv_vec(prev, tag);
-    const int origin = (rank_ - s - 1 + 2 * P) % P;
+    send_internal(next, block.data(), block.size(), tag);
+    block = recv_vec_internal(prev, tag);
+    const int origin = (rank() - s - 1 + 2 * P) % P;
     all[static_cast<std::size_t>(origin)] = block;
   }
   return all;
 }
 
-void Communicator::barrier() {
+void Comm::barrier() {
   // Dissemination barrier: ceil(log2(P)) rounds.
   const int P = size();
   if (P == 1) return;
   const int tag = internal_tag::kBarrier;
   double token = 0;
   for (int dist = 1; dist < P; dist <<= 1) {
-    const int to = (rank_ + dist) % P;
-    const int from = (rank_ - dist % P + P) % P;
-    send(to, &token, 1, tag);
-    recv(from, &token, 1, tag);
+    const int to = (rank() + dist) % P;
+    const int from = (rank() - dist % P + P) % P;
+    send_internal(to, &token, 1, tag);
+    recv_internal(from, &token, 1, tag);
   }
 }
 

@@ -1,0 +1,74 @@
+// Real MPI transport (built only with -DMF_WITH_MPI=ON).
+//
+// MpiComm implements the Comm interface over MPI_Send/Recv and overrides
+// the collectives with native MPI_Allreduce/Allgatherv/Barrier. Wall
+// seconds in CommStats are measured; modeled seconds still follow the
+// alpha-beta model, accounted with the same algorithm shapes as the
+// threaded backend's software collectives (recursive doubling, ring,
+// dissemination), so stats stay comparable across backends.
+//
+// Unlike the threaded backend, each MPI rank is a real process and keeps
+// its full OpenMP team: there is no SerialRegionGuard, because processes
+// do not timeshare one thread-CPU clock.
+#pragma once
+
+#include "comm/comm.hpp"
+
+#ifdef MF_HAVE_MPI
+
+#include <mpi.h>
+
+namespace mf::comm {
+
+class MpiComm final : public Comm {
+ public:
+  explicit MpiComm(MPI_Comm comm = MPI_COMM_WORLD, AlphaBetaModel model = {});
+  ~MpiComm() override;
+
+  int rank() const override { return rank_; }
+  int size() const override { return size_; }
+
+  // Native collectives (the base-class software ones would work over
+  // transport_send/recv, but real MPI has optimized implementations).
+  void allreduce_sum(double* data, std::size_t n) override;
+  using Comm::allreduce_sum;  // keep the scalar convenience overloads
+  void allreduce_max(double* data, std::size_t n) override;
+  using Comm::allreduce_max;
+  std::vector<std::vector<double>> allgatherv(
+      const std::vector<double>& local) override;
+  void barrier() override;
+
+ protected:
+  void transport_send(int dst, const double* data, std::size_t n,
+                      int tag) override;
+  std::vector<double> transport_recv(int src, int tag) override;
+
+ private:
+  /// MPI tags must be non-negative; internal (negative) tags are folded
+  /// into a reserved high band.
+  static int wire_tag(int tag);
+  /// Account a native collective: `messages` rounds moving `bytes` total,
+  /// measured `wall` seconds, into stats entry `e`.
+  void record_collective(CommStats::Entry& e, int messages, std::size_t bytes,
+                         double wall_seconds);
+  /// Allreduce accounting shaped like the threaded software algorithm
+  /// (recursive doubling / gather+broadcast), for cross-backend parity.
+  void record_allreduce(std::size_t n_doubles, double wall_seconds);
+  /// Erase pending buffered sends whose MPI_Isend has completed.
+  void reap_completed_sends();
+
+  /// A buffered in-flight send: we own the payload until MPI completes it.
+  struct PendingSend {
+    MPI_Request req;
+    std::vector<double> buf;
+  };
+
+  MPI_Comm comm_;
+  int rank_ = 0;
+  int size_ = 1;
+  std::vector<PendingSend> pending_;
+};
+
+}  // namespace mf::comm
+
+#endif  // MF_HAVE_MPI

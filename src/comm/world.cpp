@@ -1,6 +1,5 @@
 #include "comm/world.hpp"
 
-#include <chrono>
 #include <stdexcept>
 #include <thread>
 
@@ -8,74 +7,30 @@
 
 namespace mf::comm {
 
-void CommStats::Entry::merge(const Entry& o) {
-  messages += o.messages;
-  bytes += o.bytes;
-  modeled_seconds += o.modeled_seconds;
-  wall_seconds += o.wall_seconds;
-}
+namespace {
 
-CommStats::Entry CommStats::total() const {
-  Entry t;
-  t.merge(sendrecv);
-  t.merge(allreduce);
-  t.merge(allgather);
-  return t;
-}
+// Thrown to ranks blocked in recv when another rank has already failed;
+// filtered in World::run so the originating exception is the one
+// rethrown to the caller.
+struct PeerFailedError : std::runtime_error {
+  PeerFailedError() : std::runtime_error("comm: a peer rank failed") {}
+};
 
-void CommStats::reset() { *this = CommStats{}; }
+}  // namespace
 
-int Communicator::size() const { return world_->size(); }
+ThreadComm::ThreadComm(World* world, int rank)
+    : Comm(world->model()), world_(world), rank_(rank) {}
 
-const AlphaBetaModel& Communicator::model() const { return world_->model(); }
+int ThreadComm::size() const { return world_->size(); }
 
-void Communicator::send(int dst, const double* data, std::size_t n, int tag) {
+void ThreadComm::transport_send(int dst, const double* data, std::size_t n,
+                                int tag) {
   World::Message msg{rank_, tag, std::vector<double>(data, data + n)};
   world_->deliver(dst, std::move(msg));
 }
 
-void Communicator::send(int dst, const std::vector<double>& data, int tag) {
-  send(dst, data.data(), data.size(), tag);
-}
-
-void Communicator::recv(int src, double* data, std::size_t n, int tag) {
-  const auto t0 = std::chrono::steady_clock::now();
-  World::Message msg = world_->take(rank_, src, tag);
-  if (msg.payload.size() != n) {
-    throw std::logic_error("recv: size mismatch (expected " + std::to_string(n) +
-                           ", got " + std::to_string(msg.payload.size()) + ")");
-  }
-  std::copy(msg.payload.begin(), msg.payload.end(), data);
-  const auto t1 = std::chrono::steady_clock::now();
-  auto& e = (tag == internal_tag::kAllreduce || tag == internal_tag::kBarrier)
-                ? stats_.allreduce
-                : (tag == internal_tag::kAllgather ? stats_.allgather
-                                                   : stats_.sendrecv);
-  e.messages += 1;
-  e.bytes += n * sizeof(double);
-  e.modeled_seconds += world_->model().time(n * sizeof(double));
-  e.wall_seconds += std::chrono::duration<double>(t1 - t0).count();
-}
-
-std::vector<double> Communicator::recv_vec(int src, int tag) {
-  const auto t0 = std::chrono::steady_clock::now();
-  World::Message msg = world_->take(rank_, src, tag);
-  const auto t1 = std::chrono::steady_clock::now();
-  auto& e = (tag == internal_tag::kAllreduce || tag == internal_tag::kBarrier)
-                ? stats_.allreduce
-                : (tag == internal_tag::kAllgather ? stats_.allgather
-                                                   : stats_.sendrecv);
-  e.messages += 1;
-  e.bytes += msg.payload.size() * sizeof(double);
-  e.modeled_seconds += world_->model().time(msg.payload.size() * sizeof(double));
-  e.wall_seconds += std::chrono::duration<double>(t1 - t0).count();
-  return std::move(msg.payload);
-}
-
-void Communicator::sendrecv(int peer, const std::vector<double>& out,
-                            std::vector<double>& in, int tag) {
-  send(peer, out, tag);
-  in = recv_vec(peer, tag);
+std::vector<double> ThreadComm::transport_recv(int src, int tag) {
+  return world_->take(rank_, src, tag).payload;
 }
 
 World::World(int size, AlphaBetaModel model) : size_(size), model_(model) {
@@ -86,17 +41,20 @@ World::World(int size, AlphaBetaModel model) : size_(size), model_(model) {
   }
 }
 
-void World::run(const std::function<void(Communicator&)>& rank_fn) {
+void World::run(const std::function<void(Comm&)>& rank_fn) {
   // Clear stale messages from a previous (possibly failed) run.
+  failed_.store(false);
   for (auto& mb : mailboxes_) {
     std::lock_guard<std::mutex> lock(mb->mutex);
     mb->queue.clear();
   }
   std::vector<std::thread> threads;
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(size_));
-  std::vector<Communicator> comms;
+  std::vector<std::unique_ptr<ThreadComm>> comms;
   comms.reserve(static_cast<std::size_t>(size_));
-  for (int r = 0; r < size_; ++r) comms.push_back(Communicator(this, r));
+  for (int r = 0; r < size_; ++r) {
+    comms.push_back(std::unique_ptr<ThreadComm>(new ThreadComm(this, r)));
+  }
 
   for (int r = 0; r < size_; ++r) {
     threads.emplace_back([&, r]() {
@@ -105,21 +63,37 @@ void World::run(const std::function<void(Communicator&)>& rank_fn) {
         // compute on its own thread (no nested OpenMP teams) so the
         // per-thread CPU-clock scaling measurements stay meaningful.
         ad::kernels::SerialRegionGuard serial_kernels;
-        rank_fn(comms[static_cast<std::size_t>(r)]);
+        rank_fn(*comms[static_cast<std::size_t>(r)]);
       } catch (...) {
         errors[static_cast<std::size_t>(r)] = std::current_exception();
-        // Wake everyone so blocked ranks can eventually fail too. We keep
-        // it simple: notify all mailboxes.
-        for (auto& mb : mailboxes_) mb->cv.notify_all();
+        // Flag the failure and wake everyone: blocked receivers see the
+        // flag in take() and throw PeerFailedError instead of waiting
+        // forever for messages that will never arrive.
+        failed_.store(true);
+        for (auto& mb : mailboxes_) {
+          std::lock_guard<std::mutex> lock(mb->mutex);
+          mb->cv.notify_all();
+        }
       }
     });
   }
   for (auto& t : threads) t.join();
   last_stats_.clear();
-  for (const auto& c : comms) last_stats_.push_back(c.stats_);
+  for (const auto& c : comms) last_stats_.push_back(c->stats());
+  // Rethrow the originating failure, not the secondary PeerFailedErrors
+  // it induced on ranks that were blocked receiving.
+  std::exception_ptr first_peer;
   for (const auto& e : errors) {
-    if (e) std::rethrow_exception(e);
+    if (!e) continue;
+    try {
+      std::rethrow_exception(e);
+    } catch (const PeerFailedError&) {
+      if (!first_peer) first_peer = e;
+    } catch (...) {
+      throw;
+    }
   }
+  if (first_peer) std::rethrow_exception(first_peer);
 }
 
 double World::max_modeled_comm_seconds() const {
@@ -151,6 +125,9 @@ World::Message World::take(int dst, int src, int tag) {
         return msg;
       }
     }
+    // Checked after the scan so a matching message that is already
+    // queued still gets delivered even in a failing world.
+    if (failed_.load()) throw PeerFailedError();
     mb.cv.wait(lock);
   }
 }

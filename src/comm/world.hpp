@@ -1,92 +1,50 @@
-// MPI-like message passing over in-process threads.
+// Threaded in-process transport: MPI-like message passing over
+// std::thread "ranks".
 //
-// The paper runs on GPU clusters with CUDA-aware MPI. This box has one
-// core and no MPI, so we reproduce the *interface semantics* (ranks,
-// matched send/recv, collectives, Cartesian topologies) over std::thread
-// "ranks" with in-memory channels, and reproduce the *performance model*
-// with an alpha-beta network clock (Sec. 4.3 of the paper): every receive
-// advances a per-rank modeled communication time by alpha + bytes/beta.
-// Benchmarks report both measured wall time and the modeled time, whose
-// scaling shape matches the paper's cluster interconnect.
+// The paper runs on GPU clusters with CUDA-aware MPI. This backend
+// reproduces the *interface semantics* (ranks, matched send/recv,
+// collectives, Cartesian topologies) over in-memory channels, and
+// reproduces the *performance model* with an alpha-beta network clock
+// (Sec. 4.3 of the paper): every receive advances a per-rank modeled
+// communication time by alpha + bytes/beta. Benchmarks report both
+// measured wall time and the modeled time, whose scaling shape matches
+// the paper's cluster interconnect. For real multi-process runs, build
+// with -DMF_WITH_MPI=ON and see mpi_comm.hpp / runtime.hpp.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
-#include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <vector>
 
+#include "comm/comm.hpp"
+
 namespace mf::comm {
-
-/// Alpha-beta cost model: time(bytes) = alpha + bytes / beta.
-struct AlphaBetaModel {
-  double alpha = 2e-6;     // per-message latency (s); ~ConnectX-5 IB
-  double beta = 12.5e9;    // bandwidth (bytes/s);     ~100 Gbit/s
-  double time(std::size_t bytes) const {
-    return alpha + static_cast<double>(bytes) / beta;
-  }
-
-  /// Presets mirroring Table 2 of the paper.
-  static AlphaBetaModel infiniband_100g() { return {2e-6, 12.5e9}; }
-  static AlphaBetaModel nvlink_200g() { return {1e-6, 200e9}; }
-  static AlphaBetaModel pcie_32g() { return {3e-6, 32e9}; }
-};
-
-/// Per-category communication accounting for one rank.
-struct CommStats {
-  struct Entry {
-    std::uint64_t messages = 0;
-    std::uint64_t bytes = 0;
-    double modeled_seconds = 0;
-    double wall_seconds = 0;
-    void merge(const Entry& o);
-  };
-  Entry sendrecv;   // point-to-point (halo exchange)
-  Entry allreduce;  // gradient/convergence reductions
-  Entry allgather;  // final solution assembly
-  Entry total() const;
-  void reset();
-};
 
 class World;
 
-/// Handle each rank uses to communicate. Thread-compatible: each rank owns
-/// exactly one Communicator and uses it from its own thread.
-class Communicator {
+/// Threaded transport handle: delivers through the owning World's
+/// in-memory mailboxes. Each rank owns exactly one ThreadComm and uses it
+/// from its own thread.
+class ThreadComm final : public Comm {
  public:
-  int rank() const { return rank_; }
-  int size() const;
+  int rank() const override { return rank_; }
+  int size() const override;
 
-  // ---- point-to-point ----
-  void send(int dst, const double* data, std::size_t n, int tag = 0);
-  void send(int dst, const std::vector<double>& data, int tag = 0);
-  /// Blocking receive of exactly `n` doubles matching (src, tag).
-  void recv(int src, double* data, std::size_t n, int tag = 0);
-  std::vector<double> recv_vec(int src, int tag = 0);
-  /// Paired exchange with one neighbor.
-  void sendrecv(int peer, const std::vector<double>& out,
-                std::vector<double>& in, int tag = 0);
-
-  // ---- collectives (all built on the point-to-point layer) ----
-  void allreduce_sum(double* data, std::size_t n);
-  double allreduce_sum(double value);
-  double allreduce_max(double value);
-  /// Gather variable-size contributions from every rank, in rank order.
-  std::vector<std::vector<double>> allgatherv(const std::vector<double>& local);
-  void barrier();
-
-  CommStats& stats() { return stats_; }
-  const AlphaBetaModel& model() const;
+ protected:
+  void transport_send(int dst, const double* data, std::size_t n,
+                      int tag) override;
+  std::vector<double> transport_recv(int src, int tag) override;
 
  private:
   friend class World;
-  Communicator(World* world, int rank) : world_(world), rank_(rank) {}
+  ThreadComm(World* world, int rank);
 
   World* world_;
   int rank_;
-  CommStats stats_;
 };
 
 /// Owns the mailboxes and spawns one thread per rank.
@@ -96,7 +54,7 @@ class World {
 
   /// Run `rank_fn(comm)` on every rank; joins all threads; rethrows the
   /// first rank exception, if any.
-  void run(const std::function<void(Communicator&)>& rank_fn);
+  void run(const std::function<void(Comm&)>& rank_fn);
 
   int size() const { return size_; }
   const AlphaBetaModel& model() const { return model_; }
@@ -107,7 +65,7 @@ class World {
   double max_modeled_comm_seconds() const;
 
  private:
-  friend class Communicator;
+  friend class ThreadComm;
 
   struct Message {
     int src;
@@ -126,15 +84,11 @@ class World {
 
   int size_;
   AlphaBetaModel model_;
+  // Set when any rank throws; wakes blocked receivers so they fail too
+  // instead of waiting forever for messages that will never arrive.
+  std::atomic<bool> failed_{false};
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   std::vector<CommStats> last_stats_;
 };
-
-/// Internal tags used by collectives; user tags must be >= 0.
-namespace internal_tag {
-constexpr int kAllreduce = -101;
-constexpr int kAllgather = -102;
-constexpr int kBarrier = -103;
-}  // namespace internal_tag
 
 }  // namespace mf::comm

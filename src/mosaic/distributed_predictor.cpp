@@ -48,7 +48,7 @@ RankLayout make_layout(const comm::CartesianGrid& grid, int rank,
 }  // namespace
 
 DistMfpResult distributed_mosaic_predict(
-    comm::Communicator& comm, const comm::CartesianGrid& grid,
+    comm::Comm& comm, const comm::CartesianGrid& grid,
     const SubdomainSolver& solver, int64_t nx_cells, int64_t ny_cells,
     const std::vector<double>& global_boundary, const MfpOptions& options) {
   const int64_t m = solver.m();

@@ -15,7 +15,7 @@
 #pragma once
 
 #include "comm/cartesian.hpp"
-#include "comm/world.hpp"
+#include "comm/comm.hpp"
 #include "mosaic/predictor.hpp"
 
 namespace mf::mosaic {
@@ -38,11 +38,12 @@ struct DistMfpResult {
   DistMfpTimings timings;  // this rank's breakdown
 };
 
-/// Run the distributed MFP on the calling rank. All ranks must call with
-/// identical arguments. Domain cell counts must be divisible by
+/// Run the distributed MFP on the calling rank, over any comm transport
+/// (threaded ranks or MPI processes). All ranks must call with identical
+/// arguments. Domain cell counts must be divisible by
 /// (processor grid dimension * m).
 DistMfpResult distributed_mosaic_predict(
-    comm::Communicator& comm, const comm::CartesianGrid& grid,
+    comm::Comm& comm, const comm::CartesianGrid& grid,
     const SubdomainSolver& solver, int64_t nx_cells, int64_t ny_cells,
     const std::vector<double>& global_boundary, const MfpOptions& options = {});
 

@@ -33,7 +33,7 @@ std::pair<double, double> training_step(Sdnet& net, const gp::SdnetBatch& batch,
   return {l_data.item(), l_pde_value};
 }
 
-void average_gradients(Sdnet& net, comm::Communicator& comm) {
+void average_gradients(Sdnet& net, comm::Comm& comm) {
   auto params = net.parameters();
   // Pack into one contiguous buffer: one allreduce per iteration (the
   // paper's communication optimization in Sec. 3.3).
@@ -103,7 +103,7 @@ double validation_mse(const Sdnet& net, const std::vector<gp::SolvedBvp>& bvps,
 std::vector<EpochStats> train_sdnet(
     Sdnet& net, const std::vector<gp::SolvedBvp>& train,
     const std::vector<gp::SolvedBvp>& val, const TrainConfig& config,
-    gp::LaplaceDatasetGenerator& gen, comm::Communicator* comm,
+    gp::LaplaceDatasetGenerator& gen, comm::Comm* comm,
     const std::function<void(const EpochStats&)>& on_epoch) {
   const int ranks = comm ? comm->size() : 1;
   const int64_t iters_per_epoch =

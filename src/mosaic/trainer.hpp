@@ -10,7 +10,7 @@
 #include <optional>
 #include <vector>
 
-#include "comm/world.hpp"
+#include "comm/comm.hpp"
 #include "gp/dataset.hpp"
 #include "mosaic/loss.hpp"
 #include "mosaic/sdnet.hpp"
@@ -54,7 +54,7 @@ std::pair<double, double> training_step(Sdnet& net, const gp::SdnetBatch& batch,
 
 /// Flatten all parameter gradients, allreduce-sum, divide by world size,
 /// and scatter back — the single collective of Algorithm 1 (step 3).
-void average_gradients(Sdnet& net, comm::Communicator& comm);
+void average_gradients(Sdnet& net, comm::Comm& comm);
 
 /// Data-parallel SDNet training on one rank. Every rank owns `train`
 /// (its shard) and optimizes a replica of `net`; replicas stay bitwise
@@ -63,7 +63,7 @@ void average_gradients(Sdnet& net, comm::Communicator& comm);
 std::vector<EpochStats> train_sdnet(
     Sdnet& net, const std::vector<gp::SolvedBvp>& train,
     const std::vector<gp::SolvedBvp>& val, const TrainConfig& config,
-    gp::LaplaceDatasetGenerator& gen, comm::Communicator* comm = nullptr,
+    gp::LaplaceDatasetGenerator& gen, comm::Comm* comm = nullptr,
     const std::function<void(const EpochStats&)>& on_epoch = {});
 
 /// Validation MSE of the network against solved BVPs (grid data points).

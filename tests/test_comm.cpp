@@ -18,7 +18,7 @@ TEST(World, InvalidSizeThrows) {
 
 TEST(PointToPoint, SendRecvDelivers) {
   comm::World world(2);
-  world.run([](comm::Communicator& c) {
+  world.run([](comm::Comm& c) {
     if (c.rank() == 0) {
       std::vector<double> data = {1.5, 2.5, 3.5};
       c.send(1, data, 7);
@@ -33,7 +33,7 @@ TEST(PointToPoint, SendRecvDelivers) {
 TEST(PointToPoint, TagsMatchIndependently) {
   // Messages with different tags must be matched by tag, not order.
   comm::World world(2);
-  world.run([](comm::Communicator& c) {
+  world.run([](comm::Comm& c) {
     if (c.rank() == 0) {
       c.send(1, std::vector<double>{1.0}, /*tag=*/10);
       c.send(1, std::vector<double>{2.0}, /*tag=*/20);
@@ -48,7 +48,7 @@ TEST(PointToPoint, TagsMatchIndependently) {
 
 TEST(PointToPoint, FifoPerSourceAndTag) {
   comm::World world(2);
-  world.run([](comm::Communicator& c) {
+  world.run([](comm::Comm& c) {
     if (c.rank() == 0) {
       for (int i = 0; i < 5; ++i) c.send(1, std::vector<double>{double(i)}, 3);
     } else {
@@ -62,7 +62,7 @@ TEST(PointToPoint, FifoPerSourceAndTag) {
 
 TEST(PointToPoint, SendRecvExchange) {
   comm::World world(2);
-  world.run([](comm::Communicator& c) {
+  world.run([](comm::Comm& c) {
     std::vector<double> mine = {double(c.rank() + 1)};
     std::vector<double> theirs;
     c.sendrecv(1 - c.rank(), mine, theirs, 0);
@@ -72,11 +72,27 @@ TEST(PointToPoint, SendRecvExchange) {
 
 TEST(PointToPoint, RankExceptionPropagates) {
   comm::World world(2);
-  EXPECT_THROW(world.run([](comm::Communicator& c) {
+  EXPECT_THROW(world.run([](comm::Comm& c) {
     if (c.rank() == 1) throw std::runtime_error("rank 1 failed");
     // rank 0 does nothing and exits cleanly
   }),
                std::runtime_error);
+}
+
+TEST(PointToPoint, PeerFailureUnblocksReceivers) {
+  // A rank blocked in recv whose peer dies must fail instead of hanging,
+  // and run() must rethrow the originating exception, not the secondary
+  // "peer failed" one.
+  comm::World world(2);
+  try {
+    world.run([](comm::Comm& c) {
+      if (c.rank() == 1) throw std::invalid_argument("original failure");
+      (void)c.recv_vec(1, 0);  // would block forever without the flag
+    });
+    FAIL() << "expected world.run to throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_STREQ(e.what(), "original failure");
+  }
 }
 
 class CollectivesAtSize : public ::testing::TestWithParam<int> {};
@@ -84,7 +100,7 @@ class CollectivesAtSize : public ::testing::TestWithParam<int> {};
 TEST_P(CollectivesAtSize, AllreduceSumScalar) {
   const int P = GetParam();
   comm::World world(P);
-  world.run([P](comm::Communicator& c) {
+  world.run([P](comm::Comm& c) {
     const double total = c.allreduce_sum(double(c.rank() + 1));
     EXPECT_NEAR(total, P * (P + 1) / 2.0, 1e-12);
   });
@@ -93,7 +109,7 @@ TEST_P(CollectivesAtSize, AllreduceSumScalar) {
 TEST_P(CollectivesAtSize, AllreduceSumVector) {
   const int P = GetParam();
   comm::World world(P);
-  world.run([P](comm::Communicator& c) {
+  world.run([P](comm::Comm& c) {
     std::vector<double> v = {double(c.rank()), 1.0, double(c.rank() * 2)};
     c.allreduce_sum(v.data(), v.size());
     EXPECT_NEAR(v[0], P * (P - 1) / 2.0, 1e-12);
@@ -105,7 +121,7 @@ TEST_P(CollectivesAtSize, AllreduceSumVector) {
 TEST_P(CollectivesAtSize, AllreduceMax) {
   const int P = GetParam();
   comm::World world(P);
-  world.run([P](comm::Communicator& c) {
+  world.run([P](comm::Comm& c) {
     const double m = c.allreduce_max(std::sin(1.0 + c.rank()));
     double expect = -2;
     for (int r = 0; r < P; ++r) expect = std::max(expect, std::sin(1.0 + r));
@@ -113,10 +129,21 @@ TEST_P(CollectivesAtSize, AllreduceMax) {
   });
 }
 
+TEST_P(CollectivesAtSize, AllreduceMaxVector) {
+  const int P = GetParam();
+  comm::World world(P);
+  world.run([P](comm::Comm& c) {
+    std::vector<double> v = {double(c.rank()), -double(c.rank()) - 1.0};
+    c.allreduce_max(v.data(), v.size());
+    EXPECT_EQ(v[0], double(P - 1));  // max over ranks
+    EXPECT_EQ(v[1], -1.0);           // all-negative slot, elementwise
+  });
+}
+
 TEST_P(CollectivesAtSize, AllgathervVariableSizes) {
   const int P = GetParam();
   comm::World world(P);
-  world.run([P](comm::Communicator& c) {
+  world.run([P](comm::Comm& c) {
     std::vector<double> local(static_cast<std::size_t>(c.rank() + 1),
                               double(c.rank()));
     auto all = c.allgatherv(local);
@@ -134,7 +161,7 @@ TEST_P(CollectivesAtSize, BarrierSynchronizes) {
   comm::World world(P);
   std::atomic<int> before{0};
   std::atomic<bool> violated{false};
-  world.run([&](comm::Communicator& c) {
+  world.run([&](comm::Comm& c) {
     before.fetch_add(1);
     c.barrier();
     // After the barrier every rank must observe all P pre-barrier arrivals.
@@ -146,10 +173,124 @@ TEST_P(CollectivesAtSize, BarrierSynchronizes) {
 INSTANTIATE_TEST_SUITE_P(Sizes, CollectivesAtSize,
                          ::testing::Values(1, 2, 3, 4, 7, 8, 16));
 
+// ---- collectives edge cases ----
+
+TEST(CollectivesEdge, SizeOneWorldIsIdentity) {
+  comm::World world(1);
+  world.run([](comm::Comm& c) {
+    EXPECT_EQ(c.size(), 1);
+    std::vector<double> v = {3.0, -4.0};
+    c.allreduce_sum(v.data(), v.size());
+    EXPECT_EQ(v[0], 3.0);
+    EXPECT_EQ(v[1], -4.0);
+    EXPECT_EQ(c.allreduce_sum(2.5), 2.5);
+    EXPECT_EQ(c.allreduce_max(-7.0), -7.0);
+    auto all = c.allgatherv({1.0, 2.0});
+    ASSERT_EQ(all.size(), 1u);
+    EXPECT_EQ(all[0].size(), 2u);
+    c.barrier();  // must not hang
+    // Nothing crossed a wire.
+    EXPECT_EQ(c.stats().total().messages, 0u);
+  });
+}
+
+TEST(CollectivesEdge, AllgathervEmptyContributions) {
+  // Some ranks contribute nothing (an MFP rank can own zero tiles of a
+  // phase); empty blocks must come back empty, in rank order.
+  comm::World world(4);
+  world.run([](comm::Comm& c) {
+    std::vector<double> local;
+    if (c.rank() % 2 == 1) {
+      local.assign(static_cast<std::size_t>(c.rank()), double(c.rank()));
+    }
+    auto all = c.allgatherv(local);
+    ASSERT_EQ(all.size(), 4u);
+    for (int r = 0; r < 4; ++r) {
+      const auto& blk = all[static_cast<std::size_t>(r)];
+      if (r % 2 == 1) {
+        ASSERT_EQ(blk.size(), static_cast<std::size_t>(r));
+        for (double v : blk) EXPECT_EQ(v, double(r));
+      } else {
+        EXPECT_TRUE(blk.empty());
+      }
+    }
+  });
+}
+
+TEST(CollectivesEdge, AllgathervAllEmpty) {
+  comm::World world(3);
+  world.run([](comm::Comm& c) {
+    auto all = c.allgatherv({});
+    ASSERT_EQ(all.size(), 3u);
+    for (const auto& blk : all) EXPECT_TRUE(blk.empty());
+  });
+}
+
+class AllNegativeMaxAtSize : public ::testing::TestWithParam<int> {};
+
+TEST_P(AllNegativeMaxAtSize, AllreduceMaxAllNegative) {
+  // The max of all-negative contributions must not be polluted by a zero
+  // identity element, on both the recursive-doubling (pow2) and
+  // gather+broadcast (non-pow2) paths.
+  const int P = GetParam();
+  comm::World world(P);
+  world.run([P](comm::Comm& c) {
+    const double m = c.allreduce_max(-1.0 - c.rank());
+    EXPECT_EQ(m, -1.0);
+    (void)P;
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, AllNegativeMaxAtSize,
+                         ::testing::Values(1, 2, 3, 4, 5, 8));
+
+TEST(CollectivesEdge, AllreduceSumZeroLength) {
+  comm::World world(2);
+  world.run([](comm::Comm& c) {
+    c.allreduce_sum(nullptr, 0);  // zero-length reduce must not deadlock
+    c.barrier();
+  });
+}
+
+TEST(PointToPoint, ReservedTagBandRejectedOnEveryBackend) {
+  // The tag contract is enforced in the shared Comm layer so a bad tag
+  // fails on the threaded backend too, not only under mpirun.
+  comm::World world(1);
+  world.run([](comm::Comm& c) {
+    std::vector<double> x = {1.0};
+    EXPECT_THROW(c.send(0, x, comm::kMaxUserTag), std::invalid_argument);
+    EXPECT_THROW(c.recv_vec(0, comm::kMaxUserTag + 5), std::invalid_argument);
+    // Negative tags would alias the internal collective tags.
+    EXPECT_THROW(c.send(0, x, -1), std::invalid_argument);
+    EXPECT_THROW(c.send(0, x, comm::internal_tag::kAllreduce),
+                 std::invalid_argument);
+    c.send(0, x, comm::kMaxUserTag - 1);  // last legal tag is fine
+    (void)c.recv_vec(0, comm::kMaxUserTag - 1);
+    c.barrier();  // collectives still work through their internal path
+  });
+}
+
+TEST(CollectivesEdge, EmptyPointToPointMessage) {
+  // Empty halo flushes are real traffic in the predictor (latency-only
+  // messages, the 8*I*alpha term); they must deliver and count.
+  comm::World world(2);
+  world.run([](comm::Comm& c) {
+    if (c.rank() == 0) {
+      c.send(1, std::vector<double>{}, 5);
+    } else {
+      auto got = c.recv_vec(0, 5);
+      EXPECT_TRUE(got.empty());
+      EXPECT_EQ(c.stats().sendrecv.messages, 1u);
+      EXPECT_EQ(c.stats().sendrecv.bytes, 0u);
+      EXPECT_GT(c.stats().sendrecv.modeled_seconds, 0.0);  // alpha-only
+    }
+  });
+}
+
 TEST(Stats, ModeledTimeFollowsAlphaBeta) {
   comm::AlphaBetaModel model{1e-5, 1e9};
   comm::World world(2, model);
-  world.run([](comm::Communicator& c) {
+  world.run([](comm::Comm& c) {
     std::vector<double> payload(1000, 1.0);  // 8000 bytes
     if (c.rank() == 0) {
       c.send(1, payload, 0);
@@ -165,7 +306,7 @@ TEST(Stats, ModeledTimeFollowsAlphaBeta) {
 
 TEST(Stats, CategoriesSeparated) {
   comm::World world(2);
-  world.run([](comm::Communicator& c) {
+  world.run([](comm::Comm& c) {
     // one p2p + one allreduce + one allgather
     std::vector<double> x = {1.0};
     if (c.rank() == 0) c.send(1, x, 0);
@@ -250,7 +391,7 @@ TEST(Cartesian, NeighborExchangeOverWorld) {
   // with all neighbors and verifies the sum.
   comm::CartesianGrid grid(2, 2);
   comm::World world(4);
-  world.run([&grid](comm::Communicator& c) {
+  world.run([&grid](comm::Comm& c) {
     auto neighbors = grid.neighbors(c.rank());
     double sum = 0;
     int count = 0;

@@ -41,7 +41,7 @@ CommProfile profile(int ranks, int64_t cells, int64_t m, int64_t iters) {
   mf::comm::World world(ranks);
   CommProfile p;
   std::vector<mf::comm::CommStats> stats(static_cast<std::size_t>(ranks));
-  world.run([&](mf::comm::Communicator& c) {
+  world.run([&](mf::comm::Comm& c) {
     auto r = mosaic::distributed_mosaic_predict(c, grid, solver, cells, cells,
                                                 boundary, opts);
     stats[static_cast<std::size_t>(c.rank())] = c.stats();

@@ -72,7 +72,7 @@ TEST(Integration, TrainSaveLoadPredictPipeline) {
   opts.max_iters = 20;
   opts.tol = 0;
   opts.relaxation = 0.5;
-  world.run([&](mf::comm::Communicator& c) {
+  world.run([&](mf::comm::Comm& c) {
     auto r = mosaic::distributed_mosaic_predict(c, grid, s_loaded, cells, cells,
                                                 problem.boundary, opts);
     EXPECT_EQ(r.solution.nx(), cells + 1);
@@ -91,7 +91,7 @@ TEST(Integration, DataParallelReplicasStayIdentical) {
   const int ranks = 3;  // non-power-of-two exercises the fallback allreduce
   mf::comm::World world(ranks);
   std::vector<std::vector<double>> params(static_cast<std::size_t>(ranks));
-  world.run([&](mf::comm::Communicator& c) {
+  world.run([&](mf::comm::Comm& c) {
     mf::util::Rng rng(5);
     mosaic::Sdnet net(small_net(m), rng);
     std::vector<mf::gp::SolvedBvp> shard;

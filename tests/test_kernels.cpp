@@ -5,6 +5,8 @@
 // reductions may reassociate sums and are compared with tight tolerances.
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cmath>
 #include <cstdint>
 #include <limits>
 #include <vector>
@@ -179,6 +181,45 @@ TEST(Kernels, MatmulSerialVsThreadedParity) {
   guard.threaded();
   Tensor thr3 = ops::matmul(a3, b);
   expect_allclose(thr3, ref3, 0.0, "matmul3d");
+}
+
+TEST(Kernels, MatmulBlockedPathMatchesNaive) {
+  // Shapes straddling the cache-block tile sizes (kTileK = 64,
+  // kTileN = 512) so the blocked path and its partial edge tiles are
+  // actually exercised; the claim under test is bitwise identity with
+  // the naive i-k-j loop.
+  const std::array<std::array<int64_t, 3>, 5> shapes = {{
+      {3, 65, 513},   // both dims one past a tile boundary
+      {4, 64, 512},   // exactly one tile (fast path)
+      {2, 130, 40},   // k crosses tiles, n within one
+      {2, 40, 600},   // n crosses tiles, k within one
+      {1, 128, 1024}, // whole multiples of the tile sizes
+  }};
+  for (const auto& [m, k, n] : shapes) {
+    std::vector<mf::ad::real> a(static_cast<std::size_t>(m * k));
+    std::vector<mf::ad::real> b(static_cast<std::size_t>(k * n));
+    std::vector<mf::ad::real> bias(static_cast<std::size_t>(n));
+    for (std::size_t i = 0; i < a.size(); ++i) a[i] = std::sin(0.1 * static_cast<double>(i));
+    for (std::size_t i = 0; i < b.size(); ++i) b[i] = std::cos(0.1 * static_cast<double>(i));
+    for (std::size_t i = 0; i < bias.size(); ++i) bias[i] = 0.01 * static_cast<double>(i);
+    std::vector<mf::ad::real> got(static_cast<std::size_t>(m * n));
+    kernels::matmul(a.data(), b.data(), bias.data(), got.data(), m, k, n);
+    // Independent naive reference with the same (ascending-kk) order.
+    std::vector<mf::ad::real> ref(static_cast<std::size_t>(m * n));
+    for (int64_t i = 0; i < m; ++i)
+      for (int64_t j = 0; j < n; ++j) {
+        mf::ad::real acc = bias[static_cast<std::size_t>(j)];
+        for (int64_t kk = 0; kk < k; ++kk) {
+          acc += a[static_cast<std::size_t>(i * k + kk)] *
+                 b[static_cast<std::size_t>(kk * n + j)];
+        }
+        ref[static_cast<std::size_t>(i * n + j)] = acc;
+      }
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      ASSERT_EQ(got[i], ref[i]) << "m=" << m << " k=" << k << " n=" << n
+                                << " flat index " << i;
+    }
+  }
 }
 
 TEST(Kernels, SumAxisAndTransposeParity) {

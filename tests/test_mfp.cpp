@@ -288,7 +288,7 @@ TEST_P(DistributedMfp, MatchesSingleRankResult) {
   mf::comm::CartesianGrid grid(ranks);
   mf::comm::World world(ranks);
   std::vector<la::Grid2D> solutions(static_cast<std::size_t>(ranks));
-  world.run([&](mf::comm::Communicator& c) {
+  world.run([&](mf::comm::Comm& c) {
     auto result = mosaic::distributed_mosaic_predict(c, grid, solver, cells,
                                                      cells, problem.boundary, opts);
     solutions[static_cast<std::size_t>(c.rank())] = result.solution;
@@ -319,7 +319,7 @@ TEST(DistributedMfpChecks, ConvergesToReferenceAndReportsTimings) {
   mf::comm::CartesianGrid grid(4);
   mf::comm::World world(4);
   std::vector<mosaic::DistMfpResult> results(4);
-  world.run([&](mf::comm::Communicator& c) {
+  world.run([&](mf::comm::Comm& c) {
     results[static_cast<std::size_t>(c.rank())] = mosaic::distributed_mosaic_predict(
         c, grid, solver, cells, cells, problem.boundary, opts);
   });
@@ -336,7 +336,7 @@ TEST(DistributedMfpChecks, BadDecompositionThrows) {
   mf::comm::CartesianGrid grid(4);
   mf::comm::World world(4);
   std::vector<double> boundary(static_cast<std::size_t>(la::perimeter_size(25, 25)), 0.0);
-  EXPECT_THROW(world.run([&](mf::comm::Communicator& c) {
+  EXPECT_THROW(world.run([&](mf::comm::Comm& c) {
     mosaic::distributed_mosaic_predict(c, grid, solver, 24, 24, boundary, {});
   }),
                std::invalid_argument);
@@ -414,7 +414,7 @@ TEST(DistributedMfpChecks, CommunicationAvoidingVariantStillConverges) {
     mf::comm::World world(4);
     std::vector<mosaic::DistMfpResult> results(4);
     std::vector<std::uint64_t> msgs(4);
-    world.run([&](mf::comm::Communicator& c) {
+    world.run([&](mf::comm::Comm& c) {
       results[static_cast<std::size_t>(c.rank())] =
           mosaic::distributed_mosaic_predict(c, grid, solver, cells, cells,
                                              problem.boundary, opts);

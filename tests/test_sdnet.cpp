@@ -189,7 +189,7 @@ TEST(TrainingStep, DataParallelGradsEqualSingleProcess) {
 
   mf::comm::World world(2);
   std::vector<std::vector<double>> averaged(2);
-  world.run([&](mf::comm::Communicator& c) {
+  world.run([&](mf::comm::Comm& c) {
     mf::util::Rng rng_local(24);  // same seed -> identical replica init
     mosaic::Sdnet replica(tiny_config(), rng_local);
     auto local = c.rank() == 0 ? slice_batch(0, 2) : slice_batch(2, 4);

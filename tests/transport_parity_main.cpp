@@ -1,0 +1,91 @@
+// Transport-parity harness (plain binary, runnable under mpirun).
+//
+// Runs one distributed-MFP scenario through the rank runtime — threaded
+// ranks when launched plainly, real MPI processes under `mpirun -np N`
+// with -DMF_WITH_MPI=ON — and compares iterations, final delta, and the
+// assembled solution against the single-rank threaded reference computed
+// locally on the root. Exits nonzero on any mismatch, so it doubles as
+// the ctest entry `mpi_transport_parity_np4`.
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "comm/runtime.hpp"
+#include "comm/world.hpp"
+#include "gp/dataset.hpp"
+#include "mosaic/distributed_predictor.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mf;
+  util::CliArgs args(argc, argv);
+  comm::RankLauncher launcher(argc, argv);
+  const int ranks = launcher.fixed_world_size() > 0
+                        ? launcher.fixed_world_size()
+                        : static_cast<int>(args.get_int("ranks", 4));
+  const int64_t m = args.get_int("m", 8);
+  const int64_t cells = args.get_int("cells", 32);
+
+  gp::LaplaceDatasetGenerator gen(m, {}, 11);
+  auto problem = gen.generate_global(cells, cells);
+  mosaic::HarmonicKernelSolver solver(m);
+  mosaic::MfpOptions opts;
+  opts.max_iters = args.get_int("max-iters", 2000);
+  opts.tol = 0;
+  // Target-MAE-gated so the stop iteration depends on actual convergence
+  // (a fixed budget would make the iteration-parity check vacuous). The
+  // MAE decreases steeply through the 0.02 threshold, so float
+  // reassociation across backends cannot move the crossing check.
+  opts.reference = &problem.solution;
+  opts.target_mae = 0.02;
+  opts.check_every = 10;
+
+  // Distributed run on whatever transport the launch provides.
+  comm::CartesianGrid grid(ranks);
+  mosaic::DistMfpResult dist;
+  launcher.run(ranks, [&](comm::Comm& c) {
+    auto r = mosaic::distributed_mosaic_predict(c, grid, solver, cells, cells,
+                                                problem.boundary, opts);
+    if (c.rank() == 0) dist = std::move(r);
+  });
+  if (!launcher.is_root()) return 0;
+
+  // Single-rank threaded reference.
+  mosaic::DistMfpResult single;
+  {
+    comm::CartesianGrid grid1(1);
+    comm::World world(1);
+    world.run([&](comm::Comm& c) {
+      single = mosaic::distributed_mosaic_predict(c, grid1, solver, cells,
+                                                  cells, problem.boundary, opts);
+    });
+  }
+
+  const double mae =
+      linalg::Grid2D::mean_abs_diff(dist.solution, single.solution);
+  const double delta_diff = std::abs(dist.final_delta - single.final_delta);
+  std::printf("transport parity (%s backend, %d ranks): iterations %ld vs "
+              "%ld, final delta diff %.3e, solution MAE %.3e\n",
+              launcher.backend_name(), ranks,
+              static_cast<long>(dist.iterations),
+              static_cast<long>(single.iterations), delta_diff, mae);
+
+  int failures = 0;
+  if (dist.iterations != single.iterations) {
+    std::printf("FAIL: iteration counts differ\n");
+    ++failures;
+  }
+  // Relaxed synchronization delivers every fresh write before the next
+  // phase reads it, so distributed iterates match the sequential algorithm
+  // up to floating-point associativity.
+  if (!(mae < 1e-10)) {
+    std::printf("FAIL: solution MAE %.3e >= 1e-10\n", mae);
+    ++failures;
+  }
+  if (!(delta_diff < 1e-10)) {
+    std::printf("FAIL: final delta diff %.3e >= 1e-10\n", delta_diff);
+    ++failures;
+  }
+  std::printf(failures == 0 ? "PARITY OK\n" : "PARITY FAILED\n");
+  return failures == 0 ? 0 : 1;
+}
