@@ -11,10 +11,15 @@
 #include <cstdio>
 #include <vector>
 
+#include "ad/arena.hpp"
+#include "ad/kernels.hpp"
+#include "ad/pool.hpp"
 #include "comm/world.hpp"
 #include "mosaic/trainer.hpp"
+#include "optim/optimizers.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
+#include "util/timing.hpp"
 
 int main(int argc, char** argv) {
   using namespace mf;
@@ -130,5 +135,51 @@ int main(int argc, char** argv) {
               "MSE-vs-epoch curves nearly overlap (within ~1.5e-6 in the "
               "paper); time-to-target shrinks with ranks (12x at 32 GPUs in "
               "the paper).\n");
+
+  // Steady-state allocation profile of the three-backward-pass training
+  // step (single rank): after a short warmup the payload pool and tape
+  // arena should serve every step without touching the heap. Tracked in
+  // BENCH_fig6.json across PRs.
+  {
+    util::Rng rng(42);
+    mosaic::Sdnet net(net_cfg, rng);
+    gp::LaplaceDatasetGenerator sgen(m, {}, 99);
+    auto bvps = sgen.generate_many(8);
+    mosaic::TrainConfig cfg;
+    cfg.pde_loss_weight = 0.3;
+    optim::Adam opt(net.parameters(), 1e-3);
+    auto step = [&] {
+      auto batch = sgen.make_batch(bvps, 32, 16);
+      net.zero_grad();
+      mosaic::training_step(net, batch, cfg);
+      opt.step();
+    };
+    const int64_t warmup = 3, measured = 24;
+    for (int64_t i = 0; i < warmup; ++i) step();
+    const ad::PoolStats p0 = ad::PayloadPool::stats();
+    const double t0 = util::wall_seconds();
+    for (int64_t i = 0; i < measured; ++i) step();
+    const double seconds = util::wall_seconds() - t0;
+    const ad::PoolStats p1 = ad::PayloadPool::stats();
+    const double allocs_per_step =
+        static_cast<double>((p1.fresh_allocs() + p1.adopted) -
+                            (p0.fresh_allocs() + p0.adopted)) /
+        static_cast<double>(measured);
+    const double hit_rate =
+        static_cast<double>(p1.hits - p0.hits) /
+        static_cast<double>((p1.hits - p0.hits) + (p1.misses - p0.misses) + 1e-300);
+    const auto arena = ad::this_thread_tape_arena()->stats();
+    std::printf(
+        "\nBENCH_JSON {\"bench\":\"fig6_training_scaling\",\"m\":%lld,"
+        "\"threads\":%d,\"openmp\":%s,\"clock\":\"wall\",\"ranks\":1,"
+        "\"batch\":8,\"q_data\":32,\"q_colloc\":16,"
+        "\"steps_per_sec\":%.6g,\"payload_allocs_per_step\":%.6g,"
+        "\"pool_hit_rate\":%.6g,\"pool_enabled\":%s,"
+        "\"tape_high_water_bytes\":%zu}\n",
+        static_cast<long long>(m), ad::kernels::max_threads(),
+        ad::kernels::openmp_enabled() ? "true" : "false",
+        static_cast<double>(measured) / seconds, allocs_per_step, hit_rate,
+        ad::PayloadPool::enabled() ? "true" : "false", arena.high_water);
+  }
   return 0;
 }

@@ -1,0 +1,94 @@
+#include "ad/arena.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace mf::ad {
+
+namespace {
+
+bool arena_enabled_from_env() {
+  const char* env = std::getenv("MF_DISABLE_ARENA");
+  return !(env && env[0] == '1');
+}
+
+}  // namespace
+
+bool tape_arena_enabled() {
+  static const bool enabled = arena_enabled_from_env();
+  return enabled;
+}
+
+const std::shared_ptr<TapeArena>& this_thread_tape_arena() {
+  thread_local std::shared_ptr<TapeArena> arena = std::make_shared<TapeArena>();
+  return arena;
+}
+
+void* TapeArena::allocate(std::size_t bytes, std::size_t align) {
+  // Lazy reset: only the owning thread allocates, so bump state is free of
+  // races; the atomic live count tells us when everything is dead.
+  if (dirty_ && live_blocks_.load(std::memory_order_acquire) == 0) {
+    rewind();
+  }
+  dirty_ = true;
+  const std::size_t mask = align - 1;
+  for (;;) {
+    if (chunk_idx_ < chunks_.size()) {
+      Chunk& c = chunks_[chunk_idx_];
+      const std::size_t base = reinterpret_cast<std::size_t>(c.mem.get());
+      const std::size_t aligned = (base + offset_ + mask) & ~mask;
+      const std::size_t new_offset = aligned - base + bytes;
+      if (new_offset <= c.size) {
+        offset_ = new_offset;
+        high_water_ = std::max(high_water_, total_used());
+        return reinterpret_cast<void*>(aligned);
+      }
+      // Chunk exhausted: advance (tail is wasted until the next rewind).
+      ++chunk_idx_;
+      offset_ = 0;
+      continue;
+    }
+    // Need a new chunk. Grow geometrically so long graphs settle into a
+    // few large chunks that the rewind then merges into one.
+    std::size_t reserved = 0;
+    for (const Chunk& c : chunks_) reserved += c.size;
+    const std::size_t size = std::max({kMinChunk, bytes + align, reserved});
+    chunks_.push_back(Chunk{std::make_unique<unsigned char[]>(size), size});
+    chunk_idx_ = chunks_.size() - 1;
+    offset_ = 0;
+  }
+}
+
+std::size_t TapeArena::total_used() const {
+  std::size_t used = offset_;
+  for (std::size_t i = 0; i < chunk_idx_ && i < chunks_.size(); ++i) {
+    used += chunks_[i].size;
+  }
+  return used;
+}
+
+void TapeArena::rewind() {
+  ++rewinds_;
+  if (chunks_.size() > 1) {
+    // Consolidate so the steady state bump-allocates from one chunk.
+    std::size_t total = 0;
+    for (const Chunk& c : chunks_) total += c.size;
+    chunks_.clear();
+    chunks_.push_back(Chunk{std::make_unique<unsigned char[]>(total), total});
+  }
+  chunk_idx_ = 0;
+  offset_ = 0;
+  dirty_ = false;
+}
+
+TapeArena::Stats TapeArena::stats() const {
+  Stats s;
+  s.blocks_allocated = blocks_allocated_;
+  s.live_blocks = live_blocks_.load(std::memory_order_relaxed);
+  s.rewinds = rewinds_;
+  for (const Chunk& c : chunks_) s.bytes_reserved += c.size;
+  s.high_water = high_water_;
+  return s;
+}
+
+}  // namespace mf::ad

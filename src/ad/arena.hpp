@@ -1,0 +1,133 @@
+// Per-thread bump arena for autodiff tape nodes.
+//
+// Every recorded op used to pay `std::make_shared<LambdaNode>` plus a
+// heap-captured `std::function`. With the arena, a node (its shared_ptr
+// control block included, via std::allocate_shared) is a single bump-
+// pointer allocation in a thread-local chunk list, and its input array is
+// placed right next to it. Freeing is deferred: node destructors run as
+// usual when the graph is released, but the memory is reclaimed wholesale
+// — the arena rewinds to empty the next time a node is allocated while no
+// node from it is alive. Between training steps / Schwarz cycles this
+// means zero malloc/free traffic for the tape.
+//
+// Safety: the rewind condition (live node count reaches zero) is checked
+// only on the owning thread, at allocation time, so a graph that outlives
+// a step keeps the arena occupied — never dangling. Allocator copies
+// inside control blocks hold the arena via shared_ptr, so the arena
+// cannot die before its last node even across thread exit. The cost of
+// pinning is real, though: while any node is alive the arena cannot
+// rewind, so *every* tape recorded in the meantime (dead or not) keeps
+// accumulating chunk memory. Don't retain graph-bearing tensors across
+// unbounded numbers of steps; detach() what you keep.
+//
+// Escape hatch: MF_DISABLE_ARENA=1 routes node allocations back to the
+// global heap (results are identical either way; this is a debugging aid).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace mf::ad {
+
+class TapeArena {
+ public:
+  struct Stats {
+    std::uint64_t blocks_allocated = 0;  // nodes ever placed in the arena
+    std::int64_t live_blocks = 0;        // nodes currently alive
+    std::uint64_t rewinds = 0;           // times the arena reset to empty
+    std::size_t bytes_reserved = 0;      // chunk memory held
+    std::size_t high_water = 0;          // max bytes in use at once
+  };
+
+  TapeArena() = default;
+  ~TapeArena() = default;
+  TapeArena(const TapeArena&) = delete;
+  TapeArena& operator=(const TapeArena&) = delete;
+
+  /// Bump-allocate (owning thread only). Rewinds first if every previously
+  /// allocated node has died.
+  void* allocate(std::size_t bytes, std::size_t align);
+
+  /// Counted-block bookkeeping: the node control-block allocations drive
+  /// the rewind heuristic. note_block_freed may run on any thread.
+  void note_block_allocated() {
+    live_blocks_.fetch_add(1, std::memory_order_relaxed);
+    ++blocks_allocated_;
+  }
+  void note_block_freed() { live_blocks_.fetch_sub(1, std::memory_order_acq_rel); }
+
+  Stats stats() const;
+
+ private:
+  void rewind();
+  std::size_t total_used() const;
+
+  struct Chunk {
+    std::unique_ptr<unsigned char[]> mem;
+    std::size_t size = 0;
+  };
+  static constexpr std::size_t kMinChunk = std::size_t{1} << 20;  // 1 MiB
+
+  std::vector<Chunk> chunks_;
+  std::size_t chunk_idx_ = 0;
+  std::size_t offset_ = 0;  // within chunks_[chunk_idx_]
+  bool dirty_ = false;      // anything allocated since the last rewind
+  std::size_t high_water_ = 0;
+  std::uint64_t blocks_allocated_ = 0;
+  std::uint64_t rewinds_ = 0;
+  // Nodes can be released from a different thread than the one that built
+  // the graph, so the live count is atomic; bump state is owner-only.
+  std::atomic<std::int64_t> live_blocks_{0};
+};
+
+/// The calling thread's tape arena (created on first use).
+const std::shared_ptr<TapeArena>& this_thread_tape_arena();
+
+/// False when MF_DISABLE_ARENA=1: nodes fall back to the global heap.
+bool tape_arena_enabled();
+
+/// Stateful allocator placing counted blocks in a TapeArena. Used with
+/// std::allocate_shared so one bump allocation holds both the control
+/// block and the node. A null arena (disabled) means plain heap.
+template <typename T>
+struct ArenaAlloc {
+  using value_type = T;
+
+  std::shared_ptr<TapeArena> arena;
+
+  ArenaAlloc()
+      : arena(tape_arena_enabled() ? this_thread_tape_arena() : nullptr) {}
+  template <typename U>
+  ArenaAlloc(const ArenaAlloc<U>& other) : arena(other.arena) {}
+
+  T* allocate(std::size_t n) {
+    if (!arena) return static_cast<T*>(::operator new(n * sizeof(T)));
+    // Allocate first: the rewind check must observe the live count from
+    // *before* this node exists.
+    void* p = arena->allocate(n * sizeof(T), alignof(T));
+    arena->note_block_allocated();
+    return static_cast<T*>(p);
+  }
+  void deallocate(T* p, std::size_t) {
+    if (!arena) {
+      ::operator delete(p);
+      return;
+    }
+    // Memory is reclaimed by the arena rewind; just drop the live count.
+    arena->note_block_freed();
+  }
+
+  template <typename U>
+  bool operator==(const ArenaAlloc<U>& other) const {
+    return arena == other.arena;
+  }
+  template <typename U>
+  bool operator!=(const ArenaAlloc<U>& other) const {
+    return !(*this == other);
+  }
+};
+
+}  // namespace mf::ad

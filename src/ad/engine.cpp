@@ -1,6 +1,7 @@
 #include "ad/engine.hpp"
 
 #include <algorithm>
+#include <new>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -8,22 +9,47 @@
 
 namespace mf::ad {
 
-Tensor record(Tensor out, const std::string& name, std::vector<Tensor> inputs,
-              LambdaNode::BackwardFn backward) {
-  if (!GradMode::enabled()) return out;
-  bool any = false;
-  for (const auto& in : inputs) {
-    if (in.defined() && (in.requires_grad() || in.has_grad_fn())) {
-      any = true;
-      break;
-    }
+Node::~Node() {
+  for (std::uint32_t i = 0; i < n_inputs_; ++i) inputs_[i].~Tensor();
+  if (inputs_on_heap_) ::operator delete(inputs_);
+  // Arena-placed arrays are reclaimed wholesale by the arena rewind.
+}
+
+void Node::set_inputs(const Tensor* src, std::size_t n) {
+  if (n == 0) return;
+  void* mem;
+  if (tape_arena_enabled()) {
+    // Uncounted raw placement: the array dies with its node, strictly
+    // before the rewind that reclaims the memory.
+    mem = this_thread_tape_arena()->allocate(n * sizeof(Tensor), alignof(Tensor));
+  } else {
+    mem = ::operator new(n * sizeof(Tensor));
+    inputs_on_heap_ = true;
   }
-  if (!any) return out;
-  auto node = std::make_shared<LambdaNode>(name, std::move(backward));
-  node->inputs = std::move(inputs);
-  out.impl()->grad_fn = node;
+  inputs_ = static_cast<Tensor*>(mem);
+  for (std::size_t i = 0; i < n; ++i) new (inputs_ + i) Tensor(src[i]);
+  n_inputs_ = static_cast<std::uint32_t>(n);
+}
+
+namespace detail {
+
+bool wants_grad(const Tensor* inputs, std::size_t n) {
+  if (!GradMode::enabled()) return false;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Tensor& in = inputs[i];
+    if (in.defined() && (in.requires_grad() || in.has_grad_fn())) return true;
+  }
+  return false;
+}
+
+Tensor attach(Tensor out, std::shared_ptr<Node> node, const Tensor* inputs,
+              std::size_t n) {
+  node->set_inputs(inputs, n);
+  out.impl()->grad_fn = std::move(node);
   return out;
 }
+
+}  // namespace detail
 
 namespace {
 
@@ -43,8 +69,8 @@ std::vector<Node*> topo_order(Node* root) {
   while (!stack.empty()) {
     Frame& f = stack.back();
     bool descended = false;
-    while (f.next_child < f.node->inputs.size()) {
-      const Tensor& in = f.node->inputs[f.next_child++];
+    while (f.next_child < f.node->num_inputs()) {
+      const Tensor& in = f.node->input(f.next_child++);
       Node* child = in.defined() ? in.grad_fn().get() : nullptr;
       if (child && !visited.count(child)) {
         visited.insert(child);
@@ -53,7 +79,7 @@ std::vector<Node*> topo_order(Node* root) {
         break;
       }
     }
-    if (!descended && f.next_child >= f.node->inputs.size()) {
+    if (!descended && f.next_child >= f.node->num_inputs()) {
       order.push_back(f.node);
       stack.pop_back();
     }
@@ -135,7 +161,8 @@ void run_backward(const Tensor& output, const Tensor& grad_output,
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     Node* n = *it;
     bool need = false;
-    for (const Tensor& in : n->inputs) {
+    for (std::size_t i = 0; i < n->num_inputs(); ++i) {
+      const Tensor& in = n->input(i);
       if (!in.defined()) continue;
       if (wanted.count(in.impl_ptr())) need = true;
       if (accumulate_leaves && in.requires_grad() && !in.has_grad_fn()) need = true;
@@ -156,17 +183,12 @@ void run_backward(const Tensor& output, const Tensor& grad_output,
   // Map from node -> the impl of its output tensor is implicit: a node is
   // reached through the tensor that holds it. We track pending grads keyed
   // by TensorImpl*, and for each node in topo order we need the grad of its
-  // output. Since a node is stored in exactly one tensor's grad_fn, find
-  // that tensor by scanning parents' inputs; instead we key pending grads
-  // by node using the tensor identity at delivery time.
-  //
-  // Simpler scheme: we process tensors, not nodes. Walk nodes in topo
-  // order; for node n, its output grad has been accumulated under the impl
-  // that owns n. Locate it via the recorded owner map below.
+  // output — located via the recorded owner map below.
   std::unordered_map<Node*, const TensorImpl*> owner;
   owner.emplace(root, output.impl_ptr());
   for (Node* n : order) {
-    for (const Tensor& in : n->inputs) {
+    for (std::size_t i = 0; i < n->num_inputs(); ++i) {
+      const Tensor& in = n->input(i);
       if (in.defined() && in.grad_fn()) {
         owner.emplace(in.grad_fn().get(), in.impl_ptr());
       }
@@ -179,9 +201,9 @@ void run_backward(const Tensor& output, const Tensor& grad_output,
     if (!needed[n]) continue;
     Tensor gout = acc.take(owner[n]);
     if (!gout.defined()) continue;  // no gradient flowed to this node
-    std::vector<bool> needs(n->inputs.size(), false);
-    for (std::size_t i = 0; i < n->inputs.size(); ++i) {
-      const Tensor& in = n->inputs[i];
+    std::vector<bool> needs(n->num_inputs(), false);
+    for (std::size_t i = 0; i < n->num_inputs(); ++i) {
+      const Tensor& in = n->input(i);
       if (!in.defined()) continue;
       if (wanted.count(in.impl_ptr())) needs[i] = true;
       if (accumulate_leaves && in.requires_grad() && !in.has_grad_fn()) needs[i] = true;
@@ -189,14 +211,14 @@ void run_backward(const Tensor& output, const Tensor& grad_output,
       if (child && needed[child]) needs[i] = true;
     }
     std::vector<Tensor> gin = n->backward(gout, needs);
-    if (gin.size() != n->inputs.size()) {
+    if (gin.size() != n->num_inputs()) {
       GradMode::set_enabled(prev_mode);
-      throw std::logic_error("node '" + n->name +
+      throw std::logic_error("node '" + std::string(n->name) +
                              "' returned wrong number of gradients");
     }
     for (std::size_t i = 0; i < gin.size(); ++i) {
       if (!needs[i] || !gin[i].defined()) continue;
-      const Tensor& in = n->inputs[i];
+      const Tensor& in = n->input(i);
       deliver(in, gin[i]);
       if (in.grad_fn()) acc.add(in, gin[i]);
     }

@@ -1,12 +1,22 @@
 // Reverse-mode autodiff engine: graph nodes, topological traversal,
 // grad-of-grad via `create_graph`.
+//
+// Tape nodes live in a per-thread bump arena (arena.hpp): recording an op
+// costs one bump allocation for the node plus its control block
+// (std::allocate_shared) and one for the input array — no std::function,
+// no std::string, no per-node heap traffic. The hottest ops (linear,
+// gelu, matmul, add, mul) use typed nodes with no captured state at all;
+// the rest store their backward lambda inline in a templated node.
 #pragma once
 
-#include <functional>
+#include <cstdint>
 #include <memory>
 #include <string>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
+#include "ad/arena.hpp"
 #include "ad/tensor.hpp"
 
 namespace mf::ad {
@@ -20,36 +30,95 @@ namespace mf::ad {
 /// of the gradients themselves — this is what enables the second-order
 /// derivatives of the PDE loss.
 struct Node {
-  explicit Node(std::string op_name) : name(std::move(op_name)) {}
-  virtual ~Node() = default;
+  explicit Node(const char* op_name) : name(op_name) {}
+  virtual ~Node();
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
 
   virtual std::vector<Tensor> backward(const Tensor& grad_out,
                                        const std::vector<bool>& needs) = 0;
 
-  std::string name;
-  std::vector<Tensor> inputs;
+  /// Copy `n` tensors into an array placed next to the node (tape arena
+  /// when enabled, heap otherwise). Called exactly once, at record time.
+  void set_inputs(const Tensor* src, std::size_t n);
+
+  std::size_t num_inputs() const { return n_inputs_; }
+  const Tensor& input(std::size_t i) const { return inputs_[i]; }
+
+  const char* name;  // static-storage op name; no per-node string
+
+ private:
+  Tensor* inputs_ = nullptr;
+  std::uint32_t n_inputs_ = 0;
+  bool inputs_on_heap_ = false;
 };
 
-/// Node whose backward is a captured lambda; used by all ops.
+/// Node whose backward is a lambda stored inline in the node itself (one
+/// instantiation per lambda type — no type erasure, no std::function).
+template <typename F>
 struct LambdaNode final : Node {
-  using BackwardFn = std::function<std::vector<Tensor>(
-      const Tensor& grad_out, const std::vector<bool>& needs)>;
-
-  LambdaNode(std::string op_name, BackwardFn fn)
-      : Node(std::move(op_name)), backward_fn(std::move(fn)) {}
+  LambdaNode(const char* op_name, F fn) : Node(op_name), fn_(std::move(fn)) {}
 
   std::vector<Tensor> backward(const Tensor& grad_out,
                                const std::vector<bool>& needs) override {
-    return backward_fn(grad_out, needs);
+    return fn_(grad_out, needs);
   }
 
-  BackwardFn backward_fn;
+  F fn_;
 };
 
+/// Bump-allocate a node (and its shared_ptr control block) in the calling
+/// thread's tape arena.
+template <typename NodeT, typename... Args>
+std::shared_ptr<NodeT> make_arena_node(Args&&... args) {
+  return std::allocate_shared<NodeT>(ArenaAlloc<NodeT>(),
+                                     std::forward<Args>(args)...);
+}
+
+namespace detail {
+/// True when grad mode is on and any input participates in autograd.
+bool wants_grad(const Tensor* inputs, std::size_t n);
+/// Wire `node` (with `inputs`) in as grad_fn of `out`.
+Tensor attach(Tensor out, std::shared_ptr<Node> node, const Tensor* inputs,
+              std::size_t n);
+}  // namespace detail
+
 /// Attach a grad_fn to `out` if grad mode is on and any input requires
-/// grad. Returns `out` for chaining.
-Tensor record(Tensor out, const std::string& name,
-              std::vector<Tensor> inputs, LambdaNode::BackwardFn backward);
+/// grad. Returns `out` for chaining. This pointer+count overload is the
+/// primitive; the initializer_list/vector forms below delegate to it.
+template <typename F>
+Tensor record(Tensor out, const char* name, const Tensor* inputs,
+              std::size_t n, F&& backward) {
+  if (!detail::wants_grad(inputs, n)) return out;
+  auto node =
+      make_arena_node<LambdaNode<std::decay_t<F>>>(name, std::forward<F>(backward));
+  return detail::attach(std::move(out), std::move(node), inputs, n);
+}
+
+template <typename F>
+Tensor record(Tensor out, const char* name, std::initializer_list<Tensor> inputs,
+              F&& backward) {
+  return record(std::move(out), name, inputs.begin(), inputs.size(),
+                std::forward<F>(backward));
+}
+
+/// Overload for a dynamic input list (concat).
+template <typename F>
+Tensor record(Tensor out, const char* name, const std::vector<Tensor>& inputs,
+              F&& backward) {
+  return record(std::move(out), name, inputs.data(), inputs.size(),
+                std::forward<F>(backward));
+}
+
+/// Record with an explicit (typed, capture-free) node type; used for the
+/// hottest ops whose backward reads everything from `input(i)`.
+template <typename NodeT, typename... Args>
+Tensor record_typed(Tensor out, const Tensor* inputs, std::size_t n,
+                    Args&&... args) {
+  if (!detail::wants_grad(inputs, n)) return out;
+  auto node = make_arena_node<NodeT>(std::forward<Args>(args)...);
+  return detail::attach(std::move(out), std::move(node), inputs, n);
+}
 
 /// d(output)/d(inputs). `output` need not be scalar if `grad_output` is
 /// supplied (vector-Jacobian product). Only gradients for `inputs` are

@@ -207,8 +207,17 @@ constexpr int64_t kTileN = 512;
 
 void matmul(const real* a, const real* b, const real* bias, real* out,
             int64_t m, int64_t k, int64_t n) {
+  // Tiling gate: block only when b overflows one tile's cache footprint
+  // (k*n > kTileK*kTileN elements = 256 KiB). Narrow GEMMs — the
+  // width-64 shapes of the fig8 inference path and their k-heavy
+  // training backwards — keep the fused i-k-j loop, whose single pass
+  // over `out` beats two whenever b is already cache-resident. The two
+  // paths accumulate in the same kk order, so results are bitwise
+  // identical regardless of which one runs. Decided once, outside the
+  // worker lambda, so the hot loops compile unperturbed.
+  const bool b_fits_one_tile = k * n <= kTileK * kTileN;
   parallel_for(m, k * n, [&](int64_t begin, int64_t end) {
-    if (k <= kTileK && n <= kTileN) {
+    if (b_fits_one_tile) {
       // b fits one tile: the fused i-k-j loop (unit-stride inner loops)
       // already keeps b hot, and one pass over out beats two.
       for (int64_t i = begin; i < end; ++i) {

@@ -25,13 +25,94 @@ Tensor elementwise_binary_fwd(const Tensor& a, const Tensor& b, F&& f) {
   return out;
 }
 
-template <typename F>
-Tensor elementwise_unary(const Tensor& a, const std::string& name, F&& f,
-                         LambdaNode::BackwardFn backward) {
+template <typename F, typename B>
+Tensor elementwise_unary(const Tensor& a, const char* name, F&& f, B&& backward) {
   Tensor out = Tensor::zeros(a.shape());
   kernels::map_unary(a.data(), out.data(), a.numel(), f);
-  return record(std::move(out), name, {a}, std::move(backward));
+  return record(std::move(out), name, {a}, std::forward<B>(backward));
 }
+
+// ---- typed tape nodes for the hottest ops ----
+//
+// These carry no captured state: everything the backward needs is read
+// from the stored inputs, so recording one is a single arena bump with no
+// shape copies or closures.
+
+struct AddNode final : Node {
+  AddNode() : Node("add") {}
+  std::vector<Tensor> backward(const Tensor& g,
+                               const std::vector<bool>& needs) override {
+    std::vector<Tensor> gs(2);
+    if (needs[0]) gs[0] = reduce_to(g, input(0).shape());
+    if (needs[1]) gs[1] = reduce_to(g, input(1).shape());
+    return gs;
+  }
+};
+
+struct MulNode final : Node {
+  MulNode() : Node("mul") {}
+  std::vector<Tensor> backward(const Tensor& g,
+                               const std::vector<bool>& needs) override {
+    std::vector<Tensor> gs(2);
+    if (needs[0]) gs[0] = reduce_to(mul(g, input(1)), input(0).shape());
+    if (needs[1]) gs[1] = reduce_to(mul(g, input(0)), input(1).shape());
+    return gs;
+  }
+};
+
+struct MatmulNode final : Node {
+  MatmulNode() : Node("matmul") {}
+  std::vector<Tensor> backward(const Tensor& g,
+                               const std::vector<bool>& needs) override {
+    const Tensor& a = input(0);
+    const Tensor& b = input(1);
+    std::vector<Tensor> gs(2);
+    if (needs[0]) gs[0] = matmul(g, transpose(b));
+    if (needs[1]) {
+      Tensor a2 = reshape(a, {-1, a.size(-1)});
+      Tensor g2 = reshape(g, {a2.size(0), -1});
+      gs[1] = matmul(transpose(a2), g2);
+    }
+    return gs;
+  }
+};
+
+struct LinearNode final : Node {
+  LinearNode() : Node("linear") {}
+  std::vector<Tensor> backward(const Tensor& g,
+                               const std::vector<bool>& needs) override {
+    const Tensor& x = input(0);
+    const Tensor& w = input(1);
+    const bool has_bias = num_inputs() == 3;
+    std::vector<Tensor> gs(has_bias ? 3 : 2);
+    if (needs[0]) gs[0] = matmul(g, transpose(w));
+    if (needs[1]) {
+      Tensor x2 = reshape(x, {-1, x.size(-1)});
+      Tensor g2 = reshape(g, {x2.size(0), -1});
+      gs[1] = matmul(transpose(x2), g2);
+    }
+    if (has_bias && needs[2]) gs[2] = reduce_to(g, input(2).shape());
+    return gs;
+  }
+};
+
+struct GeluNode final : Node {
+  GeluNode() : Node("gelu") {}
+  std::vector<Tensor> backward(const Tensor& g,
+                               const std::vector<bool>&) override {
+    const Tensor& a = input(0);
+    Tensor x2 = mul(a, a);
+    Tensor u = mul_scalar(add(a, mul_scalar(mul(x2, a), 0.044715)), kGeluCoeff);
+    Tensor t = tanh(u);
+    // du/dx = sqrt(2/pi) * (1 + 3 * 0.044715 x^2)
+    Tensor dudx = mul_scalar(add_scalar(mul_scalar(x2, 3 * 0.044715), 1.0),
+                             kGeluCoeff);
+    Tensor sech2 = add_scalar(neg(mul(t, t)), 1.0);
+    Tensor d = add(mul_scalar(add_scalar(t, 1.0), 0.5),
+                   mul_scalar(mul(mul(a, sech2), dudx), 0.5));
+    return std::vector<Tensor>{mul(g, d)};
+  }
+};
 
 }  // namespace
 
@@ -99,7 +180,7 @@ Tensor reshape(const Tensor& t, const Shape& shape) {
     throw std::invalid_argument("reshape: cannot view " + shape_str(t.shape()) +
                                 " as " + shape_str(resolved));
   }
-  Tensor out = Tensor::from_vector(t.vec(), resolved);
+  Tensor out = Tensor::from_data(t.data(), resolved);
   const Shape orig = t.shape();
   return record(std::move(out), "reshape", {t},
                 [orig](const Tensor& g, const std::vector<bool>&) {
@@ -120,14 +201,8 @@ Tensor transpose(const Tensor& t) {
 
 Tensor add(const Tensor& a, const Tensor& b) {
   Tensor out = elementwise_binary_fwd(a, b, [](real x, real y) { return x + y; });
-  const Shape sa = a.shape(), sb = b.shape();
-  return record(std::move(out), "add", {a, b},
-                [sa, sb](const Tensor& g, const std::vector<bool>& needs) {
-                  std::vector<Tensor> gs(2);
-                  if (needs[0]) gs[0] = reduce_to(g, sa);
-                  if (needs[1]) gs[1] = reduce_to(g, sb);
-                  return gs;
-                });
+  const Tensor ins[2] = {a, b};
+  return record_typed<AddNode>(std::move(out), ins, 2);
 }
 
 Tensor sub(const Tensor& a, const Tensor& b) {
@@ -144,14 +219,8 @@ Tensor sub(const Tensor& a, const Tensor& b) {
 
 Tensor mul(const Tensor& a, const Tensor& b) {
   Tensor out = elementwise_binary_fwd(a, b, [](real x, real y) { return x * y; });
-  const Shape sa = a.shape(), sb = b.shape();
-  return record(std::move(out), "mul", {a, b},
-                [a, b, sa, sb](const Tensor& g, const std::vector<bool>& needs) {
-                  std::vector<Tensor> gs(2);
-                  if (needs[0]) gs[0] = reduce_to(mul(g, b), sa);
-                  if (needs[1]) gs[1] = reduce_to(mul(g, a), sb);
-                  return gs;
-                });
+  const Tensor ins[2] = {a, b};
+  return record_typed<MulNode>(std::move(out), ins, 2);
 }
 
 Tensor div(const Tensor& a, const Tensor& b) {
@@ -253,25 +322,14 @@ Tensor square(const Tensor& a) { return mul(a, a); }
 Tensor gelu(const Tensor& a) {
   // 0.5 * x * (1 + tanh(sqrt(2/pi) * (x + 0.044715 x^3))), fused into one
   // pass. The backward is compositional (recorded ops), so all higher
-  // derivatives of the PDE loss still exist.
-  return elementwise_unary(
-      a, "gelu",
-      [](real x) {
-        const real u = kGeluCoeff * (x + 0.044715 * x * x * x);
-        return 0.5 * x * (1.0 + std::tanh(u));
-      },
-      [a](const Tensor& g, const std::vector<bool>&) {
-        Tensor x2 = mul(a, a);
-        Tensor u = mul_scalar(add(a, mul_scalar(mul(x2, a), 0.044715)), kGeluCoeff);
-        Tensor t = tanh(u);
-        // du/dx = sqrt(2/pi) * (1 + 3 * 0.044715 x^2)
-        Tensor dudx = mul_scalar(add_scalar(mul_scalar(x2, 3 * 0.044715), 1.0),
-                                 kGeluCoeff);
-        Tensor sech2 = add_scalar(neg(mul(t, t)), 1.0);
-        Tensor d = add(mul_scalar(add_scalar(t, 1.0), 0.5),
-                       mul_scalar(mul(mul(a, sech2), dudx), 0.5));
-        return std::vector<Tensor>{mul(g, d)};
-      });
+  // derivatives of the PDE loss still work (see GeluNode).
+  Tensor out = Tensor::zeros(a.shape());
+  kernels::map_unary(a.data(), out.data(), a.numel(), [](real x) {
+    const real u = kGeluCoeff * (x + 0.044715 * x * x * x);
+    return 0.5 * x * (1.0 + std::tanh(u));
+  });
+  const Tensor ins[1] = {a};
+  return record_typed<GeluNode>(std::move(out), ins, 1);
 }
 
 Tensor sigmoid(const Tensor& a) {
@@ -333,17 +391,8 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   out_shape.back() = n;
   Tensor out = Tensor::zeros(out_shape);
   kernels::matmul(a.data(), b.data(), /*bias=*/nullptr, out.data(), m, k, n);
-  return record(std::move(out), "matmul", {a, b},
-                [a, b, k](const Tensor& g, const std::vector<bool>& needs) {
-                  std::vector<Tensor> gs(2);
-                  if (needs[0]) gs[0] = matmul(g, transpose(b));
-                  if (needs[1]) {
-                    Tensor a2 = reshape(a, {-1, k});
-                    Tensor g2 = reshape(g, {a2.size(0), -1});
-                    gs[1] = matmul(transpose(a2), g2);
-                  }
-                  return gs;
-                });
+  const Tensor ins[2] = {a, b};
+  return record_typed<MatmulNode>(std::move(out), ins, 2);
 }
 
 Tensor linear(const Tensor& x, const Tensor& w, const Tensor& b) {
@@ -365,23 +414,9 @@ Tensor linear(const Tensor& x, const Tensor& w, const Tensor& b) {
   Tensor out = Tensor::zeros(out_shape);
   kernels::matmul(x.data(), w.data(), b.defined() ? b.data() : nullptr,
                   out.data(), m, k, n);
-  std::vector<Tensor> ins = {x, w};
-  if (b.defined()) ins.push_back(b);
-  const bool has_bias = b.defined();
-  const Shape bias_shape = has_bias ? b.shape() : Shape{};
-  return record(std::move(out), "linear", std::move(ins),
-                [x, w, k, has_bias, bias_shape](const Tensor& g,
-                                                const std::vector<bool>& needs) {
-                  std::vector<Tensor> gs(has_bias ? 3 : 2);
-                  if (needs[0]) gs[0] = matmul(g, transpose(w));
-                  if (needs[1]) {
-                    Tensor x2 = reshape(x, {-1, k});
-                    Tensor g2 = reshape(g, {x2.size(0), -1});
-                    gs[1] = matmul(transpose(x2), g2);
-                  }
-                  if (has_bias && needs[2]) gs[2] = reduce_to(g, bias_shape);
-                  return gs;
-                });
+  const Tensor ins[3] = {x, w, b};
+  return record_typed<LinearNode>(std::move(out), ins,
+                                  b.defined() ? std::size_t{3} : std::size_t{2});
 }
 
 Tensor slice(const Tensor& t, int64_t axis, int64_t start, int64_t len) {
@@ -478,35 +513,35 @@ Tensor conv1d(const Tensor& input, const Tensor& weight, const Tensor& bias,
   kernels::conv1d_forward(input.data(), weight.data(),
                           bias.defined() ? bias.data() : nullptr, out.data(), B,
                           Cin, L, Cout, K, padding);
-  std::vector<Tensor> ins = {input, weight};
-  if (bias.defined()) ins.push_back(bias);
   const bool has_bias = bias.defined();
-  return record(
-      std::move(out), "conv1d", ins,
-      [input, weight, padding, B, Cin, L, Cout, K, has_bias](
-          const Tensor& g, const std::vector<bool>& needs) {
-        // First-order only: these gradients do not record further graph.
-        std::vector<Tensor> gs(has_bias ? 3 : 2);
-        if (needs[0]) {
-          Tensor gi = Tensor::zeros({B, Cin, L});
-          kernels::conv1d_grad_input(g.data(), weight.data(), gi.data(), B, Cin,
-                                     L, Cout, K, padding);
-          gs[0] = gi;
-        }
-        if (needs[1]) {
-          Tensor gw = Tensor::zeros({Cout, Cin, K});
-          kernels::conv1d_grad_weight(g.data(), input.data(), gw.data(), B, Cin,
-                                      L, Cout, K, padding);
-          gs[1] = gw;
-        }
-        if (has_bias && needs[2]) {
-          Tensor gb = Tensor::zeros({Cout});
-          kernels::conv1d_grad_bias(g.data(), gb.data(), g.size(0), Cout,
-                                    g.size(2));
-          gs[2] = gb;
-        }
-        return gs;
-      });
+  const Tensor ins[3] = {input, weight, bias};
+  auto backward_fn = [input, weight, padding, B, Cin, L, Cout, K, has_bias](
+                         const Tensor& g, const std::vector<bool>& needs) {
+    // First-order only: these gradients do not record further graph.
+    std::vector<Tensor> gs(has_bias ? 3 : 2);
+    if (needs[0]) {
+      Tensor gi = Tensor::zeros({B, Cin, L});
+      kernels::conv1d_grad_input(g.data(), weight.data(), gi.data(), B, Cin,
+                                 L, Cout, K, padding);
+      gs[0] = gi;
+    }
+    if (needs[1]) {
+      Tensor gw = Tensor::zeros({Cout, Cin, K});
+      kernels::conv1d_grad_weight(g.data(), input.data(), gw.data(), B, Cin,
+                                  L, Cout, K, padding);
+      gs[1] = gw;
+    }
+    if (has_bias && needs[2]) {
+      Tensor gb = Tensor::zeros({Cout});
+      kernels::conv1d_grad_bias(g.data(), gb.data(), g.size(0), Cout,
+                                g.size(2));
+      gs[2] = gb;
+    }
+    return gs;
+  };
+  return record(std::move(out), "conv1d", ins,
+                has_bias ? std::size_t{3} : std::size_t{2},
+                std::move(backward_fn));
 }
 
 real reduce_max_abs(const Tensor& t) {

@@ -1,0 +1,199 @@
+#include "ad/pool.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <unordered_map>
+
+namespace mf::ad {
+
+namespace {
+
+// Caps keep a runaway workload from hoarding memory: at most this many
+// buffers per size bucket, and at most a byte budget per thread
+// (MF_POOL_BUDGET_MB overrides). Evicted buffers are simply freed.
+// A single PDE-loss step can retain hundreds of same-shaped activations
+// at once, all released together when the step's graphs die; the bucket
+// must absorb that burst or the next step misses. The byte budget is the
+// real cap.
+constexpr std::size_t kMaxPerBucket = 1024;
+
+std::size_t thread_budget_bytes() {
+  static const std::size_t budget = [] {
+    const char* env = std::getenv("MF_POOL_BUDGET_MB");
+    const long mb = env ? std::atol(env) : 256;
+    return static_cast<std::size_t>(mb > 0 ? mb : 256) * std::size_t{1024} * 1024;
+  }();
+  return budget;
+}
+
+std::atomic<bool> g_enabled{[] {
+  const char* env = std::getenv("MF_DISABLE_POOL");
+  return !(env && env[0] == '1');
+}()};
+
+// Relaxed global counters: one increment per payload event, comparable to
+// the MemoryTracker atomics that already sit on this path.
+std::atomic<std::uint64_t> g_hits{0}, g_misses{0}, g_adopted{0}, g_returned{0},
+    g_dropped{0};
+std::atomic<std::size_t> g_idle_bytes{0};
+
+// Trivially-destructible flag, so it stays readable through the whole
+// thread-exit destructor sequence. Guards against tensors owned by other
+// thread_local objects (e.g. predictor scratch) whose destructors run
+// *after* the cache's and would otherwise release into a dead map.
+thread_local bool t_cache_dead = false;
+
+struct Bucket {
+  std::vector<std::vector<real>> free;
+  std::uint64_t last_use = 0;  // thread-local tick of the last hit/park
+};
+
+struct ThreadCache {
+  // capacity (in elements) -> parked buffers with exactly that capacity.
+  std::unordered_map<std::size_t, Bucket> buckets;
+  std::size_t idle_bytes = 0;
+  std::uint64_t tick = 0;
+
+  ~ThreadCache() {
+    g_idle_bytes.fetch_sub(idle_bytes, std::memory_order_relaxed);
+    t_cache_dead = true;
+  }
+
+  void drop_bucket(std::unordered_map<std::size_t, Bucket>::iterator it) {
+    std::size_t freed = 0;
+    for (const auto& v : it->second.free) freed += v.capacity() * sizeof(real);
+    idle_bytes -= freed;
+    g_idle_bytes.fetch_sub(freed, std::memory_order_relaxed);
+    buckets.erase(it);
+  }
+
+  /// Free the least-recently-used bucket (a workload that changed tensor
+  /// shapes left it behind); returns false when there is nothing to evict.
+  bool evict_coldest() {
+    auto coldest = buckets.end();
+    for (auto it = buckets.begin(); it != buckets.end(); ++it) {
+      if (coldest == buckets.end() || it->second.last_use < coldest->second.last_use) {
+        coldest = it;
+      }
+    }
+    if (coldest == buckets.end()) return false;
+    drop_bucket(coldest);
+    return true;
+  }
+};
+
+ThreadCache& cache() {
+  thread_local ThreadCache c;
+  return c;
+}
+
+// Pop a parked buffer with capacity exactly n, or an empty vector.
+std::vector<real> try_pop(std::size_t n) {
+  if (t_cache_dead) return {};
+  ThreadCache& c = cache();
+  auto it = c.buckets.find(n);
+  if (it == c.buckets.end()) return {};
+  std::vector<real> v = std::move(it->second.free.back());
+  it->second.free.pop_back();
+  it->second.last_use = ++c.tick;
+  if (it->second.free.empty()) c.buckets.erase(it);  // keep the map tight
+  const std::size_t bytes = v.capacity() * sizeof(real);
+  c.idle_bytes -= bytes;
+  g_idle_bytes.fetch_sub(bytes, std::memory_order_relaxed);
+  return v;
+}
+
+}  // namespace
+
+std::vector<real> PayloadPool::acquire_zeroed(std::size_t n) {
+  if (!enabled() || n == 0) return std::vector<real>(n, real{0});
+  std::vector<real> v = try_pop(n);
+  if (v.capacity() >= n) {
+    g_hits.fetch_add(1, std::memory_order_relaxed);
+    v.assign(n, real{0});  // capacity suffices: fill only, no realloc
+    return v;
+  }
+  g_misses.fetch_add(1, std::memory_order_relaxed);
+  return std::vector<real>(n, real{0});
+}
+
+std::vector<real> PayloadPool::acquire_copy(const real* src, std::size_t n) {
+  if (!enabled() || n == 0) return std::vector<real>(src, src + n);
+  std::vector<real> v = try_pop(n);
+  if (v.capacity() >= n) {
+    g_hits.fetch_add(1, std::memory_order_relaxed);
+    v.assign(src, src + n);
+    return v;
+  }
+  g_misses.fetch_add(1, std::memory_order_relaxed);
+  return std::vector<real>(src, src + n);
+}
+
+void PayloadPool::release(std::vector<real>&& v) {
+  const std::size_t cap = v.capacity();
+  if (cap == 0) return;
+  if (!enabled() || t_cache_dead) {
+    g_dropped.fetch_add(1, std::memory_order_relaxed);
+    return;  // v destructs, buffer freed — pre-pool behavior
+  }
+  ThreadCache& c = cache();
+  const std::size_t bytes = cap * sizeof(real);
+  {
+    auto it = c.buckets.find(cap);  // no empty entry for rejected parks
+    if (it != c.buckets.end() && it->second.free.size() >= kMaxPerBucket) {
+      g_dropped.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+  }
+  // Over budget: reclaim cold buckets (shapes a previous phase used and
+  // abandoned) before giving up on parking this one.
+  while (c.idle_bytes + bytes > thread_budget_bytes()) {
+    if (!c.evict_coldest()) break;
+  }
+  if (c.idle_bytes + bytes > thread_budget_bytes()) {
+    g_dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  Bucket& bucket = c.buckets[cap];
+  bucket.free.push_back(std::move(v));
+  bucket.last_use = ++c.tick;
+  c.idle_bytes += bytes;
+  g_idle_bytes.fetch_add(bytes, std::memory_order_relaxed);
+  g_returned.fetch_add(1, std::memory_order_relaxed);
+}
+
+void PayloadPool::note_adopted() {
+  g_adopted.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool PayloadPool::enabled() {
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+bool PayloadPool::set_enabled(bool on) {
+  return g_enabled.exchange(on, std::memory_order_relaxed);
+}
+
+PoolStats PayloadPool::stats() {
+  PoolStats s;
+  s.hits = g_hits.load(std::memory_order_relaxed);
+  s.misses = g_misses.load(std::memory_order_relaxed);
+  s.adopted = g_adopted.load(std::memory_order_relaxed);
+  s.returned = g_returned.load(std::memory_order_relaxed);
+  s.dropped = g_dropped.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::size_t PayloadPool::idle_bytes() {
+  return g_idle_bytes.load(std::memory_order_relaxed);
+}
+
+void PayloadPool::trim_thread_cache() {
+  if (t_cache_dead) return;
+  ThreadCache& c = cache();
+  g_idle_bytes.fetch_sub(c.idle_bytes, std::memory_order_relaxed);
+  c.idle_bytes = 0;
+  c.buckets.clear();
+}
+
+}  // namespace mf::ad

@@ -1,0 +1,65 @@
+// Size-bucketed free-list pool for tensor payloads.
+//
+// The training and inference hot loops allocate the same tensor shapes
+// every step (fixed batch geometry), so instead of a fresh `new[]` per
+// payload the pool parks dying `std::vector<real>` buffers on a
+// thread-local free list keyed by capacity and hands them back on the next
+// allocation of the same size. After a warmup step the steady state
+// performs zero payload mallocs.
+//
+// Accounting: MemoryTracker's live/peak numbers are unchanged by pooling —
+// a pooled buffer counts as live only while a TensorImpl owns it. Bytes
+// parked on free lists are tracked separately (`idle_bytes`), so the
+// Table 3 memory methodology stays honest.
+//
+// Escape hatch: MF_DISABLE_POOL=1 (or set_enabled(false)) bypasses the
+// pool entirely and reproduces the pre-pool allocation behavior
+// bit-for-bit.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mf::ad {
+
+using real = double;
+
+/// Cumulative counters, aggregated over all threads since process start.
+struct PoolStats {
+  std::uint64_t hits = 0;      // payloads served from a free list
+  std::uint64_t misses = 0;    // fresh heap allocations
+  std::uint64_t adopted = 0;   // caller-built vectors adopted by a TensorImpl
+  std::uint64_t returned = 0;  // payloads parked on a free list at death
+  std::uint64_t dropped = 0;   // payloads freed (pool full or disabled)
+
+  /// Fresh heap work: everything that was not served from a free list.
+  std::uint64_t fresh_allocs() const { return misses; }
+};
+
+class PayloadPool {
+ public:
+  /// Buffer of n elements, zero-filled (recycled when possible).
+  static std::vector<real> acquire_zeroed(std::size_t n);
+  /// Buffer holding a copy of [src, src + n) (recycled when possible).
+  static std::vector<real> acquire_copy(const real* src, std::size_t n);
+  /// Park a dying payload on this thread's free list (or free it).
+  static void release(std::vector<real>&& v);
+  /// Count a caller-built vector adopted as-is (from_vector path).
+  static void note_adopted();
+
+  static bool enabled();
+  /// Override the MF_DISABLE_POOL default (tests / benchmarks). Returns
+  /// the previous setting. Disabling does not flush existing caches;
+  /// call trim_thread_cache() for bit-exact allocator behavior.
+  static bool set_enabled(bool on);
+
+  static PoolStats stats();
+  /// Bytes currently parked on free lists across all threads (idle, not
+  /// owned by any tensor; disjoint from MemoryTracker::live_bytes()).
+  static std::size_t idle_bytes();
+  /// Drop every buffer cached by the calling thread.
+  static void trim_thread_cache();
+};
+
+}  // namespace mf::ad

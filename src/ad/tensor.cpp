@@ -3,6 +3,8 @@
 #include <numeric>
 #include <sstream>
 
+#include "ad/pool.hpp"
+
 namespace mf::ad {
 
 int64_t numel_of(const Shape& shape) {
@@ -47,8 +49,13 @@ void MemoryTracker::on_free(std::size_t bytes) { live_.fetch_sub(bytes); }
 
 void MemoryTracker::reset_peak() { peak_.store(live_.load()); }
 
+std::size_t MemoryTracker::pooled_idle_bytes() const {
+  return PayloadPool::idle_bytes();
+}
+
 TensorImpl::TensorImpl(Shape shape_in)
-    : data(static_cast<std::size_t>(numel_of(shape_in)), real{0}),
+    : data(PayloadPool::acquire_zeroed(
+          static_cast<std::size_t>(numel_of(shape_in)))),
       shape(std::move(shape_in)) {
   MemoryTracker::instance().on_alloc(data.size() * sizeof(real));
 }
@@ -59,11 +66,20 @@ TensorImpl::TensorImpl(Shape shape_in, std::vector<real> values)
     throw std::invalid_argument("TensorImpl: data size does not match shape " +
                                 shape_str(shape));
   }
+  PayloadPool::note_adopted();
+  MemoryTracker::instance().on_alloc(data.size() * sizeof(real));
+}
+
+TensorImpl::TensorImpl(Shape shape_in, const real* src)
+    : data(PayloadPool::acquire_copy(
+          src, static_cast<std::size_t>(numel_of(shape_in)))),
+      shape(std::move(shape_in)) {
   MemoryTracker::instance().on_alloc(data.size() * sizeof(real));
 }
 
 TensorImpl::~TensorImpl() {
   MemoryTracker::instance().on_free(data.size() * sizeof(real));
+  PayloadPool::release(std::move(data));
 }
 
 Tensor Tensor::zeros(const Shape& shape) {
@@ -80,6 +96,10 @@ Tensor Tensor::full(const Shape& shape, real value) {
 
 Tensor Tensor::from_vector(std::vector<real> values, const Shape& shape) {
   return Tensor(std::make_shared<TensorImpl>(shape, std::move(values)));
+}
+
+Tensor Tensor::from_data(const real* src, const Shape& shape) {
+  return Tensor(std::make_shared<TensorImpl>(shape, src));
 }
 
 Tensor Tensor::scalar(real value) { return full({}, value); }
@@ -132,8 +152,7 @@ void Tensor::set_grad(const Tensor& g) { impl_->grad = g.impl(); }
 void Tensor::zero_grad() { impl_->grad.reset(); }
 
 Tensor Tensor::detach() const {
-  auto impl = std::make_shared<TensorImpl>(impl_->shape, impl_->data);
-  return Tensor(std::move(impl));
+  return from_data(impl_->data.data(), impl_->shape);
 }
 
 Tensor Tensor::clone() const { return detach(); }

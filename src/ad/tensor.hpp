@@ -41,6 +41,11 @@ std::vector<int64_t> strides_of(const Shape& shape);
 
 /// Global accounting of live tensor payload bytes. Reproduces the
 /// methodology of Table 3: peak memory during forward+loss+backward.
+///
+/// Payload pooling (see pool.hpp) does not perturb these numbers: a
+/// buffer counts as live exactly while a TensorImpl owns it, whether it
+/// came from the pool or from the heap. Bytes parked on free lists are
+/// reported separately via pooled_idle_bytes().
 class MemoryTracker {
  public:
   static MemoryTracker& instance();
@@ -54,6 +59,10 @@ class MemoryTracker {
   std::size_t peak_bytes() const { return peak_.load(); }
   void reset_peak();
 
+  /// Bytes held idle by the payload pool (not owned by any tensor;
+  /// disjoint from live_bytes). Forwards to PayloadPool::idle_bytes().
+  std::size_t pooled_idle_bytes() const;
+
  private:
   std::atomic<std::size_t> live_{0};
   std::atomic<std::size_t> peak_{0};
@@ -62,10 +71,14 @@ class MemoryTracker {
 struct Node;  // defined in engine.hpp
 
 /// Shared payload of a Tensor. Allocation and deallocation are reported to
-/// the MemoryTracker.
+/// the MemoryTracker; the backing buffer is recycled through the
+/// PayloadPool (pool.hpp) so steady-state hot loops perform no payload
+/// mallocs after warmup.
 struct TensorImpl {
   explicit TensorImpl(Shape shape);
   TensorImpl(Shape shape, std::vector<real> values);
+  /// Pooled copy of [src, src + numel(shape)).
+  TensorImpl(Shape shape, const real* src);
   ~TensorImpl();
 
   TensorImpl(const TensorImpl&) = delete;
@@ -89,6 +102,9 @@ class Tensor {
   static Tensor ones(const Shape& shape);
   static Tensor full(const Shape& shape, real value);
   static Tensor from_vector(std::vector<real> values, const Shape& shape);
+  /// Pooled copy of an existing buffer (used by reshape/detach/clone so
+  /// they recycle payloads instead of allocating fresh vectors).
+  static Tensor from_data(const real* src, const Shape& shape);
   static Tensor scalar(real value);
 
   // ---- basic queries ----

@@ -188,7 +188,11 @@ DistMfpResult distributed_mosaic_predict(
     std::vector<std::pair<int64_t, int64_t>> tiles;
     for (int64_t gy = L.oy0; gy + m <= L.oy1; gy += m)
       for (int64_t gx = L.ox0; gx + m <= L.ox1; gx += m) tiles.emplace_back(gx, gy);
-    std::vector<std::vector<double>> boundaries(tiles.size());
+    // Per-rank-thread reusable gather/scatter buffers (shared with the
+    // per-iteration phase updates above).
+    PhaseScratch& scratch = phase_scratch();
+    std::vector<std::vector<double>>& boundaries = scratch.boundaries;
+    boundaries.resize(tiles.size());
     util::StopwatchAccum inf_time, io_time;
     {
       util::ScopedCpuTimer t(io_time);
@@ -197,12 +201,12 @@ DistMfpResult distributed_mosaic_predict(
           [&](int64_t begin, int64_t end) {
             for (int64_t b = begin; b < end; ++b) {
               const auto [gx, gy] = tiles[static_cast<std::size_t>(b)];
-              boundaries[static_cast<std::size_t>(b)] =
-                  subdomain_boundary(window, geom, gx, gy);
+              subdomain_boundary_into(window, geom, gx, gy,
+                                      boundaries[static_cast<std::size_t>(b)]);
             }
           });
     }
-    std::vector<std::vector<double>> interiors;
+    std::vector<std::vector<double>>& interiors = scratch.predictions;
     {
       util::ScopedCpuTimer t(inf_time);
       solver.predict(boundaries, geom.interior_queries, interiors);

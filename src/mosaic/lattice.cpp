@@ -40,14 +40,27 @@ LatticeWindow::LatticeWindow(int64_t x0, int64_t y0, int64_t x1, int64_t y1)
 std::vector<double> subdomain_boundary(const LatticeWindow& window,
                                        const SubdomainGeometry& geom,
                                        int64_t gx, int64_t gy) {
-  const int64_t m = geom.m;
-  std::vector<double> b(static_cast<std::size_t>(4 * m));
-  int64_t k = 0;
-  for (int64_t i = 0; i < m; ++i) b[static_cast<std::size_t>(k++)] = window.at(gx + i, gy);
-  for (int64_t j = 0; j < m; ++j) b[static_cast<std::size_t>(k++)] = window.at(gx + m, gy + j);
-  for (int64_t i = m; i > 0; --i) b[static_cast<std::size_t>(k++)] = window.at(gx + i, gy + m);
-  for (int64_t j = m; j > 0; --j) b[static_cast<std::size_t>(k++)] = window.at(gx, gy + j);
+  std::vector<double> b;
+  subdomain_boundary_into(window, geom, gx, gy, b);
   return b;
+}
+
+void subdomain_boundary_into(const LatticeWindow& window,
+                             const SubdomainGeometry& geom, int64_t gx,
+                             int64_t gy, std::vector<double>& out) {
+  const int64_t m = geom.m;
+  out.resize(static_cast<std::size_t>(4 * m));
+  double* b = out.data();
+  int64_t k = 0;
+  for (int64_t i = 0; i < m; ++i) b[k++] = window.at(gx + i, gy);
+  for (int64_t j = 0; j < m; ++j) b[k++] = window.at(gx + m, gy + j);
+  for (int64_t i = m; i > 0; --i) b[k++] = window.at(gx + i, gy + m);
+  for (int64_t j = m; j > 0; --j) b[k++] = window.at(gx, gy + j);
+}
+
+PhaseScratch& phase_scratch() {
+  thread_local PhaseScratch scratch;
+  return scratch;
 }
 
 PhaseResult update_subdomains(
@@ -59,7 +72,11 @@ PhaseResult update_subdomains(
   if (corners.empty()) return result;
 
   util::StopwatchAccum io_time, inf_time;
-  std::vector<std::vector<double>> boundaries(corners.size());
+  // Reused across iterations: inner-buffer capacities survive the resize,
+  // so the steady-state gather performs no allocations.
+  PhaseScratch& scratch = phase_scratch();
+  std::vector<std::vector<double>>& boundaries = scratch.boundaries;
+  boundaries.resize(corners.size());
   {
     util::ScopedCpuTimer t(io_time);
     // Read-only gather from the shared window; subdomains are independent.
@@ -68,13 +85,13 @@ PhaseResult update_subdomains(
         [&](int64_t begin, int64_t end) {
           for (int64_t b = begin; b < end; ++b) {
             const auto [gx, gy] = corners[static_cast<std::size_t>(b)];
-            boundaries[static_cast<std::size_t>(b)] =
-                subdomain_boundary(window, geom, gx, gy);
+            subdomain_boundary_into(window, geom, gx, gy,
+                                    boundaries[static_cast<std::size_t>(b)]);
           }
         });
   }
 
-  std::vector<std::vector<double>> predictions;
+  std::vector<std::vector<double>>& predictions = scratch.predictions;
   {
     util::ScopedCpuTimer t(inf_time);
     if (batched) {
@@ -82,7 +99,8 @@ PhaseResult update_subdomains(
     } else {
       predictions.resize(corners.size());
       for (std::size_t b = 0; b < corners.size(); ++b) {
-        predictions[b] = solver.predict_one(boundaries[b], geom.cross_queries);
+        solver.predict_one_into(boundaries[b], geom.cross_queries,
+                                predictions[b]);
       }
     }
   }

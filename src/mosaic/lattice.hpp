@@ -87,6 +87,22 @@ std::vector<double> subdomain_boundary(const LatticeWindow& window,
                                        const SubdomainGeometry& geom,
                                        int64_t gx, int64_t gy);
 
+/// In-place variant: fills `out` (resized to 4m) without surrendering its
+/// capacity, so per-iteration gather loops reuse one buffer per slot.
+void subdomain_boundary_into(const LatticeWindow& window,
+                             const SubdomainGeometry& geom, int64_t gx,
+                             int64_t gy, std::vector<double>& out);
+
+/// Reusable gather/scatter buffers for the phase-update and interior
+/// prediction loops. Thread-local: each comm rank thread gets its own, and
+/// buffer capacities persist across iterations / Schwarz cycles so the
+/// steady state performs no allocations in the boundary-I/O path.
+struct PhaseScratch {
+  std::vector<std::vector<double>> boundaries;
+  std::vector<std::vector<double>> predictions;
+};
+PhaseScratch& phase_scratch();
+
 /// Solve every subdomain in `corners` with `solver` and write the
 /// center-cross predictions back into the window. `batched == false`
 /// reproduces the paper's unbatched baseline (one SDNet call per

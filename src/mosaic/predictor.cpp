@@ -87,7 +87,10 @@ MfpResult mosaic_predict(const SubdomainSolver& solver, int64_t nx_cells,
     std::vector<std::pair<int64_t, int64_t>> tiles;
     for (int64_t gy = 0; gy + m <= ny_cells; gy += m)
       for (int64_t gx = 0; gx + m <= nx_cells; gx += m) tiles.emplace_back(gx, gy);
-    std::vector<std::vector<double>> boundaries(tiles.size());
+    // Same reusable gather/scatter buffers as the phase updates.
+    PhaseScratch& scratch = phase_scratch();
+    std::vector<std::vector<double>>& boundaries = scratch.boundaries;
+    boundaries.resize(tiles.size());
     util::StopwatchAccum io_time, inf_time;
     {
       util::ScopedCpuTimer t(io_time);
@@ -97,12 +100,12 @@ MfpResult mosaic_predict(const SubdomainSolver& solver, int64_t nx_cells,
           [&](int64_t begin, int64_t end) {
             for (int64_t b = begin; b < end; ++b) {
               const auto [gx, gy] = tiles[static_cast<std::size_t>(b)];
-              boundaries[static_cast<std::size_t>(b)] =
-                  subdomain_boundary(window, geom, gx, gy);
+              subdomain_boundary_into(window, geom, gx, gy,
+                                      boundaries[static_cast<std::size_t>(b)]);
             }
           });
     }
-    std::vector<std::vector<double>> interiors;
+    std::vector<std::vector<double>>& interiors = scratch.predictions;
     {
       util::ScopedCpuTimer t(inf_time);
       solver.predict(boundaries, geom.interior_queries, interiors);

@@ -9,11 +9,19 @@
 
 namespace mf::mosaic {
 
+void SubdomainSolver::predict_one_into(const std::vector<double>& boundary,
+                                       const QueryList& queries,
+                                       std::vector<double>& out) const {
+  std::vector<std::vector<double>> batch_out;
+  predict({boundary}, queries, batch_out);
+  out = std::move(batch_out[0]);
+}
+
 std::vector<double> SubdomainSolver::predict_one(
     const std::vector<double>& boundary, const QueryList& queries) const {
-  std::vector<std::vector<double>> out;
-  predict({boundary}, queries, out);
-  return out[0];
+  std::vector<double> out;
+  predict_one_into(boundary, queries, out);
+  return out;
 }
 
 double sample_bilinear(const linalg::Grid2D& g, double qx, double qy) {
@@ -61,14 +69,50 @@ void NeuralSubdomainSolver::predict(
     }
   });
   ad::Tensor pred = net_->predict(g, x);  // [B, q, 1]
-  out.assign(static_cast<std::size_t>(B),
-             std::vector<double>(static_cast<std::size_t>(q)));
+  // Resize (not assign) so caller-recycled buffers keep their capacity.
+  out.resize(static_cast<std::size_t>(B));
   ad::kernels::parallel_for(B, q, [&](int64_t begin, int64_t end) {
-    for (int64_t b = begin; b < end; ++b)
+    for (int64_t b = begin; b < end; ++b) {
+      auto& row = out[static_cast<std::size_t>(b)];
+      row.resize(static_cast<std::size_t>(q));
       for (int64_t k = 0; k < q; ++k)
-        out[static_cast<std::size_t>(b)][static_cast<std::size_t>(k)] =
-            pred.flat(b * q + k);
+        row[static_cast<std::size_t>(k)] = pred.flat(b * q + k);
+    }
   });
+}
+
+void NeuralSubdomainSolver::predict_one_into(const std::vector<double>& boundary,
+                                             const QueryList& queries,
+                                             std::vector<double>& out) const {
+  const int64_t G = 4 * m_;
+  const int64_t q = static_cast<int64_t>(queries.size());
+  if (static_cast<int64_t>(boundary.size()) != G) {
+    throw std::invalid_argument("predict: boundary size mismatch");
+  }
+  // The unbatched (atomic) baseline calls the network once per subdomain;
+  // rebuilding the [1,G] / [1,q,2] input tensors per call was pure churn.
+  // Keep one pair per thread and refill in place — still exactly one
+  // network call per subdomain. Safe to mutate between calls: predict()
+  // runs under NoGradGuard, so no graph retains these tensors.
+  struct Scratch {
+    int64_t G = -1, q = -1;
+    ad::Tensor g, x;
+  };
+  thread_local Scratch s;
+  if (s.G != G || s.q != q) {
+    s.g = ad::Tensor::zeros({1, G});
+    s.x = ad::Tensor::zeros({1, q, 2});
+    s.G = G;
+    s.q = q;
+  }
+  for (int64_t k = 0; k < G; ++k) s.g.flat(k) = boundary[static_cast<std::size_t>(k)];
+  for (int64_t k = 0; k < q; ++k) {
+    s.x.flat(k * 2 + 0) = queries[static_cast<std::size_t>(k)].first;
+    s.x.flat(k * 2 + 1) = queries[static_cast<std::size_t>(k)].second;
+  }
+  ad::Tensor pred = net_->predict(s.g, s.x);  // [1, q, 1]
+  out.resize(static_cast<std::size_t>(q));
+  for (int64_t k = 0; k < q; ++k) out[static_cast<std::size_t>(k)] = pred.flat(k);
 }
 
 HarmonicKernelSolver::HarmonicKernelSolver(int64_t m) : m_(m) {
@@ -101,7 +145,8 @@ void HarmonicKernelSolver::predict(
     for (std::size_t j = 0; j < q; ++j)
       bq[k * q + j] = basis_value(static_cast<int64_t>(k), queries[j].first,
                                   queries[j].second);
-  out.assign(B, std::vector<double>(q, 0.0));
+  out.resize(B);
+  for (auto& row : out) row.assign(q, 0.0);  // reuse capacity, zero-fill
   // Superposition is independent per subdomain: thread over the batch.
   ad::kernels::parallel_for(
       static_cast<int64_t>(B), static_cast<int64_t>(G * q),
@@ -125,7 +170,8 @@ MultigridSubdomainSolver::MultigridSubdomainSolver(int64_t m, double tol)
 void MultigridSubdomainSolver::predict(
     const std::vector<std::vector<double>>& boundaries, const QueryList& queries,
     std::vector<std::vector<double>>& out) const {
-  out.assign(boundaries.size(), std::vector<double>(queries.size()));
+  out.resize(boundaries.size());
+  for (auto& row : out) row.resize(queries.size());
   for (std::size_t b = 0; b < boundaries.size(); ++b) {
     linalg::Grid2D u(m_ + 1, m_ + 1);
     linalg::apply_perimeter(u, boundaries[b]);

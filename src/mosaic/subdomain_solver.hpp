@@ -32,10 +32,20 @@ class SubdomainSolver {
 
   /// Predict values at `queries` for every boundary in the batch.
   /// out[b][k] = u(queries[k]; boundaries[b]). Implementations may batch
-  /// internally; results must not depend on the batch split.
+  /// internally; results must not depend on the batch split. `out` is
+  /// resized, not reassigned, so callers can recycle its buffers across
+  /// iterations.
   virtual void predict(const std::vector<std::vector<double>>& boundaries,
                        const QueryList& queries,
                        std::vector<std::vector<double>>& out) const = 0;
+
+  /// Single-subdomain call writing into a reusable buffer. The default
+  /// wraps predict(); NeuralSubdomainSolver overrides it to reuse its
+  /// input/output tensors across calls (the paper's unbatched baseline
+  /// stays one-network-call-per-subdomain, just without tensor churn).
+  virtual void predict_one_into(const std::vector<double>& boundary,
+                                const QueryList& queries,
+                                std::vector<double>& out) const;
 
   /// Convenience single-subdomain call.
   std::vector<double> predict_one(const std::vector<double>& boundary,
@@ -52,6 +62,9 @@ class NeuralSubdomainSolver final : public SubdomainSolver {
   void predict(const std::vector<std::vector<double>>& boundaries,
                const QueryList& queries,
                std::vector<std::vector<double>>& out) const override;
+  void predict_one_into(const std::vector<double>& boundary,
+                        const QueryList& queries,
+                        std::vector<double>& out) const override;
 
  private:
   std::shared_ptr<const Sdnet> net_;

@@ -36,10 +36,13 @@ std::pair<double, double> training_step(Sdnet& net, const gp::SdnetBatch& batch,
 void average_gradients(Sdnet& net, comm::Comm& comm) {
   auto params = net.parameters();
   // Pack into one contiguous buffer: one allreduce per iteration (the
-  // paper's communication optimization in Sec. 3.3).
+  // paper's communication optimization in Sec. 3.3). The buffer persists
+  // per rank thread across iterations — assign() refills without
+  // reallocating once warm.
   std::size_t total = 0;
   for (const auto& p : params) total += static_cast<std::size_t>(p.numel());
-  std::vector<double> flat(total, 0.0);
+  thread_local std::vector<double> flat;
+  flat.assign(total, 0.0);
   std::size_t off = 0;
   for (const auto& p : params) {
     Tensor g = p.grad();

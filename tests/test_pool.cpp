@@ -1,0 +1,256 @@
+// Payload pool + tape arena coverage: bitwise pooled-vs-plain parity,
+// MemoryTracker accuracy under pooling (the Table 3 methodology), the
+// zero-steady-state-allocation guarantee, and second-order gradcheck on
+// the arena-backed tape.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "ad/arena.hpp"
+#include "ad/engine.hpp"
+#include "ad/gradcheck.hpp"
+#include "ad/ops.hpp"
+#include "ad/pool.hpp"
+#include "ad/tensor.hpp"
+#include "gp/dataset.hpp"
+#include "mosaic/trainer.hpp"
+#include "optim/optimizers.hpp"
+
+namespace {
+
+using namespace mf;
+using ad::Tensor;
+
+/// Restores the pool toggle on scope exit so tests cannot leak state.
+struct PoolToggleGuard {
+  explicit PoolToggleGuard(bool on) : prev_(ad::PayloadPool::set_enabled(on)) {}
+  ~PoolToggleGuard() { ad::PayloadPool::set_enabled(prev_); }
+  bool prev_;
+};
+
+/// A few seeded PDE-loss training steps; returns every parameter value.
+std::vector<double> run_training(int64_t steps) {
+  util::Rng rng(1234);
+  mosaic::SdnetConfig cfg;
+  cfg.boundary_size = 16;  // m = 4
+  cfg.hidden_width = 16;
+  cfg.mlp_depth = 2;
+  mosaic::Sdnet net(cfg, rng);
+  gp::LaplaceDatasetGenerator gen(4, {}, 77);
+  auto bvps = gen.generate_many(3);
+  mosaic::TrainConfig tc;
+  tc.pde_loss_weight = 0.3;
+  optim::Adam opt(net.parameters(), 1e-3);
+  // Fixed batch so both runs see the identical input stream.
+  auto batch = gen.make_batch(bvps, 8, 6);
+  for (int64_t i = 0; i < steps; ++i) {
+    net.zero_grad();
+    mosaic::training_step(net, batch, tc);
+    opt.step();
+  }
+  std::vector<double> out;
+  for (const auto& p : net.parameters()) {
+    out.insert(out.end(), p.data(), p.data() + p.numel());
+  }
+  return out;
+}
+
+TEST(PayloadPool, PooledVsPlainBitwiseParity) {
+  std::vector<double> pooled, plain;
+  {
+    PoolToggleGuard g(true);
+    pooled = run_training(4);
+  }
+  {
+    PoolToggleGuard g(false);
+    ad::PayloadPool::trim_thread_cache();
+    plain = run_training(4);
+  }
+  ASSERT_EQ(pooled.size(), plain.size());
+  for (std::size_t i = 0; i < pooled.size(); ++i) {
+    // Bitwise: recycled buffers must be indistinguishable from fresh ones.
+    EXPECT_EQ(pooled[i], plain[i]) << "parameter " << i;
+  }
+}
+
+TEST(PayloadPool, MemoryTrackerUnchangedByPooling) {
+  // The Table 3 methodology: peak live payload bytes over a PDE-loss
+  // training step. Pooling must not perturb it — a pooled buffer counts
+  // as live only while a tensor owns it.
+  auto measure_peak = [&] {
+    util::Rng rng(5);
+    mosaic::SdnetConfig cfg;
+    cfg.boundary_size = 16;
+    cfg.hidden_width = 16;
+    cfg.mlp_depth = 2;
+    mosaic::Sdnet net(cfg, rng);
+    gp::LaplaceDatasetGenerator gen(4, {}, 9);
+    auto bvps = gen.generate_many(4);
+    auto batch = gen.make_batch(bvps, 8, 8);
+    mosaic::TrainConfig tc;
+    auto& mt = ad::MemoryTracker::instance();
+    net.zero_grad();
+    mt.reset_peak();
+    const std::size_t base = mt.peak_bytes();
+    mosaic::training_step(net, batch, tc);
+    return mt.peak_bytes() - base;
+  };
+  std::size_t peak_pooled, peak_plain;
+  {
+    PoolToggleGuard g(true);
+    peak_pooled = measure_peak();
+  }
+  {
+    PoolToggleGuard g(false);
+    ad::PayloadPool::trim_thread_cache();
+    peak_plain = measure_peak();
+  }
+  EXPECT_EQ(peak_pooled, peak_plain);
+}
+
+TEST(PayloadPool, LiveBytesReturnToBaselineAndIdleBytesAreSeparate) {
+  PoolToggleGuard g(true);
+  auto& mt = ad::MemoryTracker::instance();
+  const std::size_t live_before = mt.live_bytes();
+  {
+    Tensor a = Tensor::ones({64, 64});
+    Tensor b = ad::ops::mul_scalar(a, 2.0);
+    EXPECT_EQ(mt.live_bytes(),
+              live_before + 2 * 64 * 64 * sizeof(double));
+    (void)b;
+  }
+  // Dead tensors no longer count as live even though their buffers are
+  // parked on the pool's free list.
+  EXPECT_EQ(mt.live_bytes(), live_before);
+  EXPECT_GE(mt.pooled_idle_bytes(), 2 * 64 * 64 * sizeof(double));
+}
+
+TEST(PayloadPool, SteadyStateTrainingStepDoesNoPayloadMallocs) {
+  PoolToggleGuard g(true);
+  util::Rng rng(31);
+  mosaic::SdnetConfig cfg;
+  cfg.boundary_size = 16;
+  cfg.hidden_width = 16;
+  cfg.mlp_depth = 2;
+  mosaic::Sdnet net(cfg, rng);
+  gp::LaplaceDatasetGenerator gen(4, {}, 13);
+  auto bvps = gen.generate_many(3);
+  mosaic::TrainConfig tc;
+  tc.pde_loss_weight = 0.3;
+  optim::Adam opt(net.parameters(), 1e-3);
+  auto step = [&] {
+    // Fresh batch every step, like the real loop: batch tensors must be
+    // pool hits too.
+    auto batch = gen.make_batch(bvps, 8, 6);
+    net.zero_grad();
+    mosaic::training_step(net, batch, tc);
+    opt.step();
+  };
+  for (int i = 0; i < 3; ++i) step();  // warmup fills the free lists
+  const ad::PoolStats before = ad::PayloadPool::stats();
+  for (int i = 0; i < 5; ++i) step();
+  const ad::PoolStats after = ad::PayloadPool::stats();
+  EXPECT_EQ(after.fresh_allocs() + after.adopted,
+            before.fresh_allocs() + before.adopted)
+      << "steady-state training step allocated fresh payloads";
+  EXPECT_GT(after.hits, before.hits);
+}
+
+TEST(PayloadPool, StatsAndToggleRoundTrip) {
+  const bool prev = ad::PayloadPool::set_enabled(true);
+  EXPECT_TRUE(ad::PayloadPool::enabled());
+  EXPECT_TRUE(ad::PayloadPool::set_enabled(false));
+  EXPECT_FALSE(ad::PayloadPool::enabled());
+  ad::PayloadPool::set_enabled(prev);
+  // Recycle round trip: a released buffer of size n is served again.
+  PoolToggleGuard g(true);
+  const ad::PoolStats s0 = ad::PayloadPool::stats();
+  { Tensor t = Tensor::zeros({123}); }
+  { Tensor t = Tensor::zeros({123}); }
+  const ad::PoolStats s1 = ad::PayloadPool::stats();
+  EXPECT_GT(s1.hits, s0.hits);
+}
+
+TEST(PayloadPool, ThreadExitWithTensorOwningThreadLocalIsSafe) {
+  // A function-local thread_local holding a Tensor registers its
+  // destructor *before* the pool's thread cache exists (first pool touch
+  // happens later), so at thread exit the cache dies first and the
+  // tensor's release must take the dead-cache bypass instead of pushing
+  // into a destroyed map.
+  PoolToggleGuard g(true);
+  std::thread([] {
+    struct Holder {
+      Tensor t;
+    };
+    thread_local Holder h;
+    h.t = Tensor::zeros({64});
+    for (int i = 0; i < 4; ++i) {
+      Tensor tmp = Tensor::zeros({64});
+      (void)tmp;
+    }
+  }).join();
+  SUCCEED();
+}
+
+TEST(TapeArena, SecondOrderGradcheckOnArenaTape) {
+  // The PDE loss differentiates through gradients (create_graph); the
+  // arena-backed tape with typed linear/gelu/matmul/add/mul nodes must
+  // deliver correct second derivatives.
+  util::Rng rng(7);
+  Tensor w = Tensor::zeros({3, 3});
+  for (int64_t i = 0; i < w.numel(); ++i) w.flat(i) = 0.3 * rng.normal();
+  auto f = [&w](const std::vector<Tensor>& ins) {
+    Tensor h = ad::ops::gelu(ad::ops::linear(ins[0], w, Tensor()));
+    Tensor y = ad::ops::mul(h, ad::ops::add(h, ins[0]));
+    return ad::ops::sum(ad::ops::matmul(y, w));
+  };
+  Tensor x = Tensor::zeros({2, 3});
+  for (int64_t i = 0; i < x.numel(); ++i) x.flat(i) = 0.5 * rng.normal();
+  x.set_requires_grad(true);
+  auto res = ad::gradcheck_second_order(f, {x});
+  EXPECT_TRUE(res.ok) << "max abs err " << res.max_abs_err << " rel "
+                      << res.max_rel_err;
+}
+
+TEST(TapeArena, RewindsAfterGraphDies) {
+  const auto& arena = ad::this_thread_tape_arena();
+  // Build and drop a graph; the next recording may rewind the arena, so
+  // high-water should stabilize across repeated identical graphs.
+  auto build = [] {
+    Tensor x = Tensor::ones({8, 8});
+    x.set_requires_grad(true);
+    Tensor y = ad::ops::sum(ad::ops::gelu(ad::ops::mul(x, x)));
+    ad::backward(y);
+  };
+  build();
+  const std::size_t high1 = arena->stats().high_water;
+  for (int i = 0; i < 10; ++i) build();
+  const std::size_t high2 = arena->stats().high_water;
+  if (ad::tape_arena_enabled()) {
+    // Without rewinds the bump pointer would grow ~10x.
+    EXPECT_EQ(high1, high2);
+    EXPECT_GT(arena->stats().rewinds, 0u);
+  }
+  EXPECT_EQ(arena->stats().live_blocks, 0);
+}
+
+TEST(TapeArena, GraphSurvivesAcrossManyRecordingsAndScopes) {
+  // A held graph must keep its nodes valid while unrelated graphs come
+  // and go (the arena must not rewind under it).
+  Tensor x = Tensor::ones({4});
+  x.set_requires_grad(true);
+  Tensor kept = ad::ops::mul_scalar(ad::ops::gelu(x), 2.0);
+  for (int i = 0; i < 50; ++i) {
+    Tensor t = Tensor::ones({16});
+    t.set_requires_grad(true);
+    ad::backward(ad::ops::sum(ad::ops::mul(t, t)));
+  }
+  ad::backward(ad::ops::sum(kept));
+  ASSERT_TRUE(x.grad().defined());
+  // d/dx [2*gelu(x)] at x=1: 2 * gelu'(1) (tanh approximation).
+  EXPECT_NEAR(x.grad().flat(0), 2.16592, 1e-4);
+}
+
+}  // namespace
