@@ -136,10 +136,11 @@ int main(int argc, char** argv) {
               "paper); time-to-target shrinks with ranks (12x at 32 GPUs in "
               "the paper).\n");
 
-  // Steady-state allocation profile of the three-backward-pass training
-  // step (single rank): after a short warmup the payload pool and tape
-  // arena should serve every step without touching the heap. Tracked in
-  // BENCH_fig6.json across PRs.
+  // Steady-state profile of the three-backward-pass training step (single
+  // rank): after a short warmup the payload pool and tape arena serve the
+  // eager step without touching the heap, and the compiled program (PR 4)
+  // replays the whole step with no recording at all. Both rates and the
+  // program's capture cost are tracked in BENCH_fig6.json across PRs.
   {
     util::Rng rng(42);
     mosaic::Sdnet net(net_cfg, rng);
@@ -148,19 +149,39 @@ int main(int argc, char** argv) {
     mosaic::TrainConfig cfg;
     cfg.pde_loss_weight = 0.3;
     optim::Adam opt(net.parameters(), 1e-3);
-    auto step = [&] {
+    const int64_t warmup = 3, measured = 24;
+
+    // Eager reference: the pre-PR-4 path (program hatch closed). With
+    // MF_DISABLE_PROGRAM=1 the "compiled" window below is eager too, so
+    // the hatch is measured end to end.
+    const bool prev_prog = ad::program_set_enabled(false);
+    auto eager_step = [&] {
       auto batch = sgen.make_batch(bvps, 32, 16);
       net.zero_grad();
       mosaic::training_step(net, batch, cfg);
       opt.step();
     };
-    const int64_t warmup = 3, measured = 24;
+    for (int64_t i = 0; i < warmup; ++i) eager_step();
+    double t0 = util::wall_seconds();
+    for (int64_t i = 0; i < measured; ++i) eager_step();
+    const double eager_sps =
+        static_cast<double>(measured) / (util::wall_seconds() - t0);
+
+    // Compiled path: capture once, replay the plan every step.
+    ad::program_set_enabled(prev_prog);
+    mosaic::CompiledTrainStep cstep(net, cfg);
+    auto step = [&] {
+      auto batch = sgen.make_batch(bvps, 32, 16);
+      cstep.run(batch);
+      opt.step();
+    };
     for (int64_t i = 0; i < warmup; ++i) step();
     const ad::PoolStats p0 = ad::PayloadPool::stats();
-    const double t0 = util::wall_seconds();
+    t0 = util::wall_seconds();
     for (int64_t i = 0; i < measured; ++i) step();
     const double seconds = util::wall_seconds() - t0;
     const ad::PoolStats p1 = ad::PayloadPool::stats();
+    const double replay_sps = static_cast<double>(measured) / seconds;
     const double allocs_per_step =
         static_cast<double>((p1.fresh_allocs() + p1.adopted) -
                             (p0.fresh_allocs() + p0.adopted)) /
@@ -169,17 +190,25 @@ int main(int argc, char** argv) {
         static_cast<double>(p1.hits - p0.hits) /
         static_cast<double>((p1.hits - p0.hits) + (p1.misses - p0.misses) + 1e-300);
     const auto arena = ad::this_thread_tape_arena()->stats();
+    const auto prog = cstep.program().stats();
     std::printf(
         "\nBENCH_JSON {\"bench\":\"fig6_training_scaling\",\"m\":%lld,"
         "\"threads\":%d,\"openmp\":%s,\"clock\":\"wall\",\"ranks\":1,"
         "\"batch\":8,\"q_data\":32,\"q_colloc\":16,"
         "\"steps_per_sec\":%.6g,\"payload_allocs_per_step\":%.6g,"
         "\"pool_hit_rate\":%.6g,\"pool_enabled\":%s,"
-        "\"tape_high_water_bytes\":%zu}\n",
+        "\"tape_high_water_bytes\":%zu,"
+        "\"program_enabled\":%s,\"eager_steps_per_sec\":%.6g,"
+        "\"replay_steps_per_sec\":%.6g,\"capture_ms\":%.6g,"
+        "\"plan_steps\":%zu,\"plan_slots\":%zu,"
+        "\"plan_arena_bytes\":%zu,\"plan_pinned_bytes\":%zu}\n",
         static_cast<long long>(m), ad::kernels::max_threads(),
-        ad::kernels::openmp_enabled() ? "true" : "false",
-        static_cast<double>(measured) / seconds, allocs_per_step, hit_rate,
-        ad::PayloadPool::enabled() ? "true" : "false", arena.high_water);
+        ad::kernels::openmp_enabled() ? "true" : "false", replay_sps,
+        allocs_per_step, hit_rate,
+        ad::PayloadPool::enabled() ? "true" : "false", arena.high_water,
+        ad::program_enabled() ? "true" : "false", eager_sps, replay_sps,
+        prog.capture_ms, prog.steps, prog.slots, prog.arena_bytes,
+        prog.pinned_bytes);
   }
   return 0;
 }

@@ -218,9 +218,80 @@ void matmul(const real* a, const real* b, const real* bias, real* out,
   const bool b_fits_one_tile = k * n <= kTileK * kTileN;
   parallel_for(m, k * n, [&](int64_t begin, int64_t end) {
     if (b_fits_one_tile) {
-      // b fits one tile: the fused i-k-j loop (unit-stride inner loops)
-      // already keeps b hot, and one pass over out beats two.
-      for (int64_t i = begin; i < end; ++i) {
+      // b fits one tile: register-blocked micro-kernel. Four rows of a
+      // share every b load, and each row's 4-column accumulator strip
+      // lives in registers across the whole k loop — the naive loop's
+      // per-kk reload/store of the output row was store-port-bound.
+      // For every output element the additions still run in ascending
+      // kk order and zero a-elements still contribute nothing, so the
+      // result is bitwise identical to the naive i-k-j loop.
+      // 4x4 fits the baseline 16-register SSE2 budget: 16 accumulator
+      // doubles in 8 xmm, leaving room for the shared b loads and the
+      // four row broadcasts.
+      constexpr int64_t kRb = 4;  // rows of a per micro-tile
+      constexpr int64_t kJb = 4;  // columns of out per accumulator strip
+      int64_t i0 = begin;
+      for (; i0 + kRb <= end; i0 += kRb) {
+        const real* a0 = a + (i0 + 0) * k;
+        const real* a1 = a + (i0 + 1) * k;
+        const real* a2 = a + (i0 + 2) * k;
+        const real* a3 = a + (i0 + 3) * k;
+        for (int64_t j0 = 0; j0 < n; j0 += kJb) {
+          const int64_t jw = std::min(kJb, n - j0);
+          real acc0[kJb], acc1[kJb], acc2[kJb], acc3[kJb];
+          if (bias) {
+            for (int64_t j = 0; j < jw; ++j) {
+              acc0[j] = acc1[j] = acc2[j] = acc3[j] = bias[j0 + j];
+            }
+          } else {
+            for (int64_t j = 0; j < jw; ++j) {
+              acc0[j] = acc1[j] = acc2[j] = acc3[j] = 0;
+            }
+          }
+          if (jw == kJb) {
+            for (int64_t kk = 0; kk < k; ++kk) {
+              const real* brow = b + kk * n + j0;
+              const real av0 = a0[kk], av1 = a1[kk], av2 = a2[kk], av3 = a3[kk];
+              if (av0 != 0) {
+                for (int64_t j = 0; j < kJb; ++j) acc0[j] += av0 * brow[j];
+              }
+              if (av1 != 0) {
+                for (int64_t j = 0; j < kJb; ++j) acc1[j] += av1 * brow[j];
+              }
+              if (av2 != 0) {
+                for (int64_t j = 0; j < kJb; ++j) acc2[j] += av2 * brow[j];
+              }
+              if (av3 != 0) {
+                for (int64_t j = 0; j < kJb; ++j) acc3[j] += av3 * brow[j];
+              }
+            }
+          } else {
+            for (int64_t kk = 0; kk < k; ++kk) {
+              const real* brow = b + kk * n + j0;
+              const real av0 = a0[kk], av1 = a1[kk], av2 = a2[kk], av3 = a3[kk];
+              if (av0 != 0) {
+                for (int64_t j = 0; j < jw; ++j) acc0[j] += av0 * brow[j];
+              }
+              if (av1 != 0) {
+                for (int64_t j = 0; j < jw; ++j) acc1[j] += av1 * brow[j];
+              }
+              if (av2 != 0) {
+                for (int64_t j = 0; j < jw; ++j) acc2[j] += av2 * brow[j];
+              }
+              if (av3 != 0) {
+                for (int64_t j = 0; j < jw; ++j) acc3[j] += av3 * brow[j];
+              }
+            }
+          }
+          real* orow = out + i0 * n + j0;
+          for (int64_t j = 0; j < jw; ++j) orow[j] = acc0[j];
+          for (int64_t j = 0; j < jw; ++j) orow[n + j] = acc1[j];
+          for (int64_t j = 0; j < jw; ++j) orow[2 * n + j] = acc2[j];
+          for (int64_t j = 0; j < jw; ++j) orow[3 * n + j] = acc3[j];
+        }
+      }
+      // Remainder rows (< kRb): the naive per-row loop.
+      for (int64_t i = i0; i < end; ++i) {
         const real* arow = a + i * k;
         real* orow = out + i * n;
         if (bias) {

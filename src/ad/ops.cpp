@@ -5,30 +5,42 @@
 #include <cstring>
 
 #include "ad/kernels.hpp"
+#include "ad/program.hpp"
+#include "ad/scalar_fns.hpp"
+#include "ad/small_shape.hpp"
 
 namespace mf::ad::ops {
 
 namespace {
 
-constexpr real kGeluCoeff = 0.7978845608028654;  // sqrt(2/pi)
+using sfn::kGeluCoeff;
+
+// Forward kernels run through the shared sfn functors and report to the
+// program capture hooks (no-ops outside Program::capture), so a captured
+// step replays the exact same instructions the eager op executed.
 
 template <typename F>
-Tensor elementwise_binary_fwd(const Tensor& a, const Tensor& b, F&& f) {
+Tensor elementwise_binary_fwd(const Tensor& a, const Tensor& b,
+                              prog::Binary id, F&& f) {
   const Shape out_shape = broadcast_shape(a.shape(), b.shape());
   Tensor out = Tensor::zeros(out_shape);
   if (a.shape() == b.shape()) {
     kernels::map_binary(a.data(), b.data(), out.data(), out.numel(), f);
+    if (prog::capturing()) prog::on_binary(id, a, b, out);
   } else {
     kernels::BroadcastPlan plan(out_shape, a.shape(), b.shape());
     kernels::map_broadcast(plan, a.data(), b.data(), out.data(), f);
+    if (prog::capturing()) prog::on_binary_bcast(id, plan, a, b, out);
   }
   return out;
 }
 
 template <typename F, typename B>
-Tensor elementwise_unary(const Tensor& a, const char* name, F&& f, B&& backward) {
+Tensor elementwise_unary(const Tensor& a, const char* name, prog::Unary id,
+                         real scalar, F&& f, B&& backward) {
   Tensor out = Tensor::zeros(a.shape());
   kernels::map_unary(a.data(), out.data(), a.numel(), f);
+  if (prog::capturing()) prog::on_unary(id, scalar, a, out);
   return record(std::move(out), name, {a}, std::forward<B>(backward));
 }
 
@@ -141,10 +153,11 @@ Tensor broadcast_to(const Tensor& t, const Shape& shape) {
   Tensor out = Tensor::zeros(shape);
   kernels::BroadcastPlan plan(shape, t.shape(), t.shape());
   kernels::broadcast_copy(plan, t.data(), out.data());
-  const Shape orig = t.shape();
+  if (prog::capturing()) prog::on_broadcast_copy(plan, t, out);
+  const SmallShape orig = t.shape();
   return record(std::move(out), "broadcast_to", {t},
                 [orig](const Tensor& g, const std::vector<bool>&) {
-                  return std::vector<Tensor>{reduce_to(g, orig)};
+                  return std::vector<Tensor>{reduce_to(g, orig.to_shape())};
                 });
 }
 
@@ -157,10 +170,11 @@ Tensor reduce_to(const Tensor& t, const Shape& shape) {
   Tensor out = Tensor::zeros(shape);
   kernels::ReducePlan plan(t.shape(), shape);
   kernels::reduce_broadcast(plan, t.data(), out.data());
-  const Shape orig = t.shape();
+  if (prog::capturing()) prog::on_reduce(plan, t, out);
+  const SmallShape orig = t.shape();
   return record(std::move(out), "reduce_to", {t},
                 [orig](const Tensor& g, const std::vector<bool>&) {
-                  return std::vector<Tensor>{broadcast_to(g, orig)};
+                  return std::vector<Tensor>{broadcast_to(g, orig.to_shape())};
                 });
 }
 
@@ -181,10 +195,11 @@ Tensor reshape(const Tensor& t, const Shape& shape) {
                                 " as " + shape_str(resolved));
   }
   Tensor out = Tensor::from_data(t.data(), resolved);
-  const Shape orig = t.shape();
+  if (prog::capturing()) prog::on_copy(t, out);
+  const SmallShape orig = t.shape();
   return record(std::move(out), "reshape", {t},
                 [orig](const Tensor& g, const std::vector<bool>&) {
-                  return std::vector<Tensor>{reshape(g, orig)};
+                  return std::vector<Tensor>{reshape(g, orig.to_shape())};
                 });
 }
 
@@ -193,6 +208,7 @@ Tensor transpose(const Tensor& t) {
   const int64_t m = t.size(0), n = t.size(1);
   Tensor out = Tensor::zeros({n, m});
   kernels::transpose(t.data(), out.data(), m, n);
+  if (prog::capturing()) prog::on_transpose(t, out, m, n);
   return record(std::move(out), "transpose", {t},
                 [](const Tensor& g, const std::vector<bool>&) {
                   return std::vector<Tensor>{transpose(g)};
@@ -200,38 +216,39 @@ Tensor transpose(const Tensor& t) {
 }
 
 Tensor add(const Tensor& a, const Tensor& b) {
-  Tensor out = elementwise_binary_fwd(a, b, [](real x, real y) { return x + y; });
+  Tensor out = elementwise_binary_fwd(a, b, prog::Binary::kAdd, sfn::Add{});
   const Tensor ins[2] = {a, b};
   return record_typed<AddNode>(std::move(out), ins, 2);
 }
 
 Tensor sub(const Tensor& a, const Tensor& b) {
-  Tensor out = elementwise_binary_fwd(a, b, [](real x, real y) { return x - y; });
-  const Shape sa = a.shape(), sb = b.shape();
+  Tensor out = elementwise_binary_fwd(a, b, prog::Binary::kSub, sfn::Sub{});
+  const SmallShape sa = a.shape(), sb = b.shape();
   return record(std::move(out), "sub", {a, b},
                 [sa, sb](const Tensor& g, const std::vector<bool>& needs) {
                   std::vector<Tensor> gs(2);
-                  if (needs[0]) gs[0] = reduce_to(g, sa);
-                  if (needs[1]) gs[1] = reduce_to(neg(g), sb);
+                  if (needs[0]) gs[0] = reduce_to(g, sa.to_shape());
+                  if (needs[1]) gs[1] = reduce_to(neg(g), sb.to_shape());
                   return gs;
                 });
 }
 
 Tensor mul(const Tensor& a, const Tensor& b) {
-  Tensor out = elementwise_binary_fwd(a, b, [](real x, real y) { return x * y; });
+  Tensor out = elementwise_binary_fwd(a, b, prog::Binary::kMul, sfn::Mul{});
   const Tensor ins[2] = {a, b};
   return record_typed<MulNode>(std::move(out), ins, 2);
 }
 
 Tensor div(const Tensor& a, const Tensor& b) {
-  Tensor out = elementwise_binary_fwd(a, b, [](real x, real y) { return x / y; });
-  const Shape sa = a.shape(), sb = b.shape();
+  Tensor out = elementwise_binary_fwd(a, b, prog::Binary::kDiv, sfn::Div{});
+  const SmallShape sa = a.shape(), sb = b.shape();
   return record(std::move(out), "div", {a, b},
                 [a, b, sa, sb](const Tensor& g, const std::vector<bool>& needs) {
                   std::vector<Tensor> gs(2);
-                  if (needs[0]) gs[0] = reduce_to(div(g, b), sa);
+                  if (needs[0]) gs[0] = reduce_to(div(g, b), sa.to_shape());
                   if (needs[1]) {
-                    gs[1] = reduce_to(neg(div(mul(g, a), mul(b, b))), sb);
+                    gs[1] = reduce_to(neg(div(mul(g, a), mul(b, b))),
+                                      sb.to_shape());
                   }
                   return gs;
                 });
@@ -239,7 +256,7 @@ Tensor div(const Tensor& a, const Tensor& b) {
 
 Tensor add_scalar(const Tensor& a, real s) {
   return elementwise_unary(
-      a, "add_scalar", [s](real x) { return x + s; },
+      a, "add_scalar", prog::Unary::kAddScalar, s, sfn::AddScalar{s},
       [](const Tensor& g, const std::vector<bool>&) {
         return std::vector<Tensor>{g};
       });
@@ -247,7 +264,7 @@ Tensor add_scalar(const Tensor& a, real s) {
 
 Tensor mul_scalar(const Tensor& a, real s) {
   return elementwise_unary(
-      a, "mul_scalar", [s](real x) { return x * s; },
+      a, "mul_scalar", prog::Unary::kMulScalar, s, sfn::MulScalar{s},
       [s](const Tensor& g, const std::vector<bool>&) {
         return std::vector<Tensor>{mul_scalar(g, s)};
       });
@@ -255,7 +272,8 @@ Tensor mul_scalar(const Tensor& a, real s) {
 
 Tensor pow_scalar(const Tensor& a, real exponent) {
   return elementwise_unary(
-      a, "pow_scalar", [exponent](real x) { return std::pow(x, exponent); },
+      a, "pow_scalar", prog::Unary::kPowScalar, exponent,
+      sfn::PowScalar{exponent},
       [a, exponent](const Tensor& g, const std::vector<bool>&) {
         Tensor d = mul_scalar(pow_scalar(a, exponent - 1), exponent);
         return std::vector<Tensor>{mul(g, d)};
@@ -264,7 +282,7 @@ Tensor pow_scalar(const Tensor& a, real exponent) {
 
 Tensor neg(const Tensor& a) {
   return elementwise_unary(
-      a, "neg", [](real x) { return -x; },
+      a, "neg", prog::Unary::kNeg, 0, sfn::Neg{},
       [](const Tensor& g, const std::vector<bool>&) {
         return std::vector<Tensor>{neg(g)};
       });
@@ -272,7 +290,7 @@ Tensor neg(const Tensor& a) {
 
 Tensor exp(const Tensor& a) {
   return elementwise_unary(
-      a, "exp", [](real x) { return std::exp(x); },
+      a, "exp", prog::Unary::kExp, 0, sfn::Exp{},
       [a](const Tensor& g, const std::vector<bool>&) {
         return std::vector<Tensor>{mul(g, exp(a))};
       });
@@ -280,7 +298,7 @@ Tensor exp(const Tensor& a) {
 
 Tensor log(const Tensor& a) {
   return elementwise_unary(
-      a, "log", [](real x) { return std::log(x); },
+      a, "log", prog::Unary::kLog, 0, sfn::Log{},
       [a](const Tensor& g, const std::vector<bool>&) {
         return std::vector<Tensor>{div(g, a)};
       });
@@ -288,7 +306,7 @@ Tensor log(const Tensor& a) {
 
 Tensor sqrt(const Tensor& a) {
   return elementwise_unary(
-      a, "sqrt", [](real x) { return std::sqrt(x); },
+      a, "sqrt", prog::Unary::kSqrt, 0, sfn::Sqrt{},
       [a](const Tensor& g, const std::vector<bool>&) {
         return std::vector<Tensor>{mul(g, mul_scalar(pow_scalar(a, -0.5), 0.5))};
       });
@@ -296,7 +314,7 @@ Tensor sqrt(const Tensor& a) {
 
 Tensor tanh(const Tensor& a) {
   return elementwise_unary(
-      a, "tanh", [](real x) { return std::tanh(x); },
+      a, "tanh", prog::Unary::kTanh, 0, sfn::Tanh{},
       [a](const Tensor& g, const std::vector<bool>&) {
         Tensor y = tanh(a);
         Tensor one_minus = add_scalar(neg(mul(y, y)), 1.0);
@@ -306,13 +324,12 @@ Tensor tanh(const Tensor& a) {
 
 Tensor abs(const Tensor& a) {
   return elementwise_unary(
-      a, "abs", [](real x) { return std::abs(x); },
+      a, "abs", prog::Unary::kAbs, 0, sfn::Abs{},
       [a](const Tensor& g, const std::vector<bool>&) {
         // sign(a) treated as a constant (derivative zero a.e.)
         Tensor s = Tensor::zeros(a.shape());
-        kernels::map_unary(a.data(), s.data(), a.numel(), [](real x) {
-          return x > 0 ? real{1} : (x < 0 ? real{-1} : real{0});
-        });
+        kernels::map_unary(a.data(), s.data(), a.numel(), sfn::Sign{});
+        if (prog::capturing()) prog::on_unary(prog::Unary::kSign, 0, a, s);
         return std::vector<Tensor>{mul(g, s)};
       });
 }
@@ -324,10 +341,8 @@ Tensor gelu(const Tensor& a) {
   // pass. The backward is compositional (recorded ops), so all higher
   // derivatives of the PDE loss still work (see GeluNode).
   Tensor out = Tensor::zeros(a.shape());
-  kernels::map_unary(a.data(), out.data(), a.numel(), [](real x) {
-    const real u = kGeluCoeff * (x + 0.044715 * x * x * x);
-    return 0.5 * x * (1.0 + std::tanh(u));
-  });
+  kernels::map_unary(a.data(), out.data(), a.numel(), sfn::Gelu{});
+  if (prog::capturing()) prog::on_unary(prog::Unary::kGelu, 0, a, out);
   const Tensor ins[1] = {a};
   return record_typed<GeluNode>(std::move(out), ins, 1);
 }
@@ -339,10 +354,12 @@ Tensor sigmoid(const Tensor& a) {
 
 Tensor sum(const Tensor& a) {
   Tensor out = Tensor::scalar(kernels::reduce_sum(a.data(), a.numel()));
-  const Shape orig = a.shape();
+  if (prog::capturing()) prog::on_sum_all(a, out);
+  const SmallShape orig = a.shape();
   return record(std::move(out), "sum", {a},
                 [orig](const Tensor& g, const std::vector<bool>&) {
-                  return std::vector<Tensor>{broadcast_to(reshape(g, Shape(orig.size(), 1)), orig)};
+                  return std::vector<Tensor>{broadcast_to(
+                      reshape(g, Shape(orig.size(), 1)), orig.to_shape())};
                 });
 }
 
@@ -362,10 +379,12 @@ Tensor sum_axis(const Tensor& a, int64_t axis, bool keepdim) {
   const int64_t n_axis = s[static_cast<std::size_t>(axis)];
   Tensor out = Tensor::zeros(kept);
   kernels::sum_axis(a.data(), out.data(), outer, n_axis, inner);
-  const Shape orig = s;
+  if (prog::capturing()) prog::on_sum_axis(a, out, outer, n_axis, inner);
+  const SmallShape orig = s;
   Tensor res = record(std::move(out), "sum_axis", {a},
                       [orig](const Tensor& g, const std::vector<bool>&) {
-                        return std::vector<Tensor>{broadcast_to(g, orig)};
+                        return std::vector<Tensor>{
+                            broadcast_to(g, orig.to_shape())};
                       });
   if (!keepdim) {
     Shape squeezed;
@@ -391,6 +410,7 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   out_shape.back() = n;
   Tensor out = Tensor::zeros(out_shape);
   kernels::matmul(a.data(), b.data(), /*bias=*/nullptr, out.data(), m, k, n);
+  if (prog::capturing()) prog::on_matmul(a, b, nullptr, out, m, k, n);
   const Tensor ins[2] = {a, b};
   return record_typed<MatmulNode>(std::move(out), ins, 2);
 }
@@ -414,6 +434,7 @@ Tensor linear(const Tensor& x, const Tensor& w, const Tensor& b) {
   Tensor out = Tensor::zeros(out_shape);
   kernels::matmul(x.data(), w.data(), b.defined() ? b.data() : nullptr,
                   out.data(), m, k, n);
+  if (prog::capturing()) prog::on_matmul(x, w, &b, out, m, k, n);
   const Tensor ins[3] = {x, w, b};
   return record_typed<LinearNode>(std::move(out), ins,
                                   b.defined() ? std::size_t{3} : std::size_t{2});
@@ -440,18 +461,25 @@ Tensor slice(const Tensor& t, int64_t axis, int64_t start, int64_t len) {
                   static_cast<std::size_t>(len * inner) * sizeof(real));
     }
   });
-  const Shape orig = s;
+  if (prog::capturing()) {
+    prog::on_slice_pack(t, out, outer, len, inner, n_axis, start);
+  }
+  const SmallShape orig = s;
   return record(std::move(out), "slice", {t},
                 [orig, axis, start, len, outer, inner, n_axis](
                     const Tensor& g, const std::vector<bool>&) {
                   // Embed g into zeros of the original shape ("pad").
-                  Tensor padded = Tensor::zeros(orig);
+                  Tensor padded = Tensor::zeros(orig.to_shape());
                   const real* pg = g.data();
                   real* pp = padded.data();
                   for (int64_t o = 0; o < outer; ++o) {
                     std::memcpy(pp + (o * n_axis + start) * inner,
                                 pg + o * len * inner,
                                 static_cast<std::size_t>(len * inner) * sizeof(real));
+                  }
+                  if (prog::capturing()) {
+                    prog::on_slice_scatter(g, padded, outer, len, inner,
+                                           n_axis, start);
                   }
                   Tensor res = record(
                       std::move(padded), "slice_backward", {g},
@@ -483,8 +511,26 @@ Tensor concat(const std::vector<Tensor>& parts, int64_t axis) {
       std::memcpy(po + (o * total + offset) * inner, pp + o * len * inner,
                   static_cast<std::size_t>(len * inner) * sizeof(real));
     }
+    if (prog::capturing()) {
+      prog::on_concat_part(p, out, outer, total, offset, len, inner);
+    }
     offset += len;
   }
+  if (parts.size() <= SmallShape::kMaxRank) {
+    SmallShape lens;
+    for (const auto& p : parts) lens.push_back(p.size(axis));
+    return record(std::move(out), "concat", parts,
+                  [axis, lens](const Tensor& g, const std::vector<bool>& needs) {
+                    std::vector<Tensor> gs(lens.size());
+                    int64_t off = 0;
+                    for (std::size_t i = 0; i < lens.size(); ++i) {
+                      if (needs[i]) gs[i] = slice(g, axis, off, lens[i]);
+                      off += lens[i];
+                    }
+                    return gs;
+                  });
+  }
+  // Wide concats are off the hot path; a heap-owned length list is fine.
   std::vector<int64_t> lens;
   for (const auto& p : parts) lens.push_back(p.size(axis));
   return record(std::move(out), "concat", parts,
@@ -513,6 +559,10 @@ Tensor conv1d(const Tensor& input, const Tensor& weight, const Tensor& bias,
   kernels::conv1d_forward(input.data(), weight.data(),
                           bias.defined() ? bias.data() : nullptr, out.data(), B,
                           Cin, L, Cout, K, padding);
+  if (prog::capturing()) {
+    prog::on_conv1d_forward(input, weight, &bias, out, B, Cin, L, Cout, K,
+                            padding);
+  }
   const bool has_bias = bias.defined();
   const Tensor ins[3] = {input, weight, bias};
   auto backward_fn = [input, weight, padding, B, Cin, L, Cout, K, has_bias](
@@ -523,18 +573,27 @@ Tensor conv1d(const Tensor& input, const Tensor& weight, const Tensor& bias,
       Tensor gi = Tensor::zeros({B, Cin, L});
       kernels::conv1d_grad_input(g.data(), weight.data(), gi.data(), B, Cin,
                                  L, Cout, K, padding);
+      if (prog::capturing()) {
+        prog::on_conv1d_grad_input(g, weight, gi, B, Cin, L, Cout, K, padding);
+      }
       gs[0] = gi;
     }
     if (needs[1]) {
       Tensor gw = Tensor::zeros({Cout, Cin, K});
       kernels::conv1d_grad_weight(g.data(), input.data(), gw.data(), B, Cin,
                                   L, Cout, K, padding);
+      if (prog::capturing()) {
+        prog::on_conv1d_grad_weight(g, input, gw, B, Cin, L, Cout, K, padding);
+      }
       gs[1] = gw;
     }
     if (has_bias && needs[2]) {
       Tensor gb = Tensor::zeros({Cout});
       kernels::conv1d_grad_bias(g.data(), gb.data(), g.size(0), Cout,
                                 g.size(2));
+      if (prog::capturing()) {
+        prog::on_conv1d_grad_bias(g, gb, g.size(0), Cout, g.size(2));
+      }
       gs[2] = gb;
     }
     return gs;

@@ -1,0 +1,691 @@
+#include "ad/program.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "ad/scalar_fns.hpp"
+
+namespace mf::ad {
+
+namespace {
+
+enum class StepKind : std::uint8_t {
+  kUnary,
+  kBinary,
+  kBinaryBcast,
+  kBcastCopy,
+  kReduce,
+  kSumAll,
+  kSumAxis,
+  kMatmul,
+  kTranspose,
+  kCopy,
+  kSlicePack,
+  kSliceScatter,
+  kConcatPart,
+  kConv1dFwd,
+  kConv1dGradIn,
+  kConv1dGradW,
+  kConv1dGradB,
+};
+
+/// One lowered kernel invocation. Operands are slot indices; `plan`
+/// indexes the program's stored broadcast/reduce plans; p0..p5 carry the
+/// kernel geometry exactly as the eager op passed it.
+struct Step {
+  StepKind kind;
+  std::uint8_t fn = 0;  // prog::Unary or prog::Binary
+  std::int32_t a = -1, b = -1, c = -1;
+  std::int32_t out = -1;
+  std::int32_t plan = -1;
+  real scalar = 0;
+  int64_t p0 = 0, p1 = 0, p2 = 0, p3 = 0, p4 = 0, p5 = 0;
+};
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::atomic<bool> g_prog_enabled{[] {
+  const char* env = std::getenv("MF_DISABLE_PROGRAM");
+  return !(env && env[0] == '1');
+}()};
+
+}  // namespace
+
+bool program_enabled() { return g_prog_enabled.load(std::memory_order_relaxed); }
+
+bool program_set_enabled(bool on) {
+  return g_prog_enabled.exchange(on, std::memory_order_relaxed);
+}
+
+struct Program::Impl {
+  std::vector<Step> steps;
+  // One entry per slot. After lowering, entries for internal
+  // (liveness-packed) slots are null; external entries pin the payloads
+  // the program must keep addressable (leaves are read live through them).
+  std::vector<std::shared_ptr<TensorImpl>> slots;
+  std::vector<int64_t> slot_len;
+  std::vector<real*> buf;
+  std::vector<kernels::BroadcastPlan> bplans;
+  std::vector<kernels::ReducePlan> rplans;
+  // Internal storage: buffers reused across slots whose live ranges do
+  // not overlap.
+  std::vector<std::vector<real>> arena;
+
+  // Capture-time state.
+  std::unordered_map<const TensorImpl*, std::int32_t> slot_of;
+
+  bool ready = false;
+  double capture_ms = 0;
+  std::uint64_t captures = 0, replays = 0;
+  std::size_t external_slots = 0, arena_bytes = 0, pinned_bytes = 0;
+
+  void clear_plan() {
+    steps.clear();
+    slots.clear();
+    slot_len.clear();
+    buf.clear();
+    bplans.clear();
+    rplans.clear();
+    arena.clear();
+    slot_of.clear();
+    ready = false;
+    external_slots = arena_bytes = pinned_bytes = 0;
+  }
+};
+
+namespace prog {
+namespace detail {
+thread_local Program::Impl* g_recorder = nullptr;
+}  // namespace detail
+
+namespace {
+
+std::int32_t intern(Program::Impl& im, const Tensor& t) {
+  const TensorImpl* key = t.impl_ptr();
+  auto [it, fresh] = im.slot_of.try_emplace(
+      key, static_cast<std::int32_t>(im.slots.size()));
+  if (fresh) im.slots.push_back(t.impl());
+  return it->second;
+}
+
+Program::Impl* rec() { return detail::g_recorder; }
+
+}  // namespace
+
+void on_unary(Unary fn, real scalar, const Tensor& a, const Tensor& out) {
+  Program::Impl* im = rec();
+  if (!im) return;
+  Step s;
+  s.kind = StepKind::kUnary;
+  s.fn = static_cast<std::uint8_t>(fn);
+  s.scalar = scalar;
+  s.a = intern(*im, a);
+  s.out = intern(*im, out);
+  s.p0 = out.numel();
+  im->steps.push_back(s);
+}
+
+void on_binary(Binary fn, const Tensor& a, const Tensor& b, const Tensor& out) {
+  Program::Impl* im = rec();
+  if (!im) return;
+  Step s;
+  s.kind = StepKind::kBinary;
+  s.fn = static_cast<std::uint8_t>(fn);
+  s.a = intern(*im, a);
+  s.b = intern(*im, b);
+  s.out = intern(*im, out);
+  s.p0 = out.numel();
+  im->steps.push_back(s);
+}
+
+void on_binary_bcast(Binary fn, const kernels::BroadcastPlan& plan,
+                     const Tensor& a, const Tensor& b, const Tensor& out) {
+  Program::Impl* im = rec();
+  if (!im) return;
+  Step s;
+  s.kind = StepKind::kBinaryBcast;
+  s.fn = static_cast<std::uint8_t>(fn);
+  s.a = intern(*im, a);
+  s.b = intern(*im, b);
+  s.out = intern(*im, out);
+  s.plan = static_cast<std::int32_t>(im->bplans.size());
+  im->bplans.push_back(plan);
+  im->steps.push_back(s);
+}
+
+void on_broadcast_copy(const kernels::BroadcastPlan& plan, const Tensor& a,
+                       const Tensor& out) {
+  Program::Impl* im = rec();
+  if (!im) return;
+  Step s;
+  s.kind = StepKind::kBcastCopy;
+  s.a = intern(*im, a);
+  s.out = intern(*im, out);
+  s.plan = static_cast<std::int32_t>(im->bplans.size());
+  im->bplans.push_back(plan);
+  im->steps.push_back(s);
+}
+
+void on_reduce(const kernels::ReducePlan& plan, const Tensor& a,
+               const Tensor& out) {
+  Program::Impl* im = rec();
+  if (!im) return;
+  Step s;
+  s.kind = StepKind::kReduce;
+  s.a = intern(*im, a);
+  s.out = intern(*im, out);
+  s.plan = static_cast<std::int32_t>(im->rplans.size());
+  im->rplans.push_back(plan);
+  im->steps.push_back(s);
+}
+
+void on_sum_all(const Tensor& a, const Tensor& out) {
+  Program::Impl* im = rec();
+  if (!im) return;
+  Step s;
+  s.kind = StepKind::kSumAll;
+  s.a = intern(*im, a);
+  s.out = intern(*im, out);
+  s.p0 = a.numel();
+  im->steps.push_back(s);
+}
+
+void on_sum_axis(const Tensor& a, const Tensor& out, int64_t outer,
+                 int64_t n_axis, int64_t inner) {
+  Program::Impl* im = rec();
+  if (!im) return;
+  Step s;
+  s.kind = StepKind::kSumAxis;
+  s.a = intern(*im, a);
+  s.out = intern(*im, out);
+  s.p0 = outer;
+  s.p1 = n_axis;
+  s.p2 = inner;
+  im->steps.push_back(s);
+}
+
+void on_matmul(const Tensor& a, const Tensor& b, const Tensor* bias,
+               const Tensor& out, int64_t m, int64_t k, int64_t n) {
+  Program::Impl* im = rec();
+  if (!im) return;
+  Step s;
+  s.kind = StepKind::kMatmul;
+  s.a = intern(*im, a);
+  s.b = intern(*im, b);
+  s.c = (bias && bias->defined()) ? intern(*im, *bias) : -1;
+  s.out = intern(*im, out);
+  s.p0 = m;
+  s.p1 = k;
+  s.p2 = n;
+  im->steps.push_back(s);
+}
+
+void on_transpose(const Tensor& a, const Tensor& out, int64_t m, int64_t n) {
+  Program::Impl* im = rec();
+  if (!im) return;
+  Step s;
+  s.kind = StepKind::kTranspose;
+  s.a = intern(*im, a);
+  s.out = intern(*im, out);
+  s.p0 = m;
+  s.p1 = n;
+  im->steps.push_back(s);
+}
+
+void on_copy(const Tensor& src, const Tensor& out) {
+  Program::Impl* im = rec();
+  if (!im) return;
+  Step s;
+  s.kind = StepKind::kCopy;
+  s.a = intern(*im, src);
+  s.out = intern(*im, out);
+  s.p0 = out.numel();
+  im->steps.push_back(s);
+}
+
+void on_slice_pack(const Tensor& in, const Tensor& out, int64_t outer,
+                   int64_t len, int64_t inner, int64_t n_axis, int64_t start) {
+  Program::Impl* im = rec();
+  if (!im) return;
+  Step s;
+  s.kind = StepKind::kSlicePack;
+  s.a = intern(*im, in);
+  s.out = intern(*im, out);
+  s.p0 = outer;
+  s.p1 = len;
+  s.p2 = inner;
+  s.p3 = n_axis;
+  s.p4 = start;
+  im->steps.push_back(s);
+}
+
+void on_slice_scatter(const Tensor& g, const Tensor& out, int64_t outer,
+                      int64_t len, int64_t inner, int64_t n_axis,
+                      int64_t start) {
+  Program::Impl* im = rec();
+  if (!im) return;
+  Step s;
+  s.kind = StepKind::kSliceScatter;
+  s.a = intern(*im, g);
+  s.out = intern(*im, out);
+  s.p0 = outer;
+  s.p1 = len;
+  s.p2 = inner;
+  s.p3 = n_axis;
+  s.p4 = start;
+  im->steps.push_back(s);
+}
+
+void on_concat_part(const Tensor& part, const Tensor& out, int64_t outer,
+                    int64_t total, int64_t offset, int64_t len, int64_t inner) {
+  Program::Impl* im = rec();
+  if (!im) return;
+  Step s;
+  s.kind = StepKind::kConcatPart;
+  s.a = intern(*im, part);
+  s.out = intern(*im, out);
+  s.p0 = outer;
+  s.p1 = total;
+  s.p2 = offset;
+  s.p3 = len;
+  s.p4 = inner;
+  im->steps.push_back(s);
+}
+
+namespace {
+void conv_common(Step& s, StepKind kind, const Tensor& a, const Tensor& b,
+                 const Tensor* c, const Tensor& out, int64_t B, int64_t Cin,
+                 int64_t L, int64_t Cout, int64_t K, int64_t padding) {
+  Program::Impl& im = *rec();
+  s.kind = kind;
+  s.a = intern(im, a);
+  s.b = intern(im, b);
+  s.c = (c && c->defined()) ? intern(im, *c) : -1;
+  s.out = intern(im, out);
+  s.p0 = B;
+  s.p1 = Cin;
+  s.p2 = L;
+  s.p3 = Cout;
+  s.p4 = K;
+  s.p5 = padding;
+  im.steps.push_back(s);
+}
+}  // namespace
+
+void on_conv1d_forward(const Tensor& in, const Tensor& w, const Tensor* bias,
+                       const Tensor& out, int64_t B, int64_t Cin, int64_t L,
+                       int64_t Cout, int64_t K, int64_t padding) {
+  if (!rec()) return;
+  Step s;
+  conv_common(s, StepKind::kConv1dFwd, in, w, bias, out, B, Cin, L, Cout, K,
+              padding);
+}
+
+void on_conv1d_grad_input(const Tensor& gout, const Tensor& w,
+                          const Tensor& out, int64_t B, int64_t Cin, int64_t L,
+                          int64_t Cout, int64_t K, int64_t padding) {
+  if (!rec()) return;
+  Step s;
+  conv_common(s, StepKind::kConv1dGradIn, gout, w, nullptr, out, B, Cin, L,
+              Cout, K, padding);
+}
+
+void on_conv1d_grad_weight(const Tensor& gout, const Tensor& in,
+                           const Tensor& out, int64_t B, int64_t Cin,
+                           int64_t L, int64_t Cout, int64_t K,
+                           int64_t padding) {
+  if (!rec()) return;
+  Step s;
+  conv_common(s, StepKind::kConv1dGradW, gout, in, nullptr, out, B, Cin, L,
+              Cout, K, padding);
+}
+
+void on_conv1d_grad_bias(const Tensor& gout, const Tensor& out, int64_t B,
+                         int64_t Cout, int64_t Lout) {
+  Program::Impl* im = rec();
+  if (!im) return;
+  Step s;
+  s.kind = StepKind::kConv1dGradB;
+  s.a = intern(*im, gout);
+  s.out = intern(*im, out);
+  s.p0 = B;
+  s.p1 = Cout;
+  s.p2 = Lout;
+  im->steps.push_back(s);
+}
+
+}  // namespace prog
+
+namespace {
+
+/// Lower the raw trace: release the recorded autodiff graph, compute slot
+/// live ranges, pack internal slots onto reused arena buffers, resolve
+/// every operand to a raw pointer.
+void lower(Program::Impl& im) {
+  const std::size_t S = im.slots.size();
+  im.slot_of.clear();
+  im.slot_len.resize(S);
+  for (std::size_t s = 0; s < S; ++s) {
+    im.slot_len[s] = static_cast<int64_t>(im.slots[s]->data.size());
+  }
+  // Release the graph first: tape nodes hold input Tensors, so slot use
+  // counts are only meaningful once every node is gone (this is also what
+  // lets the tape arena rewind — the program owns buffers, not history).
+  for (auto& sp : im.slots) sp->grad_fn.reset();
+
+  // Live ranges. def = first write, first/last = first/last access of any
+  // kind. Every step writes a freshly created output, so def normally
+  // equals first access; the conservative check below keeps any slot that
+  // would be read before its first write (impossible today) external.
+  std::vector<std::int32_t> def(S, -1), first(S, -1), last(S, -1);
+  auto touch = [&](std::int32_t slot, std::int32_t i, bool write) {
+    if (slot < 0) return;
+    if (first[slot] < 0) first[slot] = i;
+    last[slot] = i;
+    if (write && def[slot] < 0) def[slot] = i;
+  };
+  for (std::size_t i = 0; i < im.steps.size(); ++i) {
+    const Step& st = im.steps[i];
+    const auto si = static_cast<std::int32_t>(i);
+    touch(st.a, si, false);
+    touch(st.b, si, false);
+    touch(st.c, si, false);
+    touch(st.out, si, true);
+  }
+
+  // A slot is internal — its buffer reusable — iff nothing outside the
+  // program references its TensorImpl (we hold the only count) and a step
+  // fully defines it before any use. Everything else stays pinned:
+  // leaves, parameters, `.grad` buffers, kept loss tensors, constants
+  // materialized at capture time.
+  std::vector<char> internal(S, 0);
+  for (std::size_t s = 0; s < S; ++s) {
+    internal[s] = im.slots[s].use_count() == 1 && def[s] >= 0 &&
+                  def[s] == first[s];
+  }
+
+  // Exact-size reuse of internal buffers across disjoint live ranges.
+  std::vector<std::vector<std::int32_t>> released(im.steps.size());
+  for (std::size_t s = 0; s < S; ++s) {
+    if (internal[s]) released[static_cast<std::size_t>(last[s])].push_back(
+        static_cast<std::int32_t>(s));
+  }
+  std::unordered_map<int64_t, std::vector<std::int32_t>> free_by_len;
+  std::vector<std::int32_t> arena_of(S, -1);
+  for (std::size_t i = 0; i < im.steps.size(); ++i) {
+    const std::int32_t o = im.steps[i].out;
+    if (o >= 0 && internal[static_cast<std::size_t>(o)] &&
+        def[static_cast<std::size_t>(o)] == static_cast<std::int32_t>(i)) {
+      auto& fl = free_by_len[im.slot_len[static_cast<std::size_t>(o)]];
+      if (!fl.empty()) {
+        arena_of[static_cast<std::size_t>(o)] = fl.back();
+        fl.pop_back();
+      } else {
+        arena_of[static_cast<std::size_t>(o)] =
+            static_cast<std::int32_t>(im.arena.size());
+        im.arena.emplace_back(
+            static_cast<std::size_t>(im.slot_len[static_cast<std::size_t>(o)]));
+      }
+    }
+    for (std::int32_t s : released[i]) {
+      free_by_len[im.slot_len[static_cast<std::size_t>(s)]].push_back(
+          arena_of[static_cast<std::size_t>(s)]);
+    }
+  }
+
+  im.buf.resize(S);
+  for (std::size_t s = 0; s < S; ++s) {
+    if (internal[s]) {
+      im.buf[s] = im.arena[static_cast<std::size_t>(arena_of[s])].data();
+      im.slots[s].reset();  // payload returns to the pool
+    } else {
+      im.buf[s] = im.slots[s]->data.data();
+      ++im.external_slots;
+      im.pinned_bytes += im.slots[s]->data.size() * sizeof(real);
+    }
+  }
+  for (const auto& a : im.arena) im.arena_bytes += a.size() * sizeof(real);
+}
+
+void execute(Program::Impl& im, const Step& s) {
+  real* const* B = im.buf.data();
+  switch (s.kind) {
+    case StepKind::kUnary: {
+      const real* a = B[s.a];
+      real* o = B[s.out];
+      const int64_t n = s.p0;
+      switch (static_cast<prog::Unary>(s.fn)) {
+        case prog::Unary::kAddScalar:
+          kernels::map_unary(a, o, n, sfn::AddScalar{s.scalar});
+          break;
+        case prog::Unary::kMulScalar:
+          kernels::map_unary(a, o, n, sfn::MulScalar{s.scalar});
+          break;
+        case prog::Unary::kPowScalar:
+          kernels::map_unary(a, o, n, sfn::PowScalar{s.scalar});
+          break;
+        case prog::Unary::kNeg:
+          kernels::map_unary(a, o, n, sfn::Neg{});
+          break;
+        case prog::Unary::kExp:
+          kernels::map_unary(a, o, n, sfn::Exp{});
+          break;
+        case prog::Unary::kLog:
+          kernels::map_unary(a, o, n, sfn::Log{});
+          break;
+        case prog::Unary::kSqrt:
+          kernels::map_unary(a, o, n, sfn::Sqrt{});
+          break;
+        case prog::Unary::kTanh:
+          kernels::map_unary(a, o, n, sfn::Tanh{});
+          break;
+        case prog::Unary::kAbs:
+          kernels::map_unary(a, o, n, sfn::Abs{});
+          break;
+        case prog::Unary::kSign:
+          kernels::map_unary(a, o, n, sfn::Sign{});
+          break;
+        case prog::Unary::kGelu:
+          kernels::map_unary(a, o, n, sfn::Gelu{});
+          break;
+      }
+      break;
+    }
+    case StepKind::kBinary: {
+      const real* a = B[s.a];
+      const real* b = B[s.b];
+      real* o = B[s.out];
+      const int64_t n = s.p0;
+      switch (static_cast<prog::Binary>(s.fn)) {
+        case prog::Binary::kAdd:
+          kernels::map_binary(a, b, o, n, sfn::Add{});
+          break;
+        case prog::Binary::kSub:
+          kernels::map_binary(a, b, o, n, sfn::Sub{});
+          break;
+        case prog::Binary::kMul:
+          kernels::map_binary(a, b, o, n, sfn::Mul{});
+          break;
+        case prog::Binary::kDiv:
+          kernels::map_binary(a, b, o, n, sfn::Div{});
+          break;
+      }
+      break;
+    }
+    case StepKind::kBinaryBcast: {
+      const kernels::BroadcastPlan& plan =
+          im.bplans[static_cast<std::size_t>(s.plan)];
+      const real* a = B[s.a];
+      const real* b = B[s.b];
+      real* o = B[s.out];
+      switch (static_cast<prog::Binary>(s.fn)) {
+        case prog::Binary::kAdd:
+          kernels::map_broadcast(plan, a, b, o, sfn::Add{});
+          break;
+        case prog::Binary::kSub:
+          kernels::map_broadcast(plan, a, b, o, sfn::Sub{});
+          break;
+        case prog::Binary::kMul:
+          kernels::map_broadcast(plan, a, b, o, sfn::Mul{});
+          break;
+        case prog::Binary::kDiv:
+          kernels::map_broadcast(plan, a, b, o, sfn::Div{});
+          break;
+      }
+      break;
+    }
+    case StepKind::kBcastCopy:
+      kernels::broadcast_copy(im.bplans[static_cast<std::size_t>(s.plan)],
+                              B[s.a], B[s.out]);
+      break;
+    case StepKind::kReduce:
+      kernels::reduce_broadcast(im.rplans[static_cast<std::size_t>(s.plan)],
+                                B[s.a], B[s.out]);
+      break;
+    case StepKind::kSumAll:
+      B[s.out][0] = kernels::reduce_sum(B[s.a], s.p0);
+      break;
+    case StepKind::kSumAxis: {
+      real* o = B[s.out];
+      std::fill(o, o + im.slot_len[static_cast<std::size_t>(s.out)], real{0});
+      kernels::sum_axis(B[s.a], o, s.p0, s.p1, s.p2);
+      break;
+    }
+    case StepKind::kMatmul:
+      kernels::matmul(B[s.a], B[s.b], s.c >= 0 ? B[s.c] : nullptr, B[s.out],
+                      s.p0, s.p1, s.p2);
+      break;
+    case StepKind::kTranspose:
+      kernels::transpose(B[s.a], B[s.out], s.p0, s.p1);
+      break;
+    case StepKind::kCopy:
+      std::memcpy(B[s.out], B[s.a],
+                  static_cast<std::size_t>(s.p0) * sizeof(real));
+      break;
+    case StepKind::kSlicePack: {
+      const real* p = B[s.a];
+      real* po = B[s.out];
+      const int64_t len = s.p1, inner = s.p2, n_axis = s.p3, start = s.p4;
+      kernels::parallel_for(s.p0, len * inner, [&](int64_t b0, int64_t e0) {
+        for (int64_t o = b0; o < e0; ++o) {
+          std::memcpy(po + o * len * inner, p + (o * n_axis + start) * inner,
+                      static_cast<std::size_t>(len * inner) * sizeof(real));
+        }
+      });
+      break;
+    }
+    case StepKind::kSliceScatter: {
+      // The eager backward wrote its windows into a freshly zeroed
+      // payload; with buffer reuse the zero background must be restored.
+      const real* pg = B[s.a];
+      real* pp = B[s.out];
+      std::fill(pp, pp + im.slot_len[static_cast<std::size_t>(s.out)],
+                real{0});
+      const int64_t len = s.p1, inner = s.p2, n_axis = s.p3, start = s.p4;
+      for (int64_t o = 0; o < s.p0; ++o) {
+        std::memcpy(pp + (o * n_axis + start) * inner, pg + o * len * inner,
+                    static_cast<std::size_t>(len * inner) * sizeof(real));
+      }
+      break;
+    }
+    case StepKind::kConcatPart: {
+      const real* pp = B[s.a];
+      real* po = B[s.out];
+      const int64_t total = s.p1, offset = s.p2, len = s.p3, inner = s.p4;
+      for (int64_t o = 0; o < s.p0; ++o) {
+        std::memcpy(po + (o * total + offset) * inner, pp + o * len * inner,
+                    static_cast<std::size_t>(len * inner) * sizeof(real));
+      }
+      break;
+    }
+    case StepKind::kConv1dFwd:
+      kernels::conv1d_forward(B[s.a], B[s.b], s.c >= 0 ? B[s.c] : nullptr,
+                              B[s.out], s.p0, s.p1, s.p2, s.p3, s.p4, s.p5);
+      break;
+    case StepKind::kConv1dGradIn: {
+      real* o = B[s.out];
+      std::fill(o, o + im.slot_len[static_cast<std::size_t>(s.out)], real{0});
+      kernels::conv1d_grad_input(B[s.a], B[s.b], o, s.p0, s.p1, s.p2, s.p3,
+                                 s.p4, s.p5);
+      break;
+    }
+    case StepKind::kConv1dGradW: {
+      real* o = B[s.out];
+      std::fill(o, o + im.slot_len[static_cast<std::size_t>(s.out)], real{0});
+      kernels::conv1d_grad_weight(B[s.a], B[s.b], o, s.p0, s.p1, s.p2, s.p3,
+                                  s.p4, s.p5);
+      break;
+    }
+    case StepKind::kConv1dGradB: {
+      real* o = B[s.out];
+      std::fill(o, o + im.slot_len[static_cast<std::size_t>(s.out)], real{0});
+      kernels::conv1d_grad_bias(B[s.a], o, s.p0, s.p1, s.p2);
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+Program::Program() : impl_(std::make_unique<Impl>()) {}
+Program::~Program() = default;
+Program::Program(Program&&) noexcept = default;
+Program& Program::operator=(Program&&) noexcept = default;
+
+void Program::capture(const std::function<void()>& fn) {
+  if (prog::detail::g_recorder) {
+    throw std::logic_error("Program::capture: nested capture on one thread");
+  }
+  reset();
+  Impl& im = *impl_;
+  const double t0 = now_ms();
+  prog::detail::g_recorder = &im;
+  try {
+    fn();
+  } catch (...) {
+    prog::detail::g_recorder = nullptr;
+    reset();
+    throw;
+  }
+  prog::detail::g_recorder = nullptr;
+  lower(im);
+  im.capture_ms = now_ms() - t0;
+  ++im.captures;
+  im.ready = true;
+}
+
+bool Program::captured() const { return impl_->ready; }
+
+void Program::replay() {
+  Impl& im = *impl_;
+  if (!im.ready) throw std::logic_error("Program::replay before capture");
+  for (const Step& s : im.steps) execute(im, s);
+  ++im.replays;
+}
+
+void Program::reset() { impl_->clear_plan(); }
+
+Program::Stats Program::stats() const {
+  const Impl& im = *impl_;
+  Stats st;
+  st.steps = im.steps.size();
+  st.slots = im.slots.size();
+  st.external_slots = im.external_slots;
+  st.arena_bytes = im.arena_bytes;
+  st.pinned_bytes = im.pinned_bytes;
+  st.capture_ms = im.capture_ms;
+  st.captures = im.captures;
+  st.replays = im.replays;
+  return st;
+}
+
+}  // namespace mf::ad

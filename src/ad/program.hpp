@@ -1,0 +1,175 @@
+// Compiled tape programs: capture one eager step, replay it allocation-
+// and dispatch-free.
+//
+// PR 3 made tape *construction* allocation-free, but every training step
+// still re-recorded and re-walked an identical autodiff graph: per-step
+// cost was dominated by node recording, shared_ptr traffic and virtual
+// backward dispatch rather than FLOPs. `Program` removes all of it for
+// steady-state loops with fixed shapes (the Schwarz iteration and the
+// three-backward-pass PDE training step):
+//
+//   capture(fn)  — runs `fn` eagerly on the calling thread while recording
+//                  every executed tensor kernel (forward ops, the engine's
+//                  backward sweeps including `create_graph` second-order
+//                  chains, gradient accumulation into `.grad`, detach
+//                  copies) as one flat, execution-ordered plan of typed
+//                  steps. Tensors touched by the step become numbered
+//                  slots; step operands are slot indices.
+//   (lowering)   — at capture end the plan is lowered: the recorded
+//                  autodiff graph is released (the arena rewinds), buffers
+//                  that nothing outside the program references are
+//                  liveness-packed onto a reused internal arena (two
+//                  intermediates whose live ranges do not overlap share
+//                  storage), and every operand is resolved to a raw
+//                  `real*`.
+//   replay()     — re-executes the plan: a switch over typed kernel steps
+//                  on raw buffers. No tensor construction, no node
+//                  recording, no shared_ptr traffic, no virtual dispatch,
+//                  no GradMode. Leaf slots (parameters, batch inputs) are
+//                  read live, so refilling those tensors in place and
+//                  replaying reproduces the eager step bitwise on new
+//                  data; gradients land in the same `.grad` buffers the
+//                  captured step produced, so `average_gradients` and the
+//                  optimizers are untouched.
+//
+// Validity: a captured plan encodes one fixed graph topology. Callers must
+// re-capture when any leaf shape (or anything else that changes the
+// recorded control flow, e.g. a loss weight captured as a constant)
+// changes — see the shape keys in mosaic::CompiledTrainStep and
+// NeuralSubdomainSolver. Kernels make their threading decisions at run
+// time from the same work sizes, so replay partitions exactly like eager
+// execution at the same thread count.
+//
+// Escape hatch: MF_DISABLE_PROGRAM=1 (or program_set_enabled(false))
+// makes program_enabled() false; the wired call sites then run eagerly,
+// bit-for-bit like pre-PR-4 code (mirrors MF_DISABLE_POOL / _ARENA).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "ad/kernels.hpp"
+#include "ad/tensor.hpp"
+
+namespace mf::ad {
+
+class Program {
+ public:
+  struct Stats {
+    std::size_t steps = 0;          // typed kernel steps in the plan
+    std::size_t slots = 0;          // distinct buffers referenced
+    std::size_t external_slots = 0; // slots alive outside the program
+    std::size_t arena_bytes = 0;    // liveness-packed internal storage
+    std::size_t pinned_bytes = 0;   // externally visible slot payloads
+    double capture_ms = 0;          // wall time of the last capture
+    std::uint64_t captures = 0;     // captures over this Program's life
+    std::uint64_t replays = 0;
+  };
+
+  Program();
+  ~Program();
+  Program(Program&&) noexcept;
+  Program& operator=(Program&&) noexcept;
+  Program(const Program&) = delete;
+  Program& operator=(const Program&) = delete;
+
+  /// Run `fn` eagerly while recording, then lower the trace into the
+  /// replayable plan. Drops any previous plan first. Capture is
+  /// thread-confined and non-reentrant (throws on nested capture). On
+  /// return the autodiff graph recorded by `fn` has been released: keep
+  /// result tensors if you need their values, not their history.
+  void capture(const std::function<void()>& fn);
+
+  /// True when a plan is ready to replay.
+  bool captured() const;
+
+  /// Re-execute the captured step against the current contents of its
+  /// leaf buffers. Requires captured().
+  void replay();
+
+  /// Drop the plan and every retained buffer.
+  void reset();
+
+  Stats stats() const;
+
+  struct Impl;  // also the active capture recorder (see program.cpp)
+
+ private:
+  std::unique_ptr<Impl> impl_;
+};
+
+/// False when MF_DISABLE_PROGRAM=1: wired call sites stay eager.
+bool program_enabled();
+/// Override the env default (tests / benches). Returns previous value.
+bool program_set_enabled(bool on);
+
+// ---- capture hooks ----------------------------------------------------
+//
+// ops.cpp (and Tensor::detach) call these right where each kernel runs.
+// They are no-ops unless the calling thread is inside Program::capture;
+// `capturing()` is an inline thread-local test so the eager fast path
+// pays one predictable branch per kernel.
+namespace prog {
+
+namespace detail {
+extern thread_local Program::Impl* g_recorder;
+}
+inline bool capturing() { return detail::g_recorder != nullptr; }
+
+enum class Unary : std::uint8_t {
+  kAddScalar,
+  kMulScalar,
+  kPowScalar,
+  kNeg,
+  kExp,
+  kLog,
+  kSqrt,
+  kTanh,
+  kAbs,
+  kSign,
+  kGelu,
+};
+
+enum class Binary : std::uint8_t { kAdd, kSub, kMul, kDiv };
+
+void on_unary(Unary fn, real scalar, const Tensor& a, const Tensor& out);
+void on_binary(Binary fn, const Tensor& a, const Tensor& b, const Tensor& out);
+void on_binary_bcast(Binary fn, const kernels::BroadcastPlan& plan,
+                     const Tensor& a, const Tensor& b, const Tensor& out);
+void on_broadcast_copy(const kernels::BroadcastPlan& plan, const Tensor& a,
+                       const Tensor& out);
+void on_reduce(const kernels::ReducePlan& plan, const Tensor& a,
+               const Tensor& out);
+void on_sum_all(const Tensor& a, const Tensor& out);
+void on_sum_axis(const Tensor& a, const Tensor& out, int64_t outer,
+                 int64_t n_axis, int64_t inner);
+void on_matmul(const Tensor& a, const Tensor& b, const Tensor* bias,
+               const Tensor& out, int64_t m, int64_t k, int64_t n);
+void on_transpose(const Tensor& a, const Tensor& out, int64_t m, int64_t n);
+/// Full-buffer copy (reshape / detach / clone).
+void on_copy(const Tensor& src, const Tensor& out);
+void on_slice_pack(const Tensor& in, const Tensor& out, int64_t outer,
+                   int64_t len, int64_t inner, int64_t n_axis, int64_t start);
+void on_slice_scatter(const Tensor& g, const Tensor& out, int64_t outer,
+                      int64_t len, int64_t inner, int64_t n_axis,
+                      int64_t start);
+/// One source block of a concat (called once per part, in order).
+void on_concat_part(const Tensor& part, const Tensor& out, int64_t outer,
+                    int64_t total, int64_t offset, int64_t len, int64_t inner);
+void on_conv1d_forward(const Tensor& in, const Tensor& w, const Tensor* bias,
+                       const Tensor& out, int64_t B, int64_t Cin, int64_t L,
+                       int64_t Cout, int64_t K, int64_t padding);
+void on_conv1d_grad_input(const Tensor& gout, const Tensor& w,
+                          const Tensor& out, int64_t B, int64_t Cin, int64_t L,
+                          int64_t Cout, int64_t K, int64_t padding);
+void on_conv1d_grad_weight(const Tensor& gout, const Tensor& in,
+                           const Tensor& out, int64_t B, int64_t Cin,
+                           int64_t L, int64_t Cout, int64_t K,
+                           int64_t padding);
+void on_conv1d_grad_bias(const Tensor& gout, const Tensor& out, int64_t B,
+                         int64_t Cout, int64_t Lout);
+
+}  // namespace prog
+
+}  // namespace mf::ad

@@ -1,0 +1,76 @@
+// Scalar functors shared by the eager ops (ops.cpp) and the compiled
+// program replay (program.cpp).
+//
+// Bitwise parity between an eagerly executed step and its replay requires
+// that both paths evaluate the *same* floating-point expressions. Keeping
+// every elementwise scalar function in one header — and instantiating the
+// kernels in both translation units from these exact functors — makes that
+// guarantee structural instead of accidental.
+#pragma once
+
+#include <cmath>
+
+#include "ad/tensor.hpp"
+
+namespace mf::ad::sfn {
+
+constexpr real kGeluCoeff = 0.7978845608028654;  // sqrt(2/pi)
+
+// ---- binary ----
+struct Add {
+  real operator()(real x, real y) const { return x + y; }
+};
+struct Sub {
+  real operator()(real x, real y) const { return x - y; }
+};
+struct Mul {
+  real operator()(real x, real y) const { return x * y; }
+};
+struct Div {
+  real operator()(real x, real y) const { return x / y; }
+};
+
+// ---- unary (the scalar-parameterized ones carry their parameter) ----
+struct AddScalar {
+  real s;
+  real operator()(real x) const { return x + s; }
+};
+struct MulScalar {
+  real s;
+  real operator()(real x) const { return x * s; }
+};
+struct PowScalar {
+  real e;
+  real operator()(real x) const { return std::pow(x, e); }
+};
+struct Neg {
+  real operator()(real x) const { return -x; }
+};
+struct Exp {
+  real operator()(real x) const { return std::exp(x); }
+};
+struct Log {
+  real operator()(real x) const { return std::log(x); }
+};
+struct Sqrt {
+  real operator()(real x) const { return std::sqrt(x); }
+};
+struct Tanh {
+  real operator()(real x) const { return std::tanh(x); }
+};
+struct Abs {
+  real operator()(real x) const { return std::abs(x); }
+};
+struct Sign {
+  real operator()(real x) const {
+    return x > 0 ? real{1} : (x < 0 ? real{-1} : real{0});
+  }
+};
+struct Gelu {
+  real operator()(real x) const {
+    const real u = kGeluCoeff * (x + 0.044715 * x * x * x);
+    return 0.5 * x * (1.0 + std::tanh(u));
+  }
+};
+
+}  // namespace mf::ad::sfn

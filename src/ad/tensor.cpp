@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "ad/pool.hpp"
+#include "ad/program.hpp"
 
 namespace mf::ad {
 
@@ -152,7 +153,11 @@ void Tensor::set_grad(const Tensor& g) { impl_->grad = g.impl(); }
 void Tensor::zero_grad() { impl_->grad.reset(); }
 
 Tensor Tensor::detach() const {
-  return from_data(impl_->data.data(), impl_->shape);
+  Tensor out = from_data(impl_->data.data(), impl_->shape);
+  // Detach copies move live data (e.g. gradient accumulation into `.grad`
+  // snapshots), so a capturing program must record them.
+  if (prog::capturing()) prog::on_copy(*this, out);
+  return out;
 }
 
 Tensor Tensor::clone() const { return detach(); }

@@ -108,6 +108,97 @@ void Comm::sendrecv(int peer, const std::vector<double>& out,
   in = recv_vec(peer, tag);
 }
 
+void Comm::isend(int dst, const double* data, std::size_t n, int tag) {
+  // Both transports' sends are already buffered/non-blocking, so the
+  // nonblocking send is the send: the name documents intent at call
+  // sites that overlap communication with compute.
+  check_tag(tag);
+  send_internal(dst, data, n, tag);
+}
+
+void Comm::isend(int dst, const std::vector<double>& data, int tag) {
+  isend(dst, data.data(), data.size(), tag);
+}
+
+Comm::Request Comm::irecv(int src, int tag) {
+  check_tag(tag);
+  PendingRecv p;
+  p.src = src;
+  p.tag = tag;
+  pending_recvs_.push_back(std::move(p));
+  const Request r = (static_cast<Request>(recv_generation_) << 32) |
+                    static_cast<Request>(pending_recvs_.size() - 1);
+  // Opportunistic drain: earlier posts whose messages already landed
+  // complete now, so their buffers stop occupying the transport.
+  progress();
+  return r;
+}
+
+void Comm::progress() {
+  // Once a probe for a (src, tag) signature comes back empty this pass,
+  // later pending receives with the same signature must not probe again:
+  // a message landing between the two probes belongs to the earlier post
+  // (post-order matching), not to whichever probe happens to run next.
+  std::vector<std::pair<int, int>> empty_sigs;
+  auto sig_empty = [&](int src, int tag) {
+    for (const auto& s : empty_sigs) {
+      if (s.first == src && s.second == tag) return true;
+    }
+    return false;
+  };
+  for (auto& p : pending_recvs_) {
+    if (p.done || p.consumed) continue;
+    if (sig_empty(p.src, p.tag)) continue;
+    const auto t0 = std::chrono::steady_clock::now();
+    if (!transport_try_recv(p.src, p.tag, p.payload)) {
+      empty_sigs.emplace_back(p.src, p.tag);
+      continue;
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    // Same receiver-side accounting as the blocking path; the wall time
+    // is the probe cost, not a block — that is the overlap win.
+    record(stats_entry(p.tag), p.payload.size() * sizeof(double),
+           std::chrono::duration<double>(t1 - t0).count());
+    p.done = true;
+  }
+}
+
+std::vector<double> Comm::wait_recv(Request r) {
+  const std::uint32_t generation = static_cast<std::uint32_t>(r >> 32);
+  const std::size_t idx = static_cast<std::size_t>(r & 0xffffffffu);
+  if (generation != recv_generation_ || idx >= pending_recvs_.size() ||
+      pending_recvs_[idx].consumed) {
+    throw std::logic_error("wait_recv: invalid or already-completed request");
+  }
+  PendingRecv& p = pending_recvs_[idx];
+  if (!p.done) {
+    // Post-order matching (MPI semantics): an earlier posted receive with
+    // the same (src, tag) owns the earlier message, even when the caller
+    // waits on a later request first.
+    for (std::size_t i = 0; i <= idx; ++i) {
+      PendingRecv& q = pending_recvs_[i];
+      if (q.done || q.consumed || q.src != p.src || q.tag != p.tag) continue;
+      const auto t0 = std::chrono::steady_clock::now();
+      q.payload = transport_recv(q.src, q.tag);
+      const auto t1 = std::chrono::steady_clock::now();
+      record(stats_entry(q.tag), q.payload.size() * sizeof(double),
+             std::chrono::duration<double>(t1 - t0).count());
+      q.done = true;
+    }
+  }
+  p.consumed = true;
+  std::vector<double> payload = std::move(p.payload);
+  // Recycle the table once every posted receive has been handed out;
+  // the generation bump invalidates any handle kept past this point.
+  bool all_consumed = true;
+  for (const auto& q : pending_recvs_) all_consumed &= q.consumed;
+  if (all_consumed) {
+    pending_recvs_.clear();
+    ++recv_generation_;
+  }
+  return payload;
+}
+
 double Comm::allreduce_sum(double value) {
   allreduce_sum(&value, 1);
   return value;

@@ -88,6 +88,28 @@ class Comm {
   void sendrecv(int peer, const std::vector<double>& out,
                 std::vector<double>& in, int tag = 0);
 
+  // ---- nonblocking point-to-point (halo overlap) ----
+  /// Handle for a posted receive (valid until its wait_recv). Encodes a
+  /// generation stamp so a stale handle kept across a table recycle is
+  /// rejected instead of silently aliasing a later request.
+  using Request = std::uint64_t;
+  /// Buffered nonblocking send: the payload is copied out of the caller's
+  /// buffer before returning (in-memory channel / MPI_Isend slot), so
+  /// there is nothing to wait on — the matching receive completes
+  /// delivery. Identical matching semantics to send().
+  void isend(int dst, const double* data, std::size_t n, int tag = 0);
+  void isend(int dst, const std::vector<double>& data, int tag = 0);
+  /// Post a receive matching (src, tag). Posting a whole neighborhood of
+  /// receives before waiting lets messages be drained in arrival order —
+  /// progress() (called opportunistically by irecv itself) completes any
+  /// posted receive whose message has already landed, so compute between
+  /// the posts and the waits overlaps communication.
+  Request irecv(int src, int tag = 0);
+  /// Non-blocking: complete every posted receive whose message arrived.
+  void progress();
+  /// Complete a posted receive, blocking until its message arrives.
+  std::vector<double> wait_recv(Request r);
+
   // ---- collectives ----
   virtual void allreduce_sum(double* data, std::size_t n);
   double allreduce_sum(double value);
@@ -112,6 +134,17 @@ class Comm {
   /// whatever its size.
   virtual std::vector<double> transport_recv(int src, int tag) = 0;
 
+  /// Non-blocking probe-and-receive: when a message matching (src, tag)
+  /// has already arrived, consume it into `out` and return true. The
+  /// default (no nonblocking support) always reports "not yet", which
+  /// degrades irecv/wait_recv to the blocking path.
+  virtual bool transport_try_recv(int src, int tag, std::vector<double>& out) {
+    (void)src;
+    (void)tag;
+    (void)out;
+    return false;
+  }
+
   /// Unchecked p2p with full stats accounting, for the default software
   /// collectives (their internal tags are outside the user range the
   /// public wrappers enforce).
@@ -128,6 +161,17 @@ class Comm {
 
   AlphaBetaModel model_;
   CommStats stats_;
+
+ private:
+  struct PendingRecv {
+    int src = -1;
+    int tag = 0;
+    bool done = false;      // payload received (by progress())
+    bool consumed = false;  // handed to the caller (by wait_recv())
+    std::vector<double> payload;
+  };
+  std::vector<PendingRecv> pending_recvs_;
+  std::uint32_t recv_generation_ = 0;  // bumped when the table recycles
 };
 
 }  // namespace mf::comm

@@ -95,6 +95,23 @@ std::vector<double> MpiComm::transport_recv(int src, int tag) {
   return payload;
 }
 
+bool MpiComm::transport_try_recv(int src, int tag, std::vector<double>& out) {
+  // Progress our own outstanding Isends while polling: a rank spinning in
+  // halo progress should also let its sent buffers retire.
+  reap_completed_sends();
+  int flag = 0;
+  MPI_Status status;
+  check(MPI_Iprobe(src, wire_tag(tag), comm_, &flag, &status), "MPI_Iprobe");
+  if (!flag) return false;
+  int count = 0;
+  check(MPI_Get_count(&status, MPI_DOUBLE, &count), "MPI_Get_count");
+  out.resize(static_cast<std::size_t>(count));
+  check(MPI_Recv(out.data(), count, MPI_DOUBLE, src, wire_tag(tag), comm_,
+                 MPI_STATUS_IGNORE),
+        "MPI_Recv");
+  return true;
+}
+
 void MpiComm::record_collective(CommStats::Entry& e, int messages,
                                 std::size_t bytes, double wall_seconds) {
   e.messages += static_cast<std::uint64_t>(messages);

@@ -42,6 +42,10 @@ class MpiComm final : public Comm {
   void transport_send(int dst, const double* data, std::size_t n,
                       int tag) override;
   std::vector<double> transport_recv(int src, int tag) override;
+  /// MPI_Iprobe-backed nonblocking receive: consumes an already-arrived
+  /// message without blocking (and reaps completed Isend slots while at
+  /// it), so posted halo receives drain in arrival order.
+  bool transport_try_recv(int src, int tag, std::vector<double>& out) override;
 
  private:
   /// MPI tags must be non-negative; internal (negative) tags are folded

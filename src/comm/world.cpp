@@ -33,6 +33,14 @@ std::vector<double> ThreadComm::transport_recv(int src, int tag) {
   return world_->take(rank_, src, tag).payload;
 }
 
+bool ThreadComm::transport_try_recv(int src, int tag,
+                                    std::vector<double>& out) {
+  World::Message msg;
+  if (!world_->try_take(rank_, src, tag, msg)) return false;
+  out = std::move(msg.payload);
+  return true;
+}
+
 World::World(int size, AlphaBetaModel model) : size_(size), model_(model) {
   if (size < 1) throw std::invalid_argument("World: size must be >= 1");
   mailboxes_.reserve(static_cast<std::size_t>(size));
@@ -112,6 +120,19 @@ void World::deliver(int dst, Message msg) {
     mb.queue.push_back(std::move(msg));
   }
   mb.cv.notify_all();
+}
+
+bool World::try_take(int dst, int src, int tag, Message& out) {
+  Mailbox& mb = *mailboxes_[static_cast<std::size_t>(dst)];
+  std::lock_guard<std::mutex> lock(mb.mutex);
+  for (auto it = mb.queue.begin(); it != mb.queue.end(); ++it) {
+    if (it->src == src && it->tag == tag) {
+      out = std::move(*it);
+      mb.queue.erase(it);
+      return true;
+    }
+  }
+  return false;
 }
 
 World::Message World::take(int dst, int src, int tag) {

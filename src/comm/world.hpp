@@ -38,6 +38,8 @@ class ThreadComm final : public Comm {
   void transport_send(int dst, const double* data, std::size_t n,
                       int tag) override;
   std::vector<double> transport_recv(int src, int tag) override;
+  bool transport_try_recv(int src, int tag,
+                          std::vector<double>& out) override;
 
  private:
   friend class World;
@@ -81,6 +83,8 @@ class World {
 
   void deliver(int dst, Message msg);
   Message take(int dst, int src, int tag);
+  /// Non-blocking take: consume a matching queued message if present.
+  bool try_take(int dst, int src, int tag, Message& out);
 
   int size_;
   AlphaBetaModel model_;

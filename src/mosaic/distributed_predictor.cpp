@@ -126,21 +126,44 @@ DistMfpResult distributed_mosaic_predict(
     }
     const bool exchange = (iter + 1) % options.halo_every == 0 ||
                           iter + 1 == options.max_iters;
+    // Nonblocking halo: post every receive, then every (buffered) send,
+    // so all eight messages are in flight before any rank blocks.
+    // Already-arrived messages drain opportunistically while the local
+    // bookkeeping between post and wait runs; the waits only block on
+    // stragglers. Received writes are still applied in fixed direction
+    // order, so the result is bitwise identical to the blocking exchange.
+    std::array<comm::Comm::Request, comm::kNumDirections> rreq{};
+    std::array<bool, comm::kNumDirections> posted{};
     if (exchange) {
       for (int d = 0; d < comm::kNumDirections; ++d) {
         const int nr = neighbors[static_cast<std::size_t>(d)];
         if (nr < 0) continue;
-        comm.send(nr, pending[static_cast<std::size_t>(d)], kHaloTagBase + d);
-        pending[static_cast<std::size_t>(d)].clear();
+        // The neighbor tags its message with the direction from *its*
+        // perspective, which is the opposite of ours.
+        const int tag = kHaloTagBase + static_cast<int>(comm::opposite(
+                                           static_cast<comm::Direction>(d)));
+        rreq[static_cast<std::size_t>(d)] = comm.irecv(nr, tag);
+        posted[static_cast<std::size_t>(d)] = true;
       }
       for (int d = 0; d < comm::kNumDirections; ++d) {
         const int nr = neighbors[static_cast<std::size_t>(d)];
         if (nr < 0) continue;
-        // The neighbor tagged its message with the direction from *its*
-        // perspective, which is the opposite of ours.
-        const int tag = kHaloTagBase + static_cast<int>(comm::opposite(
-                                           static_cast<comm::Direction>(d)));
-        std::vector<double> packed = comm.recv_vec(nr, tag);
+        comm.isend(nr, pending[static_cast<std::size_t>(d)], kHaloTagBase + d);
+        pending[static_cast<std::size_t>(d)].clear();
+      }
+    }
+    // Fold this iteration's convergence contribution — when an exchange
+    // is in flight this overlaps the halo messages (pure local
+    // arithmetic, no halo dependency).
+    cycle_num += pr.delta_num;
+    cycle_den += pr.delta_den;
+    result.iterations = iter + 1;
+    if (exchange) {
+      comm.progress();
+      for (int d = 0; d < comm::kNumDirections; ++d) {
+        if (!posted[static_cast<std::size_t>(d)]) continue;
+        std::vector<double> packed =
+            comm.wait_recv(rreq[static_cast<std::size_t>(d)]);
         for (std::size_t k = 0; k + 2 < packed.size(); k += 3) {
           const int64_t gx = static_cast<int64_t>(packed[k]);
           const int64_t gy = static_cast<int64_t>(packed[k + 1]);
@@ -152,9 +175,6 @@ DistMfpResult distributed_mosaic_predict(
     // Convergence test (lines 5-8): global relative change over a full
     // 4-phase cycle (single phases can touch too few subdomains for a
     // meaningful delta).
-    cycle_num += pr.delta_num;
-    cycle_den += pr.delta_den;
-    result.iterations = iter + 1;
     if (phase == 3) {
       double nums[2] = {cycle_num, cycle_den};
       comm.allreduce_sum(nums, 2);

@@ -1,6 +1,7 @@
 #include "mosaic/subdomain_solver.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <stdexcept>
 
@@ -8,6 +9,70 @@
 #include "linalg/multigrid.hpp"
 
 namespace mf::mosaic {
+
+namespace {
+
+/// One captured batched-inference plan: leaf tensors + program for a
+/// specific (solver, batch size, query count) geometry. A geometry is
+/// captured on its *second* occurrence: one-shot shapes (a phase that
+/// never recurs) stay eager and pay nothing, recurring shapes (the 4
+/// Schwarz phases of a convergence run) replay from their third call on.
+struct InferEntry {
+  std::uint64_t solver_serial = 0;
+  int64_t B = -1, q = -1, G = -1;
+  ad::Tensor g, x, pred;
+  ad::Program program;
+};
+
+// Per-thread shape-keyed cache. Keyed by a per-solver serial number — not
+// the solver pointer — so a new solver constructed at a recycled address
+// can never replay a dead solver's captured weights. Bounded: the oldest
+// entry is evicted, dropping its pinned buffers (its capture/replay
+// counters are folded into a per-thread tally so stats survive eviction).
+thread_local std::vector<InferEntry> t_infer_cache;
+thread_local std::vector<std::pair<std::uint64_t, ad::Program::Stats>>
+    t_evicted_stats;
+constexpr std::size_t kMaxInferEntries = 8;
+
+void fold_stats(ad::Program::Stats& agg, const ad::Program::Stats& s) {
+  agg.steps += s.steps;
+  agg.slots += s.slots;
+  agg.external_slots += s.external_slots;
+  agg.arena_bytes += s.arena_bytes;
+  agg.pinned_bytes += s.pinned_bytes;
+  agg.capture_ms += s.capture_ms;
+  agg.captures += s.captures;
+  agg.replays += s.replays;
+}
+
+void evict_oldest_entry() {
+  const InferEntry& victim = t_infer_cache.front();
+  if (victim.program.captured()) {
+    bool folded = false;
+    for (auto& [serial, tally] : t_evicted_stats) {
+      if (serial == victim.solver_serial) {
+        fold_stats(tally, victim.program.stats());
+        folded = true;
+        break;
+      }
+    }
+    if (!folded) {
+      // Bounded best-effort: a long-lived thread cycling through many
+      // solvers must not accumulate tallies for dead serials forever.
+      constexpr std::size_t kMaxTallies = 64;
+      if (t_evicted_stats.size() >= kMaxTallies) {
+        t_evicted_stats.erase(t_evicted_stats.begin());
+      }
+      t_evicted_stats.emplace_back(victim.solver_serial,
+                                   victim.program.stats());
+    }
+  }
+  t_infer_cache.erase(t_infer_cache.begin());
+}
+
+std::atomic<std::uint64_t> g_solver_serial{1};
+
+}  // namespace
 
 void SubdomainSolver::predict_one_into(const std::vector<double>& boundary,
                                        const QueryList& queries,
@@ -37,12 +102,62 @@ double sample_bilinear(const linalg::Grid2D& g, double qx, double qy) {
 
 NeuralSubdomainSolver::NeuralSubdomainSolver(std::shared_ptr<const Sdnet> net,
                                              int64_t m)
-    : net_(std::move(net)), m_(m) {
+    : net_(std::move(net)),
+      m_(m),
+      serial_(g_solver_serial.fetch_add(1, std::memory_order_relaxed)) {
   if (net_->config().boundary_size != 4 * m) {
     throw std::invalid_argument(
         "NeuralSubdomainSolver: network boundary size != 4m");
   }
 }
+
+NeuralSubdomainSolver::~NeuralSubdomainSolver() {
+  // Release this thread's captured plans (and their pinned weight
+  // payloads) now rather than waiting for FIFO eviction; stats tallies
+  // for the dead serial can never be queried again either.
+  auto dead = [this](const auto& e) { return e.solver_serial == serial_; };
+  t_infer_cache.erase(
+      std::remove_if(t_infer_cache.begin(), t_infer_cache.end(), dead),
+      t_infer_cache.end());
+  auto dead_tally = [this](const auto& e) { return e.first == serial_; };
+  t_evicted_stats.erase(std::remove_if(t_evicted_stats.begin(),
+                                       t_evicted_stats.end(), dead_tally),
+                        t_evicted_stats.end());
+}
+
+namespace {
+
+void pack_batch(const std::vector<std::vector<double>>& boundaries,
+                const QueryList& queries, int64_t B, int64_t G, int64_t q,
+                ad::Tensor& g, ad::Tensor& x) {
+  // Batch packing threads over subdomains; each batch row is disjoint.
+  ad::kernels::parallel_for(B, G + 2 * q, [&](int64_t begin, int64_t end) {
+    for (int64_t b = begin; b < end; ++b) {
+      const auto& bd = boundaries[static_cast<std::size_t>(b)];
+      for (int64_t k = 0; k < G; ++k) g.flat(b * G + k) = bd[static_cast<std::size_t>(k)];
+      for (int64_t k = 0; k < q; ++k) {
+        x.flat((b * q + k) * 2 + 0) = queries[static_cast<std::size_t>(k)].first;
+        x.flat((b * q + k) * 2 + 1) = queries[static_cast<std::size_t>(k)].second;
+      }
+    }
+  });
+}
+
+void unpack_batch(const ad::Tensor& pred, int64_t B, int64_t q,
+                  std::vector<std::vector<double>>& out) {
+  // Resize (not assign) so caller-recycled buffers keep their capacity.
+  out.resize(static_cast<std::size_t>(B));
+  ad::kernels::parallel_for(B, q, [&](int64_t begin, int64_t end) {
+    for (int64_t b = begin; b < end; ++b) {
+      auto& row = out[static_cast<std::size_t>(b)];
+      row.resize(static_cast<std::size_t>(q));
+      for (int64_t k = 0; k < q; ++k)
+        row[static_cast<std::size_t>(k)] = pred.flat(b * q + k);
+    }
+  });
+}
+
+}  // namespace
 
 void NeuralSubdomainSolver::predict(
     const std::vector<std::vector<double>>& boundaries, const QueryList& queries,
@@ -55,30 +170,59 @@ void NeuralSubdomainSolver::predict(
       throw std::invalid_argument("predict: boundary size mismatch");
     }
   }
-  ad::Tensor g = ad::Tensor::zeros({B, G});
-  ad::Tensor x = ad::Tensor::zeros({B, q, 2});
-  // Batch packing threads over subdomains; each batch row is disjoint.
-  ad::kernels::parallel_for(B, G + 2 * q, [&](int64_t begin, int64_t end) {
-    for (int64_t b = begin; b < end; ++b) {
-      const auto& bd = boundaries[static_cast<std::size_t>(b)];
-      for (int64_t k = 0; k < G; ++k) g.flat(b * G + k) = bd[static_cast<std::size_t>(k)];
-      for (int64_t k = 0; k < q; ++k) {
-        x.flat((b * q + k) * 2 + 0) = queries[static_cast<std::size_t>(k)].first;
-        x.flat((b * q + k) * 2 + 1) = queries[static_cast<std::size_t>(k)].second;
+  // Compiled path: trace the network forward once per geometry, replay it
+  // for every later batch of the same shape. Skipped inside an enclosing
+  // capture (the outer program records this call's kernels itself).
+  if (ad::program_enabled() && !ad::prog::capturing() && B > 0 && q > 0) {
+    InferEntry* e = nullptr;
+    for (auto& entry : t_infer_cache) {
+      if (entry.solver_serial == serial_ && entry.B == B && entry.q == q &&
+          entry.G == G) {
+        e = &entry;
+        break;
       }
     }
-  });
-  ad::Tensor pred = net_->predict(g, x);  // [B, q, 1]
-  // Resize (not assign) so caller-recycled buffers keep their capacity.
-  out.resize(static_cast<std::size_t>(B));
-  ad::kernels::parallel_for(B, q, [&](int64_t begin, int64_t end) {
-    for (int64_t b = begin; b < end; ++b) {
-      auto& row = out[static_cast<std::size_t>(b)];
-      row.resize(static_cast<std::size_t>(q));
-      for (int64_t k = 0; k < q; ++k)
-        row[static_cast<std::size_t>(k)] = pred.flat(b * q + k);
+    if (!e) {
+      // First sight of this geometry: note it and run eagerly below —
+      // capture only pays off if the shape comes back.
+      if (t_infer_cache.size() >= kMaxInferEntries) evict_oldest_entry();
+      t_infer_cache.emplace_back();
+      e = &t_infer_cache.back();
+      e->solver_serial = serial_;
+      e->B = B;
+      e->q = q;
+      e->G = G;
+    } else if (!e->program.captured()) {
+      // Second sight: the geometry recurs — trace it.
+      e->g = ad::Tensor::zeros({B, G});
+      e->x = ad::Tensor::zeros({B, q, 2});
+      pack_batch(boundaries, queries, B, G, q, e->g, e->x);
+      e->program.capture([&] { e->pred = net_->predict(e->g, e->x); });
+      unpack_batch(e->pred, B, q, out);
+      return;
+    } else {
+      pack_batch(boundaries, queries, B, G, q, e->g, e->x);
+      e->program.replay();
+      unpack_batch(e->pred, B, q, out);
+      return;
     }
-  });
+  }
+  ad::Tensor g = ad::Tensor::zeros({B, G});
+  ad::Tensor x = ad::Tensor::zeros({B, q, 2});
+  pack_batch(boundaries, queries, B, G, q, g, x);
+  ad::Tensor pred = net_->predict(g, x);  // [B, q, 1]
+  unpack_batch(pred, B, q, out);
+}
+
+ad::Program::Stats NeuralSubdomainSolver::thread_program_stats() const {
+  ad::Program::Stats agg;
+  for (const auto& entry : t_infer_cache) {
+    if (entry.solver_serial == serial_) fold_stats(agg, entry.program.stats());
+  }
+  for (const auto& [serial, tally] : t_evicted_stats) {
+    if (serial == serial_) fold_stats(agg, tally);
+  }
+  return agg;
 }
 
 void NeuralSubdomainSolver::predict_one_into(const std::vector<double>& boundary,

@@ -11,9 +11,11 @@
 //    Schwarz subdomain solver for baseline comparisons
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
+#include "ad/program.hpp"
 #include "linalg/grid2d.hpp"
 #include "mosaic/sdnet.hpp"
 
@@ -57,8 +59,17 @@ class NeuralSubdomainSolver final : public SubdomainSolver {
  public:
   /// `net` must accept boundary vectors of 4m values.
   NeuralSubdomainSolver(std::shared_ptr<const Sdnet> net, int64_t m);
+  /// Purges this solver's captured programs from the calling thread's
+  /// cache (they pin the network weights); entries captured by other
+  /// threads age out of their bounded caches instead.
+  ~NeuralSubdomainSolver() override;
 
   int64_t m() const override { return m_; }
+  /// Batched inference runs through a captured Program per (batch, query)
+  /// shape: the network forward is traced once and replayed dispatch-free
+  /// for every following phase with the same geometry. Programs are
+  /// per-thread and read the network weights live, so a retrained net
+  /// needs no invalidation. MF_DISABLE_PROGRAM=1 restores the eager path.
   void predict(const std::vector<std::vector<double>>& boundaries,
                const QueryList& queries,
                std::vector<std::vector<double>>& out) const override;
@@ -66,9 +77,14 @@ class NeuralSubdomainSolver final : public SubdomainSolver {
                         const QueryList& queries,
                         std::vector<double>& out) const override;
 
+  /// Aggregate capture/replay stats of this solver's inference programs
+  /// on the calling thread (programs are thread-local and shape-keyed).
+  ad::Program::Stats thread_program_stats() const;
+
  private:
   std::shared_ptr<const Sdnet> net_;
   int64_t m_;
+  std::uint64_t serial_;  // keys the per-thread program cache safely
 };
 
 /// Exact solver by superposition of precomputed discrete harmonic basis

@@ -12,25 +12,76 @@ namespace mf::mosaic {
 namespace ops = ad::ops;
 using ad::Tensor;
 
-std::pair<double, double> training_step(Sdnet& net, const gp::SdnetBatch& batch,
-                                        const TrainConfig& config) {
+StepLossTensors training_step_graph(Sdnet& net, const gp::SdnetBatch& batch,
+                                    const TrainConfig& config) {
   // Step 1 (Algorithm 1, lines 5-6): data points — forward and backward
   // on each process, gradients accumulate locally.
-  Tensor l_data = data_loss(net, batch.g, batch.x_data, batch.y_data);
-  ad::backward(l_data);
+  StepLossTensors losses;
+  losses.data = data_loss(net, batch.g, batch.x_data, batch.y_data);
+  ad::backward(losses.data);
 
   // Step 2 (lines 8-9): collocation points. Gradients accumulate onto the
   // data-point gradients (ad::backward adds into .grad).
-  double l_pde_value = 0;
   if (config.use_pde_loss) {
     Tensor xc = batch.x_colloc.detach();
     xc.set_requires_grad(true);
-    Tensor l_pde = ops::mul_scalar(pde_loss(net, batch.g, xc),
-                                   config.pde_loss_weight);
-    ad::backward(l_pde);
-    l_pde_value = l_pde.item();
+    losses.pde = ops::mul_scalar(pde_loss(net, batch.g, xc),
+                                 config.pde_loss_weight);
+    ad::backward(losses.pde);
   }
-  return {l_data.item(), l_pde_value};
+  return losses;
+}
+
+std::pair<double, double> training_step(Sdnet& net, const gp::SdnetBatch& batch,
+                                        const TrainConfig& config) {
+  StepLossTensors losses = training_step_graph(net, batch, config);
+  return {losses.data.item(), losses.pde.defined() ? losses.pde.item() : 0.0};
+}
+
+bool CompiledTrainStep::shapes_match(const gp::SdnetBatch& batch) const {
+  return leaves_.g.defined() && leaves_.g.shape() == batch.g.shape() &&
+         leaves_.x_data.shape() == batch.x_data.shape() &&
+         leaves_.y_data.shape() == batch.y_data.shape() &&
+         leaves_.x_colloc.shape() == batch.x_colloc.shape();
+}
+
+std::pair<double, double> CompiledTrainStep::run(const gp::SdnetBatch& batch) {
+  last_was_replay_ = false;
+  if (!ad::program_enabled() || ad::prog::capturing()) {
+    // Eager path (escape hatch, or already inside an enclosing capture
+    // that should record this step itself). Drop any captured plan: the
+    // eager step re-binds every parameter's .grad to fresh tensors, so a
+    // kept plan would keep writing the orphaned old buffers on a later
+    // replay while the optimizer reads the new ones.
+    program_.reset();
+    leaves_ = gp::SdnetBatch{};
+    net_.zero_grad();
+    return training_step(net_, batch, config_);
+  }
+  if (!program_.captured() || !shapes_match(batch)) {
+    // (Re-)capture on this batch geometry. The batch tensors become the
+    // program's leaf slots; later iterations refill them in place.
+    leaves_ = batch;
+    net_.zero_grad();
+    program_.capture(
+        [&] { losses_ = training_step_graph(net_, leaves_, config_); });
+  } else {
+    // Refill the captured leaves and replay. No zero_grad: the replayed
+    // accumulation chain starts from a fresh copy, exactly like the
+    // captured step did after its zero_grad.
+    std::copy(batch.g.data(), batch.g.data() + batch.g.numel(),
+              leaves_.g.data());
+    std::copy(batch.x_data.data(), batch.x_data.data() + batch.x_data.numel(),
+              leaves_.x_data.data());
+    std::copy(batch.y_data.data(), batch.y_data.data() + batch.y_data.numel(),
+              leaves_.y_data.data());
+    std::copy(batch.x_colloc.data(),
+              batch.x_colloc.data() + batch.x_colloc.numel(),
+              leaves_.x_colloc.data());
+    program_.replay();
+    last_was_replay_ = true;
+  }
+  return {losses_.data.item(), losses_.pde.defined() ? losses_.pde.item() : 0.0};
 }
 
 void average_gradients(Sdnet& net, comm::Comm& comm) {
@@ -142,6 +193,10 @@ std::vector<EpochStats> train_sdnet(
   std::vector<EpochStats> history;
   const auto t_start = std::chrono::steady_clock::now();
   const double cpu_start = util::thread_cpu_seconds();
+  // Capture the step once, replay it every iteration after (re-capturing
+  // if the batch geometry ever changes). Bitwise identical to the eager
+  // loop; MF_DISABLE_PROGRAM=1 falls back to it outright.
+  CompiledTrainStep cstep(net, config);
   int64_t step = 0;
   for (int64_t epoch = 0; epoch < config.epochs; ++epoch) {
     double loss_acc = 0;
@@ -154,8 +209,7 @@ std::vector<EpochStats> train_sdnet(
         local.push_back(train[idx]);
       }
       auto batch = gen.make_batch(local, config.q_data, config.q_colloc);
-      net.zero_grad();
-      auto [ld, lp] = training_step(net, batch, config);
+      auto [ld, lp] = cstep.run(batch);
       if (comm && comm->size() > 1) average_gradients(net, *comm);
       opt->set_lr(schedule(step++));
       opt->step();

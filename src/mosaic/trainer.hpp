@@ -8,8 +8,10 @@
 
 #include <functional>
 #include <optional>
+#include <utility>
 #include <vector>
 
+#include "ad/program.hpp"
 #include "comm/comm.hpp"
 #include "gp/dataset.hpp"
 #include "mosaic/loss.hpp"
@@ -51,6 +53,52 @@ struct EpochStats {
 /// across ranks and applies the optimizer).
 std::pair<double, double> training_step(Sdnet& net, const gp::SdnetBatch& batch,
                                         const TrainConfig& config);
+
+/// The loss tensors of one training step (graph already consumed by the
+/// backward passes; keep the tensors to read the loss values).
+struct StepLossTensors {
+  ad::Tensor data;
+  ad::Tensor pde;  // undefined when config.use_pde_loss is false
+};
+
+/// Same as training_step but returns the loss tensors instead of their
+/// values — the capturable form: a Program that records this call can
+/// read the replayed losses back out of the same tensors.
+StepLossTensors training_step_graph(Sdnet& net, const gp::SdnetBatch& batch,
+                                    const TrainConfig& config);
+
+/// Program-backed training step: captures the full forward + three-
+/// backward-pass step once (per batch geometry), then replays it with
+/// zero node recording and zero payload allocation. The first run() — and
+/// every run() after a batch-shape change — executes eagerly under
+/// capture; subsequent runs refill the captured leaf tensors in place and
+/// replay. Gradients land in the same `.grad` buffers either way, so
+/// average_gradients and the optimizers are untouched. With programs
+/// disabled (MF_DISABLE_PROGRAM=1) every run() is plain eager
+/// zero_grad + training_step, bit-for-bit.
+class CompiledTrainStep {
+ public:
+  CompiledTrainStep(Sdnet& net, const TrainConfig& config)
+      : net_(net), config_(config) {}
+
+  /// Run one step on `batch`; returns (data_loss, pde_loss).
+  std::pair<double, double> run(const gp::SdnetBatch& batch);
+
+  const ad::Program& program() const { return program_; }
+  /// True when the last run() replayed the captured plan (false for the
+  /// eager fallback and for capture runs).
+  bool last_was_replay() const { return last_was_replay_; }
+
+ private:
+  bool shapes_match(const gp::SdnetBatch& batch) const;
+
+  Sdnet& net_;
+  TrainConfig config_;
+  ad::Program program_;
+  gp::SdnetBatch leaves_;  // the captured step's input slots
+  StepLossTensors losses_;
+  bool last_was_replay_ = false;
+};
 
 /// Flatten all parameter gradients, allreduce-sum, divide by world size,
 /// and scatter back — the single collective of Algorithm 1 (step 3).

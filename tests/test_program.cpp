@@ -1,0 +1,351 @@
+// Compiled tape programs (ad/program.hpp): capture/replay correctness.
+//
+//  * The replayed training step must be *bitwise* identical to the eager
+//    one — same losses, same gradients, same weight trajectory — because
+//    replay re-executes the exact kernel sequence the eager step ran.
+//  * Second-order chains (the PDE loss's grad-of-grad) must survive
+//    capture: gradients read back after replay are checked against finite
+//    differences of the replayed loss.
+//  * Shape changes must trigger re-capture; MF_DISABLE_PROGRAM must
+//    reproduce eager behavior exactly; steady-state replay must perform
+//    zero payload allocations.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "ad/engine.hpp"
+#include "ad/ops.hpp"
+#include "ad/pool.hpp"
+#include "ad/program.hpp"
+#include "gp/dataset.hpp"
+#include "mosaic/subdomain_solver.hpp"
+#include "mosaic/trainer.hpp"
+#include "optim/optimizers.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace mf;
+using ad::Tensor;
+namespace ops = ad::ops;
+
+/// RAII toggle for the global program switch (tests must not leak state).
+class ProgramEnabledGuard {
+ public:
+  explicit ProgramEnabledGuard(bool on) : prev_(ad::program_set_enabled(on)) {}
+  ~ProgramEnabledGuard() { ad::program_set_enabled(prev_); }
+
+ private:
+  bool prev_;
+};
+
+mosaic::SdnetConfig small_net_config(int64_t m) {
+  mosaic::SdnetConfig cfg;
+  cfg.boundary_size = 4 * m;
+  cfg.hidden_width = 16;
+  cfg.mlp_depth = 2;
+  return cfg;
+}
+
+mosaic::TrainConfig small_train_config() {
+  mosaic::TrainConfig cfg;
+  cfg.epochs = 2;
+  cfg.batch_size = 4;
+  cfg.q_data = 8;
+  cfg.q_colloc = 6;
+  cfg.pde_loss_weight = 0.3;
+  cfg.optimizer = mosaic::OptimizerKind::kAdamW;
+  return cfg;
+}
+
+void expect_params_bitwise_equal(const mosaic::Sdnet& a,
+                                 const mosaic::Sdnet& b,
+                                 bool compare_grads) {
+  auto pa = a.parameters();
+  auto pb = b.parameters();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    ASSERT_EQ(pa[i].numel(), pb[i].numel());
+    for (int64_t j = 0; j < pa[i].numel(); ++j) {
+      ASSERT_EQ(pa[i].flat(j), pb[i].flat(j)) << "param " << i << "[" << j << "]";
+    }
+    if (compare_grads) {
+      Tensor ga = pa[i].grad(), gb = pb[i].grad();
+      ASSERT_EQ(ga.defined(), gb.defined());
+      if (!ga.defined()) continue;
+      for (int64_t j = 0; j < ga.numel(); ++j) {
+        ASSERT_EQ(ga.flat(j), gb.flat(j)) << "grad " << i << "[" << j << "]";
+      }
+    }
+  }
+}
+
+TEST(Program, TrainingReplayBitwiseMatchesEager) {
+  const int64_t m = 4;
+  const auto net_cfg = small_net_config(m);
+  const auto cfg = small_train_config();
+
+  // Two identical replicas fed identical batch streams; one trains
+  // eagerly, one through the compiled program (capture on the first
+  // iteration, replay on every following one).
+  util::Rng rng_a(7), rng_b(7);
+  mosaic::Sdnet eager_net(net_cfg, rng_a);
+  mosaic::Sdnet replay_net(net_cfg, rng_b);
+  expect_params_bitwise_equal(eager_net, replay_net, false);
+
+  gp::LaplaceDatasetGenerator gen_a(m, {}, 11), gen_b(m, {}, 11);
+  auto bvps_a = gen_a.generate_many(6);
+  auto bvps_b = gen_b.generate_many(6);
+
+  optim::Adam opt_a(eager_net.parameters(), 1e-3);
+  optim::Adam opt_b(replay_net.parameters(), 1e-3);
+
+  mosaic::CompiledTrainStep cstep(replay_net, cfg);
+  for (int iter = 0; iter < 6; ++iter) {
+    auto batch_a = gen_a.make_batch(bvps_a, cfg.q_data, cfg.q_colloc);
+    auto batch_b = gen_b.make_batch(bvps_b, cfg.q_data, cfg.q_colloc);
+
+    double ld_a, lp_a;
+    {
+      ProgramEnabledGuard off(false);
+      eager_net.zero_grad();
+      std::tie(ld_a, lp_a) = mosaic::training_step(eager_net, batch_a, cfg);
+    }
+    double ld_b, lp_b;
+    {
+      ProgramEnabledGuard on(true);
+      std::tie(ld_b, lp_b) = cstep.run(batch_b);
+    }
+    ASSERT_EQ(ld_a, ld_b) << "iter " << iter;
+    ASSERT_EQ(lp_a, lp_b) << "iter " << iter;
+    expect_params_bitwise_equal(eager_net, replay_net, true);
+    opt_a.step();
+    opt_b.step();
+    expect_params_bitwise_equal(eager_net, replay_net, false);
+    if (iter >= 1) {
+      EXPECT_TRUE(cstep.last_was_replay()) << "iter " << iter;
+    }
+  }
+  const auto st = cstep.program().stats();
+  EXPECT_EQ(st.captures, 1u);
+  EXPECT_EQ(st.replays, 5u);
+  EXPECT_GT(st.steps, 0u);
+}
+
+TEST(Program, SecondOrderGradcheckThroughReplay) {
+  ProgramEnabledGuard on(true);
+  util::Rng rng(3);
+  Tensor x = Tensor::zeros({5, 2});
+  Tensor w = Tensor::zeros({2, 3});
+  for (int64_t i = 0; i < x.numel(); ++i) x.flat(i) = rng.uniform(-1.0, 1.0);
+  for (int64_t i = 0; i < w.numel(); ++i) w.flat(i) = rng.uniform(-0.8, 0.8);
+  w.set_requires_grad(true);
+
+  // Loss with a genuine second-order chain: differentiate the network
+  // output w.r.t. its input under create_graph, then differentiate the
+  // squared gradient w.r.t. the weights (the PDE-loss pattern).
+  ad::Program program;
+  Tensor loss;
+  auto step = [&] {
+    Tensor xl = x.detach();
+    xl.set_requires_grad(true);
+    Tensor y = ops::sum(ops::gelu(ops::matmul(xl, w)));
+    Tensor dx = ad::grad(y, {xl}, Tensor(), /*create_graph=*/true)[0];
+    loss = ops::mean(ops::square(dx));
+    w.zero_grad();
+    ad::backward(loss);
+  };
+  program.capture(step);
+
+  // Replays recompute loss and w.grad from the live contents of x and w.
+  program.replay();
+  Tensor g = w.grad();
+  ASSERT_TRUE(g.defined());
+  std::vector<double> analytic(static_cast<std::size_t>(g.numel()));
+  for (int64_t j = 0; j < g.numel(); ++j) analytic[static_cast<std::size_t>(j)] = g.flat(j);
+
+  const double eps = 1e-6;
+  for (int64_t j = 0; j < w.numel(); ++j) {
+    const double w0 = w.flat(j);
+    w.flat(j) = w0 + eps;
+    program.replay();
+    const double lp = loss.item();
+    w.flat(j) = w0 - eps;
+    program.replay();
+    const double lm = loss.item();
+    w.flat(j) = w0;
+    const double fd = (lp - lm) / (2 * eps);
+    EXPECT_NEAR(analytic[static_cast<std::size_t>(j)], fd,
+                1e-5 * std::max(1.0, std::abs(fd)))
+        << "w[" << j << "]";
+  }
+}
+
+TEST(Program, ShapeChangeTriggersRecapture) {
+  ProgramEnabledGuard on(true);
+  const int64_t m = 4;
+  const auto net_cfg = small_net_config(m);
+  auto cfg = small_train_config();
+
+  util::Rng rng(5);
+  mosaic::Sdnet net(net_cfg, rng);
+  gp::LaplaceDatasetGenerator gen(m, {}, 21);
+  auto bvps = gen.generate_many(4);
+
+  mosaic::CompiledTrainStep cstep(net, cfg);
+  auto b4 = gen.make_batch(bvps, cfg.q_data, cfg.q_colloc);
+  cstep.run(b4);
+  EXPECT_EQ(cstep.program().stats().captures, 1u);
+  cstep.run(b4);
+  EXPECT_TRUE(cstep.last_was_replay());
+
+  // Different batch size -> different leaf shapes -> fresh capture.
+  std::vector<gp::SolvedBvp> fewer(bvps.begin(), bvps.begin() + 2);
+  auto b2 = gen.make_batch(fewer, cfg.q_data, cfg.q_colloc);
+  cstep.run(b2);
+  EXPECT_FALSE(cstep.last_was_replay());
+  EXPECT_EQ(cstep.program().stats().captures, 2u);  // re-captured
+  cstep.run(b2);
+  EXPECT_TRUE(cstep.last_was_replay());
+
+  // Different collocation count changes only the PDE branch shapes.
+  auto b_qc = gen.make_batch(fewer, cfg.q_data, cfg.q_colloc + 2);
+  cstep.run(b_qc);
+  EXPECT_FALSE(cstep.last_was_replay());
+}
+
+TEST(Program, DisabledHatchReproducesEagerExactly) {
+  const int64_t m = 4;
+  const auto net_cfg = small_net_config(m);
+  const auto cfg = small_train_config();
+
+  util::Rng rng_a(9), rng_b(9);
+  mosaic::Sdnet net_a(net_cfg, rng_a);
+  mosaic::Sdnet net_b(net_cfg, rng_b);
+  gp::LaplaceDatasetGenerator gen_a(m, {}, 31), gen_b(m, {}, 31);
+  auto bvps_a = gen_a.generate_many(4);
+  auto bvps_b = gen_b.generate_many(4);
+
+  ProgramEnabledGuard off(false);
+  mosaic::CompiledTrainStep cstep(net_b, cfg);
+  for (int iter = 0; iter < 3; ++iter) {
+    auto batch_a = gen_a.make_batch(bvps_a, cfg.q_data, cfg.q_colloc);
+    auto batch_b = gen_b.make_batch(bvps_b, cfg.q_data, cfg.q_colloc);
+    net_a.zero_grad();
+    auto [ld_a, lp_a] = mosaic::training_step(net_a, batch_a, cfg);
+    auto [ld_b, lp_b] = cstep.run(batch_b);
+    ASSERT_EQ(ld_a, ld_b);
+    ASSERT_EQ(lp_a, lp_b);
+    EXPECT_FALSE(cstep.last_was_replay());
+    expect_params_bitwise_equal(net_a, net_b, true);
+  }
+  EXPECT_FALSE(cstep.program().captured());
+  EXPECT_EQ(cstep.program().stats().captures, 0u);
+}
+
+TEST(Program, EagerFallbackInvalidatesCapturedPlan) {
+  // An eager-fallback run() re-binds every parameter's .grad to fresh
+  // tensors; a kept plan would then replay into the orphaned buffers.
+  // The fallback must drop the plan so the next enabled run re-captures
+  // against the live gradient bindings.
+  const int64_t m = 4;
+  const auto net_cfg = small_net_config(m);
+  const auto cfg = small_train_config();
+  util::Rng rng_a(51), rng_b(51);
+  mosaic::Sdnet eager_net(net_cfg, rng_a);
+  mosaic::Sdnet prog_net(net_cfg, rng_b);
+  gp::LaplaceDatasetGenerator gen_a(m, {}, 61), gen_b(m, {}, 61);
+  auto bvps_a = gen_a.generate_many(4);
+  auto bvps_b = gen_b.generate_many(4);
+
+  mosaic::CompiledTrainStep cstep(prog_net, cfg);
+  for (int iter = 0; iter < 4; ++iter) {
+    auto batch_a = gen_a.make_batch(bvps_a, cfg.q_data, cfg.q_colloc);
+    auto batch_b = gen_b.make_batch(bvps_b, cfg.q_data, cfg.q_colloc);
+    eager_net.zero_grad();
+    mosaic::training_step(eager_net, batch_a, cfg);
+    // Capture on iter 0, eager fallback on iter 1, re-capture on 2,
+    // replay on 3 — gradients must track the eager twin throughout.
+    ProgramEnabledGuard toggle(iter != 1);
+    cstep.run(batch_b);
+    expect_params_bitwise_equal(eager_net, prog_net, true);
+  }
+  EXPECT_TRUE(cstep.last_was_replay());
+}
+
+TEST(Program, BatchedInferenceReplayMatchesEager) {
+  const int64_t m = 4;
+  util::Rng rng(13);
+  auto net = std::make_shared<mosaic::Sdnet>(small_net_config(m), rng);
+  mosaic::NeuralSubdomainSolver solver(net, m);
+
+  const int64_t G = 4 * m;
+  mosaic::QueryList queries;
+  for (int k = 0; k < 5; ++k) queries.emplace_back(0.1 + 0.15 * k, 0.3);
+
+  util::Rng brng(17);
+  auto make_boundaries = [&](int64_t B) {
+    std::vector<std::vector<double>> bs(static_cast<std::size_t>(B));
+    for (auto& b : bs) {
+      b.resize(static_cast<std::size_t>(G));
+      for (auto& v : b) v = brng.uniform(-1.0, 1.0);
+    }
+    return bs;
+  };
+  const auto batch1 = make_boundaries(6);
+  const auto batch2 = make_boundaries(6);
+  const auto batch3 = make_boundaries(6);
+
+  std::vector<std::vector<double>> eager1, eager2, eager3, prog1, prog2, prog3;
+  {
+    ProgramEnabledGuard off(false);
+    solver.predict(batch1, queries, eager1);
+    solver.predict(batch2, queries, eager2);
+    solver.predict(batch3, queries, eager3);
+  }
+  {
+    ProgramEnabledGuard on(true);
+    solver.predict(batch1, queries, prog1);  // first sight: eager
+    solver.predict(batch2, queries, prog2);  // recurring shape: capture
+    solver.predict(batch3, queries, prog3);  // replay
+    const auto st = solver.thread_program_stats();
+    EXPECT_EQ(st.captures, 1u);
+    EXPECT_EQ(st.replays, 1u);
+  }
+  for (std::size_t b = 0; b < eager1.size(); ++b) {
+    for (std::size_t k = 0; k < eager1[b].size(); ++k) {
+      ASSERT_EQ(eager1[b][k], prog1[b][k]);
+      ASSERT_EQ(eager2[b][k], prog2[b][k]);
+      ASSERT_EQ(eager3[b][k], prog3[b][k]);
+    }
+  }
+}
+
+TEST(Program, SteadyStateReplayIsPayloadAllocationFree) {
+  ProgramEnabledGuard on(true);
+  const int64_t m = 4;
+  const auto net_cfg = small_net_config(m);
+  const auto cfg = small_train_config();
+
+  util::Rng rng(23);
+  mosaic::Sdnet net(net_cfg, rng);
+  gp::LaplaceDatasetGenerator gen(m, {}, 41);
+  auto bvps = gen.generate_many(4);
+  optim::Adam opt(net.parameters(), 1e-3);
+
+  mosaic::CompiledTrainStep cstep(net, cfg);
+  auto one = [&] {
+    auto batch = gen.make_batch(bvps, cfg.q_data, cfg.q_colloc);
+    cstep.run(batch);
+    opt.step();
+  };
+  for (int i = 0; i < 3; ++i) one();  // capture + warm the pool
+  const ad::PoolStats p0 = ad::PayloadPool::stats();
+  for (int i = 0; i < 5; ++i) one();
+  const ad::PoolStats p1 = ad::PayloadPool::stats();
+  EXPECT_EQ(p1.fresh_allocs() + p1.adopted, p0.fresh_allocs() + p0.adopted)
+      << "steady-state replay must not allocate payloads";
+}
+
+}  // namespace

@@ -81,6 +81,89 @@ TEST(TransportAbstraction, StatsRecordedThroughInterface) {
   });
 }
 
+TEST(TransportAbstraction, NonblockingHaloMatchesBlocking) {
+  // All-to-all messages of varying size (including empty, the halo
+  // pattern's latency-only case) over isend/irecv must deliver the same
+  // payloads and record the same message/byte accounting as the blocking
+  // send/recv path.
+  const int P = 4;
+  auto run_pattern = [&](bool nonblocking) {
+    comm::World world(P);
+    std::vector<std::vector<double>> received(static_cast<std::size_t>(P));
+    std::vector<comm::CommStats> stats(static_cast<std::size_t>(P));
+    world.run([&](comm::Comm& c) {
+      const int r = c.rank();
+      std::vector<std::vector<double>> payloads(static_cast<std::size_t>(P));
+      for (int p = 0; p < P; ++p) {
+        if (p == r) continue;
+        payloads[static_cast<std::size_t>(p)].assign(
+            static_cast<std::size_t>((r * 7 + p) % 5), r * 100.0 + p);
+      }
+      auto& inbox = received[static_cast<std::size_t>(r)];
+      if (nonblocking) {
+        std::vector<comm::Comm::Request> reqs;
+        for (int p = 0; p < P; ++p) {
+          if (p != r) reqs.push_back(c.irecv(p, 9));
+        }
+        for (int p = 0; p < P; ++p) {
+          if (p != r) c.isend(p, payloads[static_cast<std::size_t>(p)], 9);
+        }
+        c.progress();  // drain whatever already arrived
+        for (auto req : reqs) {
+          auto got = c.wait_recv(req);
+          inbox.insert(inbox.end(), got.begin(), got.end());
+        }
+      } else {
+        for (int p = 0; p < P; ++p) {
+          if (p != r) c.send(p, payloads[static_cast<std::size_t>(p)], 9);
+        }
+        for (int p = 0; p < P; ++p) {
+          if (p == r) continue;
+          auto got = c.recv_vec(p, 9);
+          inbox.insert(inbox.end(), got.begin(), got.end());
+        }
+      }
+      stats[static_cast<std::size_t>(r)] = c.stats();
+    });
+    return std::make_pair(received, stats);
+  };
+  auto [blocking_rx, blocking_stats] = run_pattern(false);
+  auto [nb_rx, nb_stats] = run_pattern(true);
+  for (int r = 0; r < P; ++r) {
+    const auto ru = static_cast<std::size_t>(r);
+    EXPECT_EQ(blocking_rx[ru], nb_rx[ru]) << "rank " << r;
+    EXPECT_EQ(blocking_stats[ru].sendrecv.messages,
+              nb_stats[ru].sendrecv.messages);
+    EXPECT_EQ(blocking_stats[ru].sendrecv.bytes, nb_stats[ru].sendrecv.bytes);
+    EXPECT_EQ(blocking_stats[ru].sendrecv.modeled_seconds,
+              nb_stats[ru].sendrecv.modeled_seconds);
+  }
+}
+
+TEST(TransportAbstraction, WaitRecvPreservesPostOrder) {
+  // Two receives posted for the same (src, tag) must match messages in
+  // post order even when the caller waits on the later request first
+  // (MPI request semantics).
+  comm::World world(2);
+  world.run([](comm::Comm& c) {
+    if (c.rank() == 0) {
+      c.isend(1, std::vector<double>{1.0}, 3);
+      c.isend(1, std::vector<double>{2.0}, 3);
+    } else {
+      auto r1 = c.irecv(0, 3);
+      auto r2 = c.irecv(0, 3);
+      auto second = c.wait_recv(r2);
+      auto first = c.wait_recv(r1);
+      ASSERT_EQ(first.size(), 1u);
+      ASSERT_EQ(second.size(), 1u);
+      EXPECT_EQ(first[0], 1.0);
+      EXPECT_EQ(second[0], 2.0);
+      // A consumed request cannot be waited on again.
+      EXPECT_THROW((void)c.wait_recv(r1), std::logic_error);
+    }
+  });
+}
+
 TEST(RankRuntime, DefaultsToThreadsAndSweeps) {
   comm::RankLauncher launcher(0, nullptr);
   // Without mpirun the backend must be the threaded one (MF_COMM unset in
