@@ -167,13 +167,15 @@ int main(int argc, char** argv) {
     const double eager_sps =
         static_cast<double>(measured) / (util::wall_seconds() - t0);
 
-    // Compiled path: capture once, replay the plan every step.
+    // Compiled path: capture once (optimizer folded into the plan),
+    // replay the whole iteration — forward, three backwards, Adam — every
+    // step. Under MF_DISABLE_PROGRAM run() steps the optimizer eagerly,
+    // so the hatch still measures the full iteration.
     ad::program_set_enabled(prev_prog);
-    mosaic::CompiledTrainStep cstep(net, cfg);
+    mosaic::CompiledTrainStep cstep(net, cfg, &opt);
     auto step = [&] {
       auto batch = sgen.make_batch(bvps, 32, 16);
       cstep.run(batch);
-      opt.step();
     };
     for (int64_t i = 0; i < warmup; ++i) step();
     const ad::PoolStats p0 = ad::PayloadPool::stats();
@@ -201,14 +203,16 @@ int main(int argc, char** argv) {
         "\"program_enabled\":%s,\"eager_steps_per_sec\":%.6g,"
         "\"replay_steps_per_sec\":%.6g,\"capture_ms\":%.6g,"
         "\"plan_steps\":%zu,\"plan_slots\":%zu,"
-        "\"plan_arena_bytes\":%zu,\"plan_pinned_bytes\":%zu}\n",
+        "\"plan_arena_bytes\":%zu,\"plan_pinned_bytes\":%zu,"
+        "\"fused_steps\":%zu,\"fused_ops\":%zu,\"optim_steps\":%zu}\n",
         static_cast<long long>(m), ad::kernels::max_threads(),
         ad::kernels::openmp_enabled() ? "true" : "false", replay_sps,
         allocs_per_step, hit_rate,
         ad::PayloadPool::enabled() ? "true" : "false", arena.high_water,
         ad::program_enabled() ? "true" : "false", eager_sps, replay_sps,
         prog.capture_ms, prog.steps, prog.slots, prog.arena_bytes,
-        prog.pinned_bytes);
+        prog.pinned_bytes, prog.fused_steps, prog.fused_ops,
+        prog.optim_steps);
   }
   return 0;
 }

@@ -108,7 +108,7 @@ int main(int argc, char** argv) {
       "\"unbatched_sub_updates_per_sec\":%.6g,\"speedup\":%.4g,"
       "\"replay_sub_updates_per_sec\":%.6g,\"replay_steps_per_sec\":%.6g,"
       "\"capture_ms\":%.6g,\"plan_steps\":%zu,\"program_captures\":%llu,"
-      "\"program_replays\":%llu}\n",
+      "\"program_replays\":%llu,\"fused_steps\":%zu,\"fused_ops\":%zu}\n",
       static_cast<long long>(m), ad::kernels::max_threads(),
       ad::kernels::openmp_enabled() ? "true" : "false",
       total_sub_updates / total_batched_s, total_sub_updates / total_unbatched_s,
@@ -117,6 +117,7 @@ int main(int argc, char** argv) {
       static_cast<double>(sizes.size()) / total_compiled_s,
       prog.capture_ms, prog.steps,
       static_cast<unsigned long long>(prog.captures),
-      static_cast<unsigned long long>(prog.replays));
+      static_cast<unsigned long long>(prog.replays),
+      prog.fused_steps, prog.fused_ops);
   return 0;
 }

@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "ad/scalar_fns.hpp"
 #include "ad/tensor.hpp"
 
 #ifdef MF_HAVE_OPENMP
@@ -108,6 +109,16 @@ void map_binary(const real* a, const real* b, real* out, int64_t n, F&& f) {
     for (int64_t i = begin; i < end; ++i) out[i] = f(a[i], b[i]);
   });
 }
+
+// Non-template overloads for the four arithmetic binary functors: on
+// x86-64 hosts with AVX2 these run a runtime-dispatched 4-lane loop
+// (vaddpd/vsubpd/vmulpd/vdivpd are IEEE-exact per lane, so results stay
+// bitwise identical to the scalar template — which remains the fallback).
+// Eager ops and program replay both resolve to these, preserving parity.
+void map_binary(const real* a, const real* b, real* out, int64_t n, sfn::Add);
+void map_binary(const real* a, const real* b, real* out, int64_t n, sfn::Sub);
+void map_binary(const real* a, const real* b, real* out, int64_t n, sfn::Mul);
+void map_binary(const real* a, const real* b, real* out, int64_t n, sfn::Div);
 
 // ---- broadcast elementwise ----
 

@@ -2,9 +2,15 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <stdexcept>
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#define MF_PROG_AVX2 1
+#include <immintrin.h>
+#endif
 #include <unordered_map>
 #include <vector>
 
@@ -32,6 +38,25 @@ enum class StepKind : std::uint8_t {
   kConv1dGradIn,
   kConv1dGradW,
   kConv1dGradB,
+  kFused,      // composed run of adjacent elementwise steps
+  kAdamTick,   // advance the in-plan optimizer step counter
+  kAdamParam,  // in-plan Adam update of one parameter tensor
+};
+
+/// One scalar operation of a fused elementwise chain. The chain value is
+/// seeded from the fused step's `a` slot and threaded through the ops in
+/// recorded order; binary ops read their non-chain operand from `other`.
+struct FusedOp {
+  enum Form : std::uint8_t {
+    kUnaryForm,      // chain = unary(chain)
+    kBinChainLeft,   // chain = binary(chain, other)
+    kBinChainRight,  // chain = binary(other, chain)
+    kBinChainBoth,   // chain = binary(chain, chain)
+  };
+  std::uint8_t fn = 0;  // prog::Unary or prog::Binary
+  std::uint8_t form = kUnaryForm;
+  std::int32_t other = -1;
+  real scalar = 0;
 };
 
 /// One lowered kernel invocation. Operands are slot indices; `plan`
@@ -58,12 +83,25 @@ std::atomic<bool> g_prog_enabled{[] {
   return !(env && env[0] == '1');
 }()};
 
+std::atomic<bool> g_fusion_enabled{[] {
+  const char* env = std::getenv("MF_DISABLE_FUSION");
+  return !(env && env[0] == '1');
+}()};
+
 }  // namespace
 
 bool program_enabled() { return g_prog_enabled.load(std::memory_order_relaxed); }
 
 bool program_set_enabled(bool on) {
   return g_prog_enabled.exchange(on, std::memory_order_relaxed);
+}
+
+bool program_fusion_enabled() {
+  return g_fusion_enabled.load(std::memory_order_relaxed);
+}
+
+bool program_fusion_set_enabled(bool on) {
+  return g_fusion_enabled.exchange(on, std::memory_order_relaxed);
 }
 
 struct Program::Impl {
@@ -76,6 +114,18 @@ struct Program::Impl {
   std::vector<real*> buf;
   std::vector<kernels::BroadcastPlan> bplans;
   std::vector<kernels::ReducePlan> rplans;
+  // Fused elementwise chains; Step::plan of a kFused step indexes this.
+  std::vector<std::vector<FusedOp>> fchains;
+  // In-plan optimizer steps. Raw pointers into the optimizer's live state
+  // (moments, lr, step counter) — the optimizer must outlive the plan.
+  struct AdamParamExec {
+    prog::AdamPlanState* state;
+    double* m;
+    double* v;
+    int64_t n;
+  };
+  std::vector<AdamParamExec> adam_params;
+  std::vector<prog::AdamPlanState*> adam_ticks;
   // Internal storage: buffers reused across slots whose live ranges do
   // not overlap.
   std::vector<std::vector<real>> arena;
@@ -87,6 +137,7 @@ struct Program::Impl {
   double capture_ms = 0;
   std::uint64_t captures = 0, replays = 0;
   std::size_t external_slots = 0, arena_bytes = 0, pinned_bytes = 0;
+  std::size_t fused_steps = 0, fused_ops = 0;
 
   void clear_plan() {
     steps.clear();
@@ -95,10 +146,14 @@ struct Program::Impl {
     buf.clear();
     bplans.clear();
     rplans.clear();
+    fchains.clear();
+    adam_params.clear();
+    adam_ticks.clear();
     arena.clear();
     slot_of.clear();
     ready = false;
     external_slots = arena_bytes = pinned_bytes = 0;
+    fused_steps = fused_ops = 0;
   }
 };
 
@@ -363,13 +418,164 @@ void on_conv1d_grad_bias(const Tensor& gout, const Tensor& out, int64_t B,
   im->steps.push_back(s);
 }
 
+void on_adam_tick(AdamPlanState* st) {
+  Program::Impl* im = rec();
+  if (!im) return;
+  Step s;
+  s.kind = StepKind::kAdamTick;
+  s.plan = static_cast<std::int32_t>(im->adam_ticks.size());
+  im->adam_ticks.push_back(st);
+  im->steps.push_back(s);
+}
+
+void on_adam_param(AdamPlanState* st, const Tensor& param, const Tensor& grad,
+                   double* m, double* v) {
+  Program::Impl* im = rec();
+  if (!im) return;
+  Step s;
+  s.kind = StepKind::kAdamParam;
+  s.a = intern(*im, grad);
+  s.out = intern(*im, param);
+  s.plan = static_cast<std::int32_t>(im->adam_params.size());
+  im->adam_params.push_back({st, m, v, param.numel()});
+  im->steps.push_back(s);
+}
+
 }  // namespace prog
 
 namespace {
 
-/// Lower the raw trace: release the recorded autodiff graph, compute slot
-/// live ranges, pack internal slots onto reused arena buffers, resolve
-/// every operand to a raw pointer.
+/// Per-slot live ranges over a step list. def = first write, first/last =
+/// first/last access of any kind. Fused steps read their chain source,
+/// every `other` operand of their ops, and write their output; the folded
+/// intermediates are not referenced at all. An in-plan optimizer param
+/// step both reads and writes the parameter slot.
+struct Ranges {
+  std::vector<std::int32_t> def, first, last;
+};
+
+void compute_ranges(const Program::Impl& im, Ranges& r) {
+  const std::size_t S = im.slots.size();
+  r.def.assign(S, -1);
+  r.first.assign(S, -1);
+  r.last.assign(S, -1);
+  auto touch = [&](std::int32_t slot, std::int32_t i, bool write) {
+    if (slot < 0) return;
+    if (r.first[slot] < 0) r.first[slot] = i;
+    r.last[slot] = i;
+    if (write && r.def[slot] < 0) r.def[slot] = i;
+  };
+  for (std::size_t i = 0; i < im.steps.size(); ++i) {
+    const Step& st = im.steps[i];
+    const auto si = static_cast<std::int32_t>(i);
+    touch(st.a, si, false);
+    touch(st.b, si, false);
+    touch(st.c, si, false);
+    if (st.kind == StepKind::kFused) {
+      for (const FusedOp& op : im.fchains[static_cast<std::size_t>(st.plan)]) {
+        touch(op.other, si, false);
+      }
+    }
+    if (st.kind == StepKind::kAdamParam) touch(st.out, si, false);
+    touch(st.out, si, true);
+  }
+}
+
+/// Collapse runs of adjacent elementwise steps (contiguous unary/binary
+/// maps and full-buffer copies) whose output chains straight into the next
+/// step — and is read by nothing else, now or later — into single kFused
+/// steps. Per element the composed chain evaluates the identical scalar
+/// functors in the identical order the individual steps did, so fused
+/// replay is bitwise-identical; the skipped intermediates simply never
+/// materialize.
+void fuse_elementwise(Program::Impl& im, const Ranges& r,
+                      const std::vector<char>& internal) {
+  const std::size_t n = im.steps.size();
+  std::vector<Step> out_steps;
+  out_steps.reserve(n);
+  auto is_elementwise = [](const Step& s) {
+    return s.kind == StepKind::kUnary || s.kind == StepKind::kBinary ||
+           s.kind == StepKind::kCopy;
+  };
+  // Append step k's scalar op to `ops`, with `chain` as the slot holding
+  // the current chain value (the previous step's output; for the chain
+  // head, its own `a` operand).
+  auto push_op = [&](std::vector<FusedOp>& ops, const Step& s,
+                     std::int32_t chain) {
+    FusedOp op;
+    op.fn = s.fn;
+    op.scalar = s.scalar;
+    if (s.kind == StepKind::kCopy) return;  // identity on the chain value
+    if (s.kind == StepKind::kUnary) {
+      op.form = FusedOp::kUnaryForm;
+    } else if (s.a == chain && s.b == chain) {
+      op.form = FusedOp::kBinChainBoth;
+    } else if (s.a == chain) {
+      op.form = FusedOp::kBinChainLeft;
+      op.other = s.b;
+    } else {
+      op.form = FusedOp::kBinChainRight;
+      op.other = s.a;
+    }
+    ops.push_back(op);
+  };
+  std::size_t i = 0;
+  while (i < n) {
+    const Step& head = im.steps[i];
+    if (!is_elementwise(head)) {
+      out_steps.push_back(head);
+      ++i;
+      continue;
+    }
+    // Greedily extend: the next step must be an elementwise map of the
+    // same length consuming this step's output, and that output must be
+    // invisible to everything else (internal slot, no later reader).
+    std::size_t j = i;
+    while (j + 1 < n) {
+      const Step& cur = im.steps[j];
+      const Step& nxt = im.steps[j + 1];
+      const std::int32_t o = cur.out;
+      if (!is_elementwise(nxt) || nxt.p0 != head.p0) break;
+      const bool consumes =
+          nxt.a == o || (nxt.kind == StepKind::kBinary && nxt.b == o);
+      if (!consumes) break;
+      if (!internal[static_cast<std::size_t>(o)]) break;
+      if (r.last[static_cast<std::size_t>(o)] !=
+          static_cast<std::int32_t>(j + 1)) {
+        break;  // a later (non-fused) step still reads it
+      }
+      ++j;
+    }
+    if (j == i) {
+      out_steps.push_back(head);
+      ++i;
+      continue;
+    }
+    std::vector<FusedOp> ops;
+    ops.reserve(j - i + 1);
+    push_op(ops, head, head.a);
+    for (std::size_t k = i + 1; k <= j; ++k) {
+      push_op(ops, im.steps[k], im.steps[k - 1].out);
+    }
+    Step f;
+    f.kind = StepKind::kFused;
+    f.a = head.a;
+    f.out = im.steps[j].out;
+    f.plan = static_cast<std::int32_t>(im.fchains.size());
+    f.p0 = head.p0;
+    im.fchains.push_back(std::move(ops));
+    out_steps.push_back(f);
+    ++im.fused_steps;
+    im.fused_ops += j - i + 1;
+    i = j + 1;
+  }
+  im.steps = std::move(out_steps);
+}
+
+/// Lower the raw trace: release the recorded autodiff graph, fuse
+/// adjacent elementwise chains, compute slot live ranges, pack internal
+/// slots onto reused arena buffers, resolve every operand to a raw
+/// pointer.
 void lower(Program::Impl& im) {
   const std::size_t S = im.slots.size();
   im.slot_of.clear();
@@ -382,49 +588,41 @@ void lower(Program::Impl& im) {
   // lets the tape arena rewind — the program owns buffers, not history).
   for (auto& sp : im.slots) sp->grad_fn.reset();
 
-  // Live ranges. def = first write, first/last = first/last access of any
-  // kind. Every step writes a freshly created output, so def normally
-  // equals first access; the conservative check below keeps any slot that
-  // would be read before its first write (impossible today) external.
-  std::vector<std::int32_t> def(S, -1), first(S, -1), last(S, -1);
-  auto touch = [&](std::int32_t slot, std::int32_t i, bool write) {
-    if (slot < 0) return;
-    if (first[slot] < 0) first[slot] = i;
-    last[slot] = i;
-    if (write && def[slot] < 0) def[slot] = i;
-  };
-  for (std::size_t i = 0; i < im.steps.size(); ++i) {
-    const Step& st = im.steps[i];
-    const auto si = static_cast<std::int32_t>(i);
-    touch(st.a, si, false);
-    touch(st.b, si, false);
-    touch(st.c, si, false);
-    touch(st.out, si, true);
-  }
+  Ranges r;
+  compute_ranges(im, r);
 
   // A slot is internal — its buffer reusable — iff nothing outside the
   // program references its TensorImpl (we hold the only count) and a step
   // fully defines it before any use. Everything else stays pinned:
-  // leaves, parameters, `.grad` buffers, kept loss tensors, constants
-  // materialized at capture time.
+  // leaves, parameters, `.grad` buffers still bound to parameters, kept
+  // loss tensors, constants materialized at capture time.
   std::vector<char> internal(S, 0);
   for (std::size_t s = 0; s < S; ++s) {
-    internal[s] = im.slots[s].use_count() == 1 && def[s] >= 0 &&
-                  def[s] == first[s];
+    internal[s] = im.slots[s].use_count() == 1 && r.def[s] >= 0 &&
+                  r.def[s] == r.first[s];
+  }
+
+  if (program_fusion_enabled()) {
+    fuse_elementwise(im, r, internal);
+    // Fusion rewrote the step list; intermediates folded into chains now
+    // have no accesses at all and drop out of the packing below.
+    compute_ranges(im, r);
   }
 
   // Exact-size reuse of internal buffers across disjoint live ranges.
   std::vector<std::vector<std::int32_t>> released(im.steps.size());
   for (std::size_t s = 0; s < S; ++s) {
-    if (internal[s]) released[static_cast<std::size_t>(last[s])].push_back(
-        static_cast<std::int32_t>(s));
+    if (internal[s] && r.last[s] >= 0) {
+      released[static_cast<std::size_t>(r.last[s])].push_back(
+          static_cast<std::int32_t>(s));
+    }
   }
   std::unordered_map<int64_t, std::vector<std::int32_t>> free_by_len;
   std::vector<std::int32_t> arena_of(S, -1);
   for (std::size_t i = 0; i < im.steps.size(); ++i) {
     const std::int32_t o = im.steps[i].out;
     if (o >= 0 && internal[static_cast<std::size_t>(o)] &&
-        def[static_cast<std::size_t>(o)] == static_cast<std::int32_t>(i)) {
+        r.def[static_cast<std::size_t>(o)] == static_cast<std::int32_t>(i)) {
       auto& fl = free_by_len[im.slot_len[static_cast<std::size_t>(o)]];
       if (!fl.empty()) {
         arena_of[static_cast<std::size_t>(o)] = fl.back();
@@ -444,7 +642,11 @@ void lower(Program::Impl& im) {
 
   im.buf.resize(S);
   for (std::size_t s = 0; s < S; ++s) {
-    if (internal[s]) {
+    if (internal[s] && r.first[s] < 0) {
+      // Fused away entirely: no step reads or writes it anymore.
+      im.buf[s] = nullptr;
+      im.slots[s].reset();
+    } else if (internal[s]) {
       im.buf[s] = im.arena[static_cast<std::size_t>(arena_of[s])].data();
       im.slots[s].reset();  // payload returns to the pool
     } else {
@@ -456,6 +658,158 @@ void lower(Program::Impl& im) {
   for (const auto& a : im.arena) im.arena_bytes += a.size() * sizeof(real);
 }
 
+/// Invoke `g` with the sfn:: functor named by a prog::Unary opcode. One
+/// switch shared by the standalone unary step and the fused chains, so
+/// both replay the exact functors the eager op executed.
+template <typename G>
+void dispatch_unary(prog::Unary u, real scalar, G&& g) {
+  switch (u) {
+    case prog::Unary::kAddScalar: g(sfn::AddScalar{scalar}); break;
+    case prog::Unary::kMulScalar: g(sfn::MulScalar{scalar}); break;
+    case prog::Unary::kPowScalar: g(sfn::PowScalar{scalar}); break;
+    case prog::Unary::kNeg: g(sfn::Neg{}); break;
+    case prog::Unary::kExp: g(sfn::Exp{}); break;
+    case prog::Unary::kLog: g(sfn::Log{}); break;
+    case prog::Unary::kSqrt: g(sfn::Sqrt{}); break;
+    case prog::Unary::kTanh: g(sfn::Tanh{}); break;
+    case prog::Unary::kAbs: g(sfn::Abs{}); break;
+    case prog::Unary::kSign: g(sfn::Sign{}); break;
+    case prog::Unary::kGelu: g(sfn::Gelu{}); break;
+  }
+}
+
+template <typename G>
+void dispatch_binary(prog::Binary b, G&& g) {
+  switch (b) {
+    case prog::Binary::kAdd: g(sfn::Add{}); break;
+    case prog::Binary::kSub: g(sfn::Sub{}); break;
+    case prog::Binary::kMul: g(sfn::Mul{}); break;
+    case prog::Binary::kDiv: g(sfn::Div{}); break;
+  }
+}
+
+#ifdef MF_PROG_AVX2
+bool prog_has_avx2() {
+  static const bool has = __builtin_cpu_supports("avx2");
+  return has;
+}
+
+/// AVX2 body for the bitwise-exact subset of fused unary ops (IEEE-exact
+/// per lane: add/mul with a scalar, sign-bit flip, sign-bit clear, IEEE
+/// sqrt). Returns false for transcendental ops — the caller falls back to
+/// the scalar functor loop. Loops are written out (no lambdas): lambda
+/// bodies do not inherit the enclosing function's target("avx2").
+__attribute__((target("avx2"))) bool fused_unary_avx2(real* acc, int64_t len,
+                                                      prog::Unary u,
+                                                      real scalar) {
+  int64_t i = 0;
+  switch (u) {
+    case prog::Unary::kAddScalar: {
+      const __m256d s = _mm256_set1_pd(scalar);
+      for (; i + 4 <= len; i += 4)
+        _mm256_storeu_pd(acc + i, _mm256_add_pd(_mm256_loadu_pd(acc + i), s));
+      for (; i < len; ++i) acc[i] = sfn::AddScalar{scalar}(acc[i]);
+      return true;
+    }
+    case prog::Unary::kMulScalar: {
+      const __m256d s = _mm256_set1_pd(scalar);
+      for (; i + 4 <= len; i += 4)
+        _mm256_storeu_pd(acc + i, _mm256_mul_pd(_mm256_loadu_pd(acc + i), s));
+      for (; i < len; ++i) acc[i] = sfn::MulScalar{scalar}(acc[i]);
+      return true;
+    }
+    case prog::Unary::kNeg: {
+      const __m256d m = _mm256_set1_pd(-0.0);
+      for (; i + 4 <= len; i += 4)
+        _mm256_storeu_pd(acc + i, _mm256_xor_pd(_mm256_loadu_pd(acc + i), m));
+      for (; i < len; ++i) acc[i] = sfn::Neg{}(acc[i]);
+      return true;
+    }
+    case prog::Unary::kAbs: {
+      const __m256d m = _mm256_set1_pd(-0.0);
+      for (; i + 4 <= len; i += 4)
+        _mm256_storeu_pd(acc + i,
+                         _mm256_andnot_pd(m, _mm256_loadu_pd(acc + i)));
+      for (; i < len; ++i) acc[i] = sfn::Abs{}(acc[i]);
+      return true;
+    }
+    case prog::Unary::kSqrt: {
+      for (; i + 4 <= len; i += 4)
+        _mm256_storeu_pd(acc + i, _mm256_sqrt_pd(_mm256_loadu_pd(acc + i)));
+      for (; i < len; ++i) acc[i] = sfn::Sqrt{}(acc[i]);
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+/// AVX2 body for fused binary ops. `swapped` selects chain-on-the-right
+/// (acc = f(oth, acc)); kBinChainBoth callers pass oth == acc.
+__attribute__((target("avx2"))) void fused_binary_avx2(real* acc,
+                                                       const real* oth,
+                                                       int64_t len,
+                                                       prog::Binary b,
+                                                       bool swapped) {
+  int64_t i = 0;
+  if (!swapped) {
+    switch (b) {
+      case prog::Binary::kAdd:
+        for (; i + 4 <= len; i += 4)
+          _mm256_storeu_pd(acc + i, _mm256_add_pd(_mm256_loadu_pd(acc + i),
+                                                  _mm256_loadu_pd(oth + i)));
+        for (; i < len; ++i) acc[i] = sfn::Add{}(acc[i], oth[i]);
+        break;
+      case prog::Binary::kSub:
+        for (; i + 4 <= len; i += 4)
+          _mm256_storeu_pd(acc + i, _mm256_sub_pd(_mm256_loadu_pd(acc + i),
+                                                  _mm256_loadu_pd(oth + i)));
+        for (; i < len; ++i) acc[i] = sfn::Sub{}(acc[i], oth[i]);
+        break;
+      case prog::Binary::kMul:
+        for (; i + 4 <= len; i += 4)
+          _mm256_storeu_pd(acc + i, _mm256_mul_pd(_mm256_loadu_pd(acc + i),
+                                                  _mm256_loadu_pd(oth + i)));
+        for (; i < len; ++i) acc[i] = sfn::Mul{}(acc[i], oth[i]);
+        break;
+      case prog::Binary::kDiv:
+        for (; i + 4 <= len; i += 4)
+          _mm256_storeu_pd(acc + i, _mm256_div_pd(_mm256_loadu_pd(acc + i),
+                                                  _mm256_loadu_pd(oth + i)));
+        for (; i < len; ++i) acc[i] = sfn::Div{}(acc[i], oth[i]);
+        break;
+    }
+  } else {
+    switch (b) {
+      case prog::Binary::kAdd:
+        for (; i + 4 <= len; i += 4)
+          _mm256_storeu_pd(acc + i, _mm256_add_pd(_mm256_loadu_pd(oth + i),
+                                                  _mm256_loadu_pd(acc + i)));
+        for (; i < len; ++i) acc[i] = sfn::Add{}(oth[i], acc[i]);
+        break;
+      case prog::Binary::kSub:
+        for (; i + 4 <= len; i += 4)
+          _mm256_storeu_pd(acc + i, _mm256_sub_pd(_mm256_loadu_pd(oth + i),
+                                                  _mm256_loadu_pd(acc + i)));
+        for (; i < len; ++i) acc[i] = sfn::Sub{}(oth[i], acc[i]);
+        break;
+      case prog::Binary::kMul:
+        for (; i + 4 <= len; i += 4)
+          _mm256_storeu_pd(acc + i, _mm256_mul_pd(_mm256_loadu_pd(oth + i),
+                                                  _mm256_loadu_pd(acc + i)));
+        for (; i < len; ++i) acc[i] = sfn::Mul{}(oth[i], acc[i]);
+        break;
+      case prog::Binary::kDiv:
+        for (; i + 4 <= len; i += 4)
+          _mm256_storeu_pd(acc + i, _mm256_div_pd(_mm256_loadu_pd(oth + i),
+                                                  _mm256_loadu_pd(acc + i)));
+        for (; i < len; ++i) acc[i] = sfn::Div{}(oth[i], acc[i]);
+        break;
+    }
+  }
+}
+#endif  // MF_PROG_AVX2
+
 void execute(Program::Impl& im, const Step& s) {
   real* const* B = im.buf.data();
   switch (s.kind) {
@@ -463,41 +817,8 @@ void execute(Program::Impl& im, const Step& s) {
       const real* a = B[s.a];
       real* o = B[s.out];
       const int64_t n = s.p0;
-      switch (static_cast<prog::Unary>(s.fn)) {
-        case prog::Unary::kAddScalar:
-          kernels::map_unary(a, o, n, sfn::AddScalar{s.scalar});
-          break;
-        case prog::Unary::kMulScalar:
-          kernels::map_unary(a, o, n, sfn::MulScalar{s.scalar});
-          break;
-        case prog::Unary::kPowScalar:
-          kernels::map_unary(a, o, n, sfn::PowScalar{s.scalar});
-          break;
-        case prog::Unary::kNeg:
-          kernels::map_unary(a, o, n, sfn::Neg{});
-          break;
-        case prog::Unary::kExp:
-          kernels::map_unary(a, o, n, sfn::Exp{});
-          break;
-        case prog::Unary::kLog:
-          kernels::map_unary(a, o, n, sfn::Log{});
-          break;
-        case prog::Unary::kSqrt:
-          kernels::map_unary(a, o, n, sfn::Sqrt{});
-          break;
-        case prog::Unary::kTanh:
-          kernels::map_unary(a, o, n, sfn::Tanh{});
-          break;
-        case prog::Unary::kAbs:
-          kernels::map_unary(a, o, n, sfn::Abs{});
-          break;
-        case prog::Unary::kSign:
-          kernels::map_unary(a, o, n, sfn::Sign{});
-          break;
-        case prog::Unary::kGelu:
-          kernels::map_unary(a, o, n, sfn::Gelu{});
-          break;
-      }
+      dispatch_unary(static_cast<prog::Unary>(s.fn), s.scalar,
+                     [&](auto f) { kernels::map_unary(a, o, n, f); });
       break;
     }
     case StepKind::kBinary: {
@@ -505,20 +826,8 @@ void execute(Program::Impl& im, const Step& s) {
       const real* b = B[s.b];
       real* o = B[s.out];
       const int64_t n = s.p0;
-      switch (static_cast<prog::Binary>(s.fn)) {
-        case prog::Binary::kAdd:
-          kernels::map_binary(a, b, o, n, sfn::Add{});
-          break;
-        case prog::Binary::kSub:
-          kernels::map_binary(a, b, o, n, sfn::Sub{});
-          break;
-        case prog::Binary::kMul:
-          kernels::map_binary(a, b, o, n, sfn::Mul{});
-          break;
-        case prog::Binary::kDiv:
-          kernels::map_binary(a, b, o, n, sfn::Div{});
-          break;
-      }
+      dispatch_binary(static_cast<prog::Binary>(s.fn),
+                      [&](auto f) { kernels::map_binary(a, b, o, n, f); });
       break;
     }
     case StepKind::kBinaryBcast: {
@@ -527,19 +836,127 @@ void execute(Program::Impl& im, const Step& s) {
       const real* a = B[s.a];
       const real* b = B[s.b];
       real* o = B[s.out];
-      switch (static_cast<prog::Binary>(s.fn)) {
-        case prog::Binary::kAdd:
-          kernels::map_broadcast(plan, a, b, o, sfn::Add{});
-          break;
-        case prog::Binary::kSub:
-          kernels::map_broadcast(plan, a, b, o, sfn::Sub{});
-          break;
-        case prog::Binary::kMul:
-          kernels::map_broadcast(plan, a, b, o, sfn::Mul{});
-          break;
-        case prog::Binary::kDiv:
-          kernels::map_broadcast(plan, a, b, o, sfn::Div{});
-          break;
+      dispatch_binary(static_cast<prog::Binary>(s.fn), [&](auto f) {
+        kernels::map_broadcast(plan, a, b, o, f);
+      });
+      break;
+    }
+    case StepKind::kFused: {
+      // One pass over the buffer, block by block: the chain value lives
+      // in a stack block while the composed ops run over it, so the
+      // folded intermediates never touch memory. Element i still sees
+      // the identical functor sequence the individual steps applied.
+      const auto& ops = im.fchains[static_cast<std::size_t>(s.plan)];
+      const real* src = B[s.a];
+      real* outp = B[s.out];
+      const FusedOp* fo = ops.data();
+      const std::size_t n_ops = ops.size();
+#ifdef MF_PROG_AVX2
+      const bool avx2 = prog_has_avx2();
+#endif
+      kernels::parallel_for(
+          s.p0, static_cast<int64_t>(n_ops) + 1, [&](int64_t b0, int64_t e0) {
+            constexpr int64_t kBlock = 128;
+            real acc[kBlock];
+            for (int64_t base = b0; base < e0; base += kBlock) {
+              const int64_t len = std::min(kBlock, e0 - base);
+              for (int64_t t = 0; t < len; ++t) acc[t] = src[base + t];
+              for (std::size_t k = 0; k < n_ops; ++k) {
+                const FusedOp& op = fo[k];
+                switch (op.form) {
+                  case FusedOp::kUnaryForm:
+#ifdef MF_PROG_AVX2
+                    if (avx2 &&
+                        fused_unary_avx2(acc, len,
+                                         static_cast<prog::Unary>(op.fn),
+                                         op.scalar)) {
+                      break;
+                    }
+#endif
+                    dispatch_unary(static_cast<prog::Unary>(op.fn), op.scalar,
+                                   [&](auto f) {
+                                     for (int64_t t = 0; t < len; ++t) {
+                                       acc[t] = f(acc[t]);
+                                     }
+                                   });
+                    break;
+                  case FusedOp::kBinChainLeft: {
+                    const real* oth = B[op.other] + base;
+#ifdef MF_PROG_AVX2
+                    if (avx2) {
+                      fused_binary_avx2(acc, oth, len,
+                                        static_cast<prog::Binary>(op.fn),
+                                        /*swapped=*/false);
+                      break;
+                    }
+#endif
+                    dispatch_binary(static_cast<prog::Binary>(op.fn),
+                                    [&](auto f) {
+                                      for (int64_t t = 0; t < len; ++t) {
+                                        acc[t] = f(acc[t], oth[t]);
+                                      }
+                                    });
+                    break;
+                  }
+                  case FusedOp::kBinChainRight: {
+                    const real* oth = B[op.other] + base;
+#ifdef MF_PROG_AVX2
+                    if (avx2) {
+                      fused_binary_avx2(acc, oth, len,
+                                        static_cast<prog::Binary>(op.fn),
+                                        /*swapped=*/true);
+                      break;
+                    }
+#endif
+                    dispatch_binary(static_cast<prog::Binary>(op.fn),
+                                    [&](auto f) {
+                                      for (int64_t t = 0; t < len; ++t) {
+                                        acc[t] = f(oth[t], acc[t]);
+                                      }
+                                    });
+                    break;
+                  }
+                  case FusedOp::kBinChainBoth:
+#ifdef MF_PROG_AVX2
+                    if (avx2) {
+                      fused_binary_avx2(acc, acc, len,
+                                        static_cast<prog::Binary>(op.fn),
+                                        /*swapped=*/false);
+                      break;
+                    }
+#endif
+                    dispatch_binary(static_cast<prog::Binary>(op.fn),
+                                    [&](auto f) {
+                                      for (int64_t t = 0; t < len; ++t) {
+                                        acc[t] = f(acc[t], acc[t]);
+                                      }
+                                    });
+                    break;
+                }
+              }
+              for (int64_t t = 0; t < len; ++t) outp[base + t] = acc[t];
+            }
+          });
+      break;
+    }
+    case StepKind::kAdamTick: {
+      prog::AdamPlanState& st =
+          *im.adam_ticks[static_cast<std::size_t>(s.plan)];
+      ++*st.t;
+      st.bc1 = 1.0 - std::pow(st.beta1, static_cast<double>(*st.t));
+      st.bc2 = 1.0 - std::pow(st.beta2, static_cast<double>(*st.t));
+      break;
+    }
+    case StepKind::kAdamParam: {
+      const auto& ap = im.adam_params[static_cast<std::size_t>(s.plan)];
+      const prog::AdamPlanState& st = *ap.state;
+      const real* g = B[s.a];
+      real* p = B[s.out];
+      const double lr = *st.lr;
+      for (int64_t j = 0; j < ap.n; ++j) {
+        sfn::adam_update(p[j], g[j], ap.m[j], ap.v[j], lr, st.beta1, st.beta2,
+                         st.bc1, st.bc2, st.eps, st.weight_decay,
+                         st.decoupled);
       }
       break;
     }
@@ -668,7 +1085,41 @@ bool Program::captured() const { return impl_->ready; }
 void Program::replay() {
   Impl& im = *impl_;
   if (!im.ready) throw std::logic_error("Program::replay before capture");
-  for (const Step& s : im.steps) execute(im, s);
+  static const bool prof = [] {
+    const char* e = std::getenv("MF_PROGRAM_PROFILE");
+    return e && e[0] == '1';
+  }();
+  if (prof) {
+    // Per-thread accumulators: inference replays programs from several
+    // OpenMP threads at once, and a shared tally would be a data race.
+    static thread_local double acc[64] = {0};
+    static thread_local std::uint64_t cnt[64] = {0};
+    static thread_local std::uint64_t elems[64] = {0};
+    static thread_local std::uint64_t calls = 0;
+    for (const Step& s : im.steps) {
+      int k = static_cast<int>(s.kind);
+      if (s.kind == StepKind::kUnary) k = 32 + s.fn;  // split unary by fn
+      const double t0 = now_ms();
+      execute(im, s);
+      acc[k] += now_ms() - t0;
+      ++cnt[k];
+      elems[k] += static_cast<std::uint64_t>(s.p0);
+    }
+    if (++calls % 24 == 0) {
+      std::fprintf(stderr, "PROGPROF after %llu replays:\n",
+                   static_cast<unsigned long long>(calls));
+      for (int k = 0; k < 64; ++k) {
+        if (cnt[k]) {
+          std::fprintf(stderr,
+                       "  kind %2d: %8.3f ms total, %8llu steps, %10llu elems\n",
+                       k, acc[k], static_cast<unsigned long long>(cnt[k]),
+                       static_cast<unsigned long long>(elems[k]));
+        }
+      }
+    }
+  } else {
+    for (const Step& s : im.steps) execute(im, s);
+  }
   ++im.replays;
 }
 
@@ -682,6 +1133,9 @@ Program::Stats Program::stats() const {
   st.external_slots = im.external_slots;
   st.arena_bytes = im.arena_bytes;
   st.pinned_bytes = im.pinned_bytes;
+  st.fused_steps = im.fused_steps;
+  st.fused_ops = im.fused_ops;
+  st.optim_steps = im.adam_params.size();
   st.capture_ms = im.capture_ms;
   st.captures = im.captures;
   st.replays = im.replays;

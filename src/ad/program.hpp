@@ -40,9 +40,26 @@
 // time from the same work sizes, so replay partitions exactly like eager
 // execution at the same thread count.
 //
-// Escape hatch: MF_DISABLE_PROGRAM=1 (or program_set_enabled(false))
+// Fusion: lowering additionally collapses runs of adjacent elementwise
+// steps whose slots chain producer→consumer with no other reader in
+// between into single `Fused` steps that apply the composed scalar
+// expression in one pass over the buffer. Every element still goes
+// through the identical sfn:: functors in the identical order, so fused
+// replay stays bitwise-identical to eager; the skipped intermediates
+// simply never materialize (their slots are dropped from the arena).
+//
+// Optimizer capture: optim::Adam records its update (moment updates, bias
+// correction, weight write) into an enclosing capture via the hooks at
+// the bottom of this header, so a plan that captures step + optimizer
+// replays forward, backwards and the parameter update with zero eager
+// tensor ops — and the `.grad` buffers, no longer read by anything
+// outside the plan, get liveness-packed like any other intermediate.
+//
+// Escape hatches: MF_DISABLE_PROGRAM=1 (or program_set_enabled(false))
 // makes program_enabled() false; the wired call sites then run eagerly,
 // bit-for-bit like pre-PR-4 code (mirrors MF_DISABLE_POOL / _ARENA).
+// MF_DISABLE_FUSION=1 keeps programs on but lowers every elementwise
+// step individually (the PR 4 plans), also bit-for-bit.
 #pragma once
 
 #include <cstdint>
@@ -62,6 +79,9 @@ class Program {
     std::size_t external_slots = 0; // slots alive outside the program
     std::size_t arena_bytes = 0;    // liveness-packed internal storage
     std::size_t pinned_bytes = 0;   // externally visible slot payloads
+    std::size_t fused_steps = 0;    // Fused steps in the plan
+    std::size_t fused_ops = 0;      // elementwise steps folded into them
+    std::size_t optim_steps = 0;    // in-plan optimizer parameter updates
     double capture_ms = 0;          // wall time of the last capture
     std::uint64_t captures = 0;     // captures over this Program's life
     std::uint64_t replays = 0;
@@ -103,6 +123,13 @@ class Program {
 bool program_enabled();
 /// Override the env default (tests / benches). Returns previous value.
 bool program_set_enabled(bool on);
+
+/// False when MF_DISABLE_FUSION=1: lowering keeps every recorded
+/// elementwise step as its own plan step (the pre-fusion PR 4 plans).
+/// Checked at capture/lowering time, not at replay.
+bool program_fusion_enabled();
+/// Override the env default (tests / benches). Returns previous value.
+bool program_fusion_set_enabled(bool on);
 
 // ---- capture hooks ----------------------------------------------------
 //
@@ -169,6 +196,28 @@ void on_conv1d_grad_weight(const Tensor& gout, const Tensor& in,
                            int64_t padding);
 void on_conv1d_grad_bias(const Tensor& gout, const Tensor& out, int64_t B,
                          int64_t Cout, int64_t Lout);
+
+// ---- in-plan optimizer update (optim::Adam) -----------------------------
+//
+// Adam::step() calls these while it applies its eager update under an
+// enclosing capture, so the parameter update becomes part of the same plan
+// as the forward/backward kernels: one tick step per step() call (advances
+// `t` and refreshes the bias corrections at replay), then one param step
+// per parameter with a defined gradient. The state block is owned by the
+// optimizer and read live at replay — the schedule can keep writing `*lr`
+// between replays — so the optimizer must outlive the captured plan.
+struct AdamPlanState {
+  double* lr = nullptr;   // points at the optimizer's live learning rate
+  int64_t* t = nullptr;   // points at the optimizer's step counter
+  double beta1 = 0.9, beta2 = 0.999, eps = 1e-8, weight_decay = 0;
+  bool decoupled = false;
+  double bc1 = 1, bc2 = 1;  // refreshed by the tick step at each replay
+};
+void on_adam_tick(AdamPlanState* st);
+/// `m` / `v` point at the optimizer's moment buffers for this parameter
+/// (stable for the optimizer's lifetime).
+void on_adam_param(AdamPlanState* st, const Tensor& param, const Tensor& grad,
+                   double* m, double* v);
 
 }  // namespace prog
 

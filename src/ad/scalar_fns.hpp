@@ -73,4 +73,24 @@ struct Gelu {
   }
 };
 
+// ---- optimizer element updates ----
+//
+// The Adam/AdamW update for one parameter element, shared by the eager
+// optimizer (optim::Adam::step) and the compiled program's in-plan
+// optimizer step so both paths evaluate the identical FP expression.
+// `bc1` / `bc2` are the bias corrections 1 - beta^t for the current step.
+inline void adam_update(real& p, real g, double& m, double& v, double lr,
+                        double beta1, double beta2, double bc1, double bc2,
+                        double eps, double weight_decay, bool decoupled) {
+  double gj = g;
+  if (!decoupled) gj += weight_decay * p;
+  m = beta1 * m + (1 - beta1) * gj;
+  v = beta2 * v + (1 - beta2) * gj * gj;
+  const double mhat = m / bc1;
+  const double vhat = v / bc2;
+  double update = mhat / (std::sqrt(vhat) + eps);
+  if (decoupled) update += weight_decay * p;
+  p -= lr * update;
+}
+
 }  // namespace mf::ad::sfn

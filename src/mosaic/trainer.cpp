@@ -47,6 +47,7 @@ bool CompiledTrainStep::shapes_match(const gp::SdnetBatch& batch) const {
 
 std::pair<double, double> CompiledTrainStep::run(const gp::SdnetBatch& batch) {
   last_was_replay_ = false;
+  const bool in_plan = optimizer_in_plan();
   if (!ad::program_enabled() || ad::prog::capturing()) {
     // Eager path (escape hatch, or already inside an enclosing capture
     // that should record this step itself). Drop any captured plan: the
@@ -56,15 +57,27 @@ std::pair<double, double> CompiledTrainStep::run(const gp::SdnetBatch& batch) {
     program_.reset();
     leaves_ = gp::SdnetBatch{};
     net_.zero_grad();
-    return training_step(net_, batch, config_);
+    auto losses = training_step(net_, batch, config_);
+    if (opt_) opt_->step();
+    return losses;
   }
   if (!program_.captured() || !shapes_match(batch)) {
     // (Re-)capture on this batch geometry. The batch tensors become the
     // program's leaf slots; later iterations refill them in place.
     leaves_ = batch;
     net_.zero_grad();
-    program_.capture(
-        [&] { losses_ = training_step_graph(net_, leaves_, config_); });
+    program_.capture([&] {
+      losses_ = training_step_graph(net_, leaves_, config_);
+      if (in_plan) {
+        // The optimizer records its own update into the plan. Dropping
+        // the parameters' .grad bindings afterwards leaves the plan as
+        // the only owner of the gradient buffers, so lowering packs them
+        // onto the plan arena like any other intermediate.
+        opt_->step();
+        for (auto& p : net_.parameters()) p.set_grad(ad::Tensor{});
+      }
+    });
+    if (opt_ && !in_plan) opt_->step();
   } else {
     // Refill the captured leaves and replay. No zero_grad: the replayed
     // accumulation chain starts from a fresh copy, exactly like the
@@ -80,6 +93,7 @@ std::pair<double, double> CompiledTrainStep::run(const gp::SdnetBatch& batch) {
               leaves_.x_colloc.data());
     program_.replay();
     last_was_replay_ = true;
+    if (opt_ && !in_plan) opt_->step();
   }
   return {losses_.data.item(), losses_.pde.defined() ? losses_.pde.item() : 0.0};
 }
@@ -195,8 +209,13 @@ std::vector<EpochStats> train_sdnet(
   const double cpu_start = util::thread_cpu_seconds();
   // Capture the step once, replay it every iteration after (re-capturing
   // if the batch geometry ever changes). Bitwise identical to the eager
-  // loop; MF_DISABLE_PROGRAM=1 falls back to it outright.
-  CompiledTrainStep cstep(net, config);
+  // loop; MF_DISABLE_PROGRAM=1 falls back to it outright. On a single
+  // rank the optimizer rides inside the compiled step (in-plan for
+  // Adam/AdamW, eagerly after each replay otherwise); with multiple
+  // ranks the gradient allreduce has to run between compute and update,
+  // so the optimizer stays outside.
+  const bool multi_rank = comm && comm->size() > 1;
+  CompiledTrainStep cstep(net, config, multi_rank ? nullptr : opt.get());
   int64_t step = 0;
   for (int64_t epoch = 0; epoch < config.epochs; ++epoch) {
     double loss_acc = 0;
@@ -209,10 +228,14 @@ std::vector<EpochStats> train_sdnet(
         local.push_back(train[idx]);
       }
       auto batch = gen.make_batch(local, config.q_data, config.q_colloc);
-      auto [ld, lp] = cstep.run(batch);
-      if (comm && comm->size() > 1) average_gradients(net, *comm);
+      // The schedule's rate for this iteration must be set before run():
+      // an in-plan optimizer reads the live lr during replay.
       opt->set_lr(schedule(step++));
-      opt->step();
+      auto [ld, lp] = cstep.run(batch);
+      if (multi_rank) {
+        average_gradients(net, *comm);
+        opt->step();
+      }
       loss_acc += ld + lp;
     }
     EpochStats stats;

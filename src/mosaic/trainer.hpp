@@ -76,10 +76,22 @@ StepLossTensors training_step_graph(Sdnet& net, const gp::SdnetBatch& batch,
 /// average_gradients and the optimizers are untouched. With programs
 /// disabled (MF_DISABLE_PROGRAM=1) every run() is plain eager
 /// zero_grad + training_step, bit-for-bit.
+///
+/// With an optimizer attached, run() performs the whole iteration —
+/// compute *and* parameter update — so the caller only sets the learning
+/// rate before each run(). A plan-capturable optimizer (Adam/AdamW) is
+/// folded into the captured plan: replay runs forward, three backwards
+/// and the Adam update with zero eager tensor ops, and the `.grad`
+/// buffers — read by nothing outside the plan anymore — get
+/// liveness-packed onto the plan arena (they are invisible to callers
+/// afterwards; don't attach the optimizer when gradients must stay
+/// readable, e.g. for cross-rank averaging). Non-capturable optimizers
+/// (LAMB, SGD) are stepped eagerly after each capture/replay/fallback.
 class CompiledTrainStep {
  public:
-  CompiledTrainStep(Sdnet& net, const TrainConfig& config)
-      : net_(net), config_(config) {}
+  CompiledTrainStep(Sdnet& net, const TrainConfig& config,
+                    optim::Optimizer* opt = nullptr)
+      : net_(net), config_(config), opt_(opt) {}
 
   /// Run one step on `batch`; returns (data_loss, pde_loss).
   std::pair<double, double> run(const gp::SdnetBatch& batch);
@@ -88,12 +100,17 @@ class CompiledTrainStep {
   /// True when the last run() replayed the captured plan (false for the
   /// eager fallback and for capture runs).
   bool last_was_replay() const { return last_was_replay_; }
+  /// True when the attached optimizer's update is part of the plan.
+  bool optimizer_in_plan() const {
+    return opt_ != nullptr && opt_->plan_capturable();
+  }
 
  private:
   bool shapes_match(const gp::SdnetBatch& batch) const;
 
   Sdnet& net_;
   TrainConfig config_;
+  optim::Optimizer* opt_ = nullptr;
   ad::Program program_;
   gp::SdnetBatch leaves_;  // the captured step's input slots
   StepLossTensors losses_;

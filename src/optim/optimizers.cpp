@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "ad/scalar_fns.hpp"
+
 namespace mf::optim {
 
 void Optimizer::zero_grad() {
@@ -75,15 +77,34 @@ void Adam::adam_direction(std::size_t i, std::vector<double>& out) {
 
 void Adam::step() {
   ++t_;
-  std::vector<double> dir;
+  // Same element-wise arithmetic as adam_direction + the apply loop, in
+  // one pass through the shared sfn::adam_update — the exact expression
+  // the compiled program replays, so in-plan and eager updates are
+  // bitwise interchangeable.
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  const bool capturing = ad::prog::capturing();
+  if (capturing) {
+    plan_state_.lr = &lr_;
+    plan_state_.t = &t_;
+    plan_state_.beta1 = beta1_;
+    plan_state_.beta2 = beta2_;
+    plan_state_.eps = eps_;
+    plan_state_.weight_decay = weight_decay_;
+    plan_state_.decoupled = decoupled_;
+    ad::prog::on_adam_tick(&plan_state_);
+  }
   for (std::size_t i = 0; i < params_.size(); ++i) {
     Tensor& p = params_[i];
-    if (!p.grad().defined()) continue;
-    adam_direction(i, dir);
+    Tensor g = p.grad();
+    if (!g.defined()) continue;
+    if (capturing) {
+      ad::prog::on_adam_param(&plan_state_, p, g, m_[i].data(), v_[i].data());
+    }
     for (int64_t j = 0; j < p.numel(); ++j) {
-      double update = dir[static_cast<std::size_t>(j)];
-      if (decoupled_) update += weight_decay_ * p.flat(j);
-      p.flat(j) -= lr_ * update;
+      ad::sfn::adam_update(p.flat(j), g.flat(j), m_[i][static_cast<std::size_t>(j)],
+                       v_[i][static_cast<std::size_t>(j)], lr_, beta1_, beta2_,
+                       bc1, bc2, eps_, weight_decay_, decoupled_);
     }
   }
 }

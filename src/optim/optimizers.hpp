@@ -6,6 +6,7 @@
 #include <memory>
 #include <vector>
 
+#include "ad/program.hpp"
 #include "ad/tensor.hpp"
 
 namespace mf::optim {
@@ -20,6 +21,12 @@ class Optimizer {
 
   /// Apply one update from the gradients currently stored on the params.
   virtual void step() = 0;
+
+  /// True when step() records itself into an enclosing ad::Program
+  /// capture (see the prog::on_adam_* hooks), so a compiled training step
+  /// can replay the parameter update in-plan. Optimizers returning false
+  /// must be stepped eagerly after each replay.
+  virtual bool plan_capturable() const { return false; }
 
   void zero_grad();
   void set_lr(double lr) { lr_ = lr; }
@@ -50,6 +57,13 @@ class Adam : public Optimizer {
        double beta2 = 0.999, double eps = 1e-8, double weight_decay = 0.0,
        bool decoupled_weight_decay = false);
   void step() override;
+  bool plan_capturable() const override { return true; }
+
+  // Optimizer state, exposed for the parity tests (the compiled in-plan
+  // update must track the eager moments bitwise).
+  int64_t steps_taken() const { return t_; }
+  const std::vector<std::vector<double>>& moments_m() const { return m_; }
+  const std::vector<std::vector<double>>& moments_v() const { return v_; }
 
  protected:
   /// Computes the Adam direction for parameter `i` into `out` (without lr).
@@ -59,15 +73,21 @@ class Adam : public Optimizer {
   bool decoupled_;
   int64_t t_ = 0;
   std::vector<std::vector<double>> m_, v_;
+  /// Live state the captured plan reads at replay (lr, step counter, bias
+  /// corrections); see prog::AdamPlanState. Valid as long as `this` is.
+  ad::prog::AdamPlanState plan_state_;
 };
 
 /// LAMB (You et al., 2020): Adam direction rescaled per parameter tensor by
-/// the trust ratio ||w|| / ||update||.
+/// the trust ratio ||w|| / ||update||. The trust-ratio norms make the
+/// update non-elementwise, so LAMB is not plan-capturable and steps
+/// eagerly after each replay.
 class Lamb final : public Adam {
  public:
   Lamb(std::vector<Tensor> params, double lr, double beta1 = 0.9,
        double beta2 = 0.999, double eps = 1e-6, double weight_decay = 0.0);
   void step() override;
+  bool plan_capturable() const override { return false; }
 };
 
 }  // namespace mf::optim

@@ -188,12 +188,19 @@ TEST(Kernels, MatmulBlockedPathMatchesNaive) {
   // kTileN = 512) so the blocked path and its partial edge tiles are
   // actually exercised; the claim under test is bitwise identity with
   // the naive i-k-j loop.
-  const std::array<std::array<int64_t, 3>, 5> shapes = {{
+  const std::array<std::array<int64_t, 3>, 9> shapes = {{
       {3, 65, 513},   // both dims one past a tile boundary
       {4, 64, 512},   // exactly one tile (fast path)
       {2, 130, 40},   // k crosses tiles, n within one
       {2, 40, 600},   // n crosses tiles, k within one
       {1, 128, 1024}, // whole multiples of the tile sizes
+      // Micro-kernel (fits-one-tile) edge shapes: row remainders (< 4
+      // rows left) and column remainders after the 8- and 4-wide strips,
+      // so the vectorized fast path's tails are exercised too.
+      {5, 33, 64},    // one remainder row, whole 8-wide columns
+      {4, 64, 9},     // one 8-strip + 1-column scalar tail
+      {6, 17, 12},    // 8-strip + 4-strip columns, 2 remainder rows
+      {7, 5, 7},      // 4-strip + 3-column tail, 3 remainder rows
   }};
   for (const auto& [m, k, n] : shapes) {
     std::vector<mf::ad::real> a(static_cast<std::size_t>(m * k));

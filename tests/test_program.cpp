@@ -40,6 +40,32 @@ class ProgramEnabledGuard {
   bool prev_;
 };
 
+/// Same for the fusion switch (checked at capture/lowering time).
+class FusionEnabledGuard {
+ public:
+  explicit FusionEnabledGuard(bool on)
+      : prev_(ad::program_fusion_set_enabled(on)) {}
+  ~FusionEnabledGuard() { ad::program_fusion_set_enabled(prev_); }
+
+ private:
+  bool prev_;
+};
+
+void expect_adam_state_bitwise_equal(const optim::Adam& a,
+                                     const optim::Adam& b) {
+  ASSERT_EQ(a.steps_taken(), b.steps_taken());
+  const auto &ma = a.moments_m(), &mb = b.moments_m();
+  const auto &va = a.moments_v(), &vb = b.moments_v();
+  ASSERT_EQ(ma.size(), mb.size());
+  for (std::size_t i = 0; i < ma.size(); ++i) {
+    ASSERT_EQ(ma[i].size(), mb[i].size());
+    for (std::size_t j = 0; j < ma[i].size(); ++j) {
+      ASSERT_EQ(ma[i][j], mb[i][j]) << "m[" << i << "][" << j << "]";
+      ASSERT_EQ(va[i][j], vb[i][j]) << "v[" << i << "][" << j << "]";
+    }
+  }
+}
+
 mosaic::SdnetConfig small_net_config(int64_t m) {
   mosaic::SdnetConfig cfg;
   cfg.boundary_size = 4 * m;
@@ -320,6 +346,193 @@ TEST(Program, BatchedInferenceReplayMatchesEager) {
       ASSERT_EQ(eager3[b][k], prog3[b][k]);
     }
   }
+}
+
+TEST(Program, FusedReplayWithInPlanAdamBitwiseMatchesEagerTrajectory) {
+  // The strongest parity statement in this file: a compiled step with the
+  // optimizer folded into the plan (fusion on) must track a fully eager
+  // twin — weights, Adam moments, step counter and both losses — bitwise
+  // over a long trajectory, including a changing learning rate (the plan
+  // reads the live lr at every replay).
+  const int64_t m = 4;
+  const auto net_cfg = small_net_config(m);
+  const auto cfg = small_train_config();
+
+  util::Rng rng_a(7), rng_b(7);
+  mosaic::Sdnet eager_net(net_cfg, rng_a);
+  mosaic::Sdnet replay_net(net_cfg, rng_b);
+  gp::LaplaceDatasetGenerator gen_a(m, {}, 11), gen_b(m, {}, 11);
+  auto bvps_a = gen_a.generate_many(6);
+  auto bvps_b = gen_b.generate_many(6);
+
+  optim::Adam opt_a(eager_net.parameters(), 1e-3);
+  optim::Adam opt_b(replay_net.parameters(), 1e-3);
+  ASSERT_TRUE(opt_b.plan_capturable());
+
+  FusionEnabledGuard fuse_on(true);
+  mosaic::CompiledTrainStep cstep(replay_net, cfg, &opt_b);
+  EXPECT_TRUE(cstep.optimizer_in_plan());
+  const int kSteps = 52;
+  for (int iter = 0; iter < kSteps; ++iter) {
+    const double lr = 1e-3 * (1.0 + 0.01 * iter);
+    opt_a.set_lr(lr);
+    opt_b.set_lr(lr);
+    auto batch_a = gen_a.make_batch(bvps_a, cfg.q_data, cfg.q_colloc);
+    auto batch_b = gen_b.make_batch(bvps_b, cfg.q_data, cfg.q_colloc);
+
+    double ld_a, lp_a;
+    {
+      ProgramEnabledGuard off(false);
+      eager_net.zero_grad();
+      std::tie(ld_a, lp_a) = mosaic::training_step(eager_net, batch_a, cfg);
+      opt_a.step();
+    }
+    double ld_b, lp_b;
+    {
+      ProgramEnabledGuard on(true);
+      std::tie(ld_b, lp_b) = cstep.run(batch_b);
+    }
+    ASSERT_EQ(ld_a, ld_b) << "iter " << iter;
+    ASSERT_EQ(lp_a, lp_b) << "iter " << iter;
+    // The compiled twin's .grad buffers live only inside the plan now, so
+    // weights + optimizer state are the comparable surface — and they are
+    // exactly what the in-plan update must keep bitwise.
+    expect_params_bitwise_equal(eager_net, replay_net, false);
+    expect_adam_state_bitwise_equal(opt_a, opt_b);
+  }
+  const auto st = cstep.program().stats();
+  EXPECT_EQ(st.captures, 1u);
+  EXPECT_EQ(st.replays, static_cast<std::uint64_t>(kSteps - 1));
+  EXPECT_GT(st.fused_steps, 0u) << "training plan should contain fused runs";
+  EXPECT_GT(st.fused_ops, st.fused_steps);
+  EXPECT_GT(st.optim_steps, 0u) << "Adam update should be in-plan";
+}
+
+TEST(Program, FusionDisabledHatchIsBitwiseIdentical) {
+  // MF_DISABLE_FUSION keeps programs on but lowers every elementwise step
+  // individually; both plans must produce the identical trajectory.
+  const int64_t m = 4;
+  const auto net_cfg = small_net_config(m);
+  const auto cfg = small_train_config();
+
+  util::Rng rng_a(19), rng_b(19);
+  mosaic::Sdnet fused_net(net_cfg, rng_a);
+  mosaic::Sdnet plain_net(net_cfg, rng_b);
+  gp::LaplaceDatasetGenerator gen_a(m, {}, 71), gen_b(m, {}, 71);
+  auto bvps_a = gen_a.generate_many(5);
+  auto bvps_b = gen_b.generate_many(5);
+  optim::Adam opt_a(fused_net.parameters(), 2e-3);
+  optim::Adam opt_b(plain_net.parameters(), 2e-3);
+
+  ProgramEnabledGuard on(true);
+  mosaic::CompiledTrainStep fused_step(fused_net, cfg, &opt_a);
+  mosaic::CompiledTrainStep plain_step(plain_net, cfg, &opt_b);
+  for (int iter = 0; iter < 8; ++iter) {
+    auto batch_a = gen_a.make_batch(bvps_a, cfg.q_data, cfg.q_colloc);
+    auto batch_b = gen_b.make_batch(bvps_b, cfg.q_data, cfg.q_colloc);
+    double ld_a, lp_a, ld_b, lp_b;
+    {
+      FusionEnabledGuard fuse(true);
+      std::tie(ld_a, lp_a) = fused_step.run(batch_a);
+    }
+    {
+      FusionEnabledGuard nofuse(false);
+      std::tie(ld_b, lp_b) = plain_step.run(batch_b);
+    }
+    ASSERT_EQ(ld_a, ld_b) << "iter " << iter;
+    ASSERT_EQ(lp_a, lp_b) << "iter " << iter;
+    expect_params_bitwise_equal(fused_net, plain_net, false);
+    expect_adam_state_bitwise_equal(opt_a, opt_b);
+  }
+  EXPECT_GT(fused_step.program().stats().fused_steps, 0u);
+  EXPECT_EQ(plain_step.program().stats().fused_steps, 0u);
+  // Fusion drops the folded intermediates from the packed arena.
+  EXPECT_LT(fused_step.program().stats().steps,
+            plain_step.program().stats().steps);
+  EXPECT_LE(fused_step.program().stats().arena_bytes,
+            plain_step.program().stats().arena_bytes);
+}
+
+TEST(Program, LaterNonFusedReaderBlocksFusion) {
+  // add -> gelu is an adjacent elementwise producer->consumer pair, but
+  // the add's output is also read by a later non-elementwise step (sum).
+  // Folding the pair would leave that reader with a never-materialized
+  // operand, so the pass must keep the whole run unfused.
+  ProgramEnabledGuard on(true);
+  Tensor x = Tensor::zeros({64});
+  util::Rng rng(91);
+  for (int64_t i = 0; i < x.numel(); ++i) x.flat(i) = rng.uniform(-1.0, 1.0);
+
+  ad::Program blocked;
+  Tensor out_blocked;
+  blocked.capture([&] {
+    Tensor t1 = ops::add(x, x);
+    Tensor g = ops::gelu(t1);   // adjacent elementwise consumer of t1
+    Tensor s = ops::sum(t1);    // later non-fused reader of t1
+    out_blocked = ops::add(g, s);
+  });
+  EXPECT_EQ(blocked.stats().fused_steps, 0u)
+      << "a slot read by a later non-fused step must block fusion";
+
+  // Control: the identical chain without the extra reader fuses whole.
+  ad::Program chained;
+  Tensor out_chained;
+  chained.capture([&] {
+    out_chained = ops::mul(ops::gelu(ops::add(x, x)), x);
+  });
+  EXPECT_EQ(chained.stats().fused_steps, 1u);
+  EXPECT_EQ(chained.stats().fused_ops, 3u);
+
+  // Both programs replay bitwise against a fresh eager evaluation, also
+  // after the leaf contents change.
+  for (int round = 0; round < 2; ++round) {
+    blocked.replay();
+    chained.replay();
+    Tensor eager_blocked, eager_chained;
+    {
+      Tensor t1 = ops::add(x, x);
+      eager_blocked = ops::add(ops::gelu(t1), ops::sum(t1));
+      eager_chained = ops::mul(ops::gelu(ops::add(x, x)), x);
+    }
+    for (int64_t i = 0; i < out_blocked.numel(); ++i) {
+      ASSERT_EQ(out_blocked.flat(i), eager_blocked.flat(i)) << "round " << round;
+    }
+    for (int64_t i = 0; i < out_chained.numel(); ++i) {
+      ASSERT_EQ(out_chained.flat(i), eager_chained.flat(i)) << "round " << round;
+    }
+    for (int64_t i = 0; i < x.numel(); ++i) x.flat(i) = rng.uniform(-1.0, 1.0);
+  }
+}
+
+TEST(Program, SteadyStateReplayWithInPlanOptimizerIsAllocationFree) {
+  // PR 4's allocation-free guarantee must survive the optimizer moving
+  // into the plan: replays that now also perform the Adam update still
+  // touch no payload allocations in steady state.
+  ProgramEnabledGuard on(true);
+  const int64_t m = 4;
+  const auto net_cfg = small_net_config(m);
+  const auto cfg = small_train_config();
+
+  util::Rng rng(29);
+  mosaic::Sdnet net(net_cfg, rng);
+  gp::LaplaceDatasetGenerator gen(m, {}, 43);
+  auto bvps = gen.generate_many(4);
+  optim::Adam opt(net.parameters(), 1e-3);
+
+  mosaic::CompiledTrainStep cstep(net, cfg, &opt);
+  auto one = [&] {
+    auto batch = gen.make_batch(bvps, cfg.q_data, cfg.q_colloc);
+    cstep.run(batch);
+  };
+  for (int i = 0; i < 3; ++i) one();  // capture + warm the pool
+  ASSERT_TRUE(cstep.optimizer_in_plan());
+  const ad::PoolStats p0 = ad::PayloadPool::stats();
+  for (int i = 0; i < 5; ++i) one();
+  const ad::PoolStats p1 = ad::PayloadPool::stats();
+  EXPECT_EQ(p1.fresh_allocs() + p1.adopted, p0.fresh_allocs() + p0.adopted)
+      << "steady-state replay with the optimizer in-plan must not allocate";
+  EXPECT_TRUE(cstep.last_was_replay());
+  EXPECT_GT(cstep.program().stats().optim_steps, 0u);
 }
 
 TEST(Program, SteadyStateReplayIsPayloadAllocationFree) {

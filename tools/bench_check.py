@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate over the BENCH_*.json trajectories.
+
+Each committed BENCH_fig*.json file holds one JSON object per line, one
+line per PR, appended when a PR lands with its headline benchmark numbers.
+The bench-smoke CI job re-runs the benches at small shapes, strips the
+fresh ``BENCH_JSON`` line from the output, and calls this script to
+compare the fresh headline metric against the *last committed* line. A
+fresh value below ``--min-ratio`` (default 0.85) of the committed one
+fails the job, so a perf regression cannot land silently.
+
+The comparison is also emitted as a Markdown table, appended to
+``$GITHUB_STEP_SUMMARY`` when set (the Actions job summary) or to the
+path given with ``--summary``.
+
+Usage:
+    bench_check.py --min-ratio 0.85 \
+        --check fig6 build/fig6_line.json BENCH_fig6.json replay_steps_per_sec \
+        --check fig8 build/fig8_line.json BENCH_fig8.json batched_sub_updates_per_sec
+
+Caveat worth knowing when reading CI history: the committed lines are
+measured on the dev machine that landed the PR, so the gate is really a
+"same-order-of-magnitude and not collapsing" check on heterogeneous CI
+hardware, not a precision measurement. The table records both numbers and
+the ratio so a hardware mismatch is visible at a glance.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+
+def last_json_line(path: str) -> dict:
+    """Parse the last non-empty line of a JSON-lines file."""
+    last = None
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                last = line
+    if last is None:
+        raise ValueError(f"{path}: no JSON lines found")
+    try:
+        return json.loads(last)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{path}: last line is not valid JSON: {exc}") from exc
+
+
+def run_check(name: str, fresh_path: str, baseline_path: str, metric: str,
+              min_ratio: float) -> dict:
+    fresh = last_json_line(fresh_path)
+    baseline = last_json_line(baseline_path)
+    if metric not in fresh:
+        raise ValueError(f"{fresh_path}: metric '{metric}' missing from fresh line")
+    if metric not in baseline:
+        raise ValueError(
+            f"{baseline_path}: metric '{metric}' missing from committed line")
+    fresh_v = float(fresh[metric])
+    base_v = float(baseline[metric])
+    ratio = fresh_v / base_v if base_v > 0 else float("inf")
+    return {
+        "name": name,
+        "metric": metric,
+        "committed_pr": baseline.get("pr", "?"),
+        "committed": base_v,
+        "fresh": fresh_v,
+        "ratio": ratio,
+        "ok": ratio >= min_ratio,
+    }
+
+
+def markdown_table(rows: list[dict], min_ratio: float) -> str:
+    lines = [
+        f"### Bench perf gate (fresh ≥ {min_ratio:.2f}× last committed line)",
+        "",
+        "| bench | metric | committed (pr) | fresh | ratio | status |",
+        "|---|---|---|---|---|---|",
+    ]
+    for r in rows:
+        status = "✅ pass" if r["ok"] else "❌ **regression**"
+        lines.append(
+            f"| {r['name']} | `{r['metric']}` "
+            f"| {r['committed']:.4g} (pr:{r['committed_pr']}) "
+            f"| {r['fresh']:.4g} | {r['ratio']:.3f}x | {status} |")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def main(argv: list[str]) -> int:
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--check", nargs=4, action="append", required=True,
+                    metavar=("NAME", "FRESH_JSON", "BASELINE_JSON", "METRIC"),
+                    help="one gate: fresh bench line vs committed trajectory file")
+    ap.add_argument("--min-ratio", type=float, default=0.85,
+                    help="fail when fresh/committed drops below this (default 0.85)")
+    ap.add_argument("--summary", default=os.environ.get("GITHUB_STEP_SUMMARY"),
+                    help="append the Markdown comparison table to this file "
+                         "(default: $GITHUB_STEP_SUMMARY when set)")
+    args = ap.parse_args(argv)
+
+    rows = []
+    for name, fresh_path, baseline_path, metric in args.check:
+        try:
+            rows.append(run_check(name, fresh_path, baseline_path, metric,
+                                  args.min_ratio))
+        except (OSError, ValueError) as exc:
+            print(f"bench_check: {exc}", file=sys.stderr)
+            return 2
+
+    table = markdown_table(rows, args.min_ratio)
+    print(table)
+    if args.summary:
+        with open(args.summary, "a", encoding="utf-8") as fh:
+            fh.write(table + "\n")
+
+    failures = [r for r in rows if not r["ok"]]
+    for r in failures:
+        print(f"bench_check: FAIL {r['name']}.{r['metric']} = {r['fresh']:.4g} "
+              f"is {r['ratio']:.3f}x of committed {r['committed']:.4g} "
+              f"(threshold {args.min_ratio:.2f}x)", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
