@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cmath>
+#include <cstdlib>
 
 #if defined(__x86_64__) && defined(__GNUC__)
 #define MF_HAVE_AVX2_KERNELS 1
@@ -359,6 +360,133 @@ static bool cpu_has_avx2() {
   return has;
 }
 
+static bool cpu_has_fma() {
+  static const bool has = __builtin_cpu_supports("fma");
+  return has;
+}
+
+// ---- FMA matmul micro-kernels ----
+//
+// Same tiling as the no-FMA kernels above but with fused multiply-add:
+// one vfmadd231pd where the exact path issues mulpd + addpd, roughly
+// doubling arithmetic throughput on the port-bound width-64 GEMMs of
+// SDNet inference. The fused rounding changes the last bits relative to
+// the scalar loop (it is, if anything, more accurate), so this tier is
+// hatch-controlled: MF_DISABLE_FMA_KERNELS=1 (or fma_kernels_set_enabled)
+// restores the bitwise-exact kernels. The zero-skip of the exact path is
+// dropped — it exists to mirror the scalar loop branch-for-branch, which
+// this tier does not promise.
+__attribute__((target("avx2,fma"))) static void matmul_rows4_fma(
+    const real* a0, const real* a1, const real* a2, const real* a3,
+    const real* b, const real* bias, real* orow0, int64_t k, int64_t n) {
+  int64_t j0 = 0;
+  for (; j0 + 8 <= n; j0 += 8) {
+    __m256d acc0a, acc0b, acc1a, acc1b, acc2a, acc2b, acc3a, acc3b;
+    if (bias) {
+      const __m256d ba = _mm256_loadu_pd(bias + j0);
+      const __m256d bb = _mm256_loadu_pd(bias + j0 + 4);
+      acc0a = acc1a = acc2a = acc3a = ba;
+      acc0b = acc1b = acc2b = acc3b = bb;
+    } else {
+      acc0a = acc0b = acc1a = acc1b = acc2a = acc2b = acc3a = acc3b =
+          _mm256_setzero_pd();
+    }
+    const real* brow = b + j0;
+    for (int64_t kk = 0; kk < k; ++kk, brow += n) {
+      const __m256d bva = _mm256_loadu_pd(brow);
+      const __m256d bvb = _mm256_loadu_pd(brow + 4);
+      const __m256d av0 = _mm256_set1_pd(a0[kk]);
+      acc0a = _mm256_fmadd_pd(av0, bva, acc0a);
+      acc0b = _mm256_fmadd_pd(av0, bvb, acc0b);
+      const __m256d av1 = _mm256_set1_pd(a1[kk]);
+      acc1a = _mm256_fmadd_pd(av1, bva, acc1a);
+      acc1b = _mm256_fmadd_pd(av1, bvb, acc1b);
+      const __m256d av2 = _mm256_set1_pd(a2[kk]);
+      acc2a = _mm256_fmadd_pd(av2, bva, acc2a);
+      acc2b = _mm256_fmadd_pd(av2, bvb, acc2b);
+      const __m256d av3 = _mm256_set1_pd(a3[kk]);
+      acc3a = _mm256_fmadd_pd(av3, bva, acc3a);
+      acc3b = _mm256_fmadd_pd(av3, bvb, acc3b);
+    }
+    _mm256_storeu_pd(orow0 + j0, acc0a);
+    _mm256_storeu_pd(orow0 + j0 + 4, acc0b);
+    _mm256_storeu_pd(orow0 + n + j0, acc1a);
+    _mm256_storeu_pd(orow0 + n + j0 + 4, acc1b);
+    _mm256_storeu_pd(orow0 + 2 * n + j0, acc2a);
+    _mm256_storeu_pd(orow0 + 2 * n + j0 + 4, acc2b);
+    _mm256_storeu_pd(orow0 + 3 * n + j0, acc3a);
+    _mm256_storeu_pd(orow0 + 3 * n + j0 + 4, acc3b);
+  }
+  for (; j0 + 4 <= n; j0 += 4) {
+    __m256d acc0, acc1, acc2, acc3;
+    if (bias) {
+      acc0 = acc1 = acc2 = acc3 = _mm256_loadu_pd(bias + j0);
+    } else {
+      acc0 = acc1 = acc2 = acc3 = _mm256_setzero_pd();
+    }
+    const real* brow = b + j0;
+    for (int64_t kk = 0; kk < k; ++kk, brow += n) {
+      const __m256d bv = _mm256_loadu_pd(brow);
+      acc0 = _mm256_fmadd_pd(_mm256_set1_pd(a0[kk]), bv, acc0);
+      acc1 = _mm256_fmadd_pd(_mm256_set1_pd(a1[kk]), bv, acc1);
+      acc2 = _mm256_fmadd_pd(_mm256_set1_pd(a2[kk]), bv, acc2);
+      acc3 = _mm256_fmadd_pd(_mm256_set1_pd(a3[kk]), bv, acc3);
+    }
+    _mm256_storeu_pd(orow0 + j0, acc0);
+    _mm256_storeu_pd(orow0 + n + j0, acc1);
+    _mm256_storeu_pd(orow0 + 2 * n + j0, acc2);
+    _mm256_storeu_pd(orow0 + 3 * n + j0, acc3);
+  }
+  if (j0 < n) {  // column remainder: scalar with explicit std::fma
+    const int64_t jw = n - j0;
+    real acc[4][4];
+    for (int64_t r = 0; r < 4; ++r)
+      for (int64_t j = 0; j < jw; ++j) acc[r][j] = bias ? bias[j0 + j] : 0;
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const real* brow = b + kk * n + j0;
+      const real av[4] = {a0[kk], a1[kk], a2[kk], a3[kk]};
+      for (int64_t r = 0; r < 4; ++r)
+        for (int64_t j = 0; j < jw; ++j)
+          acc[r][j] = std::fma(av[r], brow[j], acc[r][j]);
+    }
+    for (int64_t r = 0; r < 4; ++r)
+      for (int64_t j = 0; j < jw; ++j) orow0[r * n + j0 + j] = acc[r][j];
+  }
+}
+
+__attribute__((target("avx2,fma"))) static void matmul_rows1_fma(
+    const real* arow, const real* b, const real* bias, real* orow, int64_t k,
+    int64_t n) {
+  int64_t j0 = 0;
+  for (; j0 + 4 <= n; j0 += 4) {
+    __m256d acc = bias ? _mm256_loadu_pd(bias + j0) : _mm256_setzero_pd();
+    const real* brow = b + j0;
+    for (int64_t kk = 0; kk < k; ++kk, brow += n) {
+      acc = _mm256_fmadd_pd(_mm256_set1_pd(arow[kk]), _mm256_loadu_pd(brow),
+                            acc);
+    }
+    _mm256_storeu_pd(orow + j0, acc);
+  }
+  for (int64_t j = j0; j < n; ++j) orow[j] = bias ? bias[j] : 0;
+  for (int64_t kk = 0; kk < k && j0 < n; ++kk) {
+    const real av = arow[kk];
+    const real* brow = b + kk * n;
+    for (int64_t j = j0; j < n; ++j) orow[j] = std::fma(av, brow[j], orow[j]);
+  }
+}
+
+__attribute__((target("avx2,fma"))) static void axpy_fma(const real* brow,
+                                                         real* orow, real av,
+                                                         int64_t len) {
+  const __m256d avv = _mm256_set1_pd(av);
+  int64_t j = 0;
+  for (; j + 4 <= len; j += 4) {
+    _mm256_storeu_pd(orow + j, _mm256_fmadd_pd(avv, _mm256_loadu_pd(brow + j),
+                                               _mm256_loadu_pd(orow + j)));
+  }
+  for (; j < len; ++j) orow[j] = std::fma(av, brow[j], orow[j]);
+}
+
 /// 4-lane body of the arithmetic map_binary overloads; `op` selects the
 /// instruction outside the vector loop. Scalar tail for n % 4.
 __attribute__((target("avx2"))) static void map_binary_avx2(
@@ -426,6 +554,273 @@ void map_binary(const real* a, const real* b, real* out, int64_t n, sfn::Div) {
   map_binary_dispatch(a, b, out, n, sfn::Div{}, 3);
 }
 
+// ---- fast tanh / gelu ----
+//
+// Cephes-style double-precision tanh (rational minimax on |x| < 0.625,
+// exp-based elsewhere, saturated past 19.0625). The scalar remainder
+// routine below replicates the vector lane operation-for-operation —
+// same polynomial order, same round-to-nearest for the exp exponent,
+// same exact 2^n scaling, no FMA on either side (the build never enables
+// contraction) — so a given input produces the same bits regardless of
+// whether a 4-lane group or the tail computed it. That property is what
+// keeps threaded/serial and eager/replay comparisons bitwise stable.
+
+namespace {
+
+constexpr double kTanhSmall = 0.625;
+constexpr double kTanhSat = 19.0625;
+// tanh rational coefficients (numerator P, monic denominator Q).
+constexpr double kTP0 = -9.64399179425052238628e-1;
+constexpr double kTP1 = -9.92877231001918586564e1;
+constexpr double kTP2 = -1.61468768441708447952e3;
+constexpr double kTQ0 = 1.12811678491632931402e2;
+constexpr double kTQ1 = 2.23548839060100448583e3;
+constexpr double kTQ2 = 4.84406305325125486048e3;
+// exp rational coefficients and argument-reduction constants.
+constexpr double kEP0 = 1.26177193074810590878e-4;
+constexpr double kEP1 = 3.02994407707441961300e-2;
+constexpr double kEP2 = 9.99999999999999999910e-1;
+constexpr double kEQ0 = 3.00198505138664455042e-6;
+constexpr double kEQ1 = 2.52448340349684104192e-3;
+constexpr double kEQ2 = 2.27265548208155028766e-1;
+constexpr double kEQ3 = 2.0;
+constexpr double kLog2E = 1.4426950408889634073599;
+constexpr double kExpC1 = 6.93145751953125e-1;
+constexpr double kExpC2 = 1.42860682030941723212e-6;
+
+// exp(x) for x in the reduced tanh range [1.25, 2*kTanhSat); not a
+// general exp (no overflow/underflow handling — callers bound the arg).
+inline double fast_exp_scalar(double x) {
+  const double n = std::nearbyint(x * kLog2E);
+  x = x - n * kExpC1;
+  x = x - n * kExpC2;
+  const double z = x * x;
+  const double px = x * ((kEP0 * z + kEP1) * z + kEP2);
+  const double qx = ((kEQ0 * z + kEQ1) * z + kEQ2) * z + kEQ3;
+  const double r = 1.0 + 2.0 * (px / (qx - px));
+  // Exact 2^n scaling via exponent-field construction, mirroring the
+  // vector lane's integer build of the scale factor.
+  return r * std::ldexp(1.0, static_cast<int>(n));
+}
+
+inline double fast_tanh_scalar(double x) {
+  const double ax = std::fabs(x);
+  if (ax < kTanhSmall) {
+    const double z = x * x;
+    const double num = (kTP0 * z + kTP1) * z + kTP2;
+    const double den = ((z + kTQ0) * z + kTQ1) * z + kTQ2;
+    return x + (x * z) * (num / den);
+  }
+  if (ax != ax) return x;  // NaN propagates (cannot reach the bit casts)
+  double large = 1.0;
+  if (!(ax >= kTanhSat)) {
+    const double e = fast_exp_scalar(ax + ax);
+    large = 1.0 - 2.0 / (e + 1.0);
+  }
+  return std::copysign(large, x);
+}
+
+inline double fast_gelu_scalar(double x) {
+  const double u = sfn::kGeluCoeff * (x + 0.044715 * x * x * x);
+  return 0.5 * x * (1.0 + fast_tanh_scalar(u));
+}
+
+bool fast_tanh_env_default() {
+  const char* e = std::getenv("MF_DISABLE_FAST_TANH");
+  return !(e && e[0] == '1');
+}
+
+std::atomic<bool> g_fast_tanh{fast_tanh_env_default()};
+
+bool fma_kernels_env_default() {
+  const char* e = std::getenv("MF_DISABLE_FMA_KERNELS");
+  return !(e && e[0] == '1');
+}
+
+std::atomic<bool> g_fma_kernels{fma_kernels_env_default()};
+
+}  // namespace
+
+bool fma_kernels_enabled() {
+  return g_fma_kernels.load(std::memory_order_relaxed);
+}
+
+bool fma_kernels_set_enabled(bool on) {
+  return g_fma_kernels.exchange(on, std::memory_order_relaxed);
+}
+
+bool fma_kernels_active() {
+#ifdef MF_HAVE_AVX2_KERNELS
+  return fma_kernels_enabled() && cpu_has_avx2() && cpu_has_fma();
+#else
+  return false;
+#endif
+}
+
+bool fast_tanh_enabled() {
+  return g_fast_tanh.load(std::memory_order_relaxed);
+}
+
+bool fast_tanh_set_enabled(bool on) {
+  return g_fast_tanh.exchange(on, std::memory_order_relaxed);
+}
+
+bool fast_tanh_active() {
+#ifdef MF_HAVE_AVX2_KERNELS
+  return fast_tanh_enabled() && cpu_has_avx2();
+#else
+  return false;
+#endif
+}
+
+#ifdef MF_HAVE_AVX2_KERNELS
+__attribute__((target("avx2"))) static inline __m256d fast_exp_pd(__m256d x) {
+  const __m256d n = _mm256_round_pd(
+      _mm256_mul_pd(x, _mm256_set1_pd(kLog2E)),
+      _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+  x = _mm256_sub_pd(x, _mm256_mul_pd(n, _mm256_set1_pd(kExpC1)));
+  x = _mm256_sub_pd(x, _mm256_mul_pd(n, _mm256_set1_pd(kExpC2)));
+  const __m256d z = _mm256_mul_pd(x, x);
+  const __m256d px = _mm256_mul_pd(
+      x, _mm256_add_pd(
+             _mm256_mul_pd(
+                 _mm256_add_pd(_mm256_mul_pd(_mm256_set1_pd(kEP0), z),
+                               _mm256_set1_pd(kEP1)),
+                 z),
+             _mm256_set1_pd(kEP2)));
+  const __m256d qx = _mm256_add_pd(
+      _mm256_mul_pd(
+          _mm256_add_pd(
+              _mm256_mul_pd(
+                  _mm256_add_pd(_mm256_mul_pd(_mm256_set1_pd(kEQ0), z),
+                                _mm256_set1_pd(kEQ1)),
+                  z),
+              _mm256_set1_pd(kEQ2)),
+          z),
+      _mm256_set1_pd(kEQ3));
+  const __m256d r = _mm256_add_pd(
+      _mm256_set1_pd(1.0),
+      _mm256_mul_pd(_mm256_set1_pd(2.0), _mm256_div_pd(px, _mm256_sub_pd(qx, px))));
+  // 2^n: n is integral and small (|n| < 64 in the tanh range), so the
+  // int32 convert is exact and the exponent field cannot overflow.
+  const __m128i ni = _mm256_cvtpd_epi32(n);
+  const __m256i ni64 = _mm256_cvtepi32_epi64(ni);
+  const __m256i bits =
+      _mm256_slli_epi64(_mm256_add_epi64(ni64, _mm256_set1_epi64x(1023)), 52);
+  return _mm256_mul_pd(r, _mm256_castsi256_pd(bits));
+}
+
+__attribute__((target("avx2"))) static inline __m256d fast_tanh_pd(__m256d x) {
+  const __m256d signmask = _mm256_set1_pd(-0.0);
+  const __m256d sign = _mm256_and_pd(x, signmask);
+  const __m256d ax = _mm256_andnot_pd(signmask, x);
+  // |x| < 0.625: x + x*z*P(z)/Q(z)
+  const __m256d z = _mm256_mul_pd(x, x);
+  const __m256d num = _mm256_add_pd(
+      _mm256_mul_pd(_mm256_add_pd(_mm256_mul_pd(_mm256_set1_pd(kTP0), z),
+                                  _mm256_set1_pd(kTP1)),
+                    z),
+      _mm256_set1_pd(kTP2));
+  const __m256d den = _mm256_add_pd(
+      _mm256_mul_pd(
+          _mm256_add_pd(
+              _mm256_mul_pd(_mm256_add_pd(z, _mm256_set1_pd(kTQ0)), z),
+              _mm256_set1_pd(kTQ1)),
+          z),
+      _mm256_set1_pd(kTQ2));
+  const __m256d small = _mm256_add_pd(
+      x, _mm256_mul_pd(_mm256_mul_pd(x, z), _mm256_div_pd(num, den)));
+  // |x| >= 0.625: 1 - 2/(exp(2|x|) + 1), saturated past kTanhSat.
+  const __m256d e = fast_exp_pd(_mm256_add_pd(ax, ax));
+  __m256d large = _mm256_sub_pd(
+      _mm256_set1_pd(1.0),
+      _mm256_div_pd(_mm256_set1_pd(2.0),
+                    _mm256_add_pd(e, _mm256_set1_pd(1.0))));
+  const __m256d sat = _mm256_cmp_pd(ax, _mm256_set1_pd(kTanhSat), _CMP_GE_OQ);
+  large = _mm256_blendv_pd(large, _mm256_set1_pd(1.0), sat);
+  large = _mm256_or_pd(large, sign);
+  const __m256d small_mask =
+      _mm256_cmp_pd(ax, _mm256_set1_pd(kTanhSmall), _CMP_LT_OQ);
+  return _mm256_blendv_pd(large, small, small_mask);
+}
+
+__attribute__((target("avx2"))) static inline __m256d fast_gelu_pd(__m256d x) {
+  const __m256d x3 = _mm256_mul_pd(
+      _mm256_mul_pd(_mm256_mul_pd(_mm256_set1_pd(0.044715), x), x), x);
+  const __m256d u =
+      _mm256_mul_pd(_mm256_set1_pd(sfn::kGeluCoeff), _mm256_add_pd(x, x3));
+  const __m256d t = fast_tanh_pd(u);
+  return _mm256_mul_pd(_mm256_mul_pd(_mm256_set1_pd(0.5), x),
+                       _mm256_add_pd(_mm256_set1_pd(1.0), t));
+}
+
+__attribute__((target("avx2"))) static void tanh_block_avx2(const real* a,
+                                                            real* out,
+                                                            int64_t n) {
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4)
+    _mm256_storeu_pd(out + i, fast_tanh_pd(_mm256_loadu_pd(a + i)));
+  for (; i < n; ++i) out[i] = fast_tanh_scalar(a[i]);
+}
+
+__attribute__((target("avx2"))) static void gelu_block_avx2(const real* a,
+                                                            real* out,
+                                                            int64_t n) {
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4)
+    _mm256_storeu_pd(out + i, fast_gelu_pd(_mm256_loadu_pd(a + i)));
+  for (; i < n; ++i) out[i] = fast_gelu_scalar(a[i]);
+}
+#endif  // MF_HAVE_AVX2_KERNELS
+
+void map_unary(const real* a, real* out, int64_t n, sfn::Tanh) {
+#ifdef MF_HAVE_AVX2_KERNELS
+  if (fast_tanh_active()) {
+    parallel_for(n, [&](int64_t begin, int64_t end) {
+      tanh_block_avx2(a + begin, out + begin, end - begin);
+    });
+    return;
+  }
+#endif
+  parallel_for(n, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) out[i] = sfn::Tanh{}(a[i]);
+  });
+}
+
+void map_unary(const real* a, real* out, int64_t n, sfn::Gelu) {
+#ifdef MF_HAVE_AVX2_KERNELS
+  if (fast_tanh_active()) {
+    parallel_for(n, [&](int64_t begin, int64_t end) {
+      gelu_block_avx2(a + begin, out + begin, end - begin);
+    });
+    return;
+  }
+#endif
+  parallel_for(n, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) out[i] = sfn::Gelu{}(a[i]);
+  });
+}
+
+void tanh_block_inplace(real* x, int64_t n) {
+#ifdef MF_HAVE_AVX2_KERNELS
+  if (fast_tanh_active()) {
+    tanh_block_avx2(x, x, n);
+    return;
+  }
+#endif
+  for (int64_t i = 0; i < n; ++i) x[i] = sfn::Tanh{}(x[i]);
+}
+
+void gelu_block_inplace(real* x, int64_t n) {
+#ifdef MF_HAVE_AVX2_KERNELS
+  if (fast_tanh_active()) {
+    gelu_block_avx2(x, x, n);
+    return;
+  }
+#endif
+  for (int64_t i = 0; i < n; ++i) x[i] = sfn::Gelu{}(x[i]);
+}
+
 void matmul(const real* a, const real* b, const real* bias, real* out,
             int64_t m, int64_t k, int64_t n) {
   // Tiling gate: block only when b overflows one tile's cache footprint
@@ -439,12 +834,23 @@ void matmul(const real* a, const real* b, const real* bias, real* out,
   const bool b_fits_one_tile = k * n <= kTileK * kTileN;
 #ifdef MF_HAVE_AVX2_KERNELS
   const bool use_avx2 = cpu_has_avx2();
+  const bool use_fma = fma_kernels_active();
 #endif
   parallel_for(m, k * n, [&](int64_t begin, int64_t end) {
     if (b_fits_one_tile) {
 #ifdef MF_HAVE_AVX2_KERNELS
       if (use_avx2) {
         int64_t i0 = begin;
+        if (use_fma) {
+          for (; i0 + 4 <= end; i0 += 4) {
+            matmul_rows4_fma(a + i0 * k, a + (i0 + 1) * k, a + (i0 + 2) * k,
+                             a + (i0 + 3) * k, b, bias, out + i0 * n, k, n);
+          }
+          for (; i0 < end; ++i0) {
+            matmul_rows1_fma(a + i0 * k, b, bias, out + i0 * n, k, n);
+          }
+          return;
+        }
         for (; i0 + 4 <= end; i0 += 4) {
           matmul_rows4_avx2(a + i0 * k, a + (i0 + 1) * k, a + (i0 + 2) * k,
                             a + (i0 + 3) * k, b, bias, out + i0 * n, k, n);
@@ -570,6 +976,10 @@ void matmul(const real* a, const real* b, const real* bias, real* out,
             if (av == 0) continue;
             const real* brow = b + kk * n;
 #ifdef MF_HAVE_AVX2_KERNELS
+            if (use_fma) {
+              axpy_fma(brow + j0, orow + j0, av, j1 - j0);
+              continue;
+            }
             if (use_avx2) {
               axpy_avx2(brow + j0, orow + j0, av, j1 - j0);
               continue;

@@ -120,6 +120,46 @@ void map_binary(const real* a, const real* b, real* out, int64_t n, sfn::Sub);
 void map_binary(const real* a, const real* b, real* out, int64_t n, sfn::Mul);
 void map_binary(const real* a, const real* b, real* out, int64_t n, sfn::Div);
 
+// ---- fast tanh / gelu ----
+//
+// tanh dominates SDNet inference (every hidden activation is a GELU whose
+// cost is one libm tanh, ~27 cycles/element); these overloads replace it
+// with a Cephes-style rational approximation — 4 AVX2 lanes in flight,
+// accurate to ~1-2 ulp of std::tanh. The vector lanes and the scalar
+// remainder evaluate the identical operation sequence, so the value of an
+// element never depends on which chunk or lane computed it: threaded
+// execution stays bitwise identical to serial, and eager ops and program
+// replay (including fused chains, which route through the *_block_inplace
+// entry points) stay bitwise identical to each other. Absolute values
+// differ from libm in the last bits; MF_DISABLE_FAST_TANH=1 (or the
+// setter) restores bit-exact std::tanh everywhere.
+/// Env-derived default: false when MF_DISABLE_FAST_TANH=1.
+bool fast_tanh_enabled();
+/// Override the env default (tests / benches). Returns previous value.
+bool fast_tanh_set_enabled(bool on);
+/// True when the fast path actually runs: enabled and the CPU has AVX2.
+bool fast_tanh_active();
+void map_unary(const real* a, real* out, int64_t n, sfn::Tanh);
+void map_unary(const real* a, real* out, int64_t n, sfn::Gelu);
+/// Serial in-place blocks for the fused-chain interpreter; element-for-
+/// element identical to the map_unary overloads (fast path when active,
+/// the sfn:: functor otherwise).
+void tanh_block_inplace(real* x, int64_t n);
+void gelu_block_inplace(real* x, int64_t n);
+
+// ---- FMA matmul tier ----
+//
+// When the CPU has FMA, matmul dispatches to fused-multiply-add
+// micro-kernels (~2x arithmetic throughput on the width-64 GEMMs). Fused
+// rounding shifts the last bits relative to the exact mulpd/addpd tier,
+// so it is hatch-controlled: MF_DISABLE_FMA_KERNELS=1 (or the setter)
+// restores kernels that are bitwise identical to the naive scalar loop.
+// Either way eager, replay, serial and threaded execution all share one
+// kernel, so intra-process parity invariants are unaffected.
+bool fma_kernels_enabled();
+bool fma_kernels_set_enabled(bool on);
+bool fma_kernels_active();
+
 // ---- broadcast elementwise ----
 
 /// Precomputed output-dim strides mapping each output element to the flat

@@ -2,10 +2,13 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
 #include <stdexcept>
+#include <thread>
 
 #if defined(__x86_64__) && defined(__GNUC__)
 #define MF_PROG_AVX2 1
@@ -41,7 +44,25 @@ enum class StepKind : std::uint8_t {
   kFused,      // composed run of adjacent elementwise steps
   kAdamTick,   // advance the in-plan optimizer step counter
   kAdamParam,  // in-plan Adam update of one parameter tensor
+  kLambParam,  // in-plan LAMB update (trust-ratio reduction + write)
+  kStepKindCount_,  // sentinel: one past the last real kind
 };
+
+// Profile-tally band layout: [0, kStepKindCount) per step kind, then
+// [kStepKindCount, kStepKindCount + kUnaryFnCount) splitting kUnary by
+// fn. Sized from the enums so adding a kind or a unary fn grows the
+// accumulators instead of silently aliasing a neighbouring band (the
+// old fixed `32 + fn` split aliased unary slots as soon as a step kind
+// reached 32).
+constexpr int kStepKindCount = static_cast<int>(StepKind::kStepKindCount_);
+constexpr int kUnaryFnCount = static_cast<int>(prog::Unary::kGelu) + 1;
+constexpr int kProfBands = kStepKindCount + kUnaryFnCount;
+static_assert(kStepKindCount == 21,
+              "StepKind changed: audit the widening propagation switch and "
+              "the wave-hazard analysis before bumping this");
+static_assert(static_cast<int>(prog::Unary::kGelu) ==
+                  static_cast<int>(prog::Unary::kSign) + 1,
+              "prog::Unary changed: keep kUnaryFnCount = last + 1");
 
 /// One scalar operation of a fused elementwise chain. The chain value is
 /// seeded from the fused step's `a` slot and threaded through the ops in
@@ -88,6 +109,23 @@ std::atomic<bool> g_fusion_enabled{[] {
   return !(env && env[0] == '1');
 }()};
 
+std::atomic<bool> g_parallel_enabled{[] {
+  const char* env = std::getenv("MF_DISABLE_PARALLEL_PLAN");
+  return !(env && env[0] == '1');
+}()};
+
+std::atomic<int> g_plan_threads{[] {
+  const char* env = std::getenv("MF_PLAN_THREADS");
+  if (!env || !env[0]) return 1;
+  const int n = std::atoi(env);
+  return n > 0 ? n : 1;
+}()};
+
+std::atomic<bool> g_widening_enabled{[] {
+  const char* env = std::getenv("MF_DISABLE_WIDENING");
+  return !(env && env[0] == '1');
+}()};
+
 }  // namespace
 
 bool program_enabled() { return g_prog_enabled.load(std::memory_order_relaxed); }
@@ -104,6 +142,30 @@ bool program_fusion_set_enabled(bool on) {
   return g_fusion_enabled.exchange(on, std::memory_order_relaxed);
 }
 
+bool program_parallel_enabled() {
+  return g_parallel_enabled.load(std::memory_order_relaxed);
+}
+
+bool program_parallel_set_enabled(bool on) {
+  return g_parallel_enabled.exchange(on, std::memory_order_relaxed);
+}
+
+int program_plan_threads() {
+  return g_plan_threads.load(std::memory_order_relaxed);
+}
+
+int program_set_plan_threads(int n) {
+  return g_plan_threads.exchange(n > 0 ? n : 1, std::memory_order_relaxed);
+}
+
+bool program_widening_enabled() {
+  return g_widening_enabled.load(std::memory_order_relaxed);
+}
+
+bool program_widening_set_enabled(bool on) {
+  return g_widening_enabled.exchange(on, std::memory_order_relaxed);
+}
+
 struct Program::Impl {
   std::vector<Step> steps;
   // One entry per slot. After lowering, entries for internal
@@ -111,6 +173,9 @@ struct Program::Impl {
   // the program must keep addressable (leaves are read live through them).
   std::vector<std::shared_ptr<TensorImpl>> slots;
   std::vector<int64_t> slot_len;
+  // Shape of each slot's tensor at record time; drives the widening
+  // analysis (which dimension is the batch, how broadcast plans rebuild).
+  std::vector<Shape> slot_shape;
   std::vector<real*> buf;
   std::vector<kernels::BroadcastPlan> bplans;
   std::vector<kernels::ReducePlan> rplans;
@@ -124,14 +189,49 @@ struct Program::Impl {
     double* v;
     int64_t n;
   };
+  struct LambParamExec {
+    prog::AdamPlanState* state;
+    double* m;
+    double* v;
+    int64_t n;
+    std::vector<double> dir;  // per-exec scratch for the Adam direction
+  };
   std::vector<AdamParamExec> adam_params;
+  std::vector<LambParamExec> lamb_params;
   std::vector<prog::AdamPlanState*> adam_ticks;
   // Internal storage: buffers reused across slots whose live ranges do
   // not overlap.
   std::vector<std::vector<real>> arena;
 
+  // Dependency-DAG execution waves over `steps` (computed once at
+  // lowering): waves[w] lists step indices whose operand buffers have no
+  // read/write hazard against each other; all hazards point at earlier
+  // waves. Executing wave-by-wave (steps of one wave in any order or in
+  // parallel) is equivalent to the recorded serial order.
+  std::vector<std::vector<std::int32_t>> waves;
+
   // Capture-time state.
   std::unordered_map<const TensorImpl*, std::int32_t> slot_of;
+  // Set by prog::on_uncapturable(): the capture body ran something that
+  // cannot be represented in a plan; capture() discards the plan.
+  bool poisoned = false;
+
+  // ---- widening state (set by widen()) ----
+  struct WideContext {
+    int64_t factor = 1;
+    std::vector<Step> steps;
+    std::vector<kernels::BroadcastPlan> bplans;
+    std::vector<int64_t> slot_len;
+    std::vector<real*> buf;
+    std::vector<std::vector<real>> store;  // per-slot wide buffers
+  };
+  bool wide_ready = false;
+  int64_t base_b = 0;
+  std::vector<char> slot_scaled;  // batch-carrying slots (post-analysis)
+  std::unordered_map<const TensorImpl*, std::int32_t> declared_slots;
+  std::vector<std::unique_ptr<WideContext>> wide_ctxs;
+  int64_t max_widen_batch = 0;
+  std::uint64_t widened_replays = 0;
 
   bool ready = false;
   double capture_ms = 0;
@@ -143,14 +243,24 @@ struct Program::Impl {
     steps.clear();
     slots.clear();
     slot_len.clear();
+    slot_shape.clear();
     buf.clear();
     bplans.clear();
     rplans.clear();
     fchains.clear();
     adam_params.clear();
+    lamb_params.clear();
     adam_ticks.clear();
     arena.clear();
+    waves.clear();
     slot_of.clear();
+    poisoned = false;
+    wide_ready = false;
+    base_b = 0;
+    slot_scaled.clear();
+    declared_slots.clear();
+    wide_ctxs.clear();
+    max_widen_batch = 0;
     ready = false;
     external_slots = arena_bytes = pinned_bytes = 0;
     fused_steps = fused_ops = 0;
@@ -168,7 +278,10 @@ std::int32_t intern(Program::Impl& im, const Tensor& t) {
   const TensorImpl* key = t.impl_ptr();
   auto [it, fresh] = im.slot_of.try_emplace(
       key, static_cast<std::int32_t>(im.slots.size()));
-  if (fresh) im.slots.push_back(t.impl());
+  if (fresh) {
+    im.slots.push_back(t.impl());
+    im.slot_shape.push_back(t.shape());
+  }
   return it->second;
 }
 
@@ -441,6 +554,24 @@ void on_adam_param(AdamPlanState* st, const Tensor& param, const Tensor& grad,
   im->steps.push_back(s);
 }
 
+void on_lamb_param(AdamPlanState* st, const Tensor& param, const Tensor& grad,
+                   double* m, double* v) {
+  Program::Impl* im = rec();
+  if (!im) return;
+  Step s;
+  s.kind = StepKind::kLambParam;
+  s.a = intern(*im, grad);
+  s.out = intern(*im, param);
+  s.plan = static_cast<std::int32_t>(im->lamb_params.size());
+  im->lamb_params.push_back({st, m, v, param.numel(), {}});
+  im->steps.push_back(s);
+}
+
+void on_uncapturable() {
+  Program::Impl* im = rec();
+  if (im) im->poisoned = true;
+}
+
 }  // namespace prog
 
 namespace {
@@ -476,7 +607,9 @@ void compute_ranges(const Program::Impl& im, Ranges& r) {
         touch(op.other, si, false);
       }
     }
-    if (st.kind == StepKind::kAdamParam) touch(st.out, si, false);
+    if (st.kind == StepKind::kAdamParam || st.kind == StepKind::kLambParam) {
+      touch(st.out, si, false);  // optimizer updates read the parameter too
+    }
     touch(st.out, si, true);
   }
 }
@@ -572,6 +705,83 @@ void fuse_elementwise(Program::Impl& im, const Ranges& r,
   im.steps = std::move(out_steps);
 }
 
+/// Derive the dependency DAG over the lowered steps and partition it
+/// into execution waves. Hazards are tracked on the *resolved buffer
+/// pointers* (im.buf), not slot indices: liveness packing makes two
+/// disjoint-lifetime slots share one arena buffer, and that reuse is a
+/// real WAR/WAW hazard the slot graph would miss. In-plan optimizer
+/// steps add one pseudo-resource per AdamPlanState (the tick writes the
+/// bias corrections the parameter steps read). A step lands in the
+/// earliest wave that respects every RAW/WAR/WAW edge, so executing
+/// waves in order — steps within a wave in any order, or concurrently —
+/// reads and writes every buffer in a serializable order equivalent to
+/// the recorded one.
+void compute_waves(Program::Impl& im) {
+  im.waves.clear();
+  const std::size_t n = im.steps.size();
+  std::unordered_map<const void*, std::int32_t> writer_wave, reader_wave;
+  std::vector<std::int32_t> wave_of(n, 0);
+  std::int32_t max_wave = -1;
+  auto buf_of = [&](std::int32_t slot) -> const void* {
+    return slot >= 0 ? static_cast<const void*>(
+                           im.buf[static_cast<std::size_t>(slot)])
+                     : nullptr;
+  };
+  std::vector<const void*> reads, writes;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Step& s = im.steps[i];
+    reads.clear();
+    writes.clear();
+    reads.push_back(buf_of(s.a));
+    reads.push_back(buf_of(s.b));
+    reads.push_back(buf_of(s.c));
+    if (s.kind == StepKind::kFused) {
+      for (const FusedOp& op : im.fchains[static_cast<std::size_t>(s.plan)]) {
+        reads.push_back(buf_of(op.other));
+      }
+    }
+    if (s.kind == StepKind::kAdamTick) {
+      writes.push_back(im.adam_ticks[static_cast<std::size_t>(s.plan)]);
+    } else if (s.kind == StepKind::kAdamParam) {
+      reads.push_back(im.adam_params[static_cast<std::size_t>(s.plan)].state);
+      writes.push_back(buf_of(s.out));
+    } else if (s.kind == StepKind::kLambParam) {
+      reads.push_back(im.lamb_params[static_cast<std::size_t>(s.plan)].state);
+      writes.push_back(buf_of(s.out));
+    } else {
+      writes.push_back(buf_of(s.out));
+    }
+    std::int32_t w = 0;
+    for (const void* r : reads) {
+      if (!r) continue;
+      auto it = writer_wave.find(r);
+      if (it != writer_wave.end()) w = std::max(w, it->second + 1);
+    }
+    for (const void* o : writes) {
+      if (!o) continue;
+      auto it = writer_wave.find(o);
+      if (it != writer_wave.end()) w = std::max(w, it->second + 1);
+      it = reader_wave.find(o);
+      if (it != reader_wave.end()) w = std::max(w, it->second + 1);
+    }
+    wave_of[i] = w;
+    max_wave = std::max(max_wave, w);
+    for (const void* r : reads) {
+      if (!r) continue;
+      auto [it, fresh] = reader_wave.try_emplace(r, w);
+      if (!fresh) it->second = std::max(it->second, w);
+    }
+    for (const void* o : writes) {
+      if (o) writer_wave[o] = w;
+    }
+  }
+  im.waves.assign(static_cast<std::size_t>(max_wave + 1), {});
+  for (std::size_t i = 0; i < n; ++i) {
+    im.waves[static_cast<std::size_t>(wave_of[i])].push_back(
+        static_cast<std::int32_t>(i));
+  }
+}
+
 /// Lower the raw trace: release the recorded autodiff graph, fuse
 /// adjacent elementwise chains, compute slot live ranges, pack internal
 /// slots onto reused arena buffers, resolve every operand to a raw
@@ -656,6 +866,8 @@ void lower(Program::Impl& im) {
     }
   }
   for (const auto& a : im.arena) im.arena_bytes += a.size() * sizeof(real);
+
+  compute_waves(im);
 }
 
 /// Invoke `g` with the sfn:: functor named by a prog::Unary opcode. One
@@ -810,8 +1022,14 @@ __attribute__((target("avx2"))) void fused_binary_avx2(real* acc,
 }
 #endif  // MF_PROG_AVX2
 
-void execute(Program::Impl& im, const Step& s) {
-  real* const* B = im.buf.data();
+/// Execute one step against an explicit buffer/length/broadcast-plan
+/// table. Master replay passes the Impl's own tables; widened replay
+/// passes the WideContext's (scaled lengths, rebuilt broadcast plans,
+/// wide buffers). Reduce plans, fused chains and optimizer executors are
+/// always the Impl's — widening rejects plans where those would need
+/// scaling.
+void execute(Program::Impl& im, const Step& s, real* const* B,
+             const int64_t* slot_len, const kernels::BroadcastPlan* bplans) {
   switch (s.kind) {
     case StepKind::kUnary: {
       const real* a = B[s.a];
@@ -832,7 +1050,7 @@ void execute(Program::Impl& im, const Step& s) {
     }
     case StepKind::kBinaryBcast: {
       const kernels::BroadcastPlan& plan =
-          im.bplans[static_cast<std::size_t>(s.plan)];
+          bplans[static_cast<std::size_t>(s.plan)];
       const real* a = B[s.a];
       const real* b = B[s.b];
       real* o = B[s.out];
@@ -865,6 +1083,17 @@ void execute(Program::Impl& im, const Step& s) {
                 const FusedOp& op = fo[k];
                 switch (op.form) {
                   case FusedOp::kUnaryForm:
+                    // tanh/gelu route through the shared block kernels so a
+                    // fused chain produces the same bits as the standalone
+                    // eager op (fast path when active, sfn functor if not).
+                    if (static_cast<prog::Unary>(op.fn) == prog::Unary::kTanh) {
+                      kernels::tanh_block_inplace(acc, len);
+                      break;
+                    }
+                    if (static_cast<prog::Unary>(op.fn) == prog::Unary::kGelu) {
+                      kernels::gelu_block_inplace(acc, len);
+                      break;
+                    }
 #ifdef MF_PROG_AVX2
                     if (avx2 &&
                         fused_unary_avx2(acc, len,
@@ -960,8 +1189,16 @@ void execute(Program::Impl& im, const Step& s) {
       }
       break;
     }
+    case StepKind::kLambParam: {
+      auto& lp = im.lamb_params[static_cast<std::size_t>(s.plan)];
+      const prog::AdamPlanState& st = *lp.state;
+      sfn::lamb_param_update(B[s.out], B[s.a], lp.m, lp.v, lp.n, lp.dir,
+                             *st.lr, st.beta1, st.beta2, st.bc1, st.bc2,
+                             st.eps, st.weight_decay);
+      break;
+    }
     case StepKind::kBcastCopy:
-      kernels::broadcast_copy(im.bplans[static_cast<std::size_t>(s.plan)],
+      kernels::broadcast_copy(bplans[static_cast<std::size_t>(s.plan)],
                               B[s.a], B[s.out]);
       break;
     case StepKind::kReduce:
@@ -973,7 +1210,7 @@ void execute(Program::Impl& im, const Step& s) {
       break;
     case StepKind::kSumAxis: {
       real* o = B[s.out];
-      std::fill(o, o + im.slot_len[static_cast<std::size_t>(s.out)], real{0});
+      std::fill(o, o + slot_len[static_cast<std::size_t>(s.out)], real{0});
       kernels::sum_axis(B[s.a], o, s.p0, s.p1, s.p2);
       break;
     }
@@ -1005,7 +1242,7 @@ void execute(Program::Impl& im, const Step& s) {
       // payload; with buffer reuse the zero background must be restored.
       const real* pg = B[s.a];
       real* pp = B[s.out];
-      std::fill(pp, pp + im.slot_len[static_cast<std::size_t>(s.out)],
+      std::fill(pp, pp + slot_len[static_cast<std::size_t>(s.out)],
                 real{0});
       const int64_t len = s.p1, inner = s.p2, n_axis = s.p3, start = s.p4;
       for (int64_t o = 0; o < s.p0; ++o) {
@@ -1030,25 +1267,262 @@ void execute(Program::Impl& im, const Step& s) {
       break;
     case StepKind::kConv1dGradIn: {
       real* o = B[s.out];
-      std::fill(o, o + im.slot_len[static_cast<std::size_t>(s.out)], real{0});
+      std::fill(o, o + slot_len[static_cast<std::size_t>(s.out)], real{0});
       kernels::conv1d_grad_input(B[s.a], B[s.b], o, s.p0, s.p1, s.p2, s.p3,
                                  s.p4, s.p5);
       break;
     }
     case StepKind::kConv1dGradW: {
       real* o = B[s.out];
-      std::fill(o, o + im.slot_len[static_cast<std::size_t>(s.out)], real{0});
+      std::fill(o, o + slot_len[static_cast<std::size_t>(s.out)], real{0});
       kernels::conv1d_grad_weight(B[s.a], B[s.b], o, s.p0, s.p1, s.p2, s.p3,
                                   s.p4, s.p5);
       break;
     }
     case StepKind::kConv1dGradB: {
       real* o = B[s.out];
-      std::fill(o, o + im.slot_len[static_cast<std::size_t>(s.out)], real{0});
+      std::fill(o, o + slot_len[static_cast<std::size_t>(s.out)], real{0});
       kernels::conv1d_grad_bias(B[s.a], o, s.p0, s.p1, s.p2);
       break;
     }
+    case StepKind::kStepKindCount_:
+      break;  // sentinel: never lowered
   }
+}
+
+/// Persistent wave-executor pool shared by every Program in the process.
+/// Workers are spawned lazily up to the largest thread count any replay
+/// has requested and parked on a condition variable between jobs. One
+/// parallel replay at a time (`run_mu_`): within it, all participants —
+/// the calling thread plus the active workers — walk the plan's waves in
+/// lockstep, claiming steps of the current wave via an atomic cursor and
+/// meeting at a barrier between waves (the barrier's mutex also publishes
+/// every buffer written in wave w to the readers of wave w+1). Every
+/// participant holds a kernels::SerialRegionGuard, so per-step kernels
+/// run their serial loops: the step, not the kernel, is the unit of
+/// parallelism, and any execution order the waves admit is bitwise
+/// identical to serial replay with kernel threading disabled.
+/// The pool is intentionally leaked: joining workers during static
+/// destruction can deadlock, and the parked threads die with the process.
+class PlanPool {
+ public:
+  static PlanPool& instance() {
+    static PlanPool* pool = new PlanPool;
+    return *pool;
+  }
+
+  /// Execute `im`'s waves over the given step/buffer tables (master or
+  /// widened) with `nthreads` participants including the caller.
+  void run(Program::Impl& im, const Step* steps, real* const* B,
+           const int64_t* slot_len, const kernels::BroadcastPlan* bplans,
+           int nthreads) {
+    std::lock_guard<std::mutex> run_lock(run_mu_);
+    const int want = std::min(nthreads - 1, 255);
+    while (static_cast<int>(workers_.size()) < want) {
+      const int id = static_cast<int>(workers_.size());
+      workers_.emplace_back([this, id] { worker_main(id); });
+    }
+    job_.im = &im;
+    job_.steps = steps;
+    job_.B = B;
+    job_.slot_len = slot_len;
+    job_.bplans = bplans;
+    job_.active = want;
+    job_.next.store(0, std::memory_order_relaxed);
+    nparts_ = static_cast<int>(workers_.size()) + 1;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      finished_ = 0;
+      ++job_gen_;
+    }
+    cv_.notify_all();
+    {
+      kernels::SerialRegionGuard serial;
+      run_waves(/*claims=*/true);
+    }
+    std::unique_lock<std::mutex> lk(mu_);
+    done_cv_.wait(lk, [&] {
+      return finished_ == static_cast<int>(workers_.size());
+    });
+  }
+
+ private:
+  struct Job {
+    Program::Impl* im = nullptr;
+    const Step* steps = nullptr;
+    real* const* B = nullptr;
+    const int64_t* slot_len = nullptr;
+    const kernels::BroadcastPlan* bplans = nullptr;
+    int active = 0;  // workers allowed to claim steps this job
+    std::atomic<std::size_t> next{0};  // step cursor within current wave
+  };
+
+  void worker_main(int id) {
+    kernels::SerialRegionGuard serial;
+    std::uint64_t seen = 0;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lk(mu_);
+        cv_.wait(lk, [&] { return job_gen_ != seen; });
+        seen = job_gen_;
+      }
+      // Workers beyond the requested width still take the barriers (the
+      // participant count is fixed per job) but claim no steps.
+      run_waves(/*claims=*/id < job_.active);
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        ++finished_;
+      }
+      done_cv_.notify_all();
+    }
+  }
+
+  void run_waves(bool claims) {
+    Job& j = job_;
+    const auto& waves = j.im->waves;
+    for (std::size_t w = 0; w < waves.size(); ++w) {
+      if (claims) {
+        const auto& wave = waves[w];
+        std::size_t i;
+        while ((i = j.next.fetch_add(1, std::memory_order_relaxed)) <
+               wave.size()) {
+          execute(*j.im, j.steps[wave[i]], j.B, j.slot_len, j.bplans);
+        }
+      }
+      wave_barrier();
+    }
+  }
+
+  /// Sense-reversing barrier over all participants; the last arriver
+  /// resets the step cursor for the next wave before releasing.
+  void wave_barrier() {
+    std::unique_lock<std::mutex> lk(bar_mu_);
+    if (++arrived_ == nparts_) {
+      arrived_ = 0;
+      job_.next.store(0, std::memory_order_relaxed);
+      ++phase_;
+      bar_cv_.notify_all();
+    } else {
+      const std::uint64_t ph = phase_;
+      bar_cv_.wait(lk, [&] { return phase_ != ph; });
+    }
+  }
+
+  std::mutex run_mu_;  // serializes whole parallel replays
+  std::mutex mu_;      // guards job_gen_ / finished_
+  std::condition_variable cv_, done_cv_;
+  std::mutex bar_mu_;  // per-wave barrier state
+  std::condition_variable bar_cv_;
+  std::vector<std::thread> workers_;
+  Job job_;
+  int nparts_ = 1;
+  int arrived_ = 0;
+  std::uint64_t phase_ = 0;
+  std::uint64_t job_gen_ = 0;
+  int finished_ = 0;
+};
+
+/// True when this replay should go through the wave executor: opted in
+/// via MF_PLAN_THREADS, not hatched off, and the plan actually has
+/// intra-wave parallelism to exploit (a fully serial chain — one step
+/// per wave — would only pay barrier overhead).
+bool use_parallel_replay(const Program::Impl& im) {
+  return program_parallel_enabled() && program_plan_threads() > 1 &&
+         !im.waves.empty() && im.waves.size() < im.steps.size();
+}
+
+/// Record-time shape of a slot with the leading dimension scaled by `f`
+/// when the slot carries the batch.
+Shape wide_shape(const Program::Impl& im, std::int32_t slot, int64_t f) {
+  Shape sh = im.slot_shape[static_cast<std::size_t>(slot)];
+  if (im.slot_scaled[static_cast<std::size_t>(slot)] && !sh.empty()) {
+    sh[0] *= f;
+  }
+  return sh;
+}
+
+/// Shape-level broadcast mirroring BroadcastPlan's trailing alignment.
+/// Returns false when `a` and `b` do not broadcast; otherwise `out` is
+/// the broadcast result.
+bool bcast_result(const Shape& a, const Shape& b, Shape& out) {
+  const std::size_t nd = std::max(a.size(), b.size());
+  out.assign(nd, 1);
+  for (std::size_t d = 0; d < nd; ++d) {
+    const int64_t av = d >= nd - a.size() ? a[d - (nd - a.size())] : 1;
+    const int64_t bv = d >= nd - b.size() ? b[d - (nd - b.size())] : 1;
+    if (av != bv && av != 1 && bv != 1) return false;
+    out[d] = std::max(av, bv);
+  }
+  return true;
+}
+
+/// Find or build the replay context for widening factor `f` (> 1): step
+/// list with scaled geometry, broadcast plans rebuilt from the widened
+/// shapes, and a buffer table where unscaled external slots alias the
+/// live master payloads (parameters are read in place, so retraining
+/// between widened replays needs no re-widen) while scaled slots and
+/// every internal slot get fresh per-slot storage. Deliberately no arena
+/// packing: unaliased buffers keep the master wave schedule valid and
+/// make instance-independence structural rather than lifetimes-dependent.
+Program::Impl::WideContext* get_wide_ctx(Program::Impl& im, int64_t f) {
+  for (auto& c : im.wide_ctxs) {
+    if (c->factor == f) return c.get();
+  }
+  auto ctx = std::make_unique<Program::Impl::WideContext>();
+  ctx->factor = f;
+  const std::size_t S = im.slots.size();
+  ctx->slot_len = im.slot_len;
+  for (std::size_t s = 0; s < S; ++s) {
+    if (im.slot_scaled[s]) ctx->slot_len[s] *= f;
+  }
+  ctx->store.resize(S);
+  ctx->buf.assign(S, nullptr);
+  for (std::size_t s = 0; s < S; ++s) {
+    if (!im.buf[s]) continue;  // fused away entirely
+    if (im.slots[s] && !im.slot_scaled[s]) {
+      ctx->buf[s] = im.buf[s];
+    } else {
+      ctx->store[s].assign(static_cast<std::size_t>(ctx->slot_len[s]),
+                           real{0});
+      ctx->buf[s] = ctx->store[s].data();
+    }
+  }
+  ctx->steps = im.steps;
+  for (Step& s : ctx->steps) {
+    switch (s.kind) {
+      case StepKind::kUnary:
+      case StepKind::kBinary:
+      case StepKind::kCopy:
+      case StepKind::kFused:
+        // p0 is the element count; scaled outputs imply scaled inputs.
+        if (im.slot_scaled[static_cast<std::size_t>(s.out)]) s.p0 *= f;
+        break;
+      case StepKind::kMatmul:      // p0 = m, rows including the batch
+      case StepKind::kConv1dFwd:   // p0 = B
+      case StepKind::kSumAxis:     // p0 = outer, batch-leading
+      case StepKind::kSlicePack:   // p0 = outer, batch-leading
+      case StepKind::kSliceScatter:
+      case StepKind::kConcatPart:
+        if (im.slot_scaled[static_cast<std::size_t>(s.a)]) s.p0 *= f;
+        break;
+      default:
+        break;  // plan-driven or unscaled by the widening analysis
+    }
+  }
+  ctx->bplans = im.bplans;
+  for (const Step& s : im.steps) {
+    if (s.kind == StepKind::kBinaryBcast) {
+      ctx->bplans[static_cast<std::size_t>(s.plan)] = kernels::BroadcastPlan(
+          wide_shape(im, s.out, f), wide_shape(im, s.a, f),
+          wide_shape(im, s.b, f));
+    } else if (s.kind == StepKind::kBcastCopy) {
+      const Shape a_w = wide_shape(im, s.a, f);
+      ctx->bplans[static_cast<std::size_t>(s.plan)] =
+          kernels::BroadcastPlan(wide_shape(im, s.out, f), a_w, a_w);
+    }
+  }
+  im.wide_ctxs.push_back(std::move(ctx));
+  return im.wide_ctxs.back().get();
 }
 
 }  // namespace
@@ -1074,6 +1548,15 @@ void Program::capture(const std::function<void()>& fn) {
     throw;
   }
   prog::detail::g_recorder = nullptr;
+  if (im.poisoned) {
+    // The body ran something no plan step can represent (see
+    // prog::on_uncapturable). Its eager effects already happened,
+    // correctly — only the plan is discarded, so captured() stays false
+    // and the caller deterministically keeps eager execution instead of
+    // replaying a half-captured step.
+    reset();
+    return;
+  }
   lower(im);
   im.capture_ms = now_ms() - t0;
   ++im.captures;
@@ -1089,18 +1572,29 @@ void Program::replay() {
     const char* e = std::getenv("MF_PROGRAM_PROFILE");
     return e && e[0] == '1';
   }();
+  real* const* B = im.buf.data();
+  const int64_t* slot_len = im.slot_len.data();
+  const kernels::BroadcastPlan* bplans = im.bplans.data();
   if (prof) {
     // Per-thread accumulators: inference replays programs from several
     // OpenMP threads at once, and a shared tally would be a data race.
-    static thread_local double acc[64] = {0};
-    static thread_local std::uint64_t cnt[64] = {0};
-    static thread_local std::uint64_t elems[64] = {0};
+    // Band layout and sizes come from the enums (see kProfBands): bands
+    // [0, kStepKindCount) tally per step kind, bands above split kUnary
+    // by fn. The old fixed-size scheme put the unary split at 32 + fn,
+    // which aliased unary bands onto step kinds once the enum grew past
+    // 32 entries. Profiling always replays serially, in recorded order.
+    static thread_local double acc[kProfBands] = {0};
+    static thread_local std::uint64_t cnt[kProfBands] = {0};
+    static thread_local std::uint64_t elems[kProfBands] = {0};
     static thread_local std::uint64_t calls = 0;
     for (const Step& s : im.steps) {
       int k = static_cast<int>(s.kind);
-      if (s.kind == StepKind::kUnary) k = 32 + s.fn;  // split unary by fn
+      if (s.kind == StepKind::kUnary && s.fn < kUnaryFnCount) {
+        k = kStepKindCount + s.fn;
+      }
+      if (k < 0 || k >= kProfBands) k = 0;  // never taken; belt and braces
       const double t0 = now_ms();
-      execute(im, s);
+      execute(im, s, B, slot_len, bplans);
       acc[k] += now_ms() - t0;
       ++cnt[k];
       elems[k] += static_cast<std::uint64_t>(s.p0);
@@ -1108,7 +1602,7 @@ void Program::replay() {
     if (++calls % 24 == 0) {
       std::fprintf(stderr, "PROGPROF after %llu replays:\n",
                    static_cast<unsigned long long>(calls));
-      for (int k = 0; k < 64; ++k) {
+      for (int k = 0; k < kProfBands; ++k) {
         if (cnt[k]) {
           std::fprintf(stderr,
                        "  kind %2d: %8.3f ms total, %8llu steps, %10llu elems\n",
@@ -1117,10 +1611,222 @@ void Program::replay() {
         }
       }
     }
+  } else if (use_parallel_replay(im)) {
+    PlanPool::instance().run(im, im.steps.data(), B, slot_len, bplans,
+                             program_plan_threads());
   } else {
-    for (const Step& s : im.steps) execute(im, s);
+    for (const Step& s : im.steps) execute(im, s, B, slot_len, bplans);
   }
   ++im.replays;
+}
+
+bool Program::widen(const std::vector<Tensor>& batch_io) {
+  Impl& im = *impl_;
+  im.wide_ready = false;
+  im.base_b = 0;
+  im.declared_slots.clear();
+  im.wide_ctxs.clear();
+  im.slot_scaled.assign(im.slots.size(), 0);
+  if (!im.ready || !program_widening_enabled() || batch_io.empty()) {
+    return false;
+  }
+  const std::size_t S = im.slots.size();
+  int64_t base = 0;
+  for (const Tensor& t : batch_io) {
+    if (!t.defined() || t.shape().empty()) return false;
+    const int64_t b0 = t.shape()[0];
+    if (b0 <= 0 || (base != 0 && b0 != base)) return false;
+    base = b0;
+    std::int32_t slot = -1;
+    for (std::size_t s = 0; s < S; ++s) {
+      if (im.slots[s] && im.slots[s].get() == t.impl_ptr()) {
+        slot = static_cast<std::int32_t>(s);
+        break;
+      }
+    }
+    if (slot < 0) return false;  // not an external slot of this plan
+    im.slot_scaled[static_cast<std::size_t>(slot)] = 1;
+    im.declared_slots.emplace(t.impl_ptr(), slot);
+  }
+
+  // Fail-closed propagation of "carries the batch in dim 0" through the
+  // plan, in recorded (dataflow) order. Externals are pre-assigned
+  // (scaled iff declared); each step derives its output's scaledness
+  // from its operands' or rejects the plan. Multi-writer outputs
+  // (concat parts) and externally pinned outputs must agree with every
+  // assignment — a scaled result landing in an undeclared external
+  // buffer would silently overrun it.
+  auto scaled = [&](std::int32_t sl) {
+    return sl >= 0 && im.slot_scaled[static_cast<std::size_t>(sl)] != 0;
+  };
+  std::vector<char> assigned(S, 0);
+  for (std::size_t s = 0; s < S; ++s) assigned[s] = im.slots[s] != nullptr;
+  auto define_out = [&](std::int32_t sl, bool want) -> bool {
+    if (sl < 0) return false;
+    const auto u = static_cast<std::size_t>(sl);
+    if (assigned[u]) return (im.slot_scaled[u] != 0) == want;
+    if (want && im.slot_shape[u].empty()) return false;  // no dim to scale
+    assigned[u] = 1;
+    im.slot_scaled[u] = want ? 1 : 0;
+    return true;
+  };
+  bool ok = true;
+  Shape trial;
+  for (const Step& s : im.steps) {
+    if (!ok) break;
+    switch (s.kind) {
+      case StepKind::kUnary:
+      case StepKind::kCopy:
+        ok = define_out(s.out, scaled(s.a));
+        break;
+      case StepKind::kBinary:
+        // Same-numel elementwise: mixed scaledness would diverge lengths.
+        ok = scaled(s.a) == scaled(s.b) && define_out(s.out, scaled(s.a));
+        break;
+      case StepKind::kFused: {
+        const bool want = scaled(s.a);
+        for (const FusedOp& op :
+             im.fchains[static_cast<std::size_t>(s.plan)]) {
+          if (op.other >= 0 && scaled(op.other) != want) {
+            ok = false;
+            break;
+          }
+        }
+        ok = ok && define_out(s.out, want);
+        break;
+      }
+      case StepKind::kBinaryBcast: {
+        const bool want = scaled(s.a) || scaled(s.b);
+        ok = define_out(s.out, want);
+        if (ok && want) {
+          // Trial-widen at factor 2: validity is independent of the
+          // factor, so one shape check covers every replay width.
+          const Shape out_w = wide_shape(im, s.out, 2);
+          ok = bcast_result(wide_shape(im, s.a, 2), wide_shape(im, s.b, 2),
+                            trial) &&
+               trial == out_w;
+        }
+        break;
+      }
+      case StepKind::kBcastCopy: {
+        const bool want = scaled(s.a);
+        ok = define_out(s.out, want);
+        if (ok && want) {
+          const Shape out_w = wide_shape(im, s.out, 2);
+          ok = bcast_result(wide_shape(im, s.a, 2), out_w, trial) &&
+               trial == out_w;
+        }
+        break;
+      }
+      case StepKind::kReduce:
+      case StepKind::kSumAll:
+        // Would fold batch instances into one value.
+        ok = !scaled(s.a) && define_out(s.out, false);
+        break;
+      case StepKind::kSumAxis:
+      case StepKind::kSlicePack:
+      case StepKind::kSliceScatter:
+      case StepKind::kConcatPart:
+        // p0 is the product of dims before the worked axis; p0 == 1
+        // means the axis *is* (or contains) the batch dimension.
+        if (scaled(s.a)) {
+          ok = s.p0 > 1 && define_out(s.out, true);
+        } else {
+          ok = define_out(s.out, false);
+        }
+        break;
+      case StepKind::kMatmul:
+        // Batch rides the row dimension of `a`; a batch-carrying rhs or
+        // bias would change the contraction itself.
+        ok = !scaled(s.b) && !scaled(s.c) && define_out(s.out, scaled(s.a));
+        break;
+      case StepKind::kTranspose:
+        ok = !scaled(s.a) && define_out(s.out, false);
+        break;
+      case StepKind::kConv1dFwd:
+        ok = !scaled(s.b) && !scaled(s.c) && define_out(s.out, scaled(s.a));
+        break;
+      case StepKind::kConv1dGradIn:
+      case StepKind::kConv1dGradW:
+      case StepKind::kConv1dGradB:
+      case StepKind::kAdamTick:
+      case StepKind::kAdamParam:
+      case StepKind::kLambParam:
+        // Training steps: gradient reductions and optimizer state are
+        // sized for the capture batch; widening is inference-only.
+        ok = false;
+        break;
+      case StepKind::kStepKindCount_:
+        ok = false;
+        break;
+    }
+  }
+  if (!ok) {
+    im.slot_scaled.assign(S, 0);
+    im.declared_slots.clear();
+    return false;
+  }
+  im.base_b = base;
+  im.wide_ready = true;
+  return true;
+}
+
+bool Program::widened() const { return impl_->wide_ready; }
+
+real* Program::widened_buffer(const Tensor& t, int64_t b) {
+  Impl& im = *impl_;
+  if (!im.wide_ready) {
+    throw std::logic_error("Program::widened_buffer before widen()");
+  }
+  auto it = im.declared_slots.find(t.impl_ptr());
+  if (it == im.declared_slots.end()) {
+    throw std::invalid_argument(
+        "Program::widened_buffer: tensor was not declared to widen()");
+  }
+  if (b <= 0 || b % im.base_b != 0) {
+    throw std::invalid_argument(
+        "Program::widened_buffer: b must be a positive multiple of the "
+        "base batch");
+  }
+  const int64_t f = b / im.base_b;
+  const auto slot = static_cast<std::size_t>(it->second);
+  if (f == 1) return im.buf[slot];  // the tensor's own payload
+  return get_wide_ctx(im, f)->buf[slot];
+}
+
+void Program::replay_widened(int64_t b) {
+  Impl& im = *impl_;
+  if (!im.wide_ready) {
+    throw std::logic_error("Program::replay_widened before widen()");
+  }
+  if (b <= 0 || b % im.base_b != 0) {
+    throw std::invalid_argument(
+        "Program::replay_widened: b must be a positive multiple of the "
+        "base batch");
+  }
+  const int64_t f = b / im.base_b;
+  if (f == 1) {
+    // Base width: the declared tensors' own payloads are the io buffers.
+    replay();
+    im.max_widen_batch = std::max(im.max_widen_batch, b);
+    return;
+  }
+  Impl::WideContext& ctx = *get_wide_ctx(im, f);
+  if (use_parallel_replay(im)) {
+    // The master wave schedule is valid for every width: wide contexts
+    // drop arena aliasing (fresh per-slot buffers), so their hazards are
+    // a subset of the master's.
+    PlanPool::instance().run(im, ctx.steps.data(), ctx.buf.data(),
+                             ctx.slot_len.data(), ctx.bplans.data(),
+                             program_plan_threads());
+  } else {
+    for (const Step& s : ctx.steps) {
+      execute(im, s, ctx.buf.data(), ctx.slot_len.data(), ctx.bplans.data());
+    }
+  }
+  ++im.replays;
+  ++im.widened_replays;
+  im.max_widen_batch = std::max(im.max_widen_batch, b);
 }
 
 void Program::reset() { impl_->clear_plan(); }
@@ -1135,10 +1841,14 @@ Program::Stats Program::stats() const {
   st.pinned_bytes = im.pinned_bytes;
   st.fused_steps = im.fused_steps;
   st.fused_ops = im.fused_ops;
-  st.optim_steps = im.adam_params.size();
+  st.optim_steps = im.adam_params.size() + im.lamb_params.size();
+  st.waves = im.waves.size();
+  st.wide_instances = im.wide_ctxs.size();
+  st.max_widen_batch = im.max_widen_batch;
   st.capture_ms = im.capture_ms;
   st.captures = im.captures;
   st.replays = im.replays;
+  st.widened_replays = im.widened_replays;
   return st;
 }
 

@@ -55,11 +55,38 @@
 // tensor ops — and the `.grad` buffers, no longer read by anything
 // outside the plan, get liveness-packed like any other intermediate.
 //
+// Parallel replay: lowering additionally derives a dependency DAG over
+// the plan's steps — reads/writes are explicit in the typed steps, with
+// hazards tracked on the post-packing *buffers* so arena reuse is
+// honoured — and partitions it into execution waves. With
+// MF_PLAN_THREADS=N (N > 1) replay executes each wave's steps across a
+// persistent worker pool; scheduling is computed once at capture, never
+// per replay. Every executor runs its per-step kernels on the serial
+// path, so any topological order — including the serial recorded order —
+// produces identical bits; serial replay with kernel threading disabled
+// is the bitwise reference. MF_DISABLE_PARALLEL_PLAN=1 forces serial
+// replay regardless of MF_PLAN_THREADS.
+//
+// Batch widening: an inference plan captured at a base batch B0 can be
+// widened — every batch-carrying slot gets its leading dimension scaled
+// by an integer factor — so one captured plan evaluates any multiple of
+// B0 independent instances, turning many skinny width-64 GEMMs into few
+// wide ones. widen() declares which external slots carry the batch;
+// lowering's recorded slot shapes drive a fail-closed propagation (any
+// step that would mix instances — cross-batch reductions, transposes,
+// training/optimizer steps — rejects widening and callers fall back to
+// per-shape captures). Widened replay of B instances is bitwise
+// identical to B0-sized replays of the same instances because every
+// widenable kernel computes each row/element independently.
+//
 // Escape hatches: MF_DISABLE_PROGRAM=1 (or program_set_enabled(false))
 // makes program_enabled() false; the wired call sites then run eagerly,
 // bit-for-bit like pre-PR-4 code (mirrors MF_DISABLE_POOL / _ARENA).
 // MF_DISABLE_FUSION=1 keeps programs on but lowers every elementwise
 // step individually (the PR 4 plans), also bit-for-bit.
+// MF_DISABLE_WIDENING=1 makes widen() refuse, so callers keep per-shape
+// captures. MF_DISABLE_PARALLEL_PLAN=1 / MF_PLAN_THREADS control the
+// wave executor as above.
 #pragma once
 
 #include <cstdint>
@@ -82,9 +109,13 @@ class Program {
     std::size_t fused_steps = 0;    // Fused steps in the plan
     std::size_t fused_ops = 0;      // elementwise steps folded into them
     std::size_t optim_steps = 0;    // in-plan optimizer parameter updates
+    std::size_t waves = 0;          // dependency-DAG execution waves
+    std::size_t wide_instances = 0; // live widened replay contexts
+    int64_t max_widen_batch = 0;    // largest batch replayed via widening
     double capture_ms = 0;          // wall time of the last capture
     std::uint64_t captures = 0;     // captures over this Program's life
     std::uint64_t replays = 0;
+    std::uint64_t widened_replays = 0;
   };
 
   Program();
@@ -111,6 +142,33 @@ class Program {
   /// Drop the plan and every retained buffer.
   void reset();
 
+  // ---- batch widening (inference plans) ----
+  //
+  /// Declare the batch-carrying external tensors of a captured plan (the
+  /// plan's inputs and outputs whose leading dimension is the batch; all
+  /// must share the same dim0 = the base batch B0) and run the widening
+  /// analysis. Returns true when the plan is widenable: replay_widened(b)
+  /// then evaluates any b that is a positive multiple of B0. Returns
+  /// false — leaving the plan fully usable for plain replay() — when any
+  /// step mixes batch instances, when a batch-carrying slot is not
+  /// external, or when widening is disabled.
+  bool widen(const std::vector<Tensor>& batch_io);
+
+  /// True after a successful widen().
+  bool widened() const;
+
+  /// The buffer a widened replay at batch `b` reads/writes for the
+  /// declared tensor `t` (b a positive multiple of B0; for b == B0 this
+  /// is t's own payload). Callers pack inputs here before
+  /// replay_widened(b) and read outputs after. Layout: the B0-sized
+  /// blocks of `t` repeated b / B0 times (instance-major).
+  real* widened_buffer(const Tensor& t, int64_t b);
+
+  /// Replay the widened plan at batch `b` (positive multiple of B0).
+  /// Requires widened(). Instance contexts are built once per distinct b
+  /// and cached.
+  void replay_widened(int64_t b);
+
   Stats stats() const;
 
   struct Impl;  // also the active capture recorder (see program.cpp)
@@ -130,6 +188,23 @@ bool program_set_enabled(bool on);
 bool program_fusion_enabled();
 /// Override the env default (tests / benches). Returns previous value.
 bool program_fusion_set_enabled(bool on);
+
+/// False when MF_DISABLE_PARALLEL_PLAN=1: replay stays serial regardless
+/// of the thread knob. Checked at replay time.
+bool program_parallel_enabled();
+bool program_parallel_set_enabled(bool on);
+
+/// Wave-executor width. Defaults to MF_PLAN_THREADS (1 when unset —
+/// plan-level parallelism is opt-in because it composes poorly with
+/// OpenMP kernel threading: each executor forces its kernels serial).
+int program_plan_threads();
+/// Override the env default (tests / benches). Returns previous value.
+int program_set_plan_threads(int n);
+
+/// False when MF_DISABLE_WIDENING=1: Program::widen() refuses and
+/// callers keep per-shape captures.
+bool program_widening_enabled();
+bool program_widening_set_enabled(bool on);
 
 // ---- capture hooks ----------------------------------------------------
 //
@@ -218,6 +293,22 @@ void on_adam_tick(AdamPlanState* st);
 /// (stable for the optimizer's lifetime).
 void on_adam_param(AdamPlanState* st, const Tensor& param, const Tensor& grad,
                    double* m, double* v);
+
+/// optim::Lamb records one of these per parameter (after an on_adam_tick
+/// sharing the same state block): the Adam direction, the layerwise
+/// trust-ratio reduction, and the trust-scaled weight write replay as a
+/// single plan step via sfn::lamb_param_update.
+void on_lamb_param(AdamPlanState* st, const Tensor& param, const Tensor& grad,
+                   double* m, double* v);
+
+/// Called by an optimizer (or any other op) that cannot be represented
+/// in a plan while a capture is active: poisons the capture, so
+/// Program::capture ends *without* a plan (captured() stays false) and
+/// the caller deterministically falls back to eager execution. The eager
+/// effects of the capture body have already happened, correctly — only
+/// the plan is discarded. Prevents half-captured plans (e.g. forward and
+/// backward captured, parameter update silently missing).
+void on_uncapturable();
 
 }  // namespace prog
 

@@ -9,6 +9,8 @@
 #pragma once
 
 #include <cmath>
+#include <cstdint>
+#include <vector>
 
 #include "ad/tensor.hpp"
 
@@ -91,6 +93,46 @@ inline void adam_update(real& p, real g, double& m, double& v, double lr,
   double update = mhat / (std::sqrt(vhat) + eps);
   if (decoupled) update += weight_decay * p;
   p -= lr * update;
+}
+
+/// The LAMB update for one whole parameter tensor (You et al., 2020),
+/// shared by the eager optimizer (optim::Lamb::step) and the compiled
+/// program's kLambParam step so both paths evaluate the identical FP
+/// expressions in the identical order. LAMB is always decoupled: the
+/// weight decay joins the Adam direction, not the gradient. The trust
+/// ratio is a whole-tensor reduction, which is why LAMB replays as one
+/// plan step per parameter instead of an elementwise chain. `dir` is
+/// caller-owned scratch (reused across parameters to avoid reallocation).
+inline void lamb_param_update(real* p, const real* g, double* m, double* v,
+                              int64_t n, std::vector<double>& dir, double lr,
+                              double beta1, double beta2, double bc1,
+                              double bc2, double eps, double weight_decay) {
+  dir.assign(static_cast<std::size_t>(n), 0.0);
+  for (int64_t j = 0; j < n; ++j) {
+    const auto ju = static_cast<std::size_t>(j);
+    const double gj = g[j];
+    m[j] = beta1 * m[j] + (1 - beta1) * gj;
+    v[j] = beta2 * v[j] + (1 - beta2) * gj * gj;
+    const double mhat = m[j] / bc1;
+    const double vhat = v[j] / bc2;
+    dir[ju] = mhat / (std::sqrt(vhat) + eps);
+  }
+  // r = adam direction + decoupled weight decay; layerwise trust ratio
+  // falls back to 1 when either norm degenerates (LAMB paper).
+  double w_norm = 0.0, r_norm = 0.0;
+  for (int64_t j = 0; j < n; ++j) {
+    const auto ju = static_cast<std::size_t>(j);
+    dir[ju] += weight_decay * p[j];
+    w_norm += p[j] * p[j];
+    const double r = dir[ju];
+    r_norm += r * r;
+  }
+  w_norm = std::sqrt(w_norm);
+  r_norm = std::sqrt(r_norm);
+  const double trust = (w_norm > 0 && r_norm > 0) ? w_norm / r_norm : 1.0;
+  for (int64_t j = 0; j < n; ++j) {
+    p[j] -= lr * trust * dir[static_cast<std::size_t>(j)];
+  }
 }
 
 }  // namespace mf::ad::sfn

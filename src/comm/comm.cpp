@@ -4,6 +4,7 @@
 #include <chrono>
 #include <stdexcept>
 #include <string>
+#include <unordered_set>
 
 namespace mf::comm {
 
@@ -123,11 +124,11 @@ void Comm::isend(int dst, const std::vector<double>& data, int tag) {
 Comm::Request Comm::irecv(int src, int tag) {
   check_tag(tag);
   PendingRecv p;
+  p.id = next_recv_id_++;
   p.src = src;
   p.tag = tag;
   pending_recvs_.push_back(std::move(p));
-  const Request r = (static_cast<Request>(recv_generation_) << 32) |
-                    static_cast<Request>(pending_recvs_.size() - 1);
+  const Request r = pending_recvs_.back().id;
   // Opportunistic drain: earlier posts whose messages already landed
   // complete now, so their buffers stop occupying the transport.
   progress();
@@ -139,19 +140,20 @@ void Comm::progress() {
   // later pending receives with the same signature must not probe again:
   // a message landing between the two probes belongs to the earlier post
   // (post-order matching), not to whichever probe happens to run next.
-  std::vector<std::pair<int, int>> empty_sigs;
-  auto sig_empty = [&](int src, int tag) {
-    for (const auto& s : empty_sigs) {
-      if (s.first == src && s.second == tag) return true;
-    }
-    return false;
+  // Exhausted signatures go in a hash set, so one pass is O(pending)
+  // rather than O(pending * distinct signatures).
+  std::unordered_set<std::uint64_t> empty_sigs;
+  const auto sig_key = [](int src, int tag) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32) |
+           static_cast<std::uint64_t>(static_cast<std::uint32_t>(tag));
   };
   for (auto& p : pending_recvs_) {
     if (p.done || p.consumed) continue;
-    if (sig_empty(p.src, p.tag)) continue;
+    const std::uint64_t key = sig_key(p.src, p.tag);
+    if (empty_sigs.count(key) != 0) continue;
     const auto t0 = std::chrono::steady_clock::now();
     if (!transport_try_recv(p.src, p.tag, p.payload)) {
-      empty_sigs.emplace_back(p.src, p.tag);
+      empty_sigs.insert(key);
       continue;
     }
     const auto t1 = std::chrono::steady_clock::now();
@@ -164,37 +166,47 @@ void Comm::progress() {
 }
 
 std::vector<double> Comm::wait_recv(Request r) {
-  const std::uint32_t generation = static_cast<std::uint32_t>(r >> 32);
-  const std::size_t idx = static_cast<std::size_t>(r & 0xffffffffu);
-  if (generation != recv_generation_ || idx >= pending_recvs_.size() ||
-      pending_recvs_[idx].consumed) {
+  const auto it = std::lower_bound(
+      pending_recvs_.begin(), pending_recvs_.end(), r,
+      [](const PendingRecv& q, Request id) { return q.id < id; });
+  if (it == pending_recvs_.end() || it->id != r || it->consumed) {
     throw std::logic_error("wait_recv: invalid or already-completed request");
   }
-  PendingRecv& p = pending_recvs_[idx];
+  PendingRecv& p = *it;
   if (!p.done) {
     // Post-order matching (MPI semantics): an earlier posted receive with
     // the same (src, tag) owns the earlier message, even when the caller
     // waits on a later request first.
-    for (std::size_t i = 0; i <= idx; ++i) {
-      PendingRecv& q = pending_recvs_[i];
-      if (q.done || q.consumed || q.src != p.src || q.tag != p.tag) continue;
-      const auto t0 = std::chrono::steady_clock::now();
-      q.payload = transport_recv(q.src, q.tag);
-      const auto t1 = std::chrono::steady_clock::now();
-      record(stats_entry(q.tag), q.payload.size() * sizeof(double),
-             std::chrono::duration<double>(t1 - t0).count());
-      q.done = true;
+    for (auto jt = pending_recvs_.begin();; ++jt) {
+      PendingRecv& q = *jt;
+      if (!q.done && !q.consumed && q.src == p.src && q.tag == p.tag) {
+        const auto t0 = std::chrono::steady_clock::now();
+        q.payload = transport_recv(q.src, q.tag);
+        const auto t1 = std::chrono::steady_clock::now();
+        record(stats_entry(q.tag), q.payload.size() * sizeof(double),
+               std::chrono::duration<double>(t1 - t0).count());
+        q.done = true;
+      }
+      if (jt == it) break;
     }
   }
   p.consumed = true;
+  ++consumed_pending_;
   std::vector<double> payload = std::move(p.payload);
-  // Recycle the table once every posted receive has been handed out;
-  // the generation bump invalidates any handle kept past this point.
-  bool all_consumed = true;
-  for (const auto& q : pending_recvs_) all_consumed &= q.consumed;
-  if (all_consumed) {
-    pending_recvs_.clear();
-    ++recv_generation_;
+  // Amortized compaction: drop consumed entries once they make up half
+  // the table (stable removal, so post-order matching among the
+  // survivors is untouched). The table stays O(outstanding posts) even
+  // when one straggler is never waited on — previously it could only
+  // recycle when *every* post had been consumed, so a single straggler
+  // pinned unbounded growth.
+  constexpr std::size_t kCompactMin = 16;
+  if (consumed_pending_ >= kCompactMin &&
+      consumed_pending_ * 2 >= pending_recvs_.size()) {
+    pending_recvs_.erase(
+        std::remove_if(pending_recvs_.begin(), pending_recvs_.end(),
+                       [](const PendingRecv& q) { return q.consumed; }),
+        pending_recvs_.end());
+    consumed_pending_ = 0;
   }
   return payload;
 }

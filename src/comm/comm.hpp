@@ -89,9 +89,10 @@ class Comm {
                 std::vector<double>& in, int tag = 0);
 
   // ---- nonblocking point-to-point (halo overlap) ----
-  /// Handle for a posted receive (valid until its wait_recv). Encodes a
-  /// generation stamp so a stale handle kept across a table recycle is
-  /// rejected instead of silently aliasing a later request.
+  /// Handle for a posted receive (valid until its wait_recv). A
+  /// monotonically increasing per-Comm id: a handle kept past its
+  /// wait_recv (or never issued) is rejected — ids never recur, so a
+  /// stale handle can never silently alias a later request.
   using Request = std::uint64_t;
   /// Buffered nonblocking send: the payload is copied out of the caller's
   /// buffer before returning (in-memory channel / MPI_Isend slot), so
@@ -109,6 +110,10 @@ class Comm {
   void progress();
   /// Complete a posted receive, blocking until its message arrives.
   std::vector<double> wait_recv(Request r);
+  /// Posted receives still tracked by the bookkeeping table (unconsumed
+  /// posts plus consumed entries awaiting amortized compaction). Bounded
+  /// by O(outstanding posts) even when one straggler is never waited on.
+  std::size_t pending_recv_count() const { return pending_recvs_.size(); }
 
   // ---- collectives ----
   virtual void allreduce_sum(double* data, std::size_t n);
@@ -164,14 +169,21 @@ class Comm {
 
  private:
   struct PendingRecv {
+    Request id = 0;         // monotonic post id (the caller's handle)
     int src = -1;
     int tag = 0;
     bool done = false;      // payload received (by progress())
     bool consumed = false;  // handed to the caller (by wait_recv())
     std::vector<double> payload;
   };
+  // Append-only in post order, so it stays sorted by id and wait_recv
+  // finds a handle by binary search. Consumed entries are removed by
+  // amortized stable compaction (wait_recv) rather than waiting for the
+  // whole table to drain — one never-consumed straggler no longer pins
+  // every later entry in memory.
   std::vector<PendingRecv> pending_recvs_;
-  std::uint32_t recv_generation_ = 0;  // bumped when the table recycles
+  Request next_recv_id_ = 1;           // 0 is never a valid handle
+  std::size_t consumed_pending_ = 0;   // consumed entries not yet compacted
 };
 
 }  // namespace mf::comm

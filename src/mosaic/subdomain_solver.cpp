@@ -17,9 +17,17 @@ namespace {
 /// captured on its *second* occurrence: one-shot shapes (a phase that
 /// never recurs) stay eager and pay nothing, recurring shapes (the 4
 /// Schwarz phases of a convergence run) replay from their third call on.
+/// When the captured plan widens (Program::widen on {g, x, pred}), one
+/// entry additionally serves every batch size that is a multiple of its
+/// capture batch — the widened replay packs B instances into batch-scaled
+/// buffers and runs the same plan with every batch-carrying slot's
+/// leading dimension scaled, turning many skinny GEMMs into few wide
+/// ones. Batch sizes that are not multiples of a widened entry's base
+/// still get their own per-shape entry, exactly as before.
 struct InferEntry {
   std::uint64_t solver_serial = 0;
   int64_t B = -1, q = -1, G = -1;
+  bool wide = false;  // widening analysis succeeded for this plan
   ad::Tensor g, x, pred;
   ad::Program program;
 };
@@ -40,9 +48,16 @@ void fold_stats(ad::Program::Stats& agg, const ad::Program::Stats& s) {
   agg.external_slots += s.external_slots;
   agg.arena_bytes += s.arena_bytes;
   agg.pinned_bytes += s.pinned_bytes;
+  agg.fused_steps += s.fused_steps;
+  agg.fused_ops += s.fused_ops;
+  agg.optim_steps += s.optim_steps;
+  agg.waves += s.waves;
+  agg.wide_instances += s.wide_instances;
+  agg.max_widen_batch = std::max(agg.max_widen_batch, s.max_widen_batch);
   agg.capture_ms += s.capture_ms;
   agg.captures += s.captures;
   agg.replays += s.replays;
+  agg.widened_replays += s.widened_replays;
 }
 
 void evict_oldest_entry() {
@@ -127,23 +142,33 @@ NeuralSubdomainSolver::~NeuralSubdomainSolver() {
 
 namespace {
 
+// Raw-pointer forms so the same packing serves the master tensors and a
+// widened replay's batch-scaled buffers (identical layout: instance-major
+// rows, so packing B instances into a widened buffer lays them out
+// exactly as B0-sized chunks of the base plan would see them).
 void pack_batch(const std::vector<std::vector<double>>& boundaries,
                 const QueryList& queries, int64_t B, int64_t G, int64_t q,
-                ad::Tensor& g, ad::Tensor& x) {
+                ad::real* g, ad::real* x) {
   // Batch packing threads over subdomains; each batch row is disjoint.
   ad::kernels::parallel_for(B, G + 2 * q, [&](int64_t begin, int64_t end) {
     for (int64_t b = begin; b < end; ++b) {
       const auto& bd = boundaries[static_cast<std::size_t>(b)];
-      for (int64_t k = 0; k < G; ++k) g.flat(b * G + k) = bd[static_cast<std::size_t>(k)];
+      for (int64_t k = 0; k < G; ++k) g[b * G + k] = bd[static_cast<std::size_t>(k)];
       for (int64_t k = 0; k < q; ++k) {
-        x.flat((b * q + k) * 2 + 0) = queries[static_cast<std::size_t>(k)].first;
-        x.flat((b * q + k) * 2 + 1) = queries[static_cast<std::size_t>(k)].second;
+        x[(b * q + k) * 2 + 0] = queries[static_cast<std::size_t>(k)].first;
+        x[(b * q + k) * 2 + 1] = queries[static_cast<std::size_t>(k)].second;
       }
     }
   });
 }
 
-void unpack_batch(const ad::Tensor& pred, int64_t B, int64_t q,
+void pack_batch(const std::vector<std::vector<double>>& boundaries,
+                const QueryList& queries, int64_t B, int64_t G, int64_t q,
+                ad::Tensor& g, ad::Tensor& x) {
+  pack_batch(boundaries, queries, B, G, q, g.data(), x.data());
+}
+
+void unpack_batch(const ad::real* pred, int64_t B, int64_t q,
                   std::vector<std::vector<double>>& out) {
   // Resize (not assign) so caller-recycled buffers keep their capacity.
   out.resize(static_cast<std::size_t>(B));
@@ -152,9 +177,14 @@ void unpack_batch(const ad::Tensor& pred, int64_t B, int64_t q,
       auto& row = out[static_cast<std::size_t>(b)];
       row.resize(static_cast<std::size_t>(q));
       for (int64_t k = 0; k < q; ++k)
-        row[static_cast<std::size_t>(k)] = pred.flat(b * q + k);
+        row[static_cast<std::size_t>(k)] = pred[b * q + k];
     }
   });
+}
+
+void unpack_batch(const ad::Tensor& pred, int64_t B, int64_t q,
+                  std::vector<std::vector<double>>& out) {
+  unpack_batch(pred.data(), B, q, out);
 }
 
 }  // namespace
@@ -174,36 +204,58 @@ void NeuralSubdomainSolver::predict(
   // for every later batch of the same shape. Skipped inside an enclosing
   // capture (the outer program records this call's kernels itself).
   if (ad::program_enabled() && !ad::prog::capturing() && B > 0 && q > 0) {
-    InferEntry* e = nullptr;
+    InferEntry* exact = nullptr;
+    InferEntry* wide = nullptr;
     for (auto& entry : t_infer_cache) {
-      if (entry.solver_serial == serial_ && entry.B == B && entry.q == q &&
-          entry.G == G) {
-        e = &entry;
-        break;
+      if (entry.solver_serial != serial_ || entry.q != q || entry.G != G)
+        continue;
+      if (entry.B == B) {
+        exact = &entry;
+      } else if (entry.wide && B % entry.B == 0) {
+        wide = &entry;
       }
     }
-    if (!e) {
+    if (exact && exact->program.captured()) {
+      pack_batch(boundaries, queries, B, G, q, exact->g, exact->x);
+      exact->program.replay();
+      unpack_batch(exact->pred, B, q, out);
+      return;
+    }
+    if (wide) {
+      // No captured plan at exactly B, but a widened entry's plan covers
+      // it: pack all B instances into the batch-scaled buffers and replay
+      // with every batch-carrying slot's leading dimension multiplied.
+      // One plan, one wide GEMM sequence — no per-shape capture needed.
+      pack_batch(boundaries, queries, B, G, q,
+                 wide->program.widened_buffer(wide->g, B),
+                 wide->program.widened_buffer(wide->x, B));
+      wide->program.replay_widened(B);
+      unpack_batch(wide->program.widened_buffer(wide->pred, B), B, q, out);
+      return;
+    }
+    if (!exact) {
       // First sight of this geometry: note it and run eagerly below —
       // capture only pays off if the shape comes back.
       if (t_infer_cache.size() >= kMaxInferEntries) evict_oldest_entry();
       t_infer_cache.emplace_back();
-      e = &t_infer_cache.back();
-      e->solver_serial = serial_;
-      e->B = B;
-      e->q = q;
-      e->G = G;
-    } else if (!e->program.captured()) {
-      // Second sight: the geometry recurs — trace it.
-      e->g = ad::Tensor::zeros({B, G});
-      e->x = ad::Tensor::zeros({B, q, 2});
-      pack_batch(boundaries, queries, B, G, q, e->g, e->x);
-      e->program.capture([&] { e->pred = net_->predict(e->g, e->x); });
-      unpack_batch(e->pred, B, q, out);
-      return;
+      exact = &t_infer_cache.back();
+      exact->solver_serial = serial_;
+      exact->B = B;
+      exact->q = q;
+      exact->G = G;
     } else {
-      pack_batch(boundaries, queries, B, G, q, e->g, e->x);
-      e->program.replay();
-      unpack_batch(e->pred, B, q, out);
+      // Second sight: the geometry recurs — trace it, then try to widen
+      // so this one plan also serves every multiple of B (fail-closed:
+      // on refusal the entry just keeps exact-shape replay).
+      exact->g = ad::Tensor::zeros({B, G});
+      exact->x = ad::Tensor::zeros({B, q, 2});
+      pack_batch(boundaries, queries, B, G, q, exact->g, exact->x);
+      exact->program.capture(
+          [&] { exact->pred = net_->predict(exact->g, exact->x); });
+      if (exact->program.captured()) {
+        exact->wide = exact->program.widen({exact->g, exact->x, exact->pred});
+      }
+      unpack_batch(exact->pred, B, q, out);
       return;
     }
   }

@@ -67,9 +67,15 @@ class NeuralSubdomainSolver final : public SubdomainSolver {
   int64_t m() const override { return m_; }
   /// Batched inference runs through a captured Program per (batch, query)
   /// shape: the network forward is traced once and replayed dispatch-free
-  /// for every following phase with the same geometry. Programs are
-  /// per-thread and read the network weights live, so a retrained net
-  /// needs no invalidation. MF_DISABLE_PROGRAM=1 restores the eager path.
+  /// for every following phase with the same geometry. Each captured plan
+  /// is additionally offered for batch widening (Program::widen on its
+  /// {g, x, pred} tensors); when that succeeds, the one plan also serves
+  /// every batch size that is a multiple of its capture batch via
+  /// replay_widened — no extra captures for the Schwarz phases whose
+  /// batches are multiples of each other. Programs are per-thread and
+  /// read the network weights live, so a retrained net needs no
+  /// invalidation. MF_DISABLE_PROGRAM=1 restores the eager path;
+  /// MF_DISABLE_WIDENING=1 keeps per-shape captures only.
   void predict(const std::vector<std::vector<double>>& boundaries,
                const QueryList& queries,
                std::vector<std::vector<double>>& out) const override;

@@ -48,7 +48,7 @@ bool CompiledTrainStep::shapes_match(const gp::SdnetBatch& batch) const {
 std::pair<double, double> CompiledTrainStep::run(const gp::SdnetBatch& batch) {
   last_was_replay_ = false;
   const bool in_plan = optimizer_in_plan();
-  if (!ad::program_enabled() || ad::prog::capturing()) {
+  if (!ad::program_enabled() || ad::prog::capturing() || capture_failed_) {
     // Eager path (escape hatch, or already inside an enclosing capture
     // that should record this step itself). Drop any captured plan: the
     // eager step re-binds every parameter's .grad to fresh tensors, so a
@@ -77,6 +77,15 @@ std::pair<double, double> CompiledTrainStep::run(const gp::SdnetBatch& batch) {
         for (auto& p : net_.parameters()) p.set_grad(ad::Tensor{});
       }
     });
+    if (!program_.captured()) {
+      // Something in the body poisoned the capture (prog::on_uncapturable
+      // — e.g. a non-capturable optimizer stepping inside it). The body
+      // already ran eagerly and correctly; there is just no plan. Stay
+      // eager permanently instead of re-capturing (and failing) every
+      // iteration — and never replay a half-captured step.
+      capture_failed_ = true;
+      leaves_ = gp::SdnetBatch{};
+    }
     if (opt_ && !in_plan) opt_->step();
   } else {
     // Refill the captured leaves and replay. No zero_grad: the replayed

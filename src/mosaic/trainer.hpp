@@ -79,14 +79,17 @@ StepLossTensors training_step_graph(Sdnet& net, const gp::SdnetBatch& batch,
 ///
 /// With an optimizer attached, run() performs the whole iteration —
 /// compute *and* parameter update — so the caller only sets the learning
-/// rate before each run(). A plan-capturable optimizer (Adam/AdamW) is
-/// folded into the captured plan: replay runs forward, three backwards
-/// and the Adam update with zero eager tensor ops, and the `.grad`
-/// buffers — read by nothing outside the plan anymore — get
+/// rate before each run(). A plan-capturable optimizer (Adam/AdamW/LAMB)
+/// is folded into the captured plan: replay runs forward, three
+/// backwards and the parameter update with zero eager tensor ops, and
+/// the `.grad` buffers — read by nothing outside the plan anymore — get
 /// liveness-packed onto the plan arena (they are invisible to callers
 /// afterwards; don't attach the optimizer when gradients must stay
 /// readable, e.g. for cross-rank averaging). Non-capturable optimizers
-/// (LAMB, SGD) are stepped eagerly after each capture/replay/fallback.
+/// (SGD) are stepped eagerly after each capture/replay/fallback — and if
+/// one steps *inside* a capture it poisons it (see capture_failed()), so
+/// the step degrades to fully-eager instead of replaying a plan with the
+/// update missing.
 class CompiledTrainStep {
  public:
   CompiledTrainStep(Sdnet& net, const TrainConfig& config,
@@ -104,6 +107,10 @@ class CompiledTrainStep {
   bool optimizer_in_plan() const {
     return opt_ != nullptr && opt_->plan_capturable();
   }
+  /// True once a capture attempt ended poisoned (prog::on_uncapturable):
+  /// this step runs eagerly for the rest of its life — deterministic
+  /// fallback, never a half-captured plan.
+  bool capture_failed() const { return capture_failed_; }
 
  private:
   bool shapes_match(const gp::SdnetBatch& batch) const;
@@ -115,6 +122,7 @@ class CompiledTrainStep {
   gp::SdnetBatch leaves_;  // the captured step's input slots
   StepLossTensors losses_;
   bool last_was_replay_ = false;
+  bool capture_failed_ = false;
 };
 
 /// Flatten all parameter gradients, allreduce-sum, divide by world size,

@@ -23,6 +23,11 @@ Sgd::Sgd(std::vector<Tensor> params, double lr, double momentum,
 }
 
 void Sgd::step() {
+  // No in-plan representation (and none planned: SGD is not on the
+  // paper's training path). Poison any enclosing capture so the caller
+  // ends up with no plan — and stays eager — instead of replaying a
+  // forward/backward plan whose parameter update is silently missing.
+  if (ad::prog::capturing()) ad::prog::on_uncapturable();
   for (std::size_t i = 0; i < params_.size(); ++i) {
     Tensor& p = params_[i];
     Tensor g = p.grad();
@@ -55,30 +60,9 @@ Adam::Adam(std::vector<Tensor> params, double lr, double beta1, double beta2,
   }
 }
 
-void Adam::adam_direction(std::size_t i, std::vector<double>& out) {
-  Tensor& p = params_[i];
-  Tensor g = p.grad();
-  out.assign(static_cast<std::size_t>(p.numel()), 0.0);
-  if (!g.defined()) return;
-  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
-  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
-  for (int64_t j = 0; j < p.numel(); ++j) {
-    double gj = g.flat(j);
-    if (!decoupled_) gj += weight_decay_ * p.flat(j);
-    auto& mj = m_[i][static_cast<std::size_t>(j)];
-    auto& vj = v_[i][static_cast<std::size_t>(j)];
-    mj = beta1_ * mj + (1 - beta1_) * gj;
-    vj = beta2_ * vj + (1 - beta2_) * gj * gj;
-    const double mhat = mj / bc1;
-    const double vhat = vj / bc2;
-    out[static_cast<std::size_t>(j)] = mhat / (std::sqrt(vhat) + eps_);
-  }
-}
-
 void Adam::step() {
   ++t_;
-  // Same element-wise arithmetic as adam_direction + the apply loop, in
-  // one pass through the shared sfn::adam_update — the exact expression
+  // One pass through the shared sfn::adam_update — the exact expression
   // the compiled program replays, so in-plan and eager updates are
   // bitwise interchangeable.
   const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
@@ -116,26 +100,34 @@ Lamb::Lamb(std::vector<Tensor> params, double lr, double beta1, double beta2,
 
 void Lamb::step() {
   ++t_;
+  // One sfn::lamb_param_update call per parameter — the exact whole-tensor
+  // expression the compiled program's kLambParam step replays, so in-plan
+  // and eager updates are bitwise interchangeable (same Adam direction,
+  // same norm accumulation order, same trust-scaled write).
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  const bool capturing = ad::prog::capturing();
+  if (capturing) {
+    plan_state_.lr = &lr_;
+    plan_state_.t = &t_;
+    plan_state_.beta1 = beta1_;
+    plan_state_.beta2 = beta2_;
+    plan_state_.eps = eps_;
+    plan_state_.weight_decay = weight_decay_;
+    plan_state_.decoupled = true;
+    ad::prog::on_adam_tick(&plan_state_);
+  }
   std::vector<double> dir;
   for (std::size_t i = 0; i < params_.size(); ++i) {
     Tensor& p = params_[i];
-    if (!p.grad().defined()) continue;
-    adam_direction(i, dir);
-    // r = adam direction + decoupled weight decay
-    double w_norm = 0.0, r_norm = 0.0;
-    for (int64_t j = 0; j < p.numel(); ++j) {
-      dir[static_cast<std::size_t>(j)] += weight_decay_ * p.flat(j);
-      w_norm += p.flat(j) * p.flat(j);
-      const double r = dir[static_cast<std::size_t>(j)];
-      r_norm += r * r;
+    Tensor g = p.grad();
+    if (!g.defined()) continue;
+    if (capturing) {
+      ad::prog::on_lamb_param(&plan_state_, p, g, m_[i].data(), v_[i].data());
     }
-    w_norm = std::sqrt(w_norm);
-    r_norm = std::sqrt(r_norm);
-    // Layerwise trust ratio; 1 when either norm degenerates (LAMB paper).
-    const double trust = (w_norm > 0 && r_norm > 0) ? w_norm / r_norm : 1.0;
-    for (int64_t j = 0; j < p.numel(); ++j) {
-      p.flat(j) -= lr_ * trust * dir[static_cast<std::size_t>(j)];
-    }
+    ad::sfn::lamb_param_update(p.data(), g.data(), m_[i].data(), v_[i].data(),
+                               p.numel(), dir, lr_, beta1_, beta2_, bc1, bc2,
+                               eps_, weight_decay_);
   }
 }
 

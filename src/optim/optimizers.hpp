@@ -66,9 +66,6 @@ class Adam : public Optimizer {
   const std::vector<std::vector<double>>& moments_v() const { return v_; }
 
  protected:
-  /// Computes the Adam direction for parameter `i` into `out` (without lr).
-  void adam_direction(std::size_t i, std::vector<double>& out);
-
   double beta1_, beta2_, eps_, weight_decay_;
   bool decoupled_;
   int64_t t_ = 0;
@@ -80,14 +77,16 @@ class Adam : public Optimizer {
 
 /// LAMB (You et al., 2020): Adam direction rescaled per parameter tensor by
 /// the trust ratio ||w|| / ||update||. The trust-ratio norms make the
-/// update non-elementwise, so LAMB is not plan-capturable and steps
-/// eagerly after each replay.
+/// update non-elementwise, so it captures as one whole-tensor plan step
+/// per parameter (prog::on_lamb_param -> sfn::lamb_param_update) rather
+/// than an elementwise chain; replayed and eager steps are bitwise
+/// interchangeable.
 class Lamb final : public Adam {
  public:
   Lamb(std::vector<Tensor> params, double lr, double beta1 = 0.9,
        double beta2 = 0.999, double eps = 1e-6, double weight_decay = 0.0);
   void step() override;
-  bool plan_capturable() const override { return false; }
+  bool plan_capturable() const override { return true; }
 };
 
 }  // namespace mf::optim

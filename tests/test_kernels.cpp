@@ -210,6 +210,9 @@ TEST(Kernels, MatmulBlockedPathMatchesNaive) {
     for (std::size_t i = 0; i < b.size(); ++i) b[i] = std::cos(0.1 * static_cast<double>(i));
     for (std::size_t i = 0; i < bias.size(); ++i) bias[i] = 0.01 * static_cast<double>(i);
     std::vector<mf::ad::real> got(static_cast<std::size_t>(m * n));
+    // Exact tier: bitwise identity with the naive loop is only promised
+    // with the FMA kernels off.
+    const bool fma_was = kernels::fma_kernels_set_enabled(false);
     kernels::matmul(a.data(), b.data(), bias.data(), got.data(), m, k, n);
     // Independent naive reference with the same (ascending-kk) order.
     std::vector<mf::ad::real> ref(static_cast<std::size_t>(m * n));
@@ -226,6 +229,19 @@ TEST(Kernels, MatmulBlockedPathMatchesNaive) {
       ASSERT_EQ(got[i], ref[i]) << "m=" << m << " k=" << k << " n=" << n
                                 << " flat index " << i;
     }
+    // FMA tier (when the host has it): fused rounding only — every
+    // element stays within a tight relative band of the exact result.
+    kernels::fma_kernels_set_enabled(true);
+    if (kernels::fma_kernels_active()) {
+      std::vector<mf::ad::real> fma_got(static_cast<std::size_t>(m * n));
+      kernels::matmul(a.data(), b.data(), bias.data(), fma_got.data(), m, k, n);
+      for (std::size_t i = 0; i < fma_got.size(); ++i) {
+        const double tol = 1e-13 * std::max(1.0, std::abs(ref[i]));
+        ASSERT_NEAR(fma_got[i], ref[i], tol)
+            << "fma: m=" << m << " k=" << k << " n=" << n << " flat " << i;
+      }
+    }
+    kernels::fma_kernels_set_enabled(fma_was);
   }
 }
 

@@ -11,7 +11,9 @@
 //    zero payload allocations.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <thread>
 #include <vector>
 
 #include "ad/engine.hpp"
@@ -533,6 +535,401 @@ TEST(Program, SteadyStateReplayWithInPlanOptimizerIsAllocationFree) {
       << "steady-state replay with the optimizer in-plan must not allocate";
   EXPECT_TRUE(cstep.last_was_replay());
   EXPECT_GT(cstep.program().stats().optim_steps, 0u);
+}
+
+TEST(Program, InPlanLambBitwiseMatchesEagerTrajectory) {
+  // LAMB's whole-tensor update (Adam direction, norm accumulation, trust
+  // scaling) now records into the plan via kLambParam; the compiled twin
+  // must track a fully eager twin bitwise — weights, moments, step
+  // counter and both losses — across a trajectory with a moving lr.
+  const int64_t m = 4;
+  const auto net_cfg = small_net_config(m);
+  auto cfg = small_train_config();
+  cfg.optimizer = mosaic::OptimizerKind::kLamb;
+
+  util::Rng rng_a(7), rng_b(7);
+  mosaic::Sdnet eager_net(net_cfg, rng_a);
+  mosaic::Sdnet replay_net(net_cfg, rng_b);
+  gp::LaplaceDatasetGenerator gen_a(m, {}, 11), gen_b(m, {}, 11);
+  auto bvps_a = gen_a.generate_many(6);
+  auto bvps_b = gen_b.generate_many(6);
+
+  optim::Lamb opt_a(eager_net.parameters(), 1e-3, 0.9, 0.999, 1e-6, 0.01);
+  optim::Lamb opt_b(replay_net.parameters(), 1e-3, 0.9, 0.999, 1e-6, 0.01);
+  ASSERT_TRUE(opt_b.plan_capturable());
+
+  mosaic::CompiledTrainStep cstep(replay_net, cfg, &opt_b);
+  EXPECT_TRUE(cstep.optimizer_in_plan());
+  const int kSteps = 20;
+  for (int iter = 0; iter < kSteps; ++iter) {
+    const double lr = 1e-3 * (1.0 + 0.01 * iter);
+    opt_a.set_lr(lr);
+    opt_b.set_lr(lr);
+    auto batch_a = gen_a.make_batch(bvps_a, cfg.q_data, cfg.q_colloc);
+    auto batch_b = gen_b.make_batch(bvps_b, cfg.q_data, cfg.q_colloc);
+    double ld_a, lp_a;
+    {
+      ProgramEnabledGuard off(false);
+      eager_net.zero_grad();
+      std::tie(ld_a, lp_a) = mosaic::training_step(eager_net, batch_a, cfg);
+      opt_a.step();
+    }
+    double ld_b, lp_b;
+    {
+      ProgramEnabledGuard on(true);
+      std::tie(ld_b, lp_b) = cstep.run(batch_b);
+    }
+    ASSERT_EQ(ld_a, ld_b) << "iter " << iter;
+    ASSERT_EQ(lp_a, lp_b) << "iter " << iter;
+    expect_params_bitwise_equal(eager_net, replay_net, false);
+    expect_adam_state_bitwise_equal(opt_a, opt_b);
+  }
+  const auto st = cstep.program().stats();
+  EXPECT_EQ(st.captures, 1u);
+  EXPECT_EQ(st.replays, static_cast<std::uint64_t>(kSteps - 1));
+  EXPECT_GT(st.optim_steps, 0u) << "LAMB update should be in-plan";
+}
+
+TEST(Program, SgdInsideCapturePoisonsThePlanNotTheStep) {
+  // SGD has no in-plan form. Stepping it inside a capture must leave NO
+  // half-captured plan behind (a plan that replays forward/backward but
+  // silently skips the update): the capture is poisoned, the step runs
+  // eagerly — once — and the compiled wrapper stays eager from then on,
+  // tracking an eager twin bitwise.
+  const int64_t m = 4;
+  const auto net_cfg = small_net_config(m);
+  auto cfg = small_train_config();
+  cfg.optimizer = mosaic::OptimizerKind::kSgd;
+
+  util::Rng rng_a(7), rng_b(7);
+  mosaic::Sdnet eager_net(net_cfg, rng_a);
+  mosaic::Sdnet compiled_net(net_cfg, rng_b);
+  gp::LaplaceDatasetGenerator gen_a(m, {}, 11), gen_b(m, {}, 11);
+  auto bvps_a = gen_a.generate_many(6);
+  auto bvps_b = gen_b.generate_many(6);
+
+  optim::Sgd opt_a(eager_net.parameters(), 1e-3, 0.9, 0.0);
+  optim::Sgd opt_b(compiled_net.parameters(), 1e-3, 0.9, 0.0);
+  ASSERT_FALSE(opt_b.plan_capturable());
+
+  ProgramEnabledGuard on(true);
+  // Force the poison path: pretend SGD is capturable so CompiledTrainStep
+  // records the step body with the optimizer inside. There is no hook for
+  // that, so drive the capture directly.
+  ad::Program program;
+  compiled_net.zero_grad();
+  auto batch0 = gen_b.make_batch(bvps_b, cfg.q_data, cfg.q_colloc);
+  program.capture([&] {
+    (void)mosaic::training_step_graph(compiled_net, batch0, cfg);
+    opt_b.step();  // poisons: no kSgd step exists
+  });
+  EXPECT_FALSE(program.captured())
+      << "a capture containing an SGD step must not survive";
+  // The body still ran eagerly and exactly once: the eager twin after one
+  // identical iteration matches bitwise.
+  {
+    ProgramEnabledGuard off(false);
+    eager_net.zero_grad();
+    auto batch_a = gen_a.make_batch(bvps_a, cfg.q_data, cfg.q_colloc);
+    (void)mosaic::training_step(eager_net, batch_a, cfg);
+    opt_a.step();
+  }
+  expect_params_bitwise_equal(eager_net, compiled_net, false);
+
+  // The wrapper never puts a non-capturable optimizer inside the plan:
+  // the step compiles without the update, SGD runs eagerly after each
+  // replay, nothing is poisoned, and the twin stays bitwise.
+  mosaic::CompiledTrainStep cstep(compiled_net, cfg, &opt_b);
+  EXPECT_FALSE(cstep.optimizer_in_plan());
+  for (int iter = 1; iter < 5; ++iter) {
+    auto batch_a = gen_a.make_batch(bvps_a, cfg.q_data, cfg.q_colloc);
+    auto batch_b = gen_b.make_batch(bvps_b, cfg.q_data, cfg.q_colloc);
+    {
+      ProgramEnabledGuard off(false);
+      eager_net.zero_grad();
+      (void)mosaic::training_step(eager_net, batch_a, cfg);
+      opt_a.step();
+    }
+    (void)cstep.run(batch_b);
+    if (iter >= 2) {
+      EXPECT_TRUE(cstep.last_was_replay()) << "iter " << iter;
+    }
+    expect_params_bitwise_equal(eager_net, compiled_net, false);
+  }
+  EXPECT_FALSE(cstep.capture_failed());
+}
+
+/// RAII toggles for the wave executor and widening knobs.
+class ParallelEnabledGuard {
+ public:
+  explicit ParallelEnabledGuard(bool on)
+      : prev_(ad::program_parallel_set_enabled(on)) {}
+  ~ParallelEnabledGuard() { ad::program_parallel_set_enabled(prev_); }
+
+ private:
+  bool prev_;
+};
+
+class PlanThreadsGuard {
+ public:
+  explicit PlanThreadsGuard(int n) : prev_(ad::program_set_plan_threads(n)) {}
+  ~PlanThreadsGuard() { ad::program_set_plan_threads(prev_); }
+
+ private:
+  int prev_;
+};
+
+class WideningEnabledGuard {
+ public:
+  explicit WideningEnabledGuard(bool on)
+      : prev_(ad::program_widening_set_enabled(on)) {}
+  ~WideningEnabledGuard() { ad::program_widening_set_enabled(prev_); }
+
+ private:
+  bool prev_;
+};
+
+TEST(Program, ParallelReplayBitwiseMatchesSerial) {
+  // The wave executor must be invisible in the bits: the same training
+  // plan replayed across N workers and replayed serially produce the
+  // same losses, weights and optimizer state at every iteration (the
+  // per-step SerialRegionGuard makes a step the unit of parallelism, so
+  // every FP reduction runs in its captured order either way).
+  const int64_t m = 4;
+  const auto net_cfg = small_net_config(m);
+  const auto cfg = small_train_config();
+
+  util::Rng rng_a(7), rng_b(7);
+  mosaic::Sdnet serial_net(net_cfg, rng_a);
+  mosaic::Sdnet parallel_net(net_cfg, rng_b);
+  gp::LaplaceDatasetGenerator gen_a(m, {}, 11), gen_b(m, {}, 11);
+  auto bvps_a = gen_a.generate_many(6);
+  auto bvps_b = gen_b.generate_many(6);
+  optim::Adam opt_a(serial_net.parameters(), 1e-3);
+  optim::Adam opt_b(parallel_net.parameters(), 1e-3);
+
+  ProgramEnabledGuard on(true);
+  mosaic::CompiledTrainStep serial_step(serial_net, cfg, &opt_a);
+  mosaic::CompiledTrainStep parallel_step(parallel_net, cfg, &opt_b);
+  for (int iter = 0; iter < 6; ++iter) {
+    auto batch_a = gen_a.make_batch(bvps_a, cfg.q_data, cfg.q_colloc);
+    auto batch_b = gen_b.make_batch(bvps_b, cfg.q_data, cfg.q_colloc);
+    double ld_a, lp_a, ld_b, lp_b;
+    {
+      ParallelEnabledGuard serial(false);
+      std::tie(ld_a, lp_a) = serial_step.run(batch_a);
+    }
+    {
+      ParallelEnabledGuard parallel(true);
+      PlanThreadsGuard threads(4);
+      std::tie(ld_b, lp_b) = parallel_step.run(batch_b);
+    }
+    ASSERT_EQ(ld_a, ld_b) << "iter " << iter;
+    ASSERT_EQ(lp_a, lp_b) << "iter " << iter;
+    expect_params_bitwise_equal(serial_net, parallel_net, false);
+    expect_adam_state_bitwise_equal(opt_a, opt_b);
+  }
+  const auto st = parallel_step.program().stats();
+  EXPECT_GT(st.waves, 0u);
+  EXPECT_LT(st.waves, st.steps)
+      << "a training plan should expose cross-step parallelism";
+}
+
+TEST(Program, WidenedPlanMatchesPerInstanceReplay) {
+  // Plan-level widening parity: a captured matmul+activation evaluated
+  // once at width b must be bitwise identical to b/B0 base-width replays
+  // of the same instance rows. Also covers the MF_DISABLE_WIDENING hatch
+  // and the b == B0 aliasing special case.
+  ProgramEnabledGuard on(true);
+  ad::NoGradGuard no_grad;
+  const int64_t B0 = 2, K = 3, N = 4;
+  Tensor x = Tensor::zeros({B0, K});
+  Tensor w = Tensor::zeros({K, N});
+  util::Rng rng(31);
+  for (int64_t i = 0; i < w.numel(); ++i) w.flat(i) = rng.uniform(-1.0, 1.0);
+  for (int64_t i = 0; i < x.numel(); ++i) x.flat(i) = rng.uniform(-1.0, 1.0);
+
+  ad::Program p;
+  Tensor y;
+  p.capture([&] { y = ops::tanh(ops::matmul(x, w)); });
+  ASSERT_TRUE(p.captured());
+  {
+    WideningEnabledGuard off(false);
+    EXPECT_FALSE(p.widen({x, y}));
+    EXPECT_FALSE(p.widened());
+  }
+  ASSERT_TRUE(p.widen({x, y}));
+  EXPECT_TRUE(p.widened());
+
+  // b == B0: the widened buffers alias the tensors' own payloads.
+  EXPECT_EQ(p.widened_buffer(x, B0), x.data());
+  EXPECT_EQ(p.widened_buffer(y, B0), y.data());
+
+  const int64_t b = 6;  // factor 3
+  std::vector<double> xs(static_cast<std::size_t>(b * K));
+  for (auto& v : xs) v = rng.uniform(-1.0, 1.0);
+  ad::real* xw = p.widened_buffer(x, b);
+  std::copy(xs.begin(), xs.end(), xw);
+  p.replay_widened(b);
+  std::vector<double> ys(p.widened_buffer(y, b),
+                         p.widened_buffer(y, b) + b * N);
+
+  // Reference: replay the base plan chunk by chunk through the tensors'
+  // own payloads.
+  for (int64_t c = 0; c < b / B0; ++c) {
+    std::copy(xs.begin() + c * B0 * K, xs.begin() + (c + 1) * B0 * K, x.data());
+    p.replay();
+    for (int64_t i = 0; i < B0 * N; ++i) {
+      ASSERT_EQ(y.flat(i), ys[static_cast<std::size_t>(c * B0 * N + i)])
+          << "chunk " << c << " elem " << i;
+    }
+  }
+  const auto st = p.stats();
+  EXPECT_EQ(st.widened_replays, 1u);
+  EXPECT_EQ(st.max_widen_batch, b);
+  EXPECT_GE(st.wide_instances, 1u);
+}
+
+TEST(Program, WidenRejectsInstanceMixingPlans) {
+  // Fail-closed: any step that mixes batch instances must refuse
+  // widening — the plan stays fully usable for plain replay.
+  ProgramEnabledGuard on(true);
+  ad::NoGradGuard no_grad;
+  Tensor x = Tensor::zeros({2, 3});
+  for (int64_t i = 0; i < x.numel(); ++i) x.flat(i) = 0.25 * double(i);
+
+  {
+    ad::Program p;
+    Tensor y;
+    p.capture([&] { y = ops::transpose(x); });
+    ASSERT_TRUE(p.captured());
+    EXPECT_FALSE(p.widen({x}));      // transpose reshuffles the batch axis
+    EXPECT_FALSE(p.widen({x, y}));   // and the declared dim0s disagree
+    p.replay();                      // still replayable after refusal
+    EXPECT_EQ(y.flat(0), x.flat(0));
+  }
+  {
+    ad::Program p;
+    Tensor y;
+    p.capture([&] { y = ops::sum(x); });
+    ASSERT_TRUE(p.captured());
+    EXPECT_FALSE(p.widen({x}));  // full reduction sums across instances
+  }
+  {
+    ad::Program p;
+    Tensor y;
+    p.capture([&] { y = ops::sum_axis(x, /*axis=*/0, /*keepdim=*/false); });
+    ASSERT_TRUE(p.captured());
+    EXPECT_FALSE(p.widen({x}));  // axis-0 reduction mixes instances
+  }
+}
+
+TEST(Program, WidenedBatchedInferenceBitwiseMatchesEager) {
+  // Solver-level widening: one plan captured at the base batch serves
+  // every multiple of it, bitwise identical to the eager per-batch path
+  // and with no additional captures.
+  const int64_t m = 4;
+  util::Rng rng(13);
+  auto net = std::make_shared<mosaic::Sdnet>(small_net_config(m), rng);
+  mosaic::NeuralSubdomainSolver solver(net, m);
+
+  const int64_t G = 4 * m;
+  mosaic::QueryList queries;
+  for (int k = 0; k < 5; ++k) queries.emplace_back(0.1 + 0.15 * k, 0.3);
+  util::Rng brng(17);
+  auto make_boundaries = [&](int64_t B) {
+    std::vector<std::vector<double>> bs(static_cast<std::size_t>(B));
+    for (auto& b : bs) {
+      b.resize(static_cast<std::size_t>(G));
+      for (auto& v : b) v = brng.uniform(-1.0, 1.0);
+    }
+    return bs;
+  };
+  const auto base1 = make_boundaries(2), base2 = make_boundaries(2);
+  const auto quad = make_boundaries(4), six = make_boundaries(6);
+
+  std::vector<std::vector<double>> e1, e2, e4, e6, p1, p2, p4, p6;
+  {
+    ProgramEnabledGuard off(false);
+    solver.predict(base1, queries, e1);
+    solver.predict(base2, queries, e2);
+    solver.predict(quad, queries, e4);
+    solver.predict(six, queries, e6);
+  }
+  {
+    ProgramEnabledGuard on(true);
+    solver.predict(base1, queries, p1);  // first sight: eager
+    solver.predict(base2, queries, p2);  // second sight: capture + widen
+    solver.predict(quad, queries, p4);   // 2x base: widened replay
+    solver.predict(six, queries, p6);    // 3x base: widened replay
+    const auto st = solver.thread_program_stats();
+    EXPECT_EQ(st.captures, 1u) << "widening must avoid per-shape captures";
+    EXPECT_EQ(st.widened_replays, 2u);
+    EXPECT_EQ(st.max_widen_batch, 6);
+  }
+  auto expect_rows_equal = [](const std::vector<std::vector<double>>& a,
+                              const std::vector<std::vector<double>>& b) {
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      ASSERT_EQ(a[i].size(), b[i].size());
+      for (std::size_t k = 0; k < a[i].size(); ++k) {
+        ASSERT_EQ(a[i][k], b[i][k]) << "row " << i << " elem " << k;
+      }
+    }
+  };
+  expect_rows_equal(e1, p1);
+  expect_rows_equal(e2, p2);
+  expect_rows_equal(e4, p4);
+  expect_rows_equal(e6, p6);
+}
+
+TEST(Program, ConcurrentCompiledStepsAreDeterministic) {
+  // N threads, each with its own identically-seeded net + compiled step,
+  // all replaying through the shared worker pool concurrently: every
+  // thread's final weights must match a reference trajectory bitwise.
+  const int64_t m = 4;
+  const auto net_cfg = small_net_config(m);
+  const auto cfg = small_train_config();
+  const int kIters = 5;
+
+  auto run_trajectory = [&]() {
+    util::Rng rng(7);
+    mosaic::Sdnet net(net_cfg, rng);
+    gp::LaplaceDatasetGenerator gen(m, {}, 11);
+    auto bvps = gen.generate_many(6);
+    optim::Adam opt(net.parameters(), 1e-3);
+    mosaic::CompiledTrainStep cstep(net, cfg, &opt);
+    for (int iter = 0; iter < kIters; ++iter) {
+      auto batch = gen.make_batch(bvps, cfg.q_data, cfg.q_colloc);
+      cstep.run(batch);
+    }
+    std::vector<double> flat;
+    for (const auto& p : net.parameters()) {
+      for (int64_t j = 0; j < p.numel(); ++j) flat.push_back(p.flat(j));
+    }
+    return flat;
+  };
+
+  ProgramEnabledGuard on(true);
+  ParallelEnabledGuard parallel(true);
+  PlanThreadsGuard threads(3);
+  const auto reference = run_trajectory();
+
+  const int kThreads = 4;
+  std::vector<std::vector<double>> results(kThreads);
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] { results[static_cast<std::size_t>(t)] = run_trajectory(); });
+  }
+  for (auto& w : workers) w.join();
+  for (int t = 0; t < kThreads; ++t) {
+    const auto& r = results[static_cast<std::size_t>(t)];
+    ASSERT_EQ(r.size(), reference.size()) << "thread " << t;
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      ASSERT_EQ(r[i], reference[i]) << "thread " << t << " param " << i;
+    }
+  }
 }
 
 TEST(Program, SteadyStateReplayIsPayloadAllocationFree) {

@@ -164,6 +164,64 @@ TEST(TransportAbstraction, WaitRecvPreservesPostOrder) {
   });
 }
 
+TEST(TransportAbstraction, StragglerDoesNotPinPendingTable) {
+  // One posted receive that is never waited on must not stop the
+  // bookkeeping table from recycling: it used to recycle only when
+  // *every* post had been consumed, so a single straggler pinned
+  // unbounded growth (and its payload) for the Comm's lifetime.
+  comm::World world(2);
+  world.run([](comm::Comm& c) {
+    if (c.rank() == 0) {
+      c.isend(1, std::vector<double>{999.0}, 7);
+      for (int i = 0; i < 200; ++i) {
+        c.isend(1, std::vector<double>{double(i)}, 4);
+      }
+    } else {
+      auto straggler = c.irecv(0, 7);  // posted, never waited on
+      for (int i = 0; i < 200; ++i) {
+        auto v = c.wait_recv(c.irecv(0, 4));
+        ASSERT_EQ(v.size(), 1u);
+        EXPECT_EQ(v[0], double(i));
+      }
+      // Bounded: the one outstanding straggler plus the amortized
+      // compaction slack — nowhere near the 200 consumed posts.
+      EXPECT_LT(c.pending_recv_count(), 40u);
+      (void)straggler;
+    }
+  });
+}
+
+TEST(TransportAbstraction, PostOrderSurvivesCompaction) {
+  // Same-signature matching must stay post-ordered across the table's
+  // amortized compaction passes (the straggler keeps an unconsumed entry
+  // in front, so compaction removes entries from the middle).
+  comm::World world(2);
+  world.run([](comm::Comm& c) {
+    if (c.rank() == 0) {
+      for (int round = 0; round < 8; ++round) {
+        for (int i = 0; i < 6; ++i) {
+          c.isend(1, std::vector<double>{round * 10.0 + i}, 5);
+        }
+      }
+    } else {
+      auto straggler = c.irecv(0, 11);  // no matching send: never done
+      for (int round = 0; round < 8; ++round) {
+        std::vector<comm::Comm::Request> reqs;
+        for (int i = 0; i < 6; ++i) reqs.push_back(c.irecv(0, 5));
+        // Wait in reverse post order: matching must still pair the j-th
+        // posted receive of this round with the j-th message.
+        for (int i = 5; i >= 0; --i) {
+          auto v = c.wait_recv(reqs[static_cast<std::size_t>(i)]);
+          ASSERT_EQ(v.size(), 1u);
+          EXPECT_EQ(v[0], round * 10.0 + i);
+        }
+      }
+      EXPECT_LT(c.pending_recv_count(), 40u);
+      (void)straggler;
+    }
+  });
+}
+
 TEST(RankRuntime, DefaultsToThreadsAndSweeps) {
   comm::RankLauncher launcher(0, nullptr);
   // Without mpirun the backend must be the threaded one (MF_COMM unset in

@@ -52,13 +52,33 @@ def last_json_line(path: str) -> dict:
 def run_check(name: str, fresh_path: str, baseline_path: str, metric: str,
               min_ratio: float) -> dict:
     fresh = last_json_line(fresh_path)
-    baseline = last_json_line(baseline_path)
     if metric not in fresh:
         raise ValueError(f"{fresh_path}: metric '{metric}' missing from fresh line")
-    if metric not in baseline:
-        raise ValueError(
-            f"{baseline_path}: metric '{metric}' missing from committed line")
     fresh_v = float(fresh[metric])
+    # A missing/empty committed trajectory (or a metric introduced by the
+    # current PR) is a bootstrap condition, not a regression: record the
+    # fresh value, note why there is nothing to compare against, and let
+    # the gate pass. The fresh side above stays strict — a bench that
+    # stopped emitting its metric is a real failure.
+    skip_note = None
+    try:
+        baseline = last_json_line(baseline_path)
+    except (OSError, ValueError) as exc:
+        skip_note = f"no committed baseline ({exc})"
+    else:
+        if metric not in baseline:
+            skip_note = f"metric '{metric}' not in committed line"
+    if skip_note is not None:
+        return {
+            "name": name,
+            "metric": metric,
+            "committed_pr": "-",
+            "committed": None,
+            "fresh": fresh_v,
+            "ratio": None,
+            "ok": True,
+            "note": skip_note,
+        }
     base_v = float(baseline[metric])
     ratio = fresh_v / base_v if base_v > 0 else float("inf")
     return {
@@ -80,6 +100,11 @@ def markdown_table(rows: list[dict], min_ratio: float) -> str:
         "|---|---|---|---|---|---|",
     ]
     for r in rows:
+        if r.get("note") is not None:
+            lines.append(
+                f"| {r['name']} | `{r['metric']}` | — "
+                f"| {r['fresh']:.4g} | — | ⚠️ skipped: {r['note']} |")
+            continue
         status = "✅ pass" if r["ok"] else "❌ **regression**"
         lines.append(
             f"| {r['name']} | `{r['metric']}` "
@@ -116,6 +141,11 @@ def main(argv: list[str]) -> int:
     if args.summary:
         with open(args.summary, "a", encoding="utf-8") as fh:
             fh.write(table + "\n")
+
+    for r in rows:
+        if r.get("note") is not None:
+            print(f"bench_check: SKIP {r['name']}.{r['metric']}: {r['note']}",
+                  file=sys.stderr)
 
     failures = [r for r in rows if not r["ok"]]
     for r in failures:
