@@ -204,7 +204,8 @@ int main(int argc, char** argv) {
         "\"replay_steps_per_sec\":%.6g,\"capture_ms\":%.6g,"
         "\"plan_steps\":%zu,\"plan_slots\":%zu,"
         "\"plan_arena_bytes\":%zu,\"plan_pinned_bytes\":%zu,"
-        "\"fused_steps\":%zu,\"fused_ops\":%zu,\"optim_steps\":%zu}\n",
+        "\"fused_steps\":%zu,\"fused_ops\":%zu,\"optim_steps\":%zu,"
+        "\"compute_dtype\":\"%s\",\"cast_steps\":%zu}\n",
         static_cast<long long>(m), ad::kernels::max_threads(),
         ad::kernels::openmp_enabled() ? "true" : "false", replay_sps,
         allocs_per_step, hit_rate,
@@ -212,7 +213,8 @@ int main(int argc, char** argv) {
         ad::program_enabled() ? "true" : "false", eager_sps, replay_sps,
         prog.capture_ms, prog.steps, prog.slots, prog.arena_bytes,
         prog.pinned_bytes, prog.fused_steps, prog.fused_ops,
-        prog.optim_steps);
+        prog.optim_steps, ad::dtype_name(ad::compute_dtype()),
+        prog.cast_steps);
   }
   return 0;
 }

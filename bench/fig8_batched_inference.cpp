@@ -115,7 +115,7 @@ int main(int argc, char** argv) {
       "\"program_replays\":%llu,\"fused_steps\":%zu,\"fused_ops\":%zu,"
       "\"eager_batched_sub_updates_per_sec\":%.6g,\"plan_waves\":%zu,"
       "\"batch_width\":%lld,\"widened_replays\":%llu,"
-      "\"plan_threads\":%d}\n",
+      "\"plan_threads\":%d,\"compute_dtype\":\"%s\",\"cast_steps\":%zu}\n",
       static_cast<long long>(m), ad::kernels::max_threads(),
       ad::kernels::openmp_enabled() ? "true" : "false",
       total_sub_updates / total_compiled_s,
@@ -130,6 +130,7 @@ int main(int argc, char** argv) {
       total_sub_updates / total_batched_s, prog.waves,
       static_cast<long long>(prog.max_widen_batch),
       static_cast<unsigned long long>(prog.widened_replays),
-      ad::program_plan_threads());
+      ad::program_plan_threads(), ad::dtype_name(ad::compute_dtype()),
+      prog.cast_steps);
   return 0;
 }

@@ -1,0 +1,25 @@
+#include "ad/dtype.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace mf::ad {
+
+namespace {
+
+std::atomic<DType> g_compute_dtype{[] {
+  const char* env = std::getenv("MF_PRECISION");
+  if (env && std::strcmp(env, "f32") == 0) return DType::kF32;
+  return DType::kF64;
+}()};
+
+}  // namespace
+
+DType compute_dtype() { return g_compute_dtype.load(std::memory_order_relaxed); }
+
+DType set_compute_dtype(DType dt) {
+  return g_compute_dtype.exchange(dt, std::memory_order_relaxed);
+}
+
+}  // namespace mf::ad

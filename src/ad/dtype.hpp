@@ -1,0 +1,39 @@
+// Element dtypes for the mixed-precision compute path.
+//
+// The stack's numeric substrate stays `real = double`: eager ops, tensor
+// payloads handed to user code, optimizer master weights and moments are
+// all f64. What the precision *policy* controls is the compute dtype of
+// compiled plans (`ad::Program`): under `MF_PRECISION=f32` the lowering
+// pass colors internal plan slots float, inserts cast steps at the f64
+// boundaries (external tensors, optimizer state), and the replay
+// interpreter runs each step's kernels at the slot width. f64 stays the
+// default and is bitwise-identical to a build without this policy.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mf::ad {
+
+enum class DType : std::uint8_t {
+  kF32 = 0,
+  kF64 = 1,
+};
+
+constexpr std::size_t dtype_size(DType dt) {
+  return dt == DType::kF32 ? sizeof(float) : sizeof(double);
+}
+
+constexpr const char* dtype_name(DType dt) {
+  return dt == DType::kF32 ? "f32" : "f64";
+}
+
+/// Process-wide compute-dtype policy. Reads MF_PRECISION ("f32" / "f64",
+/// default f64) once; set_compute_dtype() overrides it (tests, benches)
+/// and returns the previous value. Consulted by the mosaic layer when it
+/// captures a plan — already-captured programs keep the dtype they were
+/// lowered with, which is why the shape caches key on dtype too.
+DType compute_dtype();
+DType set_compute_dtype(DType dt);
+
+}  // namespace mf::ad

@@ -83,6 +83,10 @@ void broadcast_copy(const BroadcastPlan& plan, const real* src, real* out) {
   map_broadcast(plan, src, src, out, [](real x, real) { return x; });
 }
 
+void broadcast_copy(const BroadcastPlan& plan, const float* src, float* out) {
+  map_broadcast(plan, src, src, out, [](float x, float) { return x; });
+}
+
 ReducePlan::ReducePlan(const Shape& src, const Shape& dst) {
   const std::size_t nd = src.size();
   const std::size_t off = nd - dst.size();
@@ -101,7 +105,13 @@ ReducePlan::ReducePlan(const Shape& src, const Shape& dst) {
   }
 }
 
-void reduce_broadcast(const ReducePlan& plan, const real* src, real* dst) {
+namespace {
+// Shared by both widths. The accumulator is always double: for T = real
+// this is the pre-existing expression (bitwise unchanged); for T = float
+// it is the mixed-precision stability rule — reduce at master width,
+// narrow once at the store.
+template <typename T>
+void reduce_broadcast_impl(const ReducePlan& plan, const T* src, T* dst) {
   const int64_t n_kept = static_cast<int64_t>(plan.out_sizes.size());
   const int64_t n_reddims = static_cast<int64_t>(plan.red_sizes.size());
   parallel_for(plan.n_out, plan.n_red, [&](int64_t begin, int64_t end) {
@@ -115,7 +125,7 @@ void reduce_broadcast(const ReducePlan& plan, const real* src, real* dst) {
         rem /= plan.out_sizes[du];
       }
       // Walk the reduced subspace.
-      real acc = 0;
+      double acc = 0;
       std::fill(rid.begin(), rid.end(), 0);
       int64_t roff = 0;
       for (int64_t r = 0; r < plan.n_red; ++r) {
@@ -129,13 +139,35 @@ void reduce_broadcast(const ReducePlan& plan, const real* src, real* dst) {
           rid[du] = 0;
         }
       }
-      dst[o] = acc;
+      dst[o] = static_cast<T>(acc);
     }
   });
+}
+}  // namespace
+
+void reduce_broadcast(const ReducePlan& plan, const real* src, real* dst) {
+  reduce_broadcast_impl(plan, src, dst);
+}
+
+void reduce_broadcast(const ReducePlan& plan, const float* src, float* dst) {
+  reduce_broadcast_impl(plan, src, dst);
 }
 
 real reduce_sum(const real* a, int64_t n) {
   real acc = 0;
+#ifdef MF_HAVE_OPENMP
+  if (detail::should_thread(n)) {
+#pragma omp parallel for reduction(+ : acc)
+    for (int64_t i = 0; i < n; ++i) acc += a[i];
+    return acc;
+  }
+#endif
+  for (int64_t i = 0; i < n; ++i) acc += a[i];
+  return acc;
+}
+
+double reduce_sum(const float* a, int64_t n) {
+  double acc = 0;
 #ifdef MF_HAVE_OPENMP
   if (detail::should_thread(n)) {
 #pragma omp parallel for reduction(+ : acc)
@@ -192,17 +224,34 @@ real reduce_abs_diff(const real* a, const real* b, int64_t n) {
   return acc;
 }
 
-void sum_axis(const real* src, real* dst, int64_t outer, int64_t n_axis,
-              int64_t inner) {
+namespace {
+// Accumulates at the element width (the dst rows are the accumulators, so
+// a double-width accumulator would need a scratch pass); the folded axis
+// is a batch dimension of at most a few hundred, well inside f32's
+// tolerance budget.
+template <typename T>
+void sum_axis_impl(const T* src, T* dst, int64_t outer, int64_t n_axis,
+                   int64_t inner) {
   parallel_for(outer, n_axis * inner, [&](int64_t begin, int64_t end) {
     for (int64_t o = begin; o < end; ++o) {
-      real* drow = dst + o * inner;
+      T* drow = dst + o * inner;
       for (int64_t k = 0; k < n_axis; ++k) {
-        const real* srow = src + (o * n_axis + k) * inner;
+        const T* srow = src + (o * n_axis + k) * inner;
         for (int64_t i = 0; i < inner; ++i) drow[i] += srow[i];
       }
     }
   });
+}
+}  // namespace
+
+void sum_axis(const real* src, real* dst, int64_t outer, int64_t n_axis,
+              int64_t inner) {
+  sum_axis_impl(src, dst, outer, n_axis, inner);
+}
+
+void sum_axis(const float* src, float* dst, int64_t outer, int64_t n_axis,
+              int64_t inner) {
+  sum_axis_impl(src, dst, outer, n_axis, inner);
 }
 
 // Cache-block sizes (in elements): one b tile is kTileK x kTileN doubles
@@ -487,6 +536,128 @@ __attribute__((target("avx2,fma"))) static void axpy_fma(const real* brow,
   for (; j < len; ++j) orow[j] = std::fma(av, brow[j], orow[j]);
 }
 
+// ---- float FMA matmul micro-kernels ----
+//
+// 8-lane ps twins of the FMA tier above: 4 rows of a share every b load,
+// with a 16-column (two-register) accumulator strip per row. The float
+// tier makes no bitwise promise against a scalar loop (it is
+// tolerance-gated), but it is deterministic and thread-count-invariant:
+// row partitioning plus a fixed ascending kk order means an output
+// element's value never depends on the thread count. No zero-skip — that
+// exists in the exact double tier only to mirror the scalar loop
+// branch-for-branch.
+__attribute__((target("avx2,fma"))) static void matmul_rows4_fma_f(
+    const float* a0, const float* a1, const float* a2, const float* a3,
+    const float* b, const float* bias, float* orow0, int64_t k, int64_t n) {
+  int64_t j0 = 0;
+  for (; j0 + 16 <= n; j0 += 16) {
+    __m256 acc0a, acc0b, acc1a, acc1b, acc2a, acc2b, acc3a, acc3b;
+    if (bias) {
+      const __m256 ba = _mm256_loadu_ps(bias + j0);
+      const __m256 bb = _mm256_loadu_ps(bias + j0 + 8);
+      acc0a = acc1a = acc2a = acc3a = ba;
+      acc0b = acc1b = acc2b = acc3b = bb;
+    } else {
+      acc0a = acc0b = acc1a = acc1b = acc2a = acc2b = acc3a = acc3b =
+          _mm256_setzero_ps();
+    }
+    const float* brow = b + j0;
+    for (int64_t kk = 0; kk < k; ++kk, brow += n) {
+      const __m256 bva = _mm256_loadu_ps(brow);
+      const __m256 bvb = _mm256_loadu_ps(brow + 8);
+      const __m256 av0 = _mm256_set1_ps(a0[kk]);
+      acc0a = _mm256_fmadd_ps(av0, bva, acc0a);
+      acc0b = _mm256_fmadd_ps(av0, bvb, acc0b);
+      const __m256 av1 = _mm256_set1_ps(a1[kk]);
+      acc1a = _mm256_fmadd_ps(av1, bva, acc1a);
+      acc1b = _mm256_fmadd_ps(av1, bvb, acc1b);
+      const __m256 av2 = _mm256_set1_ps(a2[kk]);
+      acc2a = _mm256_fmadd_ps(av2, bva, acc2a);
+      acc2b = _mm256_fmadd_ps(av2, bvb, acc2b);
+      const __m256 av3 = _mm256_set1_ps(a3[kk]);
+      acc3a = _mm256_fmadd_ps(av3, bva, acc3a);
+      acc3b = _mm256_fmadd_ps(av3, bvb, acc3b);
+    }
+    _mm256_storeu_ps(orow0 + j0, acc0a);
+    _mm256_storeu_ps(orow0 + j0 + 8, acc0b);
+    _mm256_storeu_ps(orow0 + n + j0, acc1a);
+    _mm256_storeu_ps(orow0 + n + j0 + 8, acc1b);
+    _mm256_storeu_ps(orow0 + 2 * n + j0, acc2a);
+    _mm256_storeu_ps(orow0 + 2 * n + j0 + 8, acc2b);
+    _mm256_storeu_ps(orow0 + 3 * n + j0, acc3a);
+    _mm256_storeu_ps(orow0 + 3 * n + j0 + 8, acc3b);
+  }
+  for (; j0 + 8 <= n; j0 += 8) {
+    __m256 acc0, acc1, acc2, acc3;
+    if (bias) {
+      acc0 = acc1 = acc2 = acc3 = _mm256_loadu_ps(bias + j0);
+    } else {
+      acc0 = acc1 = acc2 = acc3 = _mm256_setzero_ps();
+    }
+    const float* brow = b + j0;
+    for (int64_t kk = 0; kk < k; ++kk, brow += n) {
+      const __m256 bv = _mm256_loadu_ps(brow);
+      acc0 = _mm256_fmadd_ps(_mm256_set1_ps(a0[kk]), bv, acc0);
+      acc1 = _mm256_fmadd_ps(_mm256_set1_ps(a1[kk]), bv, acc1);
+      acc2 = _mm256_fmadd_ps(_mm256_set1_ps(a2[kk]), bv, acc2);
+      acc3 = _mm256_fmadd_ps(_mm256_set1_ps(a3[kk]), bv, acc3);
+    }
+    _mm256_storeu_ps(orow0 + j0, acc0);
+    _mm256_storeu_ps(orow0 + n + j0, acc1);
+    _mm256_storeu_ps(orow0 + 2 * n + j0, acc2);
+    _mm256_storeu_ps(orow0 + 3 * n + j0, acc3);
+  }
+  if (j0 < n) {  // column remainder: scalar with explicit std::fma
+    const int64_t jw = n - j0;
+    float acc[4][8];
+    for (int64_t r = 0; r < 4; ++r)
+      for (int64_t j = 0; j < jw; ++j) acc[r][j] = bias ? bias[j0 + j] : 0;
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float* brow = b + kk * n + j0;
+      const float av[4] = {a0[kk], a1[kk], a2[kk], a3[kk]};
+      for (int64_t r = 0; r < 4; ++r)
+        for (int64_t j = 0; j < jw; ++j)
+          acc[r][j] = std::fma(av[r], brow[j], acc[r][j]);
+    }
+    for (int64_t r = 0; r < 4; ++r)
+      for (int64_t j = 0; j < jw; ++j) orow0[r * n + j0 + j] = acc[r][j];
+  }
+}
+
+__attribute__((target("avx2,fma"))) static void matmul_rows1_fma_f(
+    const float* arow, const float* b, const float* bias, float* orow,
+    int64_t k, int64_t n) {
+  int64_t j0 = 0;
+  for (; j0 + 8 <= n; j0 += 8) {
+    __m256 acc = bias ? _mm256_loadu_ps(bias + j0) : _mm256_setzero_ps();
+    const float* brow = b + j0;
+    for (int64_t kk = 0; kk < k; ++kk, brow += n) {
+      acc = _mm256_fmadd_ps(_mm256_set1_ps(arow[kk]), _mm256_loadu_ps(brow),
+                            acc);
+    }
+    _mm256_storeu_ps(orow + j0, acc);
+  }
+  for (int64_t j = j0; j < n; ++j) orow[j] = bias ? bias[j] : 0;
+  for (int64_t kk = 0; kk < k && j0 < n; ++kk) {
+    const float av = arow[kk];
+    const float* brow = b + kk * n;
+    for (int64_t j = j0; j < n; ++j) orow[j] = std::fma(av, brow[j], orow[j]);
+  }
+}
+
+__attribute__((target("avx2,fma"))) static void axpy_fma_f(const float* brow,
+                                                           float* orow,
+                                                           float av,
+                                                           int64_t len) {
+  const __m256 avv = _mm256_set1_ps(av);
+  int64_t j = 0;
+  for (; j + 8 <= len; j += 8) {
+    _mm256_storeu_ps(orow + j, _mm256_fmadd_ps(avv, _mm256_loadu_ps(brow + j),
+                                               _mm256_loadu_ps(orow + j)));
+  }
+  for (; j < len; ++j) orow[j] = std::fma(av, brow[j], orow[j]);
+}
+
 /// 4-lane body of the arithmetic map_binary overloads; `op` selects the
 /// instruction outside the vector loop. Scalar tail for n % 4.
 __attribute__((target("avx2"))) static void map_binary_avx2(
@@ -516,6 +687,40 @@ __attribute__((target("avx2"))) static void map_binary_avx2(
       for (; i + 4 <= end; i += 4)
         _mm256_storeu_pd(out + i, _mm256_div_pd(_mm256_loadu_pd(a + i),
                                                 _mm256_loadu_pd(b + i)));
+      for (; i < end; ++i) out[i] = a[i] / b[i];
+      break;
+  }
+}
+
+/// 8-lane ps twin of map_binary_avx2. Per-lane IEEE ops, so the vector
+/// body and the scalar tail produce identical float bits.
+__attribute__((target("avx2"))) static void map_binary_avx2_f(
+    const float* a, const float* b, float* out, int64_t begin, int64_t end,
+    int op) {
+  int64_t i = begin;
+  switch (op) {
+    case 0:
+      for (; i + 8 <= end; i += 8)
+        _mm256_storeu_ps(out + i, _mm256_add_ps(_mm256_loadu_ps(a + i),
+                                                _mm256_loadu_ps(b + i)));
+      for (; i < end; ++i) out[i] = a[i] + b[i];
+      break;
+    case 1:
+      for (; i + 8 <= end; i += 8)
+        _mm256_storeu_ps(out + i, _mm256_sub_ps(_mm256_loadu_ps(a + i),
+                                                _mm256_loadu_ps(b + i)));
+      for (; i < end; ++i) out[i] = a[i] - b[i];
+      break;
+    case 2:
+      for (; i + 8 <= end; i += 8)
+        _mm256_storeu_ps(out + i, _mm256_mul_ps(_mm256_loadu_ps(a + i),
+                                                _mm256_loadu_ps(b + i)));
+      for (; i < end; ++i) out[i] = a[i] * b[i];
+      break;
+    case 3:
+      for (; i + 8 <= end; i += 8)
+        _mm256_storeu_ps(out + i, _mm256_div_ps(_mm256_loadu_ps(a + i),
+                                                _mm256_loadu_ps(b + i)));
       for (; i < end; ++i) out[i] = a[i] / b[i];
       break;
   }
@@ -552,6 +757,42 @@ void map_binary(const real* a, const real* b, real* out, int64_t n, sfn::Mul) {
 }
 void map_binary(const real* a, const real* b, real* out, int64_t n, sfn::Div) {
   map_binary_dispatch(a, b, out, n, sfn::Div{}, 3);
+}
+
+namespace {
+template <typename F>
+void map_binary_dispatch_f(const float* a, const float* b, float* out,
+                           int64_t n, F f, int op) {
+#ifdef MF_HAVE_AVX2_KERNELS
+  if (cpu_has_avx2()) {
+    parallel_for(n, [&](int64_t begin, int64_t end) {
+      map_binary_avx2_f(a, b, out, begin, end, op);
+    });
+    return;
+  }
+#endif
+  (void)op;
+  parallel_for(n, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) out[i] = f(a[i], b[i]);
+  });
+}
+}  // namespace
+
+void map_binary(const float* a, const float* b, float* out, int64_t n,
+                sfn::Add) {
+  map_binary_dispatch_f(a, b, out, n, sfn::Add{}, 0);
+}
+void map_binary(const float* a, const float* b, float* out, int64_t n,
+                sfn::Sub) {
+  map_binary_dispatch_f(a, b, out, n, sfn::Sub{}, 1);
+}
+void map_binary(const float* a, const float* b, float* out, int64_t n,
+                sfn::Mul) {
+  map_binary_dispatch_f(a, b, out, n, sfn::Mul{}, 2);
+}
+void map_binary(const float* a, const float* b, float* out, int64_t n,
+                sfn::Div) {
+  map_binary_dispatch_f(a, b, out, n, sfn::Div{}, 3);
 }
 
 // ---- fast tanh / gelu ----
@@ -623,6 +864,71 @@ inline double fast_tanh_scalar(double x) {
 inline double fast_gelu_scalar(double x) {
   const double u = sfn::kGeluCoeff * (x + 0.044715 * x * x * x);
   return 0.5 * x * (1.0 + fast_tanh_scalar(u));
+}
+
+// ---- float twins ----
+//
+// Every constant is the double Cephes table narrowed through the element
+// type — no double arithmetic hides inside the float path (the satellite
+// float-narrowing rule), and the rational forms are already far more
+// accurate than float eps. The exponent scaling builds a float via
+// (n + 127) << 23, mirroring the double path's (n + 1023) << 52. As with
+// the double tier, the scalar tail replicates the lane ops exactly, so an
+// element's value never depends on which chunk or lane computed it.
+
+constexpr float kTanhSmallF = static_cast<float>(kTanhSmall);
+constexpr float kTanhSatF = static_cast<float>(kTanhSat);
+constexpr float kTP0F = static_cast<float>(kTP0);
+constexpr float kTP1F = static_cast<float>(kTP1);
+constexpr float kTP2F = static_cast<float>(kTP2);
+constexpr float kTQ0F = static_cast<float>(kTQ0);
+constexpr float kTQ1F = static_cast<float>(kTQ1);
+constexpr float kTQ2F = static_cast<float>(kTQ2);
+constexpr float kEP0F = static_cast<float>(kEP0);
+constexpr float kEP1F = static_cast<float>(kEP1);
+constexpr float kEP2F = static_cast<float>(kEP2);
+constexpr float kEQ0F = static_cast<float>(kEQ0);
+constexpr float kEQ1F = static_cast<float>(kEQ1);
+constexpr float kEQ2F = static_cast<float>(kEQ2);
+constexpr float kEQ3F = static_cast<float>(kEQ3);
+constexpr float kLog2EF = static_cast<float>(kLog2E);
+constexpr float kExpC1F = static_cast<float>(kExpC1);
+constexpr float kExpC2F = static_cast<float>(kExpC2);
+
+// exp(x) for the reduced tanh range; n stays below 56, so the float
+// exponent field cannot overflow.
+inline float fast_exp_scalar_f(float x) {
+  const float n = std::nearbyint(x * kLog2EF);
+  x = x - n * kExpC1F;
+  x = x - n * kExpC2F;
+  const float z = x * x;
+  const float px = x * ((kEP0F * z + kEP1F) * z + kEP2F);
+  const float qx = ((kEQ0F * z + kEQ1F) * z + kEQ2F) * z + kEQ3F;
+  const float r = 1.0f + 2.0f * (px / (qx - px));
+  return r * std::ldexp(1.0f, static_cast<int>(n));
+}
+
+inline float fast_tanh_scalar_f(float x) {
+  const float ax = std::fabs(x);
+  if (ax < kTanhSmallF) {
+    const float z = x * x;
+    const float num = (kTP0F * z + kTP1F) * z + kTP2F;
+    const float den = ((z + kTQ0F) * z + kTQ1F) * z + kTQ2F;
+    return x + (x * z) * (num / den);
+  }
+  if (ax != ax) return x;  // NaN propagates (cannot reach the bit casts)
+  float large = 1.0f;
+  if (!(ax >= kTanhSatF)) {
+    const float e = fast_exp_scalar_f(ax + ax);
+    large = 1.0f - 2.0f / (e + 1.0f);
+  }
+  return std::copysign(large, x);
+}
+
+inline float fast_gelu_scalar_f(float x) {
+  const float u =
+      sfn::gelu_coeff<float> * (x + sfn::gelu_cubic<float> * x * x * x);
+  return 0.5f * x * (1.0f + fast_tanh_scalar_f(u));
 }
 
 bool fast_tanh_env_default() {
@@ -771,6 +1077,107 @@ __attribute__((target("avx2"))) static void gelu_block_avx2(const real* a,
     _mm256_storeu_pd(out + i, fast_gelu_pd(_mm256_loadu_pd(a + i)));
   for (; i < n; ++i) out[i] = fast_gelu_scalar(a[i]);
 }
+
+// 8-lane float twins of the pd tanh tier. Same structure, float-narrowed
+// constants, and the 2^n scale built in the float exponent field.
+__attribute__((target("avx2"))) static inline __m256 fast_exp_ps(__m256 x) {
+  const __m256 n = _mm256_round_ps(
+      _mm256_mul_ps(x, _mm256_set1_ps(kLog2EF)),
+      _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+  x = _mm256_sub_ps(x, _mm256_mul_ps(n, _mm256_set1_ps(kExpC1F)));
+  x = _mm256_sub_ps(x, _mm256_mul_ps(n, _mm256_set1_ps(kExpC2F)));
+  const __m256 z = _mm256_mul_ps(x, x);
+  const __m256 px = _mm256_mul_ps(
+      x, _mm256_add_ps(
+             _mm256_mul_ps(
+                 _mm256_add_ps(_mm256_mul_ps(_mm256_set1_ps(kEP0F), z),
+                               _mm256_set1_ps(kEP1F)),
+                 z),
+             _mm256_set1_ps(kEP2F)));
+  const __m256 qx = _mm256_add_ps(
+      _mm256_mul_ps(
+          _mm256_add_ps(
+              _mm256_mul_ps(
+                  _mm256_add_ps(_mm256_mul_ps(_mm256_set1_ps(kEQ0F), z),
+                                _mm256_set1_ps(kEQ1F)),
+                  z),
+              _mm256_set1_ps(kEQ2F)),
+          z),
+      _mm256_set1_ps(kEQ3F));
+  const __m256 r = _mm256_add_ps(
+      _mm256_set1_ps(1.0f),
+      _mm256_mul_ps(_mm256_set1_ps(2.0f),
+                    _mm256_div_ps(px, _mm256_sub_ps(qx, px))));
+  // 2^n via (n + 127) << 23; n is integral and |n| < 56 in the tanh range.
+  const __m256i ni = _mm256_cvtps_epi32(n);
+  const __m256i bits =
+      _mm256_slli_epi32(_mm256_add_epi32(ni, _mm256_set1_epi32(127)), 23);
+  return _mm256_mul_ps(r, _mm256_castsi256_ps(bits));
+}
+
+__attribute__((target("avx2"))) static inline __m256 fast_tanh_ps(__m256 x) {
+  const __m256 signmask = _mm256_set1_ps(-0.0f);
+  const __m256 sign = _mm256_and_ps(x, signmask);
+  const __m256 ax = _mm256_andnot_ps(signmask, x);
+  // |x| < 0.625: x + x*z*P(z)/Q(z)
+  const __m256 z = _mm256_mul_ps(x, x);
+  const __m256 num = _mm256_add_ps(
+      _mm256_mul_ps(_mm256_add_ps(_mm256_mul_ps(_mm256_set1_ps(kTP0F), z),
+                                  _mm256_set1_ps(kTP1F)),
+                    z),
+      _mm256_set1_ps(kTP2F));
+  const __m256 den = _mm256_add_ps(
+      _mm256_mul_ps(
+          _mm256_add_ps(
+              _mm256_mul_ps(_mm256_add_ps(z, _mm256_set1_ps(kTQ0F)), z),
+              _mm256_set1_ps(kTQ1F)),
+          z),
+      _mm256_set1_ps(kTQ2F));
+  const __m256 small = _mm256_add_ps(
+      x, _mm256_mul_ps(_mm256_mul_ps(x, z), _mm256_div_ps(num, den)));
+  // |x| >= 0.625: 1 - 2/(exp(2|x|) + 1), saturated past kTanhSat.
+  const __m256 e = fast_exp_ps(_mm256_add_ps(ax, ax));
+  __m256 large = _mm256_sub_ps(
+      _mm256_set1_ps(1.0f),
+      _mm256_div_ps(_mm256_set1_ps(2.0f),
+                    _mm256_add_ps(e, _mm256_set1_ps(1.0f))));
+  const __m256 sat = _mm256_cmp_ps(ax, _mm256_set1_ps(kTanhSatF), _CMP_GE_OQ);
+  large = _mm256_blendv_ps(large, _mm256_set1_ps(1.0f), sat);
+  large = _mm256_or_ps(large, sign);
+  const __m256 small_mask =
+      _mm256_cmp_ps(ax, _mm256_set1_ps(kTanhSmallF), _CMP_LT_OQ);
+  return _mm256_blendv_ps(large, small, small_mask);
+}
+
+__attribute__((target("avx2"))) static inline __m256 fast_gelu_ps(__m256 x) {
+  const __m256 x3 = _mm256_mul_ps(
+      _mm256_mul_ps(_mm256_mul_ps(_mm256_set1_ps(sfn::gelu_cubic<float>), x),
+                    x),
+      x);
+  const __m256 u = _mm256_mul_ps(_mm256_set1_ps(sfn::gelu_coeff<float>),
+                                 _mm256_add_ps(x, x3));
+  const __m256 t = fast_tanh_ps(u);
+  return _mm256_mul_ps(_mm256_mul_ps(_mm256_set1_ps(0.5f), x),
+                       _mm256_add_ps(_mm256_set1_ps(1.0f), t));
+}
+
+__attribute__((target("avx2"))) static void tanh_block_avx2_f(const float* a,
+                                                              float* out,
+                                                              int64_t n) {
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8)
+    _mm256_storeu_ps(out + i, fast_tanh_ps(_mm256_loadu_ps(a + i)));
+  for (; i < n; ++i) out[i] = fast_tanh_scalar_f(a[i]);
+}
+
+__attribute__((target("avx2"))) static void gelu_block_avx2_f(const float* a,
+                                                              float* out,
+                                                              int64_t n) {
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8)
+    _mm256_storeu_ps(out + i, fast_gelu_ps(_mm256_loadu_ps(a + i)));
+  for (; i < n; ++i) out[i] = fast_gelu_scalar_f(a[i]);
+}
 #endif  // MF_HAVE_AVX2_KERNELS
 
 void map_unary(const real* a, real* out, int64_t n, sfn::Tanh) {
@@ -815,6 +1222,54 @@ void gelu_block_inplace(real* x, int64_t n) {
 #ifdef MF_HAVE_AVX2_KERNELS
   if (fast_tanh_active()) {
     gelu_block_avx2(x, x, n);
+    return;
+  }
+#endif
+  for (int64_t i = 0; i < n; ++i) x[i] = sfn::Gelu{}(x[i]);
+}
+
+void map_unary(const float* a, float* out, int64_t n, sfn::Tanh) {
+#ifdef MF_HAVE_AVX2_KERNELS
+  if (fast_tanh_active()) {
+    parallel_for(n, [&](int64_t begin, int64_t end) {
+      tanh_block_avx2_f(a + begin, out + begin, end - begin);
+    });
+    return;
+  }
+#endif
+  parallel_for(n, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) out[i] = sfn::Tanh{}(a[i]);
+  });
+}
+
+void map_unary(const float* a, float* out, int64_t n, sfn::Gelu) {
+#ifdef MF_HAVE_AVX2_KERNELS
+  if (fast_tanh_active()) {
+    parallel_for(n, [&](int64_t begin, int64_t end) {
+      gelu_block_avx2_f(a + begin, out + begin, end - begin);
+    });
+    return;
+  }
+#endif
+  parallel_for(n, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) out[i] = sfn::Gelu{}(a[i]);
+  });
+}
+
+void tanh_block_inplace(float* x, int64_t n) {
+#ifdef MF_HAVE_AVX2_KERNELS
+  if (fast_tanh_active()) {
+    tanh_block_avx2_f(x, x, n);
+    return;
+  }
+#endif
+  for (int64_t i = 0; i < n; ++i) x[i] = sfn::Tanh{}(x[i]);
+}
+
+void gelu_block_inplace(float* x, int64_t n) {
+#ifdef MF_HAVE_AVX2_KERNELS
+  if (fast_tanh_active()) {
+    gelu_block_avx2_f(x, x, n);
     return;
   }
 #endif
@@ -993,29 +1448,120 @@ void matmul(const real* a, const real* b, const real* bias, real* out,
   });
 }
 
-void transpose(const real* a, real* out, int64_t m, int64_t n) {
+void matmul(const float* a, const float* b, const float* bias, float* out,
+            int64_t m, int64_t k, int64_t n) {
+  // Float GEMM for the compiled f32 compute path. Same tiling gate as the
+  // double tier (elements, not bytes: the b panel that matters is half the
+  // size, so this errs toward the fused loop, which is the right bias for
+  // the narrow SDNet shapes). The vector path needs AVX2+FMA together —
+  // they co-occur on every AVX2 CPU since Haswell — and falls back to the
+  // same deterministic scalar i-k-j loop otherwise. No MF_DISABLE_FMA
+  // hatch here: that hatch restores a bitwise-exact double tier, a promise
+  // the float tier never makes (it is tolerance-gated).
+  const bool b_fits_one_tile = k * n <= kTileK * kTileN;
+#ifdef MF_HAVE_AVX2_KERNELS
+  const bool use_vec = cpu_has_avx2() && cpu_has_fma();
+#endif
+  parallel_for(m, k * n, [&](int64_t begin, int64_t end) {
+    if (b_fits_one_tile) {
+#ifdef MF_HAVE_AVX2_KERNELS
+      if (use_vec) {
+        int64_t i0 = begin;
+        for (; i0 + 4 <= end; i0 += 4) {
+          matmul_rows4_fma_f(a + i0 * k, a + (i0 + 1) * k, a + (i0 + 2) * k,
+                             a + (i0 + 3) * k, b, bias, out + i0 * n, k, n);
+        }
+        for (; i0 < end; ++i0) {
+          matmul_rows1_fma_f(a + i0 * k, b, bias, out + i0 * n, k, n);
+        }
+        return;
+      }
+#endif
+      for (int64_t i = begin; i < end; ++i) {
+        const float* arow = a + i * k;
+        float* orow = out + i * n;
+        if (bias) {
+          for (int64_t j = 0; j < n; ++j) orow[j] = bias[j];
+        } else {
+          for (int64_t j = 0; j < n; ++j) orow[j] = 0;
+        }
+        for (int64_t kk = 0; kk < k; ++kk) {
+          const float av = arow[kk];
+          const float* brow = b + kk * n;
+          for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+        }
+      }
+      return;
+    }
+    // Blocked i-k-j over (k, n) tiles of b, as in the double tier.
+    for (int64_t i = begin; i < end; ++i) {
+      float* orow = out + i * n;
+      if (bias) {
+        for (int64_t j = 0; j < n; ++j) orow[j] = bias[j];
+      } else {
+        for (int64_t j = 0; j < n; ++j) orow[j] = 0;
+      }
+    }
+    for (int64_t kk0 = 0; kk0 < k; kk0 += kTileK) {
+      const int64_t kk1 = std::min(k, kk0 + kTileK);
+      for (int64_t j0 = 0; j0 < n; j0 += kTileN) {
+        const int64_t j1 = std::min(n, j0 + kTileN);
+        for (int64_t i = begin; i < end; ++i) {
+          const float* arow = a + i * k;
+          float* orow = out + i * n;
+          for (int64_t kk = kk0; kk < kk1; ++kk) {
+            const float av = arow[kk];
+            const float* brow = b + kk * n;
+#ifdef MF_HAVE_AVX2_KERNELS
+            if (use_vec) {
+              axpy_fma_f(brow + j0, orow + j0, av, j1 - j0);
+              continue;
+            }
+#endif
+            for (int64_t j = j0; j < j1; ++j) orow[j] += av * brow[j];
+          }
+        }
+      }
+    }
+  });
+}
+
+namespace {
+template <typename T>
+void transpose_impl(const T* a, T* out, int64_t m, int64_t n) {
   parallel_for(m, n, [&](int64_t begin, int64_t end) {
     for (int64_t i = begin; i < end; ++i)
       for (int64_t j = 0; j < n; ++j) out[j * m + i] = a[i * n + j];
   });
 }
+}  // namespace
 
-void conv1d_forward(const real* input, const real* weight, const real* bias,
-                    real* out, int64_t B, int64_t Cin, int64_t L, int64_t Cout,
-                    int64_t K, int64_t padding) {
+void transpose(const real* a, real* out, int64_t m, int64_t n) {
+  transpose_impl(a, out, m, n);
+}
+
+void transpose(const float* a, float* out, int64_t m, int64_t n) {
+  transpose_impl(a, out, m, n);
+}
+
+namespace {
+template <typename T>
+void conv1d_forward_impl(const T* input, const T* weight, const T* bias,
+                         T* out, int64_t B, int64_t Cin, int64_t L,
+                         int64_t Cout, int64_t K, int64_t padding) {
   const int64_t Lout = L + 2 * padding - K + 1;
   parallel_for(B * Cout, Cin * K * Lout, [&](int64_t begin, int64_t end) {
     for (int64_t bc = begin; bc < end; ++bc) {
       const int64_t b = bc / Cout;
       const int64_t co = bc % Cout;
-      real* orow = out + bc * Lout;
-      const real fill = bias ? bias[co] : 0;
+      T* orow = out + bc * Lout;
+      const T fill = bias ? bias[co] : T(0);
       for (int64_t t = 0; t < Lout; ++t) orow[t] = fill;
       for (int64_t ci = 0; ci < Cin; ++ci) {
-        const real* irow = input + (b * Cin + ci) * L;
-        const real* wrow = weight + (co * Cin + ci) * K;
+        const T* irow = input + (b * Cin + ci) * L;
+        const T* wrow = weight + (co * Cin + ci) * K;
         for (int64_t t = 0; t < Lout; ++t) {
-          real acc = 0;
+          T acc = 0;
           const int64_t k0 = std::max<int64_t>(0, padding - t);
           const int64_t k1 = std::min<int64_t>(K, L + padding - t);
           for (int64_t k = k0; k < k1; ++k) acc += wrow[k] * irow[t + k - padding];
@@ -1026,9 +1572,10 @@ void conv1d_forward(const real* input, const real* weight, const real* bias,
   });
 }
 
-void conv1d_grad_input(const real* grad_out, const real* weight,
-                       real* grad_input, int64_t B, int64_t Cin, int64_t L,
-                       int64_t Cout, int64_t K, int64_t padding) {
+template <typename T>
+void conv1d_grad_input_impl(const T* grad_out, const T* weight, T* grad_input,
+                            int64_t B, int64_t Cin, int64_t L, int64_t Cout,
+                            int64_t K, int64_t padding) {
   const int64_t Lout = L + 2 * padding - K + 1;
   // Threads over batch: output channels of one batch element write into the
   // same grad_input rows, so they stay within one thread.
@@ -1036,7 +1583,7 @@ void conv1d_grad_input(const real* grad_out, const real* weight,
     for (int64_t b = begin; b < end; ++b)
       for (int64_t co = 0; co < Cout; ++co)
         for (int64_t t = 0; t < Lout; ++t) {
-          const real g = grad_out[(b * Cout + co) * Lout + t];
+          const T g = grad_out[(b * Cout + co) * Lout + t];
           if (g == 0) continue;
           for (int64_t ci = 0; ci < Cin; ++ci)
             for (int64_t k = 0; k < K; ++k) {
@@ -1049,9 +1596,10 @@ void conv1d_grad_input(const real* grad_out, const real* weight,
   });
 }
 
-void conv1d_grad_weight(const real* grad_out, const real* input,
-                        real* grad_weight, int64_t B, int64_t Cin, int64_t L,
-                        int64_t Cout, int64_t K, int64_t padding) {
+template <typename T>
+void conv1d_grad_weight_impl(const T* grad_out, const T* input,
+                             T* grad_weight, int64_t B, int64_t Cin, int64_t L,
+                             int64_t Cout, int64_t K, int64_t padding) {
   const int64_t Lout = L + 2 * padding - K + 1;
   // Threads over output channels: all batches accumulate into one channel's
   // weight slice, so the batch loop stays within one thread.
@@ -1059,7 +1607,7 @@ void conv1d_grad_weight(const real* grad_out, const real* input,
     for (int64_t co = begin; co < end; ++co)
       for (int64_t b = 0; b < B; ++b)
         for (int64_t t = 0; t < Lout; ++t) {
-          const real g = grad_out[(b * Cout + co) * Lout + t];
+          const T g = grad_out[(b * Cout + co) * Lout + t];
           if (g == 0) continue;
           for (int64_t ci = 0; ci < Cin; ++ci)
             for (int64_t k = 0; k < K; ++k) {
@@ -1072,17 +1620,85 @@ void conv1d_grad_weight(const real* grad_out, const real* input,
   });
 }
 
-void conv1d_grad_bias(const real* grad_out, real* grad_bias, int64_t B,
-                      int64_t Cout, int64_t Lout) {
+template <typename T>
+void conv1d_grad_bias_impl(const T* grad_out, T* grad_bias, int64_t B,
+                           int64_t Cout, int64_t Lout) {
   parallel_for(Cout, B * Lout, [&](int64_t begin, int64_t end) {
     for (int64_t co = begin; co < end; ++co) {
-      real acc = 0;
+      T acc = 0;
       for (int64_t b = 0; b < B; ++b) {
-        const real* row = grad_out + (b * Cout + co) * Lout;
+        const T* row = grad_out + (b * Cout + co) * Lout;
         for (int64_t t = 0; t < Lout; ++t) acc += row[t];
       }
       grad_bias[co] += acc;
     }
+  });
+}
+}  // namespace
+
+void conv1d_forward(const real* input, const real* weight, const real* bias,
+                    real* out, int64_t B, int64_t Cin, int64_t L, int64_t Cout,
+                    int64_t K, int64_t padding) {
+  conv1d_forward_impl(input, weight, bias, out, B, Cin, L, Cout, K, padding);
+}
+
+void conv1d_forward(const float* input, const float* weight, const float* bias,
+                    float* out, int64_t B, int64_t Cin, int64_t L,
+                    int64_t Cout, int64_t K, int64_t padding) {
+  conv1d_forward_impl(input, weight, bias, out, B, Cin, L, Cout, K, padding);
+}
+
+void conv1d_grad_input(const real* grad_out, const real* weight,
+                       real* grad_input, int64_t B, int64_t Cin, int64_t L,
+                       int64_t Cout, int64_t K, int64_t padding) {
+  conv1d_grad_input_impl(grad_out, weight, grad_input, B, Cin, L, Cout, K,
+                         padding);
+}
+
+void conv1d_grad_input(const float* grad_out, const float* weight,
+                       float* grad_input, int64_t B, int64_t Cin, int64_t L,
+                       int64_t Cout, int64_t K, int64_t padding) {
+  conv1d_grad_input_impl(grad_out, weight, grad_input, B, Cin, L, Cout, K,
+                         padding);
+}
+
+void conv1d_grad_weight(const real* grad_out, const real* input,
+                        real* grad_weight, int64_t B, int64_t Cin, int64_t L,
+                        int64_t Cout, int64_t K, int64_t padding) {
+  conv1d_grad_weight_impl(grad_out, input, grad_weight, B, Cin, L, Cout, K,
+                          padding);
+}
+
+void conv1d_grad_weight(const float* grad_out, const float* input,
+                        float* grad_weight, int64_t B, int64_t Cin, int64_t L,
+                        int64_t Cout, int64_t K, int64_t padding) {
+  conv1d_grad_weight_impl(grad_out, input, grad_weight, B, Cin, L, Cout, K,
+                          padding);
+}
+
+void conv1d_grad_bias(const real* grad_out, real* grad_bias, int64_t B,
+                      int64_t Cout, int64_t Lout) {
+  conv1d_grad_bias_impl(grad_out, grad_bias, B, Cout, Lout);
+}
+
+void conv1d_grad_bias(const float* grad_out, float* grad_bias, int64_t B,
+                      int64_t Cout, int64_t Lout) {
+  conv1d_grad_bias_impl(grad_out, grad_bias, B, Cout, Lout);
+}
+
+// ---- dtype casts ----
+
+void cast_buffer(const double* src, float* dst, int64_t n) {
+  parallel_for(n, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i)
+      dst[i] = static_cast<float>(src[i]);
+  });
+}
+
+void cast_buffer(const float* src, double* dst, int64_t n) {
+  parallel_for(n, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i)
+      dst[i] = static_cast<double>(src[i]);
   });
 }
 

@@ -95,30 +95,45 @@ void parallel_for(int64_t n, F&& f) {
 }
 
 // ---- contiguous elementwise maps ----
+//
+// The map templates are generic over the element type: eager ops always
+// instantiate T = real (double), the compiled-plan replay instantiates
+// float for f32-colored steps. The sfn:: functors are themselves
+// templated, so each width evaluates its own native FP expression.
 
-template <typename F>
-void map_unary(const real* a, real* out, int64_t n, F&& f) {
+template <typename T, typename F>
+void map_unary(const T* a, T* out, int64_t n, F&& f) {
   parallel_for(n, [&](int64_t begin, int64_t end) {
     for (int64_t i = begin; i < end; ++i) out[i] = f(a[i]);
   });
 }
 
-template <typename F>
-void map_binary(const real* a, const real* b, real* out, int64_t n, F&& f) {
+template <typename T, typename F>
+void map_binary(const T* a, const T* b, T* out, int64_t n, F&& f) {
   parallel_for(n, [&](int64_t begin, int64_t end) {
     for (int64_t i = begin; i < end; ++i) out[i] = f(a[i], b[i]);
   });
 }
 
 // Non-template overloads for the four arithmetic binary functors: on
-// x86-64 hosts with AVX2 these run a runtime-dispatched 4-lane loop
+// x86-64 hosts with AVX2 these run a runtime-dispatched vector loop
 // (vaddpd/vsubpd/vmulpd/vdivpd are IEEE-exact per lane, so results stay
 // bitwise identical to the scalar template — which remains the fallback).
 // Eager ops and program replay both resolve to these, preserving parity.
+// The float overloads are the 8-lane ps twins (also IEEE-exact per lane,
+// so f32 vector and scalar paths agree bitwise too).
 void map_binary(const real* a, const real* b, real* out, int64_t n, sfn::Add);
 void map_binary(const real* a, const real* b, real* out, int64_t n, sfn::Sub);
 void map_binary(const real* a, const real* b, real* out, int64_t n, sfn::Mul);
 void map_binary(const real* a, const real* b, real* out, int64_t n, sfn::Div);
+void map_binary(const float* a, const float* b, float* out, int64_t n,
+                sfn::Add);
+void map_binary(const float* a, const float* b, float* out, int64_t n,
+                sfn::Sub);
+void map_binary(const float* a, const float* b, float* out, int64_t n,
+                sfn::Mul);
+void map_binary(const float* a, const float* b, float* out, int64_t n,
+                sfn::Div);
 
 // ---- fast tanh / gelu ----
 //
@@ -141,11 +156,18 @@ bool fast_tanh_set_enabled(bool on);
 bool fast_tanh_active();
 void map_unary(const real* a, real* out, int64_t n, sfn::Tanh);
 void map_unary(const real* a, real* out, int64_t n, sfn::Gelu);
+void map_unary(const float* a, float* out, int64_t n, sfn::Tanh);
+void map_unary(const float* a, float* out, int64_t n, sfn::Gelu);
 /// Serial in-place blocks for the fused-chain interpreter; element-for-
 /// element identical to the map_unary overloads (fast path when active,
 /// the sfn:: functor otherwise).
 void tanh_block_inplace(real* x, int64_t n);
 void gelu_block_inplace(real* x, int64_t n);
+/// Float twins: the 8-lane ps fast path (Cephes constants narrowed to
+/// float via the element type, float exponent build) with a scalar tail
+/// that replicates the lane ops, so f32 values are chunk-invariant too.
+void tanh_block_inplace(float* x, int64_t n);
+void gelu_block_inplace(float* x, int64_t n);
 
 // ---- FMA matmul tier ----
 //
@@ -174,9 +196,9 @@ struct BroadcastPlan {
 
 /// out[i] = f(a[ai], b[bi]) over the whole broadcast output. Each thread
 /// seeds its multi-index from its chunk start, then walks incrementally.
-template <typename F>
-void map_broadcast(const BroadcastPlan& plan, const real* a, const real* b,
-                   real* out, F&& f) {
+template <typename T, typename F>
+void map_broadcast(const BroadcastPlan& plan, const T* a, const T* b,
+                   T* out, F&& f) {
   parallel_for(plan.n, [&](int64_t begin, int64_t end) {
     const int64_t nd = static_cast<int64_t>(plan.out_shape.size());
     std::vector<int64_t> idx(static_cast<std::size_t>(nd), 0);
@@ -208,6 +230,7 @@ void map_broadcast(const BroadcastPlan& plan, const real* a, const real* b,
 /// Materialize `src` (shape `src_shape`) broadcast into the contiguous
 /// output described by `plan` (built with a == b == src_shape).
 void broadcast_copy(const BroadcastPlan& plan, const real* src, real* out);
+void broadcast_copy(const BroadcastPlan& plan, const float* src, float* out);
 
 // ---- reductions ----
 
@@ -226,15 +249,23 @@ struct ReducePlan {
 };
 
 /// dst[o] = sum of src over o's broadcast preimage. dst is overwritten.
+/// The float overload accumulates each output element in double and
+/// narrows once at the store (mixed-precision stability rule: reductions
+/// accumulate at master width).
 void reduce_broadcast(const ReducePlan& plan, const real* src, real* dst);
+void reduce_broadcast(const ReducePlan& plan, const float* src, float* dst);
 
 real reduce_sum(const real* a, int64_t n);
 real reduce_max_abs(const real* a, int64_t n);
 real reduce_sq_diff(const real* a, const real* b, int64_t n);
 real reduce_abs_diff(const real* a, const real* b, int64_t n);
+/// Float input, double accumulator — callers narrow the result if needed.
+double reduce_sum(const float* a, int64_t n);
 
 /// dst[o, i] = sum_k src[o, k, i]; dst must be zero-initialized.
 void sum_axis(const real* src, real* dst, int64_t outer, int64_t n_axis,
+              int64_t inner);
+void sum_axis(const float* src, float* dst, int64_t outer, int64_t n_axis,
               int64_t inner);
 
 // ---- linear algebra ----
@@ -243,25 +274,52 @@ void sum_axis(const real* src, real* dst, int64_t outer, int64_t n_axis,
 /// out is overwritten. Threads over rows of `a`.
 void matmul(const real* a, const real* b, const real* bias, real* out,
             int64_t m, int64_t k, int64_t n);
+/// f32 GEMM: 8-lane ps micro-kernel with FMA contraction when the CPU has
+/// it. Unlike the f64 tiers this path makes no bitwise promise against a
+/// scalar reference (the f32 policy is tolerance-gated); it is still
+/// deterministic and thread-count-invariant because rows partition the
+/// work and each output element accumulates in one thread in kk order.
+void matmul(const float* a, const float* b, const float* bias, float* out,
+            int64_t m, int64_t k, int64_t n);
 
 /// out[n, m] = a[m, n]^T.
 void transpose(const real* a, real* out, int64_t m, int64_t n);
+void transpose(const float* a, float* out, int64_t m, int64_t n);
 
 // ---- convolution (stride 1, symmetric zero padding) ----
 
 void conv1d_forward(const real* input, const real* weight, const real* bias,
                     real* out, int64_t B, int64_t Cin, int64_t L, int64_t Cout,
                     int64_t K, int64_t padding);
+void conv1d_forward(const float* input, const float* weight, const float* bias,
+                    float* out, int64_t B, int64_t Cin, int64_t L,
+                    int64_t Cout, int64_t K, int64_t padding);
 /// grad_input must be zero-initialized. Threads over batch.
 void conv1d_grad_input(const real* grad_out, const real* weight,
                        real* grad_input, int64_t B, int64_t Cin, int64_t L,
+                       int64_t Cout, int64_t K, int64_t padding);
+void conv1d_grad_input(const float* grad_out, const float* weight,
+                       float* grad_input, int64_t B, int64_t Cin, int64_t L,
                        int64_t Cout, int64_t K, int64_t padding);
 /// grad_weight must be zero-initialized. Threads over output channels.
 void conv1d_grad_weight(const real* grad_out, const real* input,
                         real* grad_weight, int64_t B, int64_t Cin, int64_t L,
                         int64_t Cout, int64_t K, int64_t padding);
+void conv1d_grad_weight(const float* grad_out, const float* input,
+                        float* grad_weight, int64_t B, int64_t Cin, int64_t L,
+                        int64_t Cout, int64_t K, int64_t padding);
 /// grad_bias must be zero-initialized. Threads over output channels.
 void conv1d_grad_bias(const real* grad_out, real* grad_bias, int64_t B,
                       int64_t Cout, int64_t Lout);
+void conv1d_grad_bias(const float* grad_out, float* grad_bias, int64_t B,
+                      int64_t Cout, int64_t Lout);
+
+// ---- dtype casts ----
+
+/// Contiguous widen/narrow between the plan widths. Elementwise and
+/// order-free: f64 -> f32 rounds-to-nearest per element, f32 -> f64 is
+/// exact.
+void cast_buffer(const double* src, float* dst, int64_t n);
+void cast_buffer(const float* src, double* dst, int64_t n);
 
 }  // namespace mf::ad::kernels

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <cstring>
 #include <unordered_map>
 
 namespace mf::ad {
@@ -44,12 +45,14 @@ std::atomic<std::size_t> g_idle_bytes{0};
 thread_local bool t_cache_dead = false;
 
 struct Bucket {
-  std::vector<std::vector<real>> free;
+  std::vector<std::vector<std::byte>> free;
   std::uint64_t last_use = 0;  // thread-local tick of the last hit/park
 };
 
 struct ThreadCache {
-  // capacity (in elements) -> parked buffers with exactly that capacity.
+  // capacity (in bytes) -> parked buffers with exactly that capacity.
+  // Byte keys are dtype-blind: f32 and f64 payloads of equal byte size
+  // recycle through the same bucket.
   std::unordered_map<std::size_t, Bucket> buckets;
   std::size_t idle_bytes = 0;
   std::uint64_t tick = 0;
@@ -61,7 +64,7 @@ struct ThreadCache {
 
   void drop_bucket(std::unordered_map<std::size_t, Bucket>::iterator it) {
     std::size_t freed = 0;
-    for (const auto& v : it->second.free) freed += v.capacity() * sizeof(real);
+    for (const auto& v : it->second.free) freed += v.capacity();
     idle_bytes -= freed;
     g_idle_bytes.fetch_sub(freed, std::memory_order_relaxed);
     buckets.erase(it);
@@ -87,49 +90,51 @@ ThreadCache& cache() {
   return c;
 }
 
-// Pop a parked buffer with capacity exactly n, or an empty vector.
-std::vector<real> try_pop(std::size_t n) {
+// Pop a parked buffer with capacity exactly `bytes`, or an empty vector.
+std::vector<std::byte> try_pop(std::size_t bytes) {
   if (t_cache_dead) return {};
   ThreadCache& c = cache();
-  auto it = c.buckets.find(n);
+  auto it = c.buckets.find(bytes);
   if (it == c.buckets.end()) return {};
-  std::vector<real> v = std::move(it->second.free.back());
+  std::vector<std::byte> v = std::move(it->second.free.back());
   it->second.free.pop_back();
   it->second.last_use = ++c.tick;
   if (it->second.free.empty()) c.buckets.erase(it);  // keep the map tight
-  const std::size_t bytes = v.capacity() * sizeof(real);
-  c.idle_bytes -= bytes;
-  g_idle_bytes.fetch_sub(bytes, std::memory_order_relaxed);
+  const std::size_t freed = v.capacity();
+  c.idle_bytes -= freed;
+  g_idle_bytes.fetch_sub(freed, std::memory_order_relaxed);
   return v;
 }
 
 }  // namespace
 
-std::vector<real> PayloadPool::acquire_zeroed(std::size_t n) {
-  if (!enabled() || n == 0) return std::vector<real>(n, real{0});
-  std::vector<real> v = try_pop(n);
-  if (v.capacity() >= n) {
+std::vector<std::byte> PayloadPool::acquire_zeroed(std::size_t bytes) {
+  if (!enabled() || bytes == 0) return std::vector<std::byte>(bytes);
+  std::vector<std::byte> v = try_pop(bytes);
+  if (v.capacity() >= bytes) {
     g_hits.fetch_add(1, std::memory_order_relaxed);
-    v.assign(n, real{0});  // capacity suffices: fill only, no realloc
+    v.assign(bytes, std::byte{0});  // capacity suffices: fill only, no realloc
     return v;
   }
   g_misses.fetch_add(1, std::memory_order_relaxed);
-  return std::vector<real>(n, real{0});
+  return std::vector<std::byte>(bytes);
 }
 
-std::vector<real> PayloadPool::acquire_copy(const real* src, std::size_t n) {
-  if (!enabled() || n == 0) return std::vector<real>(src, src + n);
-  std::vector<real> v = try_pop(n);
-  if (v.capacity() >= n) {
+std::vector<std::byte> PayloadPool::acquire_copy(const void* src,
+                                                 std::size_t bytes) {
+  const auto* s = static_cast<const std::byte*>(src);
+  if (!enabled() || bytes == 0) return std::vector<std::byte>(s, s + bytes);
+  std::vector<std::byte> v = try_pop(bytes);
+  if (v.capacity() >= bytes) {
     g_hits.fetch_add(1, std::memory_order_relaxed);
-    v.assign(src, src + n);
+    v.assign(s, s + bytes);
     return v;
   }
   g_misses.fetch_add(1, std::memory_order_relaxed);
-  return std::vector<real>(src, src + n);
+  return std::vector<std::byte>(s, s + bytes);
 }
 
-void PayloadPool::release(std::vector<real>&& v) {
+void PayloadPool::release(std::vector<std::byte>&& v) {
   const std::size_t cap = v.capacity();
   if (cap == 0) return;
   if (!enabled() || t_cache_dead) {
@@ -137,7 +142,6 @@ void PayloadPool::release(std::vector<real>&& v) {
     return;  // v destructs, buffer freed — pre-pool behavior
   }
   ThreadCache& c = cache();
-  const std::size_t bytes = cap * sizeof(real);
   {
     auto it = c.buckets.find(cap);  // no empty entry for rejected parks
     if (it != c.buckets.end() && it->second.free.size() >= kMaxPerBucket) {
@@ -147,18 +151,18 @@ void PayloadPool::release(std::vector<real>&& v) {
   }
   // Over budget: reclaim cold buckets (shapes a previous phase used and
   // abandoned) before giving up on parking this one.
-  while (c.idle_bytes + bytes > thread_budget_bytes()) {
+  while (c.idle_bytes + cap > thread_budget_bytes()) {
     if (!c.evict_coldest()) break;
   }
-  if (c.idle_bytes + bytes > thread_budget_bytes()) {
+  if (c.idle_bytes + cap > thread_budget_bytes()) {
     g_dropped.fetch_add(1, std::memory_order_relaxed);
     return;
   }
   Bucket& bucket = c.buckets[cap];
   bucket.free.push_back(std::move(v));
   bucket.last_use = ++c.tick;
-  c.idle_bytes += bytes;
-  g_idle_bytes.fetch_add(bytes, std::memory_order_relaxed);
+  c.idle_bytes += cap;
+  g_idle_bytes.fetch_add(cap, std::memory_order_relaxed);
   g_returned.fetch_add(1, std::memory_order_relaxed);
 }
 

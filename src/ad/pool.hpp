@@ -2,10 +2,12 @@
 //
 // The training and inference hot loops allocate the same tensor shapes
 // every step (fixed batch geometry), so instead of a fresh `new[]` per
-// payload the pool parks dying `std::vector<real>` buffers on a
-// thread-local free list keyed by capacity and hands them back on the next
-// allocation of the same size. After a warmup step the steady state
-// performs zero payload mallocs.
+// payload the pool parks dying byte buffers on a thread-local free list
+// keyed by *byte* capacity and hands them back on the next allocation of
+// the same size. Keying by bytes (not element count) means f32 and f64
+// payloads share free lists: a dead 128-element double buffer serves a
+// 256-element float request without fragmenting the cache. After a warmup
+// step the steady state performs zero payload mallocs at either width.
 //
 // Accounting: MemoryTracker's live/peak numbers are unchanged by pooling —
 // a pooled buffer counts as live only while a TensorImpl owns it. Bytes
@@ -29,7 +31,7 @@ using real = double;
 struct PoolStats {
   std::uint64_t hits = 0;      // payloads served from a free list
   std::uint64_t misses = 0;    // fresh heap allocations
-  std::uint64_t adopted = 0;   // caller-built vectors adopted by a TensorImpl
+  std::uint64_t adopted = 0;   // caller-built buffers adopted by a TensorImpl
   std::uint64_t returned = 0;  // payloads parked on a free list at death
   std::uint64_t dropped = 0;   // payloads freed (pool full or disabled)
 
@@ -39,13 +41,15 @@ struct PoolStats {
 
 class PayloadPool {
  public:
-  /// Buffer of n elements, zero-filled (recycled when possible).
-  static std::vector<real> acquire_zeroed(std::size_t n);
-  /// Buffer holding a copy of [src, src + n) (recycled when possible).
-  static std::vector<real> acquire_copy(const real* src, std::size_t n);
+  /// Buffer of `bytes` bytes, zero-filled (recycled when possible).
+  static std::vector<std::byte> acquire_zeroed(std::size_t bytes);
+  /// Buffer holding a copy of [src, src + bytes) (recycled when possible).
+  static std::vector<std::byte> acquire_copy(const void* src,
+                                             std::size_t bytes);
   /// Park a dying payload on this thread's free list (or free it).
-  static void release(std::vector<real>&& v);
-  /// Count a caller-built vector adopted as-is (from_vector path).
+  static void release(std::vector<std::byte>&& v);
+  /// Count a caller-built buffer adopted as-is (kept for stats-sum
+  /// compatibility; the from_vector path now copies through the pool).
   static void note_adopted();
 
   static bool enabled();

@@ -9,6 +9,7 @@
 #include <mutex>
 #include <stdexcept>
 #include <thread>
+#include <type_traits>
 
 #if defined(__x86_64__) && defined(__GNUC__)
 #define MF_PROG_AVX2 1
@@ -45,6 +46,7 @@ enum class StepKind : std::uint8_t {
   kAdamTick,   // advance the in-plan optimizer step counter
   kAdamParam,  // in-plan Adam update of one parameter tensor
   kLambParam,  // in-plan LAMB update (trust-ratio reduction + write)
+  kCast,       // dtype boundary: fn 0 widens f32->f64, fn 1 narrows
   kStepKindCount_,  // sentinel: one past the last real kind
 };
 
@@ -57,9 +59,10 @@ enum class StepKind : std::uint8_t {
 constexpr int kStepKindCount = static_cast<int>(StepKind::kStepKindCount_);
 constexpr int kUnaryFnCount = static_cast<int>(prog::Unary::kGelu) + 1;
 constexpr int kProfBands = kStepKindCount + kUnaryFnCount;
-static_assert(kStepKindCount == 21,
-              "StepKind changed: audit the widening propagation switch and "
-              "the wave-hazard analysis before bumping this");
+static_assert(kStepKindCount == 22,
+              "StepKind changed: audit the widening propagation switch, "
+              "the wave-hazard analysis and the mixed-precision cast "
+              "insertion before bumping this");
 static_assert(static_cast<int>(prog::Unary::kGelu) ==
                   static_cast<int>(prog::Unary::kSign) + 1,
               "prog::Unary changed: keep kUnaryFnCount = last + 1");
@@ -85,7 +88,12 @@ struct FusedOp {
 /// kernel geometry exactly as the eager op passed it.
 struct Step {
   StepKind kind;
-  std::uint8_t fn = 0;  // prog::Unary or prog::Binary
+  std::uint8_t fn = 0;  // prog::Unary or prog::Binary; kCast direction
+  // Execution dtype, assigned at lowering: which width this step's
+  // kernels run at. Always kF64 unless the program's compute dtype is
+  // kF32, in which case compute steps go float while optimizer steps
+  // stay double (kCast steps are untyped — fn encodes the direction).
+  DType dt = DType::kF64;
   std::int32_t a = -1, b = -1, c = -1;
   std::int32_t out = -1;
   std::int32_t plan = -1;
@@ -176,7 +184,11 @@ struct Program::Impl {
   // Shape of each slot's tensor at record time; drives the widening
   // analysis (which dimension is the batch, how broadcast plans rebuild).
   std::vector<Shape> slot_shape;
-  std::vector<real*> buf;
+  // Storage dtype of each slot's buffer. External slots are always kF64
+  // (their payloads are live f64 tensors); internal slots take the
+  // program's compute dtype. Sized/filled at lowering.
+  std::vector<DType> slot_dt;
+  std::vector<void*> buf;
   std::vector<kernels::BroadcastPlan> bplans;
   std::vector<kernels::ReducePlan> rplans;
   // Fused elementwise chains; Step::plan of a kFused step indexes this.
@@ -199,9 +211,9 @@ struct Program::Impl {
   std::vector<AdamParamExec> adam_params;
   std::vector<LambParamExec> lamb_params;
   std::vector<prog::AdamPlanState*> adam_ticks;
-  // Internal storage: buffers reused across slots whose live ranges do
-  // not overlap.
-  std::vector<std::vector<real>> arena;
+  // Internal storage: byte buffers reused across slots whose live ranges
+  // do not overlap (byte-addressed so f32 and f64 slots pack together).
+  std::vector<std::vector<std::byte>> arena;
 
   // Dependency-DAG execution waves over `steps` (computed once at
   // lowering): waves[w] lists step indices whose operand buffers have no
@@ -222,8 +234,8 @@ struct Program::Impl {
     std::vector<Step> steps;
     std::vector<kernels::BroadcastPlan> bplans;
     std::vector<int64_t> slot_len;
-    std::vector<real*> buf;
-    std::vector<std::vector<real>> store;  // per-slot wide buffers
+    std::vector<void*> buf;
+    std::vector<std::vector<std::byte>> store;  // per-slot wide buffers
   };
   bool wide_ready = false;
   int64_t base_b = 0;
@@ -234,16 +246,21 @@ struct Program::Impl {
   std::uint64_t widened_replays = 0;
 
   bool ready = false;
+  // Compute dtype for the next capture. Deliberately NOT reset by
+  // clear_plan(): capture() starts with reset(), and the policy must
+  // survive it so set_compute_dtype-then-capture works.
+  DType policy_dt = DType::kF64;
   double capture_ms = 0;
   std::uint64_t captures = 0, replays = 0;
   std::size_t external_slots = 0, arena_bytes = 0, pinned_bytes = 0;
-  std::size_t fused_steps = 0, fused_ops = 0;
+  std::size_t fused_steps = 0, fused_ops = 0, cast_steps = 0;
 
   void clear_plan() {
     steps.clear();
     slots.clear();
     slot_len.clear();
     slot_shape.clear();
+    slot_dt.clear();
     buf.clear();
     bplans.clear();
     rplans.clear();
@@ -263,7 +280,7 @@ struct Program::Impl {
     max_widen_batch = 0;
     ready = false;
     external_slots = arena_bytes = pinned_bytes = 0;
-    fused_steps = fused_ops = 0;
+    fused_steps = fused_ops = cast_steps = 0;
   }
 };
 
@@ -669,6 +686,7 @@ void fuse_elementwise(Program::Impl& im, const Ranges& r,
       const Step& nxt = im.steps[j + 1];
       const std::int32_t o = cur.out;
       if (!is_elementwise(nxt) || nxt.p0 != head.p0) break;
+      if (nxt.dt != head.dt) break;  // one execution dtype per chain
       const bool consumes =
           nxt.a == o || (nxt.kind == StepKind::kBinary && nxt.b == o);
       if (!consumes) break;
@@ -692,6 +710,7 @@ void fuse_elementwise(Program::Impl& im, const Ranges& r,
     }
     Step f;
     f.kind = StepKind::kFused;
+    f.dt = head.dt;
     f.a = head.a;
     f.out = im.steps[j].out;
     f.plan = static_cast<std::int32_t>(im.fchains.size());
@@ -701,6 +720,113 @@ void fuse_elementwise(Program::Impl& im, const Ranges& r,
     ++im.fused_steps;
     im.fused_ops += j - i + 1;
     i = j + 1;
+  }
+  im.steps = std::move(out_steps);
+}
+
+/// Mixed-precision lowering pass (compute dtype kF32 only). Every step
+/// gets an execution dtype — compute steps float, in-plan optimizer steps
+/// double (the double master weights / double moments of the autocast
+/// pattern), copy-like steps the dtype of their output buffer (a full- or
+/// partial-copy must write its destination's width directly: running a
+/// kConcatPart through an out-shadow would clobber sibling parts, and an
+/// f64->f64 copy must not round through f32), reductions the dtype of
+/// their input (their kernels accumulate in double at either width).
+/// Operand width mismatches are bridged by shadow slots: an internal
+/// twin of the slot at the other width plus an explicit kCast step.
+/// Shadows are reused while provably up to date in plan order —
+/// narrow(widen(x)) == x exactly, so a write that went f32-shadow ->
+/// f64-slot leaves the shadow valid, while a narrowing write-back
+/// invalidates it. The pass runs before fusion (chains then require one
+/// dtype) and before packing (shadows are ordinary internal slots).
+void insert_casts(Program::Impl& im, std::vector<char>& internal) {
+  const std::size_t S0 = im.slots.size();
+  std::vector<std::int32_t> shadow_of(S0, -1);
+  std::vector<char> shadow_valid(S0, 0);
+  std::vector<Step> out_steps;
+  out_steps.reserve(im.steps.size() + S0);
+
+  auto get_shadow = [&](std::int32_t slot) -> std::int32_t {
+    const auto u = static_cast<std::size_t>(slot);
+    if (shadow_of[u] < 0) {
+      shadow_of[u] = static_cast<std::int32_t>(im.slots.size());
+      im.slots.emplace_back(nullptr);
+      im.slot_shape.push_back(im.slot_shape[u]);
+      im.slot_len.push_back(im.slot_len[u]);
+      im.slot_dt.push_back(im.slot_dt[u] == DType::kF32 ? DType::kF64
+                                                        : DType::kF32);
+      internal.push_back(1);
+    }
+    return shadow_of[u];
+  };
+
+  auto push_cast = [&](std::int32_t src, std::int32_t dst) {
+    Step c;
+    c.kind = StepKind::kCast;
+    c.fn = im.slot_dt[static_cast<std::size_t>(dst)] == DType::kF32 ? 1 : 0;
+    c.a = src;
+    c.out = dst;
+    c.p0 = im.slot_len[static_cast<std::size_t>(dst)];
+    out_steps.push_back(c);
+    ++im.cast_steps;
+  };
+
+  // Slot to read `slot`'s value at width `want` from, materializing (or
+  // reusing) the shadow behind a kCast when the widths differ.
+  auto read_as = [&](std::int32_t slot, DType want) -> std::int32_t {
+    if (slot < 0) return slot;
+    const auto u = static_cast<std::size_t>(slot);
+    if (im.slot_dt[u] == want) return slot;
+    const std::int32_t sh = get_shadow(slot);
+    if (!shadow_valid[u]) {
+      push_cast(slot, sh);
+      shadow_valid[u] = 1;
+    }
+    return sh;
+  };
+
+  for (Step s : im.steps) {
+    switch (s.kind) {
+      case StepKind::kAdamTick:
+      case StepKind::kAdamParam:
+      case StepKind::kLambParam:
+        s.dt = DType::kF64;
+        break;
+      case StepKind::kCopy:
+      case StepKind::kSlicePack:
+      case StepKind::kSliceScatter:
+      case StepKind::kConcatPart:
+      case StepKind::kTranspose:
+      case StepKind::kBcastCopy:
+        s.dt = im.slot_dt[static_cast<std::size_t>(s.out)];
+        break;
+      case StepKind::kReduce:
+      case StepKind::kSumAll:
+      case StepKind::kSumAxis:
+        s.dt = im.slot_dt[static_cast<std::size_t>(s.a)];
+        break;
+      default:
+        s.dt = DType::kF32;  // compute steps run at the policy dtype
+        break;
+    }
+    s.a = read_as(s.a, s.dt);
+    s.b = read_as(s.b, s.dt);
+    s.c = read_as(s.c, s.dt);
+    const std::int32_t orig = s.out;
+    const bool redirect =
+        orig >= 0 && im.slot_dt[static_cast<std::size_t>(orig)] != s.dt;
+    if (redirect) s.out = get_shadow(orig);
+    out_steps.push_back(s);
+    if (redirect) {
+      push_cast(s.out, orig);
+      // The shadow stays valid only when the write-back widened (the
+      // narrow image round-trips exactly); a narrowing write-back leaves
+      // the shadow holding more precision than the slot.
+      shadow_valid[static_cast<std::size_t>(orig)] =
+          im.slot_dt[static_cast<std::size_t>(orig)] == DType::kF64;
+    } else if (orig >= 0 && static_cast<std::size_t>(orig) < S0) {
+      shadow_valid[static_cast<std::size_t>(orig)] = 0;  // shadow is stale
+    }
   }
   im.steps = std::move(out_steps);
 }
@@ -787,10 +913,10 @@ void compute_waves(Program::Impl& im) {
 /// slots onto reused arena buffers, resolve every operand to a raw
 /// pointer.
 void lower(Program::Impl& im) {
-  const std::size_t S = im.slots.size();
+  const std::size_t S0 = im.slots.size();
   im.slot_of.clear();
-  im.slot_len.resize(S);
-  for (std::size_t s = 0; s < S; ++s) {
+  im.slot_len.resize(S0);
+  for (std::size_t s = 0; s < S0; ++s) {
     im.slot_len[s] = static_cast<int64_t>(im.slots[s]->data.size());
   }
   // Release the graph first: tape nodes hold input Tensors, so slot use
@@ -806,11 +932,24 @@ void lower(Program::Impl& im) {
   // fully defines it before any use. Everything else stays pinned:
   // leaves, parameters, `.grad` buffers still bound to parameters, kept
   // loss tensors, constants materialized at capture time.
-  std::vector<char> internal(S, 0);
-  for (std::size_t s = 0; s < S; ++s) {
+  std::vector<char> internal(S0, 0);
+  for (std::size_t s = 0; s < S0; ++s) {
     internal[s] = im.slots[s].use_count() == 1 && r.def[s] >= 0 &&
                   r.def[s] == r.first[s];
   }
+
+  // Dtype coloring: externals are live f64 payloads; internals take the
+  // program's compute dtype. Under the f64 default the cast pass is
+  // skipped entirely and the lowered plan is identical to before.
+  im.slot_dt.assign(S0, DType::kF64);
+  if (im.policy_dt == DType::kF32) {
+    for (std::size_t s = 0; s < S0; ++s) {
+      if (internal[s]) im.slot_dt[s] = DType::kF32;
+    }
+    insert_casts(im, internal);  // appends shadow slots + kCast steps
+    compute_ranges(im, r);
+  }
+  const std::size_t S = im.slots.size();
 
   if (program_fusion_enabled()) {
     fuse_elementwise(im, r, internal);
@@ -819,7 +958,13 @@ void lower(Program::Impl& im) {
     compute_ranges(im, r);
   }
 
-  // Exact-size reuse of internal buffers across disjoint live ranges.
+  // Exact-byte-size reuse of internal buffers across disjoint live
+  // ranges (byte-keyed so an f32 slot can inherit a same-footprint f64
+  // buffer and vice versa).
+  auto slot_bytes = [&](std::size_t s) -> int64_t {
+    return im.slot_len[s] *
+           static_cast<int64_t>(dtype_size(im.slot_dt[s]));
+  };
   std::vector<std::vector<std::int32_t>> released(im.steps.size());
   for (std::size_t s = 0; s < S; ++s) {
     if (internal[s] && r.last[s] >= 0) {
@@ -833,7 +978,7 @@ void lower(Program::Impl& im) {
     const std::int32_t o = im.steps[i].out;
     if (o >= 0 && internal[static_cast<std::size_t>(o)] &&
         r.def[static_cast<std::size_t>(o)] == static_cast<std::int32_t>(i)) {
-      auto& fl = free_by_len[im.slot_len[static_cast<std::size_t>(o)]];
+      auto& fl = free_by_len[slot_bytes(static_cast<std::size_t>(o))];
       if (!fl.empty()) {
         arena_of[static_cast<std::size_t>(o)] = fl.back();
         fl.pop_back();
@@ -841,11 +986,11 @@ void lower(Program::Impl& im) {
         arena_of[static_cast<std::size_t>(o)] =
             static_cast<std::int32_t>(im.arena.size());
         im.arena.emplace_back(
-            static_cast<std::size_t>(im.slot_len[static_cast<std::size_t>(o)]));
+            static_cast<std::size_t>(slot_bytes(static_cast<std::size_t>(o))));
       }
     }
     for (std::int32_t s : released[i]) {
-      free_by_len[im.slot_len[static_cast<std::size_t>(s)]].push_back(
+      free_by_len[slot_bytes(static_cast<std::size_t>(s))].push_back(
           arena_of[static_cast<std::size_t>(s)]);
     }
   }
@@ -855,17 +1000,17 @@ void lower(Program::Impl& im) {
     if (internal[s] && r.first[s] < 0) {
       // Fused away entirely: no step reads or writes it anymore.
       im.buf[s] = nullptr;
-      im.slots[s].reset();
+      if (s < S0) im.slots[s].reset();
     } else if (internal[s]) {
       im.buf[s] = im.arena[static_cast<std::size_t>(arena_of[s])].data();
-      im.slots[s].reset();  // payload returns to the pool
+      if (s < S0) im.slots[s].reset();  // payload returns to the pool
     } else {
-      im.buf[s] = im.slots[s]->data.data();
+      im.buf[s] = im.slots[s]->data.raw();
       ++im.external_slots;
-      im.pinned_bytes += im.slots[s]->data.size() * sizeof(real);
+      im.pinned_bytes += im.slots[s]->data.size_bytes();
     }
   }
-  for (const auto& a : im.arena) im.arena_bytes += a.size() * sizeof(real);
+  for (const auto& a : im.arena) im.arena_bytes += a.size();
 
   compute_waves(im);
 }
@@ -1020,29 +1165,147 @@ __attribute__((target("avx2"))) void fused_binary_avx2(real* acc,
     }
   }
 }
+
+/// 8-lane float overloads for f32-colored fused chains. The carried
+/// scalar stays f64 in the plan and narrows once here — the same
+/// `x + T(s)` the templated functor tail computes.
+__attribute__((target("avx2"))) bool fused_unary_avx2(float* acc, int64_t len,
+                                                      prog::Unary u,
+                                                      real scalar) {
+  int64_t i = 0;
+  switch (u) {
+    case prog::Unary::kAddScalar: {
+      const __m256 s = _mm256_set1_ps(static_cast<float>(scalar));
+      for (; i + 8 <= len; i += 8)
+        _mm256_storeu_ps(acc + i, _mm256_add_ps(_mm256_loadu_ps(acc + i), s));
+      for (; i < len; ++i) acc[i] = sfn::AddScalar{scalar}(acc[i]);
+      return true;
+    }
+    case prog::Unary::kMulScalar: {
+      const __m256 s = _mm256_set1_ps(static_cast<float>(scalar));
+      for (; i + 8 <= len; i += 8)
+        _mm256_storeu_ps(acc + i, _mm256_mul_ps(_mm256_loadu_ps(acc + i), s));
+      for (; i < len; ++i) acc[i] = sfn::MulScalar{scalar}(acc[i]);
+      return true;
+    }
+    case prog::Unary::kNeg: {
+      const __m256 m = _mm256_set1_ps(-0.0f);
+      for (; i + 8 <= len; i += 8)
+        _mm256_storeu_ps(acc + i, _mm256_xor_ps(_mm256_loadu_ps(acc + i), m));
+      for (; i < len; ++i) acc[i] = sfn::Neg{}(acc[i]);
+      return true;
+    }
+    case prog::Unary::kAbs: {
+      const __m256 m = _mm256_set1_ps(-0.0f);
+      for (; i + 8 <= len; i += 8)
+        _mm256_storeu_ps(acc + i,
+                         _mm256_andnot_ps(m, _mm256_loadu_ps(acc + i)));
+      for (; i < len; ++i) acc[i] = sfn::Abs{}(acc[i]);
+      return true;
+    }
+    case prog::Unary::kSqrt: {
+      for (; i + 8 <= len; i += 8)
+        _mm256_storeu_ps(acc + i, _mm256_sqrt_ps(_mm256_loadu_ps(acc + i)));
+      for (; i < len; ++i) acc[i] = sfn::Sqrt{}(acc[i]);
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+__attribute__((target("avx2"))) void fused_binary_avx2(float* acc,
+                                                       const float* oth,
+                                                       int64_t len,
+                                                       prog::Binary b,
+                                                       bool swapped) {
+  int64_t i = 0;
+  if (!swapped) {
+    switch (b) {
+      case prog::Binary::kAdd:
+        for (; i + 8 <= len; i += 8)
+          _mm256_storeu_ps(acc + i, _mm256_add_ps(_mm256_loadu_ps(acc + i),
+                                                  _mm256_loadu_ps(oth + i)));
+        for (; i < len; ++i) acc[i] = sfn::Add{}(acc[i], oth[i]);
+        break;
+      case prog::Binary::kSub:
+        for (; i + 8 <= len; i += 8)
+          _mm256_storeu_ps(acc + i, _mm256_sub_ps(_mm256_loadu_ps(acc + i),
+                                                  _mm256_loadu_ps(oth + i)));
+        for (; i < len; ++i) acc[i] = sfn::Sub{}(acc[i], oth[i]);
+        break;
+      case prog::Binary::kMul:
+        for (; i + 8 <= len; i += 8)
+          _mm256_storeu_ps(acc + i, _mm256_mul_ps(_mm256_loadu_ps(acc + i),
+                                                  _mm256_loadu_ps(oth + i)));
+        for (; i < len; ++i) acc[i] = sfn::Mul{}(acc[i], oth[i]);
+        break;
+      case prog::Binary::kDiv:
+        for (; i + 8 <= len; i += 8)
+          _mm256_storeu_ps(acc + i, _mm256_div_ps(_mm256_loadu_ps(acc + i),
+                                                  _mm256_loadu_ps(oth + i)));
+        for (; i < len; ++i) acc[i] = sfn::Div{}(acc[i], oth[i]);
+        break;
+    }
+  } else {
+    switch (b) {
+      case prog::Binary::kAdd:
+        for (; i + 8 <= len; i += 8)
+          _mm256_storeu_ps(acc + i, _mm256_add_ps(_mm256_loadu_ps(oth + i),
+                                                  _mm256_loadu_ps(acc + i)));
+        for (; i < len; ++i) acc[i] = sfn::Add{}(oth[i], acc[i]);
+        break;
+      case prog::Binary::kSub:
+        for (; i + 8 <= len; i += 8)
+          _mm256_storeu_ps(acc + i, _mm256_sub_ps(_mm256_loadu_ps(oth + i),
+                                                  _mm256_loadu_ps(acc + i)));
+        for (; i < len; ++i) acc[i] = sfn::Sub{}(oth[i], acc[i]);
+        break;
+      case prog::Binary::kMul:
+        for (; i + 8 <= len; i += 8)
+          _mm256_storeu_ps(acc + i, _mm256_mul_ps(_mm256_loadu_ps(oth + i),
+                                                  _mm256_loadu_ps(acc + i)));
+        for (; i < len; ++i) acc[i] = sfn::Mul{}(oth[i], acc[i]);
+        break;
+      case prog::Binary::kDiv:
+        for (; i + 8 <= len; i += 8)
+          _mm256_storeu_ps(acc + i, _mm256_div_ps(_mm256_loadu_ps(oth + i),
+                                                  _mm256_loadu_ps(acc + i)));
+        for (; i < len; ++i) acc[i] = sfn::Div{}(oth[i], acc[i]);
+        break;
+    }
+  }
+}
 #endif  // MF_PROG_AVX2
 
 /// Execute one step against an explicit buffer/length/broadcast-plan
-/// table. Master replay passes the Impl's own tables; widened replay
-/// passes the WideContext's (scaled lengths, rebuilt broadcast plans,
-/// wide buffers). Reduce plans, fused chains and optimizer executors are
-/// always the Impl's — widening rejects plans where those would need
-/// scaling.
-void execute(Program::Impl& im, const Step& s, real* const* B,
-             const int64_t* slot_len, const kernels::BroadcastPlan* bplans) {
+/// table at element type T. Master replay passes the Impl's own tables;
+/// widened replay passes the WideContext's (scaled lengths, rebuilt
+/// broadcast plans, wide buffers). Reduce plans, fused chains and
+/// optimizer executors are always the Impl's — widening rejects plans
+/// where those would need scaling. Optimizer steps are double-only
+/// (lowering pins their Step::dt to kF64); the float instantiation
+/// compiles them out.
+template <typename T>
+void execute_typed(Program::Impl& im, const Step& s, void* const* B,
+                   const int64_t* slot_len,
+                   const kernels::BroadcastPlan* bplans) {
+  constexpr bool kIsF64 = std::is_same_v<T, double>;
+  auto rd = [&](std::int32_t sl) { return static_cast<const T*>(B[sl]); };
+  auto wr = [&](std::int32_t sl) { return static_cast<T*>(B[sl]); };
   switch (s.kind) {
     case StepKind::kUnary: {
-      const real* a = B[s.a];
-      real* o = B[s.out];
+      const T* a = rd(s.a);
+      T* o = wr(s.out);
       const int64_t n = s.p0;
       dispatch_unary(static_cast<prog::Unary>(s.fn), s.scalar,
                      [&](auto f) { kernels::map_unary(a, o, n, f); });
       break;
     }
     case StepKind::kBinary: {
-      const real* a = B[s.a];
-      const real* b = B[s.b];
-      real* o = B[s.out];
+      const T* a = rd(s.a);
+      const T* b = rd(s.b);
+      T* o = wr(s.out);
       const int64_t n = s.p0;
       dispatch_binary(static_cast<prog::Binary>(s.fn),
                       [&](auto f) { kernels::map_binary(a, b, o, n, f); });
@@ -1051,9 +1314,9 @@ void execute(Program::Impl& im, const Step& s, real* const* B,
     case StepKind::kBinaryBcast: {
       const kernels::BroadcastPlan& plan =
           bplans[static_cast<std::size_t>(s.plan)];
-      const real* a = B[s.a];
-      const real* b = B[s.b];
-      real* o = B[s.out];
+      const T* a = rd(s.a);
+      const T* b = rd(s.b);
+      T* o = wr(s.out);
       dispatch_binary(static_cast<prog::Binary>(s.fn), [&](auto f) {
         kernels::map_broadcast(plan, a, b, o, f);
       });
@@ -1065,8 +1328,8 @@ void execute(Program::Impl& im, const Step& s, real* const* B,
       // folded intermediates never touch memory. Element i still sees
       // the identical functor sequence the individual steps applied.
       const auto& ops = im.fchains[static_cast<std::size_t>(s.plan)];
-      const real* src = B[s.a];
-      real* outp = B[s.out];
+      const T* src = rd(s.a);
+      T* outp = wr(s.out);
       const FusedOp* fo = ops.data();
       const std::size_t n_ops = ops.size();
 #ifdef MF_PROG_AVX2
@@ -1075,7 +1338,7 @@ void execute(Program::Impl& im, const Step& s, real* const* B,
       kernels::parallel_for(
           s.p0, static_cast<int64_t>(n_ops) + 1, [&](int64_t b0, int64_t e0) {
             constexpr int64_t kBlock = 128;
-            real acc[kBlock];
+            T acc[kBlock];
             for (int64_t base = b0; base < e0; base += kBlock) {
               const int64_t len = std::min(kBlock, e0 - base);
               for (int64_t t = 0; t < len; ++t) acc[t] = src[base + t];
@@ -1110,7 +1373,7 @@ void execute(Program::Impl& im, const Step& s, real* const* B,
                                    });
                     break;
                   case FusedOp::kBinChainLeft: {
-                    const real* oth = B[op.other] + base;
+                    const T* oth = rd(op.other) + base;
 #ifdef MF_PROG_AVX2
                     if (avx2) {
                       fused_binary_avx2(acc, oth, len,
@@ -1128,7 +1391,7 @@ void execute(Program::Impl& im, const Step& s, real* const* B,
                     break;
                   }
                   case FusedOp::kBinChainRight: {
-                    const real* oth = B[op.other] + base;
+                    const T* oth = rd(op.other) + base;
 #ifdef MF_PROG_AVX2
                     if (avx2) {
                       fused_binary_avx2(acc, oth, len,
@@ -1169,70 +1432,78 @@ void execute(Program::Impl& im, const Step& s, real* const* B,
       break;
     }
     case StepKind::kAdamTick: {
-      prog::AdamPlanState& st =
-          *im.adam_ticks[static_cast<std::size_t>(s.plan)];
-      ++*st.t;
-      st.bc1 = 1.0 - std::pow(st.beta1, static_cast<double>(*st.t));
-      st.bc2 = 1.0 - std::pow(st.beta2, static_cast<double>(*st.t));
+      if constexpr (kIsF64) {
+        prog::AdamPlanState& st =
+            *im.adam_ticks[static_cast<std::size_t>(s.plan)];
+        ++*st.t;
+        st.bc1 = 1.0 - std::pow(st.beta1, static_cast<double>(*st.t));
+        st.bc2 = 1.0 - std::pow(st.beta2, static_cast<double>(*st.t));
+      }
       break;
     }
     case StepKind::kAdamParam: {
-      const auto& ap = im.adam_params[static_cast<std::size_t>(s.plan)];
-      const prog::AdamPlanState& st = *ap.state;
-      const real* g = B[s.a];
-      real* p = B[s.out];
-      const double lr = *st.lr;
-      for (int64_t j = 0; j < ap.n; ++j) {
-        sfn::adam_update(p[j], g[j], ap.m[j], ap.v[j], lr, st.beta1, st.beta2,
-                         st.bc1, st.bc2, st.eps, st.weight_decay,
-                         st.decoupled);
+      if constexpr (kIsF64) {
+        const auto& ap = im.adam_params[static_cast<std::size_t>(s.plan)];
+        const prog::AdamPlanState& st = *ap.state;
+        const real* g = rd(s.a);
+        real* p = wr(s.out);
+        const double lr = *st.lr;
+        for (int64_t j = 0; j < ap.n; ++j) {
+          sfn::adam_update(p[j], g[j], ap.m[j], ap.v[j], lr, st.beta1,
+                           st.beta2, st.bc1, st.bc2, st.eps, st.weight_decay,
+                           st.decoupled);
+        }
       }
       break;
     }
     case StepKind::kLambParam: {
-      auto& lp = im.lamb_params[static_cast<std::size_t>(s.plan)];
-      const prog::AdamPlanState& st = *lp.state;
-      sfn::lamb_param_update(B[s.out], B[s.a], lp.m, lp.v, lp.n, lp.dir,
-                             *st.lr, st.beta1, st.beta2, st.bc1, st.bc2,
-                             st.eps, st.weight_decay);
+      if constexpr (kIsF64) {
+        auto& lp = im.lamb_params[static_cast<std::size_t>(s.plan)];
+        const prog::AdamPlanState& st = *lp.state;
+        sfn::lamb_param_update(wr(s.out), rd(s.a), lp.m, lp.v, lp.n, lp.dir,
+                               *st.lr, st.beta1, st.beta2, st.bc1, st.bc2,
+                               st.eps, st.weight_decay);
+      }
       break;
     }
     case StepKind::kBcastCopy:
       kernels::broadcast_copy(bplans[static_cast<std::size_t>(s.plan)],
-                              B[s.a], B[s.out]);
+                              rd(s.a), wr(s.out));
       break;
     case StepKind::kReduce:
       kernels::reduce_broadcast(im.rplans[static_cast<std::size_t>(s.plan)],
-                                B[s.a], B[s.out]);
+                                rd(s.a), wr(s.out));
       break;
     case StepKind::kSumAll:
-      B[s.out][0] = kernels::reduce_sum(B[s.a], s.p0);
+      // reduce_sum accumulates in double at either width; the scalar
+      // result rounds to the out slot's width here.
+      wr(s.out)[0] = static_cast<T>(kernels::reduce_sum(rd(s.a), s.p0));
       break;
     case StepKind::kSumAxis: {
-      real* o = B[s.out];
-      std::fill(o, o + slot_len[static_cast<std::size_t>(s.out)], real{0});
-      kernels::sum_axis(B[s.a], o, s.p0, s.p1, s.p2);
+      T* o = wr(s.out);
+      std::fill(o, o + slot_len[static_cast<std::size_t>(s.out)], T{0});
+      kernels::sum_axis(rd(s.a), o, s.p0, s.p1, s.p2);
       break;
     }
     case StepKind::kMatmul:
-      kernels::matmul(B[s.a], B[s.b], s.c >= 0 ? B[s.c] : nullptr, B[s.out],
-                      s.p0, s.p1, s.p2);
+      kernels::matmul(rd(s.a), rd(s.b), s.c >= 0 ? rd(s.c) : nullptr,
+                      wr(s.out), s.p0, s.p1, s.p2);
       break;
     case StepKind::kTranspose:
-      kernels::transpose(B[s.a], B[s.out], s.p0, s.p1);
+      kernels::transpose(rd(s.a), wr(s.out), s.p0, s.p1);
       break;
     case StepKind::kCopy:
-      std::memcpy(B[s.out], B[s.a],
-                  static_cast<std::size_t>(s.p0) * sizeof(real));
+      std::memcpy(wr(s.out), rd(s.a),
+                  static_cast<std::size_t>(s.p0) * sizeof(T));
       break;
     case StepKind::kSlicePack: {
-      const real* p = B[s.a];
-      real* po = B[s.out];
+      const T* p = rd(s.a);
+      T* po = wr(s.out);
       const int64_t len = s.p1, inner = s.p2, n_axis = s.p3, start = s.p4;
       kernels::parallel_for(s.p0, len * inner, [&](int64_t b0, int64_t e0) {
         for (int64_t o = b0; o < e0; ++o) {
           std::memcpy(po + o * len * inner, p + (o * n_axis + start) * inner,
-                      static_cast<std::size_t>(len * inner) * sizeof(real));
+                      static_cast<std::size_t>(len * inner) * sizeof(T));
         }
       });
       break;
@@ -1240,53 +1511,75 @@ void execute(Program::Impl& im, const Step& s, real* const* B,
     case StepKind::kSliceScatter: {
       // The eager backward wrote its windows into a freshly zeroed
       // payload; with buffer reuse the zero background must be restored.
-      const real* pg = B[s.a];
-      real* pp = B[s.out];
-      std::fill(pp, pp + slot_len[static_cast<std::size_t>(s.out)],
-                real{0});
+      const T* pg = rd(s.a);
+      T* pp = wr(s.out);
+      std::fill(pp, pp + slot_len[static_cast<std::size_t>(s.out)], T{0});
       const int64_t len = s.p1, inner = s.p2, n_axis = s.p3, start = s.p4;
       for (int64_t o = 0; o < s.p0; ++o) {
         std::memcpy(pp + (o * n_axis + start) * inner, pg + o * len * inner,
-                    static_cast<std::size_t>(len * inner) * sizeof(real));
+                    static_cast<std::size_t>(len * inner) * sizeof(T));
       }
       break;
     }
     case StepKind::kConcatPart: {
-      const real* pp = B[s.a];
-      real* po = B[s.out];
+      const T* pp = rd(s.a);
+      T* po = wr(s.out);
       const int64_t total = s.p1, offset = s.p2, len = s.p3, inner = s.p4;
       for (int64_t o = 0; o < s.p0; ++o) {
         std::memcpy(po + (o * total + offset) * inner, pp + o * len * inner,
-                    static_cast<std::size_t>(len * inner) * sizeof(real));
+                    static_cast<std::size_t>(len * inner) * sizeof(T));
       }
       break;
     }
     case StepKind::kConv1dFwd:
-      kernels::conv1d_forward(B[s.a], B[s.b], s.c >= 0 ? B[s.c] : nullptr,
-                              B[s.out], s.p0, s.p1, s.p2, s.p3, s.p4, s.p5);
+      kernels::conv1d_forward(rd(s.a), rd(s.b), s.c >= 0 ? rd(s.c) : nullptr,
+                              wr(s.out), s.p0, s.p1, s.p2, s.p3, s.p4, s.p5);
       break;
     case StepKind::kConv1dGradIn: {
-      real* o = B[s.out];
-      std::fill(o, o + slot_len[static_cast<std::size_t>(s.out)], real{0});
-      kernels::conv1d_grad_input(B[s.a], B[s.b], o, s.p0, s.p1, s.p2, s.p3,
+      T* o = wr(s.out);
+      std::fill(o, o + slot_len[static_cast<std::size_t>(s.out)], T{0});
+      kernels::conv1d_grad_input(rd(s.a), rd(s.b), o, s.p0, s.p1, s.p2, s.p3,
                                  s.p4, s.p5);
       break;
     }
     case StepKind::kConv1dGradW: {
-      real* o = B[s.out];
-      std::fill(o, o + slot_len[static_cast<std::size_t>(s.out)], real{0});
-      kernels::conv1d_grad_weight(B[s.a], B[s.b], o, s.p0, s.p1, s.p2, s.p3,
+      T* o = wr(s.out);
+      std::fill(o, o + slot_len[static_cast<std::size_t>(s.out)], T{0});
+      kernels::conv1d_grad_weight(rd(s.a), rd(s.b), o, s.p0, s.p1, s.p2, s.p3,
                                   s.p4, s.p5);
       break;
     }
     case StepKind::kConv1dGradB: {
-      real* o = B[s.out];
-      std::fill(o, o + slot_len[static_cast<std::size_t>(s.out)], real{0});
-      kernels::conv1d_grad_bias(B[s.a], o, s.p0, s.p1, s.p2);
+      T* o = wr(s.out);
+      std::fill(o, o + slot_len[static_cast<std::size_t>(s.out)], T{0});
+      kernels::conv1d_grad_bias(rd(s.a), o, s.p0, s.p1, s.p2);
       break;
     }
+    case StepKind::kCast:
+      break;  // handled by the untyped dispatcher below
     case StepKind::kStepKindCount_:
       break;  // sentinel: never lowered
+  }
+}
+
+/// Untyped entry: kCast bridges the two widths itself; every other step
+/// runs at its lowering-assigned Step::dt.
+void execute(Program::Impl& im, const Step& s, void* const* B,
+             const int64_t* slot_len, const kernels::BroadcastPlan* bplans) {
+  if (s.kind == StepKind::kCast) {
+    if (s.fn == 1) {
+      kernels::cast_buffer(static_cast<const double*>(B[s.a]),
+                           static_cast<float*>(B[s.out]), s.p0);
+    } else {
+      kernels::cast_buffer(static_cast<const float*>(B[s.a]),
+                           static_cast<double*>(B[s.out]), s.p0);
+    }
+    return;
+  }
+  if (s.dt == DType::kF32) {
+    execute_typed<float>(im, s, B, slot_len, bplans);
+  } else {
+    execute_typed<double>(im, s, B, slot_len, bplans);
   }
 }
 
@@ -1313,7 +1606,7 @@ class PlanPool {
 
   /// Execute `im`'s waves over the given step/buffer tables (master or
   /// widened) with `nthreads` participants including the caller.
-  void run(Program::Impl& im, const Step* steps, real* const* B,
+  void run(Program::Impl& im, const Step* steps, void* const* B,
            const int64_t* slot_len, const kernels::BroadcastPlan* bplans,
            int nthreads) {
     std::lock_guard<std::mutex> run_lock(run_mu_);
@@ -1350,7 +1643,7 @@ class PlanPool {
   struct Job {
     Program::Impl* im = nullptr;
     const Step* steps = nullptr;
-    real* const* B = nullptr;
+    void* const* B = nullptr;
     const int64_t* slot_len = nullptr;
     const kernels::BroadcastPlan* bplans = nullptr;
     int active = 0;  // workers allowed to claim steps this job
@@ -1482,8 +1775,9 @@ Program::Impl::WideContext* get_wide_ctx(Program::Impl& im, int64_t f) {
     if (im.slots[s] && !im.slot_scaled[s]) {
       ctx->buf[s] = im.buf[s];
     } else {
-      ctx->store[s].assign(static_cast<std::size_t>(ctx->slot_len[s]),
-                           real{0});
+      ctx->store[s].assign(static_cast<std::size_t>(ctx->slot_len[s]) *
+                               dtype_size(im.slot_dt[s]),
+                           std::byte{0});
       ctx->buf[s] = ctx->store[s].data();
     }
   }
@@ -1494,6 +1788,7 @@ Program::Impl::WideContext* get_wide_ctx(Program::Impl& im, int64_t f) {
       case StepKind::kBinary:
       case StepKind::kCopy:
       case StepKind::kFused:
+      case StepKind::kCast:
         // p0 is the element count; scaled outputs imply scaled inputs.
         if (im.slot_scaled[static_cast<std::size_t>(s.out)]) s.p0 *= f;
         break;
@@ -1572,7 +1867,7 @@ void Program::replay() {
     const char* e = std::getenv("MF_PROGRAM_PROFILE");
     return e && e[0] == '1';
   }();
-  real* const* B = im.buf.data();
+  void* const* B = im.buf.data();
   const int64_t* slot_len = im.slot_len.data();
   const kernels::BroadcastPlan* bplans = im.bplans.data();
   if (prof) {
@@ -1677,6 +1972,7 @@ bool Program::widen(const std::vector<Tensor>& batch_io) {
     switch (s.kind) {
       case StepKind::kUnary:
       case StepKind::kCopy:
+      case StepKind::kCast:
         ok = define_out(s.out, scaled(s.a));
         break;
       case StepKind::kBinary:
@@ -1790,8 +2086,9 @@ real* Program::widened_buffer(const Tensor& t, int64_t b) {
   }
   const int64_t f = b / im.base_b;
   const auto slot = static_cast<std::size_t>(it->second);
-  if (f == 1) return im.buf[slot];  // the tensor's own payload
-  return get_wide_ctx(im, f)->buf[slot];
+  // Declared slots are externals, and externals always stay f64.
+  if (f == 1) return static_cast<real*>(im.buf[slot]);
+  return static_cast<real*>(get_wide_ctx(im, f)->buf[slot]);
 }
 
 void Program::replay_widened(int64_t b) {
@@ -1831,6 +2128,10 @@ void Program::replay_widened(int64_t b) {
 
 void Program::reset() { impl_->clear_plan(); }
 
+void Program::set_compute_dtype(DType dt) { impl_->policy_dt = dt; }
+
+DType Program::compute_dtype() const { return impl_->policy_dt; }
+
 Program::Stats Program::stats() const {
   const Impl& im = *impl_;
   Stats st;
@@ -1841,6 +2142,7 @@ Program::Stats Program::stats() const {
   st.pinned_bytes = im.pinned_bytes;
   st.fused_steps = im.fused_steps;
   st.fused_ops = im.fused_ops;
+  st.cast_steps = im.cast_steps;
   st.optim_steps = im.adam_params.size() + im.lamb_params.size();
   st.waves = im.waves.size();
   st.wide_instances = im.wide_ctxs.size();

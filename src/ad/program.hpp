@@ -79,6 +79,19 @@
 // identical to B0-sized replays of the same instances because every
 // widenable kernel computes each row/element independently.
 //
+// Mixed precision: each Program carries a compute dtype
+// (set_compute_dtype, default f64). Under kF32, lowering colors every
+// internal (liveness-packed) slot float while external slots — leaves,
+// parameters, `.grad` buffers, kept results — stay double, and inserts
+// explicit kCast steps at the boundaries; compute steps then run float
+// kernels, while in-plan optimizer steps always execute in double on the
+// double master weights (gradients widen on entry — the autocast
+// pattern). Eager execution is f64-only; the policy exists purely at the
+// plan level, and call sites (mosaic::CompiledTrainStep,
+// NeuralSubdomainSolver) pick it up from ad::compute_dtype()
+// (MF_PRECISION). Under the default kF64 the lowering pass is skipped
+// entirely and plans are bitwise identical to before.
+//
 // Escape hatches: MF_DISABLE_PROGRAM=1 (or program_set_enabled(false))
 // makes program_enabled() false; the wired call sites then run eagerly,
 // bit-for-bit like pre-PR-4 code (mirrors MF_DISABLE_POOL / _ARENA).
@@ -93,6 +106,7 @@
 #include <functional>
 #include <memory>
 
+#include "ad/dtype.hpp"
 #include "ad/kernels.hpp"
 #include "ad/tensor.hpp"
 
@@ -108,6 +122,7 @@ class Program {
     std::size_t pinned_bytes = 0;   // externally visible slot payloads
     std::size_t fused_steps = 0;    // Fused steps in the plan
     std::size_t fused_ops = 0;      // elementwise steps folded into them
+    std::size_t cast_steps = 0;     // dtype-boundary kCast steps
     std::size_t optim_steps = 0;    // in-plan optimizer parameter updates
     std::size_t waves = 0;          // dependency-DAG execution waves
     std::size_t wide_instances = 0; // live widened replay contexts
@@ -124,6 +139,13 @@ class Program {
   Program& operator=(Program&&) noexcept;
   Program(const Program&) = delete;
   Program& operator=(const Program&) = delete;
+
+  /// Compute dtype for the *next* capture (kF64 default). kF32 makes
+  /// lowering color internal slots float and insert boundary casts; a
+  /// plan already captured is unaffected — re-capture to apply. Survives
+  /// reset(), so callers can set it once at construction.
+  void set_compute_dtype(DType dt);
+  DType compute_dtype() const;
 
   /// Run `fn` eagerly while recording, then lower the trace into the
   /// replayable plan. Drops any previous plan first. Capture is

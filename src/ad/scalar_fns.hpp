@@ -16,62 +16,93 @@
 
 namespace mf::ad::sfn {
 
+// Typed via the element type at every use site: an f32 path must evaluate
+// float(0.7978845608028654), not round a double intermediate — see the
+// gelu_coeff<T> usage in Gelu below.
 constexpr real kGeluCoeff = 0.7978845608028654;  // sqrt(2/pi)
 
+template <typename T>
+inline constexpr T gelu_coeff = T(0.7978845608028654);
+template <typename T>
+inline constexpr T gelu_cubic = T(0.044715);
+
 // ---- binary ----
+//
+// Functors are templated over the element type; every eager call site
+// instantiates T = real (double), so the f64 expressions are unchanged.
+// The compiled-plan replay instantiates float for f32-colored steps.
 struct Add {
-  real operator()(real x, real y) const { return x + y; }
+  template <typename T>
+  T operator()(T x, T y) const { return x + y; }
 };
 struct Sub {
-  real operator()(real x, real y) const { return x - y; }
+  template <typename T>
+  T operator()(T x, T y) const { return x - y; }
 };
 struct Mul {
-  real operator()(real x, real y) const { return x * y; }
+  template <typename T>
+  T operator()(T x, T y) const { return x * y; }
 };
 struct Div {
-  real operator()(real x, real y) const { return x / y; }
+  template <typename T>
+  T operator()(T x, T y) const { return x / y; }
 };
 
 // ---- unary (the scalar-parameterized ones carry their parameter) ----
+//
+// Parameters are stored at the tape's native f64 width and narrowed once
+// per application, so f32 steps compute x + float(s), never through a
+// double intermediate.
 struct AddScalar {
   real s;
-  real operator()(real x) const { return x + s; }
+  template <typename T>
+  T operator()(T x) const { return x + T(s); }
 };
 struct MulScalar {
   real s;
-  real operator()(real x) const { return x * s; }
+  template <typename T>
+  T operator()(T x) const { return x * T(s); }
 };
 struct PowScalar {
   real e;
-  real operator()(real x) const { return std::pow(x, e); }
+  template <typename T>
+  T operator()(T x) const { return std::pow(x, T(e)); }
 };
 struct Neg {
-  real operator()(real x) const { return -x; }
+  template <typename T>
+  T operator()(T x) const { return -x; }
 };
 struct Exp {
-  real operator()(real x) const { return std::exp(x); }
+  template <typename T>
+  T operator()(T x) const { return std::exp(x); }
 };
 struct Log {
-  real operator()(real x) const { return std::log(x); }
+  template <typename T>
+  T operator()(T x) const { return std::log(x); }
 };
 struct Sqrt {
-  real operator()(real x) const { return std::sqrt(x); }
+  template <typename T>
+  T operator()(T x) const { return std::sqrt(x); }
 };
 struct Tanh {
-  real operator()(real x) const { return std::tanh(x); }
+  template <typename T>
+  T operator()(T x) const { return std::tanh(x); }
 };
 struct Abs {
-  real operator()(real x) const { return std::abs(x); }
+  template <typename T>
+  T operator()(T x) const { return std::abs(x); }
 };
 struct Sign {
-  real operator()(real x) const {
-    return x > 0 ? real{1} : (x < 0 ? real{-1} : real{0});
+  template <typename T>
+  T operator()(T x) const {
+    return x > 0 ? T{1} : (x < 0 ? T{-1} : T{0});
   }
 };
 struct Gelu {
-  real operator()(real x) const {
-    const real u = kGeluCoeff * (x + 0.044715 * x * x * x);
-    return 0.5 * x * (1.0 + std::tanh(u));
+  template <typename T>
+  T operator()(T x) const {
+    const T u = gelu_coeff<T> * (x + gelu_cubic<T> * x * x * x);
+    return T(0.5) * x * (T(1) + std::tanh(u));
   }
 };
 

@@ -54,33 +54,55 @@ std::size_t MemoryTracker::pooled_idle_bytes() const {
   return PayloadPool::idle_bytes();
 }
 
+Payload::Payload(std::size_t n, DType dt)
+    : raw_(PayloadPool::acquire_zeroed(n * dtype_size(dt))), dt_(dt) {}
+
+Payload::Payload(const real* src, std::size_t n)
+    : raw_(PayloadPool::acquire_copy(src, n * sizeof(real))),
+      dt_(DType::kF64) {}
+
+Payload::~Payload() { PayloadPool::release(std::move(raw_)); }
+
+Payload& Payload::operator=(Payload&& o) noexcept {
+  if (this != &o) {
+    PayloadPool::release(std::move(raw_));
+    raw_ = std::move(o.raw_);
+    dt_ = o.dt_;
+  }
+  return *this;
+}
+
+Payload& Payload::operator=(const Payload& o) {
+  if (this != &o) {
+    raw_.assign(o.raw_.begin(), o.raw_.end());  // reuses capacity when equal
+    dt_ = o.dt_;
+  }
+  return *this;
+}
+
 TensorImpl::TensorImpl(Shape shape_in)
-    : data(PayloadPool::acquire_zeroed(
-          static_cast<std::size_t>(numel_of(shape_in)))),
+    : data(static_cast<std::size_t>(numel_of(shape_in)), DType::kF64),
       shape(std::move(shape_in)) {
-  MemoryTracker::instance().on_alloc(data.size() * sizeof(real));
+  MemoryTracker::instance().on_alloc(data.size_bytes());
 }
 
 TensorImpl::TensorImpl(Shape shape_in, std::vector<real> values)
-    : data(std::move(values)), shape(std::move(shape_in)) {
+    : data(values.data(), values.size()), shape(std::move(shape_in)) {
   if (static_cast<int64_t>(data.size()) != numel_of(shape)) {
     throw std::invalid_argument("TensorImpl: data size does not match shape " +
                                 shape_str(shape));
   }
-  PayloadPool::note_adopted();
-  MemoryTracker::instance().on_alloc(data.size() * sizeof(real));
+  MemoryTracker::instance().on_alloc(data.size_bytes());
 }
 
 TensorImpl::TensorImpl(Shape shape_in, const real* src)
-    : data(PayloadPool::acquire_copy(
-          src, static_cast<std::size_t>(numel_of(shape_in)))),
+    : data(src, static_cast<std::size_t>(numel_of(shape_in))),
       shape(std::move(shape_in)) {
-  MemoryTracker::instance().on_alloc(data.size() * sizeof(real));
+  MemoryTracker::instance().on_alloc(data.size_bytes());
 }
 
 TensorImpl::~TensorImpl() {
-  MemoryTracker::instance().on_free(data.size() * sizeof(real));
-  PayloadPool::release(std::move(data));
+  MemoryTracker::instance().on_free(data.size_bytes());
 }
 
 Tensor Tensor::zeros(const Shape& shape) {

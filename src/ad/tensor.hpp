@@ -18,12 +18,15 @@
 #pragma once
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <initializer_list>
 #include <memory>
 #include <stdexcept>
 #include <string>
 #include <vector>
+
+#include "ad/dtype.hpp"
 
 namespace mf::ad {
 
@@ -70,6 +73,59 @@ class MemoryTracker {
 
 struct Node;  // defined in engine.hpp
 
+/// Byte-addressed tensor payload with a dtype tag. The eager stack's
+/// native width is f64 (`real`), and every Tensor handed to user code is
+/// f64 — the f64-typed accessors below assume that and are what the whole
+/// eager layer compiles against. f32 payloads exist for the compiled-plan
+/// compute path and direct pool users; they are addressed through raw()
+/// / f32(). Storage is recycled through the PayloadPool, whose free lists
+/// key on byte capacity so both widths share buckets.
+class Payload {
+ public:
+  Payload() = default;
+  /// n elements of dtype dt, zero-filled (pooled when possible).
+  Payload(std::size_t n, DType dt);
+  /// Pooled f64 copy of [src, src + n).
+  Payload(const real* src, std::size_t n);
+  ~Payload();
+
+  Payload(Payload&& o) noexcept : raw_(std::move(o.raw_)), dt_(o.dt_) {}
+  Payload& operator=(Payload&& o) noexcept;
+  Payload(const Payload&) = delete;
+  /// Byte copy (module load paths assign same-shaped payloads; reuses the
+  /// destination's capacity, so steady-state assigns do not allocate).
+  Payload& operator=(const Payload& o);
+
+  DType dtype() const { return dt_; }
+  /// Element count.
+  std::size_t size() const { return raw_.size() / dtype_size(dt_); }
+  std::size_t size_bytes() const { return raw_.size(); }
+  void* raw() { return raw_.data(); }
+  const void* raw() const { return raw_.data(); }
+
+  // f64 view — the only width the eager ops/autodiff layer touches.
+  real* data() { return reinterpret_cast<real*>(raw_.data()); }
+  const real* data() const {
+    return reinterpret_cast<const real*>(raw_.data());
+  }
+  real* begin() { return data(); }
+  real* end() { return data() + size(); }
+  const real* begin() const { return data(); }
+  const real* end() const { return data() + size(); }
+  real& operator[](std::size_t i) { return data()[i]; }
+  real operator[](std::size_t i) const { return data()[i]; }
+
+  // f32 view (compiled-plan internals, pool tests).
+  float* f32() { return reinterpret_cast<float*>(raw_.data()); }
+  const float* f32() const {
+    return reinterpret_cast<const float*>(raw_.data());
+  }
+
+ private:
+  std::vector<std::byte> raw_;
+  DType dt_ = DType::kF64;
+};
+
 /// Shared payload of a Tensor. Allocation and deallocation are reported to
 /// the MemoryTracker; the backing buffer is recycled through the
 /// PayloadPool (pool.hpp) so steady-state hot loops perform no payload
@@ -84,7 +140,7 @@ struct TensorImpl {
   TensorImpl(const TensorImpl&) = delete;
   TensorImpl& operator=(const TensorImpl&) = delete;
 
-  std::vector<real> data;
+  Payload data;
   Shape shape;
   bool requires_grad = false;
   std::shared_ptr<Node> grad_fn;         // null for leaves
@@ -116,8 +172,8 @@ class Tensor {
 
   real* data() { return impl_->data.data(); }
   const real* data() const { return impl_->data.data(); }
-  std::vector<real>& vec() { return impl_->data; }
-  const std::vector<real>& vec() const { return impl_->data; }
+  Payload& vec() { return impl_->data; }
+  const Payload& vec() const { return impl_->data; }
 
   /// Value of a 0-d or single-element tensor.
   real item() const;

@@ -28,6 +28,9 @@ struct InferEntry {
   std::uint64_t solver_serial = 0;
   int64_t B = -1, q = -1, G = -1;
   bool wide = false;  // widening analysis succeeded for this plan
+  // Part of the cache key: a process that flips MF_PRECISION (tests,
+  // mixed pipelines) must not replay a plan lowered at the other width.
+  ad::DType dt = ad::DType::kF64;
   ad::Tensor g, x, pred;
   ad::Program program;
 };
@@ -50,6 +53,7 @@ void fold_stats(ad::Program::Stats& agg, const ad::Program::Stats& s) {
   agg.pinned_bytes += s.pinned_bytes;
   agg.fused_steps += s.fused_steps;
   agg.fused_ops += s.fused_ops;
+  agg.cast_steps += s.cast_steps;
   agg.optim_steps += s.optim_steps;
   agg.waves += s.waves;
   agg.wide_instances += s.wide_instances;
@@ -204,10 +208,12 @@ void NeuralSubdomainSolver::predict(
   // for every later batch of the same shape. Skipped inside an enclosing
   // capture (the outer program records this call's kernels itself).
   if (ad::program_enabled() && !ad::prog::capturing() && B > 0 && q > 0) {
+    const ad::DType dt = ad::compute_dtype();
     InferEntry* exact = nullptr;
     InferEntry* wide = nullptr;
     for (auto& entry : t_infer_cache) {
-      if (entry.solver_serial != serial_ || entry.q != q || entry.G != G)
+      if (entry.solver_serial != serial_ || entry.q != q || entry.G != G ||
+          entry.dt != dt)
         continue;
       if (entry.B == B) {
         exact = &entry;
@@ -243,6 +249,7 @@ void NeuralSubdomainSolver::predict(
       exact->B = B;
       exact->q = q;
       exact->G = G;
+      exact->dt = dt;
     } else {
       // Second sight: the geometry recurs — trace it, then try to widen
       // so this one plan also serves every multiple of B (fail-closed:
@@ -250,6 +257,7 @@ void NeuralSubdomainSolver::predict(
       exact->g = ad::Tensor::zeros({B, G});
       exact->x = ad::Tensor::zeros({B, q, 2});
       pack_batch(boundaries, queries, B, G, q, exact->g, exact->x);
+      exact->program.set_compute_dtype(exact->dt);
       exact->program.capture(
           [&] { exact->pred = net_->predict(exact->g, exact->x); });
       if (exact->program.captured()) {

@@ -61,6 +61,16 @@ std::pair<double, double> CompiledTrainStep::run(const gp::SdnetBatch& batch) {
     if (opt_) opt_->step();
     return losses;
   }
+  // Precision-policy change invalidates the plan: a captured program is
+  // lowered at one compute dtype, so flipping MF_PRECISION (or the
+  // process-wide set_compute_dtype) mid-training must re-capture rather
+  // than replay steps typed at the old width.
+  const ad::DType dt = ad::compute_dtype();
+  if (program_.captured() && program_.compute_dtype() != dt) {
+    program_.reset();
+    leaves_ = gp::SdnetBatch{};
+  }
+  program_.set_compute_dtype(dt);
   if (!program_.captured() || !shapes_match(batch)) {
     // (Re-)capture on this batch geometry. The batch tensors become the
     // program's leaf slots; later iterations refill them in place.

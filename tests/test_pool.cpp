@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "ad/arena.hpp"
+#include "ad/dtype.hpp"
 #include "ad/engine.hpp"
 #include "ad/gradcheck.hpp"
 #include "ad/ops.hpp"
@@ -251,6 +252,95 @@ TEST(TapeArena, GraphSurvivesAcrossManyRecordingsAndScopes) {
   ASSERT_TRUE(x.grad().defined());
   // d/dx [2*gelu(x)] at x=1: 2 * gelu'(1) (tanh approximation).
   EXPECT_NEAR(x.grad().flat(0), 2.16592, 1e-4);
+}
+
+// ---------------------------------------------------------------------
+// Byte-keyed free lists: f32 and f64 payloads of equal byte capacity
+// recycle through the same bucket (the pool keys on bytes, not element
+// counts), and the accounting stays exact at either width.
+// ---------------------------------------------------------------------
+
+TEST(PayloadPool, F32AndF64ShareByteKeyedFreeLists) {
+  PoolToggleGuard g(true);
+  constexpr std::size_t kBytes = 256 * sizeof(double);  // == 512 floats
+  {
+    auto v = ad::PayloadPool::acquire_zeroed(kBytes);
+    ad::PayloadPool::release(std::move(v));
+  }
+  // Same byte capacity requested "as f32": the bucket is warm now, so
+  // this must hit the free list and allocate nothing fresh.
+  {
+    const ad::PoolStats s0 = ad::PayloadPool::stats();
+    auto w = ad::PayloadPool::acquire_zeroed(512 * sizeof(float));
+    const ad::PoolStats s1 = ad::PayloadPool::stats();
+    EXPECT_EQ(s1.fresh_allocs(), s0.fresh_allocs())
+        << "f32-sized acquisition must reuse the released f64-sized buffer";
+    EXPECT_EQ(s1.hits, s0.hits + 1);
+    ad::PayloadPool::release(std::move(w));
+  }
+  // And through the tagged Payload wrapper the tensors use.
+  const ad::PoolStats s2 = ad::PayloadPool::stats();
+  { ad::Payload p(256, ad::DType::kF64); }
+  { ad::Payload q(512, ad::DType::kF32); }
+  const ad::PoolStats s3 = ad::PayloadPool::stats();
+  EXPECT_EQ(s3.hits, s2.hits + 2) << "dtype-tagged payloads must share buckets";
+  EXPECT_EQ(s3.fresh_allocs(), s2.fresh_allocs())
+      << "both widths should be served from the warmed byte bucket";
+}
+
+TEST(PayloadPool, IdleBytesAccountsBothDtypes) {
+  PoolToggleGuard g(true);
+  // Caller-owned buffers are not idle; released ones are, at either
+  // width, by exact byte capacity.
+  auto a = ad::PayloadPool::acquire_zeroed(96 * sizeof(double));
+  auto b = ad::PayloadPool::acquire_zeroed(31 * sizeof(float));
+  const std::size_t a_cap = a.capacity(), b_cap = b.capacity();
+  const std::size_t idle0 = ad::PayloadPool::idle_bytes();
+  ad::PayloadPool::release(std::move(a));
+  ad::PayloadPool::release(std::move(b));
+  EXPECT_EQ(ad::PayloadPool::idle_bytes(), idle0 + a_cap + b_cap);
+  // Reacquiring moves the bytes from idle back to caller-owned.
+  auto c = ad::PayloadPool::acquire_zeroed(96 * sizeof(double));
+  EXPECT_EQ(ad::PayloadPool::idle_bytes(), idle0 + a_cap + b_cap - c.capacity());
+  ad::PayloadPool::release(std::move(c));
+}
+
+TEST(PayloadPool, SteadyStateF32CompiledStepDoesNoPayloadMallocs) {
+  // The 0-payload-malloc guarantee must hold at f32 too: the plan arena
+  // (raw byte vectors) is allocated once at lowering, cast shadows live
+  // on that arena, and steady-state replay touches the pool not at all.
+  PoolToggleGuard g(true);
+  const bool prog_prev = ad::program_set_enabled(true);
+  const ad::DType dt_prev = ad::set_compute_dtype(ad::DType::kF32);
+  {
+    util::Rng rng(41);
+    mosaic::SdnetConfig cfg;
+    cfg.boundary_size = 16;
+    cfg.hidden_width = 16;
+    cfg.mlp_depth = 2;
+    mosaic::Sdnet net(cfg, rng);
+    gp::LaplaceDatasetGenerator gen(4, {}, 19);
+    auto bvps = gen.generate_many(3);
+    mosaic::TrainConfig tc;
+    tc.pde_loss_weight = 0.3;
+    optim::Adam opt(net.parameters(), 1e-3);
+    mosaic::CompiledTrainStep cstep(net, tc);
+    auto step = [&] {
+      auto batch = gen.make_batch(bvps, 8, 6);
+      cstep.run(batch);
+      opt.step();
+    };
+    for (int i = 0; i < 3; ++i) step();  // capture at f32 + warm the pool
+    EXPECT_GT(cstep.program().stats().cast_steps, 0u);
+    const ad::PoolStats before = ad::PayloadPool::stats();
+    for (int i = 0; i < 5; ++i) step();
+    const ad::PoolStats after = ad::PayloadPool::stats();
+    EXPECT_EQ(after.fresh_allocs() + after.adopted,
+              before.fresh_allocs() + before.adopted)
+        << "steady-state f32 replay allocated fresh payloads";
+  }
+  ad::set_compute_dtype(dt_prev);
+  ad::program_set_enabled(prog_prev);
 }
 
 }  // namespace

@@ -9,6 +9,23 @@ compare the fresh headline metric against the *last committed* line. A
 fresh value below ``--min-ratio`` (default 0.85) of the committed one
 fails the job, so a perf regression cannot land silently.
 
+Metric spec syntax (the fourth ``--check`` operand)::
+
+    METRIC[@key=value[,key=value...]][:lower]
+
+``@key=value`` filters the *committed* trajectory: the baseline is the
+last line whose fields match every pair (a line missing the key does not
+match, so old lines written before a key existed are skipped cleanly).
+Since PR 7 the trajectories carry per-dtype lines, e.g.
+``batched_sub_updates_per_sec@compute_dtype=f32`` gates the f32 line
+against the f32 baseline instead of whichever line happens to be last.
+
+``:lower`` flips the gate to lower-is-better (quality metrics such as
+MAE): the fresh value must stay below ``--max-ratio`` (default 1.10)
+times the committed one. Used for the fig7 solution-quality band — a
+precision-policy or kernel change that degrades MFP accuracy fails CI
+even when it makes the bench faster.
+
 The comparison is also emitted as a Markdown table, appended to
 ``$GITHUB_STEP_SUMMARY`` when set (the Actions job summary) or to the
 path given with ``--summary``.
@@ -16,13 +33,18 @@ path given with ``--summary``.
 Usage:
     bench_check.py --min-ratio 0.85 \
         --check fig6 build/fig6_line.json BENCH_fig6.json replay_steps_per_sec \
-        --check fig8 build/fig8_line.json BENCH_fig8.json batched_sub_updates_per_sec
+        --check fig8-f32 build/fig8_f32.json BENCH_fig8.json \
+            batched_sub_updates_per_sec@compute_dtype=f32 \
+        --check fig7-f32 build/fig7_f32.json BENCH_fig7.json \
+            mae_mean@compute_dtype=f64:lower
 
 Caveat worth knowing when reading CI history: the committed lines are
 measured on the dev machine that landed the PR, so the gate is really a
 "same-order-of-magnitude and not collapsing" check on heterogeneous CI
 hardware, not a precision measurement. The table records both numbers and
-the ratio so a hardware mismatch is visible at a glance.
+the ratio so a hardware mismatch is visible at a glance. (The ``:lower``
+quality gates are the exception — MAE at a fixed seed and shape is
+hardware-stable, so their band can be tight.)
 """
 
 from __future__ import annotations
@@ -33,15 +55,59 @@ import os
 import sys
 
 
-def last_json_line(path: str) -> dict:
-    """Parse the last non-empty line of a JSON-lines file."""
+def parse_metric_spec(spec: str) -> tuple[str, dict[str, str], bool]:
+    """Split ``METRIC[@k=v,...][:lower]`` into (metric, filters, lower)."""
+    lower = False
+    if spec.endswith(":lower"):
+        lower = True
+        spec = spec[: -len(":lower")]
+    filters: dict[str, str] = {}
+    if "@" in spec:
+        spec, _, filter_part = spec.partition("@")
+        for pair in filter_part.split(","):
+            key, sep, value = pair.partition("=")
+            if not sep or not key:
+                raise ValueError(f"bad metric filter clause '{pair}' "
+                                 f"(expected key=value)")
+            filters[key] = value
+    if not spec:
+        raise ValueError("empty metric name in --check spec")
+    return spec, filters, lower
+
+
+def _matches(obj: dict, filters: dict[str, str]) -> bool:
+    for key, want in filters.items():
+        if key not in obj:
+            return False
+        have = obj[key]
+        # Compare against both the Python str() and the JSON rendering so
+        # `openmp=true` matches a JSON boolean and `m=8` matches a number.
+        if str(have) != want and json.dumps(have) != want:
+            return False
+    return True
+
+
+def last_json_line(path: str, filters: dict[str, str] | None = None) -> dict:
+    """Parse the last (matching) non-empty line of a JSON-lines file."""
     last = None
     with open(path, "r", encoding="utf-8") as fh:
         for line in fh:
             line = line.strip()
-            if line:
+            if not line:
+                continue
+            if filters:
+                try:
+                    obj = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if _matches(obj, filters):
+                    last = line
+            else:
                 last = line
     if last is None:
+        if filters:
+            raise ValueError(f"{path}: no JSON line matches "
+                             f"{','.join(f'{k}={v}' for k, v in filters.items())}")
         raise ValueError(f"{path}: no JSON lines found")
     try:
         return json.loads(last)
@@ -49,20 +115,21 @@ def last_json_line(path: str) -> dict:
         raise ValueError(f"{path}: last line is not valid JSON: {exc}") from exc
 
 
-def run_check(name: str, fresh_path: str, baseline_path: str, metric: str,
-              min_ratio: float) -> dict:
+def run_check(name: str, fresh_path: str, baseline_path: str, spec: str,
+              min_ratio: float, max_ratio: float) -> dict:
+    metric, filters, lower = parse_metric_spec(spec)
     fresh = last_json_line(fresh_path)
     if metric not in fresh:
         raise ValueError(f"{fresh_path}: metric '{metric}' missing from fresh line")
     fresh_v = float(fresh[metric])
-    # A missing/empty committed trajectory (or a metric introduced by the
-    # current PR) is a bootstrap condition, not a regression: record the
-    # fresh value, note why there is nothing to compare against, and let
-    # the gate pass. The fresh side above stays strict — a bench that
-    # stopped emitting its metric is a real failure.
+    # A missing/empty committed trajectory (or a metric/filter introduced
+    # by the current PR) is a bootstrap condition, not a regression:
+    # record the fresh value, note why there is nothing to compare
+    # against, and let the gate pass. The fresh side above stays strict —
+    # a bench that stopped emitting its metric is a real failure.
     skip_note = None
     try:
-        baseline = last_json_line(baseline_path)
+        baseline = last_json_line(baseline_path, filters)
     except (OSError, ValueError) as exc:
         skip_note = f"no committed baseline ({exc})"
     else:
@@ -72,6 +139,7 @@ def run_check(name: str, fresh_path: str, baseline_path: str, metric: str,
         return {
             "name": name,
             "metric": metric,
+            "lower": lower,
             "committed_pr": "-",
             "committed": None,
             "fresh": fresh_v,
@@ -80,34 +148,41 @@ def run_check(name: str, fresh_path: str, baseline_path: str, metric: str,
             "note": skip_note,
         }
     base_v = float(baseline[metric])
-    ratio = fresh_v / base_v if base_v > 0 else float("inf")
+    if base_v > 0:
+        ratio = fresh_v / base_v
+    else:
+        ratio = float("inf") if fresh_v > 0 else 1.0
+    ok = (ratio <= max_ratio) if lower else (ratio >= min_ratio)
     return {
         "name": name,
         "metric": metric,
+        "lower": lower,
         "committed_pr": baseline.get("pr", "?"),
         "committed": base_v,
         "fresh": fresh_v,
         "ratio": ratio,
-        "ok": ratio >= min_ratio,
+        "ok": ok,
     }
 
 
-def markdown_table(rows: list[dict], min_ratio: float) -> str:
+def markdown_table(rows: list[dict], min_ratio: float, max_ratio: float) -> str:
     lines = [
-        f"### Bench perf gate (fresh ≥ {min_ratio:.2f}× last committed line)",
+        f"### Bench gate (higher-is-better: fresh ≥ {min_ratio:.2f}× committed; "
+        f"lower-is-better: fresh ≤ {max_ratio:.2f}× committed)",
         "",
         "| bench | metric | committed (pr) | fresh | ratio | status |",
         "|---|---|---|---|---|---|",
     ]
     for r in rows:
+        metric = r["metric"] + (" ↓" if r.get("lower") else "")
         if r.get("note") is not None:
             lines.append(
-                f"| {r['name']} | `{r['metric']}` | — "
+                f"| {r['name']} | `{metric}` | — "
                 f"| {r['fresh']:.4g} | — | ⚠️ skipped: {r['note']} |")
             continue
         status = "✅ pass" if r["ok"] else "❌ **regression**"
         lines.append(
-            f"| {r['name']} | `{r['metric']}` "
+            f"| {r['name']} | `{metric}` "
             f"| {r['committed']:.4g} (pr:{r['committed_pr']}) "
             f"| {r['fresh']:.4g} | {r['ratio']:.3f}x | {status} |")
     lines.append("")
@@ -119,24 +194,30 @@ def main(argv: list[str]) -> int:
                                  formatter_class=argparse.RawDescriptionHelpFormatter)
     ap.add_argument("--check", nargs=4, action="append", required=True,
                     metavar=("NAME", "FRESH_JSON", "BASELINE_JSON", "METRIC"),
-                    help="one gate: fresh bench line vs committed trajectory file")
+                    help="one gate: fresh bench line vs committed trajectory "
+                         "file; METRIC may carry @key=value baseline filters "
+                         "and a :lower suffix for lower-is-better metrics")
     ap.add_argument("--min-ratio", type=float, default=0.85,
-                    help="fail when fresh/committed drops below this (default 0.85)")
+                    help="higher-is-better gate: fail when fresh/committed "
+                         "drops below this (default 0.85)")
+    ap.add_argument("--max-ratio", type=float, default=1.10,
+                    help="lower-is-better (:lower) gate: fail when "
+                         "fresh/committed exceeds this (default 1.10)")
     ap.add_argument("--summary", default=os.environ.get("GITHUB_STEP_SUMMARY"),
                     help="append the Markdown comparison table to this file "
                          "(default: $GITHUB_STEP_SUMMARY when set)")
     args = ap.parse_args(argv)
 
     rows = []
-    for name, fresh_path, baseline_path, metric in args.check:
+    for name, fresh_path, baseline_path, spec in args.check:
         try:
-            rows.append(run_check(name, fresh_path, baseline_path, metric,
-                                  args.min_ratio))
+            rows.append(run_check(name, fresh_path, baseline_path, spec,
+                                  args.min_ratio, args.max_ratio))
         except (OSError, ValueError) as exc:
             print(f"bench_check: {exc}", file=sys.stderr)
             return 2
 
-    table = markdown_table(rows, args.min_ratio)
+    table = markdown_table(rows, args.min_ratio, args.max_ratio)
     print(table)
     if args.summary:
         with open(args.summary, "a", encoding="utf-8") as fh:
@@ -149,9 +230,11 @@ def main(argv: list[str]) -> int:
 
     failures = [r for r in rows if not r["ok"]]
     for r in failures:
+        direction = (f"exceeds {args.max_ratio:.2f}x" if r.get("lower")
+                     else f"is below {args.min_ratio:.2f}x")
         print(f"bench_check: FAIL {r['name']}.{r['metric']} = {r['fresh']:.4g} "
               f"is {r['ratio']:.3f}x of committed {r['committed']:.4g} "
-              f"(threshold {args.min_ratio:.2f}x)", file=sys.stderr)
+              f"({direction} threshold)", file=sys.stderr)
     return 1 if failures else 0
 
 
