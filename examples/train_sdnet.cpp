@@ -4,8 +4,13 @@
 // Run:  ./train_sdnet [--ranks 4] [--epochs 100] [--m 8] [--bvps 256]
 //       [--width 64] [--depth 4] [--lr 1e-2] [--out sdnet.bin]
 //       [--optimizer lamb|adamw|sgd]
+//       [--checkpoint ckpt.bin] [--checkpoint-every 5] [--resume]
+//       [--kill-after-epoch N]   (fault-injection: SIGKILL the process
+//                                 right after epoch N's checkpoint lands,
+//                                 for kill/resume recovery tests)
 // or, built with -DMF_WITH_MPI=ON, data-parallel over real processes:
 //       mpirun -np 4 ./example_train_sdnet --epochs 100
+#include <csignal>
 #include <cstdio>
 #include <memory>
 
@@ -53,6 +58,10 @@ int main(int argc, char** argv) {
   cfg.optimizer = opt_name == "lamb"   ? mosaic::OptimizerKind::kLamb
                   : opt_name == "sgd"  ? mosaic::OptimizerKind::kSgd
                                        : mosaic::OptimizerKind::kAdamW;
+  cfg.checkpoint_path = args.get("checkpoint", "");
+  cfg.checkpoint_every = args.get_int("checkpoint-every", 0);
+  cfg.resume = args.get_bool("resume");
+  const int64_t kill_after = args.get_int("kill-after-epoch", -1);
 
   mosaic::EpochStats root_stats;
   launcher.run(ranks, [&](comm::Comm& c) {
@@ -72,6 +81,14 @@ int main(int argc, char** argv) {
             std::printf("  epoch %3ld  loss %.4f  val MSE %.6f  (%.1fs)\n",
                         static_cast<long>(s.epoch), s.train_loss, s.val_mse,
                         s.wall_seconds);
+          }
+          if (kill_after >= 0 && s.epoch == kill_after) {
+            // Crash test: the trainer checkpoints before this callback,
+            // so the snapshot for this epoch is already durable. Die the
+            // hard way — no destructors, no flushes — like a real
+            // preemption.
+            std::fflush(stdout);
+            std::raise(SIGKILL);
           }
         });
     if (c.rank() == 0) {

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
@@ -134,6 +135,23 @@ std::atomic<bool> g_widening_enabled{[] {
   return !(env && env[0] == '1');
 }()};
 
+// Opt-in: the sentinel scan costs one pass over external outputs per
+// replay, so it defaults off and serving/chaos runs turn it on.
+std::atomic<bool> g_health_enabled{[] {
+  const char* env = std::getenv("MF_HEALTH_CHECKS");
+  return env && env[0] == '1';
+}()};
+
+std::atomic<std::uint64_t> g_health_checks{0};
+std::atomic<std::uint64_t> g_health_trips{0};
+std::atomic<std::uint64_t> g_health_plan_fallbacks{0};
+std::atomic<std::uint64_t> g_health_eager_fallbacks{0};
+
+// Divergence bound: values past this are treated as numerically dead
+// even while still finite (an exploding iteration detected before it
+// reaches Inf).
+constexpr double kHealthDivergenceBound = 1e100;
+
 }  // namespace
 
 bool program_enabled() { return g_prog_enabled.load(std::memory_order_relaxed); }
@@ -172,6 +190,35 @@ bool program_widening_enabled() {
 
 bool program_widening_set_enabled(bool on) {
   return g_widening_enabled.exchange(on, std::memory_order_relaxed);
+}
+
+bool health_checks_enabled() {
+  return g_health_enabled.load(std::memory_order_relaxed);
+}
+
+bool health_checks_set_enabled(bool on) {
+  return g_health_enabled.exchange(on, std::memory_order_relaxed);
+}
+
+HealthStats health_stats() {
+  HealthStats h;
+  h.checks = g_health_checks.load(std::memory_order_relaxed);
+  h.trips = g_health_trips.load(std::memory_order_relaxed);
+  h.plan_fallbacks = g_health_plan_fallbacks.load(std::memory_order_relaxed);
+  h.eager_fallbacks = g_health_eager_fallbacks.load(std::memory_order_relaxed);
+  return h;
+}
+
+void health_stats_reset() {
+  g_health_checks.store(0, std::memory_order_relaxed);
+  g_health_trips.store(0, std::memory_order_relaxed);
+  g_health_plan_fallbacks.store(0, std::memory_order_relaxed);
+  g_health_eager_fallbacks.store(0, std::memory_order_relaxed);
+}
+
+void health_note_fallback(bool to_eager) {
+  auto& counter = to_eager ? g_health_eager_fallbacks : g_health_plan_fallbacks;
+  counter.fetch_add(1, std::memory_order_relaxed);
 }
 
 struct Program::Impl {
@@ -222,6 +269,12 @@ struct Program::Impl {
   // parallel) is equivalent to the recorded serial order.
   std::vector<std::vector<std::int32_t>> waves;
 
+  // Health sentinel: the external slots any step writes (computed at
+  // lowering); the opt-in post-replay scan walks exactly these.
+  std::vector<std::int32_t> health_slots;
+  bool last_healthy = true;
+  std::uint64_t health_checks = 0, health_trips = 0;
+
   // Capture-time state.
   std::unordered_map<const TensorImpl*, std::int32_t> slot_of;
   // Set by prog::on_uncapturable(): the capture body ran something that
@@ -270,6 +323,8 @@ struct Program::Impl {
     adam_ticks.clear();
     arena.clear();
     waves.clear();
+    health_slots.clear();
+    last_healthy = true;
     slot_of.clear();
     poisoned = false;
     wide_ready = false;
@@ -1011,6 +1066,24 @@ void lower(Program::Impl& im) {
     }
   }
   for (const auto& a : im.arena) im.arena_bytes += a.size();
+
+  // Health sentinel slot list: every external slot some step writes
+  // (losses, predictions, `.grad` buffers, optimizer-updated parameters).
+  // Internal slots are skipped — they are scratch whose final contents
+  // are whatever the last aliasing writer left.
+  {
+    std::vector<char> listed(S, 0);
+    for (const Step& s : im.steps) {
+      if (s.kind == StepKind::kAdamTick) continue;  // writes state only
+      const std::int32_t o = s.out;
+      if (o < 0 || internal[static_cast<std::size_t>(o)] ||
+          listed[static_cast<std::size_t>(o)]) {
+        continue;
+      }
+      listed[static_cast<std::size_t>(o)] = 1;
+      im.health_slots.push_back(o);
+    }
+  }
 
   compute_waves(im);
 }
@@ -1827,6 +1900,49 @@ Program::~Program() = default;
 Program::Program(Program&&) noexcept = default;
 Program& Program::operator=(Program&&) noexcept = default;
 
+namespace {
+
+template <typename T>
+bool span_healthy(const T* p, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) {
+    const double v = static_cast<double>(p[i]);
+    if (!std::isfinite(v) || std::abs(v) > kHealthDivergenceBound) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Post-replay sentinel scan over the plan's written external slots.
+/// `buf`/`slot_len` parameterize over plain and widened replay contexts.
+void run_health_check(Program::Impl& im, void* const* buf,
+                      const int64_t* slot_len) {
+  if (!health_checks_enabled()) return;
+  ++im.health_checks;
+  g_health_checks.fetch_add(1, std::memory_order_relaxed);
+  bool healthy = true;
+  for (std::int32_t s : im.health_slots) {
+    const auto idx = static_cast<std::size_t>(s);
+    const void* p = buf[idx];
+    if (p == nullptr) continue;
+    const int64_t n = slot_len[idx];
+    const bool ok = im.slot_dt[idx] == DType::kF32
+                        ? span_healthy(static_cast<const float*>(p), n)
+                        : span_healthy(static_cast<const double*>(p), n);
+    if (!ok) {
+      healthy = false;
+      break;
+    }
+  }
+  im.last_healthy = healthy;
+  if (!healthy) {
+    ++im.health_trips;
+    g_health_trips.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace
+
 void Program::capture(const std::function<void()>& fn) {
   if (prog::detail::g_recorder) {
     throw std::logic_error("Program::capture: nested capture on one thread");
@@ -1834,10 +1950,23 @@ void Program::capture(const std::function<void()>& fn) {
   reset();
   Impl& im = *impl_;
   const double t0 = now_ms();
+  // RAII backstop: the thread-local recorder must be cleared on *every*
+  // exit path — a stuck recorder would silently record unrelated later
+  // kernels into this plan and permanently block further captures on the
+  // thread. The explicit clears below stay (lower() must run with
+  // recording off); the guard covers anything they miss.
+  struct RecorderGuard {
+    ~RecorderGuard() { prog::detail::g_recorder = nullptr; }
+  } recorder_guard;
   prog::detail::g_recorder = &im;
   try {
     fn();
   } catch (...) {
+    // Poison the in-flight capture exactly like an in-band uncapturable
+    // op, then drop every recorded slot: the pinned payloads return to
+    // the pool and the released autodiff graph lets the tape arena
+    // rewind, instead of a half-recorded plan pinning both.
+    prog::on_uncapturable();
     prog::detail::g_recorder = nullptr;
     reset();
     throw;
@@ -1859,6 +1988,8 @@ void Program::capture(const std::function<void()>& fn) {
 }
 
 bool Program::captured() const { return impl_->ready; }
+
+bool Program::last_replay_healthy() const { return impl_->last_healthy; }
 
 void Program::replay() {
   Impl& im = *impl_;
@@ -1913,6 +2044,7 @@ void Program::replay() {
     for (const Step& s : im.steps) execute(im, s, B, slot_len, bplans);
   }
   ++im.replays;
+  run_health_check(im, im.buf.data(), im.slot_len.data());
 }
 
 bool Program::widen(const std::vector<Tensor>& batch_io) {
@@ -2124,6 +2256,7 @@ void Program::replay_widened(int64_t b) {
   ++im.replays;
   ++im.widened_replays;
   im.max_widen_batch = std::max(im.max_widen_batch, b);
+  run_health_check(im, ctx.buf.data(), ctx.slot_len.data());
 }
 
 void Program::reset() { impl_->clear_plan(); }
@@ -2148,6 +2281,8 @@ Program::Stats Program::stats() const {
   st.wide_instances = im.wide_ctxs.size();
   st.max_widen_batch = im.max_widen_batch;
   st.capture_ms = im.capture_ms;
+  st.health_checks = im.health_checks;
+  st.health_trips = im.health_trips;
   st.captures = im.captures;
   st.replays = im.replays;
   st.widened_replays = im.widened_replays;

@@ -131,6 +131,8 @@ class Program {
     std::uint64_t captures = 0;     // captures over this Program's life
     std::uint64_t replays = 0;
     std::uint64_t widened_replays = 0;
+    std::uint64_t health_checks = 0;  // post-replay sentinel scans run
+    std::uint64_t health_trips = 0;   // scans that found NaN/Inf/divergence
   };
 
   Program();
@@ -193,6 +195,13 @@ class Program {
 
   Stats stats() const;
 
+  /// Health sentinel verdict of the most recent replay()/replay_widened():
+  /// false when the post-replay scan (active under health_checks_enabled())
+  /// found a NaN, an Inf, or a diverged (>1e100) value in any external
+  /// slot the plan writes. Always true when checks are off or no replay
+  /// has run since capture.
+  bool last_replay_healthy() const;
+
   struct Impl;  // also the active capture recorder (see program.cpp)
 
  private:
@@ -227,6 +236,33 @@ int program_set_plan_threads(int n);
 /// callers keep per-shape captures.
 bool program_widening_enabled();
 bool program_widening_set_enabled(bool on);
+
+// ---- numerical health sentinel ----------------------------------------
+//
+// Opt-in (MF_HEALTH_CHECKS=1) per-replay NaN/Inf/divergence scan over the
+// external slots a plan writes. On a trip, the wired call sites
+// (mosaic::NeuralSubdomainSolver, mosaic::CompiledTrainStep) walk the
+// fallback ladder — widened-f32 plan -> plain f64 replay -> eager —
+// poisoning the tripped cache entry instead of propagating garbage.
+
+/// True when MF_HEALTH_CHECKS=1 (default off: the scan costs one pass
+/// over the plan's external outputs per replay).
+bool health_checks_enabled();
+/// Override the env default (tests / serving layer). Returns previous.
+bool health_checks_set_enabled(bool on);
+
+/// Process-wide sentinel accounting, aggregated across all Programs.
+struct HealthStats {
+  std::uint64_t checks = 0;           // sentinel scans run
+  std::uint64_t trips = 0;            // scans that found bad values
+  std::uint64_t plan_fallbacks = 0;   // ladder: f32 plan -> f64 plan
+  std::uint64_t eager_fallbacks = 0;  // ladder: plan -> eager execution
+};
+HealthStats health_stats();
+void health_stats_reset();
+/// Call sites report each ladder step they take so the counters above
+/// reflect actions, not just detections.
+void health_note_fallback(bool to_eager);
 
 // ---- capture hooks ----------------------------------------------------
 //

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <unordered_set>
 
 namespace mf::comm {
@@ -209,6 +210,45 @@ std::vector<double> Comm::wait_recv(Request r) {
     consumed_pending_ = 0;
   }
   return payload;
+}
+
+bool Comm::wait_recv_for(Request r, double timeout_ms,
+                         std::vector<double>& out) {
+  if (timeout_ms < 0) {
+    out = wait_recv(r);
+    return true;
+  }
+  const auto find = [this](Request id) {
+    return std::lower_bound(
+        pending_recvs_.begin(), pending_recvs_.end(), id,
+        [](const PendingRecv& q, Request want) { return q.id < want; });
+  };
+  {
+    // Validate the handle up front so a stale handle throws instead of
+    // spinning until the deadline.
+    const auto it = find(r);
+    if (it == pending_recvs_.end() || it->id != r || it->consumed) {
+      throw std::logic_error(
+          "wait_recv_for: invalid or already-completed request");
+    }
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double, std::milli>(timeout_ms));
+  for (;;) {
+    progress();
+    const auto it = find(r);
+    if (it != pending_recvs_.end() && it->id == r && it->done &&
+        !it->consumed) {
+      // Completes without blocking and reuses wait_recv's post-order
+      // consume + amortized compaction.
+      out = wait_recv(r);
+      return true;
+    }
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
 }
 
 double Comm::allreduce_sum(double value) {

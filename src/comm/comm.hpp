@@ -110,6 +110,14 @@ class Comm {
   void progress();
   /// Complete a posted receive, blocking until its message arrives.
   std::vector<double> wait_recv(Request r);
+  /// Deadline-bounded wait: poll progress() until request `r` completes
+  /// or `timeout_ms` elapses. On success, moves the payload into `out`
+  /// and consumes the request; on timeout returns false and leaves the
+  /// request pending (a later progress()/wait_recv/wait_recv_for can
+  /// still complete it). `timeout_ms < 0` degrades to blocking
+  /// wait_recv. Requires a backend with nonblocking probe support
+  /// (transport_try_recv); both ThreadComm and MpiComm have it.
+  bool wait_recv_for(Request r, double timeout_ms, std::vector<double>& out);
   /// Posted receives still tracked by the bookkeeping table (unconsumed
   /// posts plus consumed entries awaiting amortized compaction). Bounded
   /// by O(outstanding posts) even when one straggler is never waited on.
@@ -168,6 +176,10 @@ class Comm {
   CommStats stats_;
 
  private:
+  // FaultComm decorates another Comm by forwarding (and perturbing) its
+  // protected transport hooks; it is the one sanctioned external caller.
+  friend class FaultComm;
+
   struct PendingRecv {
     Request id = 0;         // monotonic post id (the caller's handle)
     int src = -1;

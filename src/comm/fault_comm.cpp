@@ -1,0 +1,303 @@
+#include "comm/fault_comm.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+
+#include "util/crc32.hpp"
+
+namespace mf::comm {
+
+namespace {
+
+// Per-frame decision hashing: splitmix64 over (seed, src, dst, tag, seq)
+// gives independent, reproducible uniforms per channel frame.
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+double uniform01(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t channel_key(int peer, int tag) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(peer)) << 32) |
+         static_cast<std::uint64_t>(static_cast<std::uint32_t>(tag));
+}
+
+constexpr std::size_t kHeaderDoubles = 2;  // [seq, crc]
+constexpr int kMaxEmulatedLosses = 4;      // retransmit-ladder rung cap
+
+double parse_number(const std::string& clause, const std::string& value) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(value, &used);
+    if (used != value.size()) throw std::invalid_argument("trailing");
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("MF_FAULT_SPEC: bad value in clause '" +
+                                clause + "'");
+  }
+}
+
+void check_probability(const std::string& key, double v) {
+  if (v < 0 || v > 1) {
+    throw std::invalid_argument("MF_FAULT_SPEC: " + key +
+                                " must be a probability in [0,1], got " +
+                                std::to_string(v));
+  }
+}
+
+}  // namespace
+
+FaultSpec FaultSpec::parse(const std::string& text) {
+  FaultSpec s;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t end = text.find_first_of(";,", pos);
+    if (end == std::string::npos) end = text.size();
+    const std::string clause = text.substr(pos, end - pos);
+    pos = end + 1;
+    if (clause.empty()) continue;
+    const std::size_t eq = clause.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument(
+          "MF_FAULT_SPEC: clause '" + clause +
+          "' is not key=value (grammar: seed=7;drop=0.05;delay=0.05;...)");
+    }
+    const std::string key = clause.substr(0, eq);
+    const std::string value = clause.substr(eq + 1);
+    if (key == "seed") {
+      s.seed = static_cast<std::uint64_t>(parse_number(clause, value));
+    } else if (key == "drop") {
+      s.drop = parse_number(clause, value);
+      check_probability(key, s.drop);
+    } else if (key == "delay") {
+      s.delay = parse_number(clause, value);
+      check_probability(key, s.delay);
+    } else if (key == "dup") {
+      s.dup = parse_number(clause, value);
+      check_probability(key, s.dup);
+    } else if (key == "flip") {
+      s.flip = parse_number(clause, value);
+      check_probability(key, s.flip);
+    } else if (key == "delay_ms") {
+      s.delay_ms = parse_number(clause, value);
+    } else if (key == "rto_ms") {
+      s.rto_ms = parse_number(clause, value);
+    } else if (key == "rto_max_ms") {
+      s.rto_max_ms = parse_number(clause, value);
+    } else if (key == "stall_rank") {
+      s.stall_rank = static_cast<int>(parse_number(clause, value));
+    } else if (key == "stall_ms") {
+      s.stall_ms = parse_number(clause, value);
+    } else if (key == "stall_every") {
+      s.stall_every = static_cast<int>(parse_number(clause, value));
+      if (s.stall_every < 1) {
+        throw std::invalid_argument("MF_FAULT_SPEC: stall_every must be >= 1");
+      }
+    } else if (key == "liveness_ms") {
+      s.liveness_ms = parse_number(clause, value);
+    } else {
+      throw std::invalid_argument("MF_FAULT_SPEC: unknown key '" + key +
+                                  "' in clause '" + clause + "'");
+    }
+  }
+  return s;
+}
+
+FaultEnvSpec fault_spec_from_env() {
+  FaultEnvSpec e;
+  const char* v = std::getenv("MF_FAULT_SPEC");
+  if (v == nullptr || *v == '\0') return e;
+  e.active = true;
+  e.spec = FaultSpec::parse(v);
+  return e;
+}
+
+FaultSpec::Decision FaultSpec::decide(int src, int dst, int tag,
+                                      std::uint64_t seq) const {
+  std::uint64_t base = splitmix64(
+      seed ^ (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src))
+              << 32 |
+          static_cast<std::uint64_t>(static_cast<std::uint32_t>(dst))));
+  base = splitmix64(
+      base ^ (static_cast<std::uint64_t>(static_cast<std::uint32_t>(tag))));
+  base = splitmix64(base ^ seq);
+  const auto u = [&](std::uint64_t stream) {
+    return uniform01(splitmix64(base + stream));
+  };
+  Decision d;
+  if (drop > 0) {
+    // Each rung of the ladder is one more emulated transmission loss;
+    // the receiver holds the frame for the sum of the sender's capped
+    // exponential retransmit timeouts.
+    while (d.drop_losses < kMaxEmulatedLosses &&
+           u(10 + static_cast<std::uint64_t>(d.drop_losses)) < drop) {
+      d.hold_ms += std::min(rto_ms * static_cast<double>(1 << d.drop_losses),
+                            rto_max_ms);
+      ++d.drop_losses;
+    }
+  }
+  if (d.drop_losses == 0 && delay > 0 && u(20) < delay) {
+    d.delayed = true;
+    d.hold_ms += delay_ms;
+  }
+  if (flip > 0 && u(30) < flip) {
+    d.flip = true;
+    // The corrupted copy is discarded on CRC mismatch; the clean frame
+    // arrives one retransmit timeout later.
+    d.hold_ms += std::min(rto_ms, rto_max_ms);
+  }
+  d.dup = dup > 0 && u(40) < dup;
+  return d;
+}
+
+FaultComm::FaultComm(Comm& inner, FaultSpec spec)
+    : Comm(inner.model()), inner_(inner), spec_(spec) {
+  t0_ns_ = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+double FaultComm::now_ms() const {
+  const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now().time_since_epoch())
+                      .count();
+  return static_cast<double>(static_cast<std::uint64_t>(ns) - t0_ns_) * 1e-6;
+}
+
+void FaultComm::maybe_stall() {
+  if (spec_.stall_rank != rank() || spec_.stall_ms <= 0) return;
+  ++recv_calls_;
+  if (recv_calls_ % static_cast<std::uint64_t>(spec_.stall_every) != 0) return;
+  ++fstats_.stalls;
+  std::this_thread::sleep_for(
+      std::chrono::duration<double, std::milli>(spec_.stall_ms));
+}
+
+void FaultComm::transport_send(int dst, const double* data, std::size_t n,
+                               int tag) {
+  const std::uint64_t seq = send_seq_[channel_key(dst, tag)]++;
+  std::vector<double> frame(kHeaderDoubles + n);
+  frame[0] = static_cast<double>(seq);
+  frame[1] =
+      static_cast<double>(util::crc32(data, n * sizeof(double)));
+  std::memcpy(frame.data() + kHeaderDoubles, data, n * sizeof(double));
+  inner_.transport_send(dst, frame.data(), frame.size(), tag);
+  ++fstats_.frames_sent;
+}
+
+void FaultComm::pump(int src, int tag, RecvChannel& ch) {
+  std::vector<double> frame;
+  while (inner_.transport_try_recv(src, tag, frame)) {
+    if (frame.size() < kHeaderDoubles) {
+      throw std::logic_error(
+          "fault_comm: received an unframed message — every rank of the "
+          "world must be wrapped in FaultComm consistently");
+    }
+    const auto seq = static_cast<std::uint64_t>(frame[0]);
+    const auto wire_crc = static_cast<std::uint32_t>(frame[1]);
+    std::vector<double> payload(frame.begin() + kHeaderDoubles, frame.end());
+    const FaultSpec::Decision dec = spec_.decide(src, rank(), tag, seq);
+    fstats_.injected_drops += static_cast<std::uint64_t>(dec.drop_losses);
+    fstats_.injected_delays += dec.delayed ? 1 : 0;
+    if (dec.flip && !payload.empty()) {
+      // Deliver-and-verify the corrupted copy: flip one payload bit,
+      // check the CRC the sender stamped, count the catch. The clean
+      // frame is already scheduled one RTO later by decide().
+      std::vector<double> corrupt = payload;
+      const std::uint64_t bit =
+          splitmix64(spec_.seed ^ seq ^ 0xF11Full) %
+          (corrupt.size() * sizeof(double) * 8);
+      reinterpret_cast<unsigned char*>(corrupt.data())[bit / 8] ^=
+          static_cast<unsigned char>(1u << (bit % 8));
+      ++fstats_.injected_flips;
+      if (util::crc32(corrupt.data(), corrupt.size() * sizeof(double)) !=
+          wire_crc) {
+        ++fstats_.detected_corruptions;
+      }
+      // An undetected flip (CRC collision, ~2^-32) falls through and
+      // delivers the clean copy anyway: the channel never lies.
+    }
+    if (util::crc32(payload.data(), payload.size() * sizeof(double)) !=
+        wire_crc) {
+      throw std::runtime_error(
+          "fault_comm: CRC mismatch on an uninjected frame (real transport "
+          "corruption)");
+    }
+    HeldFrame h;
+    h.seq = seq;
+    h.release_ms = now_ms() + dec.hold_ms;
+    h.payload = std::move(payload);
+    if (dec.dup) {
+      ++fstats_.injected_dups;
+      ch.held.push_back(h);  // duplicate copy; dedup discards one
+    }
+    ch.held.push_back(std::move(h));
+  }
+}
+
+bool FaultComm::pop_ready(RecvChannel& ch, std::vector<double>& out) {
+  while (!ch.held.empty()) {
+    HeldFrame& f = ch.held.front();
+    if (f.seq < ch.next_seq) {
+      // Sequence-number dedup: an injected duplicate of an already
+      // delivered frame.
+      ++fstats_.duplicate_discards;
+      ch.held.pop_front();
+      continue;
+    }
+    if (now_ms() < f.release_ms) return false;  // head-of-line holdback
+    if (f.seq != ch.next_seq) {
+      throw std::logic_error("fault_comm: sequence gap — the inner "
+                             "transport reordered or lost a frame");
+    }
+    ++ch.next_seq;
+    ++fstats_.frames_delivered;
+    out = std::move(f.payload);
+    ch.held.pop_front();
+    return true;
+  }
+  return false;
+}
+
+bool FaultComm::transport_try_recv(int src, int tag,
+                                   std::vector<double>& out) {
+  maybe_stall();
+  RecvChannel& ch = recv_ch_[channel_key(src, tag)];
+  pump(src, tag, ch);
+  return pop_ready(ch, out);
+}
+
+std::vector<double> FaultComm::transport_recv(int src, int tag) {
+  maybe_stall();
+  RecvChannel& ch = recv_ch_[channel_key(src, tag)];
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<double> out;
+  for (;;) {
+    pump(src, tag, ch);
+    if (pop_ready(ch, out)) return out;
+    const double waited_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    if (waited_ms > spec_.liveness_ms) {
+      // The inner try-recv path does not surface peer failure, so a dead
+      // sender would otherwise spin this poll loop forever.
+      throw std::runtime_error(
+          "fault_comm: no frame from rank " + std::to_string(src) +
+          " within liveness_ms=" + std::to_string(spec_.liveness_ms) +
+          " (peer dead or stalled past the liveness bound)");
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+}
+
+}  // namespace mf::comm

@@ -1,0 +1,149 @@
+// Deterministic fault injection over any comm::Comm backend.
+//
+// FaultComm decorates an inner transport (ThreadComm or MpiComm) with a
+// reliable-delivery layer that deliberately misbehaves on schedule:
+// every point-to-point payload is framed with a per-(peer, tag) sequence
+// number and a CRC-32, and the receiver draws a deterministic fault
+// decision per frame from hash(seed, src, dst, tag, seq):
+//
+//   * drop  — the frame is withheld for an emulated retransmit ladder
+//             (capped exponential backoff: rto_ms, 2*rto_ms, ... capped
+//             at rto_max_ms, one rung per consecutive emulated loss);
+//   * delay — the frame is withheld for delay_ms;
+//   * flip  — a bit-flipped copy is CRC-verified first (the mismatch is
+//             counted as a detected corruption), then the clean frame is
+//             released after one retransmit timeout;
+//   * dup   — the frame is delivered twice; the second copy is discarded
+//             by the sequence-number dedup;
+//   * stall — every stall_every-th receive call on stall_rank sleeps
+//             stall_ms, emulating a slow/overloaded rank.
+//
+// Frames are released strictly in sequence order per (src, tag) — a
+// held-back frame blocks the frames behind it, exactly like a real
+// retransmission window — so the channel stays exactly-once, in-order,
+// contents-exact: only *timing* degrades. With an all-zero spec the
+// holdback queue never holds anything and delivered payloads (hence
+// solver results) are bitwise identical to the bare backend.
+//
+// The schedule (which frames are dropped/delayed/flipped/duplicated) is
+// a pure function of the spec string, so two runs of the same program
+// under the same MF_FAULT_SPEC inject the identical fault schedule.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "comm/comm.hpp"
+
+namespace mf::comm {
+
+/// Parsed MF_FAULT_SPEC. Grammar: `key=value` pairs separated by `;` or
+/// `,`, e.g. "seed=7;drop=0.05;delay=0.05;delay_ms=2". Unknown keys and
+/// malformed values throw std::invalid_argument with the offending
+/// clause in the message.
+struct FaultSpec {
+  std::uint64_t seed = 1;
+  double drop = 0;   // P(frame enters the retransmit ladder)
+  double delay = 0;  // P(frame held for delay_ms)
+  double dup = 0;    // P(frame delivered twice)
+  double flip = 0;   // P(bit-flipped copy delivered first)
+  double delay_ms = 2.0;
+  double rto_ms = 2.0;       // retransmit-timeout base (drop/flip holds)
+  double rto_max_ms = 16.0;  // exponential-backoff cap
+  int stall_rank = -1;       // -1: no rank stalls
+  double stall_ms = 0;
+  int stall_every = 16;
+  double liveness_ms = 20000;  // blocking-receive poll cap before erroring
+
+  bool any_faults() const {
+    return drop > 0 || delay > 0 || dup > 0 || flip > 0 ||
+           (stall_rank >= 0 && stall_ms > 0);
+  }
+
+  static FaultSpec parse(const std::string& text);
+
+  /// The deterministic per-frame schedule: what happens to frame `seq`
+  /// of channel (src -> dst, tag). Pure function of (spec, arguments).
+  struct Decision {
+    int drop_losses = 0;  // consecutive emulated transmission losses
+    bool delayed = false;
+    bool flip = false;
+    bool dup = false;
+    double hold_ms = 0;  // total receiver-side holdback before release
+  };
+  Decision decide(int src, int dst, int tag, std::uint64_t seq) const;
+};
+
+/// Result of parsing MF_FAULT_SPEC: inactive when the variable is unset
+/// or empty, otherwise the parsed spec.
+struct FaultEnvSpec {
+  bool active = false;
+  FaultSpec spec;
+};
+FaultEnvSpec fault_spec_from_env();
+
+/// Injection accounting for one rank's FaultComm.
+struct FaultStats {
+  std::uint64_t frames_sent = 0;
+  std::uint64_t frames_delivered = 0;
+  std::uint64_t injected_drops = 0;  // emulated losses (ladder rungs)
+  std::uint64_t injected_delays = 0;
+  std::uint64_t injected_dups = 0;
+  std::uint64_t duplicate_discards = 0;  // dedup hits (== dups delivered)
+  std::uint64_t injected_flips = 0;
+  std::uint64_t detected_corruptions = 0;  // CRC mismatches caught
+  std::uint64_t stalls = 0;
+};
+
+class FaultComm final : public Comm {
+ public:
+  /// Decorate `inner`, which must outlive this object. All ranks of a
+  /// world must be wrapped consistently (all or none): the framing is a
+  /// wire-format change.
+  FaultComm(Comm& inner, FaultSpec spec);
+
+  int rank() const override { return inner_.rank(); }
+  int size() const override { return inner_.size(); }
+
+  const FaultSpec& spec() const { return spec_; }
+  const FaultStats& fault_stats() const { return fstats_; }
+
+ protected:
+  void transport_send(int dst, const double* data, std::size_t n,
+                      int tag) override;
+  std::vector<double> transport_recv(int src, int tag) override;
+  bool transport_try_recv(int src, int tag, std::vector<double>& out) override;
+
+ private:
+  struct HeldFrame {
+    std::uint64_t seq = 0;
+    double release_ms = 0;  // monotonic clock, ms since comm creation
+    std::vector<double> payload;
+  };
+  struct RecvChannel {
+    std::uint64_t next_seq = 0;  // next sequence number to deliver
+    std::deque<HeldFrame> held;  // arrival (== seq) order
+  };
+
+  double now_ms() const;
+  void maybe_stall();
+  /// Drain every frame the inner transport has for (src, tag) into the
+  /// channel's holdback queue, applying the fault schedule per frame.
+  void pump(int src, int tag, RecvChannel& ch);
+  /// Deliver the front frame if its release time has passed (discarding
+  /// injected duplicates on the way).
+  bool pop_ready(RecvChannel& ch, std::vector<double>& out);
+
+  Comm& inner_;
+  FaultSpec spec_;
+  FaultStats fstats_;
+  std::unordered_map<std::uint64_t, std::uint64_t> send_seq_;
+  std::unordered_map<std::uint64_t, RecvChannel> recv_ch_;
+  std::uint64_t recv_calls_ = 0;
+  std::uint64_t t0_ns_ = 0;  // steady_clock origin for release times
+};
+
+}  // namespace mf::comm

@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "comm/fault_comm.hpp"
 #include "comm/world.hpp"
 
 #ifdef MF_HAVE_MPI
@@ -127,6 +128,18 @@ std::vector<int> RankLauncher::sweep_rank_counts(
 
 void RankLauncher::run(int ranks, const std::function<void(Comm&)>& fn) {
   if (ranks < 1) throw std::invalid_argument("RankLauncher::run: ranks < 1");
+  // Chaos hatch: MF_FAULT_SPEC wraps every rank's transport in the
+  // deterministic fault injector. Parsed once per run() so a bad spec
+  // fails fast with its grammar error rather than deadlocking ranks.
+  const FaultEnvSpec fault = fault_spec_from_env();
+  const auto rank_fn = [&](Comm& inner) {
+    if (fault.active) {
+      FaultComm faulty(inner, fault.spec);
+      fn(faulty);
+    } else {
+      fn(inner);
+    }
+  };
   if (backend_ == Backend::kMpi) {
 #ifdef MF_HAVE_MPI
     if (ranks != mpi_size_) {
@@ -137,7 +150,7 @@ void RankLauncher::run(int ranks, const std::function<void(Comm&)>& fn) {
     }
     MpiComm comm(MPI_COMM_WORLD, model_);
     try {
-      fn(comm);
+      rank_fn(comm);
     } catch (const std::exception& e) {
       // A rank that unwinds past its peers would deadlock the job (its
       // pending sends never get matched, everyone else blocks in recv),
@@ -155,7 +168,7 @@ void RankLauncher::run(int ranks, const std::function<void(Comm&)>& fn) {
 #endif
   }
   World world(ranks, model_);
-  world.run(fn);
+  world.run(rank_fn);
 }
 
 }  // namespace mf::comm

@@ -65,6 +65,10 @@ class LaplaceDatasetGenerator {
   int64_t m() const { return m_; }
   int64_t boundary_size() const { return 4 * m_; }
 
+  /// The generator's RNG, exposed so checkpointing can serialize and
+  /// restore the sampling trajectory (make_batch draws from it).
+  util::Rng& rng() { return rng_; }
+
  private:
   PeriodicRbfKernel next_kernel();
 

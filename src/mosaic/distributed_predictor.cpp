@@ -1,7 +1,10 @@
 #include "mosaic/distributed_predictor.hpp"
 
 #include <array>
+#include <chrono>
 #include <cmath>
+#include <cstdlib>
+#include <deque>
 #include <stdexcept>
 
 #include "ad/kernels.hpp"
@@ -43,6 +46,20 @@ RankLayout make_layout(const comm::CartesianGrid& grid, int rank,
   L.ci_y0 = L.oy0 / h;
   L.ci_y1 = L.oy1 / h;
   return L;
+}
+
+// Backpressure bound on per-direction un-drained halo requests in
+// degraded mode: past this, the exchange blocks on the oldest straggler
+// rather than letting the backlog (and the transport's buffered
+// messages) grow without bound.
+constexpr std::size_t kMaxHaloBacklog = 64;
+
+double resolve_halo_timeout_ms(const MfpOptions& options) {
+  if (options.halo_timeout_ms >= 0) return options.halo_timeout_ms;
+  if (const char* v = std::getenv("MF_HALO_TIMEOUT_MS")) {
+    if (*v != '\0') return std::atof(v);
+  }
+  return -1;  // blocking exchange (pre-deadline behavior)
 }
 
 }  // namespace
@@ -93,6 +110,29 @@ DistMfpResult distributed_mosaic_predict(
   std::array<std::vector<double>, comm::kNumDirections> pending;
   double cycle_num = 0, cycle_den = 0;
 
+  // Deadline-aware halo exchange: with a timeout configured, each
+  // direction keeps a queue of outstanding receives (oldest first). A
+  // direction whose backlog cannot be drained within the deadline leaves
+  // this iteration running on the neighbor's last-known boundary values
+  // (degraded); the late messages are applied — strictly in send order,
+  // so the latest value still wins — on a later iteration or in the
+  // final drain. With no timeout the queue always holds exactly one
+  // request and is drained blocking: bitwise identical to before.
+  const double halo_timeout_ms = resolve_halo_timeout_ms(options);
+  const bool halo_deadline = halo_timeout_ms >= 0;
+  struct PostedHalo {
+    comm::Comm::Request req;
+    int64_t iter;
+  };
+  std::array<std::deque<PostedHalo>, comm::kNumDirections> outstanding;
+  const auto apply_packed = [&](const std::vector<double>& packed) {
+    for (std::size_t k = 0; k + 2 < packed.size(); k += 3) {
+      const int64_t gx = static_cast<int64_t>(packed[k]);
+      const int64_t gy = static_cast<int64_t>(packed[k + 1]);
+      if (window.contains(gx, gy)) window.at(gx, gy) = packed[k + 2];
+    }
+  };
+
   // ---- iteration loop (Algorithm 2, lines 2-9) ----
   for (int64_t iter = 0; iter < options.max_iters; ++iter) {
     const int64_t phase = iter % 4;
@@ -132,8 +172,6 @@ DistMfpResult distributed_mosaic_predict(
     // bookkeeping between post and wait runs; the waits only block on
     // stragglers. Received writes are still applied in fixed direction
     // order, so the result is bitwise identical to the blocking exchange.
-    std::array<comm::Comm::Request, comm::kNumDirections> rreq{};
-    std::array<bool, comm::kNumDirections> posted{};
     if (exchange) {
       for (int d = 0; d < comm::kNumDirections; ++d) {
         const int nr = neighbors[static_cast<std::size_t>(d)];
@@ -142,8 +180,8 @@ DistMfpResult distributed_mosaic_predict(
         // perspective, which is the opposite of ours.
         const int tag = kHaloTagBase + static_cast<int>(comm::opposite(
                                            static_cast<comm::Direction>(d)));
-        rreq[static_cast<std::size_t>(d)] = comm.irecv(nr, tag);
-        posted[static_cast<std::size_t>(d)] = true;
+        outstanding[static_cast<std::size_t>(d)].push_back(
+            PostedHalo{comm.irecv(nr, tag), iter});
       }
       for (int d = 0; d < comm::kNumDirections; ++d) {
         const int nr = neighbors[static_cast<std::size_t>(d)];
@@ -160,16 +198,48 @@ DistMfpResult distributed_mosaic_predict(
     result.iterations = iter + 1;
     if (exchange) {
       comm.progress();
+      bool degraded_iter = false;
       for (int d = 0; d < comm::kNumDirections; ++d) {
-        if (!posted[static_cast<std::size_t>(d)]) continue;
-        std::vector<double> packed =
-            comm.wait_recv(rreq[static_cast<std::size_t>(d)]);
-        for (std::size_t k = 0; k + 2 < packed.size(); k += 3) {
-          const int64_t gx = static_cast<int64_t>(packed[k]);
-          const int64_t gy = static_cast<int64_t>(packed[k + 1]);
-          if (window.contains(gx, gy)) window.at(gx, gy) = packed[k + 2];
+        auto& queue = outstanding[static_cast<std::size_t>(d)];
+        if (queue.empty()) continue;
+        if (!halo_deadline) {
+          // Blocking exchange: the queue always holds exactly this
+          // iteration's request.
+          apply_packed(comm.wait_recv(queue.front().req));
+          queue.pop_front();
+          continue;
+        }
+        const auto dir_start = std::chrono::steady_clock::now();
+        bool timed_out = false;
+        while (!queue.empty()) {
+          double left_ms =
+              halo_timeout_ms -
+              std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - dir_start)
+                  .count();
+          if (left_ms < 0) left_ms = 0;
+          std::vector<double> packed;
+          if (!comm.wait_recv_for(queue.front().req, left_ms, packed)) {
+            timed_out = true;
+            break;
+          }
+          if (queue.front().iter != iter) ++result.late_halo_applies;
+          apply_packed(packed);
+          queue.pop_front();
+        }
+        if (timed_out) {
+          ++result.halo_timeouts;
+          degraded_iter = true;
+          // Backpressure: a persistently slow neighbor may not grow an
+          // unbounded backlog — block on its oldest straggler instead.
+          while (queue.size() > kMaxHaloBacklog) {
+            apply_packed(comm.wait_recv(queue.front().req));
+            ++result.late_halo_applies;
+            queue.pop_front();
+          }
         }
       }
+      if (degraded_iter) ++result.degraded_iterations;
     }
 
     // Convergence test (lines 5-8): global relative change over a full
@@ -180,7 +250,14 @@ DistMfpResult distributed_mosaic_predict(
       comm.allreduce_sum(nums, 2);
       result.final_delta = nums[1] > 0 ? std::sqrt(nums[0] / nums[1]) : 0.0;
       cycle_num = cycle_den = 0;
-      if (result.final_delta < options.tol) break;
+      if (!std::isfinite(result.final_delta)) {
+        // Health sentinel on the residual: a NaN/Inf delta (solver blowup
+        // or corrupted halo) must never satisfy `< tol`; count it and
+        // keep iterating — fresh updates can still wash the poison out.
+        ++result.health_events;
+      } else if (result.final_delta < options.tol) {
+        break;
+      }
     }
 
     if (options.reference && options.target_mae > 0 &&
@@ -199,7 +276,25 @@ DistMfpResult distributed_mosaic_predict(
       double sums[2] = {acc, count};
       comm.allreduce_sum(sums, 2);
       result.mae = sums[0] / std::max(1.0, sums[1]);
-      if (result.mae < options.target_mae) break;
+      if (!std::isfinite(result.mae)) {
+        ++result.health_events;
+      } else if (result.mae < options.target_mae) {
+        break;
+      }
+    }
+  }
+
+  // Degraded-mode epilogue: drain every straggler before the final
+  // interiors so the freshest boundary data feeds them. All ranks leave
+  // the loop at the same iteration (both stopping rules are allreduced),
+  // so every matching send has been posted and a blocking drain cannot
+  // deadlock. Applies stay in per-direction send order (latest wins).
+  for (int d = 0; d < comm::kNumDirections; ++d) {
+    auto& queue = outstanding[static_cast<std::size_t>(d)];
+    while (!queue.empty()) {
+      apply_packed(comm.wait_recv(queue.front().req));
+      ++result.late_halo_applies;
+      queue.pop_front();
     }
   }
 

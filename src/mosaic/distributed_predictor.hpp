@@ -36,6 +36,12 @@ struct DistMfpResult {
   double final_delta = 0;
   double mae = 0;  // vs reference (if provided)
   DistMfpTimings timings;  // this rank's breakdown
+  // Degraded-mode bookkeeping (deadline-aware halo exchange; all zero
+  // when deadlines are off or every message makes its deadline).
+  int64_t degraded_iterations = 0;  // iterations where >= 1 halo was stale
+  int64_t halo_timeouts = 0;        // per-direction deadline misses
+  int64_t late_halo_applies = 0;    // halo messages applied after their iter
+  int64_t health_events = 0;        // non-finite residual/MAE detections
 };
 
 /// Run the distributed MFP on the calling rank, over any comm transport

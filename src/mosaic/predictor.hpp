@@ -37,6 +37,13 @@ struct MfpOptions {
   const linalg::Grid2D* reference = nullptr;
   double target_mae = 0.0;
   int64_t check_every = 25;  // cadence of the MAE check
+  /// Distributed only: per-direction deadline for each halo message, in
+  /// milliseconds. A neighbor missing the deadline contributes its
+  /// last-known boundary values for that iteration (degraded mode; the
+  /// late message is applied when it arrives). Negative (the default)
+  /// reads MF_HALO_TIMEOUT_MS, and when that is unset too the exchange
+  /// blocks — bitwise identical to the pre-deadline behavior.
+  double halo_timeout_ms = -1;
 };
 
 struct MfpResult {

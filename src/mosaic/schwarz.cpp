@@ -74,6 +74,12 @@ SchwarzResult schwarz_solve(const linalg::Grid2D& boundary_grid, double h_phys,
     }
     result.iterations = iter + 1;
     result.final_change = linalg::Grid2D::max_abs_diff(previous, result.solution);
+    if (!std::isfinite(result.final_change)) {
+      // A NaN/Inf residual only contaminates further: stop and report
+      // instead of burning the remaining iterations on poisoned data.
+      result.diverged = true;
+      break;
+    }
     if (result.final_change < options.tol) break;
   }
   return result;

@@ -29,6 +29,9 @@ struct SchwarzResult {
   int64_t iterations = 0;
   double final_change = 0;
   int64_t subdomain_solves = 0;
+  /// Health sentinel: true when the residual went non-finite (the loop
+  /// stops immediately instead of iterating on NaNs until max_iters).
+  bool diverged = false;
 };
 
 /// Solve the Laplace BVP (boundary held on the edges of `boundary_grid`)

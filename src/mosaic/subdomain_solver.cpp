@@ -31,6 +31,13 @@ struct InferEntry {
   // Part of the cache key: a process that flips MF_PRECISION (tests,
   // mixed pipelines) must not replay a plan lowered at the other width.
   ad::DType dt = ad::DType::kF64;
+  // Dtype the plan is actually (re)captured at. Starts equal to `dt`;
+  // the health-sentinel ladder forces it to kF64 after an f32 trip.
+  ad::DType capture_dt = ad::DType::kF64;
+  // Terminal ladder rung: the sentinel tripped on an f64 plan too, so
+  // this geometry stays eager (the bad values come from the data or the
+  // weights, not the precision policy).
+  bool eager_only = false;
   ad::Tensor g, x, pred;
   ad::Program program;
 };
@@ -221,13 +228,34 @@ void NeuralSubdomainSolver::predict(
         wide = &entry;
       }
     }
-    if (exact && exact->program.captured()) {
+    // Health-sentinel fallback ladder (only ever taken when a post-replay
+    // scan trips, i.e. under MF_HEALTH_CHECKS): the poisoned plan is
+    // dropped, an f32 plan is recaptured at f64 on the geometry's next
+    // recurrence, an f64 trip retires the geometry to eager — and the
+    // current batch is always recomputed eagerly in f64 below, so tripped
+    // garbage never reaches the caller.
+    const auto retire = [](InferEntry& e) {
+      e.program.reset();
+      e.wide = false;
+      if (e.capture_dt == ad::DType::kF32) {
+        e.capture_dt = ad::DType::kF64;
+        ad::health_note_fallback(/*to_eager=*/false);
+      } else {
+        e.eager_only = true;
+        ad::health_note_fallback(/*to_eager=*/true);
+      }
+    };
+    if (exact && exact->eager_only) {
+      // Sentinel-retired geometry: straight to the eager path below.
+    } else if (exact && exact->program.captured()) {
       pack_batch(boundaries, queries, B, G, q, exact->g, exact->x);
       exact->program.replay();
-      unpack_batch(exact->pred, B, q, out);
-      return;
-    }
-    if (wide) {
+      if (exact->program.last_replay_healthy()) {
+        unpack_batch(exact->pred, B, q, out);
+        return;
+      }
+      retire(*exact);
+    } else if (wide) {
       // No captured plan at exactly B, but a widened entry's plan covers
       // it: pack all B instances into the batch-scaled buffers and replay
       // with every batch-carrying slot's leading dimension multiplied.
@@ -236,10 +264,12 @@ void NeuralSubdomainSolver::predict(
                  wide->program.widened_buffer(wide->g, B),
                  wide->program.widened_buffer(wide->x, B));
       wide->program.replay_widened(B);
-      unpack_batch(wide->program.widened_buffer(wide->pred, B), B, q, out);
-      return;
-    }
-    if (!exact) {
+      if (wide->program.last_replay_healthy()) {
+        unpack_batch(wide->program.widened_buffer(wide->pred, B), B, q, out);
+        return;
+      }
+      retire(*wide);
+    } else if (!exact) {
       // First sight of this geometry: note it and run eagerly below —
       // capture only pays off if the shape comes back.
       if (t_infer_cache.size() >= kMaxInferEntries) evict_oldest_entry();
@@ -250,14 +280,16 @@ void NeuralSubdomainSolver::predict(
       exact->q = q;
       exact->G = G;
       exact->dt = dt;
+      exact->capture_dt = dt;
     } else {
       // Second sight: the geometry recurs — trace it, then try to widen
       // so this one plan also serves every multiple of B (fail-closed:
-      // on refusal the entry just keeps exact-shape replay).
+      // on refusal the entry just keeps exact-shape replay). capture_dt
+      // (not dt) so a sentinel-downgraded geometry recaptures at f64.
       exact->g = ad::Tensor::zeros({B, G});
       exact->x = ad::Tensor::zeros({B, q, 2});
       pack_batch(boundaries, queries, B, G, q, exact->g, exact->x);
-      exact->program.set_compute_dtype(exact->dt);
+      exact->program.set_compute_dtype(exact->capture_dt);
       exact->program.capture(
           [&] { exact->pred = net_->predict(exact->g, exact->x); });
       if (exact->program.captured()) {

@@ -2,9 +2,14 @@
 
 #include <chrono>
 #include <cmath>
+#include <cstdlib>
+#include <fstream>
 #include <memory>
+#include <sstream>
+#include <stdexcept>
 
 #include "ad/engine.hpp"
+#include "nn/serialize.hpp"
 #include "util/timing.hpp"
 
 namespace mf::mosaic {
@@ -65,7 +70,7 @@ std::pair<double, double> CompiledTrainStep::run(const gp::SdnetBatch& batch) {
   // lowered at one compute dtype, so flipping MF_PRECISION (or the
   // process-wide set_compute_dtype) mid-training must re-capture rather
   // than replay steps typed at the old width.
-  const ad::DType dt = ad::compute_dtype();
+  const ad::DType dt = force_f64_ ? ad::DType::kF64 : ad::compute_dtype();
   if (program_.captured() && program_.compute_dtype() != dt) {
     program_.reset();
     leaves_ = gp::SdnetBatch{};
@@ -112,7 +117,38 @@ std::pair<double, double> CompiledTrainStep::run(const gp::SdnetBatch& batch) {
               leaves_.x_colloc.data());
     program_.replay();
     last_was_replay_ = true;
-    if (opt_ && !in_plan) opt_->step();
+    if (ad::health_checks_enabled() && !program_.last_replay_healthy()) {
+      // The replay produced NaN/Inf/runaway values. Demote the plan —
+      // an f32 plan recaptures at f64 on the next run, an f64 plan
+      // retires this step to permanent eager — and drop it now so the
+      // poisoned arena never replays again.
+      const bool was_f32 = program_.compute_dtype() == ad::DType::kF32;
+      program_.reset();
+      leaves_ = gp::SdnetBatch{};
+      if (was_f32) {
+        force_f64_ = true;
+        ad::health_note_fallback(/*to_eager=*/false);
+      } else {
+        capture_failed_ = true;
+        ad::health_note_fallback(/*to_eager=*/true);
+      }
+      if (!in_plan) {
+        // The optimizer has not applied yet, so this batch is fully
+        // recoverable: discard the poisoned gradients and rerun the
+        // step eagerly (eager compute is always f64).
+        last_was_replay_ = false;
+        net_.zero_grad();
+        auto losses = training_step(net_, batch, config_);
+        if (opt_) opt_->step();
+        return losses;
+      }
+      // In-plan optimizer: the parameter update already ran inside the
+      // replay, so the weights may be contaminated — nothing local to
+      // undo. Report the poisoned losses honestly; checkpoint/restart
+      // is the recovery path for the trajectory.
+    } else if (opt_ && !in_plan) {
+      opt_->step();
+    }
   }
   return {losses_.data.item(), losses_.pde.defined() ? losses_.pde.item() : 0.0};
 }
@@ -150,6 +186,98 @@ void average_gradients(Sdnet& net, comm::Comm& comm) {
     off += static_cast<std::size_t>(p.numel());
   }
 }
+
+namespace {
+
+/// Per-rank checkpoint file: rank 0 owns `path` itself (the file other
+/// tools consume), other ranks suffix their rank.
+std::string rank_checkpoint_path(const std::string& path, int rank) {
+  return rank == 0 ? path : path + ".rank" + std::to_string(rank);
+}
+
+void save_training_checkpoint(const std::string& path, Sdnet& net,
+                              const optim::Optimizer& opt,
+                              gp::LaplaceDatasetGenerator& gen,
+                              int64_t epoch_next, int64_t step, int ranks) {
+  nn::TrainingCheckpoint ckpt;
+  std::vector<double> flat;
+  for (const auto& p : net.parameters()) {
+    flat.insert(flat.end(), p.data(), p.data() + p.numel());
+  }
+  ckpt.blobs.emplace_back("params", std::move(flat));
+  ckpt.blobs.emplace_back("optimizer", opt.state_to());
+  ckpt.counters.emplace_back("epoch_next", epoch_next);
+  ckpt.counters.emplace_back("step", step);
+  ckpt.counters.emplace_back("world_size", static_cast<int64_t>(ranks));
+  std::ostringstream os;
+  os << gen.rng().engine();
+  ckpt.rng_state = os.str();
+  nn::save_checkpoint(ckpt, path);
+}
+
+/// Restore net/optimizer/RNG/cursors from `path`. Returns false when the
+/// file does not exist (fresh start); throws on a structurally bad file
+/// or a world-size mismatch — resuming a 4-rank trajectory on 2 ranks
+/// would silently change the data order, so it is refused.
+bool restore_training_checkpoint(const std::string& path, Sdnet& net,
+                                 optim::Optimizer& opt,
+                                 gp::LaplaceDatasetGenerator& gen,
+                                 int64_t& epoch_next, int64_t& step,
+                                 int ranks) {
+  {
+    std::ifstream probe(path, std::ios::binary);
+    if (!probe) return false;
+  }
+  const nn::TrainingCheckpoint ckpt = nn::load_checkpoint(path);
+  const auto need_counter = [&](const char* name) {
+    const std::int64_t* v = ckpt.find_counter(name);
+    if (!v) {
+      throw std::runtime_error("resume: " + path + " is missing counter '" +
+                               std::string(name) + "'");
+    }
+    return *v;
+  };
+  if (need_counter("world_size") != ranks) {
+    throw std::runtime_error(
+        "resume: " + path + " was written by a " +
+        std::to_string(need_counter("world_size")) + "-rank run, not " +
+        std::to_string(ranks));
+  }
+  const std::vector<double>* params_blob = ckpt.find_blob("params");
+  const std::vector<double>* opt_blob = ckpt.find_blob("optimizer");
+  if (!params_blob || !opt_blob) {
+    throw std::runtime_error("resume: " + path +
+                             " is missing the params/optimizer blobs");
+  }
+  auto params = net.parameters();
+  std::size_t total = 0;
+  for (const auto& p : params) total += static_cast<std::size_t>(p.numel());
+  if (params_blob->size() != total) {
+    throw std::runtime_error(
+        "resume: " + path + " holds " + std::to_string(params_blob->size()) +
+        " parameter values, the network has " + std::to_string(total) +
+        " (architecture mismatch)");
+  }
+  std::size_t off = 0;
+  for (auto& p : params) {
+    std::copy(params_blob->begin() + static_cast<std::ptrdiff_t>(off),
+              params_blob->begin() +
+                  static_cast<std::ptrdiff_t>(off + static_cast<std::size_t>(p.numel())),
+              p.data());
+    off += static_cast<std::size_t>(p.numel());
+  }
+  opt.state_from(*opt_blob);
+  epoch_next = need_counter("epoch_next");
+  step = need_counter("step");
+  std::istringstream is(ckpt.rng_state);
+  is >> gen.rng().engine();
+  if (!is) {
+    throw std::runtime_error("resume: " + path + " has a malformed RNG state");
+  }
+  return true;
+}
+
+}  // namespace
 
 double validation_mse(const Sdnet& net, const std::vector<gp::SolvedBvp>& bvps,
                       int64_t m) {
@@ -235,8 +363,28 @@ std::vector<EpochStats> train_sdnet(
   // so the optimizer stays outside.
   const bool multi_rank = comm && comm->size() > 1;
   CompiledTrainStep cstep(net, config, multi_rank ? nullptr : opt.get());
+
+  // Checkpoint/restart plumbing. Every rank checkpoints its own replica
+  // (they are bitwise identical, but each rank's dataset RNG is not).
+  std::string ckpt_path = config.checkpoint_path;
+  int64_t ckpt_every = config.checkpoint_every;
+  if (!ckpt_path.empty()) {
+    ckpt_path = rank_checkpoint_path(ckpt_path, comm ? comm->rank() : 0);
+    if (ckpt_every <= 0) {
+      if (const char* e = std::getenv("MF_CHECKPOINT_EVERY")) {
+        ckpt_every = std::atoll(e);
+      }
+      if (ckpt_every <= 0) ckpt_every = 1;
+    }
+  }
+  int64_t start_epoch = 0;
   int64_t step = 0;
-  for (int64_t epoch = 0; epoch < config.epochs; ++epoch) {
+  if (config.resume && !ckpt_path.empty()) {
+    restore_training_checkpoint(ckpt_path, net, *opt, gen, start_epoch, step,
+                                ranks);
+  }
+
+  for (int64_t epoch = start_epoch; epoch < config.epochs; ++epoch) {
     double loss_acc = 0;
     for (int64_t it = 0; it < iters_per_epoch; ++it) {
       // Local shard batch (wraps around the shard).
@@ -267,6 +415,14 @@ std::vector<EpochStats> train_sdnet(
     stats.cpu_seconds = util::thread_cpu_seconds() - cpu_start;
     stats.comm_seconds = comm ? comm->stats().allreduce.modeled_seconds : 0.0;
     history.push_back(stats);
+    // Snapshot BEFORE the epoch callback: a callback that decides to stop
+    // the process (or a crash inside it) always finds this epoch durably
+    // on disk.
+    if (!ckpt_path.empty() &&
+        ((epoch + 1) % ckpt_every == 0 || epoch + 1 == config.epochs)) {
+      save_training_checkpoint(ckpt_path, net, *opt, gen, epoch + 1, step,
+                               ranks);
+    }
     if (on_epoch) on_epoch(stats);
   }
   return history;

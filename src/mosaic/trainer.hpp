@@ -37,6 +37,17 @@ struct TrainConfig {
   bool use_pde_loss = true;
   /// Scale LR by sqrt(ranks) and warmup fraction linearly (Sec. 5.2).
   bool apply_batch_scaling_rules = true;
+  /// Checkpoint/restart: when `checkpoint_path` is non-empty a full
+  /// training checkpoint (parameters, optimizer moments, step counters,
+  /// RNG state) is written atomically every `checkpoint_every` epochs
+  /// (0 reads MF_CHECKPOINT_EVERY; still 0 → every epoch). Multi-rank
+  /// runs write per-rank files (`path` for rank 0, `path.rank<r>`
+  /// otherwise). With `resume`, an existing checkpoint is restored
+  /// before the first iteration and training continues the trajectory
+  /// bitwise — epochs run from the saved cursor up to `epochs`.
+  std::string checkpoint_path;
+  int64_t checkpoint_every = 0;
+  bool resume = false;
 };
 
 struct EpochStats {
@@ -111,6 +122,9 @@ class CompiledTrainStep {
   /// this step runs eagerly for the rest of its life — deterministic
   /// fallback, never a half-captured plan.
   bool capture_failed() const { return capture_failed_; }
+  /// True once the health sentinel tripped on an f32 replay and demoted
+  /// this step to f64 plans (ignoring MF_PRECISION for its lifetime).
+  bool forced_f64() const { return force_f64_; }
 
  private:
   bool shapes_match(const gp::SdnetBatch& batch) const;
@@ -123,6 +137,7 @@ class CompiledTrainStep {
   StepLossTensors losses_;
   bool last_was_replay_ = false;
   bool capture_failed_ = false;
+  bool force_f64_ = false;  // health sentinel demoted f32 plans to f64
 };
 
 /// Flatten all parameter gradients, allreduce-sum, divide by world size,

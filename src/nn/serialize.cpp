@@ -1,67 +1,304 @@
 #include "nn/serialize.hpp"
 
-#include <cstdint>
+#include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <stdexcept>
+
+#include "util/crc32.hpp"
 
 namespace mf::nn {
 
 namespace {
 
-void write_u64(std::ofstream& os, std::uint64_t v) {
-  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+// "MFPARAM1" / "MFCKPT01" as little-endian u64s.
+constexpr std::uint64_t kParamsMagic = 0x314d41524150464dULL;
+constexpr std::uint64_t kCheckpointMagic = 0x3130545048434d46ULL;
+constexpr std::uint64_t kFormatVersion = 1;
+constexpr std::size_t kHeaderBytes = 4 * sizeof(std::uint64_t);
+
+// ---- payload writer -------------------------------------------------------
+
+struct BufWriter {
+  std::vector<unsigned char> buf;
+
+  void bytes(const void* p, std::size_t n) {
+    const auto* c = static_cast<const unsigned char*>(p);
+    buf.insert(buf.end(), c, c + n);
+  }
+  void u64(std::uint64_t v) { bytes(&v, sizeof(v)); }
+  void i64(std::int64_t v) { bytes(&v, sizeof(v)); }
+  void str(const std::string& s) {
+    u64(s.size());
+    bytes(s.data(), s.size());
+  }
+  void doubles(const double* p, std::size_t count) {
+    bytes(p, count * sizeof(double));
+  }
+};
+
+// ---- bounds-checked payload reader ---------------------------------------
+
+class BufReader {
+ public:
+  BufReader(const unsigned char* data, std::size_t size, std::string context)
+      : data_(data), size_(size), ctx_(std::move(context)) {}
+
+  std::uint64_t u64() {
+    std::uint64_t v;
+    need(sizeof(v), "u64");
+    std::memcpy(&v, data_ + pos_, sizeof(v));
+    pos_ += sizeof(v);
+    return v;
+  }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  std::string str() {
+    const std::uint64_t len = u64();
+    need(len, "string payload");
+    std::string s(reinterpret_cast<const char*>(data_ + pos_),
+                  static_cast<std::size_t>(len));
+    pos_ += static_cast<std::size_t>(len);
+    return s;
+  }
+  void doubles(double* out, std::size_t count) {
+    need(count * sizeof(double), "double payload");
+    std::memcpy(out, data_ + pos_, count * sizeof(double));
+    pos_ += count * sizeof(double);
+  }
+  std::vector<double> doubles_vec(std::uint64_t count) {
+    // Validate against the remaining bytes BEFORE sizing the vector, so
+    // a corrupted huge count errors instead of attempting the allocation
+    // (division, not multiplication — count * 8 could wrap u64).
+    if (count > (size_ - pos_) / sizeof(double)) {
+      throw std::runtime_error(ctx_ + ": truncated — blob of " +
+                               std::to_string(count) +
+                               " doubles exceeds the remaining " +
+                               std::to_string(size_ - pos_) + " bytes");
+    }
+    std::vector<double> v(static_cast<std::size_t>(count));
+    if (count > 0) {
+      std::memcpy(v.data(), data_ + pos_, static_cast<std::size_t>(count) * sizeof(double));
+      pos_ += static_cast<std::size_t>(count) * sizeof(double);
+    }
+    return v;
+  }
+  void require_done() const {
+    if (pos_ != size_) {
+      throw std::runtime_error(ctx_ + ": " + std::to_string(size_ - pos_) +
+                               " trailing bytes after the last entry");
+    }
+  }
+
+ private:
+  void need(std::uint64_t n, const char* what) {
+    if (n > size_ - pos_) {
+      throw std::runtime_error(ctx_ + ": truncated — need " +
+                               std::to_string(n) + " bytes for " + what +
+                               " at offset " + std::to_string(pos_) +
+                               ", only " + std::to_string(size_ - pos_) +
+                               " remain");
+    }
+  }
+
+  const unsigned char* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  std::string ctx_;
+};
+
+// ---- container ------------------------------------------------------------
+
+void write_file_atomic(const std::string& path, std::uint64_t magic,
+                       const std::vector<unsigned char>& payload,
+                       const char* op) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    if (!os) {
+      throw std::runtime_error(std::string(op) + ": cannot open " + tmp);
+    }
+    const std::uint64_t header[4] = {
+        magic, kFormatVersion, payload.size(),
+        static_cast<std::uint64_t>(util::crc32(payload.data(), payload.size()))};
+    os.write(reinterpret_cast<const char*>(header), sizeof(header));
+    os.write(reinterpret_cast<const char*>(payload.data()),
+             static_cast<std::streamsize>(payload.size()));
+    os.flush();
+    if (!os) {
+      throw std::runtime_error(std::string(op) + ": write failed: " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw std::runtime_error(std::string(op) + ": rename to " + path +
+                             " failed");
+  }
 }
 
-std::uint64_t read_u64(std::ifstream& is) {
-  std::uint64_t v = 0;
-  is.read(reinterpret_cast<char*>(&v), sizeof(v));
-  return v;
+std::vector<unsigned char> read_whole_file(const std::string& path,
+                                           const char* op) {
+  std::ifstream is(path, std::ios::binary | std::ios::ate);
+  if (!is) throw std::runtime_error(std::string(op) + ": cannot open " + path);
+  const std::streamsize size = is.tellg();
+  is.seekg(0);
+  std::vector<unsigned char> buf(static_cast<std::size_t>(size));
+  if (size > 0) {
+    is.read(reinterpret_cast<char*>(buf.data()), size);
+  }
+  if (!is) throw std::runtime_error(std::string(op) + ": read failed: " + path);
+  return buf;
+}
+
+/// Verify the container header and return [payload_begin, payload_end)
+/// within `file`. `legacy` is set when the file predates the header (no
+/// magic — only allowed for parameter files).
+std::pair<const unsigned char*, std::size_t> open_payload(
+    const std::vector<unsigned char>& file, std::uint64_t magic,
+    bool allow_legacy, const std::string& path, const char* op,
+    bool* legacy = nullptr) {
+  if (legacy) *legacy = false;
+  std::uint64_t file_magic = 0;
+  if (file.size() >= sizeof(file_magic)) {
+    std::memcpy(&file_magic, file.data(), sizeof(file_magic));
+  }
+  if (file_magic != magic) {
+    if (allow_legacy) {
+      if (legacy) *legacy = true;
+      return {file.data(), file.size()};
+    }
+    throw std::runtime_error(std::string(op) + ": " + path +
+                             " is not a checkpoint (bad magic)");
+  }
+  if (file.size() < kHeaderBytes) {
+    throw std::runtime_error(std::string(op) + ": " + path +
+                             " truncated inside the header");
+  }
+  std::uint64_t header[4];
+  std::memcpy(header, file.data(), sizeof(header));
+  if (header[1] != kFormatVersion) {
+    throw std::runtime_error(std::string(op) + ": " + path +
+                             " has unsupported format version " +
+                             std::to_string(header[1]));
+  }
+  if (header[2] != file.size() - kHeaderBytes) {
+    throw std::runtime_error(std::string(op) + ": " + path +
+                             " payload length mismatch (header says " +
+                             std::to_string(header[2]) + ", file has " +
+                             std::to_string(file.size() - kHeaderBytes) + ")");
+  }
+  const std::uint32_t crc =
+      util::crc32(file.data() + kHeaderBytes, file.size() - kHeaderBytes);
+  if (crc != static_cast<std::uint32_t>(header[3])) {
+    throw std::runtime_error(std::string(op) + ": " + path +
+                             " failed CRC verification (corrupted file)");
+  }
+  return {file.data() + kHeaderBytes, file.size() - kHeaderBytes};
 }
 
 }  // namespace
 
+// ---- parameters ------------------------------------------------------------
+
 void save_parameters(const Module& m, const std::string& path) {
-  std::ofstream os(path, std::ios::binary);
-  if (!os) throw std::runtime_error("save_parameters: cannot open " + path);
   const auto params = m.named_parameters();
-  write_u64(os, params.size());
+  BufWriter w;
+  w.u64(params.size());
   for (const auto& [name, t] : params) {
-    write_u64(os, name.size());
-    os.write(name.data(), static_cast<std::streamsize>(name.size()));
-    write_u64(os, t.shape().size());
-    for (int64_t d : t.shape()) write_u64(os, static_cast<std::uint64_t>(d));
-    os.write(reinterpret_cast<const char*>(t.data()),
-             static_cast<std::streamsize>(t.numel() * sizeof(double)));
+    w.str(name);
+    w.u64(t.shape().size());
+    for (int64_t d : t.shape()) w.u64(static_cast<std::uint64_t>(d));
+    w.doubles(t.data(), static_cast<std::size_t>(t.numel()));
   }
-  if (!os) throw std::runtime_error("save_parameters: write failed: " + path);
+  write_file_atomic(path, kParamsMagic, w.buf, "save_parameters");
 }
 
 void load_parameters(Module& m, const std::string& path) {
-  std::ifstream is(path, std::ios::binary);
-  if (!is) throw std::runtime_error("load_parameters: cannot open " + path);
+  const auto file = read_whole_file(path, "load_parameters");
+  const auto [payload, payload_size] = open_payload(
+      file, kParamsMagic, /*allow_legacy=*/true, path, "load_parameters");
+  BufReader r(payload, payload_size, "load_parameters: " + path);
+
   auto params = m.named_parameters();
-  const std::uint64_t count = read_u64(is);
+  const std::uint64_t count = r.u64();
   if (count != params.size()) {
-    throw std::runtime_error("load_parameters: parameter count mismatch");
+    throw std::runtime_error("load_parameters: " + path +
+                             ": parameter count mismatch (file has " +
+                             std::to_string(count) + ", module has " +
+                             std::to_string(params.size()) + ")");
   }
   for (auto& [name, t] : params) {
-    const std::uint64_t name_len = read_u64(is);
-    std::string stored(name_len, '\0');
-    is.read(stored.data(), static_cast<std::streamsize>(name_len));
+    const std::string stored = r.str();
     if (stored != name) {
-      throw std::runtime_error("load_parameters: expected '" + name +
-                               "', found '" + stored + "'");
+      throw std::runtime_error("load_parameters: " + path + ": expected '" +
+                               name + "', found '" + stored + "'");
     }
-    const std::uint64_t rank = read_u64(is);
-    ad::Shape shape(rank);
-    for (auto& d : shape) d = static_cast<int64_t>(read_u64(is));
+    const std::uint64_t rank = r.u64();
+    ad::Shape shape(static_cast<std::size_t>(rank));
+    for (auto& d : shape) d = static_cast<int64_t>(r.u64());
     if (shape != t.shape()) {
-      throw std::runtime_error("load_parameters: shape mismatch for " + name);
+      throw std::runtime_error("load_parameters: " + path +
+                               ": shape mismatch for " + name);
     }
-    is.read(reinterpret_cast<char*>(t.data()),
-            static_cast<std::streamsize>(t.numel() * sizeof(double)));
+    r.doubles(t.data(), static_cast<std::size_t>(t.numel()));
   }
-  if (!is) throw std::runtime_error("load_parameters: truncated file: " + path);
+  r.require_done();
+}
+
+// ---- checkpoints -----------------------------------------------------------
+
+const std::vector<double>* TrainingCheckpoint::find_blob(
+    const std::string& name) const {
+  for (const auto& [n, v] : blobs)
+    if (n == name) return &v;
+  return nullptr;
+}
+
+const std::int64_t* TrainingCheckpoint::find_counter(
+    const std::string& name) const {
+  for (const auto& [n, v] : counters)
+    if (n == name) return &v;
+  return nullptr;
+}
+
+void save_checkpoint(const TrainingCheckpoint& ckpt, const std::string& path) {
+  BufWriter w;
+  w.u64(ckpt.blobs.size());
+  for (const auto& [name, v] : ckpt.blobs) {
+    w.str(name);
+    w.u64(v.size());
+    w.doubles(v.data(), v.size());
+  }
+  w.u64(ckpt.counters.size());
+  for (const auto& [name, v] : ckpt.counters) {
+    w.str(name);
+    w.i64(v);
+  }
+  w.str(ckpt.rng_state);
+  write_file_atomic(path, kCheckpointMagic, w.buf, "save_checkpoint");
+}
+
+TrainingCheckpoint load_checkpoint(const std::string& path) {
+  const auto file = read_whole_file(path, "load_checkpoint");
+  const auto [payload, payload_size] = open_payload(
+      file, kCheckpointMagic, /*allow_legacy=*/false, path, "load_checkpoint");
+  BufReader r(payload, payload_size, "load_checkpoint: " + path);
+
+  TrainingCheckpoint ckpt;
+  const std::uint64_t n_blobs = r.u64();
+  ckpt.blobs.reserve(static_cast<std::size_t>(n_blobs));
+  for (std::uint64_t i = 0; i < n_blobs; ++i) {
+    std::string name = r.str();
+    const std::uint64_t len = r.u64();
+    ckpt.blobs.emplace_back(std::move(name), r.doubles_vec(len));
+  }
+  const std::uint64_t n_counters = r.u64();
+  ckpt.counters.reserve(static_cast<std::size_t>(n_counters));
+  for (std::uint64_t i = 0; i < n_counters; ++i) {
+    std::string name = r.str();
+    ckpt.counters.emplace_back(std::move(name), r.i64());
+  }
+  ckpt.rng_state = r.str();
+  r.require_done();
+  return ckpt;
 }
 
 }  // namespace mf::nn

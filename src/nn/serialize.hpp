@@ -1,18 +1,54 @@
-// Binary save/load of module parameters (a minimal state_dict).
+// Binary save/load of module parameters (a minimal state_dict) and full
+// training checkpoints.
+//
+// Both file kinds share a little-endian container: a 32-byte header
+// [magic u64, version u64, payload_bytes u64, payload crc32 u64]
+// followed by the payload. Loads read the whole file, verify magic,
+// version and CRC, then parse the payload through a bounds-checked
+// reader — a truncated, corrupted or mislabeled file produces a clear
+// error naming the path, never an out-of-bounds read or a silently
+// wrong tensor. Saves write to `path + ".tmp"` and rename into place so
+// a crash mid-save never clobbers the previous good file.
+//
+// Parameter files written before the header existed (raw
+// [count][entries...] bodies) still load: a leading value that is not
+// the magic is treated as the legacy count.
 #pragma once
 
+#include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "nn/module.hpp"
 
 namespace mf::nn {
 
-/// Write all named parameters of `m` to `path`. Format: little-endian
+/// Write all named parameters of `m` to `path`. Payload format:
 /// [count][per-entry: name, rank, dims..., payload doubles].
 void save_parameters(const Module& m, const std::string& path);
 
 /// Load parameters saved by save_parameters into `m`. Names and shapes
-/// must match exactly.
+/// must match exactly; header (when present) is CRC-verified first.
 void load_parameters(Module& m, const std::string& path);
+
+/// Everything needed to restart training mid-trajectory, bitwise:
+/// named double blobs (parameters, optimizer state), named integer
+/// counters (step/epoch cursors), and the serialized RNG engine state.
+struct TrainingCheckpoint {
+  std::vector<std::pair<std::string, std::vector<double>>> blobs;
+  std::vector<std::pair<std::string, std::int64_t>> counters;
+  std::string rng_state;  // std::mt19937_64 stream representation
+
+  const std::vector<double>* find_blob(const std::string& name) const;
+  const std::int64_t* find_counter(const std::string& name) const;
+};
+
+/// Atomically write `ckpt` to `path` (tmp file + rename).
+void save_checkpoint(const TrainingCheckpoint& ckpt, const std::string& path);
+
+/// Load a checkpoint; throws std::runtime_error with the path and the
+/// reason on any structural problem (bad magic/version/CRC/truncation).
+TrainingCheckpoint load_checkpoint(const std::string& path);
 
 }  // namespace mf::nn

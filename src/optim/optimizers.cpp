@@ -1,5 +1,6 @@
 #include "optim/optimizers.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -9,6 +10,15 @@ namespace mf::optim {
 
 void Optimizer::zero_grad() {
   for (auto& p : params_) p.zero_grad();
+}
+
+void Optimizer::state_from(const std::vector<double>& state) {
+  if (!state.empty()) {
+    throw std::runtime_error(
+        "Optimizer::state_from: this optimizer is stateless but the "
+        "checkpoint carries " +
+        std::to_string(state.size()) + " state values");
+  }
 }
 
 Sgd::Sgd(std::vector<Tensor> params, double lr, double momentum,
@@ -41,6 +51,29 @@ void Sgd::step() {
       }
       p.flat(j) -= lr_ * gj;
     }
+  }
+}
+
+std::vector<double> Sgd::state_to() const {
+  std::vector<double> s;
+  for (const auto& v : velocity_) s.insert(s.end(), v.begin(), v.end());
+  return s;
+}
+
+void Sgd::state_from(const std::vector<double>& state) {
+  std::size_t total = 0;
+  for (const auto& v : velocity_) total += v.size();
+  if (state.size() != total) {
+    throw std::runtime_error("Sgd::state_from: state size mismatch (have " +
+                             std::to_string(state.size()) + ", need " +
+                             std::to_string(total) + ")");
+  }
+  std::size_t off = 0;
+  for (auto& v : velocity_) {
+    std::copy(state.begin() + static_cast<std::ptrdiff_t>(off),
+              state.begin() + static_cast<std::ptrdiff_t>(off + v.size()),
+              v.begin());
+    off += v.size();
   }
 }
 
@@ -90,6 +123,40 @@ void Adam::step() {
                        v_[i][static_cast<std::size_t>(j)], lr_, beta1_, beta2_,
                        bc1, bc2, eps_, weight_decay_, decoupled_);
     }
+  }
+}
+
+std::vector<double> Adam::state_to() const {
+  // [t, all first moments, all second moments] — t stored as a double
+  // (exact for any reachable step count).
+  std::vector<double> s;
+  s.push_back(static_cast<double>(t_));
+  for (const auto& m : m_) s.insert(s.end(), m.begin(), m.end());
+  for (const auto& v : v_) s.insert(s.end(), v.begin(), v.end());
+  return s;
+}
+
+void Adam::state_from(const std::vector<double>& state) {
+  std::size_t total = 0;
+  for (const auto& m : m_) total += m.size();
+  if (state.size() != 1 + 2 * total) {
+    throw std::runtime_error("Adam::state_from: state size mismatch (have " +
+                             std::to_string(state.size()) + ", need " +
+                             std::to_string(1 + 2 * total) + ")");
+  }
+  t_ = static_cast<int64_t>(state[0]);
+  std::size_t off = 1;
+  for (auto& m : m_) {
+    std::copy(state.begin() + static_cast<std::ptrdiff_t>(off),
+              state.begin() + static_cast<std::ptrdiff_t>(off + m.size()),
+              m.begin());
+    off += m.size();
+  }
+  for (auto& v : v_) {
+    std::copy(state.begin() + static_cast<std::ptrdiff_t>(off),
+              state.begin() + static_cast<std::ptrdiff_t>(off + v.size()),
+              v.begin());
+    off += v.size();
   }
 }
 

@@ -28,6 +28,13 @@ class Optimizer {
   /// must be stepped eagerly after each replay.
   virtual bool plan_capturable() const { return false; }
 
+  /// Flatten the optimizer's internal state (step counter, moments,
+  /// velocities) into doubles for checkpointing; state_from restores it
+  /// bitwise. The layout is optimizer-specific but stable for a given
+  /// parameter list; state_from throws on a size mismatch.
+  virtual std::vector<double> state_to() const { return {}; }
+  virtual void state_from(const std::vector<double>& state);
+
   void zero_grad();
   void set_lr(double lr) { lr_ = lr; }
   double lr() const { return lr_; }
@@ -43,6 +50,8 @@ class Sgd final : public Optimizer {
   Sgd(std::vector<Tensor> params, double lr, double momentum = 0.0,
       double weight_decay = 0.0);
   void step() override;
+  std::vector<double> state_to() const override;
+  void state_from(const std::vector<double>& state) override;
 
  private:
   double momentum_, weight_decay_;
@@ -58,6 +67,8 @@ class Adam : public Optimizer {
        bool decoupled_weight_decay = false);
   void step() override;
   bool plan_capturable() const override { return true; }
+  std::vector<double> state_to() const override;  // [t, m..., v...]
+  void state_from(const std::vector<double>& state) override;
 
   // Optimizer state, exposed for the parity tests (the compiled in-plan
   // update must track the eager moments bitwise).

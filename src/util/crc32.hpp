@@ -1,0 +1,56 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), software table.
+//
+// Shared integrity primitive for the robustness layer: fault_comm frames
+// every point-to-point payload with a CRC so injected bit-flips are
+// *detected* (not silently delivered), and nn/serialize stamps the same
+// CRC into its checkpoint header so a truncated or corrupted snapshot is
+// rejected at load instead of deserializing garbage.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace mf::util {
+
+namespace detail {
+
+inline const std::array<std::uint32_t, 256>& crc32_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace detail
+
+/// Incremental form: feed `crc32_update(prev, ...)` successive chunks,
+/// starting from and finishing with crc32_init/crc32_final.
+constexpr std::uint32_t crc32_init = 0xFFFFFFFFu;
+
+inline std::uint32_t crc32_update(std::uint32_t crc, const void* data,
+                                  std::size_t nbytes) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  const auto& table = detail::crc32_table();
+  for (std::size_t i = 0; i < nbytes; ++i) {
+    crc = table[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc;
+}
+
+inline std::uint32_t crc32_final(std::uint32_t crc) { return crc ^ 0xFFFFFFFFu; }
+
+/// One-shot CRC-32 of a buffer.
+inline std::uint32_t crc32(const void* data, std::size_t nbytes) {
+  return crc32_final(crc32_update(crc32_init, data, nbytes));
+}
+
+}  // namespace mf::util

@@ -50,6 +50,40 @@ int main(int argc, char** argv) {
   });
   if (!launcher.is_root()) return 0;
 
+  // Chaos mode: with MF_FAULT_SPEC set the launcher has wrapped every
+  // rank in a FaultComm, so 1e-10 parity with the fault-free reference
+  // is not the contract anymore — graceful degradation is. The solve
+  // must still complete and converge below the same MAE target, and the
+  // degradation bookkeeping is reported for the CI log.
+  const char* fault_env = std::getenv("MF_FAULT_SPEC");
+  if (fault_env && *fault_env) {
+    const double ref_mae =
+        linalg::Grid2D::mean_abs_diff(dist.solution, problem.solution);
+    std::printf(
+        "chaos run (%s backend, %d ranks, spec \"%s\"): %ld iterations, "
+        "MAE vs reference %.3e\n"
+        "  degraded iterations %ld, halo timeouts %ld, late halo applies "
+        "%ld, health events %ld\n",
+        launcher.backend_name(), ranks, fault_env,
+        static_cast<long>(dist.iterations), ref_mae,
+        static_cast<long>(dist.degraded_iterations),
+        static_cast<long>(dist.halo_timeouts),
+        static_cast<long>(dist.late_halo_applies),
+        static_cast<long>(dist.health_events));
+    int failures = 0;
+    if (!(dist.iterations > 0 && dist.iterations < opts.max_iters)) {
+      std::printf("FAIL: solve did not converge within the iteration cap\n");
+      ++failures;
+    }
+    if (!std::isfinite(ref_mae) || !(ref_mae < opts.target_mae)) {
+      std::printf("FAIL: MAE %.3e not below target %.3e\n", ref_mae,
+                  opts.target_mae);
+      ++failures;
+    }
+    std::printf(failures == 0 ? "CHAOS OK\n" : "CHAOS FAILED\n");
+    return failures == 0 ? 0 : 1;
+  }
+
   // Single-rank threaded reference.
   mosaic::DistMfpResult single;
   {

@@ -51,6 +51,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
 import os
 import sys
 
@@ -115,26 +116,52 @@ def last_json_line(path: str, filters: dict[str, str] | None = None) -> dict:
         raise ValueError(f"{path}: last line is not valid JSON: {exc}") from exc
 
 
+def metric_value(obj: dict, metric: str, origin: str) -> float:
+    """Extract ``obj[metric]`` as a finite float, or raise a clear error.
+
+    A bench that crashed mid-run can emit ``null``/``"nan"``/``inf`` (or
+    drop the key entirely); all of those must fail the gate with a
+    one-line diagnosis, not a TypeError traceback or a vacuous
+    NaN-compares-false verdict.
+    """
+    if metric not in obj:
+        raise ValueError(f"{origin}: metric '{metric}' missing from line")
+    raw = obj[metric]
+    if isinstance(raw, bool) or not isinstance(raw, (int, float, str)):
+        raise ValueError(f"{origin}: metric '{metric}' is not numeric "
+                         f"(got {json.dumps(raw)})")
+    try:
+        value = float(raw)
+    except ValueError as exc:
+        raise ValueError(f"{origin}: metric '{metric}' is not numeric "
+                         f"(got {json.dumps(raw)})") from exc
+    if not math.isfinite(value):
+        raise ValueError(f"{origin}: metric '{metric}' is {value!r} — the "
+                         f"bench diverged or failed to measure")
+    return value
+
+
 def run_check(name: str, fresh_path: str, baseline_path: str, spec: str,
               min_ratio: float, max_ratio: float) -> dict:
     metric, filters, lower = parse_metric_spec(spec)
     fresh = last_json_line(fresh_path)
-    if metric not in fresh:
-        raise ValueError(f"{fresh_path}: metric '{metric}' missing from fresh line")
-    fresh_v = float(fresh[metric])
+    fresh_v = metric_value(fresh, metric, fresh_path)
     # A missing/empty committed trajectory (or a metric/filter introduced
     # by the current PR) is a bootstrap condition, not a regression:
     # record the fresh value, note why there is nothing to compare
     # against, and let the gate pass. The fresh side above stays strict —
     # a bench that stopped emitting its metric is a real failure.
     skip_note = None
+    base_v = None
+    baseline = {}
     try:
         baseline = last_json_line(baseline_path, filters)
+        base_v = metric_value(baseline, metric, baseline_path)
     except (OSError, ValueError) as exc:
-        skip_note = f"no committed baseline ({exc})"
-    else:
-        if metric not in baseline:
-            skip_note = f"metric '{metric}' not in committed line"
+        # Includes a committed value that is null/NaN/non-numeric: a broken
+        # baseline is not this PR's regression, but it is worth a visible
+        # skip note rather than a silent pass or a crash.
+        skip_note = f"no usable committed baseline ({exc})"
     if skip_note is not None:
         return {
             "name": name,
@@ -147,7 +174,6 @@ def run_check(name: str, fresh_path: str, baseline_path: str, spec: str,
             "ok": True,
             "note": skip_note,
         }
-    base_v = float(baseline[metric])
     if base_v > 0:
         ratio = fresh_v / base_v
     else:
@@ -213,8 +239,8 @@ def main(argv: list[str]) -> int:
         try:
             rows.append(run_check(name, fresh_path, baseline_path, spec,
                                   args.min_ratio, args.max_ratio))
-        except (OSError, ValueError) as exc:
-            print(f"bench_check: {exc}", file=sys.stderr)
+        except (OSError, ValueError, TypeError) as exc:
+            print(f"bench_check: {name}: {exc}", file=sys.stderr)
             return 2
 
     table = markdown_table(rows, args.min_ratio, args.max_ratio)
