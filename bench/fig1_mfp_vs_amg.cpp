@@ -65,5 +65,11 @@ int main(int argc, char** argv) {
   util::write_pgm(mf_solution, "fig1_mosaic_flow.pgm");
   util::write_pgm(diff, "fig1_abs_difference.pgm");
   std::printf("\nwrote fig1_{pyamg_substitute,mosaic_flow,abs_difference}.pgm\n");
+  std::printf(
+      "\nBENCH_JSON {\"bench\":\"fig1_mfp_vs_amg\",\"m\":%lld,"
+      "\"cells\":%lld,\"ranks\":%d,\"iterations\":%lld,"
+      "\"mae\":%.6g,\"max_abs_diff\":%.6g}\n",
+      static_cast<long long>(m), static_cast<long long>(cells), ranks,
+      static_cast<long long>(results[0].iterations), mae, max_diff);
   return 0;
 }

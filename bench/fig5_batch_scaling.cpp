@@ -78,6 +78,8 @@ int main(int argc, char** argv) {
   std::printf("== Figure 5a: inference time vs batch size (points) ==\n\n");
   util::Table ta({"points", "baseline s", "optimized s", "speedup",
                   "baseline MB", "optimized MB"});
+  int64_t infer_points = 0;
+  Measurement infer_base{}, infer_opt{};
   for (int64_t q : inference_batches) {
     ad::Tensor g = ad::Tensor::zeros({1, 4 * m});
     for (int64_t k = 0; k < 4 * m; ++k) g.flat(k) = bvp.boundary[static_cast<std::size_t>(k)];
@@ -86,6 +88,9 @@ int main(int argc, char** argv) {
     for (int64_t k = 0; k < x.numel(); ++k) x.flat(k) = qr.uniform(0, 1);
     auto mb = time_inference(baseline, g, x, trials);
     auto mo = time_inference(optimized, g, x, trials);
+    infer_points = q;
+    infer_base = mb;
+    infer_opt = mo;
     ta.add_row({std::to_string(q), util::format_double(mb.seconds),
                 util::format_double(mo.seconds),
                 util::format_double(mb.seconds / mo.seconds, 3),
@@ -98,12 +103,17 @@ int main(int argc, char** argv) {
   std::printf("(batch = domains x 32 points; PDE loss on)\n\n");
   util::Table tb({"points", "baseline s", "optimized s", "speedup",
                   "baseline MB", "optimized MB"});
+  int64_t train_points = 0;
+  Measurement train_base{}, train_opt{};
   for (int64_t pts : training_batches) {
     const int64_t domains = std::max<int64_t>(1, pts / 32);
     auto bvps = gen.generate_many(domains);
     auto batch = gen.make_batch(bvps, 16, 16);
     auto mb = time_training_step(baseline, batch, trials);
     auto mo = time_training_step(optimized, batch, trials);
+    train_points = domains * 32;
+    train_base = mb;
+    train_opt = mo;
     tb.add_row({std::to_string(domains * 32), util::format_double(mb.seconds),
                 util::format_double(mo.seconds),
                 util::format_double(mb.seconds / mo.seconds, 3),
@@ -114,5 +124,25 @@ int main(int argc, char** argv) {
   std::printf("\nShape check vs paper: optimized faster at every batch size, "
               "gap widening with batch; optimized peak memory ~O(N + q) vs "
               "baseline ~O(N*q).\n");
+  // Largest-batch points of both panels, for trend tracking in
+  // BENCH_fig5.json (higher optimized points/s, lower peak bytes = good).
+  std::printf(
+      "\nBENCH_JSON {\"bench\":\"fig5_batch_scaling\",\"m\":%lld,"
+      "\"trials\":%d,\"infer_points\":%lld,"
+      "\"infer_baseline_pts_per_sec\":%.6g,"
+      "\"infer_optimized_pts_per_sec\":%.6g,\"infer_speedup\":%.4g,"
+      "\"infer_baseline_peak_bytes\":%zu,\"infer_optimized_peak_bytes\":%zu,"
+      "\"train_points\":%lld,\"train_baseline_pts_per_sec\":%.6g,"
+      "\"train_optimized_pts_per_sec\":%.6g,\"train_speedup\":%.4g,"
+      "\"train_baseline_peak_bytes\":%zu,\"train_optimized_peak_bytes\":%zu}\n",
+      static_cast<long long>(m), trials, static_cast<long long>(infer_points),
+      static_cast<double>(infer_points) / infer_base.seconds,
+      static_cast<double>(infer_points) / infer_opt.seconds,
+      infer_base.seconds / infer_opt.seconds, infer_base.peak_bytes,
+      infer_opt.peak_bytes, static_cast<long long>(train_points),
+      static_cast<double>(train_points) / train_base.seconds,
+      static_cast<double>(train_points) / train_opt.seconds,
+      train_base.seconds / train_opt.seconds, train_base.peak_bytes,
+      train_opt.peak_bytes);
   return 0;
 }

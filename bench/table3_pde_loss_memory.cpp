@@ -52,9 +52,14 @@ int main(int argc, char** argv) {
   };
 
   util::Table table({"# domains", "no PDE loss", "with PDE loss", "ratio"});
+  int64_t last_domains = 0;
+  std::size_t last_without = 0, last_with = 0;
   for (int64_t d : domain_counts) {
     const std::size_t without = measure(d, false);
     const std::size_t with = measure(d, true);
+    last_domains = d;
+    last_without = without;
+    last_with = with;
     const double gb = static_cast<double>(with) / (1024.0 * 1024.0 * 1024.0);
     std::string with_str = util::format_double(
         static_cast<double>(with) / (1024.0 * 1024.0), 4) + " MB";
@@ -68,5 +73,12 @@ int main(int argc, char** argv) {
   table.print();
   std::printf("\nShape check vs paper: ratio should be ~5-6x (paper: 0.503/0.05 "
               "= 10x at 5 domains, 15.11/2.77 = 5.5x at 320).\n");
+  std::printf(
+      "\nBENCH_JSON {\"bench\":\"table3_pde_loss_memory\",\"m\":%lld,"
+      "\"domains\":%lld,\"peak_bytes_no_pde\":%zu,\"peak_bytes_pde\":%zu,"
+      "\"pde_memory_ratio\":%.4g}\n",
+      static_cast<long long>(m), static_cast<long long>(last_domains),
+      last_without, last_with,
+      static_cast<double>(last_with) / static_cast<double>(last_without));
   return 0;
 }

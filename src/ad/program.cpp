@@ -1831,8 +1831,27 @@ bool bcast_result(const Shape& a, const Shape& b, Shape& out) {
 /// packing: unaliased buffers keep the master wave schedule valid and
 /// make instance-independence structural rather than lifetimes-dependent.
 Program::Impl::WideContext* get_wide_ctx(Program::Impl& im, int64_t f) {
-  for (auto& c : im.wide_ctxs) {
-    if (c->factor == f) return c.get();
+  for (std::size_t i = 0; i < im.wide_ctxs.size(); ++i) {
+    if (im.wide_ctxs[i]->factor == f) {
+      // LRU: most recently used context moves to the back, so steady
+      // traffic on a few factors never rebuilds.
+      if (i + 1 != im.wide_ctxs.size()) {
+        auto c = std::move(im.wide_ctxs[i]);
+        im.wide_ctxs.erase(im.wide_ctxs.begin() + static_cast<std::ptrdiff_t>(i));
+        im.wide_ctxs.push_back(std::move(c));
+      }
+      return im.wide_ctxs.back().get();
+    }
+  }
+  // Bounded: a server replaying many distinct batch sizes would otherwise
+  // accumulate one f-scaled buffer set per distinct factor forever.
+  // Contexts are cheap to rebuild (no capture, just step/plan scaling), so
+  // evicting the least recently used one is safe.
+  // 32 covers an iteration-level batching server whose per-tick group
+  // sizes wander (base-1 plans see one factor per distinct batch size).
+  constexpr std::size_t kMaxWideCtxs = 32;
+  if (im.wide_ctxs.size() >= kMaxWideCtxs) {
+    im.wide_ctxs.erase(im.wide_ctxs.begin());
   }
   auto ctx = std::make_unique<Program::Impl::WideContext>();
   ctx->factor = f;
@@ -2200,6 +2219,16 @@ bool Program::widen(const std::vector<Tensor>& batch_io) {
 }
 
 bool Program::widened() const { return impl_->wide_ready; }
+
+int64_t Program::widen_base() const {
+  return impl_->wide_ready ? impl_->base_b : 0;
+}
+
+int64_t Program::widen_cover(int64_t b) const {
+  const Impl& im = *impl_;
+  if (!im.wide_ready || b < im.base_b) return 0;
+  return (b / im.base_b) * im.base_b;
+}
 
 real* Program::widened_buffer(const Tensor& t, int64_t b) {
   Impl& im = *impl_;

@@ -181,6 +181,16 @@ class Program {
   /// True after a successful widen().
   bool widened() const;
 
+  /// Capture batch B0 of a widened plan (0 when !widened()).
+  int64_t widen_base() const;
+
+  /// Widen-dispatch helper for schedulers that form arbitrary-size
+  /// cross-request batches: the largest positive multiple of widen_base()
+  /// that is <= b (0 when not widened or b < base). Callers cover
+  /// widen_cover(b) rows with one widened replay and fall back to eager
+  /// execution for the b - widen_cover(b) remainder rows.
+  int64_t widen_cover(int64_t b) const;
+
   /// The buffer a widened replay at batch `b` reads/writes for the
   /// declared tensor `t` (b a positive multiple of B0; for b == B0 this
   /// is t's own payload). Callers pack inputs here before

@@ -63,6 +63,49 @@ PhaseScratch& phase_scratch() {
   return scratch;
 }
 
+void gather_phase_boundaries(
+    const LatticeWindow& window, const SubdomainGeometry& geom,
+    const std::vector<std::pair<int64_t, int64_t>>& corners,
+    std::vector<std::vector<double>>& boundaries, std::size_t offset) {
+  if (boundaries.size() < offset + corners.size()) {
+    boundaries.resize(offset + corners.size());
+  }
+  // Read-only gather from the shared window; subdomains are independent.
+  ad::kernels::parallel_for(
+      static_cast<int64_t>(corners.size()), 4 * geom.m,
+      [&](int64_t begin, int64_t end) {
+        for (int64_t b = begin; b < end; ++b) {
+          const auto [gx, gy] = corners[static_cast<std::size_t>(b)];
+          subdomain_boundary_into(window, geom, gx, gy,
+                                  boundaries[offset + static_cast<std::size_t>(b)]);
+        }
+      });
+}
+
+void scatter_phase_predictions(
+    LatticeWindow& window, const SubdomainGeometry& geom,
+    const std::vector<std::pair<int64_t, int64_t>>& corners,
+    const std::vector<std::vector<double>>& predictions, std::size_t offset,
+    double relaxation, PhaseResult& result, std::vector<DirtyWrite>* writes) {
+  for (std::size_t b = 0; b < corners.size(); ++b) {
+    const auto [gx, gy] = corners[b];
+    const std::vector<double>& pred = predictions[offset + b];
+    for (std::size_t k = 0; k < geom.cross_offsets.size(); ++k) {
+      const auto [di, dj] = geom.cross_offsets[k];
+      const int64_t px = gx + di, py = gy + dj;
+      double& slot = window.at(px, py);
+      // Under-relaxation damps error amplification when the subdomain
+      // solver is an imperfectly trained network; relaxation = 1 is the
+      // paper's plain update.
+      const double nv = relaxation * pred[k] + (1 - relaxation) * slot;
+      result.delta_num += (nv - slot) * (nv - slot);
+      result.delta_den += slot * slot;
+      slot = nv;
+      if (writes) writes->push_back({px, py, nv});
+    }
+  }
+}
+
 PhaseResult update_subdomains(
     LatticeWindow& window, const SubdomainSolver& solver,
     const SubdomainGeometry& geom,
@@ -79,16 +122,7 @@ PhaseResult update_subdomains(
   boundaries.resize(corners.size());
   {
     util::ScopedCpuTimer t(io_time);
-    // Read-only gather from the shared window; subdomains are independent.
-    ad::kernels::parallel_for(
-        static_cast<int64_t>(corners.size()), 4 * geom.m,
-        [&](int64_t begin, int64_t end) {
-          for (int64_t b = begin; b < end; ++b) {
-            const auto [gx, gy] = corners[static_cast<std::size_t>(b)];
-            subdomain_boundary_into(window, geom, gx, gy,
-                                    boundaries[static_cast<std::size_t>(b)]);
-          }
-        });
+    gather_phase_boundaries(window, geom, corners, boundaries);
   }
 
   std::vector<std::vector<double>>& predictions = scratch.predictions;
@@ -107,22 +141,9 @@ PhaseResult update_subdomains(
 
   {
     util::ScopedCpuTimer t(io_time);
-    for (std::size_t b = 0; b < corners.size(); ++b) {
-      const auto [gx, gy] = corners[b];
-      for (std::size_t k = 0; k < geom.cross_offsets.size(); ++k) {
-        const auto [di, dj] = geom.cross_offsets[k];
-        const int64_t px = gx + di, py = gy + dj;
-        double& slot = window.at(px, py);
-        // Under-relaxation damps error amplification when the subdomain
-        // solver is an imperfectly trained network; relaxation = 1 is the
-        // paper's plain update.
-        const double nv = relaxation * predictions[b][k] + (1 - relaxation) * slot;
-        result.delta_num += (nv - slot) * (nv - slot);
-        result.delta_den += slot * slot;
-        slot = nv;
-        if (collect_writes) result.writes.push_back({px, py, nv});
-      }
-    }
+    scatter_phase_predictions(window, geom, corners, predictions, 0,
+                              relaxation, result,
+                              collect_writes ? &result.writes : nullptr);
   }
   result.inference_seconds = inf_time.total();
   result.boundary_io_seconds = io_time.total();

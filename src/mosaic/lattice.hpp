@@ -103,6 +103,27 @@ struct PhaseScratch {
 };
 PhaseScratch& phase_scratch();
 
+/// Gather half of a phase update: fill `boundaries[offset + i]` with the
+/// perimeter of `corners[i]` (the vector grows to at least offset +
+/// corners.size() rows, earlier rows untouched). Offsets let the serve
+/// scheduler pack several requests' subdomains into one shared batch.
+void gather_phase_boundaries(
+    const LatticeWindow& window, const SubdomainGeometry& geom,
+    const std::vector<std::pair<int64_t, int64_t>>& corners,
+    std::vector<std::vector<double>>& boundaries, std::size_t offset = 0);
+
+/// Scatter half of a phase update: write `predictions[offset + i]` back
+/// onto the center cross of `corners[i]`, accumulating the convergence
+/// deltas exactly as update_subdomains does (same sequential order, so
+/// the sums are bitwise identical however the batch was formed).
+/// `writes` collects the touched points when non-null.
+void scatter_phase_predictions(
+    LatticeWindow& window, const SubdomainGeometry& geom,
+    const std::vector<std::pair<int64_t, int64_t>>& corners,
+    const std::vector<std::vector<double>>& predictions, std::size_t offset,
+    double relaxation, PhaseResult& result,
+    std::vector<DirtyWrite>* writes = nullptr);
+
 /// Solve every subdomain in `corners` with `solver` and write the
 /// center-cross predictions back into the window. `batched == false`
 /// reproduces the paper's unbatched baseline (one SDNet call per

@@ -28,6 +28,57 @@ std::vector<std::pair<int64_t, int64_t>> phase_corners(
   return corners;
 }
 
+void predict_interior(const LatticeWindow& window,
+                      const SubdomainSolver& solver,
+                      const SubdomainGeometry& geom, int64_t nx_cells,
+                      int64_t ny_cells, linalg::Grid2D& solution,
+                      double* inference_seconds, double* boundary_io_seconds) {
+  const int64_t m = geom.m;
+  const int64_t h = geom.h;
+  std::vector<std::pair<int64_t, int64_t>> tiles;
+  for (int64_t gy = 0; gy + m <= ny_cells; gy += m)
+    for (int64_t gx = 0; gx + m <= nx_cells; gx += m) tiles.emplace_back(gx, gy);
+  // Same reusable gather/scatter buffers as the phase updates.
+  PhaseScratch& scratch = phase_scratch();
+  std::vector<std::vector<double>>& boundaries = scratch.boundaries;
+  boundaries.resize(tiles.size());
+  util::StopwatchAccum io_time, inf_time;
+  {
+    util::ScopedCpuTimer t(io_time);
+    gather_phase_boundaries(window, geom, tiles, boundaries);
+  }
+  std::vector<std::vector<double>>& interiors = scratch.predictions;
+  {
+    util::ScopedCpuTimer t(inf_time);
+    solver.predict(boundaries, geom.interior_queries, interiors);
+  }
+  {
+    util::ScopedCpuTimer t(io_time);
+    // The tiling is non-overlapping, so interior scatter writes disjoint
+    // points per tile.
+    ad::kernels::parallel_for(
+        static_cast<int64_t>(tiles.size()),
+        static_cast<int64_t>(geom.interior_offsets.size()),
+        [&](int64_t begin, int64_t end) {
+          for (int64_t b = begin; b < end; ++b) {
+            const auto [gx, gy] = tiles[static_cast<std::size_t>(b)];
+            for (std::size_t k = 0; k < geom.interior_offsets.size(); ++k) {
+              const auto [di, dj] = geom.interior_offsets[k];
+              solution.at(gx + di, gy + dj) =
+                  interiors[static_cast<std::size_t>(b)][k];
+            }
+          }
+        });
+    // Lattice lines (including the global boundary) come from the
+    // iterated window state.
+    for (int64_t gy = 0; gy <= ny_cells; ++gy)
+      for (int64_t gx = 0; gx <= nx_cells; ++gx)
+        if (gx % h == 0 || gy % h == 0) solution.at(gx, gy) = window.at(gx, gy);
+  }
+  if (inference_seconds) *inference_seconds += inf_time.total();
+  if (boundary_io_seconds) *boundary_io_seconds += io_time.total();
+}
+
 MfpResult mosaic_predict(const SubdomainSolver& solver, int64_t nx_cells,
                          int64_t ny_cells,
                          const std::vector<double>& global_boundary,
@@ -83,60 +134,8 @@ MfpResult mosaic_predict(const SubdomainSolver& solver, int64_t nx_cells,
   // Final phase: predict the full interior of the non-overlapping tiling
   // (even corner indices), then keep lattice-line values from the iterated
   // state. Union covers every interior point.
-  {
-    std::vector<std::pair<int64_t, int64_t>> tiles;
-    for (int64_t gy = 0; gy + m <= ny_cells; gy += m)
-      for (int64_t gx = 0; gx + m <= nx_cells; gx += m) tiles.emplace_back(gx, gy);
-    // Same reusable gather/scatter buffers as the phase updates.
-    PhaseScratch& scratch = phase_scratch();
-    std::vector<std::vector<double>>& boundaries = scratch.boundaries;
-    boundaries.resize(tiles.size());
-    util::StopwatchAccum io_time, inf_time;
-    {
-      util::ScopedCpuTimer t(io_time);
-      // Boundary gather reads the shared window; tiles are independent.
-      ad::kernels::parallel_for(
-          static_cast<int64_t>(tiles.size()), 4 * m,
-          [&](int64_t begin, int64_t end) {
-            for (int64_t b = begin; b < end; ++b) {
-              const auto [gx, gy] = tiles[static_cast<std::size_t>(b)];
-              subdomain_boundary_into(window, geom, gx, gy,
-                                      boundaries[static_cast<std::size_t>(b)]);
-            }
-          });
-    }
-    std::vector<std::vector<double>>& interiors = scratch.predictions;
-    {
-      util::ScopedCpuTimer t(inf_time);
-      solver.predict(boundaries, geom.interior_queries, interiors);
-    }
-    {
-      util::ScopedCpuTimer t(io_time);
-      // The tiling is non-overlapping, so interior scatter writes disjoint
-      // points per tile.
-      ad::kernels::parallel_for(
-          static_cast<int64_t>(tiles.size()),
-          static_cast<int64_t>(geom.interior_offsets.size()),
-          [&](int64_t begin, int64_t end) {
-            for (int64_t b = begin; b < end; ++b) {
-              const auto [gx, gy] = tiles[static_cast<std::size_t>(b)];
-              for (std::size_t k = 0; k < geom.interior_offsets.size(); ++k) {
-                const auto [di, dj] = geom.interior_offsets[k];
-                result.solution.at(gx + di, gy + dj) =
-                    interiors[static_cast<std::size_t>(b)][k];
-              }
-            }
-          });
-      // Lattice lines (including the global boundary) come from the
-      // iterated window state.
-      for (int64_t gy = 0; gy <= ny_cells; ++gy)
-        for (int64_t gx = 0; gx <= nx_cells; ++gx)
-          if (gx % h == 0 || gy % h == 0)
-            result.solution.at(gx, gy) = window.at(gx, gy);
-    }
-    result.inference_seconds += inf_time.total();
-    result.boundary_io_seconds += io_time.total();
-  }
+  predict_interior(window, solver, geom, nx_cells, ny_cells, result.solution,
+                   &result.inference_seconds, &result.boundary_io_seconds);
 
   if (options.reference) {
     result.lattice_mae = linalg::Grid2D::mean_abs_diff(result.solution,

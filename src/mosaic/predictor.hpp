@@ -64,6 +64,20 @@ MfpResult mosaic_predict(const SubdomainSolver& solver, int64_t nx_cells,
                          const std::vector<double>& global_boundary,
                          const MfpOptions& options = {});
 
+/// Final MFP pass: predict the full interior of the non-overlapping
+/// subdomain tiling from the iterated window state and assemble the
+/// solution grid (interiors from the solver, lattice lines — including
+/// the global boundary — from the window). Factored out of
+/// mosaic_predict so the serve scheduler's job retirement produces
+/// bitwise-identical solutions. `solution` must be (nx_cells+1) x
+/// (ny_cells+1); the timing accumulators may be null.
+void predict_interior(const LatticeWindow& window,
+                      const SubdomainSolver& solver,
+                      const SubdomainGeometry& geom, int64_t nx_cells,
+                      int64_t ny_cells, linalg::Grid2D& solution,
+                      double* inference_seconds = nullptr,
+                      double* boundary_io_seconds = nullptr);
+
 /// The subdomain corner positions of parity phase (`phase` in 0..3) whose
 /// corners lie in [cx0, cx1) x [cy0, cy1) (corner indices in units of h)
 /// and whose subdomain fits inside the global domain.

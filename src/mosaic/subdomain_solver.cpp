@@ -50,7 +50,12 @@ struct InferEntry {
 thread_local std::vector<InferEntry> t_infer_cache;
 thread_local std::vector<std::pair<std::uint64_t, ad::Program::Stats>>
     t_evicted_stats;
-constexpr std::size_t kMaxInferEntries = 8;
+// Capacity is process-global (each thread's cache honours it at insert
+// time). 8 covers a single solve's working set; multi-tenant serving
+// raises it via infer_cache_reserve so per-tenant hot plans survive the
+// interior-batch churn at job retirement.
+constexpr std::size_t kDefaultInferEntries = 8;
+std::atomic<std::size_t> g_infer_capacity{kDefaultInferEntries};
 
 void fold_stats(ad::Program::Stats& agg, const ad::Program::Stats& s) {
   agg.steps += s.steps;
@@ -71,7 +76,30 @@ void fold_stats(ad::Program::Stats& agg, const ad::Program::Stats& s) {
   agg.widened_replays += s.widened_replays;
 }
 
+// Process-wide cache observability. Relaxed atomics: the counters are
+// monotone tallies, never used for synchronization.
+struct AtomicInferStats {
+  std::atomic<std::uint64_t> exact_hits{0};
+  std::atomic<std::uint64_t> widened_hits{0};
+  std::atomic<std::uint64_t> chunked_hits{0};
+  std::atomic<std::uint64_t> widen_remainder_rows{0};
+  std::atomic<std::uint64_t> misses{0};
+  std::atomic<std::uint64_t> captures{0};
+  std::atomic<std::uint64_t> evictions{0};
+  std::atomic<std::uint64_t> retired{0};
+};
+AtomicInferStats g_infer_stats;
+
+void bump(std::atomic<std::uint64_t>& c, std::uint64_t n = 1) {
+  c.fetch_add(n, std::memory_order_relaxed);
+}
+
+// The cache is kept in LRU order: hits rotate the used entry to the
+// back (see touch_entry), so the front is the least-recently-useful
+// shape. Under mixed serve traffic this keeps the hot widened plans
+// (hit every tick) pinned while one-shot batch shapes age out.
 void evict_oldest_entry() {
+  bump(g_infer_stats.evictions);
   const InferEntry& victim = t_infer_cache.front();
   if (victim.program.captured()) {
     bool folded = false;
@@ -98,7 +126,56 @@ void evict_oldest_entry() {
 
 std::atomic<std::uint64_t> g_solver_serial{1};
 
+// LRU maintenance: rotate the entry just used to the back of the cache.
+// Invalidates every InferEntry pointer into the cache — call only after
+// the last use of such pointers on the current path.
+void touch_entry(InferEntry* e) {
+  const std::size_t idx = static_cast<std::size_t>(e - t_infer_cache.data());
+  if (idx + 1 < t_infer_cache.size()) {
+    std::rotate(t_infer_cache.begin() + static_cast<std::ptrdiff_t>(idx),
+                t_infer_cache.begin() + static_cast<std::ptrdiff_t>(idx) + 1,
+                t_infer_cache.end());
+  }
+}
+
 }  // namespace
+
+InferCacheStats infer_cache_stats() {
+  InferCacheStats s;
+  s.exact_hits = g_infer_stats.exact_hits.load(std::memory_order_relaxed);
+  s.widened_hits = g_infer_stats.widened_hits.load(std::memory_order_relaxed);
+  s.chunked_hits = g_infer_stats.chunked_hits.load(std::memory_order_relaxed);
+  s.widen_remainder_rows =
+      g_infer_stats.widen_remainder_rows.load(std::memory_order_relaxed);
+  s.misses = g_infer_stats.misses.load(std::memory_order_relaxed);
+  s.captures = g_infer_stats.captures.load(std::memory_order_relaxed);
+  s.evictions = g_infer_stats.evictions.load(std::memory_order_relaxed);
+  s.retired = g_infer_stats.retired.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::size_t infer_cache_capacity() {
+  return g_infer_capacity.load(std::memory_order_relaxed);
+}
+
+void infer_cache_reserve(std::size_t min_entries) {
+  std::size_t cur = g_infer_capacity.load(std::memory_order_relaxed);
+  while (cur < min_entries &&
+         !g_infer_capacity.compare_exchange_weak(cur, min_entries,
+                                                 std::memory_order_relaxed)) {
+  }
+}
+
+void infer_cache_stats_reset() {
+  g_infer_stats.exact_hits.store(0, std::memory_order_relaxed);
+  g_infer_stats.widened_hits.store(0, std::memory_order_relaxed);
+  g_infer_stats.chunked_hits.store(0, std::memory_order_relaxed);
+  g_infer_stats.widen_remainder_rows.store(0, std::memory_order_relaxed);
+  g_infer_stats.misses.store(0, std::memory_order_relaxed);
+  g_infer_stats.captures.store(0, std::memory_order_relaxed);
+  g_infer_stats.evictions.store(0, std::memory_order_relaxed);
+  g_infer_stats.retired.store(0, std::memory_order_relaxed);
+}
 
 void SubdomainSolver::predict_one_into(const std::vector<double>& boundary,
                                        const QueryList& queries,
@@ -159,11 +236,14 @@ namespace {
 // exactly as B0-sized chunks of the base plan would see them).
 void pack_batch(const std::vector<std::vector<double>>& boundaries,
                 const QueryList& queries, int64_t B, int64_t G, int64_t q,
-                ad::real* g, ad::real* x) {
+                ad::real* g, ad::real* x, int64_t first = 0) {
   // Batch packing threads over subdomains; each batch row is disjoint.
+  // `first` selects a row range [first, first + B) of `boundaries` so
+  // chunked widen dispatch can pack the covered prefix and the eager
+  // remainder through the same code.
   ad::kernels::parallel_for(B, G + 2 * q, [&](int64_t begin, int64_t end) {
     for (int64_t b = begin; b < end; ++b) {
-      const auto& bd = boundaries[static_cast<std::size_t>(b)];
+      const auto& bd = boundaries[static_cast<std::size_t>(first + b)];
       for (int64_t k = 0; k < G; ++k) g[b * G + k] = bd[static_cast<std::size_t>(k)];
       for (int64_t k = 0; k < q; ++k) {
         x[(b * q + k) * 2 + 0] = queries[static_cast<std::size_t>(k)].first;
@@ -179,18 +259,25 @@ void pack_batch(const std::vector<std::vector<double>>& boundaries,
   pack_batch(boundaries, queries, B, G, q, g.data(), x.data());
 }
 
-void unpack_batch(const ad::real* pred, int64_t B, int64_t q,
-                  std::vector<std::vector<double>>& out) {
-  // Resize (not assign) so caller-recycled buffers keep their capacity.
-  out.resize(static_cast<std::size_t>(B));
+// Writes rows [first, first + B) of `out` (which must already be sized)
+// from a contiguous prediction buffer of B instances.
+void unpack_rows(const ad::real* pred, int64_t B, int64_t q,
+                 std::vector<std::vector<double>>& out, int64_t first) {
   ad::kernels::parallel_for(B, q, [&](int64_t begin, int64_t end) {
     for (int64_t b = begin; b < end; ++b) {
-      auto& row = out[static_cast<std::size_t>(b)];
+      auto& row = out[static_cast<std::size_t>(first + b)];
       row.resize(static_cast<std::size_t>(q));
       for (int64_t k = 0; k < q; ++k)
         row[static_cast<std::size_t>(k)] = pred[b * q + k];
     }
   });
+}
+
+void unpack_batch(const ad::real* pred, int64_t B, int64_t q,
+                  std::vector<std::vector<double>>& out) {
+  // Resize (not assign) so caller-recycled buffers keep their capacity.
+  out.resize(static_cast<std::size_t>(B));
+  unpack_rows(pred, B, q, out, /*first=*/0);
 }
 
 void unpack_batch(const ad::Tensor& pred, int64_t B, int64_t q,
@@ -218,6 +305,8 @@ void NeuralSubdomainSolver::predict(
     const ad::DType dt = ad::compute_dtype();
     InferEntry* exact = nullptr;
     InferEntry* wide = nullptr;
+    InferEntry* cover = nullptr;  // widest partial cover of a non-multiple B
+    int64_t cover_rows = 0;
     for (auto& entry : t_infer_cache) {
       if (entry.solver_serial != serial_ || entry.q != q || entry.G != G ||
           entry.dt != dt)
@@ -226,6 +315,12 @@ void NeuralSubdomainSolver::predict(
         exact = &entry;
       } else if (entry.wide && B % entry.B == 0) {
         wide = &entry;
+      } else if (entry.wide && entry.B < B) {
+        const int64_t c = entry.program.widen_cover(B);
+        if (c > cover_rows) {
+          cover_rows = c;
+          cover = &entry;
+        }
       }
     }
     // Health-sentinel fallback ladder (only ever taken when a post-replay
@@ -235,6 +330,7 @@ void NeuralSubdomainSolver::predict(
     // current batch is always recomputed eagerly in f64 below, so tripped
     // garbage never reaches the caller.
     const auto retire = [](InferEntry& e) {
+      bump(g_infer_stats.retired);
       e.program.reset();
       e.wide = false;
       if (e.capture_dt == ad::DType::kF32) {
@@ -247,14 +343,18 @@ void NeuralSubdomainSolver::predict(
     };
     if (exact && exact->eager_only) {
       // Sentinel-retired geometry: straight to the eager path below.
+      bump(g_infer_stats.misses);
     } else if (exact && exact->program.captured()) {
       pack_batch(boundaries, queries, B, G, q, exact->g, exact->x);
       exact->program.replay();
       if (exact->program.last_replay_healthy()) {
+        bump(g_infer_stats.exact_hits);
         unpack_batch(exact->pred, B, q, out);
+        touch_entry(exact);
         return;
       }
       retire(*exact);
+      bump(g_infer_stats.misses);
     } else if (wide) {
       // No captured plan at exactly B, but a widened entry's plan covers
       // it: pack all B instances into the batch-scaled buffers and replay
@@ -265,14 +365,49 @@ void NeuralSubdomainSolver::predict(
                  wide->program.widened_buffer(wide->x, B));
       wide->program.replay_widened(B);
       if (wide->program.last_replay_healthy()) {
+        bump(g_infer_stats.widened_hits);
         unpack_batch(wide->program.widened_buffer(wide->pred, B), B, q, out);
+        touch_entry(wide);
         return;
       }
       retire(*wide);
+      bump(g_infer_stats.misses);
+    } else if (cover) {
+      // Chunked widen dispatch: B is not a multiple of any widened plan's
+      // base, but one covers a prefix of widen_cover(B) rows. Replay that
+      // prefix wide and run only the odd remainder eagerly — no per-shape
+      // entry is created, so transient batch sizes from cross-request
+      // scheduling cannot churn the cache.
+      pack_batch(boundaries, queries, cover_rows, G, q,
+                 cover->program.widened_buffer(cover->g, cover_rows),
+                 cover->program.widened_buffer(cover->x, cover_rows));
+      cover->program.replay_widened(cover_rows);
+      if (cover->program.last_replay_healthy()) {
+        const int64_t rem = B - cover_rows;
+        out.resize(static_cast<std::size_t>(B));
+        unpack_rows(cover->program.widened_buffer(cover->pred, cover_rows),
+                    cover_rows, q, out, /*first=*/0);
+        ad::Tensor g_r = ad::Tensor::zeros({rem, G});
+        ad::Tensor x_r = ad::Tensor::zeros({rem, q, 2});
+        pack_batch(boundaries, queries, rem, G, q, g_r.data(), x_r.data(),
+                   /*first=*/cover_rows);
+        ad::Tensor pred_r = net_->predict(g_r, x_r);  // [rem, q, 1]
+        unpack_rows(pred_r.data(), rem, q, out, /*first=*/cover_rows);
+        bump(g_infer_stats.chunked_hits);
+        bump(g_infer_stats.widen_remainder_rows,
+             static_cast<std::uint64_t>(rem));
+        touch_entry(cover);
+        return;
+      }
+      retire(*cover);
+      bump(g_infer_stats.misses);
     } else if (!exact) {
       // First sight of this geometry: note it and run eagerly below —
       // capture only pays off if the shape comes back.
-      if (t_infer_cache.size() >= kMaxInferEntries) evict_oldest_entry();
+      while (t_infer_cache.size() >=
+             g_infer_capacity.load(std::memory_order_relaxed)) {
+        evict_oldest_entry();
+      }
       t_infer_cache.emplace_back();
       exact = &t_infer_cache.back();
       exact->solver_serial = serial_;
@@ -281,6 +416,7 @@ void NeuralSubdomainSolver::predict(
       exact->G = G;
       exact->dt = dt;
       exact->capture_dt = dt;
+      bump(g_infer_stats.misses);
     } else {
       // Second sight: the geometry recurs — trace it, then try to widen
       // so this one plan also serves every multiple of B (fail-closed:
@@ -294,8 +430,12 @@ void NeuralSubdomainSolver::predict(
           [&] { exact->pred = net_->predict(exact->g, exact->x); });
       if (exact->program.captured()) {
         exact->wide = exact->program.widen({exact->g, exact->x, exact->pred});
+        bump(g_infer_stats.captures);
+      } else {
+        bump(g_infer_stats.misses);
       }
       unpack_batch(exact->pred, B, q, out);
+      touch_entry(exact);
       return;
     }
   }

@@ -24,6 +24,33 @@ namespace mf::mosaic {
 /// Query positions are relative coordinates in the unit subdomain square.
 using QueryList = std::vector<std::pair<double, double>>;
 
+/// Process-wide observability counters for the compiled-inference caches
+/// (the per-thread shape-keyed program caches behind
+/// NeuralSubdomainSolver::predict), aggregated across threads and solvers.
+/// The serve stats line reports these so cross-request batching
+/// effectiveness — shared plans vs eager fallbacks — is visible in
+/// production, and tests assert them.
+struct InferCacheStats {
+  std::uint64_t exact_hits = 0;    // replays through an exact-shape plan
+  std::uint64_t widened_hits = 0;  // batches covered whole by a widened plan
+  std::uint64_t chunked_hits = 0;  // widened cover + eager remainder batches
+  std::uint64_t widen_remainder_rows = 0;  // rows sent eager by chunking
+  std::uint64_t misses = 0;        // eager batches (first sight / retired)
+  std::uint64_t captures = 0;      // successful plan captures
+  std::uint64_t evictions = 0;     // cache-bound evictions
+  std::uint64_t retired = 0;       // health-sentinel plan retirements
+};
+InferCacheStats infer_cache_stats();
+void infer_cache_stats_reset();
+
+/// Current per-thread plan-cache capacity (process-global setting).
+std::size_t infer_cache_capacity();
+/// Raise the plan-cache capacity to at least `min_entries` (never
+/// shrinks; default is 8). Multi-tenant serving calls this so each
+/// tenant's hot widened plan survives the one-shot interior batch
+/// shapes that churn through the cache at job retirement.
+void infer_cache_reserve(std::size_t min_entries);
+
 class SubdomainSolver {
  public:
   virtual ~SubdomainSolver() = default;

@@ -1,0 +1,85 @@
+#include "serve/request_gen.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mf::serve {
+
+RequestGenerator::RequestGenerator(std::vector<GeometrySpec> zoo,
+                                   const RequestGenConfig& cfg)
+    : zoo_(std::move(zoo)), cfg_(cfg), rng_(cfg.seed) {
+  if (zoo_.empty()) {
+    throw std::invalid_argument("RequestGenerator: empty geometry zoo");
+  }
+  for (const auto& spec : zoo_) {
+    if (spec.nx_cells % spec.m != 0 || spec.ny_cells % spec.m != 0) {
+      throw std::invalid_argument(
+          "RequestGenerator: domain cells must be a multiple of m");
+    }
+  }
+}
+
+SolveRequest RequestGenerator::next() {
+  SolveRequest req;
+  req.id = next_id_++;
+  const std::size_t zi =
+      static_cast<std::size_t>(rng_.randint(0, static_cast<int64_t>(zoo_.size()) - 1));
+  const GeometrySpec& spec = zoo_[zi];
+  req.zoo_index = spec.zoo_index;
+  req.nx_cells = spec.nx_cells;
+  req.ny_cells = spec.ny_cells;
+
+  // Poisson arrivals with a periodic burst curve: the thinning-free
+  // piecewise construction just uses the rate in effect at the current
+  // process time (bursts are long relative to inter-arrival gaps).
+  const double phase = cfg_.burst_period_s > 0
+                           ? std::fmod(clock_s_, cfg_.burst_period_s)
+                           : 0.0;
+  const bool in_burst = cfg_.burst_period_s > 0 &&
+                        phase < cfg_.burst_duty * cfg_.burst_period_s;
+  const double rate =
+      cfg_.rate_hz * (in_burst ? cfg_.burst_factor : 1.0);
+  const double u = rng_.uniform(1e-12, 1.0);
+  clock_s_ += -std::log(u) / rate;
+  req.arrival_s = clock_s_;
+
+  // Log-uniform deadline in [min, max].
+  const double ld = rng_.uniform(std::log(cfg_.deadline_ms_min),
+                                 std::log(cfg_.deadline_ms_max));
+  req.deadline_ms = std::exp(ld);
+
+  req.max_iters = 4 * rng_.randint(cfg_.min_cycles, cfg_.max_cycles);
+  req.tol = cfg_.tol;
+
+  // Smooth periodic boundary: a low-order Fourier series over the
+  // perimeter walk (the canonical order is a contiguous counterclockwise
+  // loop, so periodicity in the index means continuity on the boundary).
+  const int64_t P = 2 * (req.nx_cells + req.ny_cells);
+  req.boundary.resize(static_cast<std::size_t>(P));
+  std::vector<double> amp(static_cast<std::size_t>(cfg_.boundary_modes));
+  std::vector<double> phi(static_cast<std::size_t>(cfg_.boundary_modes));
+  for (int k = 0; k < cfg_.boundary_modes; ++k) {
+    amp[static_cast<std::size_t>(k)] = rng_.normal(0.0, 1.0 / (k + 1));
+    phi[static_cast<std::size_t>(k)] = rng_.uniform(0.0, 2.0 * M_PI);
+  }
+  const double offset = rng_.normal(0.0, 0.5);
+  for (int64_t i = 0; i < P; ++i) {
+    const double t = static_cast<double>(i) / static_cast<double>(P);
+    double v = offset;
+    for (int k = 0; k < cfg_.boundary_modes; ++k) {
+      v += amp[static_cast<std::size_t>(k)] *
+           std::sin(2.0 * M_PI * (k + 1) * t + phi[static_cast<std::size_t>(k)]);
+    }
+    req.boundary[static_cast<std::size_t>(i)] = v;
+  }
+  return req;
+}
+
+std::vector<SolveRequest> RequestGenerator::generate(int64_t n) {
+  std::vector<SolveRequest> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int64_t i = 0; i < n; ++i) out.push_back(next());
+  return out;
+}
+
+}  // namespace mf::serve

@@ -1,0 +1,74 @@
+// Seeded workload generation for the multi-tenant solve server: solve
+// jobs drawn from a small geometry zoo with Poisson/burst arrival curves
+// and per-request latency deadlines. Fully deterministic given the seed,
+// so load tests and the serve benchmark are reproducible run-to-run.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace mf::serve {
+
+/// One solve job offered to the server.
+struct SolveRequest {
+  int64_t id = 0;
+  int zoo_index = 0;  // which zoo model/geometry serves this request
+  int64_t nx_cells = 0, ny_cells = 0;
+  /// Global boundary, canonical perimeter order (2(nx+ny) values).
+  std::vector<double> boundary;
+  double arrival_s = 0;    // offered arrival time relative to run start
+  double deadline_ms = 0;  // latency budget; 0 = no deadline
+  int64_t max_iters = 40;  // Schwarz iteration budget
+  double tol = 1e-4;       // convergence threshold on the cycle delta
+};
+
+/// A domain shape served by one zoo model (subdomain size m). Cell counts
+/// must be multiples of m.
+struct GeometrySpec {
+  int zoo_index = 0;
+  int64_t m = 8;
+  int64_t nx_cells = 32, ny_cells = 32;
+};
+
+struct RequestGenConfig {
+  std::uint64_t seed = 20260807;
+  /// Mean Poisson arrival rate outside bursts (requests / second).
+  double rate_hz = 100;
+  /// Periodic bursts: for `burst_duty` of every `burst_period_s` cycle
+  /// the arrival rate is multiplied by `burst_factor`.
+  double burst_factor = 4.0;
+  double burst_period_s = 2.0;
+  double burst_duty = 0.25;
+  /// Per-request deadline, sampled log-uniformly in [min, max].
+  double deadline_ms_min = 50;
+  double deadline_ms_max = 500;
+  /// Iteration budget in full 4-phase Schwarz cycles, sampled uniformly.
+  /// Random-weight zoo nets rarely reach `tol`, so the budget is what
+  /// actually staggers retirement; varied budgets make jobs join and
+  /// leave the shared batch at different iterations.
+  int64_t min_cycles = 2;
+  int64_t max_cycles = 8;
+  double tol = 1e-4;
+  /// Fourier modes of the synthesized periodic boundary signal.
+  int boundary_modes = 3;
+};
+
+/// Deterministic stream of solve jobs over a geometry zoo.
+class RequestGenerator {
+ public:
+  RequestGenerator(std::vector<GeometrySpec> zoo, const RequestGenConfig& cfg);
+
+  SolveRequest next();
+  std::vector<SolveRequest> generate(int64_t n);
+
+ private:
+  std::vector<GeometrySpec> zoo_;
+  RequestGenConfig cfg_;
+  util::Rng rng_;
+  int64_t next_id_ = 0;
+  double clock_s_ = 0;  // arrival-process time
+};
+
+}  // namespace mf::serve

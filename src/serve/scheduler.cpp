@@ -1,0 +1,236 @@
+#include "serve/scheduler.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/grid2d.hpp"
+#include "mosaic/subdomain_solver.hpp"
+#include "util/timing.hpp"
+
+namespace mf::serve {
+
+ServeJob::ServeJob(SolveRequest r, mosaic::LatticeInit init)
+    : req(std::move(r)),
+      window(0, 0, req.nx_cells, req.ny_cells) {
+  linalg::apply_perimeter(window.grid(), req.boundary);
+  if (init == mosaic::LatticeInit::kCoons) mosaic::coons_init(window.grid());
+}
+
+IterationScheduler::IterationScheduler(const std::vector<ServeModel>& zoo,
+                                       const SchedulerOptions& opts)
+    : zoo_(zoo), opts_(opts) {
+  if (zoo_.empty()) {
+    throw std::invalid_argument("IterationScheduler: empty model zoo");
+  }
+  // The per-tenant hot widened plans (cross at warm_batch and base 1,
+  // interior at base 1) must survive whatever transient batch shapes
+  // drift through the cache.
+  mosaic::infer_cache_reserve(3 * zoo_.size() + 4);
+}
+
+const mosaic::SubdomainGeometry& IterationScheduler::geometry(int64_t m) {
+  return geoms_.try_emplace(m, m).first->second;
+}
+
+void IterationScheduler::warm(int64_t warm_batch) {
+  if (warm_batch <= 0) return;
+  std::vector<std::vector<double>> boundaries(
+      static_cast<std::size_t>(warm_batch));
+  std::vector<std::vector<double>> one(1);
+  std::vector<std::vector<double>> out;
+  for (const auto& model : zoo_) {
+    const mosaic::SubdomainGeometry& geom = geometry(model.m);
+    const std::size_t G = static_cast<std::size_t>(4 * model.m);
+    for (auto& b : boundaries) b.assign(G, 0.0);
+    one[0].assign(G, 0.0);
+    // Two calls each: the cache captures a shape on its second sight and
+    // offers the plan for widening. Cross plans warm at warm_batch (so
+    // padded multiples replay through the wider base) AND at base 1;
+    // interior plans warm at base 1. A base-1 widened plan makes ANY
+    // batch size a whole multiple, so with padding off every phase group
+    // and every retirement interior still replays wide — no eager rows,
+    // no per-shape captures, whatever sizes the traffic produces.
+    model.solver->predict(boundaries, geom.cross_queries, out);
+    model.solver->predict(boundaries, geom.cross_queries, out);
+    model.solver->predict(one, geom.cross_queries, out);
+    model.solver->predict(one, geom.cross_queries, out);
+    model.solver->predict(one, geom.interior_queries, out);
+    model.solver->predict(one, geom.interior_queries, out);
+  }
+}
+
+void IterationScheduler::admit(SolveRequest req, double now_s) {
+  if (req.zoo_index < 0 ||
+      static_cast<std::size_t>(req.zoo_index) >= zoo_.size()) {
+    throw std::invalid_argument("IterationScheduler: bad zoo index");
+  }
+  auto job = std::make_unique<ServeJob>(std::move(req), opts_.init);
+  job->admit_s = now_s;
+  jobs_.push_back(std::move(job));
+  ++counters_.admitted;
+}
+
+void IterationScheduler::finalize(ServeJob& job, double now_s) {
+  const double t0 = util::wall_seconds();
+  const ServeModel& model = zoo_[static_cast<std::size_t>(job.req.zoo_index)];
+  job.solution =
+      linalg::Grid2D(job.req.nx_cells + 1, job.req.ny_cells + 1);
+  mosaic::predict_interior(job.window, *model.solver, geometry(model.m),
+                           job.req.nx_cells, job.req.ny_cells, job.solution);
+  job.finish_s = now_s;
+  job.done = true;
+  ++counters_.retired;
+  counters_.finalize_seconds += util::wall_seconds() - t0;
+}
+
+std::size_t IterationScheduler::tick(double now_s) {
+  ++counters_.ticks;
+  // Deadline check at the iteration boundary. kAccount keeps iterating
+  // (degraded-mode accounting, PR 8 style: progress outside the SLO is
+  // still progress); kRetire ships the current lattice state now.
+  for (auto& jp : jobs_) {
+    ServeJob& job = *jp;
+    if (job.done || job.req.deadline_ms <= 0) continue;
+    if ((now_s - job.req.arrival_s) * 1e3 <= job.req.deadline_ms) continue;
+    if (!job.deadline_missed) {
+      job.deadline_missed = true;
+      ++counters_.deadline_misses;
+    }
+    if (opts_.deadline_action == DeadlineAction::kRetire) {
+      job.converged = false;
+      finalize(job, now_s);
+    } else {
+      ++job.degraded_iterations;
+      ++counters_.degraded_iterations;
+    }
+  }
+
+  // One Schwarz iteration for every in-flight job, batched per model:
+  // all jobs' current-phase boundaries concatenate into one solver call.
+  // Jobs sit in different phases (they were admitted at different
+  // ticks), but the cross queries — hence the program shape — depend
+  // only on m, so the rows still share one (widened) plan.
+  struct Part {
+    ServeJob* job;
+    std::vector<std::pair<int64_t, int64_t>> corners;
+    std::size_t offset;
+  };
+  std::vector<Part> parts;
+  for (std::size_t mi = 0; mi < zoo_.size(); ++mi) {
+    const ServeModel& model = zoo_[mi];
+    const mosaic::SubdomainGeometry& geom = geometry(model.m);
+    parts.clear();
+    std::size_t total = 0;
+    std::size_t contributing = 0;
+    for (auto& jp : jobs_) {
+      ServeJob& job = *jp;
+      if (job.done || static_cast<std::size_t>(job.req.zoo_index) != mi)
+        continue;
+      const int64_t phase = job.iter % 4;
+      auto corners = mosaic::phase_corners(
+          phase, geom.h, geom.m, job.req.nx_cells, job.req.ny_cells, 0,
+          job.req.nx_cells / geom.h, 0, job.req.ny_cells / geom.h);
+      if (!corners.empty()) ++contributing;
+      const std::size_t offset = total;
+      total += corners.size();
+      parts.push_back({&job, std::move(corners), offset});
+    }
+    if (total == 0) continue;
+    if (opts_.batching) {
+      std::size_t padded = total;
+      if (opts_.pad_to > 0) {
+        const std::size_t p = static_cast<std::size_t>(opts_.pad_to);
+        padded = (total + p - 1) / p * p;
+      }
+      double t0 = util::wall_seconds();
+      batch_boundaries_.resize(padded);
+      for (const Part& part : parts) {
+        mosaic::gather_phase_boundaries(part.job->window, geom, part.corners,
+                                        batch_boundaries_, part.offset);
+      }
+      for (std::size_t i = total; i < padded; ++i) {
+        batch_boundaries_[i].assign(static_cast<std::size_t>(4 * model.m),
+                                    0.0);
+      }
+      double t1 = util::wall_seconds();
+      counters_.gather_seconds += t1 - t0;
+      model.solver->predict(batch_boundaries_, geom.cross_queries,
+                            batch_predictions_);
+      double t2 = util::wall_seconds();
+      counters_.predict_seconds += t2 - t1;
+      ++counters_.batches;
+      counters_.batched_rows += total;
+      counters_.pad_rows += padded - total;
+      if (contributing >= 2) ++counters_.shared_batches;
+      for (const Part& part : parts) {
+        mosaic::PhaseResult pr;
+        mosaic::scatter_phase_predictions(part.job->window, geom, part.corners,
+                                          batch_predictions_, part.offset,
+                                          opts_.relaxation, pr);
+        part.job->cycle_num += pr.delta_num;
+        part.job->cycle_den += pr.delta_den;
+      }
+      counters_.scatter_seconds += util::wall_seconds() - t2;
+    } else {
+      // Hatch/baseline: one solver call per job, no cross-request GEMMs.
+      for (const Part& part : parts) {
+        if (part.corners.empty()) continue;
+        batch_boundaries_.resize(part.corners.size());
+        mosaic::gather_phase_boundaries(part.job->window, geom, part.corners,
+                                        batch_boundaries_, 0);
+        model.solver->predict(batch_boundaries_, geom.cross_queries,
+                              batch_predictions_);
+        ++counters_.batches;
+        counters_.batched_rows += part.corners.size();
+        mosaic::PhaseResult pr;
+        mosaic::scatter_phase_predictions(part.job->window, geom, part.corners,
+                                          batch_predictions_, 0,
+                                          opts_.relaxation, pr);
+        part.job->cycle_num += pr.delta_num;
+        part.job->cycle_den += pr.delta_den;
+      }
+    }
+  }
+
+  // Advance iteration bookkeeping — the exact mosaic_predict convergence
+  // rule, evaluated per job so batching cannot change when a job stops.
+  for (auto& jp : jobs_) {
+    ServeJob& job = *jp;
+    if (job.done) continue;
+    const int64_t phase = job.iter % 4;
+    job.iter += 1;
+    if (phase == 3) {
+      job.final_delta = job.cycle_den > 0
+                            ? std::sqrt(job.cycle_num / job.cycle_den)
+                            : 0.0;
+      job.cycle_num = job.cycle_den = 0;
+      if (job.final_delta < job.req.tol) {
+        job.converged = true;
+        job.done = true;
+      }
+    }
+    if (!job.done && job.iter >= job.req.max_iters) job.done = true;
+    if (job.done) finalize(job, now_s);
+  }
+
+  // Sweep retired jobs out of the in-flight set.
+  std::vector<std::unique_ptr<ServeJob>> still;
+  still.reserve(jobs_.size());
+  for (auto& jp : jobs_) {
+    if (jp->done) {
+      finished_.push_back(std::move(*jp));
+    } else {
+      still.push_back(std::move(jp));
+    }
+  }
+  jobs_.swap(still);
+  return jobs_.size();
+}
+
+std::vector<ServeJob> IterationScheduler::take_finished() {
+  std::vector<ServeJob> out;
+  out.swap(finished_);
+  return out;
+}
+
+}  // namespace mf::serve

@@ -1,0 +1,183 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+
+#include "ad/kernels.hpp"
+#include "util/timing.hpp"
+
+namespace mf::serve {
+
+ServeOptions serve_options_from_env() {
+  ServeOptions opts;
+  if (const char* v = std::getenv("MF_SERVE_THREADS")) {
+    opts.threads = std::max(1, std::atoi(v));
+  }
+  if (const char* v = std::getenv("MF_SERVE_MAX_INFLIGHT")) {
+    opts.max_inflight = std::max(1, std::atoi(v));
+  }
+  if (const char* v = std::getenv("MF_SERVE_DISABLE_BATCHING")) {
+    opts.batching = !(v[0] != '\0' && v[0] != '0');
+  }
+  if (const char* v = std::getenv("MF_SERVE_WARM_BATCH")) {
+    opts.warm_batch = std::atol(v);
+  }
+  if (const char* v = std::getenv("MF_SERVE_PAD_TO")) {
+    opts.pad_to = std::atol(v);
+  }
+  if (const char* v = std::getenv("MF_SERVE_DEADLINE_ACTION")) {
+    opts.deadline_action = std::strcmp(v, "retire") == 0
+                               ? DeadlineAction::kRetire
+                               : DeadlineAction::kAccount;
+  }
+  return opts;
+}
+
+std::vector<ServeModel> make_model_zoo(const std::vector<int64_t>& ms,
+                                       const mosaic::SdnetConfig& base,
+                                       std::uint64_t seed) {
+  std::vector<ServeModel> zoo;
+  zoo.reserve(ms.size());
+  for (std::size_t i = 0; i < ms.size(); ++i) {
+    ServeModel model;
+    model.m = ms[i];
+    mosaic::SdnetConfig cfg = base;
+    cfg.boundary_size = 4 * model.m;
+    util::Rng rng(seed + i);
+    model.net = std::make_shared<mosaic::Sdnet>(cfg, rng);
+    model.solver =
+        std::make_shared<mosaic::NeuralSubdomainSolver>(model.net, model.m);
+    zoo.push_back(std::move(model));
+  }
+  return zoo;
+}
+
+SolveServer::SolveServer(std::vector<ServeModel> zoo, ServeOptions opts)
+    : zoo_(std::move(zoo)), opts_(std::move(opts)) {
+  if (zoo_.empty()) throw std::invalid_argument("SolveServer: empty zoo");
+  if (!opts_.clock) opts_.clock = [] { return util::wall_seconds(); };
+}
+
+namespace {
+
+/// Admission state shared by the workers: requests sorted by arrival,
+/// handed out under a mutex so each job lands on exactly one worker's
+/// scheduler (workers own disjoint job sets; ticks never lock).
+struct AdmissionQueue {
+  std::vector<SolveRequest>* requests = nullptr;
+  std::vector<std::size_t> order;  // request indices sorted by arrival_s
+  std::vector<std::size_t> slot;   // order[i] -> original request index
+  std::size_t next = 0;
+  std::mutex mu;
+};
+
+}  // namespace
+
+std::vector<ServeResult> SolveServer::run(std::vector<SolveRequest> requests) {
+  const double t0 = opts_.clock();
+  // Arrival offsets -> absolute server-clock times (deadlines and
+  // latency are measured from these).
+  for (auto& req : requests) req.arrival_s += t0;
+
+  AdmissionQueue queue;
+  queue.requests = &requests;
+  queue.order.resize(requests.size());
+  std::iota(queue.order.begin(), queue.order.end(), std::size_t{0});
+  std::stable_sort(queue.order.begin(), queue.order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return requests[a].arrival_s < requests[b].arrival_s;
+                   });
+
+  std::vector<ServeResult> results(requests.size());
+  std::mutex results_mu;
+
+  SchedulerOptions sched_opts;
+  sched_opts.batching = opts_.batching;
+  sched_opts.pad_to = opts_.batching ? opts_.pad_to : 0;
+  sched_opts.relaxation = opts_.relaxation;
+  sched_opts.deadline_action = opts_.deadline_action;
+
+  auto worker = [&](int worker_id) {
+    // Several workers would oversubscribe the OpenMP pool (and wreck the
+    // per-thread CPU-clock accounting); each worker computes serially
+    // and parallelism comes from the worker count itself.
+    std::unique_ptr<ad::kernels::SerialRegionGuard> guard;
+    if (opts_.threads > 1) {
+      guard = std::make_unique<ad::kernels::SerialRegionGuard>();
+    }
+    (void)worker_id;
+    IterationScheduler sched(zoo_, sched_opts);
+    sched.warm(opts_.warm_batch);
+    // Job -> original request index, to place results.
+    std::vector<std::pair<int64_t, std::size_t>> id_slots;
+    while (true) {
+      const double now = opts_.clock();
+      bool drained = false;
+      {
+        std::lock_guard<std::mutex> lock(queue.mu);
+        while (queue.next < queue.order.size() &&
+               sched.inflight() <
+                   static_cast<std::size_t>(opts_.max_inflight)) {
+          const std::size_t ri = queue.order[queue.next];
+          const SolveRequest& req = requests[ri];
+          if (opts_.realtime && req.arrival_s > now) break;
+          ++queue.next;
+          id_slots.emplace_back(req.id, ri);
+          sched.admit(req, now);
+        }
+        drained = queue.next >= queue.order.size();
+      }
+      if (sched.inflight() == 0) {
+        if (drained) break;
+        // Open loop, nothing in flight: wait for the next arrival.
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        continue;
+      }
+      sched.tick(now);
+      for (ServeJob& job : sched.take_finished()) {
+        RequestRecord rec;
+        rec.id = job.req.id;
+        rec.zoo_index = job.req.zoo_index;
+        rec.iterations = job.iter;
+        rec.converged = job.converged;
+        rec.deadline_missed = job.deadline_missed;
+        rec.degraded_iterations = job.degraded_iterations;
+        rec.arrival_s = job.req.arrival_s;
+        rec.admit_s = job.admit_s;
+        rec.finish_s = job.finish_s;
+        stats_.add_record(rec);
+        std::size_t ri = static_cast<std::size_t>(-1);
+        for (const auto& [id, slot] : id_slots) {
+          if (id == job.req.id) {
+            ri = slot;
+            break;
+          }
+        }
+        std::lock_guard<std::mutex> lock(results_mu);
+        ServeResult& res = results[ri];
+        res.record = rec;
+        res.final_delta = job.final_delta;
+        res.solution = std::move(job.solution);
+      }
+    }
+    stats_.merge_counters(sched.counters());
+  };
+
+  if (opts_.threads <= 1) {
+    worker(0);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(opts_.threads));
+    for (int t = 0; t < opts_.threads; ++t) threads.emplace_back(worker, t);
+    for (auto& th : threads) th.join();
+  }
+  return results;
+}
+
+}  // namespace mf::serve

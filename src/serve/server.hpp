@@ -1,0 +1,82 @@
+// Multi-tenant solve server: a model zoo plus per-worker iteration
+// schedulers behind one admission queue. Requests are admitted at
+// iteration boundaries up to a per-worker in-flight cap; each worker
+// advances all of its jobs one Schwarz iteration per tick with
+// cross-request batching (see scheduler.hpp). Configuration comes from
+// MF_SERVE_* environment variables by default:
+//   MF_SERVE_THREADS           worker threads (default 1)
+//   MF_SERVE_MAX_INFLIGHT      concurrent jobs per worker (default 8)
+//   MF_SERVE_DISABLE_BATCHING  1 = per-job solver calls (hatch)
+//   MF_SERVE_WARM_BATCH        plan-priming batch size, 0 = off (default 4)
+//   MF_SERVE_PAD_TO            pad shared batches to a multiple (default 0)
+//   MF_SERVE_DEADLINE_ACTION   "account" (default) or "retire"
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "serve/request_gen.hpp"
+#include "serve/scheduler.hpp"
+#include "serve/stats.hpp"
+
+namespace mf::serve {
+
+struct ServeOptions {
+  int threads = 1;
+  int max_inflight = 8;
+  bool batching = true;
+  int64_t warm_batch = 4;
+  /// Pad shared batches with zero rows to a multiple of this (0 = off).
+  /// With base-1 warmed plans every size already replays wide, so
+  /// padding only helps when wide-context reuse matters more than the
+  /// wasted rows.
+  int64_t pad_to = 0;
+  /// true: honor request arrival_s offsets (open loop); false: admit as
+  /// fast as capacity allows (closed loop).
+  bool realtime = false;
+  double relaxation = 1.0;
+  DeadlineAction deadline_action = DeadlineAction::kAccount;
+  /// Injectable time source (seconds); null = steady wall clock. Tests
+  /// drive deadlines with a synthetic clock through this.
+  std::function<double()> clock;
+};
+
+/// Options with the MF_SERVE_* environment applied over the defaults.
+ServeOptions serve_options_from_env();
+
+/// One per-request outcome: completion record + solution grid.
+struct ServeResult {
+  RequestRecord record;
+  double final_delta = 0;
+  linalg::Grid2D solution;
+};
+
+/// Build a zoo of seeded random-weight SDNet solvers, one per subdomain
+/// size in `ms` (base.boundary_size is overridden to 4m per model).
+std::vector<ServeModel> make_model_zoo(const std::vector<int64_t>& ms,
+                                       const mosaic::SdnetConfig& base,
+                                       std::uint64_t seed);
+
+class SolveServer {
+ public:
+  SolveServer(std::vector<ServeModel> zoo,
+              ServeOptions opts = serve_options_from_env());
+
+  /// Serve `requests` to completion (arrival_s offsets are relative to
+  /// the start of the run). Returns results in request order. Worker
+  /// threads > 1 pin their compute to one core each (SerialRegionGuard)
+  /// so schedulers don't oversubscribe the OpenMP pool.
+  std::vector<ServeResult> run(std::vector<SolveRequest> requests);
+
+  const ServeStats& stats() const { return stats_; }
+  const std::vector<ServeModel>& zoo() const { return zoo_; }
+
+ private:
+  std::vector<ServeModel> zoo_;
+  ServeOptions opts_;
+  ServeStats stats_;
+};
+
+}  // namespace mf::serve

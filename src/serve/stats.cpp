@@ -1,0 +1,100 @@
+#include "serve/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "mosaic/subdomain_solver.hpp"
+
+namespace mf::serve {
+
+void SchedulerCounters::merge(const SchedulerCounters& o) {
+  ticks += o.ticks;
+  admitted += o.admitted;
+  retired += o.retired;
+  batches += o.batches;
+  shared_batches += o.shared_batches;
+  batched_rows += o.batched_rows;
+  pad_rows += o.pad_rows;
+  deadline_misses += o.deadline_misses;
+  degraded_iterations += o.degraded_iterations;
+  gather_seconds += o.gather_seconds;
+  predict_seconds += o.predict_seconds;
+  scatter_seconds += o.scatter_seconds;
+  finalize_seconds += o.finalize_seconds;
+}
+
+void ServeStats::add_record(const RequestRecord& r) {
+  std::lock_guard<std::mutex> lock(mu_);
+  records_.push_back(r);
+}
+
+void ServeStats::merge_counters(const SchedulerCounters& c) {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.merge(c);
+}
+
+std::vector<RequestRecord> ServeStats::records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_;
+}
+
+SchedulerCounters ServeStats::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+double percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(std::floor(rank));
+  const std::size_t hi = static_cast<std::size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return xs[lo] + (xs[hi] - xs[lo]) * frac;
+}
+
+double ServeStats::latency_percentile_ms(double p) const {
+  std::vector<double> lat;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    lat.reserve(records_.size());
+    for (const auto& r : records_) lat.push_back(r.latency_ms());
+  }
+  return percentile(std::move(lat), p);
+}
+
+std::string ServeStats::summary_line(double wall_s) const {
+  const SchedulerCounters c = counters();
+  std::size_t n;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    n = records_.size();
+  }
+  const double rps = wall_s > 0 ? static_cast<double>(n) / wall_s : 0.0;
+  const mosaic::InferCacheStats ic = mosaic::infer_cache_stats();
+  char buf[640];
+  std::snprintf(
+      buf, sizeof(buf),
+      "serve: req=%zu rps=%.1f p50=%.2fms p99=%.2fms misses=%llu "
+      "degraded_iters=%llu | batches=%llu shared=%llu rows=%llu | "
+      "cache: exact=%llu wide=%llu chunked=%llu rem_rows=%llu eager=%llu "
+      "captures=%llu evictions=%llu retired=%llu",
+      n, rps, latency_percentile_ms(50), latency_percentile_ms(99),
+      static_cast<unsigned long long>(c.deadline_misses),
+      static_cast<unsigned long long>(c.degraded_iterations),
+      static_cast<unsigned long long>(c.batches),
+      static_cast<unsigned long long>(c.shared_batches),
+      static_cast<unsigned long long>(c.batched_rows),
+      static_cast<unsigned long long>(ic.exact_hits),
+      static_cast<unsigned long long>(ic.widened_hits),
+      static_cast<unsigned long long>(ic.chunked_hits),
+      static_cast<unsigned long long>(ic.widen_remainder_rows),
+      static_cast<unsigned long long>(ic.misses),
+      static_cast<unsigned long long>(ic.captures),
+      static_cast<unsigned long long>(ic.evictions),
+      static_cast<unsigned long long>(ic.retired));
+  return std::string(buf);
+}
+
+}  // namespace mf::serve

@@ -36,7 +36,9 @@ Usage:
         --check fig8-f32 build/fig8_f32.json BENCH_fig8.json \
             batched_sub_updates_per_sec@compute_dtype=f32 \
         --check fig7-f32 build/fig7_f32.json BENCH_fig7.json \
-            mae_mean@compute_dtype=f64:lower
+            mae_mean@compute_dtype=f64:lower \
+        --check serve build/serve_line.json BENCH_serve.json req_per_sec \
+        --check serve-p99 build/serve_line.json BENCH_serve.json p99_ms:lower
 
 Caveat worth knowing when reading CI history: the committed lines are
 measured on the dev machine that landed the PR, so the gate is really a
