@@ -18,11 +18,14 @@
 //    result-invariant, so scheduling cannot change convergence).
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
 #include "ad/kernels.hpp"
 #include "ad/program.hpp"
+#include "mosaic/scenario_predictor.hpp"
 #include "mosaic/subdomain_solver.hpp"
 #include "serve/request_gen.hpp"
 #include "serve/server.hpp"
@@ -46,6 +49,25 @@ serve::RequestGenConfig gen_config(std::uint64_t seed, double rate_hz) {
   cfg.min_cycles = 3;
   cfg.max_cycles = 4;
   return cfg;
+}
+
+/// FNV-1a over the raw solution bytes of every result, in request order —
+/// the bitwise-identity fingerprint the zoo round-trip CI step compares
+/// across server restarts.
+std::uint64_t solutions_hash(const std::vector<serve::ServeResult>& results) {
+  std::uint64_t h = 1469598103934665603ULL;
+  auto mix = [&](const void* p, std::size_t n) {
+    const unsigned char* b = static_cast<const unsigned char*>(p);
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= b[i];
+      h *= 1099511628211ULL;
+    }
+  };
+  for (const auto& r : results) {
+    mix(r.solution.data(),
+        static_cast<std::size_t>(r.solution.numel()) * sizeof(double));
+  }
+  return h;
 }
 
 }  // namespace
@@ -72,11 +94,32 @@ int main(int argc, char** argv) {
   mosaic::SdnetConfig base;
   base.hidden_width = 16;
   base.mlp_depth = 2;
-  auto zoo = serve::make_model_zoo({4, 4, 4, 4, 4, 4}, base, seed);
-  std::vector<serve::GeometrySpec> specs = {
-      {0, 4, 16, 16}, {1, 4, 12, 12}, {2, 4, 16, 12},
-      {3, 4, 12, 16}, {4, 4, 20, 12}, {5, 4, 16, 16},
+  // MF_SERVE_ZOO: serve trained checkpoints from an on-disk manifest
+  // instead of the synthetic random-weight tenants; the geometry specs
+  // then carry each model's scenario, so the generated stream is a
+  // per-request-sampled scenario mix.
+  const char* zoo_env = std::getenv("MF_SERVE_ZOO");
+  const bool zoo_from_disk = zoo_env != nullptr && zoo_env[0] != '\0';
+  auto make_zoo = [&]() {
+    return zoo_from_disk ? serve::make_model_zoo_from_dir(zoo_env)
+                         : serve::make_model_zoo({4, 4, 4, 4, 4, 4}, base,
+                                                 seed);
   };
+  auto zoo = make_zoo();
+  std::vector<serve::GeometrySpec> specs;
+  if (zoo_from_disk) {
+    const int64_t dims[][2] = {{4, 4}, {3, 3}, {4, 3}, {3, 4}, {5, 3}};
+    for (std::size_t i = 0; i < zoo.size(); ++i) {
+      const auto& d = dims[i % 5];
+      specs.push_back({static_cast<int>(i), zoo[i].m, d[0] * zoo[i].m,
+                       d[1] * zoo[i].m, zoo[i].scenario});
+    }
+  } else {
+    specs = {
+        {0, 4, 16, 16}, {1, 4, 12, 12}, {2, 4, 16, 12},
+        {3, 4, 12, 16}, {4, 4, 20, 12}, {5, 4, 16, 16},
+    };
+  }
 
   auto make_requests = [&](double rate_hz) {
     serve::RequestGenerator gen(specs, gen_config(seed, rate_hz));
@@ -99,20 +142,21 @@ int main(int argc, char** argv) {
   //    this one is already near the per-row compute floor, so the gap
   //    over it isolates plan-capture amortization alone.
   auto run_job_at_a_time = [&](bool batched, std::size_t limit) {
-    auto solo_zoo =
-        serve::make_model_zoo({4, 4, 4, 4, 4, 4}, base, seed);
+    auto solo_zoo = make_zoo();
     const std::size_t n = std::min(limit, requests.size());
     const double t0 = util::wall_seconds();
     for (std::size_t i = 0; i < n; ++i) {
       const auto& req = requests[i];
-      mosaic::MfpOptions opts;
-      opts.max_iters = req.max_iters;
-      opts.tol = req.tol;
-      opts.batched = batched;
+      mosaic::ScenarioSolveOptions opts;
+      opts.mfp.max_iters = req.max_iters;
+      opts.mfp.tol = req.tol;
+      opts.mfp.batched = batched;
       const auto& solver =
           *solo_zoo[static_cast<std::size_t>(req.zoo_index)].solver;
-      mosaic::mosaic_predict(solver, req.nx_cells, req.ny_cells, req.boundary,
-                             opts);
+      // Poisson requests delegate to mosaic_predict inside (bitwise the
+      // pre-scenario baseline); scenario requests condition on req.field.
+      mosaic::mosaic_predict_scenario(solver, req.field, req.nx_cells,
+                                      req.ny_cells, req.boundary, opts);
     }
     return static_cast<double>(n) / (util::wall_seconds() - t0);
   };
@@ -232,10 +276,13 @@ int main(int argc, char** argv) {
     std::printf("\n");
   }
 
-  // --- Determinism: same seed, twice, identical iteration counts. ---
+  // --- Determinism: same seed, twice, identical iteration counts AND
+  // bitwise-identical solutions (hash over every solution grid — the
+  // fingerprint the zoo round-trip CI step compares across restarts). ---
   bool deterministic = true;
+  std::uint64_t solution_hash = 0;
   {
-    auto run_iters = [&]() {
+    auto run_once = [&]() {
       serve::ServeOptions opts = serve::serve_options_from_env();
       opts.pad_to = pad_to;
       opts.threads = max_workers;
@@ -246,11 +293,17 @@ int main(int argc, char** argv) {
       std::vector<int64_t> iters;
       iters.reserve(results.size());
       for (const auto& r : results) iters.push_back(r.record.iterations);
-      return iters;
+      return std::make_pair(std::move(iters), solutions_hash(results));
     };
-    deterministic = run_iters() == run_iters();
-    std::printf("deterministic rerun (workers=%d): %s\n", max_workers,
-                deterministic ? "identical iteration counts" : "MISMATCH");
+    const auto a = run_once();
+    const auto b = run_once();
+    deterministic = a == b;
+    solution_hash = a.second;
+    std::printf("deterministic rerun (workers=%d): %s (solutions %016llx)\n",
+                max_workers,
+                deterministic ? "identical iterations and solutions"
+                              : "MISMATCH",
+                static_cast<unsigned long long>(solution_hash));
   }
 
   const mosaic::InferCacheStats ic = mosaic::infer_cache_stats();
@@ -262,6 +315,7 @@ int main(int argc, char** argv) {
       "\"speedup_vs_serial\":%.4g,\"speedup_vs_serial_batched\":%.4g,"
       "\"p50_ms\":%.6g,\"p99_ms\":%.6g,"
       "\"shared_batches\":%llu,\"batched_rows\":%llu,\"deterministic\":%s,"
+      "\"zoo_source\":\"%s\",\"solution_hash\":\"%016llx\","
       "\"cache_exact_hits\":%llu,\"cache_widened_hits\":%llu,"
       "\"cache_chunked_hits\":%llu,\"cache_widen_remainder_rows\":%llu,"
       "\"cache_misses\":%llu,\"cache_captures\":%llu,"
@@ -275,6 +329,8 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(shared_batches),
       static_cast<unsigned long long>(batched_rows),
       deterministic ? "true" : "false",
+      zoo_from_disk ? "disk" : "synthetic",
+      static_cast<unsigned long long>(solution_hash),
       static_cast<unsigned long long>(ic.exact_hits),
       static_cast<unsigned long long>(ic.widened_hits),
       static_cast<unsigned long long>(ic.chunked_hits),

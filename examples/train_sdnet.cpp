@@ -4,6 +4,13 @@
 // Run:  ./train_sdnet [--ranks 4] [--epochs 100] [--m 8] [--bvps 256]
 //       [--width 64] [--depth 4] [--lr 1e-2] [--out sdnet.bin]
 //       [--optimizer lamb|adamw|sgd]
+//       [--scenario poisson|varcoef|convdiff]  (PDE family; non-Poisson
+//                                 scenarios widen the conditioning vector
+//                                 and train against stencil ground truth)
+//       [--zoo DIR]              (also save the model into DIR and upsert
+//                                 its entry in DIR/zoo.manifest, the
+//                                 CRC-verified manifest the solve server
+//                                 loads via MF_SERVE_ZOO)
 //       [--checkpoint ckpt.bin] [--checkpoint-every 5] [--resume]
 //       [--kill-after-epoch N]   (fault-injection: SIGKILL the process
 //                                 right after epoch N's checkpoint lands,
@@ -12,11 +19,15 @@
 //       mpirun -np 4 ./example_train_sdnet --epochs 100
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 #include <memory>
 
 #include "comm/runtime.hpp"
 #include "mosaic/trainer.hpp"
 #include "nn/serialize.hpp"
+#include "scenario/scenario.hpp"
+#include "serve/server.hpp"
 #include "util/cli.hpp"
 
 int main(int argc, char** argv) {
@@ -31,21 +42,25 @@ int main(int argc, char** argv) {
   const int64_t n_bvps = args.get_int("bvps", 128);
   const std::string out = args.get("out", "sdnet.bin");
   const std::string opt_name = args.get("optimizer", "adamw");
+  const scenario::Kind kind =
+      scenario::kind_from_name(args.get("scenario", "poisson"));
+  const std::string zoo_dir = args.get("zoo", "");
 
   if (launcher.is_root()) {
     std::printf("=== SDNet data-parallel training (%s backend) ===\n",
                 launcher.backend_name());
-    std::printf("ranks %d, epochs %ld, %ld BVPs, subdomain %ld cells\n", ranks,
-                epochs, n_bvps, m);
+    std::printf("ranks %d, epochs %ld, %ld BVPs, subdomain %ld cells, "
+                "scenario %s\n",
+                ranks, epochs, n_bvps, m, scenario::kind_name(kind));
   }
 
   // Shared dataset generated once; ranks take strided shards.
-  gp::LaplaceDatasetGenerator gen(m, {}, 1234);
+  gp::LaplaceDatasetGenerator gen(m, {}, 1234, kind);
   auto all = gen.generate_many(n_bvps);
   auto val = gen.generate_many(16);
 
   mosaic::SdnetConfig net_cfg;
-  net_cfg.boundary_size = 4 * m;
+  net_cfg.boundary_size = scenario::conditioning_size(kind, m);
   net_cfg.hidden_width = args.get_int("width", 64);
   net_cfg.mlp_depth = args.get_int("depth", 4);
   mosaic::TrainConfig cfg;
@@ -73,7 +88,8 @@ int main(int argc, char** argv) {
          i += static_cast<std::size_t>(ranks)) {
       shard.push_back(all[i]);
     }
-    gp::LaplaceDatasetGenerator local_gen(m, {}, 99 + static_cast<unsigned>(c.rank()));
+    gp::LaplaceDatasetGenerator local_gen(
+        m, {}, 99 + static_cast<unsigned>(c.rank()), kind);
     auto history = mosaic::train_sdnet(
         net, shard, val, cfg, local_gen, ranks > 1 ? &c : nullptr,
         [&](const mosaic::EpochStats& s) {
@@ -94,6 +110,44 @@ int main(int argc, char** argv) {
     if (c.rank() == 0) {
       root_stats = history.back();
       nn::save_parameters(net, out);
+      if (!zoo_dir.empty()) {
+        std::filesystem::create_directories(zoo_dir);
+        const std::string fname =
+            std::string(scenario::kind_name(kind)) + ".params";
+        const std::string fpath = zoo_dir + "/" + fname;
+        nn::save_parameters(net, fpath);
+        nn::ZooManifest manifest;
+        try {
+          // Existing entries survive; skip per-file CRC verification so a
+          // stale sibling checkpoint can't block updating this one.
+          manifest = nn::load_zoo_manifest(zoo_dir, /*verify_params=*/false);
+        } catch (const std::exception&) {
+          // No manifest yet (or an unreadable one being rebuilt).
+        }
+        nn::ZooEntry entry;
+        entry.scenario = scenario::kind_name(kind);
+        const char* prec = std::getenv("MF_PRECISION");
+        entry.precision = (prec && prec == std::string("f32")) ? "f32" : "f64";
+        entry.params_file = fname;
+        char fp[160];
+        std::snprintf(fp, sizeof(fp), "seed=42 epochs=%ld bvps=%ld m=%ld",
+                      static_cast<long>(epochs), static_cast<long>(n_bvps),
+                      static_cast<long>(m));
+        entry.fingerprint = fp;
+        entry.params_crc = nn::file_crc32(fpath);
+        entry.config = serve::zoo_entry_config(net_cfg, m);
+        bool replaced = false;
+        for (auto& e : manifest.entries) {
+          if (e.scenario == entry.scenario) {
+            e = entry;
+            replaced = true;
+          }
+        }
+        if (!replaced) manifest.entries.push_back(entry);
+        nn::save_zoo_manifest(manifest, zoo_dir);
+        std::printf("zoo: wrote %s, updated %s/zoo.manifest\n", fpath.c_str(),
+                    zoo_dir.c_str());
+      }
     }
   });
 

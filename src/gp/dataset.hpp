@@ -11,6 +11,7 @@
 #include "gp/gaussian_process.hpp"
 #include "gp/sobol.hpp"
 #include "linalg/grid2d.hpp"
+#include "scenario/scenario.hpp"
 #include "util/rng.hpp"
 
 namespace mf::gp {
@@ -20,6 +21,8 @@ namespace mf::gp {
 struct SolvedBvp {
   std::vector<double> boundary;  // perimeter values, canonical order
   linalg::Grid2D solution;       // (nx x ny) points including boundary
+  scenario::Field field;         // scenario instance (poisson by default)
+  std::vector<double> extra;     // conditioning suffix (empty for poisson)
 };
 
 /// Ranges for the GP kernel hyperparameters swept by the Sobol sequence.
@@ -32,10 +35,11 @@ struct GpBoundaryConfig {
 
 /// Training tensors for one batch of boundary value problems.
 struct SdnetBatch {
-  ad::Tensor g;         // [B, 4m]  discretized boundary conditions
+  ad::Tensor g;         // [B, G]  conditioning: boundary (+ scenario suffix)
   ad::Tensor x_data;    // [B, q, 2] coordinates with known solution
   ad::Tensor y_data;    // [B, q, 1] reference solution values
   ad::Tensor x_colloc;  // [B, qc, 2] collocation coordinates
+  ad::Tensor coeffs;    // [B, qc, 5] (k,kx,ky,vx,vy); undefined for poisson
 };
 
 /// Generates solved BVPs on the (m cells per side) training subdomain and
@@ -43,8 +47,14 @@ struct SdnetBatch {
 class LaplaceDatasetGenerator {
  public:
   /// `m`: grid cells per subdomain side (boundary has 4m points).
+  /// `kind` selects the PDE scenario the generator samples: non-Poisson
+  /// kinds draw per-BVP coefficient fields/drifts, solve ground truth
+  /// through the stencil operator, and extend the conditioning vector
+  /// (see scenario::conditioning_size). kPoisson keeps the original
+  /// sampling trajectory bit-for-bit.
   LaplaceDatasetGenerator(int64_t m, GpBoundaryConfig cfg = {},
-                          std::uint64_t seed = 0);
+                          std::uint64_t seed = 0,
+                          scenario::Kind kind = scenario::Kind::kPoisson);
 
   /// A fresh BVP: new kernel hyperparameters from the Sobol sequence, a GP
   /// sample path as boundary, multigrid solution as ground truth.
@@ -62,8 +72,19 @@ class LaplaceDatasetGenerator {
   /// (nx_cells x ny_cells) grid cells — test problems for the MF predictor.
   SolvedBvp generate_global(int64_t nx_cells, int64_t ny_cells);
 
+  /// Global test problem for an explicit scenario field: boundary from
+  /// the GP (zeroed on masked segments), ground truth from the stencil
+  /// solve of the field's operator at spacing 1/m.
+  SolvedBvp generate_global(int64_t nx_cells, int64_t ny_cells,
+                            const scenario::Field& field);
+
   int64_t m() const { return m_; }
   int64_t boundary_size() const { return 4 * m_; }
+  scenario::Kind kind() const { return kind_; }
+  /// Neural conditioning width: boundary_size plus the scenario suffix.
+  int64_t conditioning_size() const {
+    return scenario::conditioning_size(kind_, m_);
+  }
 
   /// The generator's RNG, exposed so checkpointing can serialize and
   /// restore the sampling trajectory (make_batch draws from it).
@@ -76,6 +97,7 @@ class LaplaceDatasetGenerator {
   GpBoundaryConfig cfg_;
   SobolSequence sobol_{2};
   util::Rng rng_;
+  scenario::Kind kind_ = scenario::Kind::kPoisson;
 };
 
 /// Deterministic analytic boundary g(x) = sin(2*pi*x) applied along the

@@ -1,0 +1,85 @@
+// General 5-point stencil operators over Grid2D fields: the operator
+// family behind the scenario axis. The constant-coefficient Poisson path
+// keeps its specialized kernels in grid2d/multigrid (bitwise-stability
+// contract with earlier PRs); everything else — variable-coefficient
+// diffusion, upwinded convection–diffusion, masked (non-rectangular)
+// domains — routes through a StencilOperator carrying per-point
+// coefficients and an activity mask.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/grid2d.hpp"
+
+namespace mf::linalg {
+
+/// A u at point (i,j) is
+///   c·u_ij − w·u_{i−1,j} − e·u_{i+1,j} − s·u_{i,j−1} − n·u_{i,j+1}
+/// with per-point coefficients. Points with active == 0 are Dirichlet
+/// pins: their value is held, they contribute to neighbours' stencils
+/// through the boundary terms but are never solved for. Grid boundary
+/// points are implicitly inactive.
+struct StencilOperator {
+  int64_t nx = 0, ny = 0;
+  double h = 1.0;
+  std::vector<double> c, w, e, s, n;     // size nx*ny each
+  std::vector<std::uint8_t> active;      // 1 = unknown, 0 = Dirichlet pin
+  bool symmetric = true;                 // no advection → CG-safe
+
+  int64_t numel() const { return nx * ny; }
+  std::size_t idx(int64_t i, int64_t j) const {
+    return static_cast<std::size_t>(j * nx + i);
+  }
+  bool is_active(int64_t i, int64_t j) const {
+    return i > 0 && i < nx - 1 && j > 0 && j < ny - 1 && active[idx(i, j)] != 0;
+  }
+
+  /// Constant-coefficient −Δ_h: c = 4/h², neighbours 1/h². Matches the
+  /// hand-written residual in grid2d.cpp up to floating-point
+  /// association (the fast path groups the neighbour sum differently).
+  static StencilOperator laplace(int64_t nx, int64_t ny, double h);
+
+  /// −∇·(k(x)∇u) with arithmetic face averaging:
+  /// w = (k_{i−1,j}+k_{i,j})/2h², etc.; c = w+e+s+n. k must be positive.
+  static StencilOperator variable_diffusion(const Grid2D& k, double h);
+
+  /// −∇·(k∇u) + v·∇u with first-order upwinding of the constant drift
+  /// (vx, vy): the advective part adds |v|/h to the diagonal and the
+  /// upwind neighbour, keeping the matrix an M-matrix (diagonally
+  /// dominant) at any Péclet number.
+  static StencilOperator convection_diffusion(const Grid2D& k, double vx,
+                                              double vy, double h);
+
+  /// Restrict the unknown set: points with mask == 0 become Dirichlet
+  /// pins (value held at whatever u carries, typically 0). mask has one
+  /// byte per grid point, row-major like Grid2D.
+  void apply_mask(const std::vector<std::uint8_t>& mask);
+};
+
+/// r = f − A u on active points; r = 0 elsewhere (pins and boundary).
+void stencil_residual(const StencilOperator& op, const Grid2D& u,
+                      const Grid2D& f, Grid2D& r);
+
+/// ||r||_2 / sqrt(#points), same normalization as residual_norm().
+double stencil_residual_norm(const StencilOperator& op, const Grid2D& u,
+                             const Grid2D& f);
+
+/// One red-black Gauss–Seidel sweep (red then black) with relaxation
+/// omega; omega = 1 is plain GS. Only active points update.
+void stencil_rbgs_sweep(const StencilOperator& op, Grid2D& u, const Grid2D& f,
+                        double omega = 1.0);
+
+/// Preconditioned-free conjugate gradient for symmetric operators
+/// (diffusion without advection). Returns iterations used, or -1 if the
+/// tolerance was not reached. Throws if op.symmetric is false.
+int64_t stencil_cg_solve(const StencilOperator& op, Grid2D& u, const Grid2D& f,
+                         double tol = 1e-10, int64_t max_iters = 10000);
+
+/// Generic direct-to-tolerance solve: CG when symmetric, SOR sweeps
+/// otherwise. u's pinned/boundary values are the Dirichlet data.
+/// Returns iterations used (sweeps for SOR), or -1 on non-convergence.
+int64_t stencil_solve(const StencilOperator& op, Grid2D& u, const Grid2D& f,
+                      double tol = 1e-10, int64_t max_iters = 20000);
+
+}  // namespace mf::linalg

@@ -36,4 +36,32 @@ Tensor pde_loss(const Sdnet& net, const Tensor& g, const Tensor& x_colloc) {
   return ops::mean(ops::square(lap));
 }
 
+Tensor scenario_pde_loss(const Sdnet& net, const Tensor& g,
+                         const Tensor& x_colloc, const Tensor& coeffs) {
+  if (!x_colloc.requires_grad()) {
+    throw std::logic_error(
+        "scenario_pde_loss: x_colloc must be a leaf with requires_grad");
+  }
+  Tensor out = net.forward(g, x_colloc);  // [B, q, 1]
+  Tensor du =
+      ad::grad(ops::sum(out), {x_colloc}, Tensor(), /*create_graph=*/true)[0];
+  Tensor ux = ops::slice(du, -1, 0, 1);  // [B, q, 1]
+  Tensor uy = ops::slice(du, -1, 1, 1);
+  Tensor dux =
+      ad::grad(ops::sum(ux), {x_colloc}, Tensor(), /*create_graph=*/true)[0];
+  Tensor duy =
+      ad::grad(ops::sum(uy), {x_colloc}, Tensor(), /*create_graph=*/true)[0];
+  Tensor uxx = ops::slice(dux, -1, 0, 1);
+  Tensor uyy = ops::slice(duy, -1, 1, 1);
+  Tensor k = ops::slice(coeffs, -1, 0, 1);
+  Tensor kx = ops::slice(coeffs, -1, 1, 1);
+  Tensor ky = ops::slice(coeffs, -1, 2, 1);
+  Tensor vx = ops::slice(coeffs, -1, 3, 1);
+  Tensor vy = ops::slice(coeffs, -1, 4, 1);
+  Tensor advection = ops::add(ops::mul(vx, ux), ops::mul(vy, uy));
+  Tensor diffusion = ops::add(ops::mul(k, ops::add(uxx, uyy)),
+                              ops::add(ops::mul(kx, ux), ops::mul(ky, uy)));
+  return ops::mean(ops::square(ops::sub(advection, diffusion)));
+}
+
 }  // namespace mf::mosaic

@@ -22,4 +22,15 @@ Tensor network_laplacian(const Sdnet& net, const Tensor& g, const Tensor& x,
 /// L_pde = mean (Delta N)^2 over the collocation batch (eq. (3)).
 Tensor pde_loss(const Sdnet& net, const Tensor& g, const Tensor& x_colloc);
 
+/// Scenario-generalized PDE residual loss. `coeffs` is a constant leaf
+/// tensor [B, q, 5] holding (k, k_x, k_y, v_x, v_y) at each collocation
+/// point; the residual is
+///   v·∇u − (k·Δu + ∇k·∇u)  ==  −∇·(k∇u) + v·∇u
+/// and the loss its mean square. Poisson coefficients (1,0,0,0,0) reduce
+/// to −Δu, but the original pde_loss path is kept verbatim for the
+/// bitwise-stability contract. Built from capturable ops only, so it
+/// lowers/fuses/widens and runs at MF_PRECISION=f32 like pde_loss.
+Tensor scenario_pde_loss(const Sdnet& net, const Tensor& g,
+                         const Tensor& x_colloc, const Tensor& coeffs);
+
 }  // namespace mf::mosaic

@@ -208,9 +208,11 @@ NeuralSubdomainSolver::NeuralSubdomainSolver(std::shared_ptr<const Sdnet> net,
     : net_(std::move(net)),
       m_(m),
       serial_(g_solver_serial.fetch_add(1, std::memory_order_relaxed)) {
-  if (net_->config().boundary_size != 4 * m) {
+  // Scenario nets condition on the 4m boundary plus a suffix (k
+  // perimeter, drift, ...), so anything >= 4m is a valid input width.
+  if (net_->config().boundary_size < 4 * m) {
     throw std::invalid_argument(
-        "NeuralSubdomainSolver: network boundary size != 4m");
+        "NeuralSubdomainSolver: network boundary size < 4m");
   }
 }
 
@@ -291,7 +293,7 @@ void NeuralSubdomainSolver::predict(
     const std::vector<std::vector<double>>& boundaries, const QueryList& queries,
     std::vector<std::vector<double>>& out) const {
   const int64_t B = static_cast<int64_t>(boundaries.size());
-  const int64_t G = 4 * m_;
+  const int64_t G = net_->config().boundary_size;
   const int64_t q = static_cast<int64_t>(queries.size());
   for (const auto& bd : boundaries) {
     if (static_cast<int64_t>(bd.size()) != G) {
@@ -460,7 +462,7 @@ ad::Program::Stats NeuralSubdomainSolver::thread_program_stats() const {
 void NeuralSubdomainSolver::predict_one_into(const std::vector<double>& boundary,
                                              const QueryList& queries,
                                              std::vector<double>& out) const {
-  const int64_t G = 4 * m_;
+  const int64_t G = net_->config().boundary_size;
   const int64_t q = static_cast<int64_t>(queries.size());
   if (static_cast<int64_t>(boundary.size()) != G) {
     throw std::invalid_argument("predict: boundary size mismatch");

@@ -56,7 +56,9 @@ class SubdomainSolver {
   virtual ~SubdomainSolver() = default;
 
   /// Grid cells per subdomain side; boundary vectors carry 4m values in
-  /// the canonical perimeter order.
+  /// the canonical perimeter order (neural scenario solvers may accept a
+  /// longer vector: 4m boundary values followed by a conditioning
+  /// suffix — see scenario::conditioning_size).
   virtual int64_t m() const = 0;
 
   /// Predict values at `queries` for every boundary in the batch.
@@ -84,7 +86,8 @@ class SubdomainSolver {
 /// SDNet-backed solver.
 class NeuralSubdomainSolver final : public SubdomainSolver {
  public:
-  /// `net` must accept boundary vectors of 4m values.
+  /// `net` must accept conditioning vectors of >= 4m values (4m boundary
+  /// values, then any scenario suffix the checkpoint was trained with).
   NeuralSubdomainSolver(std::shared_ptr<const Sdnet> net, int64_t m);
   /// Purges this solver's captured programs from the calling thread's
   /// cache (they pin the network weights); entries captured by other

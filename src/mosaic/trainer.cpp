@@ -26,12 +26,16 @@ StepLossTensors training_step_graph(Sdnet& net, const gp::SdnetBatch& batch,
   ad::backward(losses.data);
 
   // Step 2 (lines 8-9): collocation points. Gradients accumulate onto the
-  // data-point gradients (ad::backward adds into .grad).
+  // data-point gradients (ad::backward adds into .grad). Batches carrying
+  // per-point PDE coefficients (varcoef/convdiff scenarios) use the
+  // generalized residual; Poisson batches keep the original loss verbatim.
   if (config.use_pde_loss) {
     Tensor xc = batch.x_colloc.detach();
     xc.set_requires_grad(true);
-    losses.pde = ops::mul_scalar(pde_loss(net, batch.g, xc),
-                                 config.pde_loss_weight);
+    Tensor pde = batch.coeffs.defined()
+                     ? scenario_pde_loss(net, batch.g, xc, batch.coeffs)
+                     : pde_loss(net, batch.g, xc);
+    losses.pde = ops::mul_scalar(pde, config.pde_loss_weight);
     ad::backward(losses.pde);
   }
   return losses;
@@ -44,6 +48,11 @@ std::pair<double, double> training_step(Sdnet& net, const gp::SdnetBatch& batch,
 }
 
 bool CompiledTrainStep::shapes_match(const gp::SdnetBatch& batch) const {
+  if (leaves_.coeffs.defined() != batch.coeffs.defined()) return false;
+  if (leaves_.coeffs.defined() &&
+      leaves_.coeffs.shape() != batch.coeffs.shape()) {
+    return false;
+  }
   return leaves_.g.defined() && leaves_.g.shape() == batch.g.shape() &&
          leaves_.x_data.shape() == batch.x_data.shape() &&
          leaves_.y_data.shape() == batch.y_data.shape() &&
@@ -115,6 +124,10 @@ std::pair<double, double> CompiledTrainStep::run(const gp::SdnetBatch& batch) {
     std::copy(batch.x_colloc.data(),
               batch.x_colloc.data() + batch.x_colloc.numel(),
               leaves_.x_colloc.data());
+    if (leaves_.coeffs.defined()) {
+      std::copy(batch.coeffs.data(), batch.coeffs.data() + batch.coeffs.numel(),
+                leaves_.coeffs.data());
+    }
     program_.replay();
     last_was_replay_ = true;
     if (ad::health_checks_enabled() && !program_.last_replay_healthy()) {
@@ -284,14 +297,24 @@ double validation_mse(const Sdnet& net, const std::vector<gp::SolvedBvp>& bvps,
   if (bvps.empty()) return 0.0;
   ad::NoGradGuard no_grad;
   const int64_t B = static_cast<int64_t>(bvps.size());
-  const int64_t G = 4 * m;
+  // Conditioning width comes from the network: scenario nets take the 4m
+  // boundary plus a per-scenario suffix (stored in SolvedBvp::extra).
+  const int64_t G = net.config().boundary_size;
+  const int64_t Gb = 4 * m;
   const int64_t q = (m - 1) * (m - 1);
   Tensor g = Tensor::zeros({B, G});
   Tensor x = Tensor::zeros({B, q, 2});
   const double inv_m = 1.0 / static_cast<double>(m);
   for (int64_t b = 0; b < B; ++b) {
-    for (int64_t k = 0; k < G; ++k)
-      g.flat(b * G + k) = bvps[static_cast<std::size_t>(b)].boundary[static_cast<std::size_t>(k)];
+    const gp::SolvedBvp& bvp = bvps[static_cast<std::size_t>(b)];
+    if (Gb + static_cast<int64_t>(bvp.extra.size()) != G) {
+      throw std::invalid_argument(
+          "validation_mse: BVP conditioning does not match the network");
+    }
+    for (int64_t k = 0; k < Gb; ++k)
+      g.flat(b * G + k) = bvp.boundary[static_cast<std::size_t>(k)];
+    for (int64_t k = Gb; k < G; ++k)
+      g.flat(b * G + k) = bvp.extra[static_cast<std::size_t>(k - Gb)];
     int64_t qi = 0;
     for (int64_t j = 1; j < m; ++j)
       for (int64_t i = 1; i < m; ++i) {

@@ -11,9 +11,10 @@ namespace mf::nn {
 
 namespace {
 
-// "MFPARAM1" / "MFCKPT01" as little-endian u64s.
+// "MFPARAM1" / "MFCKPT01" / "MFZOO001" as little-endian u64s.
 constexpr std::uint64_t kParamsMagic = 0x314d41524150464dULL;
 constexpr std::uint64_t kCheckpointMagic = 0x3130545048434d46ULL;
+constexpr std::uint64_t kZooMagic = 0x3130304f4f5a464dULL;
 constexpr std::uint64_t kFormatVersion = 1;
 constexpr std::size_t kHeaderBytes = 4 * sizeof(std::uint64_t);
 
@@ -299,6 +300,102 @@ TrainingCheckpoint load_checkpoint(const std::string& path) {
   ckpt.rng_state = r.str();
   r.require_done();
   return ckpt;
+}
+
+// ---- model zoo manifest ----------------------------------------------------
+
+const std::int64_t* ZooEntry::find_config(const std::string& name) const {
+  for (const auto& [n, v] : config)
+    if (n == name) return &v;
+  return nullptr;
+}
+
+std::int64_t ZooEntry::need_config(const std::string& name) const {
+  const std::int64_t* v = find_config(name);
+  if (!v) {
+    throw std::runtime_error("zoo manifest: entry '" + scenario +
+                             "' is missing config key '" + name + "'");
+  }
+  return *v;
+}
+
+const ZooEntry* ZooManifest::find(const std::string& scenario) const {
+  for (const auto& e : entries)
+    if (e.scenario == scenario) return &e;
+  return nullptr;
+}
+
+std::uint64_t file_crc32(const std::string& path) {
+  const auto bytes = read_whole_file(path, "file_crc32");
+  return util::crc32(bytes.data(), bytes.size());
+}
+
+void save_zoo_manifest(const ZooManifest& manifest, const std::string& dir) {
+  BufWriter w;
+  w.u64(manifest.entries.size());
+  for (const auto& e : manifest.entries) {
+    w.str(e.scenario);
+    w.str(e.precision);
+    w.str(e.params_file);
+    w.str(e.fingerprint);
+    w.u64(e.params_crc);
+    w.u64(e.config.size());
+    for (const auto& [name, v] : e.config) {
+      w.str(name);
+      w.i64(v);
+    }
+  }
+  write_file_atomic(dir + "/zoo.manifest", kZooMagic, w.buf,
+                    "save_zoo_manifest");
+}
+
+ZooManifest load_zoo_manifest(const std::string& dir, bool verify_params) {
+  const std::string path = dir + "/zoo.manifest";
+  const auto file = read_whole_file(path, "load_zoo_manifest");
+  const auto [payload, payload_size] = open_payload(
+      file, kZooMagic, /*allow_legacy=*/false, path, "load_zoo_manifest");
+  BufReader r(payload, payload_size, "load_zoo_manifest: " + path);
+
+  ZooManifest manifest;
+  const std::uint64_t n = r.u64();
+  manifest.entries.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    ZooEntry e;
+    e.scenario = r.str();
+    e.precision = r.str();
+    e.params_file = r.str();
+    e.fingerprint = r.str();
+    e.params_crc = r.u64();
+    const std::uint64_t nc = r.u64();
+    e.config.reserve(static_cast<std::size_t>(nc));
+    for (std::uint64_t c = 0; c < nc; ++c) {
+      std::string name = r.str();
+      e.config.emplace_back(std::move(name), r.i64());
+    }
+    manifest.entries.push_back(std::move(e));
+  }
+  r.require_done();
+
+  if (verify_params) {
+    for (const auto& e : manifest.entries) {
+      if (e.params_file.find('/') != std::string::npos ||
+          e.params_file.find("..") != std::string::npos) {
+        throw std::runtime_error("load_zoo_manifest: " + path + ": entry '" +
+                                 e.scenario +
+                                 "' escapes the zoo directory: " +
+                                 e.params_file);
+      }
+      const std::string params_path = dir + "/" + e.params_file;
+      const std::uint64_t crc = file_crc32(params_path);
+      if (crc != e.params_crc) {
+        throw std::runtime_error(
+            "load_zoo_manifest: " + params_path +
+            " failed CRC verification against the manifest (corrupted or "
+            "swapped checkpoint)");
+      }
+    }
+  }
+  return manifest;
 }
 
 }  // namespace mf::nn

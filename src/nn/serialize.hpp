@@ -51,4 +51,48 @@ void save_checkpoint(const TrainingCheckpoint& ckpt, const std::string& path);
 /// reason on any structural problem (bad magic/version/CRC/truncation).
 TrainingCheckpoint load_checkpoint(const std::string& path);
 
+// ---- model zoo manifest ----------------------------------------------------
+//
+// A zoo is a directory of parameter files plus one `zoo.manifest`
+// describing each checkpoint: which scenario it serves, its geometry and
+// network configuration (as generic named integers — this layer knows
+// nothing about SDNet), the training precision and fingerprint, and the
+// CRC32 of the referenced parameter file. The manifest itself rides in
+// the same CRC-verified container as every other file here, and loading
+// re-hashes every referenced parameter file against its recorded CRC, so
+// a swapped, truncated or bit-flipped checkpoint is rejected at startup
+// with a clear error instead of silently serving garbage.
+
+struct ZooEntry {
+  std::string scenario;     // canonical scenario name ("poisson", ...)
+  std::string precision;    // compute precision note ("f64", "f32")
+  std::string params_file;  // file name relative to the zoo directory
+  std::string fingerprint;  // free-form training provenance (seed, epochs)
+  std::uint64_t params_crc = 0;  // crc32 of the parameter file bytes
+  /// Named integer configuration (subdomain size, network dims, flags).
+  std::vector<std::pair<std::string, std::int64_t>> config;
+
+  const std::int64_t* find_config(const std::string& name) const;
+  /// find_config or throw a runtime_error naming the missing key.
+  std::int64_t need_config(const std::string& name) const;
+};
+
+struct ZooManifest {
+  std::vector<ZooEntry> entries;
+  const ZooEntry* find(const std::string& scenario) const;
+};
+
+/// CRC32 of a file's bytes (for ZooEntry::params_crc).
+std::uint64_t file_crc32(const std::string& path);
+
+/// Atomically write `dir`/zoo.manifest.
+void save_zoo_manifest(const ZooManifest& manifest, const std::string& dir);
+
+/// Load `dir`/zoo.manifest. With `verify_params` (the default), every
+/// entry's parameter file is re-hashed and compared against the recorded
+/// CRC; any mismatch, missing file, or structural manifest problem
+/// throws std::runtime_error naming the path and reason.
+ZooManifest load_zoo_manifest(const std::string& dir,
+                              bool verify_params = true);
+
 }  // namespace mf::nn

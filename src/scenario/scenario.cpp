@@ -1,0 +1,269 @@
+#include "scenario/scenario.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mf::scenario {
+
+const char* kind_name(Kind kind) {
+  switch (kind) {
+    case Kind::kPoisson:
+      return "poisson";
+    case Kind::kVarCoef:
+      return "varcoef";
+    case Kind::kConvDiff:
+      return "convdiff";
+    case Kind::kMasked:
+      return "masked";
+  }
+  return "poisson";
+}
+
+Kind kind_from_name(const std::string& name) {
+  if (name == "poisson") return Kind::kPoisson;
+  if (name == "varcoef") return Kind::kVarCoef;
+  if (name == "convdiff") return Kind::kConvDiff;
+  if (name == "masked") return Kind::kMasked;
+  throw std::invalid_argument("scenario: unknown kind name '" + name + "'");
+}
+
+bool DomainMask::full() const {
+  if (pts.empty()) return true;
+  return std::all_of(pts.begin(), pts.end(),
+                     [](std::uint8_t v) { return v != 0; });
+}
+
+bool DomainMask::subdomain_active(int64_t gx, int64_t gy, int64_t m) const {
+  if (pts.empty()) return true;
+  for (int64_t j = gy; j <= gy + m; ++j) {
+    for (int64_t i = gx; i <= gx + m; ++i) {
+      if (!point_active(i, j)) return false;
+    }
+  }
+  return true;
+}
+
+bool DomainMask::subdomain_dead(int64_t gx, int64_t gy, int64_t m) const {
+  if (pts.empty()) return false;
+  for (int64_t j = gy + 1; j < gy + m; ++j) {
+    for (int64_t i = gx + 1; i < gx + m; ++i) {
+      if (point_active(i, j)) return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+DomainMask make_all_active(int64_t nx_cells, int64_t ny_cells) {
+  DomainMask mask;
+  mask.nx_cells = nx_cells;
+  mask.ny_cells = ny_cells;
+  mask.pts.assign(static_cast<std::size_t>((nx_cells + 1) * (ny_cells + 1)), 1);
+  return mask;
+}
+
+int64_t snap_down(int64_t v, int64_t snap) {
+  if (snap <= 1) return v;
+  int64_t s = (v / snap) * snap;
+  return s > 0 ? s : snap;
+}
+
+}  // namespace
+
+DomainMask DomainMask::full_mask(int64_t nx_cells, int64_t ny_cells) {
+  return make_all_active(nx_cells, ny_cells);
+}
+
+DomainMask DomainMask::l_shape(int64_t nx_cells, int64_t ny_cells,
+                               int64_t snap) {
+  DomainMask mask = make_all_active(nx_cells, ny_cells);
+  const int64_t cx = snap_down(nx_cells / 2, snap);
+  const int64_t cy = snap_down(ny_cells / 2, snap);
+  // The cut edges (gx == cx or gy == cy inside the removed quadrant) are
+  // inactive: they are the Dirichlet boundary of the L, pinned at 0.
+  for (int64_t gy = cy; gy <= ny_cells; ++gy) {
+    for (int64_t gx = cx; gx <= nx_cells; ++gx) {
+      mask.pts[static_cast<std::size_t>(gy * (nx_cells + 1) + gx)] = 0;
+    }
+  }
+  return mask;
+}
+
+DomainMask DomainMask::with_hole(int64_t nx_cells, int64_t ny_cells,
+                                 int64_t snap) {
+  DomainMask mask = make_all_active(nx_cells, ny_cells);
+  const int64_t x0 = snap_down(nx_cells / 3, snap);
+  const int64_t y0 = snap_down(ny_cells / 3, snap);
+  const int64_t x1 = std::max(x0 + snap, snap_down(2 * nx_cells / 3, snap));
+  const int64_t y1 = std::max(y0 + snap, snap_down(2 * ny_cells / 3, snap));
+  for (int64_t gy = y0; gy <= std::min(y1, ny_cells); ++gy) {
+    for (int64_t gx = x0; gx <= std::min(x1, nx_cells); ++gx) {
+      mask.pts[static_cast<std::size_t>(gy * (nx_cells + 1) + gx)] = 0;
+    }
+  }
+  return mask;
+}
+
+int64_t conditioning_size(Kind kind, int64_t m) {
+  switch (kind) {
+    case Kind::kVarCoef:
+      return 8 * m;  // boundary + subdomain k perimeter
+    case Kind::kConvDiff:
+      return 4 * m + 2;  // boundary + (vx, vy)
+    case Kind::kPoisson:
+    case Kind::kMasked:
+      return 4 * m;
+  }
+  return 4 * m;
+}
+
+Field sample_field(Kind kind, int64_t nx_cells, int64_t ny_cells,
+                   util::Rng& rng, int64_t snap) {
+  Field field;
+  field.kind = kind;
+  switch (kind) {
+    case Kind::kPoisson:
+      break;
+    case Kind::kVarCoef: {
+      // Separable log-field log k = a(x) + b(y): two 1-D GP draws keep
+      // the sampling cost linear in the grid edge while still producing
+      // genuinely variable coefficients in both directions.
+      const gp::RbfKernel kernel{0.3, 0.5};
+      gp::GpSampler sx(kernel, gp::unit_circle_points(nx_cells + 1));
+      gp::GpSampler sy(kernel, gp::unit_circle_points(ny_cells + 1));
+      const std::vector<double> a = sx.sample(rng);
+      const std::vector<double> b = sy.sample(rng);
+      field.k = linalg::Grid2D(nx_cells + 1, ny_cells + 1);
+      for (int64_t j = 0; j <= ny_cells; ++j) {
+        for (int64_t i = 0; i <= nx_cells; ++i) {
+          const double logk = std::clamp(
+              a[static_cast<std::size_t>(i)] + b[static_cast<std::size_t>(j)],
+              -1.2, 1.2);
+          field.k.at(i, j) = std::exp(logk);
+        }
+      }
+      break;
+    }
+    case Kind::kConvDiff:
+      field.vx = rng.uniform(-4.0, 4.0);
+      field.vy = rng.uniform(-4.0, 4.0);
+      field.k = linalg::Grid2D(nx_cells + 1, ny_cells + 1);
+      field.k.fill(1.0);
+      break;
+    case Kind::kMasked:
+      field.mask = DomainMask::l_shape(nx_cells, ny_cells, snap);
+      break;
+  }
+  return field;
+}
+
+linalg::StencilOperator field_operator(const Field& field, double h) {
+  const int64_t nx = field.k.numel() > 0
+                         ? field.k.nx()
+                         : (field.mask.defined() ? field.mask.nx_cells + 1 : 0);
+  const int64_t ny = field.k.numel() > 0
+                         ? field.k.ny()
+                         : (field.mask.defined() ? field.mask.ny_cells + 1 : 0);
+  linalg::StencilOperator op;
+  switch (field.kind) {
+    case Kind::kVarCoef:
+      op = linalg::StencilOperator::variable_diffusion(field.k, h);
+      break;
+    case Kind::kConvDiff:
+      op = linalg::StencilOperator::convection_diffusion(field.k, field.vx,
+                                                         field.vy, h);
+      break;
+    case Kind::kPoisson:
+    case Kind::kMasked:
+      if (nx == 0) {
+        throw std::invalid_argument(
+            "field_operator: poisson/masked field has no extents; set "
+            "field.k or field.mask");
+      }
+      op = linalg::StencilOperator::laplace(nx, ny, h);
+      break;
+  }
+  if (field.mask.defined()) op.apply_mask(field.mask.pts);
+  return op;
+}
+
+void conditioning_suffix_into(const Field& field, int64_t m, int64_t gx,
+                              int64_t gy, std::vector<double>& out) {
+  switch (field.kind) {
+    case Kind::kPoisson:
+    case Kind::kMasked:
+      break;
+    case Kind::kVarCoef: {
+      // k at the subdomain perimeter in the canonical boundary order
+      // (CCW from the corner, matching subdomain_boundary_into).
+      const linalg::Grid2D& k = field.k;
+      out.reserve(out.size() + static_cast<std::size_t>(4 * m));
+      for (int64_t i = 0; i < m; ++i) out.push_back(k.at(gx + i, gy));
+      for (int64_t j = 0; j < m; ++j) out.push_back(k.at(gx + m, gy + j));
+      for (int64_t i = m; i > 0; --i) out.push_back(k.at(gx + i, gy + m));
+      for (int64_t j = m; j > 0; --j) out.push_back(k.at(gx, gy + j));
+      break;
+    }
+    case Kind::kConvDiff:
+      out.push_back(field.vx);
+      out.push_back(field.vy);
+      break;
+  }
+}
+
+void zero_masked_boundary(std::vector<double>& boundary,
+                          const DomainMask& mask) {
+  if (!mask.defined()) return;
+  const int64_t nx = mask.nx_cells, ny = mask.ny_cells;
+  if (static_cast<int64_t>(boundary.size()) != 2 * nx + 2 * ny) {
+    throw std::invalid_argument("zero_masked_boundary: size mismatch");
+  }
+  std::size_t p = 0;
+  for (int64_t i = 0; i < nx; ++i, ++p) {
+    if (!mask.point_active(i, 0)) boundary[p] = 0.0;
+  }
+  for (int64_t j = 0; j < ny; ++j, ++p) {
+    if (!mask.point_active(nx, j)) boundary[p] = 0.0;
+  }
+  for (int64_t i = nx; i > 0; --i, ++p) {
+    if (!mask.point_active(i, ny)) boundary[p] = 0.0;
+  }
+  for (int64_t j = ny; j > 0; --j, ++p) {
+    if (!mask.point_active(0, j)) boundary[p] = 0.0;
+  }
+}
+
+namespace {
+
+double bilinear(const linalg::Grid2D& g, double x, double y) {
+  const int64_t nx = g.nx(), ny = g.ny();
+  const double fx = std::clamp(x, 0.0, 1.0) * static_cast<double>(nx - 1);
+  const double fy = std::clamp(y, 0.0, 1.0) * static_cast<double>(ny - 1);
+  const int64_t i0 = std::min<int64_t>(static_cast<int64_t>(fx), nx - 2);
+  const int64_t j0 = std::min<int64_t>(static_cast<int64_t>(fy), ny - 2);
+  const double tx = fx - static_cast<double>(i0);
+  const double ty = fy - static_cast<double>(j0);
+  return (1 - tx) * (1 - ty) * g.at(i0, j0) + tx * (1 - ty) * g.at(i0 + 1, j0) +
+         (1 - tx) * ty * g.at(i0, j0 + 1) + tx * ty * g.at(i0 + 1, j0 + 1);
+}
+
+}  // namespace
+
+double sample_k(const Field& field, double x, double y) {
+  if (field.k.numel() == 0) return 1.0;
+  return bilinear(field.k, x, y);
+}
+
+std::array<double, 5> coeffs_at(const Field& field, double x, double y) {
+  std::array<double, 5> c{1.0, 0.0, 0.0, field.vx, field.vy};
+  if (field.k.numel() == 0) return c;
+  c[0] = sample_k(field, x, y);
+  const double d = 0.5 / static_cast<double>(field.k.nx() - 1);
+  c[1] = (sample_k(field, x + d, y) - sample_k(field, x - d, y)) / (2 * d);
+  c[2] = (sample_k(field, x, y + d) - sample_k(field, x, y - d)) / (2 * d);
+  return c;
+}
+
+}  // namespace mf::scenario

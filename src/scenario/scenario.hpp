@@ -1,0 +1,120 @@
+// Scenario axis: named PDE/geometry families the solver stack serves.
+//
+// A scenario bundles (a) the differential operator — constant Poisson,
+// variable-coefficient diffusion -∇·(k(x)∇u), or upwinded
+// convection–diffusion -∇·(k∇u) + v·∇u — and (b) the domain geometry
+// (full rectangle or a masked L-shape/holed region). Scenarios condition
+// the neural subdomain solver through an extended input vector: the 4m
+// perimeter values are followed by a per-scenario suffix (the subdomain's
+// k-perimeter for varcoef, the drift (vx, vy) for convdiff), so one SDNet
+// checkpoint per scenario serves every subdomain of that family.
+//
+// Layering: linalg → gp → scenario → mosaic → serve. This header owns the
+// scenario vocabulary shared by the dataset generator, the predictor, the
+// serving layer and the benches.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gp/gaussian_process.hpp"
+#include "linalg/stencil.hpp"
+#include "util/rng.hpp"
+
+namespace mf::scenario {
+
+enum class Kind {
+  kPoisson,   // -Δu = 0, full rectangle (the original workload)
+  kVarCoef,   // -∇·(k(x)∇u) = 0, k a positive GP-sampled field
+  kConvDiff,  // -Δu + v·∇u = 0, constant drift, upwinded
+  kMasked,    // -Δu = 0 on an L-shaped (masked) domain
+};
+
+/// Canonical lowercase scenario names ("poisson", "varcoef", "convdiff",
+/// "masked") — used by CLI flags, the zoo manifest, and BENCH_JSON keys.
+const char* kind_name(Kind kind);
+/// Inverse of kind_name; throws std::invalid_argument on unknown names.
+Kind kind_from_name(const std::string& name);
+
+/// Point-activity mask over an (nx_cells+1) x (ny_cells+1) point grid.
+/// Inactive points are held at Dirichlet value 0: excluded from
+/// residuals, smoothing, and lattice updates. Points on the cut edges of
+/// an L/hole are inactive too — they are the Dirichlet boundary of the
+/// retained region.
+struct DomainMask {
+  int64_t nx_cells = 0, ny_cells = 0;
+  std::vector<std::uint8_t> pts;  // (nx+1)*(ny+1) row-major, 1 = active
+
+  bool defined() const { return !pts.empty(); }
+  bool full() const;
+  bool point_active(int64_t gx, int64_t gy) const {
+    return pts.empty() ||
+           pts[static_cast<std::size_t>(gy * (nx_cells + 1) + gx)] != 0;
+  }
+  /// All (m+1)^2 points of the subdomain with corner (gx, gy) active —
+  /// the subdomain solves pure interior physics and can go to the
+  /// neural solver.
+  bool subdomain_active(int64_t gx, int64_t gy, int64_t m) const;
+  /// No interior point of the subdomain is active — nothing to solve.
+  bool subdomain_dead(int64_t gx, int64_t gy, int64_t m) const;
+
+  static DomainMask full_mask(int64_t nx_cells, int64_t ny_cells);
+  /// Remove the (open) upper-right quadrant: points with gx >= cx and
+  /// gy >= cy are inactive, cx/cy the midpoints snapped down to a
+  /// multiple of `snap` (pass the subdomain size so mask edges land on
+  /// lattice lines).
+  static DomainMask l_shape(int64_t nx_cells, int64_t ny_cells,
+                            int64_t snap = 1);
+  /// Remove a centered rectangular hole spanning the middle third of
+  /// each axis, snapped to multiples of `snap`.
+  static DomainMask with_hole(int64_t nx_cells, int64_t ny_cells,
+                              int64_t snap = 1);
+};
+
+/// One concrete problem instance of a scenario on an
+/// nx_cells x ny_cells grid.
+struct Field {
+  Kind kind = Kind::kPoisson;
+  linalg::Grid2D k;       // varcoef: positive coefficient field (points)
+  double vx = 0, vy = 0;  // convdiff: constant drift
+  DomainMask mask;        // masked: point activity
+};
+
+/// Length of the neural conditioning vector for subdomain size m:
+/// poisson/masked 4m (boundary only), varcoef 8m (boundary + k
+/// perimeter), convdiff 4m + 2 (boundary + drift).
+int64_t conditioning_size(Kind kind, int64_t m);
+
+/// Sample a scenario instance. varcoef draws k = exp(a(x) + b(y)) from
+/// two 1-D GP sample paths (clamped log-range, so k stays in roughly
+/// [0.3, 3.3]); convdiff draws the drift uniformly from [-4, 4]^2;
+/// masked builds the L-shape snapped to multiples of `snap`.
+Field sample_field(Kind kind, int64_t nx_cells, int64_t ny_cells,
+                   util::Rng& rng, int64_t snap = 1);
+
+/// The discrete operator of the field at grid spacing h (mask applied).
+linalg::StencilOperator field_operator(const Field& field, double h);
+
+/// Append the scenario conditioning suffix of the subdomain with corner
+/// (gx, gy) to `out` (no-op for poisson/masked). The suffix depends only
+/// on the static field, never on iteration state.
+void conditioning_suffix_into(const Field& field, int64_t m, int64_t gx,
+                              int64_t gy, std::vector<double>& out);
+
+/// Zero boundary entries whose perimeter point is masked inactive, so
+/// Dirichlet data is continuous with the mask's zero-valued cut edges.
+void zero_masked_boundary(std::vector<double>& boundary,
+                          const DomainMask& mask);
+
+/// Bilinear sample of the field's k at unit coordinates (x, y in [0,1]);
+/// 1.0 when the field has no k grid (poisson/masked).
+double sample_k(const Field& field, double x, double y);
+
+/// (k, k_x, k_y, v_x, v_y) at a unit-square point — the collocation
+/// coefficients scenario_pde_loss consumes. The gradient of k comes from
+/// central differences of the bilinear interpolant at half-cell offset.
+std::array<double, 5> coeffs_at(const Field& field, double x, double y);
+
+}  // namespace mf::scenario

@@ -16,6 +16,11 @@ RequestGenerator::RequestGenerator(std::vector<GeometrySpec> zoo,
       throw std::invalid_argument(
           "RequestGenerator: domain cells must be a multiple of m");
     }
+    if (spec.scenario == scenario::Kind::kMasked) {
+      throw std::invalid_argument(
+          "RequestGenerator: masked domains are not served; use "
+          "mosaic_predict_scenario");
+    }
   }
 }
 
@@ -71,6 +76,14 @@ SolveRequest RequestGenerator::next() {
            std::sin(2.0 * M_PI * (k + 1) * t + phi[static_cast<std::size_t>(k)]);
     }
     req.boundary[static_cast<std::size_t>(i)] = v;
+  }
+
+  // Scenario coefficients, drawn last so all-Poisson streams consume the
+  // exact RNG trajectory of the pre-scenario generator (bitwise-stable
+  // workloads for the Poisson baselines). Poisson draws nothing here.
+  if (spec.scenario != scenario::Kind::kPoisson) {
+    req.field = scenario::sample_field(spec.scenario, req.nx_cells,
+                                       req.ny_cells, rng_);
   }
   return req;
 }

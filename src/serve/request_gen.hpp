@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "scenario/scenario.hpp"
 #include "util/rng.hpp"
 
 namespace mf::serve {
@@ -18,6 +19,12 @@ struct SolveRequest {
   int64_t nx_cells = 0, ny_cells = 0;
   /// Global boundary, canonical perimeter order (2(nx+ny) values).
   std::vector<double> boundary;
+  /// PDE scenario of this job: kind plus per-request coefficients
+  /// (variable diffusivity field / drift). Default-constructed = plain
+  /// Poisson, the pre-scenario workload. The kind must match the zoo
+  /// model named by zoo_index; masked domains are not served (they go
+  /// through mosaic_predict_scenario offline).
+  scenario::Field field;
   double arrival_s = 0;    // offered arrival time relative to run start
   double deadline_ms = 0;  // latency budget; 0 = no deadline
   int64_t max_iters = 40;  // Schwarz iteration budget
@@ -30,6 +37,9 @@ struct GeometrySpec {
   int zoo_index = 0;
   int64_t m = 8;
   int64_t nx_cells = 32, ny_cells = 32;
+  /// Scenario the zoo model serves; non-Poisson specs make the generator
+  /// draw fresh per-request coefficient fields (the "scenario mix").
+  scenario::Kind scenario = scenario::Kind::kPoisson;
 };
 
 struct RequestGenConfig {

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "linalg/grid2d.hpp"
+#include "mosaic/scenario_predictor.hpp"
 #include "mosaic/subdomain_solver.hpp"
 #include "util/timing.hpp"
 
@@ -40,7 +41,10 @@ void IterationScheduler::warm(int64_t warm_batch) {
   std::vector<std::vector<double>> out;
   for (const auto& model : zoo_) {
     const mosaic::SubdomainGeometry& geom = geometry(model.m);
-    const std::size_t G = static_cast<std::size_t>(4 * model.m);
+    // Conditioning width = 4m boundary values + the scenario suffix
+    // (k perimeter / drift); the net's input layer is sized to it.
+    const std::size_t G =
+        static_cast<std::size_t>(model.net->config().boundary_size);
     for (auto& b : boundaries) b.assign(G, 0.0);
     one[0].assign(G, 0.0);
     // Two calls each: the cache captures a shape on its second sight and
@@ -64,6 +68,16 @@ void IterationScheduler::admit(SolveRequest req, double now_s) {
       static_cast<std::size_t>(req.zoo_index) >= zoo_.size()) {
     throw std::invalid_argument("IterationScheduler: bad zoo index");
   }
+  if (req.field.kind !=
+      zoo_[static_cast<std::size_t>(req.zoo_index)].scenario) {
+    throw std::invalid_argument(
+        "IterationScheduler: request scenario does not match the zoo model");
+  }
+  if (req.field.mask.defined()) {
+    throw std::invalid_argument(
+        "IterationScheduler: masked domains are not served; use "
+        "mosaic_predict_scenario");
+  }
   auto job = std::make_unique<ServeJob>(std::move(req), opts_.init);
   job->admit_s = now_s;
   jobs_.push_back(std::move(job));
@@ -75,8 +89,12 @@ void IterationScheduler::finalize(ServeJob& job, double now_s) {
   const ServeModel& model = zoo_[static_cast<std::size_t>(job.req.zoo_index)];
   job.solution =
       linalg::Grid2D(job.req.nx_cells + 1, job.req.ny_cells + 1);
-  mosaic::predict_interior(job.window, *model.solver, geometry(model.m),
-                           job.req.nx_cells, job.req.ny_cells, job.solution);
+  // Poisson jobs delegate to the plain interior pass inside (bitwise the
+  // pre-scenario retirement); other scenarios append their conditioning
+  // suffix per tile.
+  mosaic::predict_interior_field(job.window, *model.solver, geometry(model.m),
+                                 job.req.field, job.req.nx_cells,
+                                 job.req.ny_cells, job.solution);
   job.finish_s = now_s;
   job.done = true;
   ++counters_.retired;
@@ -147,10 +165,20 @@ std::size_t IterationScheduler::tick(double now_s) {
       for (const Part& part : parts) {
         mosaic::gather_phase_boundaries(part.job->window, geom, part.corners,
                                         batch_boundaries_, part.offset);
+        if (model.scenario != scenario::Kind::kPoisson) {
+          // Per-row scenario conditioning suffix (the gather resizes each
+          // row to exactly 4m, so this appends to G = boundary_size).
+          for (std::size_t b = 0; b < part.corners.size(); ++b) {
+            scenario::conditioning_suffix_into(
+                part.job->req.field, model.m, part.corners[b].first,
+                part.corners[b].second, batch_boundaries_[part.offset + b]);
+          }
+        }
       }
+      const std::size_t G =
+          static_cast<std::size_t>(model.net->config().boundary_size);
       for (std::size_t i = total; i < padded; ++i) {
-        batch_boundaries_[i].assign(static_cast<std::size_t>(4 * model.m),
-                                    0.0);
+        batch_boundaries_[i].assign(G, 0.0);
       }
       double t1 = util::wall_seconds();
       counters_.gather_seconds += t1 - t0;
@@ -178,6 +206,13 @@ std::size_t IterationScheduler::tick(double now_s) {
         batch_boundaries_.resize(part.corners.size());
         mosaic::gather_phase_boundaries(part.job->window, geom, part.corners,
                                         batch_boundaries_, 0);
+        if (model.scenario != scenario::Kind::kPoisson) {
+          for (std::size_t b = 0; b < part.corners.size(); ++b) {
+            scenario::conditioning_suffix_into(
+                part.job->req.field, model.m, part.corners[b].first,
+                part.corners[b].second, batch_boundaries_[b]);
+          }
+        }
         model.solver->predict(batch_boundaries_, geom.cross_queries,
                               batch_predictions_);
         ++counters_.batches;

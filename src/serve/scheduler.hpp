@@ -26,8 +26,12 @@ namespace mf::serve {
 
 /// One tenant model: an SDNet-backed subdomain solver serving all
 /// requests with zoo_index equal to its position in the zoo vector.
+/// `scenario` names the PDE family the net was trained for; admitted
+/// requests must carry the same kind, and the net's conditioning width
+/// (net->config().boundary_size) is 4m plus the scenario suffix.
 struct ServeModel {
   int64_t m = 8;
+  scenario::Kind scenario = scenario::Kind::kPoisson;
   std::shared_ptr<const mosaic::Sdnet> net;
   std::shared_ptr<const mosaic::NeuralSubdomainSolver> solver;
 };

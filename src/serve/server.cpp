@@ -10,6 +10,7 @@
 #include <thread>
 
 #include "ad/kernels.hpp"
+#include "nn/serialize.hpp"
 #include "util/timing.hpp"
 
 namespace mf::serve {
@@ -56,6 +57,67 @@ std::vector<ServeModel> make_model_zoo(const std::vector<int64_t>& ms,
     zoo.push_back(std::move(model));
   }
   return zoo;
+}
+
+std::vector<std::pair<std::string, std::int64_t>> zoo_entry_config(
+    const mosaic::SdnetConfig& cfg, int64_t m) {
+  return {
+      {"m", m},
+      {"boundary_size", cfg.boundary_size},
+      {"hidden_width", cfg.hidden_width},
+      {"mlp_depth", cfg.mlp_depth},
+      {"activation", static_cast<std::int64_t>(cfg.activation)},
+      {"use_conv_encoder", cfg.use_conv_encoder ? 1 : 0},
+      {"conv_channels", cfg.conv_channels},
+      {"conv_depth", cfg.conv_depth},
+      {"conv_kernel", cfg.conv_kernel},
+      {"use_split_embedding", cfg.use_split_embedding ? 1 : 0},
+  };
+}
+
+std::vector<ServeModel> make_model_zoo_from_dir(const std::string& dir) {
+  const nn::ZooManifest manifest = nn::load_zoo_manifest(dir);
+  if (manifest.entries.empty()) {
+    throw std::runtime_error("make_model_zoo_from_dir: empty manifest in " +
+                             dir);
+  }
+  std::vector<ServeModel> zoo;
+  zoo.reserve(manifest.entries.size());
+  for (const nn::ZooEntry& entry : manifest.entries) {
+    ServeModel model;
+    model.m = entry.need_config("m");
+    model.scenario = scenario::kind_from_name(entry.scenario);
+    mosaic::SdnetConfig cfg;
+    cfg.boundary_size = entry.need_config("boundary_size");
+    cfg.hidden_width = entry.need_config("hidden_width");
+    cfg.mlp_depth = entry.need_config("mlp_depth");
+    cfg.activation =
+        static_cast<nn::Activation>(entry.need_config("activation"));
+    cfg.use_conv_encoder = entry.need_config("use_conv_encoder") != 0;
+    cfg.conv_channels = entry.need_config("conv_channels");
+    cfg.conv_depth = entry.need_config("conv_depth");
+    cfg.conv_kernel = entry.need_config("conv_kernel");
+    cfg.use_split_embedding = entry.need_config("use_split_embedding") != 0;
+    // Seeded init only sizes the tensors; the checkpoint overwrites every
+    // parameter, so the RNG seed here cannot affect served results.
+    util::Rng rng(0);
+    auto net = std::make_shared<mosaic::Sdnet>(cfg, rng);
+    nn::load_parameters(*net, dir + "/" + entry.params_file);
+    model.net = net;
+    model.solver =
+        std::make_shared<mosaic::NeuralSubdomainSolver>(net, model.m);
+    zoo.push_back(std::move(model));
+  }
+  return zoo;
+}
+
+std::vector<ServeModel> make_model_zoo_env(const std::vector<int64_t>& ms,
+                                           const mosaic::SdnetConfig& base,
+                                           std::uint64_t seed) {
+  if (const char* dir = std::getenv("MF_SERVE_ZOO")) {
+    if (dir[0] != '\0') return make_model_zoo_from_dir(dir);
+  }
+  return make_model_zoo(ms, base, seed);
 }
 
 SolveServer::SolveServer(std::vector<ServeModel> zoo, ServeOptions opts)

@@ -10,11 +10,17 @@
 //   MF_SERVE_WARM_BATCH        plan-priming batch size, 0 = off (default 4)
 //   MF_SERVE_PAD_TO            pad shared batches to a multiple (default 0)
 //   MF_SERVE_DEADLINE_ACTION   "account" (default) or "retire"
+//   MF_SERVE_ZOO               directory with a versioned on-disk model
+//                              zoo (zoo.manifest + parameter files); when
+//                              set the server loads trained checkpoints
+//                              instead of building random-weight models
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "serve/request_gen.hpp"
@@ -58,6 +64,27 @@ struct ServeResult {
 std::vector<ServeModel> make_model_zoo(const std::vector<int64_t>& ms,
                                        const mosaic::SdnetConfig& base,
                                        std::uint64_t seed);
+
+/// The named-integer configuration a zoo manifest entry must carry so
+/// make_model_zoo_from_dir can rebuild the model: subdomain size plus
+/// every SdnetConfig field. Kept next to the reader so the key sets
+/// cannot drift apart.
+std::vector<std::pair<std::string, std::int64_t>> zoo_entry_config(
+    const mosaic::SdnetConfig& cfg, int64_t m);
+
+/// Load a model zoo from an on-disk directory written by
+/// `train_sdnet --zoo`: one ServeModel per manifest entry, in manifest
+/// order (zoo_index = entry position). The manifest container and every
+/// referenced parameter file are CRC-verified; any corruption, swap or
+/// truncation throws std::runtime_error naming the file.
+std::vector<ServeModel> make_model_zoo_from_dir(const std::string& dir);
+
+/// Zoo selection honoring MF_SERVE_ZOO: when the variable names a
+/// directory, load the versioned on-disk zoo from it; otherwise build
+/// the synthetic random-weight zoo from `ms`/`base`/`seed`.
+std::vector<ServeModel> make_model_zoo_env(const std::vector<int64_t>& ms,
+                                           const mosaic::SdnetConfig& base,
+                                           std::uint64_t seed);
 
 class SolveServer {
  public:

@@ -58,6 +58,17 @@ import os
 import sys
 
 
+class NoFilterMatchError(ValueError):
+    """``@key=value`` filters matched zero committed lines.
+
+    Unlike a missing trajectory file (a bootstrap condition that skips the
+    gate), an existing trajectory where *no* line matches the filters means
+    the check is misconfigured or its baseline was never committed — e.g. a
+    new scenario gate without a committed per-scenario line. That must fail
+    loudly (exit 2), not pass green.
+    """
+
+
 def parse_metric_spec(spec: str) -> tuple[str, dict[str, str], bool]:
     """Split ``METRIC[@k=v,...][:lower]`` into (metric, filters, lower)."""
     lower = False
@@ -109,8 +120,10 @@ def last_json_line(path: str, filters: dict[str, str] | None = None) -> dict:
                 last = line
     if last is None:
         if filters:
-            raise ValueError(f"{path}: no JSON line matches "
-                             f"{','.join(f'{k}={v}' for k, v in filters.items())}")
+            raise NoFilterMatchError(
+                f"{path}: no committed JSON line matches "
+                f"{','.join(f'{k}={v}' for k, v in filters.items())} — "
+                f"commit a baseline line for this filter or fix the spec")
         raise ValueError(f"{path}: no JSON lines found")
     try:
         return json.loads(last)
@@ -159,6 +172,10 @@ def run_check(name: str, fresh_path: str, baseline_path: str, spec: str,
     try:
         baseline = last_json_line(baseline_path, filters)
         base_v = metric_value(baseline, metric, baseline_path)
+    except NoFilterMatchError:
+        # Zero filter matches in an existing trajectory is a configuration
+        # error, not a bootstrap skip: propagate to the exit-2 path.
+        raise
     except (OSError, ValueError) as exc:
         # Includes a committed value that is null/NaN/non-numeric: a broken
         # baseline is not this PR's regression, but it is worth a visible
